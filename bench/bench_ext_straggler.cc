@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: why "no synchronization for weight-freeze layers" matters
+ * (§4.1 / §5.1), shown through straggler injection.
+ *
+ * One of the PipeStores runs at a fraction of its normal GPU speed
+ * (background compaction, thermal throttling, a slower card). Under
+ * FT-DMP only that store's shard is late; under the naive "+FC"
+ * configuration the per-iteration all-reduce is a fleet-wide barrier
+ * and everyone runs at the straggler's pace.
+ */
+
+#include "bench_util.h"
+
+#include "core/training.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main()
+{
+    bench::banner("Ablation - stragglers vs weight synchronization",
+                  "NDPipe (ASPLOS'24) Sections 4.1 & 5.1 (design "
+                  "rationale)");
+
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 400000;
+    cfg.nStores = 4;
+
+    bench::Table t({"Straggler speed", "FT-DMP time (s)",
+                    "FT-DMP slowdown", "Naive +FC time (s)",
+                    "+FC slowdown", "+FC vs FT-DMP"});
+
+    TrainOptions ft;
+    ft.nRun = 1;
+    TrainOptions fc = ft;
+    fc.cut = cfg.model->numBlocks();
+
+    double ft_base = runFtDmpTraining(cfg, ft).seconds;
+    double fc_base = runFtDmpTraining(cfg, fc).seconds;
+
+    for (double speed : {1.0, 0.75, 0.5, 0.25}) {
+        TrainOptions ft_s = ft;
+        TrainOptions fc_s = fc;
+        ft_s.storeSpeedFactor.assign(
+            static_cast<size_t>(cfg.nStores), 1.0);
+        ft_s.storeSpeedFactor[0] = speed;
+        fc_s.storeSpeedFactor = ft_s.storeSpeedFactor;
+
+        auto ft_r = runFtDmpTraining(cfg, ft_s);
+        auto fc_r = runFtDmpTraining(cfg, fc_s);
+        t.addRow({bench::fmt("%.2fx", speed),
+                  bench::fmt("%.0f", ft_r.seconds),
+                  bench::fmt("%.2fx", ft_r.seconds / ft_base),
+                  bench::fmt("%.0f", fc_r.seconds),
+                  bench::fmt("%.2fx", fc_r.seconds / fc_base),
+                  bench::fmt("%.1fx", fc_r.seconds / ft_r.seconds)});
+    }
+    t.print();
+
+    std::printf("\nTwo regimes, one conclusion. FT-DMP degrades "
+                "gracefully (only the straggler's shard is late) and "
+                "stays several times faster in absolute terms. The "
+                "synchronized +FC fleet shows little *additional* "
+                "straggler sensitivity only because its per-iteration "
+                "all-reduce has already saturated the fabric - the "
+                "barrier pins every store to the network, which is "
+                "precisely why offloading the trainable layer to the "
+                "Tuner (Section 5.1) is the right design.\n");
+    return 0;
+}

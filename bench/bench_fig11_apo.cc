@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 11: training time and energy efficiency vs PipeStore count,
+ * and APO's choice (§5.3).
+ *
+ * Runs the FT-DMP simulator for 1..20 PipeStores (ResNet50, 1.2M
+ * images) and prints wall time, the APO-predicted stage balance
+ * T_diff, and IPS/kJ. APO (Algorithm 1) should select the knee where
+ * the Tuner becomes the bottleneck (the paper: 8 stores).
+ */
+
+#include "bench_util.h"
+
+#include "core/apo.h"
+#include "core/training.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main()
+{
+    bench::banner("Fig. 11 - Training time / energy vs #PipeStores + APO",
+                  "NDPipe (ASPLOS'24) Fig. 11, Section 5.3");
+
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 1200000;
+
+    TrainOptions opt;
+    auto apo = findBestOrganization(cfg, opt, 20);
+
+    bench::Table t({"#PipeStores", "Train time (s)", "Tdiff (s)",
+                    "IPS/kJ", "APO pick"});
+    for (const auto &p : apo.sweep) {
+        ExperimentConfig c = cfg;
+        c.nStores = p.nStores;
+        TrainOptions o = opt;
+        o.cut = p.choice.cut;
+        auto r = runFtDmpTraining(c, o);
+        t.addRow({bench::fmtInt(p.nStores),
+                  bench::fmt("%.0f", r.seconds),
+                  bench::fmt("%.1f", p.tDiff),
+                  bench::fmt("%.0f", r.ipsPerKj()),
+                  p.nStores == apo.bestStores ? "<== best" : ""});
+    }
+    t.print();
+
+    std::printf("\nAPO selects %d PipeStores at cut '%s' "
+                "(paper: 8 for ResNet50).\n",
+                apo.bestStores,
+                apo.bestChoice.cut == 0
+                    ? "None"
+                    : cfg.model->blocks()[apo.bestChoice.cut - 1]
+                          .name.c_str());
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig. 14: inference power draw at the match points (§6.2).
+ *
+ * For each model, finds the NDPipe store counts P1/P2/P3 whose
+ * throughput first matches SRV-P / SRV-C / SRV-I, then prints the
+ * average cluster power split into GPU / CPU / Others for both
+ * systems at that point, plus the resulting IPS/W ratio.
+ */
+
+#include "bench_util.h"
+
+#include "core/inference.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+int
+matchPoint(ExperimentConfig cfg, double target_ips)
+{
+    for (int n = 1; n <= 20; ++n) {
+        cfg.nStores = n;
+        auto r = runNdpOfflineInference(cfg);
+        if (r.ips >= target_ips)
+            return n;
+    }
+    return 20;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 14 - Inference power at match points P1/P2/P3",
+                  "NDPipe (ASPLOS'24) Fig. 14, Section 6.2");
+
+    double ratio_sum_p = 0.0, ratio_sum_c = 0.0;
+    int n_models = 0;
+
+    for (const models::ModelSpec *m : models::figureModels()) {
+        ExperimentConfig cfg;
+        cfg.model = m;
+        cfg.nImages = 200000;
+
+        struct Baseline
+        {
+            const char *point;
+            SrvVariant variant;
+        };
+        Baseline points[] = {{"P1", SrvVariant::Preprocessed},
+                             {"P2", SrvVariant::Compressed},
+                             {"P3", SrvVariant::Ideal}};
+
+        std::printf("\n--- %s ---\n", m->name().c_str());
+        bench::Table t({"Point", "System", "GPU (W)", "CPU (W)",
+                        "Others (W)", "Total (W)", "IPS/W"});
+        for (const auto &p : points) {
+            auto srv = runSrvOfflineInference(cfg, p.variant);
+            int n = matchPoint(cfg, srv.ips);
+            ExperimentConfig ncfg = cfg;
+            ncfg.nStores = n;
+            auto ndp = runNdpOfflineInference(ncfg);
+
+            t.addRow({p.point, srvVariantName(p.variant),
+                      bench::fmt("%.0f", srv.power.gpuW),
+                      bench::fmt("%.0f", srv.power.cpuW),
+                      bench::fmt("%.0f", srv.power.otherW),
+                      bench::fmt("%.0f", srv.power.totalW()),
+                      bench::fmt("%.2f", srv.ipsPerWatt())});
+            t.addRow({p.point,
+                      "NDPipe(" + std::to_string(n) + ")",
+                      bench::fmt("%.0f", ndp.power.gpuW),
+                      bench::fmt("%.0f", ndp.power.cpuW),
+                      bench::fmt("%.0f", ndp.power.otherW),
+                      bench::fmt("%.0f", ndp.power.totalW()),
+                      bench::fmt("%.2f", ndp.ipsPerWatt())});
+
+            if (p.variant == SrvVariant::Preprocessed)
+                ratio_sum_p += ndp.ipsPerWatt() / srv.ipsPerWatt();
+            if (p.variant == SrvVariant::Compressed)
+                ratio_sum_c += ndp.ipsPerWatt() / srv.ipsPerWatt();
+        }
+        t.print();
+        ++n_models;
+    }
+
+    std::printf("\nMean power-efficiency gain: %.2fx vs SRV-P, %.2fx "
+                "vs SRV-C (paper: 1.83x and 1.39x).\n",
+                ratio_sum_p / n_models, ratio_sum_c / n_models);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 16: training energy efficiency at P1 and BEST (§6.3).
+ *
+ * P1 = the store count where NDPipe first matches SRV-C's training
+ * time; BEST = the count maximizing IPS/kJ. Energy includes the Tuner
+ * (and for SRV, the host plus its storage servers).
+ */
+
+#include "bench_util.h"
+
+#include "core/training.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main()
+{
+    bench::banner("Fig. 16 - Training energy efficiency (IPS/kJ)",
+                  "NDPipe (ASPLOS'24) Fig. 16, Section 6.3");
+
+    double p1_ratio_sum = 0.0, best_ratio_sum = 0.0;
+    int n_models = 0;
+
+    bench::Table t({"Model", "SRV-C IPS/kJ", "NDPipe@P1 (stores)",
+                    "NDPipe@BEST (stores)", "P1 gain", "BEST gain"});
+    for (const models::ModelSpec *m : models::figureModels()) {
+        ExperimentConfig cfg;
+        cfg.model = m;
+        cfg.nImages = 1200000;
+        TrainOptions opt;
+
+        auto srv = runSrvFineTuning(cfg);
+
+        int p1 = 0, best_n = 1;
+        double p1_eff = 0.0, best_eff = 0.0;
+        for (int n = 1; n <= 20; ++n) {
+            cfg.nStores = n;
+            auto r = runFtDmpTraining(cfg, opt);
+            if (!p1 && r.seconds <= srv.seconds) {
+                p1 = n;
+                p1_eff = r.ipsPerKj();
+            }
+            if (r.ipsPerKj() > best_eff) {
+                best_eff = r.ipsPerKj();
+                best_n = n;
+            }
+        }
+        if (!p1) {
+            p1 = 20;
+            cfg.nStores = 20;
+            p1_eff = runFtDmpTraining(cfg, opt).ipsPerKj();
+        }
+
+        t.addRow({m->name(), bench::fmt("%.0f", srv.ipsPerKj()),
+                  bench::fmt("%.0f", p1_eff) + " (" +
+                      std::to_string(p1) + ")",
+                  bench::fmt("%.0f", best_eff) + " (" +
+                      std::to_string(best_n) + ")",
+                  bench::fmt("%.2fx", p1_eff / srv.ipsPerKj()),
+                  bench::fmt("%.2fx", best_eff / srv.ipsPerKj())});
+        p1_ratio_sum += p1_eff / srv.ipsPerKj();
+        best_ratio_sum += best_eff / srv.ipsPerKj();
+        ++n_models;
+    }
+    t.print();
+    std::printf("\nMean energy-efficiency gain: %.2fx at P1, %.2fx at "
+                "BEST (paper: 1.44x and 2.64x).\n",
+                p1_ratio_sum / n_models, best_ratio_sum / n_models);
+    return 0;
+}

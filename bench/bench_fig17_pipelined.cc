@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig. 17: pipelined FT-DMP — training time and accuracy vs N_run
+ * (§5.2, §6.3).
+ *
+ * Time side: the FT-DMP discrete-event simulator with 4 PipeStores
+ * (paper: up to 32% faster at N_run = 3). Accuracy side: the
+ * functional model trained on N_run sequential sub-datasets (paper:
+ * negligible loss up to N_run = 3, catastrophic forgetting visible at
+ * N_run = 4).
+ */
+
+#include "bench_util.h"
+
+#include "core/training.h"
+#include "data/backbone.h"
+#include "data/profiles.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main()
+{
+    bench::banner("Fig. 17 - Pipelined FT-DMP: time and accuracy",
+                  "NDPipe (ASPLOS'24) Fig. 17, Sections 5.2 & 6.3");
+
+    // Time side (DES, ResNet50, 4 PipeStores, 1.2M images).
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 4;
+    cfg.nImages = 1200000;
+
+    TrainOptions unp;
+    unp.nRun = 1;
+    auto base_run = runFtDmpTraining(cfg, unp);
+
+    std::printf("\n(a) Training time vs N_run (simulated)\n");
+    bench::Table a({"N_run", "Time (s)", "Speedup vs N_run=1"});
+    for (int nr : {1, 2, 3, 4}) {
+        TrainOptions o;
+        o.nRun = nr;
+        o.pipelined = nr > 1;
+        auto r = runFtDmpTraining(cfg, o);
+        a.addRow({bench::fmtInt(nr), bench::fmt("%.0f", r.seconds),
+                  bench::fmt("%.0f%%", 100.0 * (1.0 - r.seconds /
+                                                          base_run
+                                                              .seconds))});
+    }
+    a.print();
+
+    // Accuracy side (functional).
+    std::printf("\n(b) Final accuracy vs N_run (functional)\n");
+    auto profile = data::imagenet1kProfile();
+    if (bench::quickMode()) {
+        profile.world.initialImages = 4000;
+        profile.testSetSize = 1500;
+    }
+    data::PhotoWorld world(profile.world);
+    Rng mrng(7);
+    data::VisionModel base(profile.world.latentDim, profile.featureDim,
+                           profile.world.maxClasses, mrng);
+    base.fullTrain(world.poolDataset(),
+                   world.sampleTestSet(profile.testSetSize),
+                   profile.fullTrainCfg);
+    world.advanceDays(14);
+    auto test = world.sampleTestSet(profile.testSetSize);
+    auto feat_test_model = base; // frozen backbone is shared
+    auto curated = world.recencyBiasedDataset(
+        world.numImages(), profile.curatedRecentShare,
+        profile.curatedWindowDays);
+
+    bench::Table b({"N_run", "Top-1 (%)", "Delta vs N_run=1 (pp)"});
+    double top1_ref = 0.0;
+    for (int nr : {1, 2, 3, 4}) {
+        data::VisionModel tuned = base;
+        tuned.freezeBackbone(true);
+        auto feat_test = tuned.extractFeatures(test);
+        auto shards = curated.shards(static_cast<size_t>(nr));
+        for (auto &shard : shards) {
+            auto feats = tuned.extractFeatures(shard);
+            tuned.fineTuneOnFeatures(feats, feat_test,
+                                     profile.fineTuneCfg);
+        }
+        auto ev = nn::evaluate(tuned, test);
+        if (nr == 1)
+            top1_ref = ev.top1;
+        b.addRow({bench::fmtInt(nr),
+                  bench::fmt("%.2f", 100.0 * ev.top1),
+                  bench::fmt("%+.2f", 100.0 * (ev.top1 - top1_ref))});
+    }
+    b.print();
+
+    std::printf("\nPaper: N_run=2/3 cut training time by 23%%/32%% "
+                "with <=0.1pp accuracy loss (71.61 -> 71.55/71.52); "
+                "N_run=4 drops to 70.36 (catastrophic forgetting).\n");
+    return 0;
+}

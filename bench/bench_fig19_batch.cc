@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 19: inference throughput vs batch size (§6.4).
+ *
+ * Per-store throughput for batch sizes 1..512 across the four figure
+ * models. Reproduces the saturating curve, InceptionV3's
+ * decompression ceiling at batch >= 128, and ViT's out-of-memory
+ * failure at batch 512 on the 16 GiB T4.
+ */
+
+#include "bench_util.h"
+
+#include "core/inference.h"
+#include "models/throughput.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main()
+{
+    bench::banner("Fig. 19 - Impact of batch size (KIPS per store)",
+                  "NDPipe (ASPLOS'24) Fig. 19, Section 6.4");
+
+    bench::Table t({"Model", "BS=1", "BS=8", "BS=32", "BS=128",
+                    "BS=256", "BS=512"});
+    for (const models::ModelSpec *m : models::figureModels()) {
+        std::vector<std::string> row{m->name()};
+        for (int bs : {1, 8, 32, 128, 256, 512}) {
+            ExperimentConfig cfg;
+            cfg.model = m;
+            cfg.nStores = 1;
+            cfg.nImages = 50000;
+            cfg.npe.batchSize = bs;
+            auto r = runNdpOfflineInference(cfg);
+            if (r.oom) {
+                row.push_back(
+                    "OOM(" +
+                    bench::fmt("%.1f GiB",
+                               models::gpuMemoryNeededGiB(*m, bs)) +
+                    ")");
+            } else {
+                row.push_back(bench::fmt("%.2f", r.ips / 1e3));
+            }
+        }
+        t.addRow(row);
+    }
+    t.print();
+    std::printf("\nPaper: throughput saturates past ~128; InceptionV3 "
+                "gains nothing beyond 128 (CPU decompression is the "
+                "3-stage-pipeline bottleneck); ViT OOMs at large "
+                "batches.\n");
+    return 0;
+}

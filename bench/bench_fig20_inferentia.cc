@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig. 20: NDPipe on AWS Inferentia (NeuronCoreV1) PipeStores (§6.4).
+ *
+ * Replaces the T4 with the slower but far more power-efficient
+ * NeuronCoreV1 (inf1.2xlarge) and reports how many stores NDPipe-Inf1
+ * needs to match SRV-C for offline inference and fine-tuning, plus the
+ * resulting power / energy-efficiency gains.
+ */
+
+#include "bench_util.h"
+
+#include "core/inference.h"
+#include "core/training.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main()
+{
+    bench::banner("Fig. 20 - NDPipe-Inf1 (NeuronCoreV1 PipeStores)",
+                  "NDPipe (ASPLOS'24) Fig. 20, Section 6.4");
+
+    const models::ModelSpec *mods[] = {&models::resnet50(),
+                                       &models::resnext101()};
+
+    std::printf("\n(a) Offline inference\n");
+    double pw_gain_sum = 0.0;
+    for (const models::ModelSpec *m : mods) {
+        ExperimentConfig cfg;
+        cfg.model = m;
+        cfg.nImages = 200000;
+        cfg.storeSpec = hw::inf12xlarge();
+        auto srv = runSrvOfflineInference(cfg, SrvVariant::Compressed);
+
+        bench::Table t({"#Stores", "NDPipe-Inf1 KIPS", "IPS/W",
+                        "vs SRV-C IPS/W"});
+        int match = 0;
+        for (int n : {1, 4, 8, 12, 16, 20}) {
+            cfg.nStores = n;
+            auto r = runNdpOfflineInference(cfg);
+            if (!match && r.ips >= srv.ips)
+                match = n;
+            t.addRow({bench::fmtInt(n), bench::fmt("%.2f", r.ips / 1e3),
+                      bench::fmt("%.2f", r.ipsPerWatt()),
+                      bench::fmt("%.2fx",
+                                 r.ipsPerWatt() / srv.ipsPerWatt())});
+            if (n == 12)
+                pw_gain_sum += r.ipsPerWatt() / srv.ipsPerWatt();
+        }
+        t.print();
+        std::printf("%s: SRV-C %.2f KIPS; matched with <=%d "
+                    "Inf1 stores\n",
+                    m->name().c_str(), srv.ips / 1e3,
+                    match ? match : 20);
+    }
+
+    std::printf("\n(b) Fine-tuning\n");
+    double en_gain_sum = 0.0;
+    for (const models::ModelSpec *m : mods) {
+        ExperimentConfig cfg;
+        cfg.model = m;
+        cfg.nImages = 1200000;
+        cfg.storeSpec = hw::inf12xlarge();
+        auto srv = runSrvFineTuning(cfg);
+
+        bench::Table t({"#Stores", "Time (min)", "IPS/kJ",
+                        "vs SRV-C IPS/kJ"});
+        int match = 0;
+        TrainOptions opt;
+        for (int n : {1, 4, 8, 12, 16, 20}) {
+            cfg.nStores = n;
+            auto r = runFtDmpTraining(cfg, opt);
+            if (!match && r.seconds <= srv.seconds)
+                match = n;
+            t.addRow({bench::fmtInt(n),
+                      bench::fmt("%.1f", r.seconds / 60.0),
+                      bench::fmt("%.0f", r.ipsPerKj()),
+                      bench::fmt("%.2fx",
+                                 r.ipsPerKj() / srv.ipsPerKj())});
+            if (n == 12)
+                en_gain_sum += r.ipsPerKj() / srv.ipsPerKj();
+        }
+        t.print();
+        std::printf("%s: SRV-C %.1f min; matched with <=%d Inf1 "
+                    "stores\n",
+                    m->name().c_str(), srv.seconds / 60.0,
+                    match ? match : 20);
+    }
+
+    std::printf("\nMean @12 stores: %.2fx power efficiency "
+                "(inference), %.2fx energy efficiency (fine-tuning). "
+                "Paper: 11-16 / 8-13 stores to match SRV-C; 1.17x and "
+                "1.5x efficiency.\n",
+                pw_gain_sum / 2.0, en_gain_sum / 2.0);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Micro-benchmarks of the DeflateLite codec on the two payload types
+ * the photo service handles: redundant preprocessed tensors and
+ * high-entropy raw photos. Reports MB/s so the simulator's
+ * kDecompressMBps constant can be sanity-checked against the real
+ * implementation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "storage/codec.h"
+#include "storage/photo_gen.h"
+
+using namespace ndp::storage;
+
+namespace {
+
+void
+BM_DeflatePreprocessed(benchmark::State &state)
+{
+    PhotoGenerator gen;
+    Bytes input = gen.preprocessedBinary(1);
+    for (auto _ : state) {
+        Bytes out = deflateLite(input);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_DeflatePreprocessed);
+
+void
+BM_InflatePreprocessed(benchmark::State &state)
+{
+    PhotoGenerator gen;
+    Bytes compressed = deflateLite(gen.preprocessedBinary(1));
+    uint64_t out_size = *inflatedSize(compressed);
+    for (auto _ : state) {
+        auto out = inflateLite(compressed);
+        benchmark::DoNotOptimize(out->data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(out_size));
+}
+BENCHMARK(BM_InflatePreprocessed);
+
+void
+BM_DeflateRawPhoto(benchmark::State &state)
+{
+    PhotoGenerator gen;
+    Bytes input = gen.rawPhoto(1);
+    for (auto _ : state) {
+        Bytes out = deflateLite(input);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_DeflateRawPhoto);
+
+void
+BM_CompressionRatio(benchmark::State &state)
+{
+    PhotoGenerator gen;
+    double ratio = 0.0;
+    for (auto _ : state) {
+        Bytes input = gen.preprocessedBinary(
+            static_cast<uint64_t>(state.iterations()));
+        Bytes out = deflateLite(input);
+        ratio = static_cast<double>(input.size()) /
+                static_cast<double>(out.size());
+        benchmark::DoNotOptimize(ratio);
+    }
+    state.counters["ratio"] = ratio;
+}
+BENCHMARK(BM_CompressionRatio);
+
+} // namespace
+
+BENCHMARK_MAIN();

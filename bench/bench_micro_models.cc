@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Micro-benchmarks of the analytical layers: APO's partition search
+ * latency (it must be cheap enough to run at deployment time), the
+ * whole-organization sweep, and model-delta encode/apply.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/apo.h"
+#include "core/delta.h"
+#include "sim/random.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+void
+BM_FindBestPoint(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::vitB16(); // most partition points
+    cfg.nStores = 8;
+    cfg.nImages = 1200000;
+    TrainOptions opt;
+    for (auto _ : state) {
+        auto c = findBestPoint(cfg, opt);
+        benchmark::DoNotOptimize(c.predictedTotalS);
+    }
+}
+BENCHMARK(BM_FindBestPoint);
+
+void
+BM_FindBestOrganization(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 1200000;
+    TrainOptions opt;
+    for (auto _ : state) {
+        auto r = findBestOrganization(cfg, opt, 20);
+        benchmark::DoNotOptimize(r.bestStores);
+    }
+}
+BENCHMARK(BM_FindBestOrganization);
+
+void
+BM_DeltaEncode(benchmark::State &state)
+{
+    Rng rng(5);
+    const size_t n = 1u << 20; // ~1M params, ResNet50-classifier scale
+    std::vector<float> base(n), updated;
+    for (auto &v : base)
+        v = static_cast<float>(rng.normal());
+    updated = base;
+    // 2% of weights change (a classifier update).
+    for (size_t i = 0; i < n / 50; ++i)
+        updated[rng.below(n)] += 0.01f;
+    for (auto _ : state) {
+        auto d = encodeDelta(base, updated);
+        benchmark::DoNotOptimize(d.payload.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DeltaEncode);
+
+void
+BM_DeltaApply(benchmark::State &state)
+{
+    Rng rng(6);
+    const size_t n = 1u << 20;
+    std::vector<float> base(n), updated;
+    for (auto &v : base)
+        v = static_cast<float>(rng.normal());
+    updated = base;
+    for (size_t i = 0; i < n / 50; ++i)
+        updated[rng.below(n)] += 0.01f;
+    auto d = encodeDelta(base, updated);
+    for (auto _ : state) {
+        std::vector<float> params = base;
+        bool ok = applyDelta(d, params);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DeltaApply);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Micro-benchmarks of the tensor/NN substrate: GEMM, a full classifier
+ * training step, and feature extraction — the kernels behind every
+ * functional accuracy experiment.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "data/backbone.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "sim/random.h"
+
+using namespace ndp;
+
+namespace {
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    Rng rng(1);
+    size_t n = static_cast<size_t>(state.range(0));
+    nn::Tensor a = nn::Tensor::randn(n, n, rng, 1.0f);
+    nn::Tensor b = nn::Tensor::randn(n, n, rng, 1.0f);
+    for (auto _ : state) {
+        nn::Tensor c = nn::matmul(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_ClassifierStep(benchmark::State &state)
+{
+    Rng rng(2);
+    const size_t batch = 128, feat = 64, classes = 100;
+    nn::Sequential clf = nn::makeClassifier(feat, 0, classes, rng);
+    nn::Sgd opt(clf.params(), nn::SgdConfig{});
+    nn::Tensor x = nn::Tensor::randn(batch, feat, rng, 1.0f);
+    std::vector<int> y(batch);
+    for (auto &v : y)
+        v = static_cast<int>(rng.below(classes));
+    for (auto _ : state) {
+        nn::Tensor logits = clf.forward(x);
+        auto loss = nn::softmaxCrossEntropy(logits, y);
+        clf.backward(loss.gradLogits);
+        opt.step();
+        benchmark::DoNotOptimize(loss.loss);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ClassifierStep);
+
+void
+BM_FeatureExtraction(benchmark::State &state)
+{
+    Rng rng(3);
+    data::VisionModel model(24, 12, 100, rng);
+    nn::Tensor x = nn::Tensor::randn(512, 24, rng, 1.0f);
+    for (auto _ : state) {
+        nn::Tensor f = model.features(x);
+        benchmark::DoNotOptimize(f.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void
+BM_TopKAccuracy(benchmark::State &state)
+{
+    Rng rng(4);
+    nn::Tensor logits = nn::Tensor::randn(1024, 100, rng, 1.0f);
+    std::vector<int> y(1024);
+    for (auto &v : y)
+        v = static_cast<int>(rng.below(100));
+    for (auto _ : state) {
+        double acc = nn::topKAccuracy(logits, y, 5);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TopKAccuracy);
+
+} // namespace
+
+BENCHMARK_MAIN();

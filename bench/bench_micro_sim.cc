@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Micro-benchmarks of the discrete-event engine: raw event dispatch,
+ * coroutine process switching, channel hand-offs, and resource
+ * contention.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/channel.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+using namespace ndp::sim;
+
+namespace {
+
+void
+BM_EventDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator s;
+        const int n = static_cast<int>(state.range(0));
+        for (int i = 0; i < n; ++i)
+            s.schedule(static_cast<double>(i) * 1e-6, [] {});
+        s.run();
+        benchmark::DoNotOptimize(s.processedEvents());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+Task
+delayLoop(Simulator &s, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await s.delay(1e-6);
+}
+
+void
+BM_CoroutineDelays(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator s;
+        s.spawn(delayLoop(s, static_cast<int>(state.range(0))));
+        s.run();
+        benchmark::DoNotOptimize(s.now());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelays)->Arg(1000)->Arg(100000);
+
+Task
+producer(Channel<int> &ch, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await ch.put(i);
+    ch.close();
+}
+
+Task
+consumer(Channel<int> &ch, long long &sum)
+{
+    while (true) {
+        auto v = co_await ch.get();
+        if (!v)
+            break;
+        sum += *v;
+    }
+}
+
+void
+BM_ChannelHandoff(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator s;
+        Channel<int> ch(s, 4);
+        long long sum = 0;
+        s.spawn(producer(ch, static_cast<int>(state.range(0))));
+        s.spawn(consumer(ch, sum));
+        s.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelHandoff)->Arg(1000)->Arg(100000);
+
+Task
+contender(Simulator &s, Resource &res, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        co_await res.acquire();
+        co_await s.delay(1e-7);
+        res.release();
+    }
+}
+
+void
+BM_ResourceContention(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator s;
+        Resource res(s, 2);
+        for (int w = 0; w < 8; ++w)
+            s.spawn(contender(s, res, static_cast<int>(state.range(0))));
+        s.run();
+        benchmark::DoNotOptimize(res.utilization());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_ResourceContention)->Arg(1000)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table 2: Base / Outdated / NDPipe / Full top-1 and top-5 accuracy
+ * across the three dataset profiles (§6.3).
+ *
+ * The five paper architectures differ here only in their backbone
+ * width (the functional analog of feature-extractor capacity):
+ * ShuffleNetV2 gets the narrowest bottleneck and ViT the widest, so
+ * the accuracy ordering across models mirrors the paper's. The
+ * Base/Outdated/NDPipe/Full ordering per column emerges from drift.
+ */
+
+#include "bench_util.h"
+
+#include "data/backbone.h"
+#include "data/profiles.h"
+
+using namespace ndp;
+
+namespace {
+
+size_t
+backboneWidthFor(const std::string &model, size_t base_width)
+{
+    if (model == "ShuffleNetV2")
+        return base_width - 4;
+    if (model == "ResNet50" || model == "InceptionV3")
+        return base_width;
+    if (model == "ResNeXt101")
+        return base_width + 2;
+    return base_width + 6; // ViT
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 2 - Model accuracy under drift (%)",
+                  "NDPipe (ASPLOS'24) Table 2, Section 6.3");
+
+    std::vector<std::string> model_names = {
+        "ShuffleNetV2", "ResNet50", "InceptionV3", "ResNeXt101", "ViT"};
+    if (bench::quickMode())
+        model_names = {"ResNet50", "ViT"};
+
+    for (auto &profile : data::allProfiles()) {
+        if (bench::quickMode()) {
+            profile.world.initialImages = 4000;
+            profile.testSetSize = 1500;
+        }
+        std::printf("\n--- %s ---\n", profile.name.c_str());
+        bench::Table t({"Model", "Base T1/T5", "Outdated T1/T5",
+                        "NDPipe T1/T5", "Full T1/T5"});
+        for (const auto &name : model_names) {
+            data::PhotoWorld world(profile.world);
+            size_t width = backboneWidthFor(name, profile.featureDim);
+            Rng mrng(7 + std::hash<std::string>{}(name) % 1000);
+            data::VisionModel base(profile.world.latentDim, width,
+                                   profile.world.maxClasses, mrng);
+            auto br =
+                base.fullTrain(world.poolDataset(),
+                               world.sampleTestSet(profile.testSetSize),
+                               profile.fullTrainCfg);
+
+            world.advanceDays(14);
+            auto test = world.sampleTestSet(profile.testSetSize);
+            auto outdated = nn::evaluate(base, test);
+
+            auto curated = world.recencyBiasedDataset(
+                world.numImages(), profile.curatedRecentShare,
+                profile.curatedWindowDays);
+            data::VisionModel tuned = base;
+            auto ft =
+                tuned.fineTune(curated, test, profile.fineTuneCfg);
+
+            Rng frng(900 + std::hash<std::string>{}(name) % 1000);
+            data::VisionModel full(profile.world.latentDim, width,
+                                   profile.world.maxClasses, frng);
+            auto fr =
+                full.fullTrain(curated, test, profile.fullTrainCfg);
+
+            auto cell = [](double t1, double t5) {
+                return bench::fmt("%.2f", 100.0 * t1) + "/" +
+                       bench::fmt("%.2f", 100.0 * t5);
+            };
+            t.addRow({name, cell(br.finalTop1(), br.finalTop5()),
+                      cell(outdated.top1, outdated.top5),
+                      cell(ft.finalTop1(), ft.finalTop5()),
+                      cell(fr.finalTop1(), fr.finalTop5())});
+        }
+        t.print();
+    }
+
+    std::printf("\nPaper: NDPipe beats Outdated on every dataset and "
+                "sits slightly below Full (avg -2.3pp top-1) while "
+                "training >300x faster.\n");
+    return 0;
+}

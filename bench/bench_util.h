@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: fixed-width
+ * table printing and a quick-mode switch (NDP_QUICK=1 shrinks the
+ * functional NN workloads for smoke runs).
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ndp::bench {
+
+inline bool
+quickMode()
+{
+    const char *v = std::getenv("NDP_QUICK");
+    return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+/** Scale a workload size down in quick mode. */
+inline size_t
+scaled(size_t full, size_t quick)
+{
+    return quickMode() ? quick : full;
+}
+
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=============================================="
+                "==============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("=============================================="
+                "==============================\n");
+}
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : cols(std::move(headers))
+    {
+        widths.resize(cols.size());
+        for (size_t i = 0; i < cols.size(); ++i)
+            widths[i] = cols[i].size();
+    }
+
+    void
+    addRow(std::vector<std::string> row)
+    {
+        row.resize(cols.size());
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+        rows.push_back(std::move(row));
+    }
+
+    void
+    print() const
+    {
+        printRow(cols);
+        std::string sep;
+        for (size_t i = 0; i < cols.size(); ++i) {
+            sep += std::string(widths[i] + 2, '-');
+            if (i + 1 < cols.size())
+                sep += "+";
+        }
+        std::printf("%s\n", sep.c_str());
+        for (const auto &r : rows)
+            printRow(r);
+    }
+
+  private:
+    void
+    printRow(const std::vector<std::string> &row) const
+    {
+        for (size_t i = 0; i < row.size(); ++i) {
+            std::printf(" %-*s ", static_cast<int>(widths[i]),
+                        row[i].c_str());
+            if (i + 1 < row.size())
+                std::printf("|");
+        }
+        std::printf("\n");
+    }
+
+    std::vector<std::string> cols;
+    std::vector<size_t> widths;
+    std::vector<std::vector<std::string>> rows;
+};
+
+inline std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+inline std::string
+fmtInt(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+} // namespace ndp::bench

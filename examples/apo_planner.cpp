@@ -1,0 +1,74 @@
+/**
+ * @file
+ * APO planner CLI (§5.3): given a model, a network bandwidth, and the
+ * fleet limit, print the partition point and PipeStore count APO
+ * recommends, with the predicted stage balance for each fleet size.
+ *
+ * Usage: apo_planner [model] [gbps] [max_stores]
+ *   model: ShuffleNetV2 | ResNet50 | InceptionV3 | ResNeXt101 | ViT
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/apo.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = argc > 1 ? argv[1] : "ResNet50";
+    double gbps = argc > 2 ? std::atof(argv[2]) : 10.0;
+    int max_stores = argc > 3 ? std::atoi(argv[3]) : 20;
+
+    ExperimentConfig cfg;
+    try {
+        cfg.model = &models::byName(model_name);
+    } catch (const std::out_of_range &e) {
+        std::fprintf(stderr, "%s\nmodels:", e.what());
+        for (auto *m : models::allModels())
+            std::fprintf(stderr, " %s", m->name().c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+    cfg.networkGbps = gbps;
+    cfg.nImages = 1200000;
+    TrainOptions opt;
+
+    std::printf("APO planner: %s over %.0f Gbps, up to %d "
+                "PipeStores\n\n",
+                cfg.model->name().c_str(), gbps, max_stores);
+
+    auto result = findBestOrganization(cfg, opt, max_stores);
+
+    std::printf("%-8s %-12s %-10s %-10s %-10s %-8s\n", "#Stores",
+                "Cut", "T_ps (s)", "T_net (s)", "T_tuner(s)",
+                "T_diff");
+    for (const auto &p : result.sweep) {
+        std::string cut_name =
+            p.choice.cut == 0
+                ? "None"
+                : "+" + cfg.model->blocks()[p.choice.cut - 1].name;
+        std::printf("%-8d %-12s %-10.1f %-10.1f %-10.1f %-8.2f%s\n",
+                    p.nStores, cut_name.c_str(), p.choice.storeStageS,
+                    p.choice.netStageS, p.choice.tunerStageS, p.tDiff,
+                    p.nStores == result.bestStores ? "  <== pick" : "");
+    }
+
+    std::string best_cut =
+        result.bestChoice.cut == 0
+            ? "None"
+            : "+" +
+                  cfg.model->blocks()[result.bestChoice.cut - 1].name;
+    std::printf("\nRecommendation: %d PipeStores, partition at %s "
+                "(%.4f MB/image over the wire, predicted training "
+                "%.1f s).\n",
+                result.bestStores, best_cut.c_str(),
+                result.bestChoice.transferMBPerImage,
+                result.bestChoice.predictedTotalS);
+    return 0;
+}

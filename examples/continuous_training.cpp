@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Continuous training over eight weeks (§3.2 + §6.3 narrative).
+ *
+ * Runs the drift scenario the paper motivates: without updates the
+ * model decays; with biweekly FT-DMP fine-tuning plus offline label
+ * refresh, accuracy stays near the base level at a tiny fraction of
+ * full training's cost. Prints the accuracy trajectory of both
+ * policies and the cumulative network traffic the Check-N-Run deltas
+ * saved.
+ */
+
+#include <cstdio>
+
+#include "core/service.h"
+#include "core/training.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main()
+{
+    std::printf("Continuous training vs a frozen model (8 weeks)\n");
+    std::printf("===============================================\n\n");
+
+    PhotoService::Config cfg;
+    cfg.profile = data::imagenet1kProfile();
+    cfg.profile.world.initialImages = 6000; // demo scale
+    cfg.nPipeStores = 8;
+
+    PhotoService frozen(cfg);
+    frozen.bootstrap();
+    PhotoService tuned(cfg);
+    tuned.bootstrap();
+
+    std::printf("%-6s | %-18s | %-18s | %s\n", "Week",
+                "Frozen top-1 (%)", "NDPipe top-1 (%)",
+                "Fine-tune activity");
+    std::printf("-------+--------------------+--------------------+--"
+                "------------------------\n");
+
+    double delta_traffic = 0.0, full_traffic = 0.0;
+    size_t labels_fixed = 0;
+    for (int week = 1; week <= 8; ++week) {
+        frozen.advanceDays(7);
+        tuned.advanceDays(7);
+
+        std::string activity = "-";
+        if (week % 2 == 0) {
+            auto out = tuned.fineTune();
+            size_t fixed = tuned.refreshLabels();
+            labels_fixed += fixed;
+            delta_traffic += static_cast<double>(out.deltaBytes) *
+                             cfg.nPipeStores;
+            full_traffic += static_cast<double>(out.fullModelBytes) *
+                            cfg.nPipeStores;
+            activity = "v" + std::to_string(out.newModelVersion) +
+                       ": top-1 " +
+                       std::to_string(100.0 * out.top1After)
+                           .substr(0, 5) +
+                       "%, " + std::to_string(fixed) +
+                       " labels fixed";
+        }
+        std::printf("%-6d | %-18.2f | %-18.2f | %s\n", week,
+                    100.0 * frozen.evaluateCurrentModel().top1,
+                    100.0 * tuned.evaluateCurrentModel().top1,
+                    activity.c_str());
+    }
+
+    std::printf("\nModel distribution traffic over 8 weeks: %.2f MB "
+                "as deltas vs %.2f MB shipping full models\n",
+                delta_traffic / 1e6, full_traffic / 1e6);
+    // The functional model is head-heavy; at ResNet50 scale the same
+    // four updates would ship ~1 MB of deltas instead of ~3.3 GB of
+    // full models (~427x, Section 5).
+    double r50_full = 4.0 * cfg.nPipeStores *
+                      models::resnet50().totalParamsM() * 4.0;
+    double r50_delta = 4.0 * cfg.nPipeStores *
+                       models::resnet50().trainableParamsM() * 4.0 /
+                       34.0;
+    std::printf("At ResNet50 scale: %.1f MB of deltas vs %.0f MB of "
+                "full models (%.0fx reduction)\n",
+                r50_delta, r50_full, r50_full / r50_delta);
+    std::printf("Total outdated labels repaired by offline inference: "
+                "%zu\n",
+                labels_fixed);
+
+    // What the same cadence costs on the simulated cluster.
+    ExperimentConfig sim;
+    sim.model = &models::resnet50();
+    sim.nStores = cfg.nPipeStores;
+    sim.nImages = 1200000;
+    TrainOptions opt;
+    auto r = runFtDmpTraining(sim, opt);
+    auto srv = runSrvFineTuning(sim);
+    std::printf("\nAt production scale (1.2M images), each fine-tune "
+                "costs %.1f min on %d PipeStores vs %.1f min on "
+                "SRV-C (%.2fx faster, %.2fx the energy "
+                "efficiency).\n",
+                r.seconds / 60.0, cfg.nPipeStores, srv.seconds / 60.0,
+                srv.seconds / r.seconds,
+                r.ipsPerKj() / srv.ipsPerKj());
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Media archive example (§7.1): run the NDPipe engine over a mixed
+ * archive of videos, audio tracks, and documents.
+ *
+ * A streaming platform stores 220 MB clips, a music service stores
+ * 9 MB tracks, and a document store holds sub-MB files; all three want
+ * fresh ML-derived metadata (content labels, genres, embeddings)
+ * without hauling raw objects across the data center. This example
+ * sizes a PipeStore fleet per medium and reports what the fleet ships
+ * over the network compared to a centralized deployment.
+ */
+
+#include <cstdio>
+
+#include "core/media.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+int
+storesToMatchCentral(const ExperimentConfig &base,
+                     const MediaProfile &media, uint64_t objects,
+                     double target_ops)
+{
+    for (int n = 1; n <= 32; ++n) {
+        ExperimentConfig cfg = base;
+        cfg.nStores = n;
+        if (runNdpMediaAnalysis(cfg, media, objects).ops >= target_ops)
+            return n;
+    }
+    return 32;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("NDPipe media archive (video / audio / documents)\n");
+    std::printf("================================================\n");
+
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+
+    for (const auto &media : allMedia()) {
+        if (media.name == "photo")
+            continue;
+        uint64_t objects = media.rawMB > 50.0 ? 300 : 3000;
+
+        auto ndp = runNdpMediaAnalysis(cfg, media, objects);
+        auto srv = runSrvMediaAnalysis(cfg, media, objects);
+        int match = storesToMatchCentral(cfg, media, objects, srv.ops);
+
+        std::printf("\n--- %s archive (%.0f MB objects, %.0f analysis "
+                    "units each) ---\n",
+                    media.name.c_str(), media.rawMB,
+                    media.unitsPerObject);
+        std::printf("  centralized host:  %8.1f obj/s, %8.1f MB on "
+                    "the wire\n",
+                    srv.ops, srv.netBytes / 1e6);
+        std::printf("  4 PipeStores:      %8.1f obj/s, %8.3f MB on "
+                    "the wire (%.0fx less traffic)\n",
+                    ndp.ops, ndp.netBytes / 1e6,
+                    srv.netBytes / ndp.netBytes);
+        std::printf("  stores needed to match the central host: %d\n",
+                    match);
+    }
+
+    std::printf("\nThe bulkier the object relative to its analysis "
+                "result, the stronger the near-data case — exactly "
+                "the paper's §7.1 argument.\n");
+    return 0;
+}

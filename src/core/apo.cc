@@ -1,0 +1,101 @@
+#include "core/apo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "models/throughput.h"
+#include "storage/codec.h"
+
+namespace ndp::core {
+
+PartitionChoice
+evaluateCut(const ExperimentConfig &cfg, const TrainOptions &opt,
+            size_t cut)
+{
+    const models::ModelSpec &m = *cfg.model;
+    PartitionChoice c;
+    c.cut = cut;
+    c.transferMBPerImage = m.transferMBAt(cut);
+
+    double imgs_run = static_cast<double>(cfg.nImages) /
+                      static_cast<double>(opt.nRun);
+
+    // Store stage: the slowest of the 3-stage NPE pipeline, per image.
+    double read_s = (m.inputMB() / kCompressionRatio) /
+                    (cfg.storeSpec.disk.readMBps);
+    double dec_s = m.inputMB() / (storage::kDecompressMBps *
+                                  cfg.npe.decompressCores);
+    double fe_s = models::feSecondsPerImage(*cfg.storeSpec.gpu, m, cut,
+                                            opt.feBatch);
+    double per_image_store = std::max({read_s, dec_s, fe_s});
+    c.storeStageS =
+        imgs_run * per_image_store / static_cast<double>(cfg.nStores);
+
+    // Network stage: all stores share the Tuner's ingress link.
+    c.netStageS = imgs_run * c.transferMBPerImage * 8.0 /
+                  (cfg.networkGbps * 1e3);
+
+    // Tuner stage.
+    double ingest = models::tunerIngestSecondsPerImage(
+        *cfg.tunerSpec.gpu, m, cut, opt.feBatch);
+    double epoch = models::tunerEpochSecondsPerImage(*cfg.tunerSpec.gpu,
+                                                     m, opt.trainBatch);
+    c.tunerStageS =
+        imgs_run *
+        (ingest + epoch * static_cast<double>(opt.tunerEpochs));
+
+    double bottleneck =
+        std::max({c.storeStageS, c.netStageS, c.tunerStageS});
+    if (opt.pipelined) {
+        c.predictedTotalS = c.storeStageS + c.netStageS + c.tunerStageS +
+                            static_cast<double>(opt.nRun - 1) *
+                                bottleneck;
+    } else {
+        c.predictedTotalS =
+            static_cast<double>(opt.nRun) *
+            (c.storeStageS + c.netStageS + c.tunerStageS);
+    }
+    return c;
+}
+
+PartitionChoice
+findBestPoint(const ExperimentConfig &cfg, const TrainOptions &opt)
+{
+    const models::ModelSpec &m = *cfg.model;
+    PartitionChoice best;
+    best.predictedTotalS = std::numeric_limits<double>::infinity();
+    for (size_t cut : m.partitionCuts()) {
+        if (m.cutSplitsClassifier(cut))
+            continue; // trainable layers stay on the Tuner
+        PartitionChoice c = evaluateCut(cfg, opt, cut);
+        if (c.predictedTotalS < best.predictedTotalS)
+            best = c;
+    }
+    return best;
+}
+
+ApoResult
+findBestOrganization(const ExperimentConfig &cfg, const TrainOptions &opt,
+                     int max_stores)
+{
+    assert(max_stores >= 1);
+    ApoResult result;
+    double t_min = std::numeric_limits<double>::infinity();
+    for (int n = 1; n <= max_stores; ++n) {
+        ExperimentConfig c = cfg;
+        c.nStores = n;
+        PartitionChoice choice = findBestPoint(c, opt);
+        double t_diff = std::abs(choice.storeStageS - choice.tunerStageS);
+        result.sweep.push_back(ApoSweepPoint{n, choice, t_diff});
+        if (t_diff < t_min) {
+            t_min = t_diff;
+            result.bestStores = n;
+            result.bestChoice = choice;
+        }
+    }
+    return result;
+}
+
+} // namespace ndp::core

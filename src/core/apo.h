@@ -1,0 +1,72 @@
+/**
+ * @file
+ * APO: Automated model Partitioning and Organization (§5.3).
+ *
+ * FindBestPoint() evaluates every clean partition point of a model
+ * against the hardware (store FLOPS, Tuner FLOPS, network bandwidth)
+ * and predicts per-run Store-stage / network / Tuner-stage times under
+ * pipelined FT-DMP; the best point minimizes the predicted end-to-end
+ * training time. findBestOrganization() is Algorithm 1: it sweeps the
+ * PipeStore count and picks the one whose pipeline stages are most
+ * balanced (minimal |T_ps - T_tuner|), i.e. no bubbles and no idle,
+ * energy-wasting stores.
+ *
+ * Cuts that would place trainable layers on the stores are excluded,
+ * exactly as the paper specifies ("to prevent weight synchronization
+ * among the PipeStores, the trainable layer is assigned to the
+ * Tuner").
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.h"
+#include "core/training.h"
+
+namespace ndp::core {
+
+struct PartitionChoice
+{
+    size_t cut = 0;
+    /** Per-run Store-stage time (read/decompress/FE, pipelined). */
+    double storeStageS = 0.0;
+    /** Per-run feature-transfer time on the shared ingress. */
+    double netStageS = 0.0;
+    /** Per-run Tuner-stage time (ingest + classifier epochs). */
+    double tunerStageS = 0.0;
+    /** Predicted wall time of the whole pipelined training. */
+    double predictedTotalS = 0.0;
+    /** Bytes per image crossing the wire at this cut. */
+    double transferMBPerImage = 0.0;
+};
+
+struct ApoSweepPoint
+{
+    int nStores;
+    PartitionChoice choice;
+    /** |T_ps - T_tuner| — Algorithm 1's balance criterion. */
+    double tDiff;
+};
+
+struct ApoResult
+{
+    int bestStores = 0;
+    PartitionChoice bestChoice;
+    std::vector<ApoSweepPoint> sweep;
+};
+
+/** Predicted stage times for one (cut, store count) combination. */
+PartitionChoice evaluateCut(const ExperimentConfig &cfg,
+                            const TrainOptions &opt, size_t cut);
+
+/** FindBestPoint (§5.3): best cut for a fixed number of stores. */
+PartitionChoice findBestPoint(const ExperimentConfig &cfg,
+                              const TrainOptions &opt);
+
+/** Algorithm 1: best number of PipeStores in [1, max_stores]. */
+ApoResult findBestOrganization(const ExperimentConfig &cfg,
+                               const TrainOptions &opt, int max_stores);
+
+} // namespace ndp::core

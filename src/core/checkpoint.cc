@@ -1,0 +1,101 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+
+#include "core/delta.h"
+#include "storage/huffman.h"
+
+namespace ndp::core {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'N', 'D', 'C', 'K'};
+
+void
+putU32(storage::Bytes &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+getU32(const storage::Bytes &in, size_t pos)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(in[pos + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+uint32_t
+fnv1a(const uint8_t *data, size_t n)
+{
+    uint32_t h = 2166136261u;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+Checkpoint
+saveCheckpoint(nn::Layer &model, int version)
+{
+    std::vector<float> params = flattenParams(model);
+    storage::Bytes raw(params.size() * sizeof(float));
+    std::memcpy(raw.data(), params.data(), raw.size());
+
+    Checkpoint ckpt;
+    ckpt.version = version;
+    ckpt.payload.insert(ckpt.payload.end(), kMagic, kMagic + 4);
+    putU32(ckpt.payload, static_cast<uint32_t>(version));
+    putU32(ckpt.payload, static_cast<uint32_t>(params.size()));
+    putU32(ckpt.payload, fnv1a(raw.data(), raw.size()));
+    storage::Bytes packed = storage::deflateFull(raw);
+    ckpt.payload.insert(ckpt.payload.end(), packed.begin(),
+                        packed.end());
+    return ckpt;
+}
+
+std::optional<int>
+checkpointVersion(const storage::Bytes &payload)
+{
+    if (payload.size() < 16 ||
+        std::memcmp(payload.data(), kMagic, 4) != 0)
+        return std::nullopt;
+    return static_cast<int>(getU32(payload, 4));
+}
+
+std::optional<std::vector<float>>
+restoreParams(const Checkpoint &ckpt)
+{
+    const storage::Bytes &p = ckpt.payload;
+    if (p.size() < 16 || std::memcmp(p.data(), kMagic, 4) != 0)
+        return std::nullopt;
+    uint32_t count = getU32(p, 8);
+    uint32_t checksum = getU32(p, 12);
+
+    storage::Bytes packed(p.begin() + 16, p.end());
+    auto raw = storage::inflateFull(packed);
+    if (!raw || raw->size() != count * sizeof(float))
+        return std::nullopt;
+    if (fnv1a(raw->data(), raw->size()) != checksum)
+        return std::nullopt;
+
+    std::vector<float> params(count);
+    std::memcpy(params.data(), raw->data(), raw->size());
+    return params;
+}
+
+bool
+restoreCheckpoint(const Checkpoint &ckpt, nn::Layer &model)
+{
+    auto params = restoreParams(ckpt);
+    if (!params)
+        return false;
+    return loadParams(model, *params);
+}
+
+} // namespace ndp::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Model checkpointing.
+ *
+ * The Tuner persists each fine-tuned model version before
+ * redistributing deltas (Check-N-Run [29] is, at heart, a
+ * checkpointing system). A checkpoint is a versioned, compressed,
+ * checksummed snapshot of a model's full parameter vector:
+ *
+ *   "NDCK" magic | u32 version | u32 param count | u32 FNV-1a of the
+ *   raw parameter bytes | deflateFull(parameter bytes)
+ *
+ * Deltas chain against checkpoints: restore version N, apply the
+ * stored delta, obtain version N+1 — exactly what a PipeStore does on
+ * a model update.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/layers.h"
+#include "storage/codec.h"
+
+namespace ndp::core {
+
+struct Checkpoint
+{
+    int version = 0;
+    storage::Bytes payload;
+
+    size_t bytes() const { return payload.size(); }
+};
+
+/** Snapshot @p model's full parameter vector (frozen layers too). */
+Checkpoint saveCheckpoint(nn::Layer &model, int version);
+
+/** Parameter vector stored in @p ckpt; nullopt if corrupt. */
+std::optional<std::vector<float>> restoreParams(const Checkpoint &ckpt);
+
+/**
+ * Load @p ckpt into @p model.
+ * @return false on corruption or parameter-count mismatch.
+ */
+bool restoreCheckpoint(const Checkpoint &ckpt, nn::Layer &model);
+
+/** Version recorded in the payload header, if valid. */
+std::optional<int> checkpointVersion(const storage::Bytes &payload);
+
+/** FNV-1a 32-bit hash (the checkpoint checksum). */
+uint32_t fnv1a(const uint8_t *data, size_t n);
+
+} // namespace ndp::core

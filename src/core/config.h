@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cluster/experiment configuration shared by the inference and training
+ * simulators, plus the workload constants the paper's evaluation fixes.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "hw/specs.h"
+#include "models/model.h"
+#include "models/zoo.h"
+
+namespace ndp::core {
+
+/** @name Workload constants (§3.4, §5.4, §6.1)
+ * @{
+ */
+/** JPEG decode + resize rate, images/s per CPU core (2.7 MB JPEGs). */
+constexpr double kPreprocImgPerSecPerCore = 15.4;
+/** Deflate ratio of preprocessed fp32 binaries (codec.h measures it). */
+constexpr double kCompressionRatio = 3.5;
+/** Classifier-training epochs the Tuner runs over received features. */
+constexpr int kDefaultTunerEpochs = 4;
+/** Inference / feature-extraction batch (§6.1). */
+constexpr int kInferBatch = 128;
+/** Training batch (§6.1). */
+constexpr int kTrainBatch = 512;
+/** Check-N-Run model-delta traffic reduction upper bound (§5). */
+constexpr double kCheckNRunMaxReduction = 427.4;
+/** @} */
+
+/** NPE optimization levels of §5.4 (cumulative in Fig. 12). */
+struct NpeOptions
+{
+    /** 3-stage load/CPU/GPU pipelining (vs fully serial batches). */
+    bool pipelined = true;
+    /** Preprocessing offloaded to the online-inference server: the
+     *  store keeps preprocessed binaries and never decodes JPEGs. */
+    bool offloadPreprocessing = true;
+    /** Preprocessed binaries stored deflate-compressed. */
+    bool compressedBinaries = true;
+    int batchSize = kInferBatch;
+    /** CPU cores a store dedicates to decompression (§5.4: max two). */
+    int decompressCores = 2;
+    /** CPU cores a store may spend on preprocessing (§4.2: one). */
+    int preprocessCores = 1;
+
+    /** Fig. 12's four cumulative configurations. */
+    static NpeOptions naive();
+    static NpeOptions withOffload();
+    static NpeOptions withCompression();
+    static NpeOptions withBatch();
+};
+
+inline NpeOptions
+NpeOptions::naive()
+{
+    NpeOptions o;
+    o.pipelined = true;
+    o.offloadPreprocessing = false;
+    o.compressedBinaries = false;
+    o.batchSize = 16;
+    o.preprocessCores = 1;
+    return o;
+}
+
+inline NpeOptions
+NpeOptions::withOffload()
+{
+    NpeOptions o = naive();
+    o.offloadPreprocessing = true;
+    return o;
+}
+
+inline NpeOptions
+NpeOptions::withCompression()
+{
+    NpeOptions o = withOffload();
+    o.compressedBinaries = true;
+    return o;
+}
+
+inline NpeOptions
+NpeOptions::withBatch()
+{
+    NpeOptions o = withCompression();
+    o.batchSize = kInferBatch;
+    return o;
+}
+
+/** One experiment's cluster and workload. */
+struct ExperimentConfig
+{
+    const models::ModelSpec *model = &models::resnet50();
+    /** PipeStores participating (1-20 in the paper). */
+    int nStores = 4;
+    /** Tuner/host ingress bandwidth, Gbps (§6.4 sweeps 1-40). */
+    double networkGbps = 10.0;
+    /** PipeStore instance (g4dn.4xlarge or inf1.2xlarge). */
+    hw::ServerSpec storeSpec = hw::g4dn4xlarge(true);
+    /** Tuner instance. */
+    hw::ServerSpec tunerSpec = hw::p32xlarge();
+    /** SRV host instance (two V100s used). */
+    hw::ServerSpec hostSpec = hw::p38xlarge(2);
+    /** Storage servers behind the SRV host (GPUs disabled). */
+    int srvStorageServers = 4;
+    hw::ServerSpec srvStoreSpec = hw::g4dn4xlarge(false);
+    /** Images processed by the experiment. */
+    uint64_t nImages = 200000;
+    NpeOptions npe;
+
+    hw::NicSpec
+    nic() const
+    {
+        return hw::NicSpec{networkGbps, 2.0e-5};
+    }
+};
+
+} // namespace ndp::core

@@ -1,0 +1,26 @@
+#include "core/cost.h"
+
+namespace ndp::core {
+
+double
+serverCostUsd(const hw::ServerSpec &spec, double seconds)
+{
+    return spec.hourlyUsd * seconds / 3600.0;
+}
+
+double
+ndpipeRunCostUsd(const ExperimentConfig &cfg, double seconds)
+{
+    return cfg.nStores * serverCostUsd(cfg.storeSpec, seconds) +
+           serverCostUsd(cfg.tunerSpec, seconds);
+}
+
+double
+srvRunCostUsd(const ExperimentConfig &cfg, double seconds)
+{
+    return serverCostUsd(cfg.hostSpec, seconds) +
+           cfg.srvStorageServers *
+               serverCostUsd(cfg.srvStoreSpec, seconds);
+}
+
+} // namespace ndp::core

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Operational cost model (§7.2, Fig. 21), using the on-demand hourly
+ * prices recorded in the instance catalog.
+ */
+
+#pragma once
+
+#include "core/config.h"
+
+namespace ndp::core {
+
+/** Cost of running one server for @p seconds, USD. */
+double serverCostUsd(const hw::ServerSpec &spec, double seconds);
+
+/** NDPipe fine-tuning cost: cfg.nStores PipeStores + one Tuner. */
+double ndpipeRunCostUsd(const ExperimentConfig &cfg, double seconds);
+
+/** SRV cost: the host plus cfg.srvStorageServers storage servers. */
+double srvRunCostUsd(const ExperimentConfig &cfg, double seconds);
+
+} // namespace ndp::core

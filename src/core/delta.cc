@@ -1,0 +1,118 @@
+#include "core/delta.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ndp::core {
+
+namespace {
+
+void
+putVarint(storage::Bytes &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+bool
+getVarint(const storage::Bytes &in, size_t &pos, uint64_t &v)
+{
+    v = 0;
+    int shift = 0;
+    while (pos < in.size()) {
+        uint8_t b = in[pos++];
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return true;
+        shift += 7;
+        if (shift > 63)
+            return false;
+    }
+    return false;
+}
+
+} // namespace
+
+ModelDelta
+encodeDelta(const std::vector<float> &base,
+            const std::vector<float> &updated, float eps)
+{
+    ModelDelta d;
+    d.totalParams = updated.size();
+
+    storage::Bytes raw;
+    putVarint(raw, updated.size());
+    uint64_t last = 0;
+    for (size_t i = 0; i < updated.size(); ++i) {
+        float old_v = i < base.size() ? base[i] : 0.0f;
+        if (std::fabs(updated[i] - old_v) <= eps)
+            continue;
+        putVarint(raw, static_cast<uint64_t>(i) - last);
+        last = static_cast<uint64_t>(i);
+        uint8_t b[4];
+        std::memcpy(b, &updated[i], 4);
+        raw.insert(raw.end(), b, b + 4);
+        ++d.changedParams;
+    }
+    d.payload = storage::deflateLite(raw);
+    return d;
+}
+
+bool
+applyDelta(const ModelDelta &delta, std::vector<float> &params)
+{
+    auto raw = storage::inflateLite(delta.payload);
+    if (!raw)
+        return false;
+    size_t pos = 0;
+    uint64_t total = 0;
+    if (!getVarint(*raw, pos, total))
+        return false;
+    if (total != params.size())
+        return false;
+    uint64_t idx = 0;
+    bool first = true;
+    while (pos < raw->size()) {
+        uint64_t gap = 0;
+        if (!getVarint(*raw, pos, gap))
+            return false;
+        idx = first ? gap : idx + gap;
+        first = false;
+        if (idx >= params.size() || pos + 4 > raw->size())
+            return false;
+        std::memcpy(&params[idx], raw->data() + pos, 4);
+        pos += 4;
+    }
+    return true;
+}
+
+std::vector<float>
+flattenParams(nn::Layer &model)
+{
+    std::vector<float> out;
+    for (nn::Param *p : model.allParams()) {
+        out.insert(out.end(), p->value.data().begin(),
+                   p->value.data().end());
+    }
+    return out;
+}
+
+bool
+loadParams(nn::Layer &model, const std::vector<float> &values)
+{
+    size_t pos = 0;
+    for (nn::Param *p : model.allParams()) {
+        if (pos + p->value.size() > values.size())
+            return false;
+        std::copy(values.begin() + pos,
+                  values.begin() + pos + p->value.size(),
+                  p->value.data().begin());
+        pos += p->value.size();
+    }
+    return pos == values.size();
+}
+
+} // namespace ndp::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Check-N-Run-style model-delta distribution (§5, [29]).
+ *
+ * After fine-tuning, only the classifier weights differ from the copy
+ * each PipeStore already holds, so the Tuner ships a compressed sparse
+ * delta instead of the whole model. This is the functional encoder:
+ * it diffs two flattened parameter vectors, stores (gap-encoded index,
+ * value) pairs, and deflates the result. On ResNet50-sized models with
+ * classifier-only changes this reaches the paper's "up to 427.4x"
+ * traffic reduction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+#include "storage/codec.h"
+
+namespace ndp::core {
+
+struct ModelDelta
+{
+    storage::Bytes payload;
+    size_t changedParams = 0;
+    size_t totalParams = 0;
+
+    /** Full-model bytes / delta bytes. */
+    double
+    reductionFactor() const
+    {
+        if (payload.empty())
+            return 0.0;
+        return static_cast<double>(totalParams) * 4.0 /
+               static_cast<double>(payload.size());
+    }
+};
+
+/**
+ * Encode the difference updated - base. Values whose absolute change
+ * is <= @p eps are treated as unchanged.
+ */
+ModelDelta encodeDelta(const std::vector<float> &base,
+                       const std::vector<float> &updated,
+                       float eps = 0.0f);
+
+/**
+ * Apply a delta in place. @return false if the payload is corrupt or
+ * the parameter count does not match.
+ */
+bool applyDelta(const ModelDelta &delta, std::vector<float> &params);
+
+/** Flatten every parameter tensor of @p model into one vector. */
+std::vector<float> flattenParams(nn::Layer &model);
+
+/**
+ * Write @p values back into @p model's parameters.
+ * @return false on size mismatch.
+ */
+bool loadParams(nn::Layer &model, const std::vector<float> &values);
+
+} // namespace ndp::core

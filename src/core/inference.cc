@@ -1,0 +1,514 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hw/devices.h"
+#include "models/throughput.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+#include "sim/wait_group.h"
+#include "storage/codec.h"
+
+namespace ndp::core {
+
+namespace {
+
+/** Host-side cores the paper dedicates to preprocess/decompress. */
+constexpr int kSrvCpuStageCores = 8;
+/** Label bytes returned per image by a PipeStore. */
+constexpr double kLabelBytes = 16.0;
+/** In-flight batches between pipeline stages. */
+constexpr size_t kStageDepth = 4;
+
+/** What a PipeStore reads per image and what the CPU must do to it. */
+struct StoreWork
+{
+    double readBytes = 0.0;
+    double uncompressedMB = 0.0;
+    bool needDecompress = false;
+    bool needPreprocess = false;
+};
+
+StoreWork
+storeWork(const models::ModelSpec &m, const NpeOptions &npe)
+{
+    StoreWork w;
+    if (!npe.offloadPreprocessing) {
+        // Raw JPEGs: decode+resize on the store's CPU; JPEG payloads
+        // do not deflate, so compression does not apply.
+        w.readBytes = models::kRawImageMB * 1e6;
+        w.needPreprocess = true;
+    } else if (npe.compressedBinaries) {
+        w.readBytes = m.inputMB() * 1e6 / kCompressionRatio;
+        w.uncompressedMB = m.inputMB();
+        w.needDecompress = true;
+    } else {
+        w.readBytes = m.inputMB() * 1e6;
+    }
+    return w;
+}
+
+double
+decompressSeconds(double uncompressed_mb, int cores)
+{
+    return uncompressed_mb / (storage::kDecompressMBps *
+                              static_cast<double>(cores));
+}
+
+double
+preprocessSeconds(double images, int cores)
+{
+    return images /
+           (kPreprocImgPerSecPerCore * static_cast<double>(cores));
+}
+
+struct StoreCtx
+{
+    StoreCtx(sim::Simulator &s, const hw::ServerSpec &spec)
+        : disk(s, spec.disk), cpu(s, spec.cpu.vcpus),
+          gpu(s, *spec.gpu, spec.nGpus), loaded(s, kStageDepth),
+          ready(s, kStageDepth)
+    {}
+
+    hw::Disk disk;
+    hw::CpuPool cpu;
+    hw::GpuExec gpu;
+    sim::Channel<int> loaded;
+    sim::Channel<int> ready;
+    uint64_t assigned = 0;
+    uint64_t done = 0;
+};
+
+sim::Task
+storeLoader(StoreCtx &st, StoreWork w, int batch)
+{
+    uint64_t left = st.assigned;
+    while (left > 0) {
+        int n = static_cast<int>(
+            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+        left -= static_cast<uint64_t>(n);
+        co_await st.disk.read(w.readBytes * n);
+        co_await st.loaded.put(n);
+    }
+    st.loaded.close();
+}
+
+sim::Task
+storeCpuStage(StoreCtx &st, StoreWork w, NpeOptions npe)
+{
+    while (true) {
+        auto n = co_await st.loaded.get();
+        if (!n)
+            break;
+        if (w.needDecompress) {
+            co_await st.cpu.run(
+                npe.decompressCores,
+                decompressSeconds(w.uncompressedMB * *n,
+                                  npe.decompressCores));
+        }
+        if (w.needPreprocess) {
+            co_await st.cpu.run(
+                npe.preprocessCores,
+                preprocessSeconds(static_cast<double>(*n),
+                                  npe.preprocessCores));
+        }
+        co_await st.ready.put(*n);
+    }
+    st.ready.close();
+}
+
+sim::Task
+storeGpuStage(StoreCtx &st, double sec_per_image, sim::WaitGroup &wg)
+{
+    while (true) {
+        auto n = co_await st.ready.get();
+        if (!n)
+            break;
+        co_await st.gpu.compute(sec_per_image * *n);
+        st.done += static_cast<uint64_t>(*n);
+    }
+    wg.done();
+}
+
+/** Unpipelined store: every batch walks all stages back to back. */
+sim::Task
+storeSerial(StoreCtx &st, StoreWork w, NpeOptions npe,
+            double sec_per_image, sim::WaitGroup &wg)
+{
+    uint64_t left = st.assigned;
+    while (left > 0) {
+        int n = static_cast<int>(std::min<uint64_t>(
+            static_cast<uint64_t>(npe.batchSize), left));
+        left -= static_cast<uint64_t>(n);
+        co_await st.disk.read(w.readBytes * n);
+        if (w.needDecompress) {
+            co_await st.cpu.run(
+                npe.decompressCores,
+                decompressSeconds(w.uncompressedMB * n,
+                                  npe.decompressCores));
+        }
+        if (w.needPreprocess) {
+            co_await st.cpu.run(
+                npe.preprocessCores,
+                preprocessSeconds(static_cast<double>(n),
+                                  npe.preprocessCores));
+        }
+        co_await st.gpu.compute(sec_per_image * n);
+        st.done += static_cast<uint64_t>(n);
+    }
+    wg.done();
+}
+
+} // namespace
+
+const char *
+srvVariantName(SrvVariant v)
+{
+    switch (v) {
+      case SrvVariant::RawRemote:
+        return "Typical";
+      case SrvVariant::RawLocal:
+        return "Ideal(raw)";
+      case SrvVariant::Ideal:
+        return "SRV-I";
+      case SrvVariant::Preprocessed:
+        return "SRV-P";
+      case SrvVariant::Compressed:
+        return "SRV-C";
+    }
+    return "?";
+}
+
+InferenceReport
+runNdpOfflineInference(const ExperimentConfig &cfg)
+{
+    const models::ModelSpec &m = *cfg.model;
+    InferenceReport rep;
+    rep.images = cfg.nImages;
+
+    if (!models::fitsInMemory(*cfg.storeSpec.gpu, m,
+                              cfg.npe.batchSize)) {
+        rep.oom = true;
+        return rep;
+    }
+
+    sim::Simulator s;
+    sim::WaitGroup wg(s);
+    StoreWork w = storeWork(m, cfg.npe);
+    double sec_per_image =
+        1.0 / models::deviceIps(*cfg.storeSpec.gpu, m,
+                                cfg.npe.batchSize);
+
+    std::vector<std::unique_ptr<StoreCtx>> stores;
+    stores.reserve(cfg.nStores);
+    uint64_t base = cfg.nImages / cfg.nStores;
+    uint64_t rem = cfg.nImages % cfg.nStores;
+    for (int i = 0; i < cfg.nStores; ++i) {
+        auto st = std::make_unique<StoreCtx>(s, cfg.storeSpec);
+        st->assigned = base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
+        stores.push_back(std::move(st));
+    }
+
+    wg.add(cfg.nStores);
+    for (auto &st : stores) {
+        if (cfg.npe.pipelined) {
+            s.spawn(storeLoader(*st, w, cfg.npe.batchSize));
+            s.spawn(storeCpuStage(*st, w, cfg.npe));
+            s.spawn(storeGpuStage(*st, sec_per_image, wg));
+        } else {
+            s.spawn(storeSerial(*st, w, cfg.npe, sec_per_image, wg));
+        }
+    }
+    s.run();
+
+    rep.seconds = s.now();
+    rep.ips = rep.seconds > 0.0
+                  ? static_cast<double>(cfg.nImages) / rep.seconds
+                  : 0.0;
+    rep.netBytes = kLabelBytes * static_cast<double>(cfg.nImages);
+
+    for (size_t i = 0; i < stores.size(); ++i) {
+        double gu = stores[i]->gpu.utilization();
+        double cu = stores[i]->cpu.utilization();
+        rep.gpuUtil += gu / static_cast<double>(stores.size());
+        rep.cpuUtil += cu / static_cast<double>(stores.size());
+        auto p = hw::serverPower(cfg.storeSpec, gu, cu);
+        rep.perServer.push_back(
+            {cfg.storeSpec.name + "#" + std::to_string(i), p});
+        rep.power += p;
+    }
+    rep.energyJ = rep.power.totalW() * rep.seconds;
+    return rep;
+}
+
+namespace {
+
+struct HostCtx
+{
+    HostCtx(sim::Simulator &s, const hw::ServerSpec &spec,
+            const hw::NicSpec &nic)
+        : gpus(s, *spec.gpu, spec.nGpus), cpu(s, spec.cpu.vcpus),
+          ingress(s, nic), arrived(s, 2 * kStageDepth),
+          ready(s, 2 * kStageDepth)
+    {}
+
+    hw::GpuExec gpus;
+    hw::CpuPool cpu;
+    hw::Link ingress;
+    sim::Channel<int> arrived;
+    sim::Channel<int> ready;
+    uint64_t done = 0;
+};
+
+/** Per-image bytes a storage server ships for each SRV variant. */
+double
+srvWireBytes(const models::ModelSpec &m, SrvVariant v)
+{
+    switch (v) {
+      case SrvVariant::RawRemote:
+        return models::kRawImageMB * 1e6;
+      case SrvVariant::Preprocessed:
+        return m.inputMB() * 1e6;
+      case SrvVariant::Compressed:
+        return m.inputMB() * 1e6 / kCompressionRatio;
+      default:
+        return 0.0; // host-local variants
+    }
+}
+
+sim::Task
+srvFeeder(HostCtx &host, hw::Disk &disk, uint64_t images, int batch,
+          double wire_bytes, sim::WaitGroup &feeders)
+{
+    uint64_t left = images;
+    while (left > 0) {
+        int n = static_cast<int>(
+            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+        left -= static_cast<uint64_t>(n);
+        co_await disk.read(wire_bytes * n);
+        co_await host.ingress.transfer(wire_bytes * n);
+        co_await host.arrived.put(n);
+    }
+    feeders.done();
+}
+
+/** Host-local producer (Ideal / RawLocal): data already present. */
+sim::Task
+srvLocalProducer(HostCtx &host, uint64_t images, int batch,
+                 sim::WaitGroup &feeders)
+{
+    uint64_t left = images;
+    while (left > 0) {
+        int n = static_cast<int>(
+            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+        left -= static_cast<uint64_t>(n);
+        co_await host.arrived.put(n);
+    }
+    feeders.done();
+}
+
+sim::Task
+srvCloser(HostCtx &host, sim::WaitGroup &feeders)
+{
+    co_await feeders.wait();
+    host.arrived.close();
+}
+
+sim::Task
+srvCpuStage(HostCtx &host, SrvVariant v, const models::ModelSpec &m)
+{
+    bool preprocess =
+        v == SrvVariant::RawRemote || v == SrvVariant::RawLocal;
+    bool decompress = v == SrvVariant::Compressed;
+    while (true) {
+        auto n = co_await host.arrived.get();
+        if (!n)
+            break;
+        if (decompress) {
+            co_await host.cpu.run(
+                kSrvCpuStageCores,
+                decompressSeconds(m.inputMB() * *n, kSrvCpuStageCores));
+        }
+        if (preprocess) {
+            co_await host.cpu.run(
+                kSrvCpuStageCores,
+                preprocessSeconds(static_cast<double>(*n),
+                                  kSrvCpuStageCores));
+        }
+        co_await host.ready.put(*n);
+    }
+    host.ready.close();
+}
+
+sim::Task
+srvGpuWorker(HostCtx &host, double sec_per_image, sim::WaitGroup &wg)
+{
+    while (true) {
+        auto n = co_await host.ready.get();
+        if (!n)
+            break;
+        co_await host.gpus.compute(sec_per_image * *n);
+        host.done += static_cast<uint64_t>(*n);
+    }
+    wg.done();
+}
+
+/** The §3.4 "Typical" system: no stage overlap at all. */
+sim::Task
+srvSerial(HostCtx &host, std::vector<std::unique_ptr<hw::Disk>> &disks,
+          SrvVariant v, const models::ModelSpec &m, uint64_t images,
+          int batch, double sec_per_image, sim::WaitGroup &wg)
+{
+    double wire = srvWireBytes(m, v);
+    bool preprocess =
+        v == SrvVariant::RawRemote || v == SrvVariant::RawLocal;
+    bool decompress = v == SrvVariant::Compressed;
+    uint64_t left = images;
+    size_t turn = 0;
+    while (left > 0) {
+        int n = static_cast<int>(
+            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+        left -= static_cast<uint64_t>(n);
+        if (wire > 0.0 && !disks.empty()) {
+            co_await disks[turn % disks.size()]->read(wire * n);
+            ++turn;
+            co_await host.ingress.transfer(wire * n);
+        }
+        if (decompress) {
+            co_await host.cpu.run(
+                kSrvCpuStageCores,
+                decompressSeconds(m.inputMB() * n, kSrvCpuStageCores));
+        }
+        if (preprocess) {
+            co_await host.cpu.run(
+                kSrvCpuStageCores,
+                preprocessSeconds(static_cast<double>(n),
+                                  kSrvCpuStageCores));
+        }
+        co_await host.gpus.compute(sec_per_image * n);
+        host.done += static_cast<uint64_t>(n);
+    }
+    wg.done();
+}
+
+} // namespace
+
+InferenceReport
+runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
+{
+    const models::ModelSpec &m = *cfg.model;
+    InferenceReport rep;
+    rep.images = cfg.nImages;
+
+    if (!models::fitsInMemory(*cfg.hostSpec.gpu, m, cfg.npe.batchSize)) {
+        rep.oom = true;
+        return rep;
+    }
+
+    sim::Simulator s;
+    HostCtx host(s, cfg.hostSpec, cfg.nic());
+    double sec_per_image =
+        1.0 / models::deviceIps(*cfg.hostSpec.gpu, m, cfg.npe.batchSize);
+
+    std::vector<std::unique_ptr<hw::Disk>> disks;
+    for (int i = 0; i < cfg.srvStorageServers; ++i)
+        disks.push_back(
+            std::make_unique<hw::Disk>(s, cfg.srvStoreSpec.disk));
+
+    sim::WaitGroup gpu_wg(s);
+    sim::WaitGroup feeders(s);
+    if (!cfg.npe.pipelined) {
+        gpu_wg.add(1);
+        s.spawn(srvSerial(host, disks, variant, m, cfg.nImages,
+                          cfg.npe.batchSize, sec_per_image, gpu_wg));
+    } else {
+        double wire = srvWireBytes(m, variant);
+        if (wire > 0.0) {
+            feeders.add(cfg.srvStorageServers);
+            uint64_t base = cfg.nImages / cfg.srvStorageServers;
+            uint64_t rem = cfg.nImages % cfg.srvStorageServers;
+            for (int i = 0; i < cfg.srvStorageServers; ++i) {
+                uint64_t share =
+                    base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
+                s.spawn(srvFeeder(host, *disks[i], share,
+                                  cfg.npe.batchSize, wire, feeders));
+            }
+        } else {
+            feeders.add(1);
+            s.spawn(srvLocalProducer(host, cfg.nImages,
+                                     cfg.npe.batchSize, feeders));
+        }
+        s.spawn(srvCloser(host, feeders));
+        s.spawn(srvCpuStage(host, variant, m));
+        gpu_wg.add(cfg.hostSpec.nGpus);
+        for (int g = 0; g < cfg.hostSpec.nGpus; ++g)
+            s.spawn(srvGpuWorker(host, sec_per_image, gpu_wg));
+    }
+    s.run();
+
+    rep.seconds = s.now();
+    rep.ips = rep.seconds > 0.0
+                  ? static_cast<double>(cfg.nImages) / rep.seconds
+                  : 0.0;
+    rep.netBytes = host.ingress.bytesMoved();
+    rep.gpuUtil = host.gpus.utilization();
+    rep.cpuUtil = host.cpu.utilization();
+
+    auto host_power =
+        hw::serverPower(cfg.hostSpec, rep.gpuUtil, rep.cpuUtil);
+    rep.perServer.push_back({cfg.hostSpec.name, host_power});
+    rep.power += host_power;
+    for (int i = 0; i < cfg.srvStorageServers; ++i) {
+        // Storage servers spend a little CPU on read service.
+        double cpu_util = disks[static_cast<size_t>(i)]->utilization() *
+                          2.0 / cfg.srvStoreSpec.cpu.vcpus;
+        auto p = hw::serverPower(cfg.srvStoreSpec, 0.0, cpu_util);
+        rep.perServer.push_back(
+            {cfg.srvStoreSpec.name + "#" + std::to_string(i), p});
+        rep.power += p;
+    }
+    rep.energyJ = rep.power.totalW() * rep.seconds;
+    return rep;
+}
+
+StageBreakdown
+npeStageTimes(const ExperimentConfig &cfg, const NpeOptions &npe,
+              bool fine_tuning)
+{
+    const models::ModelSpec &m = *cfg.model;
+    const hw::ServerSpec &spec = cfg.storeSpec;
+    StageBreakdown b;
+
+    if (fine_tuning) {
+        // Fine-tuning always consumes preprocessed binaries; the
+        // +Offload step does not apply (§5.4, Fig. 12a).
+        double read_bytes = npe.compressedBinaries
+                                ? m.inputMB() * 1e6 / kCompressionRatio
+                                : m.inputMB() * 1e6;
+        b.readS = read_bytes / (spec.disk.readMBps * 1e6);
+        if (npe.compressedBinaries) {
+            b.decompressS =
+                decompressSeconds(m.inputMB(), npe.decompressCores);
+        }
+        b.computeS = models::feSecondsPerImage(
+            *spec.gpu, m, m.classifierStart(), npe.batchSize);
+        return b;
+    }
+
+    StoreWork w = storeWork(m, npe);
+    b.readS = w.readBytes / (spec.disk.readMBps * 1e6);
+    if (w.needDecompress) {
+        b.decompressS =
+            decompressSeconds(w.uncompressedMB, npe.decompressCores);
+    }
+    if (w.needPreprocess)
+        b.preprocessS = preprocessSeconds(1.0, npe.preprocessCores);
+    b.computeS = 1.0 / models::deviceIps(*spec.gpu, m, npe.batchSize);
+    return b;
+}
+
+} // namespace ndp::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Offline-inference simulators: NDPipe PipeStores vs the centralized
+ * SRV configurations (§6.2), built on the discrete-event engine.
+ *
+ * NDPipe runs the NPE pipeline inside every PipeStore: load (disk) ->
+ * decompress/preprocess (CPU) -> FE&Cl (GPU); only labels leave the
+ * store. The SRV variants ship image data to a 2xV100 host first:
+ *
+ *  - RawRemote:    raw JPEGs over the network, host preprocesses
+ *                  (the "Typical" system of §3.4 / Fig. 5b)
+ *  - RawLocal:     raw images already on the host, host preprocesses
+ *                  (the "Ideal" system of §3.4)
+ *  - Ideal:        preprocessed binaries local to the host (SRV-I)
+ *  - Preprocessed: preprocessed binaries over the network (SRV-P)
+ *  - Compressed:   deflated binaries over the network, host
+ *                  decompresses on eight cores (SRV-C)
+ */
+
+#pragma once
+
+#include "core/config.h"
+#include "core/report.h"
+
+namespace ndp::core {
+
+enum class SrvVariant
+{
+    RawRemote,
+    RawLocal,
+    Ideal,
+    Preprocessed,
+    Compressed,
+};
+
+const char *srvVariantName(SrvVariant v);
+
+/** Offline inference across cfg.nStores PipeStores (Tuner idle). */
+InferenceReport runNdpOfflineInference(const ExperimentConfig &cfg);
+
+/** Offline inference on the SRV host fed by cfg.srvStorageServers. */
+InferenceReport runSrvOfflineInference(const ExperimentConfig &cfg,
+                                       SrvVariant variant);
+
+/**
+ * Per-image stage service times for a single PipeStore under the given
+ * NPE options (Fig. 12's task breakdown), in seconds per image.
+ */
+StageBreakdown npeStageTimes(const ExperimentConfig &cfg,
+                             const NpeOptions &npe, bool fine_tuning);
+
+} // namespace ndp::core

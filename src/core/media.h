@@ -1,0 +1,91 @@
+/**
+ * @file
+ * §7.1 extensions: NDPipe beyond photos.
+ *
+ * The paper sketches how the same near-data engine serves other media:
+ * video via key-frame extraction, audio via spectrogram transformation
+ * (AST), and documents via transformer embeddings. Each medium maps to
+ * a MediaProfile: a stored object of some size yields a number of
+ * analysis units (frames / spectrogram windows / text chunks), each
+ * unit costs CPU to extract and flows through a vision-sized model on
+ * the store's accelerator; only per-unit labels or small embedding
+ * vectors leave the store.
+ *
+ * runNdpMediaAnalysis() runs the NPE-style 3-stage pipeline per store;
+ * runSrvMediaAnalysis() ships whole raw objects to the central host
+ * first — the comparison that makes the data-reduction argument of
+ * §7.1 quantitative.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+#include "core/report.h"
+
+namespace ndp::core {
+
+struct MediaProfile
+{
+    std::string name;
+    /** Stored object size, MB (photo 2.7, video hundreds). */
+    double rawMB;
+    /** Analysis units per object (key frames, windows, chunks). */
+    double unitsPerObject;
+    /** CPU core-seconds to extract one unit from the raw object. */
+    double extractPerUnitS;
+    /** Model-input tensor per unit, MB. */
+    double tensorMBPerUnit;
+    /** Bytes leaving the store per unit (label or embedding). */
+    double resultBytesPerUnit;
+    /** Analysis model applied to each unit. */
+    const models::ModelSpec *model;
+    /** Store CPU cores dedicated to extraction. */
+    int extractCores = 2;
+};
+
+/** Photos, as a consistency baseline (matches the photo pipeline). */
+MediaProfile photoMedia();
+/** Video archive: key-frame extraction + CNN labeling ([39]). */
+MediaProfile videoMedia();
+/** Audio archive: spectrogram transform + CNN classification. */
+MediaProfile audioMedia();
+/** Document archive: transformer embeddings for downstream tasks. */
+MediaProfile documentMedia();
+
+std::vector<MediaProfile> allMedia();
+
+struct MediaReport
+{
+    /** Objects analyzed end to end. */
+    uint64_t objects = 0;
+    double seconds = 0.0;
+    /** Objects per second. */
+    double ops = 0.0;
+    /** Analysis units per second. */
+    double ups = 0.0;
+    /** Bytes that crossed the data-center network. */
+    double netBytes = 0.0;
+    hw::PowerBreakdown power;
+    double energyJ = 0.0;
+};
+
+/**
+ * Near-data analysis: each of cfg.nStores PipeStores pipelines
+ * read -> extract (CPU) -> model (GPU) over its share of
+ * @p n_objects; only results cross the network.
+ */
+MediaReport runNdpMediaAnalysis(const ExperimentConfig &cfg,
+                                const MediaProfile &media,
+                                uint64_t n_objects);
+
+/**
+ * Centralized analysis: storage servers ship whole raw objects to the
+ * SRV host, which extracts on 8 cores and analyzes on its two V100s.
+ */
+MediaReport runSrvMediaAnalysis(const ExperimentConfig &cfg,
+                                const MediaProfile &media,
+                                uint64_t n_objects);
+
+} // namespace ndp::core

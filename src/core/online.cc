@@ -1,0 +1,107 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "hw/devices.h"
+#include "models/throughput.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "sim/wait_group.h"
+
+namespace ndp::core {
+
+namespace {
+
+struct OnlineCtx
+{
+    OnlineCtx(sim::Simulator &s, const OnlineConfig &cfg)
+        : cpu(s, cfg.preprocessCores),
+          gpu(s, *cfg.server.gpu, cfg.server.nGpus)
+    {}
+
+    hw::CpuPool cpu;
+    hw::GpuExec gpu;
+    SampleStat latency;
+};
+
+/** One upload's journey: preprocess -> classify -> record latency. */
+sim::Task
+uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
+           double infer_s, sim::WaitGroup &wg)
+{
+    double arrived = s.now();
+    co_await ctx.cpu.run(1, preproc_s);
+    co_await ctx.gpu.compute(infer_s);
+    ctx.latency.add(s.now() - arrived);
+    wg.done();
+}
+
+/** Poisson arrival generator spawning upload processes. */
+sim::Task
+arrivalProc(sim::Simulator &s, OnlineCtx &ctx, OnlineConfig cfg,
+            double preproc_s, double infer_s, sim::WaitGroup &wg)
+{
+    ndp::Rng rng(cfg.seed);
+    for (uint64_t i = 0; i < cfg.nUploads; ++i) {
+        double gap =
+            -std::log(1.0 - rng.uniform()) / cfg.arrivalsPerSec;
+        co_await s.delay(gap);
+        s.spawn(uploadProc(s, ctx, preproc_s, infer_s, wg));
+    }
+}
+
+} // namespace
+
+OnlineReport
+runOnlineInference(const OnlineConfig &cfg)
+{
+    OnlineReport rep;
+    rep.uploads = cfg.nUploads;
+
+    sim::Simulator s;
+    OnlineCtx ctx(s, cfg);
+    sim::WaitGroup wg(s);
+    wg.add(static_cast<int>(cfg.nUploads));
+
+    // Online requests run at batch 1: latency, not throughput.
+    double preproc_s = 1.0 / kPreprocImgPerSecPerCore;
+    double infer_s =
+        1.0 / models::deviceIps(*cfg.server.gpu, *cfg.model, 1);
+
+    s.spawn(arrivalProc(s, ctx, cfg, preproc_s, infer_s, wg));
+    s.run();
+    s.reapFinished();
+
+    rep.seconds = s.now();
+    rep.throughput = rep.seconds > 0.0
+                         ? static_cast<double>(cfg.nUploads) /
+                               rep.seconds
+                         : 0.0;
+    rep.p50Ms = ctx.latency.percentile(50.0) * 1e3;
+    rep.p95Ms = ctx.latency.percentile(95.0) * 1e3;
+    rep.p99Ms = ctx.latency.percentile(99.0) * 1e3;
+    rep.meanMs = ctx.latency.mean() * 1e3;
+    rep.gpuUtil = ctx.gpu.utilization();
+    rep.cpuUtil = ctx.cpu.utilization();
+
+    // If the mean latency dwarfs the no-queue service time, the
+    // offered load exceeds capacity and the queue grew without bound.
+    double service_ms = (preproc_s + infer_s) * 1e3;
+    rep.saturated = rep.meanMs > 10.0 * service_ms;
+    return rep;
+}
+
+double
+onlineCapacity(const OnlineConfig &cfg)
+{
+    double preproc_s = 1.0 / kPreprocImgPerSecPerCore;
+    double infer_s =
+        1.0 / models::deviceIps(*cfg.server.gpu, *cfg.model, 1);
+    double cpu_cap = cfg.preprocessCores / preproc_s;
+    double gpu_cap = cfg.server.nGpus / infer_s;
+    return std::min(cpu_cap, gpu_cap);
+}
+
+} // namespace ndp::core

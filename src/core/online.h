@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Online-inference path (§3.1, Fig. 7, steps 1-3).
+ *
+ * New uploads hit the inference server in real time: each photo is
+ * decoded/preprocessed on a CPU core and classified on the server's
+ * GPU, and its label is indexed. Unlike the throughput-oriented
+ * offline path, what matters here is *latency* under a stochastic
+ * arrival process — this simulator drives a Poisson upload stream
+ * through the server and reports the latency distribution, which is
+ * also where the NPE's +Offload optimization gets the preprocessed
+ * binaries it stores next to the photos (§5.4).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "hw/specs.h"
+
+namespace ndp::core {
+
+struct OnlineConfig
+{
+    /** Mean Poisson upload rate, photos/s. */
+    double arrivalsPerSec = 60.0;
+    /** Uploads to simulate. */
+    uint64_t nUploads = 20000;
+    /** Inference-server instance. */
+    hw::ServerSpec server = hw::p32xlarge();
+    /** Classification model. */
+    const models::ModelSpec *model = &models::resnet50();
+    /** CPU cores available for preprocessing. */
+    int preprocessCores = 8;
+    uint64_t seed = 11;
+};
+
+struct OnlineReport
+{
+    uint64_t uploads = 0;
+    double seconds = 0.0;
+    /** Served throughput, photos/s. */
+    double throughput = 0.0;
+    /** End-to-end latency percentiles, milliseconds. */
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+    double gpuUtil = 0.0;
+    double cpuUtil = 0.0;
+    /** True if the server cannot sustain the offered load. */
+    bool saturated = false;
+};
+
+/** Drive a Poisson upload stream through the inference server. */
+OnlineReport runOnlineInference(const OnlineConfig &cfg);
+
+/** Highest sustainable upload rate for the configuration, photos/s. */
+double onlineCapacity(const OnlineConfig &cfg);
+
+} // namespace ndp::core

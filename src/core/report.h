@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Result records produced by the inference/training simulators.
+ *
+ * Every run reports wall time, throughput, network traffic, and a
+ * cluster power/energy roll-up derived from component utilizations —
+ * the quantities the paper's figures plot (IPS, minutes, TB, IPS/W,
+ * IPS/kJ, $).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/power.h"
+
+namespace ndp::core {
+
+struct InferenceReport
+{
+    double seconds = 0.0;
+    uint64_t images = 0;
+    /** Offline-inference throughput. */
+    double ips = 0.0;
+    /** Bytes moved over the data-center network. */
+    double netBytes = 0.0;
+    /** Average cluster power while the run was active. */
+    hw::PowerBreakdown power;
+    std::vector<hw::ServerPowerSample> perServer;
+    double energyJ = 0.0;
+    /** True if the batch did not fit in accelerator memory. */
+    bool oom = false;
+
+    /** Mean utilizations (for sanity checks and Fig. 14 analysis). */
+    double gpuUtil = 0.0;
+    double cpuUtil = 0.0;
+
+    double
+    ipsPerWatt() const
+    {
+        double w = power.totalW();
+        return w > 0.0 ? ips / w : 0.0;
+    }
+};
+
+/** Per-stage time breakdown of one pipeline (Figs. 5, 6, 9, 12). */
+struct StageBreakdown
+{
+    double readS = 0.0;
+    double decompressS = 0.0;
+    double preprocessS = 0.0;
+    double transferS = 0.0;
+    /** Feature extraction / FE&Cl GPU time. */
+    double computeS = 0.0;
+    /** Tuner-side classifier training time. */
+    double tunerS = 0.0;
+    /** Weight-synchronization time (naive NDP / +FC). */
+    double syncS = 0.0;
+};
+
+struct TrainReport
+{
+    double seconds = 0.0;
+    uint64_t images = 0;
+    /** Feature-extraction throughput across stores. */
+    double feIps = 0.0;
+    /** End-to-end images per second of wall time. */
+    double trainIps = 0.0;
+
+    /** Feature / input bytes sent stores -> Tuner. */
+    double dataTrafficBytes = 0.0;
+    /** Weight-synchronization bytes (only when classifier is split). */
+    double syncTrafficBytes = 0.0;
+    /** Model redistribution bytes (Check-N-Run deltas). */
+    double distributionBytes = 0.0;
+
+    StageBreakdown stages;
+
+    hw::PowerBreakdown power;
+    std::vector<hw::ServerPowerSample> perServer;
+    double energyJ = 0.0;
+
+    double
+    ipsPerKj() const
+    {
+        return energyJ > 0.0
+                   ? static_cast<double>(images) / (energyJ / 1000.0)
+                   : 0.0;
+    }
+};
+
+} // namespace ndp::core

@@ -1,0 +1,169 @@
+#include "core/service.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "core/delta.h"
+#include "nn/loss.h"
+
+namespace ndp::core {
+
+PhotoService::PhotoService(const Config &c)
+    : cfg(c), rng(c.seed ^ 0xabcdef12345ull)
+{
+    world_ = std::make_unique<data::PhotoWorld>(cfg.profile.world);
+    Rng model_rng(cfg.seed);
+    model_ = std::make_unique<data::VisionModel>(
+        cfg.profile.world.latentDim, cfg.profile.featureDim,
+        cfg.profile.world.maxClasses, model_rng);
+}
+
+void
+PhotoService::bootstrap()
+{
+    auto train = world_->poolDataset();
+    auto test = world_->sampleTestSet(cfg.profile.testSetSize);
+    model_->fullTrain(train, test, cfg.profile.fullTrainCfg);
+    model_->version = 1;
+    labelRange(0, world_->numImages());
+    labeledUpTo = world_->numImages();
+}
+
+void
+PhotoService::labelRange(size_t first_idx, size_t last_idx)
+{
+    const auto &pool = world_->pool();
+    assert(last_idx <= pool.size());
+    if (first_idx >= last_idx)
+        return;
+
+    size_t n = last_idx - first_idx;
+    nn::Tensor x(n, world_->latentDim());
+    for (size_t i = 0; i < n; ++i) {
+        std::memcpy(x.rowPtr(i), world_->latentOf(pool[first_idx + i]),
+                    world_->latentDim() * sizeof(float));
+    }
+    nn::Tensor logits = model_->forward(x);
+    auto preds = nn::argmaxRows(logits);
+    for (size_t i = 0; i < n; ++i) {
+        labelDb.upsert(pool[first_idx + i].id, preds[i],
+                       model_->version);
+    }
+}
+
+void
+PhotoService::advanceDay()
+{
+    world_->advanceDays(1);
+    // Online inference labels the new uploads as they arrive (Fig. 7).
+    labelRange(labeledUpTo, world_->numImages());
+    labeledUpTo = world_->numImages();
+}
+
+void
+PhotoService::advanceDays(int days)
+{
+    for (int d = 0; d < days; ++d)
+        advanceDay();
+}
+
+nn::EvalResult
+PhotoService::evaluateCurrentModel(size_t test_n)
+{
+    auto test = world_->sampleTestSet(test_n);
+    return nn::evaluate(*model_, test);
+}
+
+PhotoService::FineTuneOutcome
+PhotoService::fineTune()
+{
+    FineTuneOutcome out;
+    out.top1Before = evaluateCurrentModel().top1;
+
+    auto params_before = flattenParams(*model_);
+
+    auto curated = world_->recencyBiasedDataset(
+        world_->numImages(), cfg.profile.curatedRecentShare,
+        cfg.profile.curatedWindowDays);
+    auto test = world_->sampleTestSet(cfg.profile.testSetSize);
+    auto feat_test = model_->extractFeatures(test);
+
+    // Split the curated set into N_run sub-datasets, then shard each
+    // run's feature extraction across the PipeStores — functionally
+    // identical to FT-DMP's data parallelism because the weight-freeze
+    // backbone needs no synchronization (§5.1).
+    model_->freezeBackbone(true);
+    auto runs = curated.shards(static_cast<size_t>(cfg.nRun));
+    out.shardSizes.assign(static_cast<size_t>(cfg.nPipeStores), 0);
+    for (auto &run_ds : runs) {
+        nn::Dataset run_features;
+        auto shards = run_ds.shards(
+            static_cast<size_t>(cfg.nPipeStores));
+        for (size_t s = 0; s < shards.size(); ++s) {
+            auto feats = model_->extractFeatures(shards[s]);
+            out.shardSizes[s] += feats.size();
+            out.featureBytes += feats.size() *
+                                feats.featureDim() * sizeof(float);
+            run_features.append(feats);
+        }
+        auto result = model_->fineTuneOnFeatures(
+            run_features, feat_test, cfg.profile.fineTuneCfg);
+        out.epochs += result.epochsRun;
+    }
+    model_->freezeBackbone(false);
+    model_->version += 1;
+    out.newModelVersion = model_->version;
+
+    auto params_after = flattenParams(*model_);
+    ModelDelta delta = encodeDelta(params_before, params_after);
+    out.deltaBytes = delta.payload.size();
+    out.fullModelBytes = params_after.size() * sizeof(float);
+    out.deltaReduction = delta.reductionFactor();
+
+    auto ev = evaluateCurrentModel();
+    out.top1After = ev.top1;
+    out.top5After = ev.top5;
+    return out;
+}
+
+size_t
+PhotoService::refreshLabels()
+{
+    const auto &pool = world_->pool();
+    size_t changed = 0;
+    constexpr size_t chunk = 2048;
+    for (size_t start = 0; start < pool.size(); start += chunk) {
+        size_t end = std::min(start + chunk, pool.size());
+        size_t n = end - start;
+        nn::Tensor x(n, world_->latentDim());
+        for (size_t i = 0; i < n; ++i) {
+            std::memcpy(x.rowPtr(i),
+                        world_->latentOf(pool[start + i]),
+                        world_->latentDim() * sizeof(float));
+        }
+        nn::Tensor logits = model_->forward(x);
+        auto preds = nn::argmaxRows(logits);
+        for (size_t i = 0; i < n; ++i) {
+            auto old_entry = labelDb.lookup(pool[start + i].id);
+            if (!old_entry || old_entry->label != preds[i])
+                ++changed;
+            labelDb.upsert(pool[start + i].id, preds[i],
+                           model_->version);
+        }
+    }
+    return changed;
+}
+
+std::vector<uint64_t>
+PhotoService::search(int label) const
+{
+    return labelDb.search(label);
+}
+
+size_t
+PhotoService::outdatedLabelCount() const
+{
+    return labelDb.countOutdated(model_->version);
+}
+
+} // namespace ndp::core

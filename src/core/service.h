@@ -1,0 +1,107 @@
+/**
+ * @file
+ * PhotoService: the end-to-end functional photo storage system.
+ *
+ * Ties together the drifting photo world, the vision model, the label
+ * database, and Check-N-Run delta distribution into the full lifecycle
+ * of §3.1 / Fig. 7: uploads get online-inferred labels, the label
+ * index serves search, FT-DMP fine-tuning refreshes the model against
+ * drift (sharding feature extraction across simulated PipeStores), and
+ * offline inference refreshes stale labels afterwards.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/backbone.h"
+#include "data/profiles.h"
+#include "data/world.h"
+#include "storage/label_db.h"
+
+namespace ndp::core {
+
+class PhotoService
+{
+  public:
+    struct Config
+    {
+        data::DatasetProfile profile = data::imagenet1kProfile();
+        /** PipeStores the functional FT-DMP shards features across. */
+        int nPipeStores = 4;
+        /** Pipeline runs for fine-tuning (N_run). */
+        int nRun = 1;
+        uint64_t seed = 7;
+    };
+
+    struct FineTuneOutcome
+    {
+        int epochs = 0;
+        double top1Before = 0.0;
+        double top1After = 0.0;
+        double top5After = 0.0;
+        /** Feature bytes the PipeStores would ship to the Tuner. */
+        uint64_t featureBytes = 0;
+        /** Per-store shard sizes actually extracted. */
+        std::vector<size_t> shardSizes;
+        /** Check-N-Run delta size, bytes. */
+        size_t deltaBytes = 0;
+        /** Full fp32 model size, bytes. */
+        size_t fullModelBytes = 0;
+        double deltaReduction = 0.0;
+        int newModelVersion = 0;
+    };
+
+    explicit PhotoService(const Config &cfg);
+
+    /** Train the day-0 model and label the whole pool with it. */
+    void bootstrap();
+
+    /** One day passes: uploads arrive and are online-inferred. */
+    void advanceDay();
+    void advanceDays(int days);
+
+    /** Current-model accuracy on a fresh current-distribution test. */
+    nn::EvalResult evaluateCurrentModel(size_t test_n = 2000);
+
+    /**
+     * FT-DMP fine-tuning: curate a recency-biased training set, shard
+     * feature extraction across the simulated PipeStores, train the
+     * classifier Tuner-side (optionally in nRun pipelined runs), bump
+     * the model version, and encode the Check-N-Run delta.
+     */
+    FineTuneOutcome fineTune();
+
+    /**
+     * Offline inference: relabel every stored photo with the current
+     * model. @return number of labels that changed.
+     */
+    size_t refreshLabels();
+
+    /** Photo ids currently indexed under @p label. */
+    std::vector<uint64_t> search(int label) const;
+
+    int modelVersion() const { return model_->version; }
+    const storage::LabelDatabase &labels() const { return labelDb; }
+    data::PhotoWorld &world() { return *world_; }
+    data::VisionModel &model() { return *model_; }
+    const Config &config() const { return cfg; }
+
+    /** Photos whose stored label came from an older model version. */
+    size_t outdatedLabelCount() const;
+
+  private:
+    void labelRange(size_t first_idx, size_t last_idx);
+
+    Config cfg;
+    std::unique_ptr<data::PhotoWorld> world_;
+    std::unique_ptr<data::VisionModel> model_;
+    storage::LabelDatabase labelDb;
+    Rng rng;
+    /** Pool index up to which photos have been labeled. */
+    size_t labeledUpTo = 0;
+};
+
+} // namespace ndp::core

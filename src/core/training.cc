@@ -1,0 +1,613 @@
+#include "core/training.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "hw/devices.h"
+#include "models/throughput.h"
+#include "sim/barrier.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+#include "sim/wait_group.h"
+#include "storage/codec.h"
+
+namespace ndp::core {
+
+namespace {
+
+/** Sparse-delta compression achieved on the trainable layers'
+ *  difference (Check-N-Run [29]); yields the paper's "up to 427.4x"
+ *  traffic reduction vs shipping the full ResNet50 model. */
+constexpr double kDeltaCompressFactor = 34.0;
+
+constexpr size_t kStageDepth = 4;
+
+/** (run, images) token flowing through a store's FE pipeline. */
+struct RunBatch
+{
+    int run;
+    int n;
+};
+
+struct TrainStoreCtx
+{
+    TrainStoreCtx(sim::Simulator &s, const hw::ServerSpec &spec)
+        : disk(s, spec.disk), cpu(s, spec.cpu.vcpus),
+          gpu(s, *spec.gpu, spec.nGpus), loaded(s, kStageDepth),
+          decompressed(s, kStageDepth)
+    {}
+
+    hw::Disk disk;
+    hw::CpuPool cpu;
+    hw::GpuExec gpu;
+    sim::Channel<RunBatch> loaded;
+    sim::Channel<RunBatch> decompressed;
+};
+
+/** Everything the coroutines share for one FT-DMP run. */
+struct FtDmpEnv
+{
+    FtDmpEnv(sim::Simulator &s, const ExperimentConfig &cfg, int n_run)
+        : sim(s), ingress(s, cfg.nic()), tunerGpu(s, *cfg.tunerSpec.gpu,
+                                                  cfg.tunerSpec.nGpus)
+    {
+        // The Tuner spools arriving features to its local NVMe before
+        // each training run (§5.2), so the feature path exerts no
+        // back-pressure on the stores: effectively unbounded buffers.
+        constexpr size_t spool = static_cast<size_t>(1) << 40;
+        for (int r = 0; r < n_run; ++r) {
+            runFeatures.push_back(
+                std::make_unique<sim::Channel<int>>(s, spool));
+            tunerDone.push_back(std::make_unique<sim::WaitGroup>(s));
+            tunerDone.back()->add(1);
+        }
+    }
+
+    sim::Simulator &sim;
+    hw::Link ingress;
+    hw::GpuExec tunerGpu;
+    std::vector<std::unique_ptr<sim::Channel<int>>> runFeatures;
+    std::vector<std::unique_ptr<sim::WaitGroup>> tunerDone;
+
+    StageBreakdown stages;
+    double dataTraffic = 0.0;
+    double syncTraffic = 0.0;
+    double feEndTime = 0.0;
+};
+
+/** Images store @p s processes in run @p r. */
+uint64_t
+shareOf(uint64_t total, int n_run, int n_stores, int r, int s)
+{
+    uint64_t run_imgs = total / static_cast<uint64_t>(n_run) +
+                        (static_cast<uint64_t>(r) <
+                                 total % static_cast<uint64_t>(n_run)
+                             ? 1
+                             : 0);
+    return run_imgs / static_cast<uint64_t>(n_stores) +
+           (static_cast<uint64_t>(s) <
+                    run_imgs % static_cast<uint64_t>(n_stores)
+                ? 1
+                : 0);
+}
+
+/**
+ * Store-side feature extraction runs the NPE 3-stage pipeline (§5.4):
+ * a loader, a decompressor, and a GPU+ship stage, connected by bounded
+ * channels so disk, CPU and GPU overlap across batches.
+ * @{
+ */
+sim::Task
+storeFeLoader(FtDmpEnv &env, TrainStoreCtx &st,
+              const ExperimentConfig &cfg, const TrainOptions &opt,
+              int store_idx)
+{
+    const models::ModelSpec &m = *cfg.model;
+    double read_bytes = m.inputMB() * 1e6 / kCompressionRatio;
+    for (int r = 0; r < opt.nRun; ++r) {
+        if (!opt.pipelined && r > 0)
+            co_await env.tunerDone[r - 1]->wait();
+        uint64_t left = shareOf(cfg.nImages, opt.nRun, cfg.nStores, r,
+                                store_idx);
+        while (left > 0) {
+            int n = static_cast<int>(std::min<uint64_t>(
+                static_cast<uint64_t>(opt.feBatch), left));
+            left -= static_cast<uint64_t>(n);
+            double read_t = st.disk.readServiceTime(read_bytes * n);
+            co_await st.disk.read(read_bytes * n);
+            env.stages.readS += read_t;
+            co_await st.loaded.put(RunBatch{r, n});
+        }
+    }
+    st.loaded.close();
+}
+
+sim::Task
+storeFeCpuStage(FtDmpEnv &env, TrainStoreCtx &st,
+                const ExperimentConfig &cfg)
+{
+    const models::ModelSpec &m = *cfg.model;
+    while (true) {
+        auto b = co_await st.loaded.get();
+        if (!b)
+            break;
+        double dec_t = m.inputMB() * b->n /
+                       (storage::kDecompressMBps *
+                        cfg.npe.decompressCores);
+        co_await st.cpu.run(cfg.npe.decompressCores, dec_t);
+        env.stages.decompressS += dec_t;
+        co_await st.decompressed.put(*b);
+    }
+    st.decompressed.close();
+}
+
+sim::Task
+storeFeGpuStage(FtDmpEnv &env, TrainStoreCtx &st,
+                const ExperimentConfig &cfg, const TrainOptions &opt,
+                size_t cut, int store_idx, sim::WaitGroup &stores_wg)
+{
+    const models::ModelSpec &m = *cfg.model;
+    double fe_per_image = models::feSecondsPerImage(
+                              *cfg.storeSpec.gpu, m, cut, opt.feBatch) /
+                          opt.speedOf(store_idx);
+    double feature_bytes = m.transferMBAt(cut) * 1e6;
+    while (true) {
+        auto b = co_await st.decompressed.get();
+        if (!b)
+            break;
+        if (fe_per_image > 0.0) {
+            co_await st.gpu.compute(fe_per_image * b->n);
+            env.stages.computeS += fe_per_image * b->n;
+        }
+        double wire = feature_bytes * b->n;
+        env.stages.transferS += env.ingress.serviceTime(wire);
+        co_await env.ingress.transfer(wire);
+        env.dataTraffic += wire;
+        co_await env.runFeatures[b->run]->put(b->n);
+        env.feEndTime = std::max(env.feEndTime, env.sim.now());
+    }
+    stores_wg.done();
+}
+/** @} */
+
+/**
+ * Naive-NDP store ("+FC"): the whole model, classifier included, runs
+ * on the store; every iteration pays a weight synchronization over the
+ * shared network (§4.1).
+ */
+sim::Task
+storeLocalTrainProc(FtDmpEnv &env, TrainStoreCtx &st,
+                    const ExperimentConfig &cfg, const TrainOptions &opt,
+                    int store_idx, sim::Barrier &sync_barrier,
+                    sim::WaitGroup &stores_wg)
+{
+    const models::ModelSpec &m = *cfg.model;
+    // Naive NDP predates the NPE: binaries are stored uncompressed.
+    double read_bytes = m.inputMB() * 1e6;
+    // Epoch 1 extracts and caches features (the weight-freeze forward
+    // is identical to inference, §2.1); later epochs retrain the
+    // classifier from the cache. Every iteration pays the all-reduce
+    // of the trainable weights across stores — the cost FT-DMP exists
+    // to eliminate — and the all-reduce is a fleet-wide barrier: the
+    // fastest store waits for the slowest.
+    double speed = opt.speedOf(store_idx);
+    double fe_per_image =
+        models::feSecondsPerImage(*cfg.storeSpec.gpu, m,
+                                  m.classifierStart(), opt.feBatch) /
+        speed;
+    // Data parallelism keeps the *global* batch fixed, so each store
+    // iterates (and synchronizes) more often as stores are added —
+    // the linear scaling §4.1 observes.
+    int store_batch =
+        std::max(1, opt.trainBatch / std::max(1, cfg.nStores));
+    double head_per_image =
+        models::tunerEpochSecondsPerImage(*cfg.storeSpec.gpu, m,
+                                          store_batch) /
+        speed;
+    double sync_bytes_per_iter =
+        2.0 * m.trainableParamsM() * 1e6 * 4.0;
+
+    for (int r = 0; r < opt.nRun; ++r) {
+        uint64_t share = shareOf(cfg.nImages, opt.nRun, cfg.nStores, r,
+                                 store_idx);
+        // Store 0 always holds the largest share; every store runs
+        // the same number of all-reduce rounds so the barrier closes.
+        uint64_t max_share =
+            shareOf(cfg.nImages, opt.nRun, cfg.nStores, r, 0);
+        uint64_t iters_per_epoch =
+            (max_share + static_cast<uint64_t>(store_batch) - 1) /
+            static_cast<uint64_t>(store_batch);
+        for (int epoch = 0; epoch < opt.tunerEpochs; ++epoch) {
+            uint64_t left = share;
+            for (uint64_t it = 0; it < iters_per_epoch; ++it) {
+                int n = static_cast<int>(std::min<uint64_t>(
+                    static_cast<uint64_t>(store_batch), left));
+                left -= static_cast<uint64_t>(n);
+
+                if (n > 0 && epoch == 0) {
+                    double read_t =
+                        st.disk.readServiceTime(read_bytes * n);
+                    co_await st.disk.read(read_bytes * n);
+                    env.stages.readS += read_t;
+
+                    co_await st.gpu.compute(fe_per_image * n);
+                    env.stages.computeS += fe_per_image * n;
+                }
+                if (n > 0) {
+                    co_await st.gpu.compute(head_per_image * n);
+                    env.stages.computeS += head_per_image * n;
+                }
+
+                env.stages.syncS +=
+                    env.ingress.serviceTime(sync_bytes_per_iter);
+                co_await env.ingress.transfer(sync_bytes_per_iter);
+                env.syncTraffic += sync_bytes_per_iter;
+                co_await sync_barrier.arrive();
+            }
+        }
+        env.feEndTime = std::max(env.feEndTime, env.sim.now());
+    }
+    stores_wg.done();
+}
+
+/** Tuner: ingest features per run, then train the classifier. */
+sim::Task
+tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
+          const TrainOptions &opt, size_t cut)
+{
+    const models::ModelSpec &m = *cfg.model;
+    double ingest_per_image = models::tunerIngestSecondsPerImage(
+        *cfg.tunerSpec.gpu, m, cut, opt.feBatch);
+    double epoch_per_image = models::tunerEpochSecondsPerImage(
+        *cfg.tunerSpec.gpu, m, opt.trainBatch);
+
+    for (int r = 0; r < opt.nRun; ++r) {
+        uint64_t run_imgs =
+            cfg.nImages / static_cast<uint64_t>(opt.nRun) +
+            (static_cast<uint64_t>(r) <
+                     cfg.nImages % static_cast<uint64_t>(opt.nRun)
+                 ? 1
+                 : 0);
+        uint64_t seen = 0;
+        while (seen < run_imgs) {
+            auto n = co_await env.runFeatures[r]->get();
+            assert(n && "feature channel closed early");
+            seen += static_cast<uint64_t>(*n);
+            if (ingest_per_image > 0.0) {
+                co_await env.tunerGpu.compute(ingest_per_image * *n);
+                env.stages.tunerS += ingest_per_image * *n;
+            }
+        }
+        double train_t = epoch_per_image *
+                         static_cast<double>(run_imgs) *
+                         static_cast<double>(opt.tunerEpochs);
+        co_await env.tunerGpu.compute(train_t);
+        env.stages.tunerS += train_t;
+        env.tunerDone[r]->done();
+    }
+}
+
+/** Check-N-Run delta redistribution to every store (§5). */
+sim::Task
+deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
+                  const TrainOptions &opt, double *out_bytes)
+{
+    co_await env.tunerDone[static_cast<size_t>(opt.nRun) - 1]->wait();
+    double delta_bytes = cfg.model->trainableParamsM() * 1e6 * 4.0 /
+                         kDeltaCompressFactor;
+    for (int i = 0; i < cfg.nStores; ++i) {
+        co_await env.ingress.transfer(delta_bytes);
+        *out_bytes += delta_bytes;
+    }
+}
+
+} // namespace
+
+TrainReport
+runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
+{
+    const models::ModelSpec &m = *cfg.model;
+    size_t cut = opt.resolveCut(m);
+    assert(cut <= m.numBlocks());
+    bool classifier_on_stores = m.cutSplitsClassifier(cut);
+
+    TrainReport rep;
+    rep.images = cfg.nImages;
+
+    sim::Simulator s;
+    FtDmpEnv env(s, cfg, opt.nRun);
+    sim::WaitGroup stores_wg(s);
+    stores_wg.add(cfg.nStores);
+    sim::Barrier sync_barrier(s, cfg.nStores);
+
+    std::vector<std::unique_ptr<TrainStoreCtx>> stores;
+    for (int i = 0; i < cfg.nStores; ++i)
+        stores.push_back(
+            std::make_unique<TrainStoreCtx>(s, cfg.storeSpec));
+
+    for (int i = 0; i < cfg.nStores; ++i) {
+        if (classifier_on_stores) {
+            s.spawn(storeLocalTrainProc(env, *stores[i], cfg, opt, i,
+                                        sync_barrier, stores_wg));
+        } else {
+            s.spawn(storeFeLoader(env, *stores[i], cfg, opt, i));
+            s.spawn(storeFeCpuStage(env, *stores[i], cfg));
+            s.spawn(storeFeGpuStage(env, *stores[i], cfg, opt, cut,
+                                    i, stores_wg));
+        }
+    }
+    if (classifier_on_stores) {
+        // No Tuner stage; the stores converge among themselves. Mark
+        // the tuner gates done so delta distribution can proceed.
+        for (auto &wg : env.tunerDone)
+            wg->done();
+    } else {
+        s.spawn(tunerProc(env, cfg, opt, cut));
+    }
+    if (opt.distributeDeltas)
+        s.spawn(deltaDistribution(env, cfg, opt, &rep.distributionBytes));
+
+    s.run();
+
+    rep.seconds = s.now();
+    rep.trainIps = rep.seconds > 0.0
+                       ? static_cast<double>(cfg.nImages) / rep.seconds
+                       : 0.0;
+    rep.feIps = env.feEndTime > 0.0
+                    ? static_cast<double>(cfg.nImages) / env.feEndTime
+                    : 0.0;
+    rep.dataTrafficBytes = env.dataTraffic;
+    rep.syncTrafficBytes = env.syncTraffic;
+    rep.stages = env.stages;
+
+    for (size_t i = 0; i < stores.size(); ++i) {
+        double gu = stores[i]->gpu.utilization();
+        double cu = stores[i]->cpu.utilization();
+        auto p = hw::serverPower(cfg.storeSpec, gu, cu);
+        rep.perServer.push_back(
+            {cfg.storeSpec.name + "#" + std::to_string(i), p});
+        rep.power += p;
+    }
+    auto tuner_power = hw::serverPower(
+        cfg.tunerSpec, env.tunerGpu.utilization(), 0.05);
+    rep.perServer.push_back({cfg.tunerSpec.name, tuner_power});
+    rep.power += tuner_power;
+    rep.energyJ = rep.power.totalW() * rep.seconds;
+    return rep;
+}
+
+namespace {
+
+struct SrvTrainCtx
+{
+    SrvTrainCtx(sim::Simulator &s, const ExperimentConfig &cfg)
+        : gpus(s, *cfg.hostSpec.gpu, cfg.hostSpec.nGpus),
+          cpu(s, cfg.hostSpec.cpu.vcpus), ingress(s, cfg.nic()),
+          arrived(s, 2 * kStageDepth), ready(s, 2 * kStageDepth)
+    {}
+
+    hw::GpuExec gpus;
+    hw::CpuPool cpu;
+    hw::Link ingress;
+    sim::Channel<int> arrived;
+    sim::Channel<int> ready;
+};
+
+sim::Task
+srvTrainFeeder(SrvTrainCtx &host, hw::Disk &disk, uint64_t images,
+               int batch, double wire_bytes, sim::WaitGroup &feeders,
+               StageBreakdown &stages)
+{
+    uint64_t left = images;
+    while (left > 0) {
+        int n = static_cast<int>(
+            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+        left -= static_cast<uint64_t>(n);
+        stages.readS += disk.readServiceTime(wire_bytes * n);
+        co_await disk.read(wire_bytes * n);
+        stages.transferS += host.ingress.serviceTime(wire_bytes * n);
+        co_await host.ingress.transfer(wire_bytes * n);
+        co_await host.arrived.put(n);
+    }
+    feeders.done();
+}
+
+sim::Task
+srvTrainCloser(SrvTrainCtx &host, sim::WaitGroup &feeders)
+{
+    co_await feeders.wait();
+    host.arrived.close();
+}
+
+sim::Task
+srvTrainCpu(SrvTrainCtx &host, bool decompress,
+            const models::ModelSpec &m, StageBreakdown &stages)
+{
+    constexpr int cores = 8;
+    while (true) {
+        auto n = co_await host.arrived.get();
+        if (!n)
+            break;
+        if (decompress) {
+            double t =
+                m.inputMB() * *n / (storage::kDecompressMBps * cores);
+            co_await host.cpu.run(cores, t);
+            stages.decompressS += t;
+        }
+        co_await host.ready.put(*n);
+    }
+    host.ready.close();
+}
+
+sim::Task
+srvTrainGpuWorker(SrvTrainCtx &host, double fe_per_image,
+                  sim::WaitGroup &wg, StageBreakdown &stages)
+{
+    while (true) {
+        auto n = co_await host.ready.get();
+        if (!n)
+            break;
+        co_await host.gpus.compute(fe_per_image * *n);
+        stages.computeS += fe_per_image * *n;
+    }
+    wg.done();
+}
+
+sim::Task
+srvClassifierTrain(SrvTrainCtx &host, sim::WaitGroup &fe_done,
+                   double seconds, StageBreakdown &stages)
+{
+    co_await fe_done.wait();
+    co_await host.gpus.compute(seconds);
+    stages.tunerS += seconds;
+}
+
+/** Fully serial "Typical" flow (§3.4): read -> transfer -> FE per
+ *  batch, no overlap. */
+sim::Task
+srvTrainSerial(SrvTrainCtx &host,
+               std::vector<std::unique_ptr<hw::Disk>> &disks,
+               double wire_bytes, uint64_t images, int batch,
+               double fe_per_image, sim::WaitGroup &done,
+               StageBreakdown &stages)
+{
+    uint64_t left = images;
+    size_t turn = 0;
+    while (left > 0) {
+        int n = static_cast<int>(
+            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+        left -= static_cast<uint64_t>(n);
+        if (wire_bytes > 0.0 && !disks.empty()) {
+            hw::Disk &d = *disks[turn % disks.size()];
+            ++turn;
+            stages.readS += d.readServiceTime(wire_bytes * n);
+            co_await d.read(wire_bytes * n);
+            stages.transferS += host.ingress.serviceTime(wire_bytes * n);
+            co_await host.ingress.transfer(wire_bytes * n);
+        }
+        co_await host.gpus.compute(fe_per_image * n);
+        stages.computeS += fe_per_image * n;
+    }
+    done.done();
+}
+
+/** Host-local producer for the Ideal fine-tuning setup. */
+sim::Task
+srvTrainLocalProducer(SrvTrainCtx &host, uint64_t images, int batch,
+                      sim::WaitGroup &feeders)
+{
+    uint64_t left = images;
+    while (left > 0) {
+        int n = static_cast<int>(
+            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+        left -= static_cast<uint64_t>(n);
+        co_await host.arrived.put(n);
+    }
+    feeders.done();
+}
+
+} // namespace
+
+TrainReport
+runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
+                 int tuner_epochs, bool pipelined)
+{
+    const models::ModelSpec &m = *cfg.model;
+    TrainReport rep;
+    rep.images = cfg.nImages;
+
+    sim::Simulator s;
+    SrvTrainCtx host(s, cfg);
+    size_t cut = m.classifierStart();
+    double fe_per_image = models::feSecondsPerImage(
+        *cfg.hostSpec.gpu, m, cut, cfg.npe.batchSize);
+    double ct_seconds =
+        models::tunerEpochSecondsPerImage(*cfg.hostSpec.gpu, m,
+                                          kTrainBatch) *
+        static_cast<double>(cfg.nImages) *
+        static_cast<double>(tuner_epochs);
+
+    double wire = 0.0;
+    bool decompress = false;
+    switch (variant) {
+      case SrvVariant::Preprocessed:
+        wire = m.inputMB() * 1e6;
+        break;
+      case SrvVariant::Compressed:
+        wire = m.inputMB() * 1e6 / kCompressionRatio;
+        decompress = true;
+        break;
+      default:
+        break; // host-local data
+    }
+
+    std::vector<std::unique_ptr<hw::Disk>> disks;
+    for (int i = 0; i < cfg.srvStorageServers; ++i)
+        disks.push_back(
+            std::make_unique<hw::Disk>(s, cfg.srvStoreSpec.disk));
+
+    sim::WaitGroup fe_done(s);
+    sim::WaitGroup feeders(s);
+    if (!pipelined) {
+        fe_done.add(1);
+        s.spawn(srvTrainSerial(host, disks, wire, cfg.nImages,
+                               cfg.npe.batchSize, fe_per_image, fe_done,
+                               rep.stages));
+    } else if (wire > 0.0) {
+        feeders.add(cfg.srvStorageServers);
+        uint64_t base = cfg.nImages / cfg.srvStorageServers;
+        uint64_t rem = cfg.nImages % cfg.srvStorageServers;
+        for (int i = 0; i < cfg.srvStorageServers; ++i) {
+            uint64_t share =
+                base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
+            s.spawn(srvTrainFeeder(host, *disks[i], share,
+                                   cfg.npe.batchSize, wire, feeders,
+                                   rep.stages));
+        }
+        s.spawn(srvTrainCloser(host, feeders));
+        s.spawn(srvTrainCpu(host, decompress, m, rep.stages));
+        fe_done.add(cfg.hostSpec.nGpus);
+        for (int g = 0; g < cfg.hostSpec.nGpus; ++g)
+            s.spawn(srvTrainGpuWorker(host, fe_per_image, fe_done,
+                                      rep.stages));
+    } else {
+        // Host-local data: GPU-bound FE.
+        feeders.add(1);
+        s.spawn(srvTrainLocalProducer(host, cfg.nImages,
+                                      cfg.npe.batchSize, feeders));
+        s.spawn(srvTrainCloser(host, feeders));
+        s.spawn(srvTrainCpu(host, false, m, rep.stages));
+        fe_done.add(cfg.hostSpec.nGpus);
+        for (int g = 0; g < cfg.hostSpec.nGpus; ++g)
+            s.spawn(srvTrainGpuWorker(host, fe_per_image, fe_done,
+                                      rep.stages));
+    }
+    s.spawn(srvClassifierTrain(host, fe_done, ct_seconds, rep.stages));
+    s.run();
+
+    rep.seconds = s.now();
+    rep.trainIps = rep.seconds > 0.0
+                       ? static_cast<double>(cfg.nImages) / rep.seconds
+                       : 0.0;
+    rep.feIps = rep.trainIps;
+    rep.dataTrafficBytes = host.ingress.bytesMoved();
+
+    auto host_power = hw::serverPower(
+        cfg.hostSpec, host.gpus.utilization(), host.cpu.utilization());
+    rep.perServer.push_back({cfg.hostSpec.name, host_power});
+    rep.power += host_power;
+    for (int i = 0; i < cfg.srvStorageServers; ++i) {
+        double cpu_util = disks[static_cast<size_t>(i)]->utilization() *
+                          2.0 / cfg.srvStoreSpec.cpu.vcpus;
+        auto p = hw::serverPower(cfg.srvStoreSpec, 0.0, cpu_util);
+        rep.perServer.push_back(
+            {cfg.srvStoreSpec.name + "#" + std::to_string(i), p});
+        rep.power += p;
+    }
+    rep.energyJ = rep.power.totalW() * rep.seconds;
+    return rep;
+}
+
+} // namespace ndp::core

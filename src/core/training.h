@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fine-tuning simulators: FT-DMP across PipeStores + Tuner (§5.1-5.2)
+ * and the centralized SRV baseline (§6.3).
+ *
+ * FT-DMP splits the model at a cut index: blocks [0, cut) replicate on
+ * PipeStores (forward only, no synchronization), blocks [cut, N) run
+ * on the Tuner. The dataset is divided into N_run sub-datasets; with
+ * pipelining enabled, PipeStores extract features for run r+1 while
+ * the Tuner trains on run r. The degenerate cut == N ("+FC") places
+ * the trainable classifier on the stores and pays per-iteration weight
+ * synchronization — the naive NDP configuration of §4.1.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/inference.h"
+#include "core/report.h"
+
+namespace ndp::core {
+
+struct TrainOptions
+{
+    /**
+     * Partition index: blocks [0, cut) on PipeStores. kCutAuto puts
+     * the cut at the classifier boundary (all weight-freeze layers
+     * offloaded), which is where APO lands for every paper model.
+     */
+    static constexpr size_t kCutAuto = static_cast<size_t>(-1);
+
+    size_t cut = kCutAuto;
+    /** Pipeline runs (N_run, §5.2). */
+    int nRun = 3;
+    /** Overlap Store-stage and Tuner-stage across runs. */
+    bool pipelined = true;
+    /** Tuner classifier epochs per run. */
+    int tunerEpochs = kDefaultTunerEpochs;
+    int feBatch = kInferBatch;
+    int trainBatch = kTrainBatch;
+    /** Redistribute the updated model as Check-N-Run deltas. */
+    bool distributeDeltas = true;
+    /**
+     * Per-store GPU speed multipliers for heterogeneity / straggler
+     * injection (empty = all 1.0). A 0.5 entry makes that store's
+     * accelerator half as fast. Under FT-DMP a straggler only delays
+     * its own shard; under the naive "+FC" configuration the
+     * per-iteration weight synchronization couples the whole fleet to
+     * it (§4.1).
+     */
+    std::vector<double> storeSpeedFactor;
+
+    double
+    speedOf(int store) const
+    {
+        if (store < 0 ||
+            static_cast<size_t>(store) >= storeSpeedFactor.size())
+            return 1.0;
+        return storeSpeedFactor[static_cast<size_t>(store)];
+    }
+
+    size_t
+    resolveCut(const models::ModelSpec &m) const
+    {
+        return cut == kCutAuto ? m.classifierStart() : cut;
+    }
+};
+
+/** FT-DMP fine-tuning across cfg.nStores PipeStores and one Tuner. */
+TrainReport runFtDmpTraining(const ExperimentConfig &cfg,
+                             const TrainOptions &opt);
+
+/**
+ * Centralized fine-tuning on the SRV host (2x V100): storage servers
+ * stream (optionally compressed) preprocessed binaries, the host runs
+ * feature extraction, then trains the classifier. @p variant selects
+ * the wire format exactly as for offline inference.
+ */
+TrainReport runSrvFineTuning(const ExperimentConfig &cfg,
+                             SrvVariant variant = SrvVariant::Compressed,
+                             int tuner_epochs = kDefaultTunerEpochs,
+                             bool pipelined = true);
+
+} // namespace ndp::core

@@ -1,0 +1,88 @@
+#include "data/backbone.h"
+
+namespace ndp::data {
+
+VisionModel::VisionModel(size_t latent_dim, size_t feature_dim,
+                         size_t classes, Rng &rng)
+    : backboneFc(latent_dim, feature_dim, rng),
+      headFc(feature_dim, classes, rng)
+{}
+
+nn::Tensor
+VisionModel::forward(const nn::Tensor &x)
+{
+    return headFc.forward(act.forward(backboneFc.forward(x)));
+}
+
+nn::Tensor
+VisionModel::backward(const nn::Tensor &grad_out)
+{
+    return backboneFc.backward(act.backward(headFc.backward(grad_out)));
+}
+
+std::vector<nn::Param *>
+VisionModel::params()
+{
+    std::vector<nn::Param *> ps = backboneFc.params();
+    auto hs = headFc.params();
+    ps.insert(ps.end(), hs.begin(), hs.end());
+    return ps;
+}
+
+std::vector<nn::Param *>
+VisionModel::allParams()
+{
+    std::vector<nn::Param *> ps = backboneFc.allParams();
+    auto hs = headFc.allParams();
+    ps.insert(ps.end(), hs.begin(), hs.end());
+    return ps;
+}
+
+nn::Tensor
+VisionModel::features(const nn::Tensor &latents)
+{
+    return act.forward(backboneFc.forward(latents));
+}
+
+nn::Dataset
+VisionModel::extractFeatures(const nn::Dataset &latents)
+{
+    nn::Dataset out;
+    out.x = features(latents.x);
+    out.y = latents.y;
+    return out;
+}
+
+nn::TrainResult
+VisionModel::fineTuneOnFeatures(const nn::Dataset &feat_train,
+                                const nn::Dataset &feat_test,
+                                const nn::TrainConfig &cfg)
+{
+    LayerRef head_only(headFc);
+    return nn::trainClassifier(head_only, feat_train, feat_test, cfg);
+}
+
+nn::TrainResult
+VisionModel::fineTune(const nn::Dataset &latent_train,
+                      const nn::Dataset &latent_test,
+                      const nn::TrainConfig &cfg)
+{
+    bool was_frozen = backboneFrozen();
+    freezeBackbone(true);
+    nn::Dataset ft = extractFeatures(latent_train);
+    nn::Dataset fe = extractFeatures(latent_test);
+    auto result = fineTuneOnFeatures(ft, fe, cfg);
+    freezeBackbone(was_frozen);
+    return result;
+}
+
+nn::TrainResult
+VisionModel::fullTrain(const nn::Dataset &latent_train,
+                       const nn::Dataset &latent_test,
+                       const nn::TrainConfig &cfg)
+{
+    freezeBackbone(false);
+    return nn::trainClassifier(*this, latent_train, latent_test, cfg);
+}
+
+} // namespace ndp::data

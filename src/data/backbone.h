@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Functional analog of the paper's vision models: a backbone (feature
+ * extractor) plus a classifier head.
+ *
+ * The backbone is a Linear+Tanh feature map over the world's latent
+ * space; the head is a Linear classifier. "Full training" updates both
+ * (the paper's weeks-long baseline), while "fine-tuning" freezes the
+ * backbone and retrains only the head — exactly the weight-freeze /
+ * trainable split FT-DMP exploits (§5.1). extractFeatures() is the
+ * functional equivalent of a PipeStore's feature-extraction pass, and
+ * fineTuneOnFeatures() is the Tuner-side classifier training.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "nn/layers.h"
+#include "nn/trainer.h"
+#include "sim/random.h"
+
+namespace ndp::data {
+
+/** Delegating adapter so a sub-layer can be trained standalone. */
+class LayerRef : public nn::Layer
+{
+  public:
+    explicit LayerRef(nn::Layer &l) : inner(l) {}
+
+    nn::Tensor forward(const nn::Tensor &x) override
+    {
+        return inner.forward(x);
+    }
+
+    nn::Tensor backward(const nn::Tensor &g) override
+    {
+        return inner.backward(g);
+    }
+
+    std::vector<nn::Param *> params() override { return inner.params(); }
+
+    std::string name() const override { return inner.name(); }
+
+  private:
+    nn::Layer &inner;
+};
+
+class VisionModel : public nn::Layer
+{
+  public:
+    /**
+     * @param latent_dim world latent dimensionality (backbone input)
+     * @param feature_dim backbone output width
+     * @param classes classifier width (the world's max class count)
+     */
+    VisionModel(size_t latent_dim, size_t feature_dim, size_t classes,
+                Rng &rng);
+
+    nn::Tensor forward(const nn::Tensor &x) override;
+    nn::Tensor backward(const nn::Tensor &grad_out) override;
+    std::vector<nn::Param *> params() override;
+    std::vector<nn::Param *> allParams() override;
+    std::string name() const override { return "VisionModel"; }
+
+    /** Weight-freeze the backbone (fine-tuning mode). */
+    void freezeBackbone(bool f) { backboneFc.setFrozen(f); }
+    bool backboneFrozen() const { return backboneFc.isFrozen(); }
+
+    /** PipeStore path: run the backbone only. */
+    nn::Tensor features(const nn::Tensor &latents);
+
+    /** Feature dataset for @p latents (labels carried through). */
+    nn::Dataset extractFeatures(const nn::Dataset &latents);
+
+    /**
+     * Tuner path: train only the head on precomputed features.
+     * @p feat_test is a feature-space test set for convergence checks.
+     */
+    nn::TrainResult fineTuneOnFeatures(const nn::Dataset &feat_train,
+                                       const nn::Dataset &feat_test,
+                                       const nn::TrainConfig &cfg);
+
+    /** Convenience: freeze backbone, extract features, tune the head. */
+    nn::TrainResult fineTune(const nn::Dataset &latent_train,
+                             const nn::Dataset &latent_test,
+                             const nn::TrainConfig &cfg);
+
+    /** Full training: update backbone and head end to end. */
+    nn::TrainResult fullTrain(const nn::Dataset &latent_train,
+                              const nn::Dataset &latent_test,
+                              const nn::TrainConfig &cfg);
+
+    nn::Linear &head() { return headFc; }
+    nn::Linear &backbone() { return backboneFc; }
+    size_t featureDim() const { return backboneFc.outDim(); }
+    size_t numClasses() const { return headFc.outDim(); }
+
+    /** Model version, bumped by the photo service on redeploys. */
+    int version = 0;
+
+  private:
+    nn::Linear backboneFc;
+    nn::Tanh act;
+    nn::Linear headFc;
+};
+
+} // namespace ndp::data

@@ -1,0 +1,111 @@
+#include "data/profiles.h"
+
+#include <stdexcept>
+
+namespace ndp::data {
+
+namespace {
+
+nn::TrainConfig
+baseTrainCfg()
+{
+    nn::TrainConfig cfg;
+    cfg.batchSize = 128;
+    cfg.maxEpochs = 60;
+    cfg.sgd.lr = 0.05;
+    cfg.sgd.momentum = 0.9;
+    cfg.sgd.weightDecay = 1e-4;
+    cfg.convergeDeltaPct = 0.01;
+    cfg.convergePatience = 4;
+    return cfg;
+}
+
+WorldConfig
+baseWorld()
+{
+    WorldConfig w;
+    w.latentDim = 24;
+    w.initialClasses = 80;
+    w.maxClasses = 100;
+    w.initialImages = 10000;
+    w.classSep = 3.0;
+    w.driftPerDay = 0.15;
+    w.dailyGrowth = 0.07;
+    w.newClassShare = 0.053;
+    w.testWindowDays = 5;
+    return w;
+}
+
+} // namespace
+
+DatasetProfile
+cifar100Profile()
+{
+    DatasetProfile p;
+    p.name = "CIFAR100";
+    p.world = baseWorld();
+    p.world.noise = 2.35;
+    p.world.seed = 101;
+    p.featureDim = 12;
+    p.testSetSize = 3000;
+    p.fullTrainCfg = baseTrainCfg();
+    p.fineTuneCfg = baseTrainCfg();
+    p.fineTuneCfg.maxEpochs = 25;
+    p.fineTuneCfg.convergePatience = 3;
+    return p;
+}
+
+DatasetProfile
+imagenet1kProfile()
+{
+    DatasetProfile p;
+    p.name = "ImageNet1K";
+    p.world = baseWorld();
+    p.world.noise = 2.4;
+    p.world.seed = 102;
+    p.featureDim = 12;
+    p.testSetSize = 3000;
+    p.fullTrainCfg = baseTrainCfg();
+    p.fineTuneCfg = baseTrainCfg();
+    p.fineTuneCfg.maxEpochs = 25;
+    p.fineTuneCfg.convergePatience = 3;
+    return p;
+}
+
+DatasetProfile
+imagenet21kProfile()
+{
+    DatasetProfile p;
+    p.name = "ImageNet21K";
+    p.world = baseWorld();
+    p.world.initialClasses = 160;
+    p.world.maxClasses = 200;
+    p.world.initialImages = 14000;
+    p.world.noise = 3.6;
+    p.world.seed = 103;
+    p.featureDim = 12;
+    p.testSetSize = 3000;
+    p.fullTrainCfg = baseTrainCfg();
+    p.fineTuneCfg = baseTrainCfg();
+    p.fineTuneCfg.maxEpochs = 25;
+    p.fineTuneCfg.convergePatience = 3;
+    return p;
+}
+
+std::vector<DatasetProfile>
+allProfiles()
+{
+    return {cifar100Profile(), imagenet1kProfile(), imagenet21kProfile()};
+}
+
+DatasetProfile
+profileByName(const std::string &name)
+{
+    for (auto &p : allProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    throw std::out_of_range("unknown dataset profile: " + name);
+}
+
+} // namespace ndp::data

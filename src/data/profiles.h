@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dataset profiles standing in for CIFAR-100, ImageNet-1K, and
+ * ImageNet-21K (Table 2). Each profile fixes a world difficulty and a
+ * training recipe tuned so the *Base* accuracy of the functional model
+ * lands near the paper's measured band for that dataset; the Outdated /
+ * NDPipe / Full orderings then emerge from the drift process itself.
+ *
+ * The backbone is deliberately compressive (featureDim < latentDim):
+ * a day-0 backbone discards latent directions that old classes do not
+ * need, which is precisely why full training can beat head-only
+ * fine-tuning after drift — the same reason a frozen CNN trunk limits
+ * fine-tuning in the paper.
+ *
+ * Scale note: the paper trains on up to 1.2 M ImageNet images; the
+ * functional path here uses pools of ~1e4 latents, and the daily
+ * growth rate is scaled up (7 %/day vs the paper's 1.78 %) so that two
+ * weeks of uploads provide the same *data-rich* adaptation regime the
+ * paper's 17K-new-images-per-day setting gives. Performance-side
+ * experiments (Figs. 13-21) use the paper's real image counts in the
+ * discrete-event simulator; only accuracy experiments are scaled down.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/world.h"
+#include "nn/trainer.h"
+
+namespace ndp::data {
+
+struct DatasetProfile
+{
+    std::string name;
+    WorldConfig world;
+    nn::TrainConfig fullTrainCfg;
+    nn::TrainConfig fineTuneCfg;
+    /** Backbone output width (compressive bottleneck). */
+    size_t featureDim;
+    size_t testSetSize;
+    /** Recency bias of the curated retraining set (§3.2). */
+    double curatedRecentShare = 0.6;
+    int curatedWindowDays = 14;
+};
+
+/** Easy profile: ~77 % base top-1 (CIFAR-100 band). */
+DatasetProfile cifar100Profile();
+
+/** Medium profile: ~74 % base top-1 (ImageNet-1K band). */
+DatasetProfile imagenet1kProfile();
+
+/** Hard profile: ~36 % base top-1 (ImageNet-21K band). */
+DatasetProfile imagenet21kProfile();
+
+/** All three, in Table 2 order. */
+std::vector<DatasetProfile> allProfiles();
+
+/** Lookup by name; throws std::out_of_range when unknown. */
+DatasetProfile profileByName(const std::string &name);
+
+} // namespace ndp::data

@@ -1,0 +1,227 @@
+#include "data/world.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace ndp::data {
+
+PhotoWorld::PhotoWorld(const WorldConfig &c) : cfg(c), rng(c.seed)
+{
+    assert(cfg.initialClasses <= cfg.maxClasses);
+
+    std::vector<float> proto(cfg.maxClasses * cfg.latentDim);
+    for (auto &v : proto)
+        v = static_cast<float>(rng.normal(0.0, cfg.classSep));
+    protoAtDay.push_back(std::move(proto));
+    activeAtDay.push_back(cfg.initialClasses);
+
+    // Zipf-ish popularity: photo services see heavy-tailed class mixes.
+    classWeight.resize(cfg.maxClasses, 0.0);
+    for (size_t c2 = 0; c2 < cfg.maxClasses; ++c2)
+        classWeight[c2] = 1.0 / std::sqrt(1.0 + static_cast<double>(c2));
+
+    uploadsAtDay.push_back(cfg.initialImages);
+    addImages(cfg.initialImages, 0);
+}
+
+std::vector<float>
+PhotoWorld::samplePoint(int cls, int day)
+{
+    assert(day >= 0 && static_cast<size_t>(day) < protoAtDay.size());
+    const float *p =
+        protoAtDay[day].data() + static_cast<size_t>(cls) * cfg.latentDim;
+    std::vector<float> x(cfg.latentDim);
+    for (size_t i = 0; i < cfg.latentDim; ++i)
+        x[i] = p[i] + static_cast<float>(rng.normal(0.0, cfg.noise));
+    return x;
+}
+
+int
+PhotoWorld::pickUploadClass(int day)
+{
+    size_t active = activeAtDay[day];
+    size_t base = cfg.initialClasses;
+    // New categories take a fixed share of fresh uploads (§3.2: 5.3 %).
+    if (active > base && rng.chance(cfg.newClassShare))
+        return static_cast<int>(base + rng.below(active - base));
+
+    double total = 0.0;
+    for (size_t c = 0; c < base; ++c)
+        total += classWeight[c];
+    double r = rng.uniform() * total;
+    for (size_t c = 0; c < base; ++c) {
+        r -= classWeight[c];
+        if (r <= 0.0)
+            return static_cast<int>(c);
+    }
+    return static_cast<int>(base - 1);
+}
+
+void
+PhotoWorld::addImages(size_t n, int day)
+{
+    records.reserve(records.size() + n);
+    latents.reserve(latents.size() + n * cfg.latentDim);
+    for (size_t i = 0; i < n; ++i) {
+        int cls = pickUploadClass(day);
+        auto x = samplePoint(cls, day);
+        size_t row = records.size();
+        records.push_back(ImageRecord{nextId++, cls, day, row});
+        latents.insert(latents.end(), x.begin(), x.end());
+    }
+}
+
+void
+PhotoWorld::driftOneDay()
+{
+    double step = cfg.driftPerDay * cfg.classSep /
+                  std::sqrt(static_cast<double>(cfg.latentDim));
+    std::vector<float> proto = protoAtDay.back();
+    for (auto &v : proto)
+        v += static_cast<float>(rng.normal(0.0, step));
+    protoAtDay.push_back(std::move(proto));
+}
+
+void
+PhotoWorld::advanceDays(int days)
+{
+    for (int d = 0; d < days; ++d) {
+        ++curDay;
+        driftOneDay();
+        size_t active = activeAtDay.back();
+        // Introduce a new category roughly every other day until the
+        // world is saturated.
+        if (active < cfg.maxClasses && curDay % 2 == 0)
+            ++active;
+        activeAtDay.push_back(active);
+
+        size_t n_new = static_cast<size_t>(std::llround(
+            cfg.dailyGrowth * static_cast<double>(records.size())));
+        uploadsAtDay.push_back(n_new);
+        addImages(n_new, curDay);
+    }
+}
+
+nn::Dataset
+PhotoWorld::poolDataset(size_t max_n)
+{
+    nn::Dataset ds;
+    size_t n = records.size();
+    if (max_n == 0 || max_n >= n) {
+        ds.x = nn::Tensor(n, cfg.latentDim);
+        std::memcpy(ds.x.data().data(), latents.data(),
+                    latents.size() * sizeof(float));
+        ds.y.reserve(n);
+        for (const auto &r : records)
+            ds.y.push_back(r.label);
+        return ds;
+    }
+    ds.x = nn::Tensor(max_n, cfg.latentDim);
+    ds.y.reserve(max_n);
+    for (size_t i = 0; i < max_n; ++i) {
+        size_t j = rng.below(n);
+        std::memcpy(ds.x.rowPtr(i),
+                    latents.data() + records[j].row * cfg.latentDim,
+                    cfg.latentDim * sizeof(float));
+        ds.y.push_back(records[j].label);
+    }
+    return ds;
+}
+
+nn::Dataset
+PhotoWorld::recentDataset(size_t n) const
+{
+    n = std::min(n, records.size());
+    nn::Dataset ds;
+    ds.x = nn::Tensor(n, cfg.latentDim);
+    ds.y.reserve(n);
+    size_t start = records.size() - n;
+    for (size_t i = 0; i < n; ++i) {
+        const auto &r = records[start + i];
+        std::memcpy(ds.x.rowPtr(i),
+                    latents.data() + r.row * cfg.latentDim,
+                    cfg.latentDim * sizeof(float));
+        ds.y.push_back(r.label);
+    }
+    return ds;
+}
+
+size_t
+PhotoWorld::firstIndexOfDay(int day) const
+{
+    size_t lo = 0, hi = records.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (records[mid].dayAdded < day)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+nn::Dataset
+PhotoWorld::recencyBiasedDataset(size_t n, double recent_share,
+                                 int window_days)
+{
+    size_t first_recent =
+        firstIndexOfDay(std::max(0, curDay - window_days + 1));
+    size_t n_recent = records.size() - first_recent;
+
+    nn::Dataset ds;
+    ds.x = nn::Tensor(n, cfg.latentDim);
+    ds.y.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t j;
+        if (n_recent > 0 && rng.chance(recent_share))
+            j = first_recent + rng.below(n_recent);
+        else
+            j = rng.below(records.size());
+        std::memcpy(ds.x.rowPtr(i),
+                    latents.data() + records[j].row * cfg.latentDim,
+                    cfg.latentDim * sizeof(float));
+        ds.y.push_back(records[j].label);
+    }
+    return ds;
+}
+
+nn::Dataset
+PhotoWorld::sampleTestSet(size_t n)
+{
+    // Weight each day in the window by its upload volume.
+    int first_day = std::max(0, curDay - cfg.testWindowDays + 1);
+    double total_w = 0.0;
+    for (int d = first_day; d <= curDay; ++d)
+        total_w += static_cast<double>(uploadsAtDay[d]);
+
+    nn::Dataset ds;
+    ds.x = nn::Tensor(n, cfg.latentDim);
+    ds.y.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        double r = rng.uniform() * total_w;
+        int day = curDay;
+        for (int d = first_day; d <= curDay; ++d) {
+            r -= static_cast<double>(uploadsAtDay[d]);
+            if (r <= 0.0) {
+                day = d;
+                break;
+            }
+        }
+        int cls = pickUploadClass(day);
+        auto x = samplePoint(cls, day);
+        std::memcpy(ds.x.rowPtr(i), x.data(),
+                    cfg.latentDim * sizeof(float));
+        ds.y.push_back(cls);
+    }
+    return ds;
+}
+
+const float *
+PhotoWorld::latentOf(const ImageRecord &rec) const
+{
+    return latents.data() + rec.row * cfg.latentDim;
+}
+
+} // namespace ndp::data

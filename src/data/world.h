@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Synthetic drifting photo world.
+ *
+ * Stands in for the paper's ImageNet/CIFAR drift scenario (§3.2): a
+ * photo pool grows 1.78 % per day, 5.3 % of new photos belong to new
+ * categories, and the relationship between photo content and labels
+ * shifts slowly (concept drift). Photos are latent vectors drawn from
+ * per-class Gaussian prototypes; prototypes random-walk each day, and
+ * new classes are introduced over time. Each stored photo keeps the
+ * distribution of its upload day (real photos do not change after
+ * upload — the *stream* drifts), and test sets are drawn from the
+ * recent-uploads mixture, which is what "new test datasets that
+ * reflect changes in the stored images" measures. A frozen backbone
+ * (see backbone.h) turns latents into the features NDPipe's PipeStores
+ * extract.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "sim/random.h"
+
+namespace ndp::data {
+
+struct WorldConfig
+{
+    /** Dimensionality of the latent "photo content" space. */
+    size_t latentDim = 16;
+    /** Classes present at day 0. */
+    size_t initialClasses = 80;
+    /** Total classes the world can grow into. */
+    size_t maxClasses = 100;
+    /** Photos in the pool at day 0. */
+    size_t initialImages = 10000;
+    /** Distance scale between class prototypes. */
+    double classSep = 3.0;
+    /** Intra-class spread (higher = harder problem). */
+    double noise = 3.1;
+    /** Per-day prototype random-walk step, relative to classSep. */
+    double driftPerDay = 0.3;
+    /** Daily pool growth rate (paper: 1.78 %). */
+    double dailyGrowth = 0.0178;
+    /** Share of new photos that belong to new categories (5.3 %). */
+    double newClassShare = 0.053;
+    /** Days of uploads a "current" test set spans. */
+    int testWindowDays = 5;
+    uint64_t seed = 42;
+};
+
+/** One stored photo's ground truth. */
+struct ImageRecord
+{
+    uint64_t id;
+    int label;
+    int dayAdded;
+    /** Index into the latent matrix. */
+    size_t row;
+};
+
+class PhotoWorld
+{
+  public:
+    explicit PhotoWorld(const WorldConfig &cfg);
+
+    /** Advance the world: drift, growth, new categories. */
+    void advanceDays(int days);
+
+    int day() const { return curDay; }
+    size_t numImages() const { return records.size(); }
+    /** Classes introduced so far. */
+    size_t numClasses() const { return activeAtDay.back(); }
+    size_t maxClasses() const { return cfg.maxClasses; }
+    size_t latentDim() const { return cfg.latentDim; }
+    const WorldConfig &config() const { return cfg; }
+
+    const std::vector<ImageRecord> &pool() const { return records; }
+
+    /**
+     * Latent dataset of the stored pool: the training data a storage
+     * system can actually read. @p max_n == 0 means the whole pool;
+     * otherwise a uniform random subset of that size.
+     */
+    nn::Dataset poolDataset(size_t max_n = 0);
+
+    /** Latents of the @p n most recently added photos. */
+    nn::Dataset recentDataset(size_t n) const;
+
+    /**
+     * Training set biased toward fresh photos, the way production
+     * retraining curates "the latest images" (§3.2): each of the @p n
+     * rows is drawn from photos added in the last @p window_days with
+     * probability @p recent_share, else uniformly from the whole pool.
+     */
+    nn::Dataset recencyBiasedDataset(size_t n, double recent_share,
+                                     int window_days);
+
+    /**
+     * Fresh test set drawn from the recent-uploads mixture: each
+     * sample picks an upload day within the last testWindowDays
+     * (weighted by that day's upload volume) and draws from the class
+     * prototypes *as they stood on that day*.
+     */
+    nn::Dataset sampleTestSet(size_t n);
+
+    /** Latent row for a specific stored photo. */
+    const float *latentOf(const ImageRecord &rec) const;
+
+    /** First pool index whose photo was added on/after @p day. */
+    size_t firstIndexOfDay(int day) const;
+
+  private:
+    void addImages(size_t n, int day);
+    void driftOneDay();
+    /** Draw a latent from class @p cls at @p day's prototype. */
+    std::vector<float> samplePoint(int cls, int day);
+    /** Pick a class for a fresh photo uploaded on @p day. */
+    int pickUploadClass(int day);
+
+    WorldConfig cfg;
+    Rng rng;
+    int curDay = 0;
+
+    /** Per-day snapshots: [day][class * latentDim]. */
+    std::vector<std::vector<float>> protoAtDay;
+    /** Per-day count of introduced classes. */
+    std::vector<size_t> activeAtDay;
+    /** Photos uploaded on each day (for test-mixture weights). */
+    std::vector<size_t> uploadsAtDay;
+    /** Popularity weight per class. */
+    std::vector<double> classWeight;
+
+    std::vector<ImageRecord> records;
+    /** All latents, one row per record. */
+    std::vector<float> latents;
+    uint64_t nextId = 1;
+};
+
+} // namespace ndp::data

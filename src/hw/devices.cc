@@ -1,0 +1,70 @@
+#include "hw/devices.h"
+
+namespace ndp::hw {
+
+Link::Link(sim::Simulator &s, const NicSpec &nic)
+    : sim(s), spec(nic), port(s, 1)
+{}
+
+sim::Task
+Link::transfer(double bytes)
+{
+    co_await port.acquire();
+    co_await sim.delay(serviceTime(bytes));
+    port.release();
+    totalBytes += bytes;
+    // Propagation latency does not occupy the port.
+    co_await sim.delay(spec.latencyS);
+}
+
+Disk::Disk(sim::Simulator &s, const DiskSpec &d)
+    : sim(s), spec(d), port(s, 1)
+{}
+
+sim::Task
+Disk::read(double bytes)
+{
+    co_await port.acquire();
+    co_await sim.delay(readServiceTime(bytes));
+    port.release();
+    totalRead += bytes;
+}
+
+sim::Task
+Disk::write(double bytes)
+{
+    co_await port.acquire();
+    co_await sim.delay(spec.seekS + bytes / (spec.writeMBps * 1e6));
+    port.release();
+    totalWritten += bytes;
+}
+
+GpuExec::GpuExec(sim::Simulator &s, const GpuSpec &g, int n_gpus)
+    : sim(s), spec(g), nGpus(n_gpus), slots(s, n_gpus)
+{}
+
+sim::Task
+GpuExec::compute(double seconds)
+{
+    co_await slots.acquire();
+    co_await sim.delay(seconds);
+    slots.release();
+}
+
+double
+GpuExec::busySeconds() const
+{
+    return slots.utilization() * sim.now() * nGpus;
+}
+
+CpuPool::CpuPool(sim::Simulator &s, int cores) : sim(s), pool(s, cores) {}
+
+sim::Task
+CpuPool::run(int n, double seconds)
+{
+    co_await pool.acquire(n);
+    co_await sim.delay(seconds);
+    pool.release(n);
+}
+
+} // namespace ndp::hw

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulation-facing device components.
+ *
+ * Each component wraps a counted sim::Resource plus a service-time model
+ * and tracks utilization so that power/energy can be derived after a run.
+ * All byte quantities are raw bytes; all rates use SI (1 MB = 1e6 bytes,
+ * 1 Gbps = 1e9 bits/s), matching how the paper quotes bandwidths.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "hw/specs.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace ndp::hw {
+
+/** A (half-duplex) network link with FIFO serialization. */
+class Link
+{
+  public:
+    Link(sim::Simulator &s, const NicSpec &nic);
+
+    /** Transfer @p bytes; completes after serialization + latency. */
+    sim::Task transfer(double bytes);
+
+    double gbps() const { return spec.gbps; }
+    double bytesMoved() const { return totalBytes; }
+    double utilization() const { return port.utilization(); }
+
+    /** Time to push @p bytes through the wire, ignoring queueing. */
+    double
+    serviceTime(double bytes) const
+    {
+        return bytes * 8.0 / (spec.gbps * 1e9);
+    }
+
+  private:
+    sim::Simulator &sim;
+    NicSpec spec;
+    sim::Resource port;
+    double totalBytes = 0.0;
+};
+
+/** A storage volume with FIFO request service. */
+class Disk
+{
+  public:
+    Disk(sim::Simulator &s, const DiskSpec &d);
+
+    sim::Task read(double bytes);
+    sim::Task write(double bytes);
+
+    double bytesRead() const { return totalRead; }
+    double bytesWritten() const { return totalWritten; }
+    double utilization() const { return port.utilization(); }
+
+    double
+    readServiceTime(double bytes) const
+    {
+        return spec.seekS + bytes / (spec.readMBps * 1e6);
+    }
+
+  private:
+    sim::Simulator &sim;
+    DiskSpec spec;
+    sim::Resource port;
+    double totalRead = 0.0;
+    double totalWritten = 0.0;
+};
+
+/** An accelerator executing kernels serially (one stream). */
+class GpuExec
+{
+  public:
+    GpuExec(sim::Simulator &s, const GpuSpec &g, int n_gpus = 1);
+
+    /** Occupy one GPU for @p seconds of kernel time. */
+    sim::Task compute(double seconds);
+
+    const GpuSpec &gpu() const { return spec; }
+    int count() const { return nGpus; }
+    double utilization() const { return slots.utilization(); }
+    double busySeconds() const;
+
+  private:
+    sim::Simulator &sim;
+    GpuSpec spec;
+    int nGpus;
+    sim::Resource slots;
+};
+
+/** A pool of CPU cores. */
+class CpuPool
+{
+  public:
+    CpuPool(sim::Simulator &s, int cores);
+
+    /** Hold @p n cores for @p seconds (e.g. decompress, preprocess). */
+    sim::Task run(int n, double seconds);
+
+    int cores() const { return pool.capacity(); }
+    double utilization() const { return pool.utilization(); }
+
+    sim::Resource &resource() { return pool; }
+
+  private:
+    sim::Simulator &sim;
+    sim::Resource pool;
+};
+
+} // namespace ndp::hw

@@ -1,0 +1,48 @@
+#include "hw/power.h"
+
+#include <algorithm>
+
+namespace ndp::hw {
+
+namespace {
+
+double
+clamp01(double x)
+{
+    return std::clamp(x, 0.0, 1.0);
+}
+
+} // namespace
+
+PowerBreakdown
+serverPower(const ServerSpec &spec, double gpu_util, double cpu_util)
+{
+    PowerBreakdown p;
+    gpu_util = clamp01(gpu_util);
+    cpu_util = clamp01(cpu_util);
+
+    if (spec.hasGpu()) {
+        const GpuSpec &g = *spec.gpu;
+        p.gpuW = spec.nGpus *
+                 (g.idleW + gpu_util * (g.activeW - g.idleW));
+    }
+
+    const CpuSpec &c = spec.cpu;
+    double per_core =
+        c.idleWPerCore + cpu_util * (c.activeWPerCore - c.idleWPerCore);
+    p.cpuW = c.vcpus * per_core;
+
+    p.otherW = spec.otherW + spec.disk.watts;
+    return p;
+}
+
+double
+clusterWatts(const std::vector<ServerPowerSample> &samples)
+{
+    double w = 0.0;
+    for (const auto &s : samples)
+        w += s.power.totalW();
+    return w;
+}
+
+} // namespace ndp::hw

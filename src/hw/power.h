@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Power and energy accounting.
+ *
+ * Power is computed analytically from component utilizations:
+ *   P = idle + util * (active - idle)
+ * which matches how the paper derives its IPS/W and IPS/kJ numbers
+ * (gpustat / powerstat averages over a run). Disk spindle power and
+ * chassis power are constant while a server is on.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/specs.h"
+
+namespace ndp::hw {
+
+/** Average power of one server, split the way Fig. 14 plots it. */
+struct PowerBreakdown
+{
+    double gpuW = 0.0;
+    double cpuW = 0.0;
+    /** Chassis + disk spindles ("Others" in Fig. 14). */
+    double otherW = 0.0;
+
+    double totalW() const { return gpuW + cpuW + otherW; }
+
+    PowerBreakdown &
+    operator+=(const PowerBreakdown &o)
+    {
+        gpuW += o.gpuW;
+        cpuW += o.cpuW;
+        otherW += o.otherW;
+        return *this;
+    }
+};
+
+/**
+ * Average power of a server given component utilizations in [0, 1].
+ *
+ * @param spec     the server
+ * @param gpu_util utilization across all its accelerators
+ * @param cpu_util utilization across all vCPUs
+ */
+PowerBreakdown serverPower(const ServerSpec &spec, double gpu_util,
+                           double cpu_util);
+
+/** Energy in joules for a power level held over @p seconds. */
+inline double
+energyJ(const PowerBreakdown &p, double seconds)
+{
+    return p.totalW() * seconds;
+}
+
+/** A named per-server power sample; used to assemble cluster totals. */
+struct ServerPowerSample
+{
+    std::string server;
+    PowerBreakdown power;
+};
+
+/** Sum of the samples' total watts. */
+double clusterWatts(const std::vector<ServerPowerSample> &samples);
+
+} // namespace ndp::hw

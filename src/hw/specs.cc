@@ -1,0 +1,113 @@
+#include "hw/specs.h"
+
+namespace ndp::hw {
+
+const GpuSpec &
+teslaT4()
+{
+    // 65 TFLOPS fp16 tensor, 16 GiB, 70 W TDP.
+    static const GpuSpec spec{"Tesla T4", 65.0, 16.0, 9.0, 68.0};
+    return spec;
+}
+
+const GpuSpec &
+teslaV100()
+{
+    // 125 TFLOPS tensor, 16 GiB, 300 W TDP (SXM2).
+    static const GpuSpec spec{"Tesla V100", 125.0, 16.0, 38.0, 285.0};
+    return spec;
+}
+
+const GpuSpec &
+neuronCoreV1()
+{
+    // Inferentia v1, 4 NeuronCores per chip; inf1.2xlarge exposes one
+    // chip. Throughput relative to T4 calibrated so that Fig. 20's
+    // match points (11-16 stores for inference, 8-13 for fine-tuning)
+    // hold. Power is an estimate, as in the paper ([52]).
+    static const GpuSpec spec{"NeuronCoreV1", 15.0, 8.0, 2.0, 10.0};
+    return spec;
+}
+
+const DiskSpec &
+st1Raid()
+{
+    // 16x HDD RAID-5 array behind an st1-style EBS volume: ~800 MB/s
+    // streaming reads (the paper's per-store InceptionV3 rate implies
+    // reads never cap the NPE pipeline), ~0.2 ms amortized positioning
+    // per request batch. Spindles live in the shared EBS fleet, so
+    // only the attachment/controller power is charged to the server.
+    static const DiskSpec spec{"st1-16xHDD", 800.0, 500.0, 2.0e-4, 12.0};
+    return spec;
+}
+
+const DiskSpec &
+localNvme()
+{
+    static const DiskSpec spec{"local-nvme", 3200.0, 1800.0, 1.0e-5, 9.0};
+    return spec;
+}
+
+ServerSpec
+g4dn4xlarge(bool gpu_enabled)
+{
+    ServerSpec s;
+    s.name = gpu_enabled ? "g4dn.4xlarge" : "g4dn.4xlarge(noGPU)";
+    s.cpu = CpuSpec{16, 2.5, 1.2, 5.5};
+    if (gpu_enabled) {
+        s.gpu = teslaT4();
+        s.nGpus = 1;
+    }
+    s.disk = st1Raid();
+    s.nic = NicSpec{10.0, 2.0e-5};
+    s.otherW = 62.0;
+    s.hourlyUsd = 1.204;
+    return s;
+}
+
+ServerSpec
+p32xlarge()
+{
+    ServerSpec s;
+    s.name = "p3.2xlarge";
+    s.cpu = CpuSpec{8, 2.7, 1.2, 6.0};
+    s.gpu = teslaV100();
+    s.nGpus = 1;
+    s.disk = localNvme();
+    s.nic = NicSpec{10.0, 2.0e-5};
+    s.otherW = 78.0;
+    s.hourlyUsd = 3.06;
+    return s;
+}
+
+ServerSpec
+p38xlarge(int gpus_used)
+{
+    ServerSpec s;
+    s.name = "p3.8xlarge";
+    s.cpu = CpuSpec{32, 2.7, 1.2, 6.0};
+    s.gpu = teslaV100();
+    s.nGpus = gpus_used;
+    s.disk = localNvme();
+    s.nic = NicSpec{10.0, 2.0e-5};
+    s.otherW = 155.0;
+    s.hourlyUsd = 12.24;
+    return s;
+}
+
+ServerSpec
+inf12xlarge()
+{
+    ServerSpec s;
+    s.name = "inf1.2xlarge";
+    s.cpu = CpuSpec{8, 2.5, 1.2, 5.5};
+    s.gpu = neuronCoreV1();
+    s.nGpus = 1;
+    s.disk = st1Raid();
+    s.nic = NicSpec{10.0, 2.0e-5};
+    s.otherW = 30.0;
+    s.hourlyUsd = 0.362;
+    return s;
+}
+
+} // namespace ndp::hw

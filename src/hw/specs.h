@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Hardware specification records and the instance catalog.
+ *
+ * The catalog mirrors the EC2 instance types used in the NDPipe paper
+ * (§6.1): g4dn.4xlarge PipeStores (Tesla T4 + st1 16xHDD RAID),
+ * p3.2xlarge Tuner (one V100), p3.8xlarge SRV host (two of its four
+ * V100s used), and inf1.2xlarge (AWS Inferentia / NeuronCoreV1).
+ * Power figures follow public TDPs; where the paper had to estimate
+ * (NeuronCoreV1), so do we, and the value is documented here.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ndp::hw {
+
+/** Accelerator (GPU or inference ASIC) specification. */
+struct GpuSpec
+{
+    std::string name;
+    /** Peak mixed-precision throughput, TFLOP/s (fp16/tensor). */
+    double peakTflops;
+    /** Device memory in GiB; bounds batch size (Fig. 19 ViT OOM). */
+    double memGib;
+    double idleW;
+    double activeW;
+};
+
+/** Host CPU specification (vCPUs as exposed by the instance). */
+struct CpuSpec
+{
+    int vcpus;
+    double ghz;
+    double idleWPerCore;
+    double activeWPerCore;
+};
+
+/** Storage volume specification. */
+struct DiskSpec
+{
+    std::string name;
+    double readMBps;
+    double writeMBps;
+    /** Per-request positioning overhead, seconds (amortized). */
+    double seekS;
+    /** Constant spindle/controller power (always-on). */
+    double watts;
+};
+
+/** Network interface specification. */
+struct NicSpec
+{
+    double gbps;
+    /** One-way propagation + protocol latency, seconds. */
+    double latencyS;
+};
+
+/** A full server (one EC2 instance). */
+struct ServerSpec
+{
+    std::string name;
+    CpuSpec cpu;
+    /** Accelerator, if present and enabled. */
+    std::optional<GpuSpec> gpu;
+    int nGpus = 0;
+    DiskSpec disk;
+    NicSpec nic;
+    /** Chassis power: PSU losses, SoC, fans, DRAM refresh. */
+    double otherW = 0.0;
+    /** On-demand hourly price in USD (us-east-1, 2023). */
+    double hourlyUsd = 0.0;
+
+    bool hasGpu() const { return gpu.has_value() && nGpus > 0; }
+};
+
+/** @name Accelerator catalog
+ * @{
+ */
+const GpuSpec &teslaT4();
+const GpuSpec &teslaV100();
+const GpuSpec &neuronCoreV1();
+/** @} */
+
+/** @name Volume catalog
+ * @{
+ */
+/** st1 throughput-optimized HDD volume backed by a 16-disk RAID-5. */
+const DiskSpec &st1Raid();
+/** Local NVMe (used by the Ideal configuration in §3.4). */
+const DiskSpec &localNvme();
+/** @} */
+
+/** @name Instance catalog
+ * @{
+ */
+/** PipeStore / SRV storage server. @p gpu_enabled disables the T4. */
+ServerSpec g4dn4xlarge(bool gpu_enabled);
+/** Tuner: one V100. */
+ServerSpec p32xlarge();
+/** SRV host: the paper uses two of the four V100s. */
+ServerSpec p38xlarge(int gpus_used = 2);
+/** Inferentia PipeStore (NDPipe-Inf1). */
+ServerSpec inf12xlarge();
+/** @} */
+
+} // namespace ndp::hw

@@ -1,0 +1,85 @@
+#include "models/model.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ndp::models {
+
+ModelSpec::ModelSpec(std::string name, int input_px, double input_mb,
+                     std::vector<Block> blocks, double peak_act_mb)
+    : modelName(std::move(name)), px(input_px), inMB(input_mb),
+      peakActMB(peak_act_mb), blockList(std::move(blocks))
+{
+    assert(!blockList.empty());
+    bool seen_trainable = false;
+    for (const auto &b : blockList) {
+        gmacsTotal += b.gmacs;
+        paramsTotal += b.paramsM;
+        if (b.trainable) {
+            paramsTrainable += b.paramsM;
+            seen_trainable = true;
+        } else {
+            // Trainable blocks must form a suffix: fine-tuning freezes
+            // everything before the classifier (§2.1).
+            assert(!seen_trainable &&
+                   "weight-freeze block after a trainable block");
+        }
+    }
+}
+
+double
+ModelSpec::gmacsBefore(size_t cut) const
+{
+    assert(cut <= blockList.size());
+    double g = 0.0;
+    for (size_t i = 0; i < cut; ++i)
+        g += blockList[i].gmacs;
+    return g;
+}
+
+double
+ModelSpec::gmacsAfter(size_t cut) const
+{
+    return gmacsTotal - gmacsBefore(cut);
+}
+
+double
+ModelSpec::transferMBAt(size_t cut) const
+{
+    assert(cut <= blockList.size());
+    if (cut == 0)
+        return inMB;
+    return blockList[cut - 1].outMB;
+}
+
+std::vector<size_t>
+ModelSpec::partitionCuts() const
+{
+    std::vector<size_t> cuts;
+    cuts.push_back(0);
+    for (size_t i = 0; i < blockList.size(); ++i) {
+        if (blockList[i].partitionPoint)
+            cuts.push_back(i + 1);
+    }
+    if (cuts.back() != blockList.size())
+        cuts.push_back(blockList.size());
+    return cuts;
+}
+
+size_t
+ModelSpec::classifierStart() const
+{
+    for (size_t i = 0; i < blockList.size(); ++i) {
+        if (blockList[i].trainable)
+            return i;
+    }
+    return blockList.size();
+}
+
+bool
+ModelSpec::cutSplitsClassifier(size_t cut) const
+{
+    return cut > classifierStart();
+}
+
+} // namespace ndp::models

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Layer-graph description of a DNN model, at the granularity NDPipe
+ * partitions it (§5.1): a sequence of coarse blocks, each annotated
+ * with forward compute, transfer size of its output activation, and
+ * parameter count. The final block(s) marked `trainable` form the
+ * classifier / task module that fine-tuning updates.
+ *
+ * Conventions:
+ *  - gmacs: forward multiply-accumulates in units of 1e9 (the usual
+ *    "GFLOPs" quoted for vision models; actual FLOPs ~= 2x this).
+ *  - outMB: bytes transferred per image if the model is cut after this
+ *    block. Activations cross the wire in fp16 (the TensorRT engines
+ *    the paper uses emit half precision), so outMB = elems * 2 / 1e6.
+ *  - A partition point exists only where the block boundary is clean
+ *    (no residual/skip connections crossing it), per §5.3.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ndp::models {
+
+struct Block
+{
+    std::string name;
+    /** Forward multiply-accumulates, 1e9, per image. */
+    double gmacs;
+    /** Output activation size if cut after this block, MB per image. */
+    double outMB;
+    /** Parameters, millions. */
+    double paramsM;
+    /** True if the model may be split after this block. */
+    bool partitionPoint;
+    /** True if this block is updated by fine-tuning. */
+    bool trainable;
+};
+
+class ModelSpec
+{
+  public:
+    ModelSpec(std::string name, int input_px, double input_mb,
+              std::vector<Block> blocks, double peak_act_mb);
+
+    const std::string &name() const { return modelName; }
+    int inputPx() const { return px; }
+
+    /** Preprocessed fp32 input tensor size, MB per image. */
+    double inputMB() const { return inMB; }
+
+    /** Peak per-image activation working set, MB (bounds batch size). */
+    double peakActivationMB() const { return peakActMB; }
+
+    const std::vector<Block> &blocks() const { return blockList; }
+    size_t numBlocks() const { return blockList.size(); }
+
+    /** Total forward GMACs per image. */
+    double totalGmacs() const { return gmacsTotal; }
+
+    /** Total parameters, millions. */
+    double totalParamsM() const { return paramsTotal; }
+
+    /** Parameters of trainable (classifier) blocks, millions. */
+    double trainableParamsM() const { return paramsTrainable; }
+
+    /** Forward GMACs of blocks [0, cut). cut == 0 means none. */
+    double gmacsBefore(size_t cut) const;
+
+    /** Forward GMACs of blocks [cut, N). */
+    double gmacsAfter(size_t cut) const;
+
+    /**
+     * Per-image bytes crossing the wire when split at @p cut:
+     * output of block cut-1 (or the fp32 input when cut == 0), MB.
+     */
+    double transferMBAt(size_t cut) const;
+
+    /**
+     * Valid split indices. Index i means blocks [0, i) run on the
+     * PipeStore. Always includes 0 (no offload) and N (full offload).
+     */
+    std::vector<size_t> partitionCuts() const;
+
+    /** Index of the first trainable block (== N if none). */
+    size_t classifierStart() const;
+
+    /** True if cut @p cut places trainable blocks on the PipeStore. */
+    bool cutSplitsClassifier(size_t cut) const;
+
+  private:
+    std::string modelName;
+    int px;
+    double inMB;
+    double peakActMB;
+    std::vector<Block> blockList;
+    double gmacsTotal = 0.0;
+    double paramsTotal = 0.0;
+    double paramsTrainable = 0.0;
+};
+
+} // namespace ndp::models

@@ -1,0 +1,114 @@
+#include "models/throughput.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace ndp::models {
+
+double
+t4AnchorIps(const ModelSpec &m)
+{
+    // §6.2: "Each PipeStore offers 2,129, 2,439, 449, and 277 IPS for
+    // ResNet50, InceptionV3, ResNeXt101, and ViT."
+    if (m.name() == "ResNet50")
+        return 2129.0;
+    if (m.name() == "InceptionV3")
+        return 2439.0;
+    if (m.name() == "ResNeXt101")
+        return 449.0;
+    if (m.name() == "ViT")
+        return 277.0;
+    if (m.name() == "ShuffleNetV2")
+        return 6500.0; // launch-overhead bound; not reported in paper
+    throw std::out_of_range("no throughput anchor for " + m.name());
+}
+
+double
+batchEfficiency(int batch)
+{
+    assert(batch > 0);
+    double b = static_cast<double>(batch);
+    double raw = b / (b + kBatchHalfSat);
+    double anchor = 128.0 / (128.0 + kBatchHalfSat);
+    return raw / anchor;
+}
+
+double
+deviceIps(const hw::GpuSpec &g, const ModelSpec &m, int batch)
+{
+    double scale = g.peakTflops / hw::teslaT4().peakTflops;
+    return t4AnchorIps(m) * scale * batchEfficiency(batch);
+}
+
+double
+feSecondsPerImage(const hw::GpuSpec &g, const ModelSpec &m, size_t cut,
+                  int batch)
+{
+    if (cut == 0)
+        return 0.0;
+    double frac = m.gmacsBefore(cut) / m.totalGmacs();
+    return frac / deviceIps(g, m, batch);
+}
+
+double
+trainSecondsPerImage(const hw::GpuSpec &g, const ModelSpec &m, size_t cut,
+                     int batch)
+{
+    // Forward through the Tuner-side partition; backward costs ~2x the
+    // forward of the trainable blocks only (weight-freeze layers need
+    // no gradients).
+    double fwd_gmacs = m.gmacsAfter(cut);
+    double trainable_gmacs = 0.0;
+    for (size_t i = m.classifierStart(); i < m.numBlocks(); ++i) {
+        if (i >= cut)
+            trainable_gmacs += m.blocks()[i].gmacs;
+    }
+    double gmacs = fwd_gmacs + 2.0 * trainable_gmacs;
+    double frac = gmacs / m.totalGmacs();
+    double flop_time = frac / deviceIps(g, m, batch);
+    return flop_time + kTrainStepOverheadS / batchEfficiency(batch);
+}
+
+double
+tunerIngestSecondsPerImage(const hw::GpuSpec &g, const ModelSpec &m,
+                           size_t cut, int batch)
+{
+    size_t cls = m.classifierStart();
+    if (cut >= cls)
+        return 0.0;
+    double gmacs = m.gmacsBefore(cls) - m.gmacsBefore(cut);
+    double frac = gmacs / m.totalGmacs();
+    return frac / deviceIps(g, m, batch);
+}
+
+double
+tunerEpochSecondsPerImage(const hw::GpuSpec &g, const ModelSpec &m,
+                          int batch)
+{
+    double trainable_gmacs = 0.0;
+    for (size_t i = m.classifierStart(); i < m.numBlocks(); ++i)
+        trainable_gmacs += m.blocks()[i].gmacs;
+    double frac = 3.0 * trainable_gmacs / m.totalGmacs();
+    double flop_time = frac / deviceIps(g, m, batch);
+    return flop_time + kTrainStepOverheadS / batchEfficiency(batch);
+}
+
+double
+gpuMemoryNeededGiB(const ModelSpec &m, int batch)
+{
+    constexpr double gib = 1024.0 * 1024.0 * 1024.0;
+    double weights = m.totalParamsM() * 1e6 * 2.0;   // fp16 weights
+    double act = static_cast<double>(batch) * m.peakActivationMB() * 1e6;
+    double runtime = 1.0 * gib; // CUDA context + engine workspace
+    return (weights + act + runtime) / gib;
+}
+
+bool
+fitsInMemory(const hw::GpuSpec &g, const ModelSpec &m, int batch)
+{
+    return gpuMemoryNeededGiB(m, batch) <= g.memGib;
+}
+
+} // namespace ndp::models

@@ -1,0 +1,151 @@
+#include "models/zoo.h"
+
+#include <stdexcept>
+
+namespace ndp::models {
+
+namespace {
+
+// {name, gmacs, outMB(fp16), paramsM, partitionPoint, trainable}
+
+ModelSpec
+makeShufflenetV2()
+{
+    return ModelSpec(
+        "ShuffleNetV2", 224, 0.602,
+        {
+            {"conv1", 0.012, 0.151, 0.001, true, false},
+            {"stage2", 0.040, 0.182, 0.028, true, false},
+            {"stage3", 0.040, 0.091, 0.118, true, false},
+            {"stage4", 0.040, 0.045, 0.470, true, false},
+            {"conv5+pool", 0.013, 0.002, 0.478, true, false},
+            {"fc", 0.001, 0.0002, 1.025, true, true},
+        },
+        2.0);
+}
+
+ModelSpec
+makeResnet50()
+{
+    return ModelSpec(
+        "ResNet50", 224, 0.602,
+        {
+            {"conv1", 0.12, 0.401, 0.010, true, false},
+            {"conv2", 0.83, 1.606, 0.220, true, false},
+            {"conv3", 1.03, 0.803, 1.220, true, false},
+            {"conv4", 1.47, 0.401, 7.100, true, false},
+            {"conv5+pool", 0.81, 0.0041, 14.96, true, false},
+            {"fc", 0.002, 0.002, 2.049, true, true},
+        },
+        8.0);
+}
+
+ModelSpec
+makeInceptionV3()
+{
+    return ModelSpec(
+        "InceptionV3", 299, 1.073,
+        {
+            {"stem", 1.30, 0.470, 1.00, true, false},
+            {"mixed5", 0.80, 0.706, 1.30, true, false},
+            {"mixed6", 2.30, 0.444, 10.50, true, false},
+            {"mixed7", 1.20, 0.262, 8.00, true, false},
+            {"pool", 0.001, 0.0041, 0.0, true, false},
+            {"fc", 0.002, 0.002, 2.049, true, true},
+        },
+        10.0);
+}
+
+ModelSpec
+makeResnext101()
+{
+    return ModelSpec(
+        "ResNeXt101", 224, 0.602,
+        {
+            {"conv1", 0.12, 0.401, 0.010, true, false},
+            {"conv2", 1.60, 1.606, 0.700, true, false},
+            {"conv3", 2.90, 0.803, 3.100, true, false},
+            {"conv4", 9.20, 0.401, 47.40, true, false},
+            {"conv5+pool", 2.70, 0.0041, 35.30, true, false},
+            {"fc", 0.002, 0.002, 2.049, true, true},
+        },
+        16.0);
+}
+
+ModelSpec
+makeVitB16()
+{
+    std::vector<Block> blocks;
+    blocks.push_back({"patch_embed", 0.15, 0.303, 0.59, true, false});
+    for (int i = 1; i <= 12; ++i) {
+        blocks.push_back({"encoder" + std::to_string(i), 1.42, 0.303,
+                          7.09, true, false});
+    }
+    // Classification consumes only the CLS token: the final LayerNorm
+    // + token selection shrinks the activation to 768 values.
+    blocks.push_back({"norm+cls", 0.001, 0.0015, 0.002, true, false});
+    blocks.push_back({"head", 0.002, 0.002, 0.77, true, true});
+    return ModelSpec("ViT", 224, 0.602, std::move(blocks), 34.0);
+}
+
+} // namespace
+
+const ModelSpec &
+shufflenetV2()
+{
+    static const ModelSpec m = makeShufflenetV2();
+    return m;
+}
+
+const ModelSpec &
+resnet50()
+{
+    static const ModelSpec m = makeResnet50();
+    return m;
+}
+
+const ModelSpec &
+inceptionV3()
+{
+    static const ModelSpec m = makeInceptionV3();
+    return m;
+}
+
+const ModelSpec &
+resnext101()
+{
+    static const ModelSpec m = makeResnext101();
+    return m;
+}
+
+const ModelSpec &
+vitB16()
+{
+    static const ModelSpec m = makeVitB16();
+    return m;
+}
+
+std::vector<const ModelSpec *>
+allModels()
+{
+    return {&shufflenetV2(), &inceptionV3(), &resnet50(), &resnext101(),
+            &vitB16()};
+}
+
+std::vector<const ModelSpec *>
+figureModels()
+{
+    return {&resnet50(), &inceptionV3(), &resnext101(), &vitB16()};
+}
+
+const ModelSpec &
+byName(const std::string &name)
+{
+    for (const ModelSpec *m : allModels()) {
+        if (m->name() == name)
+            return *m;
+    }
+    throw std::out_of_range("unknown model: " + name);
+}
+
+} // namespace ndp::models

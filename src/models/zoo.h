@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The five image-classification models the paper evaluates (§6.1):
+ * ShuffleNetV2 (small CNN), InceptionV3 (middle), ResNet50 (middle),
+ * ResNeXt101-32x8d (large CNN), ViT-B/16 (large transformer).
+ *
+ * Block tables use the standard published per-stage MACs / activation
+ * shapes / parameter counts for each architecture. They drive APO's
+ * partition search (Fig. 9), the FT-DMP simulator, and the throughput
+ * estimator.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+
+namespace ndp::models {
+
+const ModelSpec &shufflenetV2();
+const ModelSpec &resnet50();
+const ModelSpec &inceptionV3();
+const ModelSpec &resnext101();
+const ModelSpec &vitB16();
+
+/** All five models, in the paper's small-to-large order. */
+std::vector<const ModelSpec *> allModels();
+
+/** The four models most figures plot (everything but ShuffleNetV2). */
+std::vector<const ModelSpec *> figureModels();
+
+/** Lookup by name(); throws std::out_of_range for unknown names. */
+const ModelSpec &byName(const std::string &name);
+
+/** Typical stored photo: a ~2.7 MB JPEG (§3.4). */
+constexpr double kRawImageMB = 2.7;
+
+/** Deflate compression ratio achieved on preprocessed fp32 tensors. */
+constexpr double kPreprocCompressionRatio = 3.5;
+
+} // namespace ndp::models

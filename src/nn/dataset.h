@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Labeled feature dataset and batch iteration.
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "sim/random.h"
+
+namespace ndp::nn {
+
+struct Dataset
+{
+    /** N x D feature matrix. */
+    Tensor x;
+    /** N labels. */
+    std::vector<int> y;
+
+    size_t size() const { return y.size(); }
+    size_t featureDim() const { return x.cols(); }
+
+    /** Rows selected by @p idx, in order. */
+    Dataset
+    subset(const std::vector<size_t> &idx) const
+    {
+        Dataset out;
+        out.x = x.gatherRows(idx);
+        out.y.reserve(idx.size());
+        for (size_t i : idx)
+            out.y.push_back(y[i]);
+        return out;
+    }
+
+    /** First @p n rows. */
+    Dataset
+    head(size_t n) const
+    {
+        n = std::min(n, size());
+        std::vector<size_t> idx(n);
+        std::iota(idx.begin(), idx.end(), 0);
+        return subset(idx);
+    }
+
+    /** Split into @p k contiguous, nearly equal shards (for N_run). */
+    std::vector<Dataset>
+    shards(size_t k) const
+    {
+        assert(k >= 1);
+        std::vector<Dataset> out;
+        size_t n = size();
+        size_t base = n / k, rem = n % k;
+        size_t start = 0;
+        for (size_t s = 0; s < k; ++s) {
+            size_t len = base + (s < rem ? 1 : 0);
+            std::vector<size_t> idx(len);
+            std::iota(idx.begin(), idx.end(), start);
+            out.push_back(subset(idx));
+            start += len;
+        }
+        return out;
+    }
+
+    /** Append another dataset (same feature dim). */
+    void
+    append(const Dataset &other)
+    {
+        if (y.empty()) {
+            *this = other;
+            return;
+        }
+        assert(x.cols() == other.x.cols());
+        Tensor merged(size() + other.size(), x.cols());
+        std::copy(x.data().begin(), x.data().end(),
+                  merged.data().begin());
+        std::copy(other.x.data().begin(), other.x.data().end(),
+                  merged.data().begin() + x.size());
+        x = std::move(merged);
+        y.insert(y.end(), other.y.begin(), other.y.end());
+    }
+};
+
+/** Yields shuffled index batches for one epoch. */
+class BatchIterator
+{
+  public:
+    BatchIterator(size_t n, size_t batch, Rng &rng) : batchSize(batch)
+    {
+        order.resize(n);
+        std::iota(order.begin(), order.end(), 0);
+        // Fisher-Yates with our deterministic RNG.
+        for (size_t i = n; i > 1; --i) {
+            size_t j = rng.below(i);
+            std::swap(order[i - 1], order[j]);
+        }
+    }
+
+    /** Next batch of indices; empty when the epoch is done. */
+    std::vector<size_t>
+    next()
+    {
+        std::vector<size_t> batch;
+        while (pos < order.size() && batch.size() < batchSize)
+            batch.push_back(order[pos++]);
+        return batch;
+    }
+
+  private:
+    std::vector<size_t> order;
+    size_t batchSize;
+    size_t pos = 0;
+};
+
+} // namespace ndp::nn

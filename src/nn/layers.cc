@@ -1,0 +1,159 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ndp::nn {
+
+Linear::Linear(size_t in, size_t out, Rng &rng)
+{
+    float stddev = std::sqrt(2.0f / static_cast<float>(in));
+    w.value = Tensor::randn(in, out, rng, stddev);
+    w.grad = Tensor::zeros(in, out);
+    b.value = Tensor::zeros(1, out);
+    b.grad = Tensor::zeros(1, out);
+}
+
+Tensor
+Linear::forward(const Tensor &x)
+{
+    assert(x.cols() == w.value.rows());
+    lastX = x;
+    Tensor y = matmul(x, w.value);
+    addBiasRow(y, b.value);
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_out)
+{
+    assert(grad_out.rows() == lastX.rows());
+    assert(grad_out.cols() == w.value.cols());
+    if (!frozen) {
+        // dW += X^T dY ; db += column sums of dY.
+        Tensor dw = matmulTN(lastX, grad_out);
+        w.grad.axpy(1.0f, dw);
+        Tensor db = columnSums(grad_out);
+        b.grad.axpy(1.0f, db);
+    }
+    // dX = dY W^T.
+    return matmulNT(grad_out, w.value);
+}
+
+std::vector<Param *>
+Linear::params()
+{
+    if (frozen)
+        return {};
+    return {&w, &b};
+}
+
+Tensor
+ReLU::forward(const Tensor &x)
+{
+    lastX = x;
+    Tensor y = x;
+    for (auto &v : y.data())
+        v = v > 0.0f ? v : 0.0f;
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_out)
+{
+    assert(grad_out.rows() == lastX.rows());
+    Tensor g = grad_out;
+    const auto &x = lastX.data();
+    auto &gd = g.data();
+    for (size_t i = 0; i < gd.size(); ++i) {
+        if (x[i] <= 0.0f)
+            gd[i] = 0.0f;
+    }
+    return g;
+}
+
+Tensor
+Tanh::forward(const Tensor &x)
+{
+    Tensor y = x;
+    for (auto &v : y.data())
+        v = std::tanh(v);
+    lastY = y;
+    return y;
+}
+
+Tensor
+Tanh::backward(const Tensor &grad_out)
+{
+    Tensor g = grad_out;
+    const auto &y = lastY.data();
+    auto &gd = g.data();
+    for (size_t i = 0; i < gd.size(); ++i)
+        gd[i] *= 1.0f - y[i] * y[i];
+    return g;
+}
+
+Tensor
+Sequential::forward(const Tensor &x)
+{
+    Tensor cur = x;
+    for (auto &l : layers)
+        cur = l->forward(cur);
+    return cur;
+}
+
+Tensor
+Sequential::backward(const Tensor &grad_out)
+{
+    Tensor cur = grad_out;
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+std::vector<Param *>
+Sequential::params()
+{
+    std::vector<Param *> all;
+    for (auto &l : layers) {
+        auto ps = l->params();
+        all.insert(all.end(), ps.begin(), ps.end());
+    }
+    return all;
+}
+
+std::vector<Param *>
+Sequential::allParams()
+{
+    std::vector<Param *> all;
+    for (auto &l : layers) {
+        auto ps = l->allParams();
+        all.insert(all.end(), ps.begin(), ps.end());
+    }
+    return all;
+}
+
+size_t
+Sequential::paramCount()
+{
+    size_t n = 0;
+    for (Param *p : params())
+        n += p->count();
+    return n;
+}
+
+Sequential
+makeClassifier(size_t feature_dim, size_t hidden, size_t classes, Rng &rng)
+{
+    Sequential seq;
+    if (hidden == 0) {
+        seq.emplace<Linear>(feature_dim, classes, rng);
+    } else {
+        seq.emplace<Linear>(feature_dim, hidden, rng);
+        seq.emplace<ReLU>();
+        seq.emplace<Linear>(hidden, classes, rng);
+    }
+    return seq;
+}
+
+} // namespace ndp::nn

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Neural network layers with explicit forward/backward passes.
+ *
+ * A Layer caches whatever it needs from forward() to compute backward().
+ * Parameters carry their own gradient buffers; the optimizer consumes
+ * them through params(). Linear layers can be frozen, which reproduces
+ * the weight-freeze semantics of fine-tuning (§2.1): backward still
+ * propagates the input gradient but accumulates no weight gradient.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "sim/random.h"
+
+namespace ndp::nn {
+
+/** A learnable tensor and its gradient. */
+struct Param
+{
+    Tensor value;
+    Tensor grad;
+
+    void
+    zeroGrad()
+    {
+        grad.fill(0.0f);
+    }
+
+    size_t count() const { return value.size(); }
+};
+
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** @param x batch input (B x in). @return batch output (B x out). */
+    virtual Tensor forward(const Tensor &x) = 0;
+
+    /**
+     * @param grad_out dL/d(output) for the batch last seen by forward.
+     * @return dL/d(input). Accumulates parameter gradients.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Trainable parameters (empty for activations/frozen layers). */
+    virtual std::vector<Param *> params() { return {}; }
+
+    /** Every parameter, frozen or not (for serialization/deltas). */
+    virtual std::vector<Param *> allParams() { return params(); }
+
+    virtual std::string name() const = 0;
+
+    void
+    zeroGrad()
+    {
+        for (Param *p : params())
+            p->zeroGrad();
+    }
+};
+
+/** Fully connected layer: y = x W + b, W is (in x out). */
+class Linear : public Layer
+{
+  public:
+    /** He-style init scaled for the fan-in. */
+    Linear(size_t in, size_t out, Rng &rng);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+    std::vector<Param *> allParams() override { return {&w, &b}; }
+    std::string name() const override { return "Linear"; }
+
+    /** Freeze: no weight gradients are accumulated (weight-freeze). */
+    void setFrozen(bool f) { frozen = f; }
+    bool isFrozen() const { return frozen; }
+
+    Param &weight() { return w; }
+    Param &bias() { return b; }
+    size_t inDim() const { return w.value.rows(); }
+    size_t outDim() const { return w.value.cols(); }
+
+  private:
+    Param w;
+    Param b;
+    Tensor lastX;
+    bool frozen = false;
+};
+
+class ReLU : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return "ReLU"; }
+
+  private:
+    Tensor lastX;
+};
+
+class Tanh : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return "Tanh"; }
+
+  private:
+    Tensor lastY;
+};
+
+/** Ordered container of layers. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    template <typename L, typename... Args>
+    L &
+    emplace(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L &ref = *layer;
+        layers.push_back(std::move(layer));
+        return ref;
+    }
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+    std::vector<Param *> allParams() override;
+    std::string name() const override { return "Sequential"; }
+
+    size_t depth() const { return layers.size(); }
+    Layer &layer(size_t i) { return *layers[i]; }
+
+    /** Total learnable parameter count. */
+    size_t paramCount();
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers;
+};
+
+/**
+ * Build the standard fine-tuning head: feature_dim -> hidden -> classes
+ * (or a single linear layer when hidden == 0).
+ */
+Sequential makeClassifier(size_t feature_dim, size_t hidden,
+                          size_t classes, Rng &rng);
+
+} // namespace ndp::nn

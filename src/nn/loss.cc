@@ -1,0 +1,95 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ndp::nn {
+
+Tensor
+softmax(const Tensor &logits)
+{
+    Tensor p = logits;
+    for (size_t i = 0; i < p.rows(); ++i) {
+        float *row = p.rowPtr(i);
+        float mx = row[0];
+        for (size_t j = 1; j < p.cols(); ++j)
+            mx = std::max(mx, row[j]);
+        float sum = 0.0f;
+        for (size_t j = 0; j < p.cols(); ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+        }
+        for (size_t j = 0; j < p.cols(); ++j)
+            row[j] /= sum;
+    }
+    return p;
+}
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    assert(logits.rows() == labels.size());
+    const size_t batch = logits.rows();
+    Tensor probs = softmax(logits);
+    double loss = 0.0;
+    for (size_t i = 0; i < batch; ++i) {
+        int y = labels[i];
+        assert(y >= 0 && static_cast<size_t>(y) < logits.cols());
+        float p = std::max(probs.at(i, static_cast<size_t>(y)), 1e-12f);
+        loss -= std::log(static_cast<double>(p));
+    }
+    loss /= static_cast<double>(batch);
+
+    // d(loss)/d(logit) = (softmax - onehot) / B.
+    Tensor grad = probs;
+    const float inv_b = 1.0f / static_cast<float>(batch);
+    for (size_t i = 0; i < batch; ++i) {
+        float *row = grad.rowPtr(i);
+        row[labels[i]] -= 1.0f;
+        for (size_t j = 0; j < grad.cols(); ++j)
+            row[j] *= inv_b;
+    }
+    return {loss, std::move(grad)};
+}
+
+double
+topKAccuracy(const Tensor &logits, const std::vector<int> &labels, int k)
+{
+    assert(logits.rows() == labels.size());
+    if (logits.rows() == 0)
+        return 0.0;
+    size_t hits = 0;
+    for (size_t i = 0; i < logits.rows(); ++i) {
+        const float *row = logits.rowPtr(i);
+        float target = row[labels[i]];
+        // Count strictly-greater entries; ties resolve in our favor,
+        // matching the usual top-k convention.
+        int greater = 0;
+        for (size_t j = 0; j < logits.cols(); ++j) {
+            if (row[j] > target)
+                ++greater;
+        }
+        if (greater < k)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(logits.rows());
+}
+
+std::vector<int>
+argmaxRows(const Tensor &logits)
+{
+    std::vector<int> out(logits.rows());
+    for (size_t i = 0; i < logits.rows(); ++i) {
+        const float *row = logits.rowPtr(i);
+        size_t best = 0;
+        for (size_t j = 1; j < logits.cols(); ++j) {
+            if (row[j] > row[best])
+                best = j;
+        }
+        out[i] = static_cast<int>(best);
+    }
+    return out;
+}
+
+} // namespace ndp::nn

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Softmax cross-entropy loss and classification metrics.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ndp::nn {
+
+/** Loss value plus the gradient w.r.t. the logits. */
+struct LossResult
+{
+    double loss;
+    Tensor gradLogits;
+};
+
+/**
+ * Mean softmax cross-entropy over the batch.
+ * @param logits B x C scores.
+ * @param labels B class indices in [0, C).
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+/** Row-wise softmax probabilities. */
+Tensor softmax(const Tensor &logits);
+
+/** Fraction of rows whose label is within the top-k logits. */
+double topKAccuracy(const Tensor &logits, const std::vector<int> &labels,
+                    int k);
+
+/** argmax per row. */
+std::vector<int> argmaxRows(const Tensor &logits);
+
+} // namespace ndp::nn

@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace ndp::nn {
+
+Sgd::Sgd(std::vector<Param *> ps, const SgdConfig &c)
+    : params(std::move(ps)), cfg(c)
+{
+    velocity.reserve(params.size());
+    for (Param *p : params)
+        velocity.emplace_back(
+            Tensor::zeros(p->value.rows(), p->value.cols()));
+}
+
+void
+Sgd::step()
+{
+    const float lr = static_cast<float>(cfg.lr);
+    const float mu = static_cast<float>(cfg.momentum);
+    const float wd = static_cast<float>(cfg.weightDecay);
+    for (size_t i = 0; i < params.size(); ++i) {
+        Param *p = params[i];
+        auto &v = velocity[i].data();
+        auto &g = p->grad.data();
+        auto &w = p->value.data();
+        for (size_t j = 0; j < w.size(); ++j) {
+            v[j] = mu * v[j] + g[j] + wd * w[j];
+            w[j] -= lr * v[j];
+        }
+        p->zeroGrad();
+    }
+}
+
+Adam::Adam(std::vector<Param *> ps, const AdamConfig &c)
+    : params(std::move(ps)), cfg(c)
+{
+    m1.reserve(params.size());
+    m2.reserve(params.size());
+    for (Param *p : params) {
+        m1.emplace_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+        m2.emplace_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+    }
+}
+
+void
+Adam::step()
+{
+    ++t;
+    const float lr = static_cast<float>(cfg.lr);
+    const float b1 = static_cast<float>(cfg.beta1);
+    const float b2 = static_cast<float>(cfg.beta2);
+    const float eps = static_cast<float>(cfg.eps);
+    const float wd = static_cast<float>(cfg.weightDecay);
+    const float corr1 =
+        1.0f - std::pow(b1, static_cast<float>(t));
+    const float corr2 =
+        1.0f - std::pow(b2, static_cast<float>(t));
+    for (size_t i = 0; i < params.size(); ++i) {
+        Param *p = params[i];
+        auto &g = p->grad.data();
+        auto &w = p->value.data();
+        auto &v1 = m1[i].data();
+        auto &v2 = m2[i].data();
+        for (size_t j = 0; j < w.size(); ++j) {
+            v1[j] = b1 * v1[j] + (1.0f - b1) * g[j];
+            v2[j] = b2 * v2[j] + (1.0f - b2) * g[j] * g[j];
+            float mhat = v1[j] / corr1;
+            float vhat = v2[j] / corr2;
+            w[j] -= lr * (mhat / (std::sqrt(vhat) + eps) + wd * w[j]);
+        }
+        p->zeroGrad();
+    }
+}
+
+} // namespace ndp::nn

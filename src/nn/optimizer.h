@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SGD with momentum and decoupled weight decay.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace ndp::nn {
+
+struct SgdConfig
+{
+    double lr = 0.05;
+    double momentum = 0.9;
+    double weightDecay = 1e-4;
+};
+
+class Sgd
+{
+  public:
+    Sgd(std::vector<Param *> params, const SgdConfig &cfg);
+
+    /** Apply one update from the accumulated gradients, then clear. */
+    void step();
+
+    void setLr(double lr) { cfg.lr = lr; }
+    double lr() const { return cfg.lr; }
+
+  private:
+    std::vector<Param *> params;
+    std::vector<Tensor> velocity;
+    SgdConfig cfg;
+};
+
+struct AdamConfig
+{
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weightDecay = 0.0;
+};
+
+/** Adam with bias correction (decoupled weight decay, AdamW-style). */
+class Adam
+{
+  public:
+    Adam(std::vector<Param *> params, const AdamConfig &cfg);
+
+    /** Apply one update from the accumulated gradients, then clear. */
+    void step();
+
+    void setLr(double lr) { cfg.lr = lr; }
+    double lr() const { return cfg.lr; }
+    long steps() const { return t; }
+
+  private:
+    std::vector<Param *> params;
+    std::vector<Tensor> m1;
+    std::vector<Tensor> m2;
+    AdamConfig cfg;
+    long t = 0;
+};
+
+} // namespace ndp::nn

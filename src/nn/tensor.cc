@@ -1,0 +1,158 @@
+#include "nn/tensor.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ndp::nn {
+
+Tensor::Tensor(size_t rows, size_t cols)
+    : nRows(rows), nCols(cols), buf(rows * cols, 0.0f)
+{}
+
+Tensor
+Tensor::zeros(size_t rows, size_t cols)
+{
+    return Tensor(rows, cols);
+}
+
+Tensor
+Tensor::filled(size_t rows, size_t cols, float v)
+{
+    Tensor t(rows, cols);
+    t.fill(v);
+    return t;
+}
+
+Tensor
+Tensor::randn(size_t rows, size_t cols, Rng &rng, float stddev)
+{
+    Tensor t(rows, cols);
+    for (auto &v : t.buf)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(buf.begin(), buf.end(), v);
+}
+
+void
+Tensor::axpy(float alpha, const Tensor &other)
+{
+    assert(nRows == other.nRows && nCols == other.nCols);
+    const float *src = other.buf.data();
+    float *dst = buf.data();
+    for (size_t i = 0; i < buf.size(); ++i)
+        dst[i] += alpha * src[i];
+}
+
+Tensor
+Tensor::gatherRows(const std::vector<size_t> &idx) const
+{
+    Tensor out(idx.size(), nCols);
+    for (size_t r = 0; r < idx.size(); ++r) {
+        assert(idx[r] < nRows);
+        std::memcpy(out.rowPtr(r), rowPtr(idx[r]), nCols * sizeof(float));
+    }
+    return out;
+}
+
+double
+Tensor::sumSquares() const
+{
+    double s = 0.0;
+    for (float v : buf)
+        s += static_cast<double>(v) * v;
+    return s;
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    assert(a.cols() == b.rows());
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    Tensor c(m, n);
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.rowPtr(i);
+        float *crow = c.rowPtr(i);
+        for (size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.rowPtr(p);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTN(const Tensor &a, const Tensor &b)
+{
+    assert(a.rows() == b.rows());
+    const size_t k = a.rows(), m = a.cols(), n = b.cols();
+    Tensor c(m, n);
+    for (size_t p = 0; p < k; ++p) {
+        const float *arow = a.rowPtr(p);
+        const float *brow = b.rowPtr(p);
+        for (size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.rowPtr(i);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulNT(const Tensor &a, const Tensor &b)
+{
+    assert(a.cols() == b.cols());
+    const size_t m = a.rows(), k = a.cols(), n = b.rows();
+    Tensor c(m, n);
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.rowPtr(i);
+        float *crow = c.rowPtr(i);
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b.rowPtr(j);
+            float s = 0.0f;
+            for (size_t p = 0; p < k; ++p)
+                s += arow[p] * brow[p];
+            crow[j] = s;
+        }
+    }
+    return c;
+}
+
+void
+addBiasRow(Tensor &x, const Tensor &bias)
+{
+    assert(bias.rows() == 1 && bias.cols() == x.cols());
+    const float *b = bias.rowPtr(0);
+    for (size_t i = 0; i < x.rows(); ++i) {
+        float *row = x.rowPtr(i);
+        for (size_t j = 0; j < x.cols(); ++j)
+            row[j] += b[j];
+    }
+}
+
+Tensor
+columnSums(const Tensor &x)
+{
+    Tensor out(1, x.cols());
+    float *o = out.rowPtr(0);
+    for (size_t i = 0; i < x.rows(); ++i) {
+        const float *row = x.rowPtr(i);
+        for (size_t j = 0; j < x.cols(); ++j)
+            o[j] += row[j];
+    }
+    return out;
+}
+
+} // namespace ndp::nn

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal dense 2-D float tensor.
+ *
+ * The functional training path in this repository only ever needs
+ * (batch x features) matrices: the frozen backbone is a feature map and
+ * the fine-tuned classifier is an MLP. Keeping the tensor strictly 2-D
+ * keeps the kernels simple, testable, and fast enough for the accuracy
+ * experiments (Figs. 4, 17, Tables 1-2).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace ndp::nn {
+
+class Tensor
+{
+  public:
+    Tensor() = default;
+    Tensor(size_t rows, size_t cols);
+
+    static Tensor zeros(size_t rows, size_t cols);
+    static Tensor filled(size_t rows, size_t cols, float v);
+    /** Gaussian init with the given standard deviation. */
+    static Tensor randn(size_t rows, size_t cols, Rng &rng, float stddev);
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+    size_t size() const { return buf.size(); }
+    bool empty() const { return buf.empty(); }
+
+    float &at(size_t r, size_t c) { return buf[r * nCols + c]; }
+    float at(size_t r, size_t c) const { return buf[r * nCols + c]; }
+
+    float *rowPtr(size_t r) { return buf.data() + r * nCols; }
+    const float *rowPtr(size_t r) const { return buf.data() + r * nCols; }
+
+    std::vector<float> &data() { return buf; }
+    const std::vector<float> &data() const { return buf; }
+
+    void fill(float v);
+
+    /** In-place: this += alpha * other (same shape). */
+    void axpy(float alpha, const Tensor &other);
+
+    /** Copy of rows given by @p idx, in order. */
+    Tensor gatherRows(const std::vector<size_t> &idx) const;
+
+    /** Sum of squares of all elements. */
+    double sumSquares() const;
+
+  private:
+    size_t nRows = 0;
+    size_t nCols = 0;
+    std::vector<float> buf;
+};
+
+/** C = A (m x k) * B (k x n). */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C = A^T (k x m -> m x k transposed) * B. A is (k x m), B is (k x n). */
+Tensor matmulTN(const Tensor &a, const Tensor &b);
+
+/** C = A (m x k) * B^T. B is (n x k). */
+Tensor matmulNT(const Tensor &a, const Tensor &b);
+
+/** Add a 1 x n bias row to every row of x (m x n), in place. */
+void addBiasRow(Tensor &x, const Tensor &bias);
+
+/** Column-wise sum of x: returns 1 x n. */
+Tensor columnSums(const Tensor &x);
+
+} // namespace ndp::nn

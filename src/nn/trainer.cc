@@ -1,0 +1,91 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+
+namespace ndp::nn {
+
+double
+TrainResult::bestTop1() const
+{
+    double best = 0.0;
+    for (const auto &e : history)
+        best = std::max(best, e.testTop1);
+    return best;
+}
+
+EvalResult
+evaluate(Layer &model, const Dataset &test)
+{
+    constexpr size_t eval_batch = 512;
+    double loss = 0.0;
+    double top1 = 0.0, top5 = 0.0;
+    size_t n = test.size();
+    if (n == 0)
+        return {0.0, 0.0, 0.0};
+    for (size_t start = 0; start < n; start += eval_batch) {
+        size_t len = std::min(eval_batch, n - start);
+        std::vector<size_t> idx(len);
+        for (size_t i = 0; i < len; ++i)
+            idx[i] = start + i;
+        Dataset b = test.subset(idx);
+        Tensor logits = model.forward(b.x);
+        LossResult lr = softmaxCrossEntropy(logits, b.y);
+        double w = static_cast<double>(len) / static_cast<double>(n);
+        loss += lr.loss * w;
+        top1 += topKAccuracy(logits, b.y, 1) * w;
+        top5 += topKAccuracy(logits, b.y, 5) * w;
+    }
+    return {top1, top5, loss};
+}
+
+TrainResult
+trainClassifier(Layer &model, const Dataset &train,
+                const Dataset &test, const TrainConfig &cfg)
+{
+    TrainResult result;
+    if (train.size() == 0)
+        return result;
+
+    Rng rng(cfg.seed);
+    Sgd opt(model.params(), cfg.sgd);
+
+    double best_top1 = -1.0;
+    int stall = 0;
+
+    for (int epoch = 1; epoch <= cfg.maxEpochs; ++epoch) {
+        BatchIterator it(train.size(), cfg.batchSize, rng);
+        double loss_sum = 0.0;
+        size_t n_batches = 0;
+        for (auto idx = it.next(); !idx.empty(); idx = it.next()) {
+            Dataset b = train.subset(idx);
+            Tensor logits = model.forward(b.x);
+            LossResult lr = softmaxCrossEntropy(logits, b.y);
+            model.backward(lr.gradLogits);
+            opt.step();
+            loss_sum += lr.loss;
+            ++n_batches;
+        }
+
+        EvalResult ev = evaluate(model, test);
+        result.history.push_back(EpochStat{
+            epoch, loss_sum / static_cast<double>(n_batches), ev.top1,
+            ev.top5});
+        result.epochsRun = epoch;
+
+        // Convergence criterion from §6.3 (delta in percentage points).
+        if (cfg.convergePatience > 0) {
+            if (ev.top1 * 100.0 >
+                best_top1 * 100.0 + cfg.convergeDeltaPct) {
+                best_top1 = ev.top1;
+                stall = 0;
+            } else if (++stall >= cfg.convergePatience) {
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace ndp::nn

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Mini-batch training loop with the paper's convergence criterion.
+ *
+ * §6.3: "We stop the training when more than 0.01% accuracy improvement
+ * is not observed over three consecutive epochs." The same loop powers
+ * the Tuner-side classifier fine-tuning and the full-training baseline.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace ndp::nn {
+
+struct TrainConfig
+{
+    size_t batchSize = 128;
+    int maxEpochs = 40;
+    SgdConfig sgd;
+    /** Stop when top-1 improves by less than this (percentage points)… */
+    double convergeDeltaPct = 0.01;
+    /** …for this many consecutive epochs (0 disables early stop). */
+    int convergePatience = 3;
+    uint64_t seed = 1;
+};
+
+struct EpochStat
+{
+    int epoch;
+    double trainLoss;
+    double testTop1;
+    double testTop5;
+};
+
+struct EvalResult
+{
+    double top1;
+    double top5;
+    double loss;
+};
+
+struct TrainResult
+{
+    std::vector<EpochStat> history;
+    int epochsRun = 0;
+
+    double
+    finalTop1() const
+    {
+        return history.empty() ? 0.0 : history.back().testTop1;
+    }
+
+    double
+    finalTop5() const
+    {
+        return history.empty() ? 0.0 : history.back().testTop5;
+    }
+
+    double bestTop1() const;
+};
+
+/** Evaluate @p model on @p test (batched to bound memory). */
+EvalResult evaluate(Layer &model, const Dataset &test);
+
+/**
+ * Train @p model on @p train, evaluating on @p test after each epoch.
+ * Applies the convergence criterion above.
+ */
+TrainResult trainClassifier(Layer &model, const Dataset &train,
+                            const Dataset &test, const TrainConfig &cfg);
+
+} // namespace ndp::nn

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cyclic barrier for lock-step phases (e.g. all-reduce rounds).
+ *
+ * N parties `co_await barrier.arrive()`; the first N-1 suspend and the
+ * N-th releases everyone, after which the barrier resets for the next
+ * round. This is exactly the coupling a data-parallel weight
+ * synchronization imposes: every iteration, the fastest workers wait
+ * for the slowest (§4.1) — the behaviour FT-DMP's no-sync design
+ * removes.
+ */
+
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ndp::sim {
+
+class Barrier
+{
+  public:
+    Barrier(Simulator &s, int parties) : sim(s), parties(parties)
+    {
+        assert(parties > 0);
+    }
+
+    /** Awaitable: suspends until all parties have arrived. */
+    auto
+    arrive()
+    {
+        struct Awaiter
+        {
+            Barrier &b;
+
+            bool
+            await_ready()
+            {
+                if (b.arrived + 1 == b.parties) {
+                    // Last arrival: release the round.
+                    b.arrived = 0;
+                    ++b.rounds;
+                    for (auto h : b.waiters)
+                        b.sim.scheduleHandle(0.0, h);
+                    b.waiters.clear();
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ++b.arrived;
+                b.waiters.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    /** Completed rounds. */
+    uint64_t completedRounds() const { return rounds; }
+
+    /** Parties currently blocked at the barrier. */
+    int waiting() const { return arrived; }
+
+  private:
+    Simulator &sim;
+    int parties;
+    int arrived = 0;
+    uint64_t rounds = 0;
+    std::vector<std::coroutine_handle<>> waiters;
+};
+
+} // namespace ndp::sim

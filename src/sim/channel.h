@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Bounded single-producer/multi-consumer channel for pipeline stages.
+ *
+ * A Channel<T> carries values between coroutine processes. `put` suspends
+ * when the buffer is full; `get` suspends when it is empty and returns
+ * std::nullopt once the channel is closed and drained. A capacity of zero
+ * gives rendezvous semantics (put completes only when a getter is ready).
+ */
+
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace ndp::sim {
+
+template <typename T>
+class Channel
+{
+  public:
+    Channel(Simulator &s, size_t capacity) : sim(s), cap(capacity) {}
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    struct PutAwaiter
+    {
+        Channel &ch;
+        T value;
+
+        bool
+        await_ready()
+        {
+            assert(!ch.closedFlag && "put on a closed channel");
+            if (!ch.getters.empty()) {
+                // Deliver directly to the oldest waiting getter.
+                GetAwaiter *g = ch.getters.front();
+                ch.getters.pop_front();
+                g->result = std::move(value);
+                ch.sim.scheduleHandle(0.0, g->handle);
+                ++ch.nPut;
+                return true;
+            }
+            if (ch.buf.size() < ch.cap) {
+                ch.buf.push_back(std::move(value));
+                ++ch.nPut;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            handle = h;
+            ch.putters.push_back(this);
+        }
+
+        void await_resume() const noexcept {}
+
+        std::coroutine_handle<> handle = nullptr;
+    };
+
+    struct GetAwaiter
+    {
+        Channel &ch;
+        std::optional<T> result = std::nullopt;
+
+        bool
+        await_ready()
+        {
+            if (!ch.buf.empty()) {
+                result = std::move(ch.buf.front());
+                ch.buf.pop_front();
+                ch.promotePutter();
+                ++ch.nGot;
+                return true;
+            }
+            if (!ch.putters.empty()) {
+                // Rendezvous (capacity 0): take directly from a putter.
+                PutAwaiter *p = ch.putters.front();
+                ch.putters.pop_front();
+                result = std::move(p->value);
+                ch.sim.scheduleHandle(0.0, p->handle);
+                ++ch.nPut;
+                ++ch.nGot;
+                return true;
+            }
+            if (ch.closedFlag) {
+                result = std::nullopt;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            handle = h;
+            ch.getters.push_back(this);
+        }
+
+        std::optional<T>
+        await_resume()
+        {
+            return std::move(result);
+        }
+
+        std::coroutine_handle<> handle = nullptr;
+    };
+
+    /** Awaitable inserting @p v; suspends while the buffer is full. */
+    PutAwaiter put(T v) { return PutAwaiter{*this, std::move(v)}; }
+
+    /**
+     * Awaitable removing the oldest value; suspends while empty and the
+     * channel is open. Yields std::nullopt after close() + drain.
+     */
+    GetAwaiter get() { return GetAwaiter{*this}; }
+
+    /**
+     * Close the channel: waiting getters are woken with std::nullopt.
+     * Values already buffered remain retrievable. No puts may follow.
+     */
+    void
+    close()
+    {
+        assert(putters.empty() && "close with blocked producers");
+        closedFlag = true;
+        while (!getters.empty() && buf.empty()) {
+            GetAwaiter *g = getters.front();
+            getters.pop_front();
+            g->result = std::nullopt;
+            sim.scheduleHandle(0.0, g->handle);
+        }
+    }
+
+    bool closed() const { return closedFlag; }
+    size_t size() const { return buf.size(); }
+    size_t capacity() const { return cap; }
+    uint64_t totalPut() const { return nPut; }
+    uint64_t totalGot() const { return nGot; }
+
+  private:
+    /** After freeing a buffer slot, move a blocked putter's value in. */
+    void
+    promotePutter()
+    {
+        if (!putters.empty() && buf.size() < cap) {
+            PutAwaiter *p = putters.front();
+            putters.pop_front();
+            buf.push_back(std::move(p->value));
+            ++nPut;
+            sim.scheduleHandle(0.0, p->handle);
+        }
+    }
+
+    Simulator &sim;
+    size_t cap;
+    std::deque<T> buf;
+    std::deque<PutAwaiter *> putters;
+    std::deque<GetAwaiter *> getters;
+    bool closedFlag = false;
+    uint64_t nPut = 0;
+    uint64_t nGot = 0;
+};
+
+} // namespace ndp::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Every stochastic component in the repository takes an explicit Rng so
+ * that experiments are reproducible bit-for-bit from a seed. We avoid
+ * std::mt19937 + std::normal_distribution because their outputs are not
+ * guaranteed identical across standard library implementations.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ndp {
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 to spread the seed over the state.
+        uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit integer. */
+    uint64_t
+    nextU64()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        return nextU64() % n;
+    }
+
+    /** Standard normal via Box-Muller (uses a cached spare). */
+    double
+    normal()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u1, u2;
+        do {
+            u1 = uniform();
+        } while (u1 <= 1e-300);
+        u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 6.283185307179586 * u2;
+        spare = r * std::sin(theta);
+        haveSpare = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Lognormal: exp(N(mu, sigma)). */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::exp(normal(mu, sigma));
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Derive an independent child stream (for per-component RNGs). */
+    Rng
+    split()
+    {
+        return Rng(nextU64());
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace ndp

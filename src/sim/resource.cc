@@ -1,0 +1,56 @@
+#include "sim/resource.h"
+
+#include <cassert>
+
+namespace ndp::sim {
+
+Resource::Resource(Simulator &s, int cap) : sim(s), cap(cap), avail(cap)
+{
+    assert(cap > 0 && "resource capacity must be positive");
+}
+
+bool
+Resource::tryAcquireNow(int n)
+{
+    assert(n > 0 && n <= cap && "request exceeds resource capacity");
+    if (waiters.empty() && avail >= n) {
+        accountTo(sim.now());
+        avail -= n;
+        return true;
+    }
+    return false;
+}
+
+void
+Resource::release(int n)
+{
+    assert(n > 0);
+    accountTo(sim.now());
+    avail += n;
+    assert(avail <= cap && "released more tokens than acquired");
+    while (!waiters.empty() && waiters.front().n <= avail) {
+        Waiter w = waiters.front();
+        waiters.pop_front();
+        avail -= w.n;
+        sim.scheduleHandle(0.0, w.h);
+    }
+}
+
+void
+Resource::accountTo(Time t)
+{
+    busyTokenTime += (t - lastAccount) * (cap - avail);
+    lastAccount = t;
+}
+
+double
+Resource::utilization() const
+{
+    Time t = sim.now();
+    if (t <= 0.0)
+        return 0.0;
+    double busy = busyTokenTime + (t - lastAccount) * (cap - avail);
+    return busy / (t * cap);
+}
+
+} // namespace ndp::sim

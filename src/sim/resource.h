@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Counted resource with FIFO acquisition, modeled after SimPy resources.
+ *
+ * A Resource holds an integer number of tokens (e.g. CPU cores, GPU
+ * execution slots). Processes `co_await res.acquire(n)` and later call
+ * `res.release(n)`. Waiters are served strictly FIFO: a large request at
+ * the head of the queue blocks smaller requests behind it, which gives
+ * fair (non-starving) semantics.
+ */
+
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/simulator.h"
+
+namespace ndp::sim {
+
+class Resource
+{
+  public:
+    /** @param cap total number of tokens (must be > 0). */
+    Resource(Simulator &s, int cap);
+
+    /** Awaitable acquiring @p n tokens (n <= capacity). */
+    auto
+    acquire(int n = 1)
+    {
+        struct Awaiter
+        {
+            Resource &res;
+            int n;
+
+            bool
+            await_ready()
+            {
+                return res.tryAcquireNow(n);
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                res.waiters.push_back(Waiter{n, h});
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, n};
+    }
+
+    /** Return @p n tokens and wake eligible waiters in FIFO order. */
+    void release(int n = 1);
+
+    int capacity() const { return cap; }
+    int available() const { return avail; }
+    int inUse() const { return cap - avail; }
+    size_t queueLength() const { return waiters.size(); }
+
+    /**
+     * Fraction of capacity-time used so far (integrated utilization).
+     * Call after the simulation has advanced; 0 if no time has passed.
+     */
+    double utilization() const;
+
+  private:
+    struct Waiter
+    {
+        int n;
+        std::coroutine_handle<> h;
+    };
+
+    /** Non-blocking acquisition; true on success. Only if queue empty. */
+    bool tryAcquireNow(int n);
+
+    /** Accumulate busy token-time up to now. */
+    void accountTo(Time t);
+
+    Simulator &sim;
+    int cap;
+    int avail;
+    std::deque<Waiter> waiters;
+
+    Time lastAccount = 0.0;
+    double busyTokenTime = 0.0;
+};
+
+} // namespace ndp::sim

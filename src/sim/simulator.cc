@@ -1,0 +1,65 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ndp::sim {
+
+void
+Simulator::schedule(Time delay, std::function<void()> fn)
+{
+    assert(delay >= 0.0 && "cannot schedule events in the past");
+    queue.push(Event{curTime + delay, nextSeq++, std::move(fn)});
+}
+
+void
+Simulator::scheduleHandle(Time delay, std::coroutine_handle<> h)
+{
+    schedule(delay, [h] { h.resume(); });
+}
+
+void
+Simulator::spawn(Task t)
+{
+    assert(t.valid() && "cannot spawn an empty task");
+    auto h = t.rawHandle();
+    rootTasks.push_back(std::move(t));
+    schedule(0.0, [h] { h.resume(); });
+}
+
+void
+Simulator::dispatchOne()
+{
+    // Copy out the event before popping: fn may schedule new events.
+    Event ev = queue.top();
+    queue.pop();
+    curTime = ev.when;
+    ++nProcessed;
+    ev.fn();
+}
+
+Time
+Simulator::run()
+{
+    while (!queue.empty())
+        dispatchOne();
+    return curTime;
+}
+
+bool
+Simulator::runUntil(Time t)
+{
+    while (!queue.empty() && queue.top().when <= t)
+        dispatchOne();
+    if (t > curTime)
+        curTime = t;
+    return !queue.empty();
+}
+
+void
+Simulator::reapFinished()
+{
+    std::erase_if(rootTasks, [](const Task &t) { return t.done(); });
+}
+
+} // namespace ndp::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event simulator core.
+ *
+ * Time is a double in seconds. Events are (time, sequence) ordered so that
+ * events scheduled at the same instant fire in FIFO order, which makes the
+ * simulation fully deterministic.
+ */
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace ndp::sim {
+
+/** Simulated time in seconds. */
+using Time = double;
+
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time in seconds. */
+    Time now() const { return curTime; }
+
+    /** Schedule a callback @p delay seconds from now (delay >= 0). */
+    void schedule(Time delay, std::function<void()> fn);
+
+    /** Schedule resumption of a suspended coroutine @p delay from now. */
+    void scheduleHandle(Time delay, std::coroutine_handle<> h);
+
+    /**
+     * Spawn a root process. The simulator takes ownership of the task and
+     * resumes it at the current simulation time.
+     */
+    void spawn(Task t);
+
+    /** Run until the event queue drains. @return final simulated time. */
+    Time run();
+
+    /**
+     * Run all events with timestamp <= @p t, then set now() to @p t.
+     * @return true if the event queue still has pending events.
+     */
+    bool runUntil(Time t);
+
+    /** Awaitable that suspends the current process for @p d seconds. */
+    auto
+    delay(Time d)
+    {
+        struct Awaiter
+        {
+            Simulator &sim;
+            Time d;
+
+            bool await_ready() const noexcept { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sim.scheduleHandle(d, h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, d};
+    }
+
+    /** Total number of events processed so far. */
+    uint64_t processedEvents() const { return nProcessed; }
+
+    /** Number of events still pending. */
+    size_t pendingEvents() const { return queue.size(); }
+
+    /** Drop root tasks that have completed, releasing their frames. */
+    void reapFinished();
+
+  private:
+    struct Event
+    {
+        Time when;
+        uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    void dispatchOne();
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+    std::vector<Task> rootTasks;
+    Time curTime = 0.0;
+    uint64_t nextSeq = 0;
+    uint64_t nProcessed = 0;
+};
+
+} // namespace ndp::sim

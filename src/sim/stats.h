@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Small statistics accumulators used across the simulator and benches.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ndp {
+
+/** Streaming mean/variance/min/max via Welford's algorithm. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n;
+        double delta = x - meanVal;
+        meanVal += delta / static_cast<double>(n);
+        m2 += delta * (x - meanVal);
+        minVal = std::min(minVal, x);
+        maxVal = std::max(maxVal, x);
+        total += x;
+    }
+
+    uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? meanVal : 0.0; }
+
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return n ? minVal : 0.0; }
+    double max() const { return n ? maxVal : 0.0; }
+
+  private:
+    uint64_t n = 0;
+    double meanVal = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double minVal = std::numeric_limits<double>::infinity();
+    double maxVal = -std::numeric_limits<double>::infinity();
+};
+
+/** Retains samples and answers percentile queries (for latency tails). */
+class SampleStat
+{
+  public:
+    void
+    add(double x)
+    {
+        samples.push_back(x);
+        sorted = false;
+    }
+
+    size_t count() const { return samples.size(); }
+
+    double
+    percentile(double p)
+    {
+        if (samples.empty())
+            return 0.0;
+        if (!sorted) {
+            std::sort(samples.begin(), samples.end());
+            sorted = true;
+        }
+        double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+        size_t lo = static_cast<size_t>(rank);
+        size_t hi = std::min(lo + 1, samples.size() - 1);
+        double frac = rank - static_cast<double>(lo);
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+    }
+
+    double median() { return percentile(50.0); }
+
+    double
+    mean() const
+    {
+        if (samples.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double x : samples)
+            s += x;
+        return s / static_cast<double>(samples.size());
+    }
+
+  private:
+    std::vector<double> samples;
+    bool sorted = false;
+};
+
+} // namespace ndp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Coroutine task type used to express simulation processes.
+ *
+ * A Task is a lazily-started C++20 coroutine. It is either spawned as a
+ * root process on a Simulator (which then owns it) or awaited by a parent
+ * coroutine (`co_await child()`), in which case the parent resumes when
+ * the child runs to completion. A Task may be awaited at most once.
+ */
+
+#pragma once
+
+#include <coroutine>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace ndp::sim {
+
+class Task
+{
+  public:
+    struct promise_type
+    {
+        /** Coroutine to resume when this task completes (may be null). */
+        std::coroutine_handle<> continuation = nullptr;
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<promise_type> h) noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void return_void() {}
+
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : handle(h) {}
+
+    Task(Task &&other) noexcept
+        : handle(std::exchange(other.handle, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            if (handle)
+                handle.destroy();
+            handle = std::exchange(other.handle, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task()
+    {
+        if (handle)
+            handle.destroy();
+    }
+
+    /** True once the coroutine body has run to completion. */
+    bool done() const { return !handle || handle.done(); }
+
+    /** True if this task still refers to a live coroutine frame. */
+    bool valid() const { return handle != nullptr; }
+
+    /**
+     * Awaiting a task starts (or resumes) it immediately and suspends the
+     * awaiter until the task completes.
+     */
+    auto
+    operator co_await() const noexcept
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> h;
+
+            bool await_ready() const noexcept { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            void await_resume() noexcept {}
+        };
+        return Awaiter{handle};
+    }
+
+    /** Raw handle; used by Simulator::spawn to kick the task off. */
+    std::coroutine_handle<> rawHandle() const { return handle; }
+
+  private:
+    std::coroutine_handle<promise_type> handle = nullptr;
+};
+
+} // namespace ndp::sim

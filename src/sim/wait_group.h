@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Go-style wait group for joining a dynamic set of processes.
+ *
+ * A coordinator calls add(n) before spawning n workers, each worker calls
+ * done() on exit, and the coordinator `co_await wg.wait()`s until the
+ * counter reaches zero.
+ */
+
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ndp::sim {
+
+class WaitGroup
+{
+  public:
+    explicit WaitGroup(Simulator &s) : sim(s) {}
+
+    void
+    add(int n = 1)
+    {
+        assert(n > 0);
+        count += n;
+    }
+
+    void
+    done()
+    {
+        assert(count > 0 && "done() without matching add()");
+        if (--count == 0) {
+            for (auto h : waiters)
+                sim.scheduleHandle(0.0, h);
+            waiters.clear();
+        }
+    }
+
+    /** Awaitable completing once the counter reaches zero. */
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            WaitGroup &wg;
+
+            bool await_ready() const noexcept { return wg.count == 0; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                wg.waiters.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    int pending() const { return count; }
+
+  private:
+    Simulator &sim;
+    int count = 0;
+    std::vector<std::coroutine_handle<>> waiters;
+};
+
+} // namespace ndp::sim

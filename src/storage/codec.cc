@@ -1,0 +1,152 @@
+#include "storage/codec.h"
+
+#include <cstring>
+
+namespace ndp::storage {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 0x7f + kMinMatch; // 131
+constexpr size_t kWindow = 65535;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr uint8_t kMagic[4] = {'N', 'D', 'L', 'Z'};
+
+uint32_t
+hash4(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void
+flushLiterals(const Bytes &input, size_t lit_start, size_t lit_end,
+              Bytes &out)
+{
+    while (lit_start < lit_end) {
+        size_t run = std::min<size_t>(128, lit_end - lit_start);
+        out.push_back(static_cast<uint8_t>(run - 1));
+        out.insert(out.end(), input.begin() + lit_start,
+                   input.begin() + lit_start + run);
+        lit_start += run;
+    }
+}
+
+} // namespace
+
+Bytes
+deflateLite(const Bytes &input)
+{
+    Bytes out;
+    out.reserve(input.size() / 2 + 16);
+    out.insert(out.end(), kMagic, kMagic + 4);
+    uint32_t n = static_cast<uint32_t>(input.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(n >> (8 * i)));
+
+    if (input.size() < kMinMatch) {
+        flushLiterals(input, 0, input.size(), out);
+        return out;
+    }
+
+    std::vector<int64_t> head(kHashSize, -1);
+    size_t pos = 0;
+    size_t lit_start = 0;
+    const size_t limit = input.size() - kMinMatch;
+
+    while (pos <= limit) {
+        uint32_t h = hash4(&input[pos]);
+        int64_t cand = head[h];
+        head[h] = static_cast<int64_t>(pos);
+
+        size_t best_len = 0;
+        if (cand >= 0 &&
+            pos - static_cast<size_t>(cand) <= kWindow) {
+            const uint8_t *a = &input[static_cast<size_t>(cand)];
+            const uint8_t *b = &input[pos];
+            size_t max_len = std::min(kMaxMatch, input.size() - pos);
+            size_t len = 0;
+            while (len < max_len && a[len] == b[len])
+                ++len;
+            if (len >= kMinMatch)
+                best_len = len;
+        }
+
+        if (best_len > 0) {
+            flushLiterals(input, lit_start, pos, out);
+            size_t dist = pos - static_cast<size_t>(cand);
+            out.push_back(static_cast<uint8_t>(
+                0x80 + (best_len - kMinMatch)));
+            out.push_back(static_cast<uint8_t>(dist & 0xff));
+            out.push_back(static_cast<uint8_t>(dist >> 8));
+            // Index a few positions inside the match so later data can
+            // still find it (cheap approximation of full chaining).
+            size_t end = pos + best_len;
+            for (size_t p2 = pos + 1; p2 + kMinMatch <= end &&
+                                      p2 <= limit;
+                 p2 += 2) {
+                head[hash4(&input[p2])] = static_cast<int64_t>(p2);
+            }
+            pos = end;
+            lit_start = pos;
+        } else {
+            ++pos;
+        }
+    }
+    flushLiterals(input, lit_start, input.size(), out);
+    return out;
+}
+
+std::optional<uint64_t>
+inflatedSize(const Bytes &input)
+{
+    if (input.size() < 8 || std::memcmp(input.data(), kMagic, 4) != 0)
+        return std::nullopt;
+    uint32_t n = 0;
+    for (int i = 0; i < 4; ++i)
+        n |= static_cast<uint32_t>(input[4 + i]) << (8 * i);
+    return n;
+}
+
+std::optional<Bytes>
+inflateLite(const Bytes &input)
+{
+    auto size = inflatedSize(input);
+    if (!size)
+        return std::nullopt;
+
+    Bytes out;
+    out.reserve(*size);
+    size_t pos = 8;
+    while (pos < input.size()) {
+        uint8_t c = input[pos++];
+        if (c < 0x80) {
+            size_t run = static_cast<size_t>(c) + 1;
+            if (pos + run > input.size())
+                return std::nullopt;
+            out.insert(out.end(), input.begin() + pos,
+                       input.begin() + pos + run);
+            pos += run;
+        } else {
+            if (pos + 2 > input.size())
+                return std::nullopt;
+            size_t len = static_cast<size_t>(c - 0x80) + kMinMatch;
+            size_t dist = static_cast<size_t>(input[pos]) |
+                          (static_cast<size_t>(input[pos + 1]) << 8);
+            pos += 2;
+            if (dist == 0 || dist > out.size())
+                return std::nullopt;
+            // Byte-by-byte copy: overlapping matches are legal (RLE).
+            size_t src = out.size() - dist;
+            for (size_t i = 0; i < len; ++i)
+                out.push_back(out[src + i]);
+        }
+    }
+    if (out.size() != *size)
+        return std::nullopt;
+    return out;
+}
+
+} // namespace ndp::storage

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DeflateLite: an LZ77 byte-stream codec.
+ *
+ * NDPipe stores preprocessed image binaries compressed with a deflate
+ * algorithm (§5.4) to offset the 17.5 % storage overhead of keeping
+ * them next to the raw JPEGs, and SRV-C ships compressed binaries over
+ * the network. This is a real, self-contained implementation in that
+ * spirit: greedy LZ77 with a 64 KiB window and a hash-chain matcher,
+ * byte-oriented token encoding (no entropy stage, which keeps the
+ * decompressor trivially fast — the property §6.4 relies on when the
+ * CPU-side decompression becomes the SRV-C ceiling).
+ *
+ * Token format after the 8-byte header ("NDLZ" + u32 original size):
+ *   c in [0x00, 0x7f]  -> literal run of c+1 bytes follows
+ *   c in [0x80, 0xff]  -> match of length (c - 0x80 + 4), followed by
+ *                         a little-endian u16 distance (1..65535)
+ * Longer matches are emitted as consecutive match tokens.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ndp::storage {
+
+using Bytes = std::vector<uint8_t>;
+
+/** Compress @p input. Never fails; worst case grows by ~1/128 + 8. */
+Bytes deflateLite(const Bytes &input);
+
+/**
+ * Decompress a deflateLite stream.
+ * @return std::nullopt if the stream is corrupt or truncated.
+ */
+std::optional<Bytes> inflateLite(const Bytes &input);
+
+/** Original (decompressed) size recorded in the header, if valid. */
+std::optional<uint64_t> inflatedSize(const Bytes &input);
+
+/** @name Codec throughput model (for the simulator)
+ * Single-core rates, MB of *uncompressed* data per second. Calibrated
+ * so that (a) two PipeStore cores sit just below the InceptionV3 GPU
+ * rate (Fig. 19's decompression ceiling at batch >= 128) and (b) eight
+ * SRV-C host cores stop helping past ~20 Gbps (Fig. 18).
+ * @{
+ */
+constexpr double kCompressMBps = 140.0;
+constexpr double kDecompressMBps = 1250.0;
+/** @} */
+
+} // namespace ndp::storage

@@ -1,0 +1,317 @@
+#include "storage/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+#include <vector>
+
+namespace ndp::storage {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'N', 'D', 'H', 'F'};
+constexpr int kMaxCodeLen = 15; // as in DEFLATE
+
+/** Compute Huffman code lengths for the given frequencies. */
+std::vector<uint8_t>
+codeLengths(std::vector<uint64_t> freq)
+{
+    const size_t n = freq.size();
+    std::vector<uint8_t> lens(n, 0);
+
+    while (true) {
+        // Build the tree with a min-heap over (freq, node).
+        struct Node
+        {
+            uint64_t freq;
+            int left = -1, right = -1;
+            int symbol = -1;
+        };
+        std::vector<Node> nodes;
+        using HeapItem = std::pair<uint64_t, int>;
+        std::priority_queue<HeapItem, std::vector<HeapItem>,
+                            std::greater<>>
+            heap;
+        for (size_t s = 0; s < n; ++s) {
+            if (freq[s] > 0) {
+                nodes.push_back({freq[s], -1, -1,
+                                 static_cast<int>(s)});
+                heap.push({freq[s],
+                           static_cast<int>(nodes.size() - 1)});
+            }
+        }
+        if (heap.empty())
+            return lens;
+        if (heap.size() == 1) {
+            lens[static_cast<size_t>(
+                nodes[heap.top().second].symbol)] = 1;
+            return lens;
+        }
+        while (heap.size() > 1) {
+            auto a = heap.top();
+            heap.pop();
+            auto b = heap.top();
+            heap.pop();
+            nodes.push_back({a.first + b.first, a.second, b.second});
+            heap.push({a.first + b.first,
+                       static_cast<int>(nodes.size() - 1)});
+        }
+
+        // Depth-first assignment of depths as code lengths.
+        int max_len = 0;
+        std::vector<std::pair<int, int>> stack; // (node, depth)
+        stack.push_back({heap.top().second, 0});
+        while (!stack.empty()) {
+            auto [idx, depth] = stack.back();
+            stack.pop_back();
+            const Node &node = nodes[static_cast<size_t>(idx)];
+            if (node.symbol >= 0) {
+                lens[static_cast<size_t>(node.symbol)] =
+                    static_cast<uint8_t>(depth);
+                max_len = std::max(max_len, depth);
+            } else {
+                stack.push_back({node.left, depth + 1});
+                stack.push_back({node.right, depth + 1});
+            }
+        }
+        if (max_len <= kMaxCodeLen)
+            return lens;
+        // Flatten the distribution and retry (bounded iterations).
+        for (auto &f : freq) {
+            if (f > 0)
+                f = f / 2 + 1;
+        }
+        std::fill(lens.begin(), lens.end(), 0);
+    }
+}
+
+/** Canonical code assignment: symbols sorted by (length, value). */
+std::vector<uint32_t>
+canonicalCodes(const std::vector<uint8_t> &lens)
+{
+    std::vector<uint32_t> codes(lens.size(), 0);
+    std::vector<int> order;
+    for (size_t s = 0; s < lens.size(); ++s) {
+        if (lens[s] > 0)
+            order.push_back(static_cast<int>(s));
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (lens[static_cast<size_t>(a)] !=
+            lens[static_cast<size_t>(b)])
+            return lens[static_cast<size_t>(a)] <
+                   lens[static_cast<size_t>(b)];
+        return a < b;
+    });
+    uint32_t code = 0;
+    uint8_t prev_len = 0;
+    for (int s : order) {
+        uint8_t len = lens[static_cast<size_t>(s)];
+        code <<= (len - prev_len);
+        codes[static_cast<size_t>(s)] = code;
+        ++code;
+        prev_len = len;
+    }
+    return codes;
+}
+
+class BitWriter
+{
+  public:
+    explicit BitWriter(Bytes &out) : out(out) {}
+
+    void
+    write(uint32_t code, uint8_t len)
+    {
+        for (int i = len - 1; i >= 0; --i) {
+            cur = static_cast<uint8_t>(cur << 1);
+            cur |= (code >> i) & 1u;
+            if (++nbits == 8) {
+                out.push_back(cur);
+                cur = 0;
+                nbits = 0;
+            }
+        }
+    }
+
+    void
+    flush()
+    {
+        if (nbits > 0) {
+            cur = static_cast<uint8_t>(cur << (8 - nbits));
+            out.push_back(cur);
+            cur = 0;
+            nbits = 0;
+        }
+    }
+
+  private:
+    Bytes &out;
+    uint8_t cur = 0;
+    int nbits = 0;
+};
+
+class BitReader
+{
+  public:
+    BitReader(const Bytes &in, size_t start) : in(in), pos(start) {}
+
+    /** @return -1 past end of stream. */
+    int
+    next()
+    {
+        if (pos >= in.size())
+            return -1;
+        int bit = (in[pos] >> (7 - nbits)) & 1;
+        if (++nbits == 8) {
+            nbits = 0;
+            ++pos;
+        }
+        return bit;
+    }
+
+  private:
+    const Bytes &in;
+    size_t pos;
+    int nbits = 0;
+};
+
+} // namespace
+
+Bytes
+huffmanEncode(const Bytes &input)
+{
+    Bytes out;
+    out.insert(out.end(), kMagic, kMagic + 4);
+    uint32_t n = static_cast<uint32_t>(input.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(n >> (8 * i)));
+
+    std::vector<uint64_t> freq(256, 0);
+    for (uint8_t b : input)
+        ++freq[b];
+    auto lens = codeLengths(freq);
+    out.insert(out.end(), lens.begin(), lens.end());
+    if (input.empty())
+        return out;
+
+    auto codes = canonicalCodes(lens);
+    BitWriter writer(out);
+    for (uint8_t b : input)
+        writer.write(codes[b], lens[b]);
+    writer.flush();
+    return out;
+}
+
+std::optional<Bytes>
+huffmanDecode(const Bytes &input)
+{
+    if (input.size() < 8 + 256 ||
+        std::memcmp(input.data(), kMagic, 4) != 0)
+        return std::nullopt;
+    uint32_t n = 0;
+    for (int i = 0; i < 4; ++i)
+        n |= static_cast<uint32_t>(input[4 + i]) << (8 * i);
+
+    std::vector<uint8_t> lens(input.begin() + 8,
+                              input.begin() + 8 + 256);
+    Bytes out;
+    out.reserve(n);
+    if (n == 0)
+        return out;
+
+    // Canonical decode tables: per length, the first code and the
+    // symbols in canonical order.
+    std::vector<int> order;
+    for (int s = 0; s < 256; ++s) {
+        if (lens[static_cast<size_t>(s)] > 0)
+            order.push_back(s);
+    }
+    if (order.empty())
+        return std::nullopt;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (lens[static_cast<size_t>(a)] !=
+            lens[static_cast<size_t>(b)])
+            return lens[static_cast<size_t>(a)] <
+                   lens[static_cast<size_t>(b)];
+        return a < b;
+    });
+    // first_code[len], first_index[len] into `order`.
+    uint32_t first_code[kMaxCodeLen + 2] = {};
+    int first_index[kMaxCodeLen + 2] = {};
+    int count[kMaxCodeLen + 2] = {};
+    for (int s : order)
+        ++count[lens[static_cast<size_t>(s)]];
+    {
+        uint32_t code = 0;
+        int index = 0;
+        for (int len = 1; len <= kMaxCodeLen + 1; ++len) {
+            first_code[len] = code;
+            first_index[len] = index;
+            code = (code + static_cast<uint32_t>(count[len])) << 1;
+            index += count[len];
+        }
+    }
+
+    BitReader reader(input, 8 + 256);
+    while (out.size() < n) {
+        uint32_t code = 0;
+        int len = 0;
+        int symbol = -1;
+        while (len <= kMaxCodeLen) {
+            int bit = reader.next();
+            if (bit < 0)
+                return std::nullopt; // truncated
+            code = (code << 1) | static_cast<uint32_t>(bit);
+            ++len;
+            if (count[len] > 0 && code >= first_code[len] &&
+                code < first_code[len] +
+                           static_cast<uint32_t>(count[len])) {
+                symbol = order[static_cast<size_t>(
+                    first_index[len] +
+                    static_cast<int>(code - first_code[len]))];
+                break;
+            }
+        }
+        if (symbol < 0)
+            return std::nullopt; // invalid code
+        out.push_back(static_cast<uint8_t>(symbol));
+    }
+    return out;
+}
+
+Bytes
+deflateFull(const Bytes &input)
+{
+    return huffmanEncode(deflateLite(input));
+}
+
+std::optional<Bytes>
+inflateFull(const Bytes &input)
+{
+    auto lz = huffmanDecode(input);
+    if (!lz)
+        return std::nullopt;
+    return inflateLite(*lz);
+}
+
+double
+byteEntropy(const Bytes &input)
+{
+    if (input.empty())
+        return 0.0;
+    std::vector<uint64_t> freq(256, 0);
+    for (uint8_t b : input)
+        ++freq[b];
+    double h = 0.0;
+    double n = static_cast<double>(input.size());
+    for (uint64_t f : freq) {
+        if (f == 0)
+            continue;
+        double p = static_cast<double>(f) / n;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+} // namespace ndp::storage

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Order-0 canonical Huffman coder.
+ *
+ * DeflateLite's byte-token stream (codec.h) deliberately omits the
+ * entropy stage for decompression speed; this coder supplies it as a
+ * composable second pass for cold data, completing a full
+ * deflate-style LZ77+Huffman stack. deflateFull()/inflateFull() wire
+ * the two stages together.
+ *
+ * Stream layout: "NDHF" magic, u32 payload length, 256 x u8 code
+ * lengths (canonical; 0 = symbol absent), then the packed bitstream
+ * (MSB-first within each byte).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "storage/codec.h"
+
+namespace ndp::storage {
+
+/** Entropy-encode @p input. Always succeeds. */
+Bytes huffmanEncode(const Bytes &input);
+
+/** @return std::nullopt on malformed or truncated streams. */
+std::optional<Bytes> huffmanDecode(const Bytes &input);
+
+/** LZ77 + Huffman, the full deflate-style stack. */
+Bytes deflateFull(const Bytes &input);
+std::optional<Bytes> inflateFull(const Bytes &input);
+
+/** Shannon entropy of @p input in bits per byte (diagnostics). */
+double byteEntropy(const Bytes &input);
+
+} // namespace ndp::storage

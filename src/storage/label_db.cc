@@ -1,0 +1,94 @@
+#include "storage/label_db.h"
+
+namespace ndp::storage {
+
+void
+LabelDatabase::upsert(uint64_t photo_id, int label, int model_version)
+{
+    auto it = entries.find(photo_id);
+    if (it != entries.end()) {
+        if (it->second.label != label) {
+            auto &old_set = index[it->second.label];
+            old_set.erase(photo_id);
+            if (old_set.empty())
+                index.erase(it->second.label);
+        }
+        it->second = LabelEntry{label, model_version};
+    } else {
+        entries.emplace(photo_id, LabelEntry{label, model_version});
+    }
+    index[label].insert(photo_id);
+}
+
+std::optional<LabelEntry>
+LabelDatabase::lookup(uint64_t photo_id) const
+{
+    auto it = entries.find(photo_id);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+LabelDatabase::erase(uint64_t photo_id)
+{
+    auto it = entries.find(photo_id);
+    if (it == entries.end())
+        return false;
+    auto &set = index[it->second.label];
+    set.erase(photo_id);
+    if (set.empty())
+        index.erase(it->second.label);
+    entries.erase(it);
+    return true;
+}
+
+std::vector<uint64_t>
+LabelDatabase::search(int label) const
+{
+    auto it = index.find(label);
+    if (it == index.end())
+        return {};
+    return {it->second.begin(), it->second.end()};
+}
+
+std::vector<uint64_t>
+LabelDatabase::outdatedPhotos(int version) const
+{
+    std::vector<uint64_t> out;
+    for (const auto &[id, entry] : entries) {
+        if (entry.modelVersion < version)
+            out.push_back(id);
+    }
+    return out;
+}
+
+size_t
+LabelDatabase::countOutdated(int version) const
+{
+    size_t n = 0;
+    for (const auto &[id, entry] : entries) {
+        if (entry.modelVersion < version)
+            ++n;
+    }
+    return n;
+}
+
+double
+LabelDatabase::fractionChanged(const LabelDatabase &newer) const
+{
+    size_t common = 0, changed = 0;
+    for (const auto &[id, entry] : entries) {
+        auto other = newer.lookup(id);
+        if (!other)
+            continue;
+        ++common;
+        if (other->label != entry.label)
+            ++changed;
+    }
+    if (common == 0)
+        return 0.0;
+    return static_cast<double>(changed) / static_cast<double>(common);
+}
+
+} // namespace ndp::storage

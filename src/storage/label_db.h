@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Label database: the metadata index photo services query (§3.1).
+ *
+ * Maps photo id -> (label, model version) and maintains an inverted
+ * index label -> photo ids so search requests can be served. Tracks
+ * which labels were produced by which model version, which powers both
+ * offline-inference refresh (§5) and the outdated-label accounting of
+ * Table 1.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace ndp::storage {
+
+struct LabelEntry
+{
+    int label;
+    int modelVersion;
+};
+
+class LabelDatabase
+{
+  public:
+    /** Insert or update a photo's label; maintains the index. */
+    void upsert(uint64_t photo_id, int label, int model_version);
+
+    std::optional<LabelEntry> lookup(uint64_t photo_id) const;
+
+    bool erase(uint64_t photo_id);
+
+    /** Photo ids carrying @p label, ascending. */
+    std::vector<uint64_t> search(int label) const;
+
+    /** Photos whose label came from a model older than @p version. */
+    std::vector<uint64_t> outdatedPhotos(int version) const;
+
+    size_t countOutdated(int version) const;
+
+    size_t size() const { return entries.size(); }
+
+    /** Number of distinct labels currently indexed. */
+    size_t distinctLabels() const { return index.size(); }
+
+    /**
+     * Fraction of photos (present in both snapshots) whose label in
+     * @p newer differs from this database — Table 1's "% of labels
+     * fixed" when @p newer holds the new model's labels.
+     */
+    double fractionChanged(const LabelDatabase &newer) const;
+
+  private:
+    std::map<uint64_t, LabelEntry> entries;
+    std::map<int, std::set<uint64_t>> index;
+};
+
+} // namespace ndp::storage

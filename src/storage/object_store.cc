@@ -1,0 +1,72 @@
+#include "storage/object_store.h"
+
+namespace ndp::storage {
+
+std::optional<size_t>
+ObjectStore::put(const std::string &key, Bytes data)
+{
+    std::optional<size_t> prev;
+    auto it = objects.find(key);
+    if (it != objects.end()) {
+        prev = it->second.size();
+        bytes -= it->second.size();
+        it->second = std::move(data);
+        bytes += it->second.size();
+    } else {
+        bytes += data.size();
+        objects.emplace(key, std::move(data));
+    }
+    return prev;
+}
+
+const Bytes *
+ObjectStore::get(const std::string &key) const
+{
+    auto it = objects.find(key);
+    return it == objects.end() ? nullptr : &it->second;
+}
+
+bool
+ObjectStore::contains(const std::string &key) const
+{
+    return objects.count(key) > 0;
+}
+
+bool
+ObjectStore::erase(const std::string &key)
+{
+    auto it = objects.find(key);
+    if (it == objects.end())
+        return false;
+    bytes -= it->second.size();
+    objects.erase(it);
+    return true;
+}
+
+uint64_t
+ObjectStore::bytesUnderPrefix(const std::string &prefix) const
+{
+    uint64_t total = 0;
+    for (auto it = objects.lower_bound(prefix);
+         it != objects.end() && it->first.compare(0, prefix.size(),
+                                                  prefix) == 0;
+         ++it) {
+        total += it->second.size();
+    }
+    return total;
+}
+
+std::vector<std::string>
+ObjectStore::listPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> keys;
+    for (auto it = objects.lower_bound(prefix);
+         it != objects.end() && it->first.compare(0, prefix.size(),
+                                                  prefix) == 0;
+         ++it) {
+        keys.push_back(it->first);
+    }
+    return keys;
+}
+
+} // namespace ndp::storage

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * In-memory object store standing in for a PipeStore's photo volume.
+ *
+ * Keys are flat strings with slash-separated namespaces; the photo
+ * service uses "raw/<id>" for original JPEGs and "pre/<id>" for the
+ * deflate-compressed preprocessed binaries the NPE +Offload
+ * optimization persists (§5.4). The store tracks byte totals per
+ * namespace so the 17.5 % preprocessed-binary overhead analysis can be
+ * reproduced directly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/codec.h"
+
+namespace ndp::storage {
+
+class ObjectStore
+{
+  public:
+    /** Insert or replace. @return previous size if the key existed. */
+    std::optional<size_t> put(const std::string &key, Bytes data);
+
+    /** nullptr if absent. Pointers invalidate on the next mutation. */
+    const Bytes *get(const std::string &key) const;
+
+    bool contains(const std::string &key) const;
+    bool erase(const std::string &key);
+
+    size_t count() const { return objects.size(); }
+    uint64_t totalBytes() const { return bytes; }
+
+    /** Bytes stored under keys beginning with @p prefix. */
+    uint64_t bytesUnderPrefix(const std::string &prefix) const;
+
+    /** Keys beginning with @p prefix, sorted. */
+    std::vector<std::string> listPrefix(const std::string &prefix) const;
+
+  private:
+    std::map<std::string, Bytes> objects;
+    uint64_t bytes = 0;
+};
+
+} // namespace ndp::storage

@@ -1,0 +1,81 @@
+#include "storage/photo_gen.h"
+
+#include <cmath>
+
+namespace ndp::storage {
+
+PhotoGenerator::PhotoGenerator(const PhotoGenConfig &c) : cfg(c) {}
+
+Rng
+PhotoGenerator::perPhotoRng(uint64_t photo_id, uint64_t stream) const
+{
+    // Mix the seed, photo id, and stream id into one 64-bit state.
+    uint64_t mixed = cfg.seed * 0x9e3779b97f4a7c15ull;
+    mixed ^= photo_id + 0x632be59bd9b4e019ull + (mixed << 6);
+    mixed ^= stream * 0xd6e8feb86659fd93ull;
+    return Rng(mixed);
+}
+
+size_t
+PhotoGenerator::rawSizeOf(uint64_t photo_id)
+{
+    Rng rng = perPhotoRng(photo_id, 0);
+    double mu = std::log(cfg.rawMeanMB) - 0.5 * cfg.rawSigma * cfg.rawSigma;
+    double mb = rng.lognormal(mu, cfg.rawSigma);
+    return static_cast<size_t>(mb * 1e6);
+}
+
+Bytes
+PhotoGenerator::rawPhoto(uint64_t photo_id)
+{
+    size_t n = rawSizeOf(photo_id);
+    Rng rng = perPhotoRng(photo_id, 1);
+    Bytes out(n);
+    // High-entropy contents: JPEG payloads do not recompress.
+    size_t i = 0;
+    while (i + 8 <= n) {
+        uint64_t v = rng.nextU64();
+        for (int b = 0; b < 8; ++b)
+            out[i++] = static_cast<uint8_t>(v >> (8 * b));
+    }
+    while (i < n)
+        out[i++] = static_cast<uint8_t>(rng.nextU64());
+    return out;
+}
+
+Bytes
+PhotoGenerator::preprocessedBinary(uint64_t photo_id)
+{
+    Rng rng = perPhotoRng(photo_id, 2);
+    size_t n = cfg.preprocessedBytes;
+    Bytes out(n);
+    // Tensor-like redundancy: slowly varying values with occasional
+    // jumps, plus zero runs (borders / saturated channels). Mirrors
+    // the ~3.5x deflate ratio of real decoded image tensors.
+    uint8_t cur = static_cast<uint8_t>(rng.below(256));
+    size_t i = 0;
+    while (i < n) {
+        double r = rng.uniform();
+        if (r < 0.15) {
+            // Flat run.
+            size_t run = 8 + rng.below(64);
+            for (size_t k = 0; k < run && i < n; ++k)
+                out[i++] = cur;
+        } else if (r < 0.25) {
+            // Jump to a new region.
+            cur = static_cast<uint8_t>(rng.below(256));
+            out[i++] = cur;
+        } else {
+            // Smooth drift: repeat short patterns of nearby values.
+            size_t run = 4 + rng.below(12);
+            uint8_t step = static_cast<uint8_t>(rng.below(3));
+            for (size_t k = 0; k < run && i < n; ++k) {
+                cur = static_cast<uint8_t>(cur + (k % 2 ? step : 0));
+                out[i++] = cur;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ndp::storage

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic photo blob generator.
+ *
+ * Produces byte blobs with the statistical properties the paper's
+ * workloads rely on: "raw JPEGs" are high-entropy (already compressed,
+ * ~2.7 MB lognormal sizes), while "preprocessed binaries" (decoded,
+ * resized fp32 tensors) carry strong local redundancy and compress by
+ * roughly 3.5x under deflateLite. Blob contents are deterministic in
+ * (seed, photo id) so functional tests can verify round trips.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.h"
+#include "storage/codec.h"
+
+namespace ndp::storage {
+
+struct PhotoGenConfig
+{
+    /** Mean raw size in MB (paper: 2.7 MB typical JPEG). */
+    double rawMeanMB = 2.7;
+    /** Lognormal sigma of raw sizes. */
+    double rawSigma = 0.35;
+    /** Preprocessed binary size in bytes (fp32 224x224x3). */
+    size_t preprocessedBytes = 602112;
+    uint64_t seed = 7;
+};
+
+class PhotoGenerator
+{
+  public:
+    explicit PhotoGenerator(const PhotoGenConfig &cfg = {});
+
+    /** High-entropy blob with a lognormal size (a stored JPEG). */
+    Bytes rawPhoto(uint64_t photo_id);
+
+    /** Redundant tensor-like blob (a preprocessed binary). */
+    Bytes preprocessedBinary(uint64_t photo_id);
+
+    /** Raw size in bytes that rawPhoto would produce (no blob). */
+    size_t rawSizeOf(uint64_t photo_id);
+
+    const PhotoGenConfig &config() const { return cfg; }
+
+  private:
+    Rng perPhotoRng(uint64_t photo_id, uint64_t stream) const;
+
+    PhotoGenConfig cfg;
+};
+
+} // namespace ndp::storage

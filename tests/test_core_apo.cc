@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for APO: FindBestPoint's cut choice, Algorithm 1's store
+ * selection, and sensitivity to bandwidth and hardware.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/apo.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+ExperimentConfig
+apoCfg()
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 1200000;
+    cfg.nStores = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Apo, BestCutIsClassifierBoundaryForResnet)
+{
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    auto c = findBestPoint(cfg, opt);
+    // Fig. 9: the shortest training time is after +Conv5 — everything
+    // but the classifier offloaded.
+    EXPECT_EQ(c.cut, cfg.model->classifierStart());
+}
+
+TEST(Apo, NeverSplitsClassifierOntoStores)
+{
+    for (const models::ModelSpec *m : models::allModels()) {
+        ExperimentConfig cfg = apoCfg();
+        cfg.model = m;
+        TrainOptions opt;
+        auto c = findBestPoint(cfg, opt);
+        EXPECT_FALSE(m->cutSplitsClassifier(c.cut)) << m->name();
+    }
+}
+
+TEST(Apo, PicksEightStoresForResnet50)
+{
+    // Fig. 11: APO selects 8 PipeStores for ResNet50 on the paper's
+    // hardware and 10 Gbps network.
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    auto r = findBestOrganization(cfg, opt, 20);
+    EXPECT_EQ(r.bestStores, 8);
+}
+
+TEST(Apo, SweepCoversRangeAndTracksBest)
+{
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    auto r = findBestOrganization(cfg, opt, 12);
+    ASSERT_EQ(r.sweep.size(), 12u);
+    double best_diff = 1e300;
+    int best_n = 0;
+    for (const auto &p : r.sweep) {
+        if (p.tDiff < best_diff) {
+            best_diff = p.tDiff;
+            best_n = p.nStores;
+        }
+    }
+    EXPECT_EQ(r.bestStores, best_n);
+}
+
+TEST(Apo, StoreStageShrinksWithMoreStores)
+{
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    auto r = findBestOrganization(cfg, opt, 10);
+    for (size_t i = 1; i < r.sweep.size(); ++i) {
+        EXPECT_LT(r.sweep[i].choice.storeStageS,
+                  r.sweep[i - 1].choice.storeStageS);
+        // Tuner stage is independent of the store count.
+        EXPECT_NEAR(r.sweep[i].choice.tunerStageS,
+                    r.sweep[0].choice.tunerStageS, 1e-9);
+    }
+}
+
+TEST(Apo, PredictedTotalDecreasesWithStores)
+{
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    auto r = findBestOrganization(cfg, opt, 10);
+    for (size_t i = 1; i < r.sweep.size(); ++i) {
+        EXPECT_LE(r.sweep[i].choice.predictedTotalS,
+                  r.sweep[i - 1].choice.predictedTotalS + 1e-9);
+    }
+}
+
+TEST(Apo, LowBandwidthPrefersDeeperCut)
+{
+    // At 1 Gbps, shipping early-layer activations is hopeless; the
+    // best cut must still be the classifier boundary, and the
+    // predicted network stage must dominate shallow cuts.
+    auto cfg = apoCfg();
+    cfg.networkGbps = 1.0;
+    TrainOptions opt;
+    auto best = findBestPoint(cfg, opt);
+    EXPECT_EQ(best.cut, cfg.model->classifierStart());
+    auto shallow = evaluateCut(cfg, opt, 1);
+    EXPECT_GT(shallow.netStageS, best.netStageS * 10.0);
+}
+
+TEST(Apo, UnpipelinedPredictionIsSlower)
+{
+    auto cfg = apoCfg();
+    TrainOptions piped;
+    piped.nRun = 3;
+    TrainOptions serial = piped;
+    serial.pipelined = false;
+    auto a = evaluateCut(cfg, piped, cfg.model->classifierStart());
+    auto b = evaluateCut(cfg, serial, cfg.model->classifierStart());
+    EXPECT_LT(a.predictedTotalS, b.predictedTotalS);
+}
+
+TEST(Apo, SlowerStoresNeedMoreOfThem)
+{
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    int t4_pick = findBestOrganization(cfg, opt, 40).bestStores;
+    cfg.storeSpec = hw::inf12xlarge();
+    int inf1_pick = findBestOrganization(cfg, opt, 40).bestStores;
+    EXPECT_GT(inf1_pick, t4_pick);
+}
+
+TEST(Apo, PredictionTracksSimulatorWithinTolerance)
+{
+    auto cfg = apoCfg();
+    cfg.nStores = 8;
+    TrainOptions opt;
+    auto predicted = findBestPoint(cfg, opt);
+    auto measured = runFtDmpTraining(cfg, opt);
+    EXPECT_NEAR(predicted.predictedTotalS, measured.seconds,
+                measured.seconds * 0.25);
+}
+
+TEST(Apo, TransferSizeReportedPerCut)
+{
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    auto c = evaluateCut(cfg, opt, 0);
+    EXPECT_DOUBLE_EQ(c.transferMBPerImage, cfg.model->inputMB());
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for model checkpointing: exact restore, version/checksum
+ * integrity, corruption rejection, and the checkpoint+delta chain a
+ * PipeStore walks on every model update.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/delta.h"
+#include "data/backbone.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+data::VisionModel
+makeModel(uint64_t seed)
+{
+    Rng rng(seed);
+    return data::VisionModel(8, 4, 10, rng);
+}
+
+} // namespace
+
+TEST(Checkpoint, SaveRestoreRoundTrip)
+{
+    auto model = makeModel(1);
+    auto before = flattenParams(model);
+    Checkpoint ckpt = saveCheckpoint(model, 3);
+    EXPECT_EQ(ckpt.version, 3);
+
+    auto restored = makeModel(2); // different weights
+    ASSERT_TRUE(restoreCheckpoint(ckpt, restored));
+    EXPECT_EQ(flattenParams(restored), before);
+}
+
+TEST(Checkpoint, VersionStoredInHeader)
+{
+    auto model = makeModel(3);
+    Checkpoint ckpt = saveCheckpoint(model, 42);
+    auto v = checkpointVersion(ckpt.payload);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+}
+
+TEST(Checkpoint, PayloadIsCompressed)
+{
+    auto model = makeModel(4);
+    size_t raw = flattenParams(model).size() * sizeof(float);
+    Checkpoint ckpt = saveCheckpoint(model, 1);
+    // Float weights compress at least a little; never balloon.
+    EXPECT_LT(ckpt.bytes(), raw + 600);
+}
+
+TEST(Checkpoint, RejectsBadMagic)
+{
+    auto model = makeModel(5);
+    Checkpoint ckpt = saveCheckpoint(model, 1);
+    ckpt.payload[0] = 'X';
+    EXPECT_FALSE(checkpointVersion(ckpt.payload).has_value());
+    EXPECT_FALSE(restoreParams(ckpt).has_value());
+}
+
+TEST(Checkpoint, RejectsFlippedChecksum)
+{
+    auto model = makeModel(6);
+    Checkpoint ckpt = saveCheckpoint(model, 1);
+    ckpt.payload[12] ^= 0xff; // checksum field
+    EXPECT_FALSE(restoreParams(ckpt).has_value());
+}
+
+TEST(Checkpoint, RejectsTruncation)
+{
+    auto model = makeModel(7);
+    Checkpoint ckpt = saveCheckpoint(model, 1);
+    ckpt.payload.resize(ckpt.payload.size() / 2);
+    EXPECT_FALSE(restoreParams(ckpt).has_value());
+}
+
+TEST(Checkpoint, RejectsModelShapeMismatch)
+{
+    auto model = makeModel(8);
+    Checkpoint ckpt = saveCheckpoint(model, 1);
+    Rng rng(9);
+    data::VisionModel bigger(8, 6, 10, rng);
+    EXPECT_FALSE(restoreCheckpoint(ckpt, bigger));
+}
+
+TEST(Checkpoint, Fnv1aKnownVector)
+{
+    // FNV-1a("a") = 0xe40c292c.
+    const uint8_t a = 'a';
+    EXPECT_EQ(fnv1a(&a, 1), 0xe40c292cu);
+    EXPECT_EQ(fnv1a(nullptr, 0), 2166136261u);
+}
+
+TEST(Checkpoint, DeltaChainReproducesNextVersion)
+{
+    // Tuner: checkpoint v1, fine-tune, emit delta. Store: restore v1,
+    // apply delta -> bitwise v2.
+    auto tuner = makeModel(10);
+    Checkpoint v1 = saveCheckpoint(tuner, 1);
+    auto params_v1 = flattenParams(tuner);
+
+    for (auto &w : tuner.head().weight().value.data())
+        w += 0.125f;
+    auto params_v2 = flattenParams(tuner);
+    ModelDelta delta = encodeDelta(params_v1, params_v2);
+
+    auto store = makeModel(11);
+    ASSERT_TRUE(restoreCheckpoint(v1, store));
+    auto store_params = flattenParams(store);
+    ASSERT_TRUE(applyDelta(delta, store_params));
+    ASSERT_TRUE(loadParams(store, store_params));
+    EXPECT_EQ(flattenParams(store), params_v2);
+}
+
+TEST(Checkpoint, ManyVersionsStayIndependent)
+{
+    auto model = makeModel(12);
+    std::vector<Checkpoint> history;
+    std::vector<std::vector<float>> snapshots;
+    for (int v = 1; v <= 5; ++v) {
+        model.head().bias().value.at(0, 0) += 1.0f;
+        history.push_back(saveCheckpoint(model, v));
+        snapshots.push_back(flattenParams(model));
+    }
+    for (int v = 0; v < 5; ++v) {
+        auto target = makeModel(13);
+        ASSERT_TRUE(restoreCheckpoint(history[v], target));
+        EXPECT_EQ(flattenParams(target), snapshots[v]) << "v" << v;
+    }
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the operational cost model (Fig. 21 arithmetic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+TEST(Cost, ServerCostIsLinearInTime)
+{
+    auto spec = hw::g4dn4xlarge(true);
+    EXPECT_NEAR(serverCostUsd(spec, 3600.0), spec.hourlyUsd, 1e-9);
+    EXPECT_NEAR(serverCostUsd(spec, 1800.0), spec.hourlyUsd / 2.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(serverCostUsd(spec, 0.0), 0.0);
+}
+
+TEST(Cost, NdpipeSumsStoresAndTuner)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    double expected = 4.0 * serverCostUsd(cfg.storeSpec, 600.0) +
+                      serverCostUsd(cfg.tunerSpec, 600.0);
+    EXPECT_NEAR(ndpipeRunCostUsd(cfg, 600.0), expected, 1e-12);
+}
+
+TEST(Cost, SrvSumsHostAndStorage)
+{
+    ExperimentConfig cfg;
+    double expected =
+        serverCostUsd(cfg.hostSpec, 600.0) +
+        cfg.srvStorageServers * serverCostUsd(cfg.srvStoreSpec, 600.0);
+    EXPECT_NEAR(srvRunCostUsd(cfg, 600.0), expected, 1e-12);
+}
+
+TEST(Cost, Inf1StoresAreCheaperPerHour)
+{
+    ExperimentConfig t4;
+    ExperimentConfig inf1;
+    inf1.storeSpec = hw::inf12xlarge();
+    EXPECT_LT(ndpipeRunCostUsd(inf1, 3600.0),
+              ndpipeRunCostUsd(t4, 3600.0));
+}
+
+TEST(Cost, SrvHostDominatesItsCost)
+{
+    ExperimentConfig cfg;
+    double host_only = serverCostUsd(cfg.hostSpec, 3600.0);
+    double total = srvRunCostUsd(cfg, 3600.0);
+    EXPECT_GT(host_only / total, 0.5);
+}
+
+TEST(Cost, MoreStoresCostMorePerSecond)
+{
+    ExperimentConfig a, b;
+    a.nStores = 2;
+    b.nStores = 10;
+    EXPECT_LT(ndpipeRunCostUsd(a, 100.0), ndpipeRunCostUsd(b, 100.0));
+}

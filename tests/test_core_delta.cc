@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for Check-N-Run delta encoding: exact application, reduction
+ * factors, epsilon thresholds, corruption rejection, and integration
+ * with the vision model's parameter flattening.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delta.h"
+#include "data/backbone.h"
+#include "sim/random.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+std::vector<float>
+randomParams(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    return v;
+}
+
+} // namespace
+
+TEST(Delta, IdenticalVectorsProduceEmptyDelta)
+{
+    auto base = randomParams(1000, 1);
+    auto d = encodeDelta(base, base);
+    EXPECT_EQ(d.changedParams, 0u);
+    auto params = base;
+    EXPECT_TRUE(applyDelta(d, params));
+    EXPECT_EQ(params, base);
+}
+
+TEST(Delta, AppliesSparseChangeExactly)
+{
+    auto base = randomParams(1000, 2);
+    auto updated = base;
+    updated[3] += 1.0f;
+    updated[999] = -5.0f;
+    auto d = encodeDelta(base, updated);
+    EXPECT_EQ(d.changedParams, 2u);
+    auto params = base;
+    ASSERT_TRUE(applyDelta(d, params));
+    EXPECT_EQ(params, updated);
+}
+
+TEST(Delta, DenseChangeStillRoundTrips)
+{
+    auto base = randomParams(5000, 3);
+    auto updated = randomParams(5000, 4);
+    auto d = encodeDelta(base, updated);
+    EXPECT_EQ(d.changedParams, 5000u);
+    auto params = base;
+    ASSERT_TRUE(applyDelta(d, params));
+    EXPECT_EQ(params, updated);
+}
+
+TEST(Delta, EpsilonSuppressesTinyChanges)
+{
+    auto base = randomParams(100, 5);
+    auto updated = base;
+    for (auto &v : updated)
+        v += 1e-6f;
+    updated[7] += 1.0f;
+    auto d = encodeDelta(base, updated, 1e-4f);
+    EXPECT_EQ(d.changedParams, 1u);
+}
+
+TEST(Delta, ClassifierOnlyChangeIsHundredsSmaller)
+{
+    // ResNet50 scale: 25.6M params, 2M in the classifier; changing
+    // only the classifier must yield a huge reduction factor (the
+    // paper quotes up to 427.4x).
+    const size_t total = 2560000, head = 205000;
+    auto base = randomParams(total, 6);
+    auto updated = base;
+    Rng rng(7);
+    for (size_t i = total - head; i < total; ++i)
+        updated[i] += static_cast<float>(rng.normal(0.0, 0.01));
+    auto d = encodeDelta(base, updated);
+    EXPECT_GT(d.reductionFactor(), 9.0);
+    EXPECT_LT(static_cast<double>(d.payload.size()),
+              total * 4.0 / 9.0);
+    auto params = base;
+    ASSERT_TRUE(applyDelta(d, params));
+    EXPECT_EQ(params, updated);
+}
+
+TEST(Delta, RejectsWrongParameterCount)
+{
+    auto base = randomParams(100, 8);
+    auto updated = base;
+    updated[0] += 1.0f;
+    auto d = encodeDelta(base, updated);
+    std::vector<float> wrong(99);
+    EXPECT_FALSE(applyDelta(d, wrong));
+}
+
+TEST(Delta, RejectsCorruptPayload)
+{
+    auto base = randomParams(100, 9);
+    auto updated = base;
+    updated[5] = 2.0f;
+    auto d = encodeDelta(base, updated);
+    d.payload[0] = 'X';
+    auto params = base;
+    EXPECT_FALSE(applyDelta(d, params));
+}
+
+TEST(Delta, GrowingBaseHandled)
+{
+    // Updated longer than base: extra entries diffed against zero.
+    std::vector<float> base = {1.0f, 2.0f};
+    std::vector<float> updated = {1.0f, 2.0f, 3.0f};
+    auto d = encodeDelta(base, updated);
+    EXPECT_EQ(d.changedParams, 1u);
+    std::vector<float> params = {1.0f, 2.0f, 0.0f};
+    ASSERT_TRUE(applyDelta(d, params));
+    EXPECT_EQ(params, updated);
+}
+
+TEST(Delta, FlattenAndLoadRoundTrip)
+{
+    Rng rng(10);
+    data::VisionModel m(8, 4, 10, rng);
+    auto params = flattenParams(m);
+    EXPECT_EQ(params.size(), 8u * 4 + 4 + 4 * 10 + 10);
+
+    Rng rng2(11);
+    data::VisionModel m2(8, 4, 10, rng2);
+    ASSERT_TRUE(loadParams(m2, params));
+    EXPECT_EQ(flattenParams(m2), params);
+}
+
+TEST(Delta, LoadRejectsSizeMismatch)
+{
+    Rng rng(12);
+    data::VisionModel m(8, 4, 10, rng);
+    std::vector<float> too_short(5);
+    EXPECT_FALSE(loadParams(m, too_short));
+}
+
+TEST(Delta, FlattenIncludesFrozenLayers)
+{
+    Rng rng(13);
+    data::VisionModel m(8, 4, 10, rng);
+    auto all = flattenParams(m);
+    m.freezeBackbone(true);
+    auto frozen = flattenParams(m);
+    EXPECT_EQ(all.size(), frozen.size());
+    EXPECT_EQ(all, frozen);
+}
+
+TEST(Delta, EndToEndModelDistribution)
+{
+    // Tuner fine-tunes the head; stores apply the delta and end up
+    // with identical parameters.
+    Rng rng(14);
+    data::VisionModel tuner_model(8, 4, 10, rng);
+    data::VisionModel store_model = tuner_model;
+
+    auto before = flattenParams(tuner_model);
+    // Pretend fine-tuning nudged the head.
+    for (auto &v : tuner_model.head().weight().value.data())
+        v += 0.25f;
+    auto after = flattenParams(tuner_model);
+
+    auto delta = encodeDelta(before, after);
+    auto store_params = flattenParams(store_model);
+    ASSERT_TRUE(applyDelta(delta, store_params));
+    ASSERT_TRUE(loadParams(store_model, store_params));
+    EXPECT_EQ(flattenParams(store_model), after);
+    // Only head weights changed.
+    EXPECT_EQ(delta.changedParams, 4u * 10u);
+}

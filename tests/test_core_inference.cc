@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the offline-inference simulators: calibration anchors,
+ * scaling laws, baseline orderings, NPE optimization monotonicity,
+ * OOM handling, and energy accounting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "models/throughput.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+ExperimentConfig
+baseCfg(uint64_t images = 50000)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = images;
+    return cfg;
+}
+
+} // namespace
+
+TEST(NdpInference, SingleStoreHitsAnchorIps)
+{
+    auto cfg = baseCfg();
+    cfg.nStores = 1;
+    auto r = runNdpOfflineInference(cfg);
+    // §6.2: each PipeStore offers 2,129 IPS for ResNet50.
+    EXPECT_NEAR(r.ips, 2129.0, 25.0);
+    EXPECT_EQ(r.images, cfg.nImages);
+    EXPECT_FALSE(r.oom);
+}
+
+TEST(NdpInference, ScalesLinearlyWithStores)
+{
+    auto cfg = baseCfg(100000);
+    cfg.nStores = 1;
+    double one = runNdpOfflineInference(cfg).ips;
+    cfg.nStores = 10;
+    double ten = runNdpOfflineInference(cfg).ips;
+    EXPECT_NEAR(ten / one, 10.0, 0.3);
+}
+
+TEST(NdpInference, GpuIsTheBottleneckUnderFullNpe)
+{
+    auto cfg = baseCfg();
+    cfg.nStores = 2;
+    auto r = runNdpOfflineInference(cfg);
+    EXPECT_GT(r.gpuUtil, 0.95);
+    EXPECT_LT(r.cpuUtil, 0.5);
+}
+
+TEST(NdpInference, SerialModeIsSlower)
+{
+    auto cfg = baseCfg();
+    cfg.nStores = 1;
+    auto piped = runNdpOfflineInference(cfg);
+    cfg.npe.pipelined = false;
+    auto serial = runNdpOfflineInference(cfg);
+    EXPECT_LT(serial.ips, piped.ips * 0.8);
+}
+
+TEST(NdpInference, NpeLevelsImproveMonotonically)
+{
+    auto cfg = baseCfg();
+    cfg.nStores = 1;
+    double prev = 0.0;
+    for (auto npe : {NpeOptions::naive(), NpeOptions::withOffload(),
+                     NpeOptions::withCompression(),
+                     NpeOptions::withBatch()}) {
+        cfg.npe = npe;
+        double ips = runNdpOfflineInference(cfg).ips;
+        EXPECT_GE(ips, prev * 0.999);
+        prev = ips;
+    }
+    EXPECT_NEAR(prev, 2129.0, 25.0);
+}
+
+TEST(NdpInference, NaiveBottleneckedByPreprocessCore)
+{
+    auto cfg = baseCfg(5000);
+    cfg.nStores = 1;
+    cfg.npe = NpeOptions::naive();
+    auto r = runNdpOfflineInference(cfg);
+    EXPECT_NEAR(r.ips, kPreprocImgPerSecPerCore, 1.5);
+}
+
+TEST(NdpInference, OomReportedForVitAt512)
+{
+    auto cfg = baseCfg();
+    cfg.model = &models::vitB16();
+    cfg.npe.batchSize = 512;
+    auto r = runNdpOfflineInference(cfg);
+    EXPECT_TRUE(r.oom);
+    EXPECT_EQ(r.ips, 0.0);
+}
+
+TEST(NdpInference, LabelsOnlyTraffic)
+{
+    auto cfg = baseCfg(10000);
+    auto r = runNdpOfflineInference(cfg);
+    // Far less than a single image's bytes per image.
+    EXPECT_LT(r.netBytes / cfg.nImages, 100.0);
+}
+
+TEST(NdpInference, EnergyConsistency)
+{
+    auto cfg = baseCfg();
+    cfg.nStores = 3;
+    auto r = runNdpOfflineInference(cfg);
+    EXPECT_NEAR(r.energyJ, r.power.totalW() * r.seconds, 1e-6);
+    EXPECT_EQ(r.perServer.size(), 3u);
+    EXPECT_GT(r.ipsPerWatt(), 0.0);
+}
+
+TEST(SrvInference, IdealIsGpuBound)
+{
+    auto cfg = baseCfg(100000);
+    auto r = runSrvOfflineInference(cfg, SrvVariant::Ideal);
+    double two_v100 =
+        2.0 * models::deviceIps(*cfg.hostSpec.gpu, *cfg.model, 128);
+    EXPECT_NEAR(r.ips, two_v100, two_v100 * 0.03);
+    EXPECT_GT(r.gpuUtil, 0.9);
+}
+
+TEST(SrvInference, PreprocessedIsNetworkBound)
+{
+    auto cfg = baseCfg(100000);
+    auto r = runSrvOfflineInference(cfg, SrvVariant::Preprocessed);
+    double wire_limit =
+        cfg.networkGbps * 1e9 / 8.0 / (cfg.model->inputMB() * 1e6);
+    EXPECT_NEAR(r.ips, wire_limit, wire_limit * 0.05);
+}
+
+TEST(SrvInference, VariantOrderingForMidsizeModel)
+{
+    auto cfg = baseCfg(100000);
+    double p = runSrvOfflineInference(cfg, SrvVariant::Preprocessed).ips;
+    double c = runSrvOfflineInference(cfg, SrvVariant::Compressed).ips;
+    double i = runSrvOfflineInference(cfg, SrvVariant::Ideal).ips;
+    EXPECT_LT(p, c); // compression relieves the wire
+    EXPECT_LT(c, i); // but decompression/wire still cost something
+}
+
+TEST(SrvInference, LargeModelCollapsesVariants)
+{
+    // §6.2: for ResNeXt101/ViT the two V100s are the bottleneck, so
+    // SRV-I / SRV-P / SRV-C converge.
+    auto cfg = baseCfg(50000);
+    cfg.model = &models::resnext101();
+    double p = runSrvOfflineInference(cfg, SrvVariant::Preprocessed).ips;
+    double c = runSrvOfflineInference(cfg, SrvVariant::Compressed).ips;
+    double i = runSrvOfflineInference(cfg, SrvVariant::Ideal).ips;
+    EXPECT_NEAR(p / i, 1.0, 0.05);
+    EXPECT_NEAR(c / i, 1.0, 0.05);
+}
+
+TEST(SrvInference, TypicalSlowerThanIdealOnRawImages)
+{
+    auto cfg = baseCfg(5000);
+    cfg.npe.pipelined = false;
+    auto typical = runSrvOfflineInference(cfg, SrvVariant::RawRemote);
+    auto ideal = runSrvOfflineInference(cfg, SrvVariant::RawLocal);
+    EXPECT_LT(typical.ips, ideal.ips);
+    EXPECT_GT(typical.netBytes, 0.0);
+    EXPECT_EQ(ideal.netBytes, 0.0);
+}
+
+TEST(SrvInference, CompressedMovesFewerBytes)
+{
+    auto cfg = baseCfg(20000);
+    auto p = runSrvOfflineInference(cfg, SrvVariant::Preprocessed);
+    auto c = runSrvOfflineInference(cfg, SrvVariant::Compressed);
+    EXPECT_NEAR(p.netBytes / c.netBytes, kCompressionRatio, 0.01);
+}
+
+TEST(SrvInference, BandwidthSweepSaturates)
+{
+    // Fig. 18: SRV-C stops improving once the host constraints bind.
+    auto cfg = baseCfg(100000);
+    cfg.networkGbps = 1.0;
+    double at1 = runSrvOfflineInference(cfg, SrvVariant::Compressed).ips;
+    cfg.networkGbps = 10.0;
+    double at10 =
+        runSrvOfflineInference(cfg, SrvVariant::Compressed).ips;
+    cfg.networkGbps = 40.0;
+    double at40 =
+        runSrvOfflineInference(cfg, SrvVariant::Compressed).ips;
+    EXPECT_GT(at10, at1 * 5.0);
+    EXPECT_LT(at40 / at10, 1.3);
+}
+
+TEST(SrvInference, OomAppliesToHostToo)
+{
+    auto cfg = baseCfg();
+    cfg.model = &models::vitB16();
+    cfg.npe.batchSize = 512;
+    auto r = runSrvOfflineInference(cfg, SrvVariant::Ideal);
+    EXPECT_TRUE(r.oom);
+}
+
+TEST(SrvInference, PowerIncludesStorageServers)
+{
+    auto cfg = baseCfg(20000);
+    auto r = runSrvOfflineInference(cfg, SrvVariant::Compressed);
+    EXPECT_EQ(r.perServer.size(),
+              1u + static_cast<size_t>(cfg.srvStorageServers));
+}
+
+TEST(NpeStageTimes, InferenceLevelsBehave)
+{
+    auto cfg = baseCfg();
+    auto naive = npeStageTimes(cfg, NpeOptions::naive(), false);
+    EXPECT_GT(naive.preprocessS, 0.0);
+    EXPECT_EQ(naive.decompressS, 0.0);
+
+    auto off = npeStageTimes(cfg, NpeOptions::withOffload(), false);
+    EXPECT_EQ(off.preprocessS, 0.0);
+    EXPECT_LT(off.readS, naive.readS); // binaries smaller than JPEGs
+
+    auto comp = npeStageTimes(cfg, NpeOptions::withCompression(), false);
+    EXPECT_LT(comp.readS, off.readS);
+    EXPECT_GT(comp.decompressS, 0.0);
+
+    auto batched = npeStageTimes(cfg, NpeOptions::withBatch(), false);
+    EXPECT_LT(batched.computeS, comp.computeS);
+}
+
+TEST(NpeStageTimes, FineTuningAlwaysUsesBinaries)
+{
+    auto cfg = baseCfg();
+    auto ft = npeStageTimes(cfg, NpeOptions::naive(), true);
+    EXPECT_EQ(ft.preprocessS, 0.0);
+    EXPECT_GT(ft.computeS, 0.0);
+}
+
+TEST(SrvVariantName, AllNamed)
+{
+    EXPECT_STREQ(srvVariantName(SrvVariant::Ideal), "SRV-I");
+    EXPECT_STREQ(srvVariantName(SrvVariant::Preprocessed), "SRV-P");
+    EXPECT_STREQ(srvVariantName(SrvVariant::Compressed), "SRV-C");
+    EXPECT_STREQ(srvVariantName(SrvVariant::RawRemote), "Typical");
+}
+
+class InferenceModelSweep
+    : public ::testing::TestWithParam<const models::ModelSpec *>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, InferenceModelSweep,
+    ::testing::ValuesIn(models::figureModels()),
+    [](const ::testing::TestParamInfo<const models::ModelSpec *> &i) {
+        return i.param->name();
+    });
+
+TEST_P(InferenceModelSweep, PerStoreRateNearAnchor)
+{
+    ExperimentConfig cfg;
+    cfg.model = GetParam();
+    cfg.nStores = 1;
+    cfg.nImages = 20000;
+    auto r = runNdpOfflineInference(cfg);
+    double anchor = models::t4AnchorIps(*GetParam());
+    // The NPE may be decompression-bound slightly below the GPU
+    // anchor (InceptionV3), never above it.
+    EXPECT_LE(r.ips, anchor * 1.02);
+    EXPECT_GE(r.ips, anchor * 0.8);
+}
+
+TEST_P(InferenceModelSweep, NdpEventuallyBeatsSrvC)
+{
+    ExperimentConfig cfg;
+    cfg.model = GetParam();
+    cfg.nImages = 50000;
+    auto srv = runSrvOfflineInference(cfg, SrvVariant::Compressed);
+    cfg.nStores = 20;
+    auto ndp = runNdpOfflineInference(cfg);
+    EXPECT_GT(ndp.ips, srv.ips);
+}

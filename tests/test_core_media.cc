@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the §7.1 media extensions: profile sanity, near-data vs
+ * centralized traffic/throughput, and scaling behaviour per medium.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/media.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+TEST(Media, ProfilesAreSane)
+{
+    for (const auto &m : allMedia()) {
+        EXPECT_GT(m.rawMB, 0.0) << m.name;
+        EXPECT_GE(m.unitsPerObject, 1.0) << m.name;
+        EXPECT_GT(m.extractPerUnitS, 0.0) << m.name;
+        EXPECT_GT(m.resultBytesPerUnit, 0.0) << m.name;
+        ASSERT_NE(m.model, nullptr) << m.name;
+        // Results shipped per object are far smaller than the object.
+        EXPECT_LT(m.unitsPerObject * m.resultBytesPerUnit,
+                  m.rawMB * 1e6 / 30.0)
+            << m.name;
+    }
+}
+
+TEST(Media, VideoIsTheHeaviestObject)
+{
+    EXPECT_GT(videoMedia().rawMB, audioMedia().rawMB);
+    EXPECT_GT(audioMedia().rawMB, documentMedia().rawMB);
+}
+
+TEST(Media, PhotoProfileMatchesPhotoPipeline)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 1;
+    cfg.npe = NpeOptions::naive(); // raw photos, like photoMedia
+    cfg.npe.batchSize = 128;
+    auto media = photoMedia();
+    media.extractCores = 1;
+    auto r = runNdpMediaAnalysis(cfg, media, 5000);
+    // One preprocess core binds both paths at ~15 IPS.
+    EXPECT_NEAR(r.ups, kPreprocImgPerSecPerCore, 2.0);
+}
+
+TEST(Media, NdpShipsOrdersOfMagnitudeLessData)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    for (const auto &m : allMedia()) {
+        auto ndp = runNdpMediaAnalysis(cfg, m, 500);
+        auto srv = runSrvMediaAnalysis(cfg, m, 500);
+        EXPECT_GT(srv.netBytes / ndp.netBytes, 30.0) << m.name;
+    }
+}
+
+TEST(Media, NdpBeatsSrvOnVideo)
+{
+    // 220 MB objects over a 10 Gbps link throttle the central host to
+    // ~5.7 objects/s; four stores extract locally far faster.
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    auto m = videoMedia();
+    auto ndp = runNdpMediaAnalysis(cfg, m, 400);
+    auto srv = runSrvMediaAnalysis(cfg, m, 400);
+    EXPECT_GT(ndp.ops, srv.ops);
+}
+
+TEST(Media, ThroughputScalesWithStores)
+{
+    ExperimentConfig cfg;
+    auto m = audioMedia();
+    cfg.nStores = 1;
+    double one = runNdpMediaAnalysis(cfg, m, 2000).ops;
+    cfg.nStores = 8;
+    double eight = runNdpMediaAnalysis(cfg, m, 2000).ops;
+    EXPECT_NEAR(eight / one, 8.0, 1.0);
+}
+
+TEST(Media, ObjectCountsConserved)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 3;
+    auto m = documentMedia();
+    auto r = runNdpMediaAnalysis(cfg, m, 1001); // uneven split
+    EXPECT_EQ(r.objects, 1001u);
+    EXPECT_NEAR(r.netBytes,
+                1001.0 * m.unitsPerObject * m.resultBytesPerUnit,
+                1.0);
+}
+
+TEST(Media, EnergyAccountingPresent)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 2;
+    auto r = runNdpMediaAnalysis(cfg, videoMedia(), 100);
+    EXPECT_GT(r.power.totalW(), 0.0);
+    EXPECT_NEAR(r.energyJ, r.power.totalW() * r.seconds, 1e-6);
+}
+
+TEST(Media, SrvVideoIsNetworkBound)
+{
+    ExperimentConfig cfg;
+    auto m = videoMedia();
+    auto r = runSrvMediaAnalysis(cfg, m, 200);
+    double wire_limit = cfg.networkGbps * 1e9 / 8.0 / (m.rawMB * 1e6);
+    EXPECT_NEAR(r.ops, wire_limit, wire_limit * 0.1);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the online-inference latency simulator: queueing behaviour
+ * under light/heavy load, capacity estimation, and Adam (which shares
+ * this file as the remaining nn addition exercised at system level).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+TEST(Online, LightLoadLatencyNearServiceTime)
+{
+    OnlineConfig cfg;
+    cfg.arrivalsPerSec = 5.0; // far below capacity
+    cfg.nUploads = 3000;
+    auto r = runOnlineInference(cfg);
+    // Service time = preprocess (~65 ms) + batch-1 inference.
+    EXPECT_GT(r.p50Ms, 60.0);
+    EXPECT_LT(r.p50Ms, 90.0);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_LT(r.gpuUtil, 0.2);
+}
+
+TEST(Online, LatencyGrowsWithLoad)
+{
+    OnlineConfig light, heavy;
+    light.arrivalsPerSec = 10.0;
+    light.nUploads = 4000;
+    heavy = light;
+    heavy.arrivalsPerSec = 100.0; // ~81% of the 123/s CPU capacity
+    auto rl = runOnlineInference(light);
+    auto rh = runOnlineInference(heavy);
+    EXPECT_GT(rh.p95Ms, rl.p95Ms);
+    EXPECT_GT(rh.cpuUtil, rl.cpuUtil);
+}
+
+TEST(Online, OverloadSaturates)
+{
+    OnlineConfig cfg;
+    cfg.arrivalsPerSec = 400.0; // >> capacity
+    cfg.nUploads = 4000;
+    auto r = runOnlineInference(cfg);
+    EXPECT_TRUE(r.saturated);
+    // Served throughput is pinned at the capacity, not the offer.
+    EXPECT_LT(r.throughput, 150.0);
+    EXPECT_GT(r.cpuUtil, 0.95);
+}
+
+TEST(Online, CapacityIsPreprocessBound)
+{
+    OnlineConfig cfg;
+    double cap = onlineCapacity(cfg);
+    // 8 cores x 15.4 img/s/core.
+    EXPECT_NEAR(cap, 8.0 * 15.4, 1.0);
+    // With plenty of cores the single V100 at batch 1 binds instead.
+    cfg.preprocessCores = 16;
+    double cap16 = onlineCapacity(cfg);
+    EXPECT_GT(cap16, cap);
+    EXPECT_LT(cap16, 16.0 * 15.4); // GPU-bound before 246/s
+}
+
+TEST(Online, ThroughputMatchesOfferUnderCapacity)
+{
+    OnlineConfig cfg;
+    cfg.arrivalsPerSec = 40.0;
+    cfg.nUploads = 8000;
+    auto r = runOnlineInference(cfg);
+    EXPECT_NEAR(r.throughput, 40.0, 2.0);
+}
+
+TEST(Online, PercentilesOrdered)
+{
+    OnlineConfig cfg;
+    cfg.arrivalsPerSec = 80.0;
+    cfg.nUploads = 5000;
+    auto r = runOnlineInference(cfg);
+    EXPECT_LE(r.p50Ms, r.p95Ms);
+    EXPECT_LE(r.p95Ms, r.p99Ms);
+    EXPECT_GT(r.meanMs, 0.0);
+}
+
+TEST(Online, DeterministicForSeed)
+{
+    OnlineConfig cfg;
+    cfg.arrivalsPerSec = 50.0;
+    cfg.nUploads = 2000;
+    auto a = runOnlineInference(cfg);
+    auto b = runOnlineInference(cfg);
+    EXPECT_DOUBLE_EQ(a.p99Ms, b.p99Ms);
+    cfg.seed = 12;
+    auto c = runOnlineInference(cfg);
+    EXPECT_NE(a.p99Ms, c.p99Ms);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    Rng rng(1);
+    nn::Linear lin(1, 1, rng);
+    lin.bias().value.fill(0.0f);
+    lin.weight().value.at(0, 0) = 4.0f;
+    nn::AdamConfig cfg;
+    cfg.lr = 0.1;
+    nn::Adam opt(lin.params(), cfg);
+    for (int i = 0; i < 200; ++i) {
+        lin.weight().grad.at(0, 0) = lin.weight().value.at(0, 0);
+        opt.step();
+    }
+    EXPECT_NEAR(lin.weight().value.at(0, 0), 0.0f, 1e-2f);
+    EXPECT_EQ(opt.steps(), 200);
+}
+
+TEST(Adam, StepSizeBoundedByLr)
+{
+    // Adam's first update magnitude is ~lr regardless of grad scale.
+    Rng rng(2);
+    nn::Linear lin(1, 1, rng);
+    float before = lin.weight().value.at(0, 0);
+    nn::AdamConfig cfg;
+    cfg.lr = 0.05;
+    nn::Adam opt(lin.params(), cfg);
+    lin.weight().grad.at(0, 0) = 1e6f; // huge gradient
+    opt.step();
+    EXPECT_NEAR(std::abs(lin.weight().value.at(0, 0) - before), 0.05f,
+                0.01f);
+}
+
+TEST(Adam, ClearsGradients)
+{
+    Rng rng(3);
+    nn::Linear lin(2, 2, rng);
+    nn::Adam opt(lin.params(), nn::AdamConfig{});
+    lin.weight().grad.fill(1.0f);
+    opt.step();
+    for (float v : lin.weight().grad.data())
+        EXPECT_EQ(v, 0.0f);
+}

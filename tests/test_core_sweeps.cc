@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cross-cutting parameterized sweeps over (model x system) space:
+ * invariants every combination must satisfy, independent of
+ * calibration details. These act as regression guards for the
+ * experiment harness as a whole.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/apo.h"
+#include "core/cost.h"
+#include "core/training.h"
+#include "models/throughput.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+class ModelSweep
+    : public ::testing::TestWithParam<const models::ModelSpec *>
+{
+  protected:
+    ExperimentConfig
+    cfg() const
+    {
+        ExperimentConfig c;
+        c.model = GetParam();
+        c.nImages = 200000;
+        c.nStores = 4;
+        return c;
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ModelSweep, ::testing::ValuesIn(models::allModels()),
+    [](const ::testing::TestParamInfo<const models::ModelSpec *> &i) {
+        return i.param->name();
+    });
+
+TEST_P(ModelSweep, TrainingCrossoverExistsWithinTwentyStores)
+{
+    auto c = cfg();
+    c.nImages = 600000;
+    auto srv = runSrvFineTuning(c);
+    c.nStores = 20;
+    TrainOptions opt;
+    auto ndp = runFtDmpTraining(c, opt);
+    EXPECT_LT(ndp.seconds, srv.seconds) << c.model->name();
+}
+
+TEST_P(ModelSweep, FeatureTrafficIsTinyVersusInputs)
+{
+    auto c = cfg();
+    TrainOptions opt;
+    auto r = runFtDmpTraining(c, opt);
+    double input_bytes = c.nImages * c.model->inputMB() * 1e6;
+    EXPECT_LT(r.dataTrafficBytes, input_bytes / 50.0)
+        << c.model->name();
+}
+
+TEST_P(ModelSweep, PipeliningNeverHurts)
+{
+    auto c = cfg();
+    TrainOptions serial;
+    serial.nRun = 3;
+    serial.pipelined = false;
+    TrainOptions piped = serial;
+    piped.pipelined = true;
+    EXPECT_LE(runFtDmpTraining(c, piped).seconds,
+              runFtDmpTraining(c, serial).seconds * 1.001)
+        << c.model->name();
+}
+
+TEST_P(ModelSweep, ApoPredictionPositiveAndFinite)
+{
+    auto c = cfg();
+    TrainOptions opt;
+    auto choice = findBestPoint(c, opt);
+    EXPECT_GT(choice.predictedTotalS, 0.0);
+    EXPECT_LT(choice.predictedTotalS, 1e7);
+    EXPECT_LE(choice.cut, c.model->classifierStart());
+}
+
+TEST_P(ModelSweep, EnergyScalesWithFleetPower)
+{
+    auto c = cfg();
+    TrainOptions opt;
+    c.nStores = 2;
+    auto small = runFtDmpTraining(c, opt);
+    c.nStores = 8;
+    auto big = runFtDmpTraining(c, opt);
+    EXPECT_GT(big.power.totalW(), small.power.totalW());
+}
+
+TEST_P(ModelSweep, CostsAreConsistent)
+{
+    auto c = cfg();
+    TrainOptions opt;
+    auto r = runFtDmpTraining(c, opt);
+    double usd = ndpipeRunCostUsd(c, r.seconds);
+    EXPECT_GT(usd, 0.0);
+    // Doubling the wall time doubles the bill.
+    EXPECT_NEAR(ndpipeRunCostUsd(c, 2.0 * r.seconds), 2.0 * usd,
+                1e-9);
+}
+
+class VariantSweep : public ::testing::TestWithParam<SrvVariant>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Variants, VariantSweep,
+                         ::testing::Values(SrvVariant::RawRemote,
+                                           SrvVariant::RawLocal,
+                                           SrvVariant::Ideal,
+                                           SrvVariant::Preprocessed,
+                                           SrvVariant::Compressed),
+                         [](const ::testing::TestParamInfo<SrvVariant>
+                                &i) {
+                             std::string n =
+                                 srvVariantName(i.param);
+                             for (auto &ch : n) {
+                                 if (!isalnum(
+                                         static_cast<unsigned char>(
+                                             ch)))
+                                     ch = '_';
+                             }
+                             return n;
+                         });
+
+TEST_P(VariantSweep, ProcessesEveryImageExactlyOnce)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 30001; // uneven
+    auto r = runSrvOfflineInference(cfg, GetParam());
+    EXPECT_EQ(r.images, cfg.nImages);
+    EXPECT_GT(r.ips, 0.0);
+    EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST_P(VariantSweep, NeverExceedsGpuCeiling)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 50000;
+    auto r = runSrvOfflineInference(cfg, GetParam());
+    double ceiling =
+        cfg.hostSpec.nGpus *
+        models::deviceIps(*cfg.hostSpec.gpu, *cfg.model,
+                          cfg.npe.batchSize);
+    EXPECT_LE(r.ips, ceiling * 1.01);
+}
+
+TEST_P(VariantSweep, PowerWithinNameplateBounds)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnext101();
+    cfg.nImages = 20000;
+    auto r = runSrvOfflineInference(cfg, GetParam());
+    double max_w =
+        hw::serverPower(cfg.hostSpec, 1.0, 1.0).totalW() +
+        cfg.srvStorageServers *
+            hw::serverPower(cfg.srvStoreSpec, 1.0, 1.0).totalW();
+    EXPECT_GT(r.power.totalW(), 0.0);
+    EXPECT_LE(r.power.totalW(), max_w);
+}

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the FT-DMP and SRV fine-tuning simulators: scaling,
+ * pipelining gains, weight-sync explosion at "+FC", traffic
+ * accounting, and the paper's crossover points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/training.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+ExperimentConfig
+trainCfg(uint64_t images = 300000)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = images;
+    cfg.nStores = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FtDmp, FeThroughputTracksStoreCount)
+{
+    auto cfg = trainCfg();
+    TrainOptions opt;
+    opt.nRun = 1;
+    cfg.nStores = 4;
+    auto r = runFtDmpTraining(cfg, opt);
+    EXPECT_NEAR(r.feIps, 4.0 * 2129.0, 4.0 * 2129.0 * 0.05);
+}
+
+TEST(FtDmp, MoreStoresTrainFaster)
+{
+    auto cfg = trainCfg();
+    TrainOptions opt;
+    cfg.nStores = 2;
+    double two = runFtDmpTraining(cfg, opt).seconds;
+    cfg.nStores = 8;
+    double eight = runFtDmpTraining(cfg, opt).seconds;
+    EXPECT_LT(eight, two);
+}
+
+TEST(FtDmp, DiminishingReturnsOnceTunerBinds)
+{
+    // Fig. 11: beyond APO's pick the Tuner is the bottleneck.
+    auto cfg = trainCfg(1200000);
+    TrainOptions opt;
+    cfg.nStores = 8;
+    double at8 = runFtDmpTraining(cfg, opt).seconds;
+    cfg.nStores = 20;
+    double at20 = runFtDmpTraining(cfg, opt).seconds;
+    EXPECT_GT(at20, at8 * 0.75); // much less than 8/20 scaling
+}
+
+TEST(FtDmp, PipeliningOverlapsRuns)
+{
+    auto cfg = trainCfg(600000);
+    TrainOptions piped;
+    piped.nRun = 3;
+    piped.pipelined = true;
+    TrainOptions serial = piped;
+    serial.pipelined = false;
+    double t_piped = runFtDmpTraining(cfg, piped).seconds;
+    double t_serial = runFtDmpTraining(cfg, serial).seconds;
+    EXPECT_LT(t_piped, t_serial);
+}
+
+TEST(FtDmp, PipelinedSpeedupInPaperBand)
+{
+    // Fig. 17: N_run=3 cuts time by up to ~32% vs unpipelined.
+    auto cfg = trainCfg(1200000);
+    TrainOptions one;
+    one.nRun = 1;
+    TrainOptions three;
+    three.nRun = 3;
+    double t1 = runFtDmpTraining(cfg, one).seconds;
+    double t3 = runFtDmpTraining(cfg, three).seconds;
+    double gain = 1.0 - t3 / t1;
+    EXPECT_GT(gain, 0.10);
+    EXPECT_LT(gain, 0.45);
+}
+
+TEST(FtDmp, FeatureTrafficMatchesCut)
+{
+    auto cfg = trainCfg(100000);
+    TrainOptions opt;
+    auto r = runFtDmpTraining(cfg, opt);
+    double expected = cfg.nImages *
+                      cfg.model->transferMBAt(
+                          cfg.model->classifierStart()) *
+                      1e6;
+    EXPECT_NEAR(r.dataTrafficBytes, expected, expected * 0.01);
+    EXPECT_EQ(r.syncTrafficBytes, 0.0);
+}
+
+TEST(FtDmp, NoneCutShipsWholeInputs)
+{
+    auto cfg = trainCfg(50000);
+    TrainOptions opt;
+    opt.cut = 0;
+    auto r = runFtDmpTraining(cfg, opt);
+    double expected = cfg.nImages * cfg.model->inputMB() * 1e6;
+    EXPECT_NEAR(r.dataTrafficBytes, expected, expected * 0.01);
+}
+
+TEST(FtDmp, FcCutPaysWeightSync)
+{
+    auto cfg = trainCfg(100000);
+    TrainOptions best;
+    TrainOptions fc;
+    fc.cut = cfg.model->numBlocks();
+    auto r_best = runFtDmpTraining(cfg, best);
+    auto r_fc = runFtDmpTraining(cfg, fc);
+    EXPECT_GT(r_fc.syncTrafficBytes, 0.0);
+    EXPECT_EQ(r_fc.dataTrafficBytes, 0.0);
+    EXPECT_GT(r_fc.seconds, r_best.seconds * 2.0);
+    EXPECT_GT(r_fc.stages.syncS, 0.0);
+}
+
+TEST(FtDmp, SyncTrafficScalesWithStores)
+{
+    auto cfg = trainCfg(100000);
+    TrainOptions fc;
+    fc.cut = cfg.model->numBlocks();
+    cfg.nStores = 2;
+    double two = runFtDmpTraining(cfg, fc).syncTrafficBytes;
+    cfg.nStores = 8;
+    double eight = runFtDmpTraining(cfg, fc).syncTrafficBytes;
+    EXPECT_NEAR(eight / two, 4.0, 0.2);
+}
+
+TEST(FtDmp, DeltaDistributionCountsBytes)
+{
+    auto cfg = trainCfg(50000);
+    TrainOptions opt;
+    auto r = runFtDmpTraining(cfg, opt);
+    EXPECT_GT(r.distributionBytes, 0.0);
+    // Check-N-Run: far smaller than shipping full models.
+    double full = cfg.model->totalParamsM() * 1e6 * 4.0 * cfg.nStores;
+    EXPECT_GT(full / r.distributionBytes, 100.0);
+
+    TrainOptions no_delta = opt;
+    no_delta.distributeDeltas = false;
+    auto r2 = runFtDmpTraining(cfg, no_delta);
+    EXPECT_EQ(r2.distributionBytes, 0.0);
+}
+
+TEST(FtDmp, EnergyAndPowerConsistent)
+{
+    auto cfg = trainCfg(100000);
+    TrainOptions opt;
+    auto r = runFtDmpTraining(cfg, opt);
+    EXPECT_NEAR(r.energyJ, r.power.totalW() * r.seconds, 1e-6);
+    // Stores + tuner samples.
+    EXPECT_EQ(r.perServer.size(),
+              static_cast<size_t>(cfg.nStores) + 1u);
+    EXPECT_GT(r.ipsPerKj(), 0.0);
+}
+
+TEST(FtDmp, StageBreakdownCoversWork)
+{
+    auto cfg = trainCfg(100000);
+    TrainOptions opt;
+    auto r = runFtDmpTraining(cfg, opt);
+    EXPECT_GT(r.stages.readS, 0.0);
+    EXPECT_GT(r.stages.decompressS, 0.0);
+    EXPECT_GT(r.stages.computeS, 0.0);
+    EXPECT_GT(r.stages.tunerS, 0.0);
+    EXPECT_EQ(r.stages.preprocessS, 0.0); // binaries, not JPEGs
+}
+
+TEST(FtDmp, ResolveCutDefaultsToClassifier)
+{
+    TrainOptions opt;
+    EXPECT_EQ(opt.resolveCut(models::resnet50()), 5u);
+    opt.cut = 2;
+    EXPECT_EQ(opt.resolveCut(models::resnet50()), 2u);
+}
+
+TEST(SrvTraining, MatchesNetworkBoundEstimate)
+{
+    auto cfg = trainCfg(1200000);
+    auto r = runSrvFineTuning(cfg);
+    // FE phase is network-bound on compressed binaries; CT follows.
+    double wire_ips = cfg.networkGbps * 1e9 / 8.0 /
+                      (cfg.model->inputMB() * 1e6 / kCompressionRatio);
+    double fe_phase = cfg.nImages / wire_ips;
+    EXPECT_GT(r.seconds, fe_phase);
+    EXPECT_LT(r.seconds, fe_phase * 1.6);
+}
+
+TEST(SrvTraining, CrossoverNearThreeStores)
+{
+    // §6.3: NDPipe beats SRV-C with three PipeStores for ResNet50.
+    auto cfg = trainCfg(1200000);
+    auto srv = runSrvFineTuning(cfg);
+    TrainOptions opt;
+    cfg.nStores = 2;
+    EXPECT_GT(runFtDmpTraining(cfg, opt).seconds, srv.seconds * 0.9);
+    cfg.nStores = 4;
+    EXPECT_LT(runFtDmpTraining(cfg, opt).seconds, srv.seconds);
+}
+
+TEST(SrvTraining, SerialTypicalSlowerThanPipelined)
+{
+    auto cfg = trainCfg(300000);
+    auto piped = runSrvFineTuning(cfg, SrvVariant::Preprocessed,
+                                  kDefaultTunerEpochs, true);
+    auto serial = runSrvFineTuning(cfg, SrvVariant::Preprocessed,
+                                   kDefaultTunerEpochs, false);
+    EXPECT_GT(serial.seconds, piped.seconds);
+}
+
+TEST(SrvTraining, IdealFasterThanRemote)
+{
+    auto cfg = trainCfg(300000);
+    auto ideal = runSrvFineTuning(cfg, SrvVariant::Ideal);
+    auto remote = runSrvFineTuning(cfg, SrvVariant::Compressed);
+    EXPECT_LT(ideal.seconds, remote.seconds);
+    EXPECT_EQ(ideal.dataTrafficBytes, 0.0);
+    EXPECT_GT(remote.dataTrafficBytes, 0.0);
+}
+
+TEST(SrvTraining, MoreEpochsTakeLonger)
+{
+    auto cfg = trainCfg(300000);
+    auto few = runSrvFineTuning(cfg, SrvVariant::Compressed, 2);
+    auto many = runSrvFineTuning(cfg, SrvVariant::Compressed, 16);
+    EXPECT_GT(many.seconds, few.seconds);
+}
+
+TEST(FtDmp, InferentiaStoresAreSlowerButWork)
+{
+    auto cfg = trainCfg(300000);
+    TrainOptions opt;
+    auto t4 = runFtDmpTraining(cfg, opt);
+    cfg.storeSpec = hw::inf12xlarge();
+    auto inf1 = runFtDmpTraining(cfg, opt);
+    EXPECT_GT(inf1.seconds, t4.seconds);
+}
+
+TEST(FtDmp, UnevenImageCountFullyProcessed)
+{
+    auto cfg = trainCfg(100001); // not divisible by runs or stores
+    cfg.nStores = 3;
+    TrainOptions opt;
+    opt.nRun = 3;
+    auto r = runFtDmpTraining(cfg, opt);
+    double expected = cfg.nImages *
+                      cfg.model->transferMBAt(
+                          cfg.model->classifierStart()) *
+                      1e6;
+    EXPECT_NEAR(r.dataTrafficBytes, expected, expected * 0.01);
+}

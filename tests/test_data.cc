@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the drifting photo world and the backbone/vision model:
+ * growth and new-category rates, drift history, dataset extraction,
+ * and the weight-freeze training paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/backbone.h"
+#include "data/profiles.h"
+#include "data/world.h"
+
+using namespace ndp;
+using namespace ndp::data;
+
+namespace {
+
+WorldConfig
+smallWorld()
+{
+    WorldConfig cfg;
+    cfg.latentDim = 8;
+    cfg.initialClasses = 10;
+    cfg.maxClasses = 14;
+    cfg.initialImages = 500;
+    cfg.dailyGrowth = 0.05;
+    cfg.seed = 99;
+    return cfg;
+}
+
+} // namespace
+
+TEST(PhotoWorld, InitialStateMatchesConfig)
+{
+    PhotoWorld w(smallWorld());
+    EXPECT_EQ(w.day(), 0);
+    EXPECT_EQ(w.numImages(), 500u);
+    EXPECT_EQ(w.numClasses(), 10u);
+    EXPECT_EQ(w.latentDim(), 8u);
+}
+
+TEST(PhotoWorld, GrowthRateApproximatesConfig)
+{
+    auto cfg = smallWorld();
+    cfg.initialImages = 10000;
+    PhotoWorld w(cfg);
+    size_t before = w.numImages();
+    w.advanceDays(1);
+    double growth =
+        static_cast<double>(w.numImages() - before) / before;
+    EXPECT_NEAR(growth, cfg.dailyGrowth, 0.002);
+}
+
+TEST(PhotoWorld, CompoundGrowthOverTwoWeeks)
+{
+    auto cfg = smallWorld();
+    cfg.initialImages = 5000;
+    PhotoWorld w(cfg);
+    w.advanceDays(14);
+    double expected = 5000.0 * std::pow(1.0 + cfg.dailyGrowth, 14);
+    EXPECT_NEAR(static_cast<double>(w.numImages()), expected,
+                expected * 0.02);
+}
+
+TEST(PhotoWorld, NewCategoriesAppearOverTime)
+{
+    PhotoWorld w(smallWorld());
+    w.advanceDays(10);
+    EXPECT_GT(w.numClasses(), 10u);
+    EXPECT_LE(w.numClasses(), 14u);
+}
+
+TEST(PhotoWorld, ClassCountCapsAtMax)
+{
+    PhotoWorld w(smallWorld());
+    w.advanceDays(60);
+    EXPECT_EQ(w.numClasses(), 14u);
+}
+
+TEST(PhotoWorld, RecordsAreOrderedByDay)
+{
+    PhotoWorld w(smallWorld());
+    w.advanceDays(5);
+    int prev = 0;
+    for (const auto &rec : w.pool()) {
+        EXPECT_GE(rec.dayAdded, prev);
+        prev = rec.dayAdded;
+    }
+}
+
+TEST(PhotoWorld, IdsAreUnique)
+{
+    PhotoWorld w(smallWorld());
+    w.advanceDays(3);
+    std::set<uint64_t> ids;
+    for (const auto &rec : w.pool())
+        ids.insert(rec.id);
+    EXPECT_EQ(ids.size(), w.numImages());
+}
+
+TEST(PhotoWorld, DeterministicForSameSeed)
+{
+    PhotoWorld a(smallWorld()), b(smallWorld());
+    a.advanceDays(4);
+    b.advanceDays(4);
+    ASSERT_EQ(a.numImages(), b.numImages());
+    for (size_t i = 0; i < a.numImages(); ++i) {
+        EXPECT_EQ(a.pool()[i].label, b.pool()[i].label);
+        EXPECT_EQ(a.latentOf(a.pool()[i])[0],
+                  b.latentOf(b.pool()[i])[0]);
+    }
+}
+
+TEST(PhotoWorld, PoolDatasetMatchesPool)
+{
+    PhotoWorld w(smallWorld());
+    auto ds = w.poolDataset();
+    ASSERT_EQ(ds.size(), w.numImages());
+    EXPECT_EQ(ds.featureDim(), w.latentDim());
+    for (size_t i = 0; i < ds.size(); ++i) {
+        EXPECT_EQ(ds.y[i], w.pool()[i].label);
+        EXPECT_EQ(ds.x.at(i, 0), w.latentOf(w.pool()[i])[0]);
+    }
+}
+
+TEST(PhotoWorld, PoolDatasetSubsample)
+{
+    PhotoWorld w(smallWorld());
+    auto ds = w.poolDataset(100);
+    EXPECT_EQ(ds.size(), 100u);
+}
+
+TEST(PhotoWorld, RecentDatasetTakesTail)
+{
+    PhotoWorld w(smallWorld());
+    w.advanceDays(2);
+    auto ds = w.recentDataset(10);
+    ASSERT_EQ(ds.size(), 10u);
+    size_t n = w.numImages();
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(ds.y[i], w.pool()[n - 10 + i].label);
+}
+
+TEST(PhotoWorld, FirstIndexOfDayBinarySearch)
+{
+    PhotoWorld w(smallWorld());
+    w.advanceDays(3);
+    size_t idx = w.firstIndexOfDay(1);
+    ASSERT_LT(idx, w.numImages());
+    EXPECT_GE(w.pool()[idx].dayAdded, 1);
+    if (idx > 0)
+        EXPECT_LT(w.pool()[idx - 1].dayAdded, 1);
+    EXPECT_EQ(w.firstIndexOfDay(0), 0u);
+    EXPECT_EQ(w.firstIndexOfDay(100), w.numImages());
+}
+
+TEST(PhotoWorld, RecencyBiasedPrefersFreshPhotos)
+{
+    // New categories only exist among recent uploads, so their share
+    // in a recency-biased sample must far exceed their share in a
+    // uniform one.
+    auto cfg = smallWorld();
+    cfg.initialImages = 4000;
+    cfg.dailyGrowth = 0.04;
+    cfg.newClassShare = 0.3; // make the signal strong
+    PhotoWorld w(cfg);
+    w.advanceDays(10);
+    ASSERT_GT(w.numClasses(), cfg.initialClasses);
+
+    auto count_new = [&](const nn::Dataset &ds) {
+        size_t n = 0;
+        for (int y : ds.y) {
+            if (y >= static_cast<int>(cfg.initialClasses))
+                ++n;
+        }
+        return static_cast<double>(n) / ds.size();
+    };
+    auto uniform = w.recencyBiasedDataset(6000, 0.0, 3);
+    auto biased = w.recencyBiasedDataset(6000, 0.9, 3);
+    EXPECT_GT(count_new(biased), 2.0 * count_new(uniform) + 0.01);
+}
+
+TEST(PhotoWorld, TestSetLabelsWithinActiveClasses)
+{
+    PhotoWorld w(smallWorld());
+    w.advanceDays(8);
+    auto ds = w.sampleTestSet(500);
+    ASSERT_EQ(ds.size(), 500u);
+    for (int y : ds.y) {
+        EXPECT_GE(y, 0);
+        EXPECT_LT(y, static_cast<int>(w.numClasses()));
+    }
+}
+
+TEST(PhotoWorld, DriftMovesPrototypes)
+{
+    auto cfg = smallWorld();
+    cfg.driftPerDay = 0.5;
+    PhotoWorld w(cfg);
+    auto before = w.sampleTestSet(2000);
+    w.advanceDays(14);
+    auto after = w.sampleTestSet(2000);
+    // Class-0 mean should have moved measurably.
+    auto mean_of = [&](const nn::Dataset &ds, int cls) {
+        double m = 0.0;
+        int count = 0;
+        for (size_t i = 0; i < ds.size(); ++i) {
+            if (ds.y[i] == cls) {
+                m += ds.x.at(i, 0);
+                ++count;
+            }
+        }
+        return count ? m / count : 0.0;
+    };
+    double shift = std::fabs(mean_of(after, 0) - mean_of(before, 0));
+    // Expected displacement per dim ~ drift*sep*sqrt(14)/sqrt(dim).
+    EXPECT_GT(shift, 0.2);
+}
+
+TEST(Profiles, AllThreeExistAndDiffer)
+{
+    auto all = allProfiles();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].name, "CIFAR100");
+    EXPECT_EQ(all[1].name, "ImageNet1K");
+    EXPECT_EQ(all[2].name, "ImageNet21K");
+    // Difficulty ordering: CIFAR easiest, IN21K hardest.
+    EXPECT_LT(all[0].world.noise, all[1].world.noise);
+    EXPECT_LT(all[1].world.noise, all[2].world.noise);
+    EXPECT_GT(all[2].world.maxClasses, all[1].world.maxClasses);
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(profileByName("CIFAR100").name, "CIFAR100");
+    EXPECT_THROW(profileByName("MNIST"), std::out_of_range);
+}
+
+TEST(Profiles, BackboneIsCompressive)
+{
+    for (const auto &p : allProfiles())
+        EXPECT_LT(p.featureDim, p.world.latentDim);
+}
+
+TEST(VisionModel, FeatureShapesAndBounds)
+{
+    Rng rng(1);
+    VisionModel m(8, 4, 10, rng);
+    Rng drng(2);
+    nn::Tensor x = nn::Tensor::randn(5, 8, drng, 1.0f);
+    nn::Tensor f = m.features(x);
+    EXPECT_EQ(f.rows(), 5u);
+    EXPECT_EQ(f.cols(), 4u);
+    for (float v : f.data()) {
+        EXPECT_LE(v, 1.0f); // tanh range
+        EXPECT_GE(v, -1.0f);
+    }
+    nn::Tensor logits = m.forward(x);
+    EXPECT_EQ(logits.cols(), 10u);
+}
+
+TEST(VisionModel, ExtractFeaturesKeepsLabels)
+{
+    Rng rng(3);
+    VisionModel m(8, 4, 10, rng);
+    nn::Dataset ds;
+    Rng drng(4);
+    ds.x = nn::Tensor::randn(6, 8, drng, 1.0f);
+    ds.y = {0, 1, 2, 3, 4, 5};
+    auto feats = m.extractFeatures(ds);
+    EXPECT_EQ(feats.size(), 6u);
+    EXPECT_EQ(feats.featureDim(), 4u);
+    EXPECT_EQ(feats.y, ds.y);
+}
+
+TEST(VisionModel, FineTuneOnlyTouchesHead)
+{
+    auto cfg = smallWorld();
+    PhotoWorld w(cfg);
+    Rng rng(5);
+    VisionModel m(cfg.latentDim, 4, cfg.maxClasses, rng);
+    auto backbone_before = m.backbone().weight().value;
+
+    auto train = w.poolDataset();
+    auto test = w.sampleTestSet(200);
+    nn::TrainConfig tc;
+    tc.maxEpochs = 3;
+    m.fineTune(train, test, tc);
+
+    for (size_t i = 0; i < backbone_before.size(); ++i) {
+        EXPECT_EQ(m.backbone().weight().value.data()[i],
+                  backbone_before.data()[i]);
+    }
+    EXPECT_FALSE(m.backboneFrozen()) << "freeze state restored";
+}
+
+TEST(VisionModel, FullTrainUpdatesBackbone)
+{
+    auto cfg = smallWorld();
+    PhotoWorld w(cfg);
+    Rng rng(6);
+    VisionModel m(cfg.latentDim, 4, cfg.maxClasses, rng);
+    auto backbone_before = m.backbone().weight().value;
+    auto train = w.poolDataset();
+    auto test = w.sampleTestSet(200);
+    nn::TrainConfig tc;
+    tc.maxEpochs = 3;
+    m.fullTrain(train, test, tc);
+    double diff = 0.0;
+    for (size_t i = 0; i < backbone_before.size(); ++i) {
+        diff += std::fabs(m.backbone().weight().value.data()[i] -
+                          backbone_before.data()[i]);
+    }
+    EXPECT_GT(diff, 0.0);
+}
+
+TEST(VisionModel, TrainingBeatsChance)
+{
+    auto cfg = smallWorld();
+    cfg.noise = 1.0;
+    PhotoWorld w(cfg);
+    Rng rng(7);
+    VisionModel m(cfg.latentDim, 6, cfg.maxClasses, rng);
+    auto train = w.poolDataset();
+    auto test = w.sampleTestSet(400);
+    nn::TrainConfig tc;
+    tc.maxEpochs = 15;
+    auto result = m.fullTrain(train, test, tc);
+    EXPECT_GT(result.finalTop1(), 3.0 / cfg.initialClasses);
+}
+
+TEST(VisionModel, CopyIsIndependent)
+{
+    Rng rng(8);
+    VisionModel a(8, 4, 10, rng);
+    VisionModel b = a;
+    b.head().weight().value.fill(0.0f);
+    double sum = 0.0;
+    for (float v : a.head().weight().value.data())
+        sum += std::fabs(v);
+    EXPECT_GT(sum, 0.0); // a untouched
+}

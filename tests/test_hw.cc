@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the hardware catalog, power model, and simulated devices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/devices.h"
+#include "hw/power.h"
+#include "hw/specs.h"
+#include "sim/simulator.h"
+#include "sim/wait_group.h"
+
+using namespace ndp;
+using namespace ndp::hw;
+
+TEST(Specs, CatalogMatchesPaperInstances)
+{
+    auto store = g4dn4xlarge(true);
+    EXPECT_EQ(store.cpu.vcpus, 16);
+    ASSERT_TRUE(store.hasGpu());
+    EXPECT_EQ(store.gpu->name, "Tesla T4");
+    EXPECT_DOUBLE_EQ(store.nic.gbps, 10.0);
+
+    auto no_gpu = g4dn4xlarge(false);
+    EXPECT_FALSE(no_gpu.hasGpu());
+
+    auto tuner = p32xlarge();
+    EXPECT_EQ(tuner.nGpus, 1);
+    EXPECT_EQ(tuner.gpu->name, "Tesla V100");
+
+    auto host = p38xlarge(2);
+    EXPECT_EQ(host.nGpus, 2);
+    EXPECT_EQ(host.cpu.vcpus, 32);
+
+    auto inf1 = inf12xlarge();
+    EXPECT_EQ(inf1.gpu->name, "NeuronCoreV1");
+}
+
+TEST(Specs, V100FasterThanT4FasterThanNeuron)
+{
+    EXPECT_GT(teslaV100().peakTflops, teslaT4().peakTflops);
+    EXPECT_GT(teslaT4().peakTflops, neuronCoreV1().peakTflops);
+}
+
+TEST(Specs, NeuronIsMostPowerEfficient)
+{
+    double t4 = teslaT4().peakTflops / teslaT4().activeW;
+    double nc = neuronCoreV1().peakTflops / neuronCoreV1().activeW;
+    EXPECT_GT(nc, t4);
+}
+
+TEST(Specs, PricesArePositiveAndOrdered)
+{
+    EXPECT_GT(p38xlarge().hourlyUsd, p32xlarge().hourlyUsd);
+    EXPECT_GT(p32xlarge().hourlyUsd, g4dn4xlarge(true).hourlyUsd);
+    EXPECT_GT(g4dn4xlarge(true).hourlyUsd, inf12xlarge().hourlyUsd);
+}
+
+TEST(Power, IdleVsActiveBounds)
+{
+    auto spec = g4dn4xlarge(true);
+    auto idle = serverPower(spec, 0.0, 0.0);
+    auto busy = serverPower(spec, 1.0, 1.0);
+    EXPECT_GT(busy.gpuW, idle.gpuW);
+    EXPECT_GT(busy.cpuW, idle.cpuW);
+    EXPECT_DOUBLE_EQ(busy.otherW, idle.otherW);
+    EXPECT_NEAR(busy.gpuW, spec.gpu->activeW, 1e-9);
+    EXPECT_NEAR(idle.gpuW, spec.gpu->idleW, 1e-9);
+}
+
+TEST(Power, UtilizationClamped)
+{
+    auto spec = g4dn4xlarge(true);
+    auto over = serverPower(spec, 1.5, 2.0);
+    auto full = serverPower(spec, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(over.totalW(), full.totalW());
+    auto under = serverPower(spec, -0.5, -1.0);
+    auto idle = serverPower(spec, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(under.totalW(), idle.totalW());
+}
+
+TEST(Power, NoGpuMeansNoGpuPower)
+{
+    auto spec = g4dn4xlarge(false);
+    auto p = serverPower(spec, 1.0, 0.5);
+    EXPECT_DOUBLE_EQ(p.gpuW, 0.0);
+}
+
+TEST(Power, MultiGpuScales)
+{
+    auto host = p38xlarge(2);
+    auto single = p38xlarge(1);
+    auto p2 = serverPower(host, 1.0, 0.0);
+    auto p1 = serverPower(single, 1.0, 0.0);
+    EXPECT_NEAR(p2.gpuW, 2.0 * p1.gpuW, 1e-9);
+}
+
+TEST(Power, ClusterWattsSums)
+{
+    auto spec = g4dn4xlarge(true);
+    std::vector<ServerPowerSample> samples = {
+        {"a", serverPower(spec, 0.5, 0.5)},
+        {"b", serverPower(spec, 0.5, 0.5)},
+    };
+    EXPECT_NEAR(clusterWatts(samples),
+                2.0 * serverPower(spec, 0.5, 0.5).totalW(), 1e-9);
+}
+
+TEST(Power, BreakdownAccumulates)
+{
+    PowerBreakdown a{10.0, 20.0, 30.0};
+    PowerBreakdown b{1.0, 2.0, 3.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.gpuW, 11.0);
+    EXPECT_DOUBLE_EQ(a.totalW(), 66.0);
+    EXPECT_DOUBLE_EQ(energyJ(a, 10.0), 660.0);
+}
+
+namespace {
+
+sim::Task
+doTransfer(Link &link, double bytes, sim::WaitGroup &wg)
+{
+    co_await link.transfer(bytes);
+    wg.done();
+}
+
+sim::Task
+doRead(Disk &disk, double bytes, sim::WaitGroup &wg)
+{
+    co_await disk.read(bytes);
+    wg.done();
+}
+
+sim::Task
+doCompute(GpuExec &gpu, double seconds, sim::WaitGroup &wg)
+{
+    co_await gpu.compute(seconds);
+    wg.done();
+}
+
+} // namespace
+
+TEST(Link, TransferTimeMatchesBandwidth)
+{
+    sim::Simulator s;
+    Link link(s, NicSpec{10.0, 0.0}); // 10 Gbps, no latency
+    sim::WaitGroup wg(s);
+    wg.add(1);
+    s.spawn(doTransfer(link, 1.25e9, wg)); // 1.25 GB = 10 Gbit
+    s.run();
+    EXPECT_NEAR(s.now(), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(link.bytesMoved(), 1.25e9);
+}
+
+TEST(Link, ConcurrentTransfersSerialize)
+{
+    sim::Simulator s;
+    Link link(s, NicSpec{10.0, 0.0});
+    sim::WaitGroup wg(s);
+    wg.add(4);
+    for (int i = 0; i < 4; ++i)
+        s.spawn(doTransfer(link, 1.25e9 / 4.0, wg));
+    s.run();
+    EXPECT_NEAR(s.now(), 1.0, 1e-9); // total wire time conserved
+}
+
+TEST(Link, LatencyAddsAfterSerialization)
+{
+    sim::Simulator s;
+    Link link(s, NicSpec{10.0, 0.5});
+    sim::WaitGroup wg(s);
+    wg.add(1);
+    s.spawn(doTransfer(link, 1.25e9, wg));
+    s.run();
+    EXPECT_NEAR(s.now(), 1.5, 1e-9);
+}
+
+TEST(Link, ServiceTimeFormula)
+{
+    sim::Simulator s;
+    Link link(s, NicSpec{40.0, 0.0});
+    EXPECT_NEAR(link.serviceTime(5e9), 1.0, 1e-9); // 40 Gbit in 1 s
+}
+
+TEST(Disk, ReadRateAndSeek)
+{
+    sim::Simulator s;
+    DiskSpec spec{"d", 100.0, 100.0, 0.01, 5.0};
+    Disk disk(s, spec);
+    sim::WaitGroup wg(s);
+    wg.add(1);
+    s.spawn(doRead(disk, 100e6, wg)); // 100 MB at 100 MB/s + seek
+    s.run();
+    EXPECT_NEAR(s.now(), 1.01, 1e-9);
+    EXPECT_DOUBLE_EQ(disk.bytesRead(), 100e6);
+}
+
+TEST(Disk, RequestsQueueFifo)
+{
+    sim::Simulator s;
+    DiskSpec spec{"d", 100.0, 100.0, 0.0, 5.0};
+    Disk disk(s, spec);
+    sim::WaitGroup wg(s);
+    wg.add(2);
+    s.spawn(doRead(disk, 50e6, wg));
+    s.spawn(doRead(disk, 50e6, wg));
+    s.run();
+    EXPECT_NEAR(s.now(), 1.0, 1e-9);
+}
+
+TEST(GpuExec, SingleStreamSerializes)
+{
+    sim::Simulator s;
+    GpuExec gpu(s, teslaT4(), 1);
+    sim::WaitGroup wg(s);
+    wg.add(3);
+    for (int i = 0; i < 3; ++i)
+        s.spawn(doCompute(gpu, 1.0, wg));
+    s.run();
+    EXPECT_NEAR(s.now(), 3.0, 1e-9);
+    EXPECT_NEAR(gpu.utilization(), 1.0, 1e-9);
+}
+
+TEST(GpuExec, TwoGpusOverlap)
+{
+    sim::Simulator s;
+    GpuExec gpu(s, teslaV100(), 2);
+    sim::WaitGroup wg(s);
+    wg.add(4);
+    for (int i = 0; i < 4; ++i)
+        s.spawn(doCompute(gpu, 1.0, wg));
+    s.run();
+    EXPECT_NEAR(s.now(), 2.0, 1e-9);
+    EXPECT_NEAR(gpu.busySeconds(), 4.0, 1e-9);
+}
+
+TEST(CpuPool, PartialOccupancy)
+{
+    sim::Simulator s;
+    CpuPool cpu(s, 8);
+    sim::WaitGroup wg(s);
+    wg.add(2);
+    // Two jobs each take 4 cores for 1 s: they fit concurrently.
+    s.spawn([](CpuPool &c, sim::WaitGroup &w) -> sim::Task {
+        co_await c.run(4, 1.0);
+        w.done();
+    }(cpu, wg));
+    s.spawn([](CpuPool &c, sim::WaitGroup &w) -> sim::Task {
+        co_await c.run(4, 1.0);
+        w.done();
+    }(cpu, wg));
+    s.run();
+    EXPECT_NEAR(s.now(), 1.0, 1e-9);
+    EXPECT_NEAR(cpu.utilization(), 1.0, 1e-9);
+}
+
+TEST(CpuPool, OversubscriptionQueues)
+{
+    sim::Simulator s;
+    CpuPool cpu(s, 4);
+    sim::WaitGroup wg(s);
+    wg.add(2);
+    s.spawn([](CpuPool &c, sim::WaitGroup &w) -> sim::Task {
+        co_await c.run(4, 1.0);
+        w.done();
+    }(cpu, wg));
+    s.spawn([](CpuPool &c, sim::WaitGroup &w) -> sim::Task {
+        co_await c.run(4, 1.0);
+        w.done();
+    }(cpu, wg));
+    s.run();
+    EXPECT_NEAR(s.now(), 2.0, 1e-9);
+}

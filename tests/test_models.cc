@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the model zoo: published parameter/compute totals,
+ * partition-cut semantics, and structural invariants shared by every
+ * model (parameterized over the zoo).
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/model.h"
+#include "models/zoo.h"
+
+using namespace ndp::models;
+
+class EveryModel : public ::testing::TestWithParam<const ModelSpec *>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, EveryModel, ::testing::ValuesIn(allModels()),
+    [](const ::testing::TestParamInfo<const ModelSpec *> &info) {
+        return info.param->name();
+    });
+
+TEST_P(EveryModel, HasTrailingTrainableClassifier)
+{
+    const ModelSpec &m = *GetParam();
+    size_t cls = m.classifierStart();
+    ASSERT_LT(cls, m.numBlocks());
+    for (size_t i = cls; i < m.numBlocks(); ++i)
+        EXPECT_TRUE(m.blocks()[i].trainable);
+    for (size_t i = 0; i < cls; ++i)
+        EXPECT_FALSE(m.blocks()[i].trainable);
+}
+
+TEST_P(EveryModel, GmacsPartitionAdditive)
+{
+    const ModelSpec &m = *GetParam();
+    for (size_t cut = 0; cut <= m.numBlocks(); ++cut) {
+        EXPECT_NEAR(m.gmacsBefore(cut) + m.gmacsAfter(cut),
+                    m.totalGmacs(), 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(m.gmacsBefore(0), 0.0);
+    EXPECT_NEAR(m.gmacsBefore(m.numBlocks()), m.totalGmacs(), 1e-9);
+}
+
+TEST_P(EveryModel, PartitionCutsValidAndSorted)
+{
+    const ModelSpec &m = *GetParam();
+    auto cuts = m.partitionCuts();
+    ASSERT_GE(cuts.size(), 2u);
+    EXPECT_EQ(cuts.front(), 0u);
+    EXPECT_EQ(cuts.back(), m.numBlocks());
+    for (size_t i = 1; i < cuts.size(); ++i)
+        EXPECT_LT(cuts[i - 1], cuts[i]);
+}
+
+TEST_P(EveryModel, TransferAtZeroIsInput)
+{
+    const ModelSpec &m = *GetParam();
+    EXPECT_DOUBLE_EQ(m.transferMBAt(0), m.inputMB());
+}
+
+TEST_P(EveryModel, ClassifierCutShipsTinyFeatures)
+{
+    const ModelSpec &m = *GetParam();
+    // The whole point of FT-DMP: features at the classifier boundary
+    // are orders of magnitude smaller than the input.
+    EXPECT_LT(m.transferMBAt(m.classifierStart()),
+              m.inputMB() / 50.0);
+}
+
+TEST_P(EveryModel, TrainableParamsArePositiveMinority)
+{
+    const ModelSpec &m = *GetParam();
+    EXPECT_GT(m.trainableParamsM(), 0.0);
+    EXPECT_LT(m.trainableParamsM(), m.totalParamsM() * 0.5);
+}
+
+TEST_P(EveryModel, CutSplitsClassifierOnlyPastBoundary)
+{
+    const ModelSpec &m = *GetParam();
+    EXPECT_FALSE(m.cutSplitsClassifier(m.classifierStart()));
+    EXPECT_TRUE(m.cutSplitsClassifier(m.numBlocks()));
+    EXPECT_FALSE(m.cutSplitsClassifier(0));
+}
+
+TEST_P(EveryModel, PositiveBlockMetrics)
+{
+    const ModelSpec &m = *GetParam();
+    for (const auto &b : m.blocks()) {
+        EXPECT_GT(b.gmacs, 0.0) << b.name;
+        EXPECT_GT(b.outMB, 0.0) << b.name;
+        EXPECT_GE(b.paramsM, 0.0) << b.name;
+    }
+}
+
+TEST(Zoo, PublishedTotalsRoughlyMatch)
+{
+    // Published MACs (G) and params (M), generous tolerance.
+    EXPECT_NEAR(resnet50().totalGmacs(), 4.1, 0.5);
+    EXPECT_NEAR(resnet50().totalParamsM(), 25.6, 1.0);
+    EXPECT_NEAR(inceptionV3().totalGmacs(), 5.7, 0.6);
+    EXPECT_NEAR(inceptionV3().totalParamsM(), 23.8, 1.5);
+    EXPECT_NEAR(resnext101().totalGmacs(), 16.5, 1.0);
+    EXPECT_NEAR(resnext101().totalParamsM(), 88.8, 2.0);
+    EXPECT_NEAR(vitB16().totalGmacs(), 17.6, 1.0);
+    EXPECT_NEAR(vitB16().totalParamsM(), 86.4, 2.0);
+    EXPECT_NEAR(shufflenetV2().totalGmacs(), 0.146, 0.05);
+    EXPECT_NEAR(shufflenetV2().totalParamsM(), 2.3, 0.4);
+}
+
+TEST(Zoo, InputSizesMatchPaper)
+{
+    // §3.4: preprocessed image averages 0.59 MB (fp32 224x224x3).
+    EXPECT_NEAR(resnet50().inputMB(), 0.602, 0.01);
+    EXPECT_NEAR(vitB16().inputMB(), 0.602, 0.01);
+    // InceptionV3 takes 299x299 inputs.
+    EXPECT_GT(inceptionV3().inputMB(), resnet50().inputMB());
+    EXPECT_EQ(inceptionV3().inputPx(), 299);
+}
+
+TEST(Zoo, ResNet50BestCutIsAfterConv5)
+{
+    const ModelSpec &m = resnet50();
+    // Cut 5 = after conv5+pool: 2048 fp16 values = ~4.1 KB.
+    EXPECT_EQ(m.classifierStart(), 5u);
+    EXPECT_NEAR(m.transferMBAt(5), 0.0041, 5e-4);
+}
+
+TEST(Zoo, VitHasThirteenPlusCuts)
+{
+    // patch embed + 12 encoders + cls-pool + head => 15 blocks.
+    EXPECT_EQ(vitB16().numBlocks(), 15u);
+    EXPECT_EQ(vitB16().partitionCuts().size(), 16u);
+}
+
+TEST(Zoo, ByNameRoundTrips)
+{
+    for (const ModelSpec *m : allModels())
+        EXPECT_EQ(&byName(m->name()), m);
+    EXPECT_THROW(byName("AlexNet"), std::out_of_range);
+}
+
+TEST(Zoo, FigureModelsExcludeShuffleNet)
+{
+    auto figs = figureModels();
+    EXPECT_EQ(figs.size(), 4u);
+    for (auto *m : figs)
+        EXPECT_NE(m->name(), "ShuffleNetV2");
+}
+
+TEST(Zoo, OrderedBySize)
+{
+    auto all = allModels();
+    EXPECT_LT(all.front()->totalGmacs(), all.back()->totalGmacs());
+}
+
+TEST(ModelSpec, GmacsBeforeMonotone)
+{
+    const ModelSpec &m = resnext101();
+    double prev = -1.0;
+    for (size_t cut = 0; cut <= m.numBlocks(); ++cut) {
+        double g = m.gmacsBefore(cut);
+        EXPECT_GT(g, prev);
+        prev = g;
+    }
+}

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Layer tests, centered on numerical gradient checking: every layer's
+ * backward pass is validated against finite differences of a scalar
+ * loss, including the weight-freeze semantics fine-tuning relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+
+using namespace ndp;
+using namespace ndp::nn;
+
+namespace {
+
+/** Scalar loss = sum of squares of the layer output / 2. */
+double
+forwardLoss(Layer &layer, const Tensor &x)
+{
+    Tensor y = layer.forward(x);
+    return 0.5 * y.sumSquares();
+}
+
+/** Backprop of the same loss; returns dL/dx and fills param grads. */
+Tensor
+backwardLoss(Layer &layer, const Tensor &x)
+{
+    Tensor y = layer.forward(x);
+    // dL/dy = y for L = 0.5*sum(y^2).
+    return layer.backward(y);
+}
+
+/** Central finite difference of the loss w.r.t. one float. */
+double
+numericalGrad(Layer &layer, Tensor &x, float &slot)
+{
+    const float eps = 1e-3f;
+    float orig = slot;
+    slot = orig + eps;
+    double lp = forwardLoss(layer, x);
+    slot = orig - eps;
+    double lm = forwardLoss(layer, x);
+    slot = orig;
+    return (lp - lm) / (2.0 * eps);
+}
+
+} // namespace
+
+TEST(Linear, ForwardComputesAffineMap)
+{
+    Rng rng(1);
+    Linear lin(2, 2, rng);
+    lin.weight().value.fill(0.0f);
+    lin.weight().value.at(0, 0) = 1.0f;
+    lin.weight().value.at(1, 1) = 2.0f;
+    lin.bias().value.at(0, 0) = 0.5f;
+
+    Tensor x(1, 2);
+    x.at(0, 0) = 3.0f;
+    x.at(0, 1) = 4.0f;
+    Tensor y = lin.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 3.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 8.0f);
+}
+
+TEST(Linear, GradientCheckInput)
+{
+    Rng rng(2);
+    Linear lin(4, 3, rng);
+    Tensor x = Tensor::randn(2, 4, rng, 1.0f);
+    Tensor gx = backwardLoss(lin, x);
+    for (size_t i = 0; i < x.size(); ++i) {
+        double num = numericalGrad(lin, x, x.data()[i]);
+        EXPECT_NEAR(gx.data()[i], num, 5e-2) << "input grad " << i;
+    }
+}
+
+TEST(Linear, GradientCheckWeightsAndBias)
+{
+    Rng rng(3);
+    Linear lin(3, 2, rng);
+    Tensor x = Tensor::randn(4, 3, rng, 1.0f);
+    lin.zeroGrad();
+    backwardLoss(lin, x);
+    Tensor wg = lin.weight().grad;
+    Tensor bg = lin.bias().grad;
+    for (size_t i = 0; i < lin.weight().value.size(); ++i) {
+        double num =
+            numericalGrad(lin, x, lin.weight().value.data()[i]);
+        EXPECT_NEAR(wg.data()[i], num, 5e-2) << "weight grad " << i;
+    }
+    for (size_t i = 0; i < lin.bias().value.size(); ++i) {
+        double num = numericalGrad(lin, x, lin.bias().value.data()[i]);
+        EXPECT_NEAR(bg.data()[i], num, 5e-2) << "bias grad " << i;
+    }
+}
+
+TEST(Linear, GradAccumulatesAcrossBackwardCalls)
+{
+    Rng rng(4);
+    Linear lin(3, 3, rng);
+    Tensor x = Tensor::randn(2, 3, rng, 1.0f);
+    lin.zeroGrad();
+    backwardLoss(lin, x);
+    Tensor once = lin.weight().grad;
+    backwardLoss(lin, x);
+    for (size_t i = 0; i < once.size(); ++i)
+        EXPECT_NEAR(lin.weight().grad.data()[i], 2.0f * once.data()[i],
+                    1e-3f);
+}
+
+TEST(Linear, FrozenSkipsParamGradsButPropagates)
+{
+    Rng rng(5);
+    Linear lin(3, 3, rng);
+    lin.setFrozen(true);
+    EXPECT_TRUE(lin.params().empty());
+    EXPECT_EQ(lin.allParams().size(), 2u);
+
+    Tensor x = Tensor::randn(2, 3, rng, 1.0f);
+    lin.zeroGrad();
+    Tensor gx = backwardLoss(lin, x);
+    for (float v : lin.weight().grad.data())
+        EXPECT_EQ(v, 0.0f);
+    // Input gradient still flows (weight-freeze layers backprop).
+    double norm = 0.0;
+    for (float v : gx.data())
+        norm += std::fabs(v);
+    EXPECT_GT(norm, 0.0);
+}
+
+TEST(ReLU, ForwardClampsNegatives)
+{
+    ReLU relu;
+    Tensor x(1, 4);
+    x.at(0, 0) = -1.0f;
+    x.at(0, 1) = 0.0f;
+    x.at(0, 2) = 2.0f;
+    x.at(0, 3) = -0.5f;
+    Tensor y = relu.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 3), 0.0f);
+}
+
+TEST(ReLU, GradientCheck)
+{
+    Rng rng(6);
+    ReLU relu;
+    Tensor x = Tensor::randn(3, 5, rng, 1.0f);
+    // Keep inputs away from the kink at 0.
+    for (auto &v : x.data()) {
+        if (std::fabs(v) < 0.05f)
+            v = 0.2f;
+    }
+    Tensor gx = backwardLoss(relu, x);
+    for (size_t i = 0; i < x.size(); ++i) {
+        double num = numericalGrad(relu, x, x.data()[i]);
+        EXPECT_NEAR(gx.data()[i], num, 5e-2);
+    }
+}
+
+TEST(Tanh, GradientCheck)
+{
+    Rng rng(7);
+    Tanh tanh_layer;
+    Tensor x = Tensor::randn(3, 5, rng, 0.8f);
+    Tensor gx = backwardLoss(tanh_layer, x);
+    for (size_t i = 0; i < x.size(); ++i) {
+        double num = numericalGrad(tanh_layer, x, x.data()[i]);
+        EXPECT_NEAR(gx.data()[i], num, 5e-2);
+    }
+}
+
+TEST(Tanh, OutputBounded)
+{
+    Rng rng(8);
+    Tanh t;
+    Tensor x = Tensor::randn(10, 10, rng, 5.0f);
+    Tensor y = t.forward(x);
+    for (float v : y.data()) {
+        EXPECT_LE(v, 1.0f);
+        EXPECT_GE(v, -1.0f);
+    }
+}
+
+TEST(Sequential, ComposesLayers)
+{
+    Rng rng(9);
+    Sequential seq;
+    seq.emplace<Linear>(4, 8, rng);
+    seq.emplace<ReLU>();
+    seq.emplace<Linear>(8, 3, rng);
+    EXPECT_EQ(seq.depth(), 3u);
+    EXPECT_EQ(seq.params().size(), 4u);
+    EXPECT_EQ(seq.paramCount(), 4u * 8u + 8u + 8u * 3u + 3u);
+
+    Tensor x = Tensor::randn(2, 4, rng, 1.0f);
+    Tensor y = seq.forward(x);
+    EXPECT_EQ(y.rows(), 2u);
+    EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(Sequential, GradientCheckEndToEnd)
+{
+    Rng rng(10);
+    Sequential seq;
+    seq.emplace<Linear>(3, 5, rng);
+    seq.emplace<Tanh>();
+    seq.emplace<Linear>(5, 2, rng);
+    Tensor x = Tensor::randn(2, 3, rng, 1.0f);
+    Tensor gx = backwardLoss(seq, x);
+    for (size_t i = 0; i < x.size(); ++i) {
+        double num = numericalGrad(seq, x, x.data()[i]);
+        EXPECT_NEAR(gx.data()[i], num, 5e-2);
+    }
+}
+
+TEST(Sequential, MakeClassifierShapes)
+{
+    Rng rng(11);
+    Sequential deep = makeClassifier(16, 32, 10, rng);
+    EXPECT_EQ(deep.depth(), 3u);
+    Sequential shallow = makeClassifier(16, 0, 10, rng);
+    EXPECT_EQ(shallow.depth(), 1u);
+    Tensor x = Tensor::randn(4, 16, rng, 1.0f);
+    EXPECT_EQ(deep.forward(x).cols(), 10u);
+    EXPECT_EQ(shallow.forward(x).cols(), 10u);
+}
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(12);
+    Tensor logits = Tensor::randn(5, 7, rng, 3.0f);
+    Tensor p = softmax(logits);
+    for (size_t i = 0; i < p.rows(); ++i) {
+        float sum = 0.0f;
+        for (size_t j = 0; j < p.cols(); ++j) {
+            sum += p.at(i, j);
+            EXPECT_GE(p.at(i, j), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits)
+{
+    Tensor logits(1, 3);
+    logits.at(0, 0) = 10000.0f;
+    logits.at(0, 1) = 9999.0f;
+    logits.at(0, 2) = -10000.0f;
+    Tensor p = softmax(logits);
+    EXPECT_FALSE(std::isnan(p.at(0, 0)));
+    EXPECT_GT(p.at(0, 0), p.at(0, 1));
+    EXPECT_NEAR(p.at(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss)
+{
+    Tensor logits(2, 3);
+    logits.at(0, 1) = 100.0f;
+    logits.at(1, 2) = 100.0f;
+    auto r = softmaxCrossEntropy(logits, {1, 2});
+    EXPECT_NEAR(r.loss, 0.0, 1e-6);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC)
+{
+    Tensor logits(1, 10);
+    auto r = softmaxCrossEntropy(logits, {3});
+    EXPECT_NEAR(r.loss, std::log(10.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientSumsToZeroPerRow)
+{
+    Rng rng(13);
+    Tensor logits = Tensor::randn(4, 6, rng, 1.0f);
+    auto r = softmaxCrossEntropy(logits, {0, 1, 2, 3});
+    for (size_t i = 0; i < 4; ++i) {
+        float sum = 0.0f;
+        for (size_t j = 0; j < 6; ++j)
+            sum += r.gradLogits.at(i, j);
+        EXPECT_NEAR(sum, 0.0f, 1e-6f);
+    }
+}
+
+TEST(CrossEntropy, GradientCheck)
+{
+    Rng rng(14);
+    Tensor logits = Tensor::randn(3, 4, rng, 1.0f);
+    std::vector<int> labels = {2, 0, 3};
+    auto r = softmaxCrossEntropy(logits, labels);
+    const float eps = 1e-3f;
+    for (size_t i = 0; i < logits.size(); ++i) {
+        float orig = logits.data()[i];
+        logits.data()[i] = orig + eps;
+        double lp = softmaxCrossEntropy(logits, labels).loss;
+        logits.data()[i] = orig - eps;
+        double lm = softmaxCrossEntropy(logits, labels).loss;
+        logits.data()[i] = orig;
+        double num = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(r.gradLogits.data()[i], num, 1e-3);
+    }
+}
+
+TEST(Metrics, TopKAccuracy)
+{
+    Tensor logits(2, 4);
+    // Row 0: label 1 ranked 2nd; row 1: label 3 ranked 1st.
+    logits.at(0, 0) = 3.0f;
+    logits.at(0, 1) = 2.0f;
+    logits.at(0, 2) = 1.0f;
+    logits.at(1, 3) = 5.0f;
+    std::vector<int> y = {1, 3};
+    EXPECT_DOUBLE_EQ(topKAccuracy(logits, y, 1), 0.5);
+    EXPECT_DOUBLE_EQ(topKAccuracy(logits, y, 2), 1.0);
+}
+
+TEST(Metrics, ArgmaxRows)
+{
+    Tensor logits(2, 3);
+    logits.at(0, 2) = 1.0f;
+    logits.at(1, 0) = 1.0f;
+    auto preds = argmaxRows(logits);
+    EXPECT_EQ(preds[0], 2);
+    EXPECT_EQ(preds[1], 0);
+}

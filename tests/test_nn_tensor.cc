@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the dense tensor and its kernels, including checks of the
+ * specialized matmul variants against the naive reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+using namespace ndp;
+using namespace ndp::nn;
+
+namespace {
+
+Tensor
+naiveMatmul(const Tensor &a, const Tensor &b)
+{
+    Tensor c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        for (size_t j = 0; j < b.cols(); ++j) {
+            float s = 0.0f;
+            for (size_t k = 0; k < a.cols(); ++k)
+                s += a.at(i, k) * b.at(k, j);
+            c.at(i, j) = s;
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    Tensor t(a.cols(), a.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+void
+expectNear(const Tensor &a, const Tensor &b, float tol = 1e-4f)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a.data()[i], b.data()[i], tol) << "at " << i;
+}
+
+} // namespace
+
+TEST(Tensor, ConstructionAndShape)
+{
+    Tensor t(3, 5);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 5u);
+    EXPECT_EQ(t.size(), 15u);
+    for (float v : t.data())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, FilledAndFill)
+{
+    Tensor t = Tensor::filled(2, 2, 3.5f);
+    for (float v : t.data())
+        EXPECT_EQ(v, 3.5f);
+    t.fill(-1.0f);
+    for (float v : t.data())
+        EXPECT_EQ(v, -1.0f);
+}
+
+TEST(Tensor, AtRowMajorLayout)
+{
+    Tensor t(2, 3);
+    t.at(1, 2) = 7.0f;
+    EXPECT_EQ(t.data()[5], 7.0f);
+    EXPECT_EQ(t.rowPtr(1)[2], 7.0f);
+}
+
+TEST(Tensor, RandnStatistics)
+{
+    Rng rng(3);
+    Tensor t = Tensor::randn(100, 100, rng, 2.0f);
+    double sum = 0.0, sq = 0.0;
+    for (float v : t.data()) {
+        sum += v;
+        sq += static_cast<double>(v) * v;
+    }
+    double mean = sum / t.size();
+    double var = sq / t.size() - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Tensor, AxpyAccumulates)
+{
+    Tensor a = Tensor::filled(2, 2, 1.0f);
+    Tensor b = Tensor::filled(2, 2, 2.0f);
+    a.axpy(0.5f, b);
+    for (float v : a.data())
+        EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Tensor, GatherRowsSelectsAndOrders)
+{
+    Tensor t(4, 2);
+    for (size_t i = 0; i < 4; ++i) {
+        t.at(i, 0) = static_cast<float>(i);
+        t.at(i, 1) = static_cast<float>(10 * i);
+    }
+    Tensor g = t.gatherRows({3, 0, 3});
+    ASSERT_EQ(g.rows(), 3u);
+    EXPECT_EQ(g.at(0, 0), 3.0f);
+    EXPECT_EQ(g.at(1, 0), 0.0f);
+    EXPECT_EQ(g.at(2, 1), 30.0f);
+}
+
+TEST(Tensor, SumSquares)
+{
+    Tensor t(1, 3);
+    t.at(0, 0) = 1.0f;
+    t.at(0, 1) = 2.0f;
+    t.at(0, 2) = 2.0f;
+    EXPECT_DOUBLE_EQ(t.sumSquares(), 9.0);
+}
+
+TEST(Matmul, MatchesNaive)
+{
+    Rng rng(5);
+    Tensor a = Tensor::randn(7, 13, rng, 1.0f);
+    Tensor b = Tensor::randn(13, 9, rng, 1.0f);
+    expectNear(matmul(a, b), naiveMatmul(a, b));
+}
+
+TEST(Matmul, IdentityPreserves)
+{
+    Rng rng(6);
+    Tensor a = Tensor::randn(4, 4, rng, 1.0f);
+    Tensor eye(4, 4);
+    for (size_t i = 0; i < 4; ++i)
+        eye.at(i, i) = 1.0f;
+    expectNear(matmul(a, eye), a);
+    expectNear(matmul(eye, a), a);
+}
+
+TEST(MatmulTN, MatchesTransposedNaive)
+{
+    Rng rng(7);
+    Tensor a = Tensor::randn(11, 5, rng, 1.0f); // (k x m)
+    Tensor b = Tensor::randn(11, 6, rng, 1.0f); // (k x n)
+    expectNear(matmulTN(a, b), naiveMatmul(transpose(a), b));
+}
+
+TEST(MatmulNT, MatchesTransposedNaive)
+{
+    Rng rng(8);
+    Tensor a = Tensor::randn(5, 11, rng, 1.0f); // (m x k)
+    Tensor b = Tensor::randn(6, 11, rng, 1.0f); // (n x k)
+    expectNear(matmulNT(a, b), naiveMatmul(a, transpose(b)));
+}
+
+TEST(Matmul, ZeroSkipPathStaysCorrect)
+{
+    // The ikj kernel skips zero multipliers; verify with sparse input.
+    Rng rng(9);
+    Tensor a(6, 8);
+    a.at(0, 0) = 1.0f;
+    a.at(3, 7) = -2.0f;
+    Tensor b = Tensor::randn(8, 4, rng, 1.0f);
+    expectNear(matmul(a, b), naiveMatmul(a, b));
+}
+
+TEST(AddBiasRow, BroadcastsToEveryRow)
+{
+    Tensor x = Tensor::filled(3, 2, 1.0f);
+    Tensor bias(1, 2);
+    bias.at(0, 0) = 10.0f;
+    bias.at(0, 1) = 20.0f;
+    addBiasRow(x, bias);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_FLOAT_EQ(x.at(i, 0), 11.0f);
+        EXPECT_FLOAT_EQ(x.at(i, 1), 21.0f);
+    }
+}
+
+TEST(ColumnSums, SumsEachColumn)
+{
+    Tensor x(3, 2);
+    for (size_t i = 0; i < 3; ++i) {
+        x.at(i, 0) = static_cast<float>(i + 1);
+        x.at(i, 1) = 1.0f;
+    }
+    Tensor s = columnSums(x);
+    ASSERT_EQ(s.rows(), 1u);
+    EXPECT_FLOAT_EQ(s.at(0, 0), 6.0f);
+    EXPECT_FLOAT_EQ(s.at(0, 1), 3.0f);
+}

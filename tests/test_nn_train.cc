@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the optimizer, dataset utilities, and training loop: SGD
+ * actually descends, momentum and weight decay act as specified, the
+ * trainer solves separable problems, and the paper's convergence
+ * criterion stops training.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dataset.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+using namespace ndp;
+using namespace ndp::nn;
+
+namespace {
+
+/** Two well-separated Gaussian blobs in 2-D. */
+Dataset
+twoBlobs(size_t n_per_class, Rng &rng, float sep = 4.0f)
+{
+    Dataset ds;
+    ds.x = Tensor(2 * n_per_class, 2);
+    for (size_t i = 0; i < 2 * n_per_class; ++i) {
+        int cls = i < n_per_class ? 0 : 1;
+        float cx = cls == 0 ? -sep / 2 : sep / 2;
+        ds.x.at(i, 0) = cx + static_cast<float>(rng.normal());
+        ds.x.at(i, 1) = static_cast<float>(rng.normal());
+        ds.y.push_back(cls);
+    }
+    return ds;
+}
+
+} // namespace
+
+TEST(Sgd, StepReducesSimpleQuadratic)
+{
+    // Minimize 0.5*w^2 via grad = w.
+    Rng rng(1);
+    Linear lin(1, 1, rng);
+    lin.bias().value.fill(0.0f);
+    lin.weight().value.at(0, 0) = 4.0f;
+    SgdConfig cfg;
+    cfg.lr = 0.1;
+    cfg.momentum = 0.0;
+    cfg.weightDecay = 0.0;
+    Sgd opt(lin.params(), cfg);
+    for (int i = 0; i < 50; ++i) {
+        lin.weight().grad.at(0, 0) = lin.weight().value.at(0, 0);
+        opt.step();
+    }
+    EXPECT_NEAR(lin.weight().value.at(0, 0), 0.0f, 5e-2f);
+}
+
+TEST(Sgd, StepClearsGradients)
+{
+    Rng rng(2);
+    Linear lin(2, 2, rng);
+    Sgd opt(lin.params(), SgdConfig{});
+    lin.weight().grad.fill(1.0f);
+    opt.step();
+    for (float v : lin.weight().grad.data())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Sgd, MomentumAccelerates)
+{
+    // With a constant gradient, momentum accumulates velocity.
+    Rng rng(3);
+    Linear a(1, 1, rng), b(1, 1, rng);
+    a.weight().value.fill(0.0f);
+    b.weight().value.fill(0.0f);
+    a.bias().value.fill(0.0f);
+    b.bias().value.fill(0.0f);
+    SgdConfig plain{0.1, 0.0, 0.0};
+    SgdConfig heavy{0.1, 0.9, 0.0};
+    Sgd oa(a.params(), plain), ob(b.params(), heavy);
+    for (int i = 0; i < 5; ++i) {
+        a.weight().grad.fill(1.0f);
+        b.weight().grad.fill(1.0f);
+        oa.step();
+        ob.step();
+    }
+    EXPECT_LT(b.weight().value.at(0, 0), a.weight().value.at(0, 0));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights)
+{
+    Rng rng(4);
+    Linear lin(1, 1, rng);
+    lin.weight().value.fill(10.0f);
+    SgdConfig cfg{0.1, 0.0, 0.5};
+    Sgd opt(lin.params(), cfg);
+    opt.step(); // zero gradient, decay only
+    EXPECT_LT(lin.weight().value.at(0, 0), 10.0f);
+}
+
+TEST(Dataset, SubsetAndHead)
+{
+    Dataset ds;
+    ds.x = Tensor(5, 1);
+    for (size_t i = 0; i < 5; ++i) {
+        ds.x.at(i, 0) = static_cast<float>(i);
+        ds.y.push_back(static_cast<int>(i));
+    }
+    Dataset sub = ds.subset({4, 1});
+    EXPECT_EQ(sub.size(), 2u);
+    EXPECT_EQ(sub.y[0], 4);
+    EXPECT_EQ(sub.x.at(1, 0), 1.0f);
+    Dataset h = ds.head(3);
+    EXPECT_EQ(h.size(), 3u);
+    EXPECT_EQ(h.y[2], 2);
+}
+
+TEST(Dataset, ShardsPartitionExactly)
+{
+    Dataset ds;
+    ds.x = Tensor(10, 1);
+    for (size_t i = 0; i < 10; ++i)
+        ds.y.push_back(static_cast<int>(i));
+    auto shards = ds.shards(3);
+    ASSERT_EQ(shards.size(), 3u);
+    size_t total = 0;
+    for (auto &s : shards)
+        total += s.size();
+    EXPECT_EQ(total, 10u);
+    EXPECT_EQ(shards[0].size(), 4u); // 4+3+3
+    EXPECT_EQ(shards[0].y[0], 0);
+    EXPECT_EQ(shards[2].y.back(), 9);
+}
+
+TEST(Dataset, AppendConcatenates)
+{
+    Dataset a, b;
+    a.x = Tensor(2, 1);
+    a.y = {0, 1};
+    b.x = Tensor(3, 1);
+    b.x.at(0, 0) = 5.0f;
+    b.y = {2, 3, 4};
+    a.append(b);
+    EXPECT_EQ(a.size(), 5u);
+    EXPECT_EQ(a.y[4], 4);
+    EXPECT_EQ(a.x.at(2, 0), 5.0f);
+}
+
+TEST(Dataset, AppendToEmptyCopies)
+{
+    Dataset a, b;
+    b.x = Tensor(2, 3);
+    b.y = {1, 2};
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.featureDim(), 3u);
+}
+
+TEST(BatchIterator, CoversEpochExactlyOnce)
+{
+    Rng rng(5);
+    BatchIterator it(10, 3, rng);
+    std::vector<bool> seen(10, false);
+    size_t batches = 0;
+    for (auto b = it.next(); !b.empty(); b = it.next()) {
+        ++batches;
+        EXPECT_LE(b.size(), 3u);
+        for (size_t idx : b) {
+            EXPECT_FALSE(seen[idx]);
+            seen[idx] = true;
+        }
+    }
+    EXPECT_EQ(batches, 4u); // 3+3+3+1
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(BatchIterator, ShufflesDeterministically)
+{
+    Rng r1(6), r2(6), r3(7);
+    BatchIterator a(20, 20, r1), b(20, 20, r2), c(20, 20, r3);
+    auto ba = a.next(), bb = b.next(), bc = c.next();
+    EXPECT_EQ(ba, bb);
+    EXPECT_NE(ba, bc);
+}
+
+TEST(Trainer, SolvesLinearlySeparableProblem)
+{
+    Rng rng(8);
+    Dataset train = twoBlobs(200, rng);
+    Dataset test = twoBlobs(100, rng);
+    Sequential clf = makeClassifier(2, 0, 2, rng);
+    TrainConfig cfg;
+    cfg.batchSize = 32;
+    cfg.maxEpochs = 20;
+    auto result = trainClassifier(clf, train, test, cfg);
+    EXPECT_GT(result.finalTop1(), 0.95);
+    EXPECT_GT(result.epochsRun, 0);
+}
+
+TEST(Trainer, EvaluateMatchesManualAccuracy)
+{
+    Rng rng(9);
+    Dataset test = twoBlobs(50, rng);
+    Sequential clf = makeClassifier(2, 0, 2, rng);
+    auto ev = evaluate(clf, test);
+    Tensor logits = clf.forward(test.x);
+    EXPECT_NEAR(ev.top1, topKAccuracy(logits, test.y, 1), 1e-9);
+    // Binary problem: top-5 is trivially 1.
+    EXPECT_DOUBLE_EQ(ev.top5, 1.0);
+}
+
+TEST(Trainer, EarlyStopTriggersOnPlateau)
+{
+    Rng rng(10);
+    Dataset train = twoBlobs(200, rng);
+    Dataset test = twoBlobs(100, rng);
+    Sequential clf = makeClassifier(2, 0, 2, rng);
+    TrainConfig cfg;
+    cfg.batchSize = 32;
+    cfg.maxEpochs = 100;
+    cfg.convergeDeltaPct = 0.01;
+    cfg.convergePatience = 3;
+    auto result = trainClassifier(clf, train, test, cfg);
+    // An easy problem plateaus long before 100 epochs.
+    EXPECT_LT(result.epochsRun, 30);
+}
+
+TEST(Trainer, NoEarlyStopWhenDisabled)
+{
+    Rng rng(11);
+    Dataset train = twoBlobs(50, rng);
+    Dataset test = twoBlobs(20, rng);
+    Sequential clf = makeClassifier(2, 0, 2, rng);
+    TrainConfig cfg;
+    cfg.batchSize = 16;
+    cfg.maxEpochs = 12;
+    cfg.convergePatience = 0;
+    auto result = trainClassifier(clf, train, test, cfg);
+    EXPECT_EQ(result.epochsRun, 12);
+    EXPECT_EQ(result.history.size(), 12u);
+}
+
+TEST(Trainer, EmptyTrainSetIsNoOp)
+{
+    Rng rng(12);
+    Dataset train;
+    Dataset test = twoBlobs(10, rng);
+    Sequential clf = makeClassifier(2, 0, 2, rng);
+    auto result = trainClassifier(clf, train, test, TrainConfig{});
+    EXPECT_EQ(result.epochsRun, 0);
+    EXPECT_TRUE(result.history.empty());
+}
+
+TEST(Trainer, HistoryTracksBestTop1)
+{
+    TrainResult r;
+    r.history = {{1, 1.0, 0.5, 0.9}, {2, 0.8, 0.7, 0.95},
+                 {3, 0.7, 0.6, 0.93}};
+    EXPECT_DOUBLE_EQ(r.bestTop1(), 0.7);
+    EXPECT_DOUBLE_EQ(r.finalTop1(), 0.6);
+    EXPECT_DOUBLE_EQ(r.finalTop5(), 0.93);
+}
+
+TEST(Trainer, LossDecreasesOnSeparableData)
+{
+    Rng rng(13);
+    Dataset train = twoBlobs(300, rng);
+    Dataset test = twoBlobs(100, rng);
+    Sequential clf = makeClassifier(2, 8, 2, rng);
+    TrainConfig cfg;
+    cfg.batchSize = 32;
+    cfg.maxEpochs = 10;
+    cfg.convergePatience = 0;
+    auto result = trainClassifier(clf, train, test, cfg);
+    ASSERT_GE(result.history.size(), 2u);
+    EXPECT_LT(result.history.back().trainLoss,
+              result.history.front().trainLoss);
+}

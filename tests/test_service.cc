@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Integration tests for the PhotoService facade: the full upload ->
+ * online inference -> search -> drift -> fine-tune -> offline refresh
+ * lifecycle on a miniature world.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/service.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+PhotoService::Config
+tinyConfig()
+{
+    PhotoService::Config cfg;
+    cfg.profile = data::imagenet1kProfile();
+    cfg.profile.world.initialImages = 1500;
+    cfg.profile.world.initialClasses = 20;
+    cfg.profile.world.maxClasses = 25;
+    cfg.profile.testSetSize = 600;
+    cfg.profile.fullTrainCfg.maxEpochs = 20;
+    cfg.profile.fineTuneCfg.maxEpochs = 12;
+    cfg.nPipeStores = 3;
+    return cfg;
+}
+
+} // namespace
+
+class PhotoServiceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        service = std::make_unique<PhotoService>(tinyConfig());
+        service->bootstrap();
+    }
+
+    std::unique_ptr<PhotoService> service;
+};
+
+TEST_F(PhotoServiceTest, BootstrapLabelsEverything)
+{
+    EXPECT_EQ(service->modelVersion(), 1);
+    EXPECT_EQ(service->labels().size(), service->world().numImages());
+    EXPECT_EQ(service->outdatedLabelCount(), 0u);
+}
+
+TEST_F(PhotoServiceTest, BaseModelLearnsSomething)
+{
+    auto ev = service->evaluateCurrentModel(800);
+    EXPECT_GT(ev.top1, 0.4); // far above the 5% chance level
+    EXPECT_GT(ev.top5, ev.top1);
+}
+
+TEST_F(PhotoServiceTest, UploadsGetOnlineInferredLabels)
+{
+    size_t before = service->world().numImages();
+    service->advanceDays(3);
+    size_t after = service->world().numImages();
+    EXPECT_GT(after, before);
+    EXPECT_EQ(service->labels().size(), after);
+    // New labels carry the current model version.
+    EXPECT_EQ(service->outdatedLabelCount(), 0u);
+}
+
+TEST_F(PhotoServiceTest, SearchFindsIndexedPhotos)
+{
+    // Pick the label of an existing photo and search for it.
+    auto entry = service->labels().lookup(service->world().pool()[0].id);
+    ASSERT_TRUE(entry.has_value());
+    auto hits = service->search(entry->label);
+    EXPECT_FALSE(hits.empty());
+    bool found = false;
+    for (uint64_t id : hits) {
+        if (id == service->world().pool()[0].id)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(PhotoServiceTest, FineTuneBumpsVersionAndEncodesDelta)
+{
+    service->advanceDays(7);
+    auto outcome = service->fineTune();
+    EXPECT_EQ(outcome.newModelVersion, 2);
+    EXPECT_EQ(service->modelVersion(), 2);
+    EXPECT_GT(outcome.deltaBytes, 0u);
+    EXPECT_LT(outcome.deltaBytes, outcome.fullModelBytes);
+    EXPECT_GT(outcome.epochs, 0);
+    // Every shard did some extraction.
+    double total = 0;
+    for (size_t s : outcome.shardSizes) {
+        EXPECT_GT(s, 0u);
+        total += static_cast<double>(s);
+    }
+    EXPECT_GT(outcome.featureBytes, 0u);
+}
+
+TEST_F(PhotoServiceTest, FineTuneRecoversAccuracyAfterDrift)
+{
+    service->advanceDays(14);
+    double before = service->evaluateCurrentModel(800).top1;
+    auto outcome = service->fineTune();
+    double after = service->evaluateCurrentModel(800).top1;
+    // The fine-tuned model should not be (meaningfully) worse, and the
+    // outcome must report the same trend it measured.
+    EXPECT_GT(after, before - 0.03);
+    EXPECT_NEAR(outcome.top1After, after, 0.06);
+}
+
+TEST_F(PhotoServiceTest, LabelsBecomeOutdatedThenRefreshed)
+{
+    service->advanceDays(7);
+    service->fineTune();
+    // All pre-update labels are now stale.
+    EXPECT_GT(service->outdatedLabelCount(), 0u);
+    size_t changed = service->refreshLabels();
+    EXPECT_EQ(service->outdatedLabelCount(), 0u);
+    // The new model disagrees with the old one on some photos
+    // (Table 1's phenomenon).
+    EXPECT_GT(changed, 0u);
+    EXPECT_LT(changed, service->world().numImages() / 2);
+}
+
+TEST_F(PhotoServiceTest, RefreshWithoutModelChangeIsStable)
+{
+    size_t changed = service->refreshLabels();
+    // Same model, same photos: labels must be identical.
+    EXPECT_EQ(changed, 0u);
+}
+
+TEST_F(PhotoServiceTest, MultipleFineTuneCyclesKeepWorking)
+{
+    for (int cycle = 0; cycle < 2; ++cycle) {
+        service->advanceDays(7);
+        auto outcome = service->fineTune();
+        EXPECT_EQ(outcome.newModelVersion, 2 + cycle);
+        service->refreshLabels();
+    }
+    EXPECT_EQ(service->modelVersion(), 3);
+    EXPECT_EQ(service->outdatedLabelCount(), 0u);
+}
+
+TEST(PhotoServiceConfig, RunsWithMultipleRuns)
+{
+    auto cfg = tinyConfig();
+    cfg.nRun = 3;
+    PhotoService service(cfg);
+    service.bootstrap();
+    service.advanceDays(5);
+    auto outcome = service.fineTune();
+    EXPECT_EQ(outcome.newModelVersion, 2);
+    EXPECT_GT(outcome.epochs, 0);
+}

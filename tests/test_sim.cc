@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: event ordering, coroutine
+ * tasks, delays, resources, channels, and wait groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/wait_group.h"
+
+using namespace ndp::sim;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator s;
+    EXPECT_DOUBLE_EQ(s.now(), 0.0);
+    EXPECT_EQ(s.processedEvents(), 0u);
+    EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    s.schedule(3.0, [&] { order.push_back(3); });
+    s.schedule(1.0, [&] { order.push_back(1); });
+    s.schedule(2.0, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo)
+{
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        s.schedule(1.0, [&order, i] { order.push_back(i); });
+    s.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule(1.0, [&] {
+        ++fired;
+        s.schedule(1.0, [&] { ++fired; });
+    });
+    s.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(s.now(), 2.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule(1.0, [&] { ++fired; });
+    s.schedule(5.0, [&] { ++fired; });
+    bool more = s.runUntil(2.0);
+    EXPECT_TRUE(more);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(s.now(), 2.0);
+    more = s.runUntil(10.0);
+    EXPECT_FALSE(more);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilInclusive)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule(2.0, [&] { ++fired; });
+    s.runUntil(2.0);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ProcessedEventCountAccumulates)
+{
+    Simulator s;
+    for (int i = 0; i < 7; ++i)
+        s.schedule(0.1 * i, [] {});
+    s.run();
+    EXPECT_EQ(s.processedEvents(), 7u);
+}
+
+namespace {
+
+Task
+simpleDelay(Simulator &s, double d, int &done)
+{
+    co_await s.delay(d);
+    ++done;
+}
+
+Task
+nested(Simulator &s, int &steps)
+{
+    ++steps;
+    co_await simpleDelay(s, 1.0, steps);
+    ++steps;
+}
+
+} // namespace
+
+TEST(Task, SpawnRunsToCompletion)
+{
+    Simulator s;
+    int done = 0;
+    s.spawn(simpleDelay(s, 2.5, done));
+    s.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_DOUBLE_EQ(s.now(), 2.5);
+}
+
+TEST(Task, NestedAwaitResumesParent)
+{
+    Simulator s;
+    int steps = 0;
+    s.spawn(nested(s, steps));
+    s.run();
+    EXPECT_EQ(steps, 3);
+    EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+TEST(Task, ManyConcurrentProcesses)
+{
+    Simulator s;
+    int done = 0;
+    for (int i = 1; i <= 100; ++i)
+        s.spawn(simpleDelay(s, 0.01 * i, done));
+    s.run();
+    EXPECT_EQ(done, 100);
+    EXPECT_NEAR(s.now(), 1.0, 1e-12);
+}
+
+TEST(Task, ReapFinishedReleasesTasks)
+{
+    Simulator s;
+    int done = 0;
+    s.spawn(simpleDelay(s, 1.0, done));
+    s.run();
+    s.reapFinished(); // must not crash; task frame destroyed
+    EXPECT_EQ(done, 1);
+}
+
+TEST(Task, DefaultConstructedIsDone)
+{
+    Task t;
+    EXPECT_TRUE(t.done());
+    EXPECT_FALSE(t.valid());
+}
+
+namespace {
+
+Task
+acquireHold(Simulator &s, Resource &r, int n, double hold,
+            std::vector<int> &order, int id)
+{
+    co_await r.acquire(n);
+    order.push_back(id);
+    co_await s.delay(hold);
+    r.release(n);
+}
+
+} // namespace
+
+TEST(Resource, AcquireWithinCapacityDoesNotBlock)
+{
+    Simulator s;
+    Resource r(s, 2);
+    std::vector<int> order;
+    s.spawn(acquireHold(s, r, 1, 1.0, order, 1));
+    s.spawn(acquireHold(s, r, 1, 1.0, order, 2));
+    s.run();
+    EXPECT_DOUBLE_EQ(s.now(), 1.0); // both ran concurrently
+    EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(Resource, ContentionSerializes)
+{
+    Simulator s;
+    Resource r(s, 1);
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        s.spawn(acquireHold(s, r, 1, 1.0, order, i));
+    s.run();
+    EXPECT_DOUBLE_EQ(s.now(), 4.0);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3})); // FIFO
+}
+
+TEST(Resource, LargeRequestBlocksSmallerBehindIt)
+{
+    Simulator s;
+    Resource r(s, 2);
+    std::vector<int> order;
+    s.spawn(acquireHold(s, r, 2, 1.0, order, 0)); // takes all
+    s.spawn(acquireHold(s, r, 2, 1.0, order, 1)); // waits
+    s.spawn(acquireHold(s, r, 1, 1.0, order, 2)); // FIFO: behind 1
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, CountersTrackState)
+{
+    Simulator s;
+    Resource r(s, 4);
+    EXPECT_EQ(r.capacity(), 4);
+    EXPECT_EQ(r.available(), 4);
+    std::vector<int> order;
+    s.spawn(acquireHold(s, r, 3, 5.0, order, 0));
+    s.runUntil(1.0);
+    EXPECT_EQ(r.available(), 1);
+    EXPECT_EQ(r.inUse(), 3);
+    s.run();
+    EXPECT_EQ(r.available(), 4);
+}
+
+TEST(Resource, UtilizationIntegratesBusyTime)
+{
+    Simulator s;
+    Resource r(s, 2);
+    std::vector<int> order;
+    // One token busy for 1s out of a 2s horizon = 1/(2*2) = 0.25.
+    s.spawn(acquireHold(s, r, 1, 1.0, order, 0));
+    s.schedule(2.0, [] {});
+    s.run();
+    EXPECT_NEAR(r.utilization(), 0.25, 1e-9);
+}
+
+namespace {
+
+Task
+producerTask(Channel<int> &ch, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await ch.put(i);
+    ch.close();
+}
+
+Task
+consumerTask(Channel<int> &ch, std::vector<int> &got)
+{
+    while (true) {
+        auto v = co_await ch.get();
+        if (!v)
+            break;
+        got.push_back(*v);
+    }
+}
+
+Task
+slowConsumer(Simulator &s, Channel<int> &ch, std::vector<int> &got,
+             double per_item)
+{
+    while (true) {
+        auto v = co_await ch.get();
+        if (!v)
+            break;
+        co_await s.delay(per_item);
+        got.push_back(*v);
+    }
+}
+
+} // namespace
+
+TEST(Channel, DeliversAllValuesInOrder)
+{
+    Simulator s;
+    Channel<int> ch(s, 4);
+    std::vector<int> got;
+    s.spawn(producerTask(ch, 20));
+    s.spawn(consumerTask(ch, got));
+    s.run();
+    ASSERT_EQ(got.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(got[i], i);
+}
+
+TEST(Channel, CloseWakesWaitingGetter)
+{
+    Simulator s;
+    Channel<int> ch(s, 1);
+    std::vector<int> got;
+    s.spawn(consumerTask(ch, got)); // starts waiting
+    s.schedule(1.0, [&] { ch.close(); });
+    s.run();
+    EXPECT_TRUE(got.empty());
+    EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, BoundedCapacityBackpressures)
+{
+    Simulator s;
+    Channel<int> ch(s, 2);
+    std::vector<int> got;
+    s.spawn(producerTask(ch, 10));
+    s.spawn(slowConsumer(s, ch, got, 1.0));
+    s.run();
+    EXPECT_EQ(got.size(), 10u);
+    EXPECT_DOUBLE_EQ(s.now(), 10.0); // consumer-paced
+    EXPECT_EQ(ch.totalPut(), 10u);
+    EXPECT_EQ(ch.totalGot(), 10u);
+}
+
+TEST(Channel, RendezvousCapacityZero)
+{
+    Simulator s;
+    Channel<int> ch(s, 0);
+    std::vector<int> got;
+    s.spawn(producerTask(ch, 3));
+    s.spawn(consumerTask(ch, got));
+    s.run();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Channel, MultipleConsumersShareWork)
+{
+    Simulator s;
+    Channel<int> ch(s, 4);
+    std::vector<int> got_a, got_b;
+    s.spawn(producerTask(ch, 50));
+    s.spawn(slowConsumer(s, ch, got_a, 0.1));
+    s.spawn(slowConsumer(s, ch, got_b, 0.1));
+    s.run();
+    EXPECT_EQ(got_a.size() + got_b.size(), 50u);
+    EXPECT_FALSE(got_a.empty());
+    EXPECT_FALSE(got_b.empty());
+}
+
+TEST(Channel, BufferedValuesSurviveClose)
+{
+    Simulator s;
+    Channel<int> ch(s, 8);
+    std::vector<int> got;
+    // Producer fills then closes before the consumer starts reading.
+    s.spawn(producerTask(ch, 5));
+    s.schedule(1.0, [&s, &ch, &got] {
+        s.spawn(consumerTask(ch, got));
+    });
+    s.run();
+    EXPECT_EQ(got.size(), 5u);
+}
+
+namespace {
+
+Task
+worker(Simulator &s, WaitGroup &wg, double d)
+{
+    co_await s.delay(d);
+    wg.done();
+}
+
+Task
+waiter(WaitGroup &wg, bool &resumed, Simulator &s, double &at)
+{
+    co_await wg.wait();
+    resumed = true;
+    at = s.now();
+}
+
+} // namespace
+
+TEST(WaitGroup, WaitsForAllWorkers)
+{
+    Simulator s;
+    WaitGroup wg(s);
+    wg.add(3);
+    bool resumed = false;
+    double at = -1.0;
+    s.spawn(waiter(wg, resumed, s, at));
+    s.spawn(worker(s, wg, 1.0));
+    s.spawn(worker(s, wg, 2.0));
+    s.spawn(worker(s, wg, 3.0));
+    s.run();
+    EXPECT_TRUE(resumed);
+    EXPECT_DOUBLE_EQ(at, 3.0);
+}
+
+TEST(WaitGroup, WaitOnZeroCompletesImmediately)
+{
+    Simulator s;
+    WaitGroup wg(s);
+    bool resumed = false;
+    double at = -1.0;
+    s.spawn(waiter(wg, resumed, s, at));
+    s.run();
+    EXPECT_TRUE(resumed);
+    EXPECT_DOUBLE_EQ(at, 0.0);
+}
+
+TEST(WaitGroup, MultipleWaiters)
+{
+    Simulator s;
+    WaitGroup wg(s);
+    wg.add(1);
+    bool r1 = false, r2 = false;
+    double a1, a2;
+    s.spawn(waiter(wg, r1, s, a1));
+    s.spawn(waiter(wg, r2, s, a2));
+    s.spawn(worker(s, wg, 4.0));
+    s.run();
+    EXPECT_TRUE(r1);
+    EXPECT_TRUE(r2);
+    EXPECT_EQ(wg.pending(), 0);
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the cyclic barrier and the straggler semantics it gives
+ * the training simulators: weight synchronization couples a fleet to
+ * its slowest member; FT-DMP does not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/training.h"
+#include "sim/barrier.h"
+#include "sim/simulator.h"
+#include "sim/wait_group.h"
+
+using namespace ndp;
+using namespace ndp::sim;
+using namespace ndp::core;
+
+namespace {
+
+Task
+barrierWorker(Simulator &s, Barrier &b, double step, int rounds,
+              std::vector<double> &finish_times, size_t idx,
+              WaitGroup &wg)
+{
+    for (int r = 0; r < rounds; ++r) {
+        co_await s.delay(step);
+        co_await b.arrive();
+    }
+    finish_times[idx] = s.now();
+    wg.done();
+}
+
+} // namespace
+
+TEST(Barrier, AllPartiesReleaseTogether)
+{
+    Simulator s;
+    Barrier b(s, 3);
+    WaitGroup wg(s);
+    wg.add(3);
+    std::vector<double> finish(3, -1.0);
+    s.spawn(barrierWorker(s, b, 1.0, 1, finish, 0, wg));
+    s.spawn(barrierWorker(s, b, 2.0, 1, finish, 1, wg));
+    s.spawn(barrierWorker(s, b, 3.0, 1, finish, 2, wg));
+    s.run();
+    // Everyone leaves at the slowest worker's time.
+    for (double t : finish)
+        EXPECT_DOUBLE_EQ(t, 3.0);
+    EXPECT_EQ(b.completedRounds(), 1u);
+}
+
+TEST(Barrier, CyclicOverManyRounds)
+{
+    Simulator s;
+    Barrier b(s, 2);
+    WaitGroup wg(s);
+    wg.add(2);
+    std::vector<double> finish(2, -1.0);
+    s.spawn(barrierWorker(s, b, 1.0, 5, finish, 0, wg));
+    s.spawn(barrierWorker(s, b, 0.5, 5, finish, 1, wg));
+    s.run();
+    // Paced by the 1.0-second worker: 5 rounds of 1 s each.
+    EXPECT_DOUBLE_EQ(finish[0], 5.0);
+    EXPECT_DOUBLE_EQ(finish[1], 5.0);
+    EXPECT_EQ(b.completedRounds(), 5u);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks)
+{
+    Simulator s;
+    Barrier b(s, 1);
+    WaitGroup wg(s);
+    wg.add(1);
+    std::vector<double> finish(1, -1.0);
+    s.spawn(barrierWorker(s, b, 0.25, 4, finish, 0, wg));
+    s.run();
+    EXPECT_DOUBLE_EQ(finish[0], 1.0);
+    EXPECT_EQ(b.completedRounds(), 4u);
+    EXPECT_EQ(b.waiting(), 0);
+}
+
+namespace {
+
+ExperimentConfig
+stragglerCfg()
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 200000;
+    cfg.nStores = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Straggler, FtDmpOnlyPaysForTheSlowShard)
+{
+    auto cfg = stragglerCfg();
+    TrainOptions uniform;
+    uniform.nRun = 1;
+    TrainOptions straggle = uniform;
+    straggle.storeSpeedFactor = {0.5, 1.0, 1.0, 1.0};
+
+    auto base = runFtDmpTraining(cfg, uniform);
+    auto slow = runFtDmpTraining(cfg, straggle);
+    // One of four shards takes 2x: end-to-end grows toward the slow
+    // store's finish (~2x the per-store FE time), never 2x overall+.
+    EXPECT_GT(slow.seconds, base.seconds * 1.2);
+    EXPECT_LT(slow.seconds, base.seconds * 2.2);
+}
+
+TEST(Straggler, WeightSyncCouplesTheFleet)
+{
+    auto cfg = stragglerCfg();
+    TrainOptions fc;
+    fc.cut = cfg.model->numBlocks();
+    fc.nRun = 1;
+    TrainOptions fc_slow = fc;
+    fc_slow.storeSpeedFactor = {0.5, 1.0, 1.0, 1.0};
+
+    auto base = runFtDmpTraining(cfg, fc);
+    auto slow = runFtDmpTraining(cfg, fc_slow);
+    // The barrier forces every store to the straggler's pace whenever
+    // compute (not the shared link) dominates an iteration; the whole
+    // fleet slows down, not just one shard.
+    EXPECT_GT(slow.seconds, base.seconds * 1.05);
+}
+
+TEST(Straggler, FasterStoreHelpsFtDmp)
+{
+    auto cfg = stragglerCfg();
+    TrainOptions boost;
+    boost.nRun = 1;
+    boost.storeSpeedFactor = {2.0, 2.0, 2.0, 2.0};
+    auto base = runFtDmpTraining(cfg, TrainOptions{});
+    auto fast = runFtDmpTraining(cfg, boost);
+    EXPECT_LT(fast.stages.computeS, base.stages.computeS);
+}
+
+TEST(Straggler, SpeedOfDefaultsToOne)
+{
+    TrainOptions opt;
+    EXPECT_DOUBLE_EQ(opt.speedOf(0), 1.0);
+    EXPECT_DOUBLE_EQ(opt.speedOf(100), 1.0);
+    opt.storeSpeedFactor = {0.25};
+    EXPECT_DOUBLE_EQ(opt.speedOf(0), 0.25);
+    EXPECT_DOUBLE_EQ(opt.speedOf(1), 1.0);
+    EXPECT_DOUBLE_EQ(opt.speedOf(-1), 1.0);
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the object store, label database, and photo generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/label_db.h"
+#include "storage/object_store.h"
+#include "storage/photo_gen.h"
+
+using namespace ndp::storage;
+
+TEST(ObjectStore, PutGetRoundTrip)
+{
+    ObjectStore store;
+    store.put("raw/1", Bytes{1, 2, 3});
+    const Bytes *got = store.get("raw/1");
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, (Bytes{1, 2, 3}));
+    EXPECT_EQ(store.count(), 1u);
+    EXPECT_EQ(store.totalBytes(), 3u);
+}
+
+TEST(ObjectStore, GetMissingReturnsNull)
+{
+    ObjectStore store;
+    EXPECT_EQ(store.get("nope"), nullptr);
+    EXPECT_FALSE(store.contains("nope"));
+}
+
+TEST(ObjectStore, OverwriteAdjustsByteCount)
+{
+    ObjectStore store;
+    store.put("k", Bytes(10, 0));
+    auto prev = store.put("k", Bytes(4, 1));
+    ASSERT_TRUE(prev.has_value());
+    EXPECT_EQ(*prev, 10u);
+    EXPECT_EQ(store.totalBytes(), 4u);
+    EXPECT_EQ(store.count(), 1u);
+}
+
+TEST(ObjectStore, EraseFreesBytes)
+{
+    ObjectStore store;
+    store.put("a", Bytes(5, 0));
+    store.put("b", Bytes(7, 0));
+    EXPECT_TRUE(store.erase("a"));
+    EXPECT_FALSE(store.erase("a"));
+    EXPECT_EQ(store.totalBytes(), 7u);
+    EXPECT_EQ(store.count(), 1u);
+}
+
+TEST(ObjectStore, PrefixAccounting)
+{
+    ObjectStore store;
+    store.put("raw/1", Bytes(100, 0));
+    store.put("raw/2", Bytes(50, 0));
+    store.put("pre/1", Bytes(20, 0));
+    store.put("rawhide", Bytes(9, 0));
+    EXPECT_EQ(store.bytesUnderPrefix("raw/"), 150u);
+    EXPECT_EQ(store.bytesUnderPrefix("pre/"), 20u);
+    auto keys = store.listPrefix("raw/");
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "raw/1");
+    EXPECT_EQ(keys[1], "raw/2");
+}
+
+TEST(ObjectStore, EmptyPrefixListsEverything)
+{
+    ObjectStore store;
+    store.put("a", Bytes(1, 0));
+    store.put("b", Bytes(1, 0));
+    EXPECT_EQ(store.listPrefix("").size(), 2u);
+}
+
+TEST(LabelDb, UpsertAndLookup)
+{
+    LabelDatabase db;
+    db.upsert(42, 7, 1);
+    auto e = db.lookup(42);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->label, 7);
+    EXPECT_EQ(e->modelVersion, 1);
+    EXPECT_FALSE(db.lookup(43).has_value());
+    EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(LabelDb, SearchUsesInvertedIndex)
+{
+    LabelDatabase db;
+    db.upsert(1, 5, 1);
+    db.upsert(2, 5, 1);
+    db.upsert(3, 6, 1);
+    auto hits = db.search(5);
+    EXPECT_EQ(hits, (std::vector<uint64_t>{1, 2}));
+    EXPECT_TRUE(db.search(99).empty());
+    EXPECT_EQ(db.distinctLabels(), 2u);
+}
+
+TEST(LabelDb, RelabelMovesIndexEntry)
+{
+    LabelDatabase db;
+    db.upsert(1, 5, 1);
+    db.upsert(1, 6, 2);
+    EXPECT_TRUE(db.search(5).empty());
+    EXPECT_EQ(db.search(6), (std::vector<uint64_t>{1}));
+    EXPECT_EQ(db.lookup(1)->modelVersion, 2);
+    EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(LabelDb, EraseCleansIndex)
+{
+    LabelDatabase db;
+    db.upsert(1, 5, 1);
+    db.upsert(2, 5, 1);
+    EXPECT_TRUE(db.erase(1));
+    EXPECT_EQ(db.search(5), (std::vector<uint64_t>{2}));
+    EXPECT_TRUE(db.erase(2));
+    EXPECT_EQ(db.distinctLabels(), 0u);
+    EXPECT_FALSE(db.erase(2));
+}
+
+TEST(LabelDb, OutdatedAccounting)
+{
+    LabelDatabase db;
+    db.upsert(1, 5, 1);
+    db.upsert(2, 5, 2);
+    db.upsert(3, 5, 3);
+    EXPECT_EQ(db.countOutdated(3), 2u);
+    EXPECT_EQ(db.outdatedPhotos(3), (std::vector<uint64_t>{1, 2}));
+    EXPECT_EQ(db.countOutdated(1), 0u);
+}
+
+TEST(LabelDb, FractionChangedComparesSnapshots)
+{
+    LabelDatabase old_db, new_db;
+    for (uint64_t id = 0; id < 10; ++id)
+        old_db.upsert(id, 1, 1);
+    for (uint64_t id = 0; id < 10; ++id)
+        new_db.upsert(id, id < 3 ? 2 : 1, 2);
+    // Ids only in one snapshot are ignored.
+    new_db.upsert(100, 9, 2);
+    EXPECT_NEAR(old_db.fractionChanged(new_db), 0.3, 1e-12);
+}
+
+TEST(LabelDb, FractionChangedEmptyIsZero)
+{
+    LabelDatabase a, b;
+    EXPECT_DOUBLE_EQ(a.fractionChanged(b), 0.0);
+}
+
+TEST(PhotoGen, DeterministicPerPhoto)
+{
+    PhotoGenerator gen;
+    EXPECT_EQ(gen.rawPhoto(5), gen.rawPhoto(5));
+    EXPECT_EQ(gen.preprocessedBinary(5), gen.preprocessedBinary(5));
+    EXPECT_NE(gen.rawPhoto(5), gen.rawPhoto(6));
+}
+
+TEST(PhotoGen, RawSizesLognormalAroundMean)
+{
+    PhotoGenerator gen;
+    double sum = 0.0;
+    const int n = 500;
+    for (uint64_t id = 0; id < n; ++id) {
+        size_t sz = gen.rawSizeOf(id);
+        EXPECT_GT(sz, 300000u);  // no absurdly small photos
+        EXPECT_LT(sz, 20000000u);
+        sum += static_cast<double>(sz);
+    }
+    EXPECT_NEAR(sum / n / 1e6, 2.7, 0.3); // paper's 2.7 MB average
+}
+
+TEST(PhotoGen, RawSizeMatchesBlob)
+{
+    PhotoGenerator gen;
+    EXPECT_EQ(gen.rawPhoto(9).size(), gen.rawSizeOf(9));
+}
+
+TEST(PhotoGen, PreprocessedSizeIsConfigured)
+{
+    PhotoGenConfig cfg;
+    cfg.preprocessedBytes = 1234;
+    PhotoGenerator gen(cfg);
+    EXPECT_EQ(gen.preprocessedBinary(1).size(), 1234u);
+}
+
+TEST(PhotoGen, DifferentSeedsDifferentPhotos)
+{
+    PhotoGenConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    PhotoGenerator ga(a), gb(b);
+    EXPECT_NE(ga.rawPhoto(1), gb.rawPhoto(1));
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the DeflateLite codec: exact round trips (including
+ * property-style sweeps over payload families), header handling,
+ * compression-ratio expectations, and corruption rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/random.h"
+#include "storage/codec.h"
+#include "storage/photo_gen.h"
+
+using namespace ndp;
+using namespace ndp::storage;
+
+namespace {
+
+Bytes
+fromString(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+void
+expectRoundTrip(const Bytes &input)
+{
+    Bytes c = deflateLite(input);
+    auto d = inflateLite(c);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, input);
+    auto size = inflatedSize(c);
+    ASSERT_TRUE(size.has_value());
+    EXPECT_EQ(*size, input.size());
+}
+
+} // namespace
+
+TEST(Codec, EmptyInput)
+{
+    expectRoundTrip({});
+    EXPECT_EQ(deflateLite({}).size(), 8u); // header only
+}
+
+TEST(Codec, SingleByte)
+{
+    expectRoundTrip({0x42});
+}
+
+TEST(Codec, ShortInputsBelowMinMatch)
+{
+    expectRoundTrip({1, 2, 3});
+}
+
+TEST(Codec, AllZerosCompressesHard)
+{
+    Bytes zeros(100000, 0);
+    Bytes c = deflateLite(zeros);
+    expectRoundTrip(zeros);
+    EXPECT_LT(c.size(), zeros.size() / 20);
+}
+
+TEST(Codec, RepeatedPatternCompresses)
+{
+    Bytes input;
+    for (int i = 0; i < 5000; ++i) {
+        input.push_back(static_cast<uint8_t>('A' + i % 4));
+    }
+    Bytes c = deflateLite(input);
+    expectRoundTrip(input);
+    EXPECT_LT(c.size(), input.size() / 4);
+}
+
+TEST(Codec, OverlappingMatchRle)
+{
+    // "abcabcabc..." forces matches with distance < length.
+    Bytes input;
+    for (int i = 0; i < 1000; ++i)
+        input.push_back(static_cast<uint8_t>("abc"[i % 3]));
+    expectRoundTrip(input);
+}
+
+TEST(Codec, TextRoundTrip)
+{
+    expectRoundTrip(fromString(
+        "NDPipe distributes storage servers with inexpensive "
+        "commodity GPUs in a data center and uses their collective "
+        "intelligence to perform inference and training near image "
+        "data. NDPipe NDPipe NDPipe."));
+}
+
+TEST(Codec, IncompressibleDataGrowsOnlySlightly)
+{
+    Rng rng(1);
+    Bytes input(50000);
+    for (auto &b : input)
+        b = static_cast<uint8_t>(rng.nextU64());
+    Bytes c = deflateLite(input);
+    expectRoundTrip(input);
+    // Worst case: 1 control byte per 128 literals + header.
+    EXPECT_LT(c.size(), input.size() + input.size() / 100 + 16);
+}
+
+TEST(Codec, PreprocessedBinaryRatioNearModel)
+{
+    PhotoGenerator gen;
+    Bytes pre = gen.preprocessedBinary(7);
+    Bytes c = deflateLite(pre);
+    double ratio =
+        static_cast<double>(pre.size()) / static_cast<double>(c.size());
+    // The simulator assumes ~3.5x; the real codec should be close.
+    EXPECT_GT(ratio, 2.8);
+    EXPECT_LT(ratio, 5.5);
+}
+
+TEST(Codec, RawPhotoDoesNotCompress)
+{
+    PhotoGenerator gen;
+    Bytes raw = gen.rawPhoto(7);
+    Bytes c = deflateLite(raw);
+    double ratio =
+        static_cast<double>(raw.size()) / static_cast<double>(c.size());
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.1);
+}
+
+TEST(Codec, RejectsBadMagic)
+{
+    Bytes c = deflateLite(fromString("hello world hello world"));
+    c[0] = 'X';
+    EXPECT_FALSE(inflateLite(c).has_value());
+    EXPECT_FALSE(inflatedSize(c).has_value());
+}
+
+TEST(Codec, RejectsTruncatedHeader)
+{
+    Bytes c = {'N', 'D', 'L'};
+    EXPECT_FALSE(inflateLite(c).has_value());
+}
+
+TEST(Codec, RejectsTruncatedPayload)
+{
+    Bytes c = deflateLite(fromString(
+        "a reasonably long string that certainly compresses into "
+        "more than a couple of tokens a reasonably long string"));
+    c.resize(c.size() - 3);
+    EXPECT_FALSE(inflateLite(c).has_value());
+}
+
+TEST(Codec, RejectsSizeMismatch)
+{
+    Bytes c = deflateLite(fromString("some payload bytes here"));
+    c[4] ^= 0x01; // flip a size bit
+    EXPECT_FALSE(inflateLite(c).has_value());
+}
+
+TEST(Codec, RejectsInvalidDistance)
+{
+    // Hand-craft: header for 10 bytes, then a match token with
+    // distance beyond what has been produced.
+    Bytes c = {'N', 'D', 'L', 'Z', 10, 0, 0, 0};
+    c.push_back(0x00); // literal run of 1
+    c.push_back('x');
+    c.push_back(0x80); // match len 4
+    c.push_back(0xff); // distance 255 > produced 1
+    c.push_back(0x00);
+    EXPECT_FALSE(inflateLite(c).has_value());
+}
+
+TEST(Codec, RejectsZeroDistance)
+{
+    Bytes c = {'N', 'D', 'L', 'Z', 5, 0, 0, 0};
+    c.push_back(0x00);
+    c.push_back('x');
+    c.push_back(0x80);
+    c.push_back(0x00); // distance 0 is illegal
+    c.push_back(0x00);
+    EXPECT_FALSE(inflateLite(c).has_value());
+}
+
+/** Property sweep: deterministic pseudo-random payload families. */
+class CodecProperty
+    : public ::testing::TestWithParam<std::tuple<int, size_t>>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Payloads, CodecProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 17, 255, 4096, 70000)));
+
+TEST_P(CodecProperty, RoundTripsExactly)
+{
+    auto [family, n] = GetParam();
+    Rng rng(1000 + family * 31 + static_cast<uint64_t>(n));
+    Bytes input(n);
+    switch (family) {
+      case 0: // uniform random
+        for (auto &b : input)
+            b = static_cast<uint8_t>(rng.nextU64());
+        break;
+      case 1: // runs of random lengths
+        for (size_t i = 0; i < n;) {
+            uint8_t v = static_cast<uint8_t>(rng.below(256));
+            size_t run = 1 + rng.below(40);
+            for (size_t k = 0; k < run && i < n; ++k)
+                input[i++] = v;
+        }
+        break;
+      case 2: // small alphabet
+        for (auto &b : input)
+            b = static_cast<uint8_t>(rng.below(3));
+        break;
+      case 3: // sawtooth
+        for (size_t i = 0; i < n; ++i)
+            input[i] = static_cast<uint8_t>(i % 13);
+        break;
+    }
+    expectRoundTrip(input);
+}
+
+TEST(Codec, WindowBoundaryMatches)
+{
+    // Repeat a block just beyond the 64 KiB window so matches at the
+    // boundary are exercised.
+    Bytes block;
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        block.push_back(static_cast<uint8_t>(rng.below(256)));
+    Bytes input;
+    for (int i = 0; i < 70; ++i)
+        input.insert(input.end(), block.begin(), block.end());
+    expectRoundTrip(input);
+    EXPECT_LT(deflateLite(input).size(), input.size() / 2);
+}

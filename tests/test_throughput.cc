@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the calibrated throughput estimator: paper anchors, batch
+ * scaling, device scaling, memory bounds, and Tuner-side costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/specs.h"
+#include "models/throughput.h"
+#include "models/zoo.h"
+
+using namespace ndp::models;
+using namespace ndp::hw;
+
+TEST(Throughput, PaperAnchorsAtBatch128)
+{
+    // §6.2: measured per-PipeStore rates on the T4.
+    EXPECT_NEAR(deviceIps(teslaT4(), resnet50(), 128), 2129.0, 1.0);
+    EXPECT_NEAR(deviceIps(teslaT4(), inceptionV3(), 128), 2439.0, 1.0);
+    EXPECT_NEAR(deviceIps(teslaT4(), resnext101(), 128), 449.0, 1.0);
+    EXPECT_NEAR(deviceIps(teslaT4(), vitB16(), 128), 277.0, 1.0);
+}
+
+TEST(Throughput, BatchEfficiencyNormalizedAtAnchor)
+{
+    EXPECT_DOUBLE_EQ(batchEfficiency(128), 1.0);
+    EXPECT_LT(batchEfficiency(1), 0.1);
+    EXPECT_GT(batchEfficiency(512), 1.0);
+    EXPECT_LT(batchEfficiency(512), 1.2); // saturating
+}
+
+TEST(Throughput, BatchEfficiencyMonotone)
+{
+    double prev = 0.0;
+    for (int b : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+        double e = batchEfficiency(b);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Throughput, DeviceScalingByPeakTflops)
+{
+    double t4 = deviceIps(teslaT4(), resnet50(), 128);
+    double v100 = deviceIps(teslaV100(), resnet50(), 128);
+    EXPECT_NEAR(v100 / t4,
+                teslaV100().peakTflops / teslaT4().peakTflops, 1e-9);
+    double nc = deviceIps(neuronCoreV1(), resnet50(), 128);
+    EXPECT_LT(nc, t4);
+}
+
+TEST(Throughput, FeTimeZeroAtCutZero)
+{
+    EXPECT_DOUBLE_EQ(
+        feSecondsPerImage(teslaT4(), resnet50(), 0, 128), 0.0);
+}
+
+TEST(Throughput, FeTimeGrowsWithCut)
+{
+    const auto &m = resnet50();
+    double prev = 0.0;
+    for (size_t cut = 1; cut <= m.numBlocks(); ++cut) {
+        double t = feSecondsPerImage(teslaT4(), m, cut, 128);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+    // Full-model FE time ~= 1/anchor IPS.
+    EXPECT_NEAR(prev, 1.0 / 2129.0, 2e-5);
+}
+
+TEST(Throughput, TunerIngestZeroAtClassifierBoundary)
+{
+    const auto &m = resnet50();
+    EXPECT_DOUBLE_EQ(tunerIngestSecondsPerImage(
+                         teslaV100(), m, m.classifierStart(), 128),
+                     0.0);
+    EXPECT_GT(tunerIngestSecondsPerImage(teslaV100(), m, 0, 128), 0.0);
+}
+
+TEST(Throughput, TunerIngestShrinksWithDeeperCut)
+{
+    const auto &m = resnext101();
+    double prev = 1e9;
+    for (size_t cut = 0; cut <= m.classifierStart(); ++cut) {
+        double t = tunerIngestSecondsPerImage(teslaV100(), m, cut, 128);
+        EXPECT_LE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Throughput, TunerEpochDominatedByOverhead)
+{
+    // Classifier GEMMs are tiny; the step overhead dominates, which is
+    // what eventually makes the Tuner the pipeline bottleneck.
+    double t = tunerEpochSecondsPerImage(teslaV100(), resnet50(), 512);
+    EXPECT_GT(t, kTrainStepOverheadS / batchEfficiency(512) * 0.9);
+    EXPECT_LT(t, kTrainStepOverheadS / batchEfficiency(512) * 1.5);
+}
+
+TEST(Throughput, TrainStepCostsMoreThanFe)
+{
+    const auto &m = resnet50();
+    double fe = feSecondsPerImage(teslaT4(), m, m.numBlocks(), 512);
+    double step = trainSecondsPerImage(teslaT4(), m, 0, 512);
+    EXPECT_GT(step, fe);
+}
+
+TEST(Memory, GrowsWithBatch)
+{
+    double b1 = gpuMemoryNeededGiB(vitB16(), 1);
+    double b512 = gpuMemoryNeededGiB(vitB16(), 512);
+    EXPECT_GT(b512, b1);
+}
+
+TEST(Memory, VitOomAt512OnT4)
+{
+    // Fig. 19: ViT hits OOM at large batch sizes on the 16 GiB T4.
+    EXPECT_TRUE(fitsInMemory(teslaT4(), vitB16(), 128));
+    EXPECT_TRUE(fitsInMemory(teslaT4(), vitB16(), 256));
+    EXPECT_FALSE(fitsInMemory(teslaT4(), vitB16(), 512));
+}
+
+TEST(Memory, SmallModelsAlwaysFit)
+{
+    EXPECT_TRUE(fitsInMemory(teslaT4(), resnet50(), 512));
+    EXPECT_TRUE(fitsInMemory(teslaT4(), shufflenetV2(), 512));
+    EXPECT_TRUE(fitsInMemory(teslaT4(), inceptionV3(), 512));
+}
+
+TEST(Throughput, UnknownModelThrows)
+{
+    ndp::models::ModelSpec fake(
+        "Fake", 224, 0.6,
+        {{"a", 1.0, 1.0, 1.0, true, false},
+         {"fc", 0.01, 0.01, 0.5, true, true}},
+        4.0);
+    EXPECT_THROW(t4AnchorIps(fake), std::out_of_range);
+}
+
+class BatchSweep : public ::testing::TestWithParam<int>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,
+                         ::testing::Values(1, 8, 32, 128, 256, 512));
+
+TEST_P(BatchSweep, IpsPositiveAndBoundedByPeak)
+{
+    int batch = GetParam();
+    for (const ModelSpec *m : allModels()) {
+        double ips = deviceIps(teslaT4(), *m, batch);
+        EXPECT_GT(ips, 0.0) << m->name();
+        double peak = t4AnchorIps(*m) / batchEfficiency(128) *
+                      (1.0 / (128.0 / (128.0 + kBatchHalfSat)));
+        EXPECT_LE(ips, peak * 1.3) << m->name();
+    }
+}
