@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "hw/specs.h"
 #include "models/model.h"
@@ -115,6 +116,36 @@ struct ExperimentConfig
     nic() const
     {
         return hw::NicSpec{networkGbps, 2.0e-5};
+    }
+
+    /**
+     * Reject configurations the simulators would divide or fan out by.
+     * Every run* entry point calls this before building a pipeline.
+     * @throws std::invalid_argument naming the offending field.
+     */
+    void
+    validate() const
+    {
+        if (model == nullptr)
+            throw std::invalid_argument("ExperimentConfig: model is null");
+        if (nStores < 1)
+            throw std::invalid_argument(
+                "ExperimentConfig: nStores must be >= 1");
+        if (srvStorageServers < 1)
+            throw std::invalid_argument(
+                "ExperimentConfig: srvStorageServers must be >= 1");
+        if (networkGbps <= 0.0)
+            throw std::invalid_argument(
+                "ExperimentConfig: networkGbps must be > 0");
+        if (npe.batchSize < 1)
+            throw std::invalid_argument(
+                "ExperimentConfig: npe.batchSize must be >= 1");
+        if (npe.decompressCores < 1)
+            throw std::invalid_argument(
+                "ExperimentConfig: npe.decompressCores must be >= 1");
+        if (npe.preprocessCores < 1)
+            throw std::invalid_argument(
+                "ExperimentConfig: npe.preprocessCores must be >= 1");
     }
 };
 

@@ -1,28 +1,17 @@
 #include "core/inference.h"
 
-#include <algorithm>
-#include <cassert>
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "core/npe_common.h"
+#include "core/pipeline.h"
 #include "hw/devices.h"
 #include "models/throughput.h"
-#include "sim/channel.h"
 #include "sim/simulator.h"
-#include "sim/wait_group.h"
-#include "storage/codec.h"
 
 namespace ndp::core {
 
 namespace {
-
-/** Host-side cores the paper dedicates to preprocess/decompress. */
-constexpr int kSrvCpuStageCores = 8;
-/** Label bytes returned per image by a PipeStore. */
-constexpr double kLabelBytes = 16.0;
-/** In-flight batches between pipeline stages. */
-constexpr size_t kStageDepth = 4;
 
 /** What a PipeStore reads per image and what the CPU must do to it. */
 struct StoreWork
@@ -52,115 +41,17 @@ storeWork(const models::ModelSpec &m, const NpeOptions &npe)
     return w;
 }
 
-double
-decompressSeconds(double uncompressed_mb, int cores)
+/** CPU-stage ops for one PipeStore under the given NPE options. */
+std::vector<CpuStageOp>
+storeCpuOps(const StoreWork &w, const NpeOptions &npe)
 {
-    return uncompressed_mb / (storage::kDecompressMBps *
-                              static_cast<double>(cores));
-}
-
-double
-preprocessSeconds(double images, int cores)
-{
-    return images /
-           (kPreprocImgPerSecPerCore * static_cast<double>(cores));
-}
-
-struct StoreCtx
-{
-    StoreCtx(sim::Simulator &s, const hw::ServerSpec &spec)
-        : disk(s, spec.disk), cpu(s, spec.cpu.vcpus),
-          gpu(s, *spec.gpu, spec.nGpus), loaded(s, kStageDepth),
-          ready(s, kStageDepth)
-    {}
-
-    hw::Disk disk;
-    hw::CpuPool cpu;
-    hw::GpuExec gpu;
-    sim::Channel<int> loaded;
-    sim::Channel<int> ready;
-    uint64_t assigned = 0;
-    uint64_t done = 0;
-};
-
-sim::Task
-storeLoader(StoreCtx &st, StoreWork w, int batch)
-{
-    uint64_t left = st.assigned;
-    while (left > 0) {
-        int n = static_cast<int>(
-            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
-        left -= static_cast<uint64_t>(n);
-        co_await st.disk.read(w.readBytes * n);
-        co_await st.loaded.put(n);
-    }
-    st.loaded.close();
-}
-
-sim::Task
-storeCpuStage(StoreCtx &st, StoreWork w, NpeOptions npe)
-{
-    while (true) {
-        auto n = co_await st.loaded.get();
-        if (!n)
-            break;
-        if (w.needDecompress) {
-            co_await st.cpu.run(
-                npe.decompressCores,
-                decompressSeconds(w.uncompressedMB * *n,
-                                  npe.decompressCores));
-        }
-        if (w.needPreprocess) {
-            co_await st.cpu.run(
-                npe.preprocessCores,
-                preprocessSeconds(static_cast<double>(*n),
-                                  npe.preprocessCores));
-        }
-        co_await st.ready.put(*n);
-    }
-    st.ready.close();
-}
-
-sim::Task
-storeGpuStage(StoreCtx &st, double sec_per_image, sim::WaitGroup &wg)
-{
-    while (true) {
-        auto n = co_await st.ready.get();
-        if (!n)
-            break;
-        co_await st.gpu.compute(sec_per_image * *n);
-        st.done += static_cast<uint64_t>(*n);
-    }
-    wg.done();
-}
-
-/** Unpipelined store: every batch walks all stages back to back. */
-sim::Task
-storeSerial(StoreCtx &st, StoreWork w, NpeOptions npe,
-            double sec_per_image, sim::WaitGroup &wg)
-{
-    uint64_t left = st.assigned;
-    while (left > 0) {
-        int n = static_cast<int>(std::min<uint64_t>(
-            static_cast<uint64_t>(npe.batchSize), left));
-        left -= static_cast<uint64_t>(n);
-        co_await st.disk.read(w.readBytes * n);
-        if (w.needDecompress) {
-            co_await st.cpu.run(
-                npe.decompressCores,
-                decompressSeconds(w.uncompressedMB * n,
-                                  npe.decompressCores));
-        }
-        if (w.needPreprocess) {
-            co_await st.cpu.run(
-                npe.preprocessCores,
-                preprocessSeconds(static_cast<double>(n),
-                                  npe.preprocessCores));
-        }
-        co_await st.gpu.compute(sec_per_image * n);
-        st.done += static_cast<uint64_t>(n);
-    }
-    wg.done();
+    std::vector<CpuStageOp> ops;
+    if (w.needDecompress)
+        ops.push_back(CpuStageOp::decompress(w.uncompressedMB,
+                                             npe.decompressCores));
+    if (w.needPreprocess)
+        ops.push_back(CpuStageOp::preprocess(npe.preprocessCores));
+    return ops;
 }
 
 } // namespace
@@ -186,6 +77,7 @@ srvVariantName(SrvVariant v)
 InferenceReport
 runNdpOfflineInference(const ExperimentConfig &cfg)
 {
+    cfg.validate();
     const models::ModelSpec &m = *cfg.model;
     InferenceReport rep;
     rep.images = cfg.nImages;
@@ -197,31 +89,40 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     }
 
     sim::Simulator s;
-    sim::WaitGroup wg(s);
     StoreWork w = storeWork(m, cfg.npe);
     double sec_per_image =
         1.0 / models::deviceIps(*cfg.storeSpec.gpu, m,
                                 cfg.npe.batchSize);
 
-    std::vector<std::unique_ptr<StoreCtx>> stores;
-    stores.reserve(cfg.nStores);
-    uint64_t base = cfg.nImages / cfg.nStores;
-    uint64_t rem = cfg.nImages % cfg.nStores;
-    for (int i = 0; i < cfg.nStores; ++i) {
-        auto st = std::make_unique<StoreCtx>(s, cfg.storeSpec);
-        st->assigned = base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
-        stores.push_back(std::move(st));
-    }
+    struct Store
+    {
+        Store(sim::Simulator &s, const hw::ServerSpec &spec)
+            : stations(s, spec)
+        {}
+        StoreStations stations;
+        std::unique_ptr<Pipeline> pipe;
+    };
 
-    wg.add(cfg.nStores);
-    for (auto &st : stores) {
-        if (cfg.npe.pipelined) {
-            s.spawn(storeLoader(*st, w, cfg.npe.batchSize));
-            s.spawn(storeCpuStage(*st, w, cfg.npe));
-            s.spawn(storeGpuStage(*st, sec_per_image, wg));
-        } else {
-            s.spawn(storeSerial(*st, w, cfg.npe, sec_per_image, wg));
-        }
+    std::vector<std::unique_ptr<Store>> stores;
+    stores.reserve(static_cast<size_t>(cfg.nStores));
+    for (int i = 0; i < cfg.nStores; ++i) {
+        auto st = std::make_unique<Store>(s, cfg.storeSpec);
+        PipelineSpec spec;
+        spec.pipelined = cfg.npe.pipelined;
+        spec.batch = cfg.npe.batchSize;
+        spec.readBytesPerItem = w.readBytes;
+        spec.cpu = &st->stations.cpu;
+        spec.cpuOps = storeCpuOps(w, cfg.npe);
+        spec.gpu = &st->stations.gpu;
+        spec.computeSecondsPerItem = sec_per_image;
+        spec.shipBytesPerItem = kLabelBytes; // labels only leave the store
+        ProducerSpec prod;
+        prod.disk = &st->stations.disk;
+        prod.runItems = {evenShare(cfg.nImages, cfg.nStores, i)};
+        st->pipe = std::make_unique<Pipeline>(s, std::move(spec),
+                                              std::vector{prod});
+        st->pipe->spawn();
+        stores.push_back(std::move(st));
     }
     s.run();
 
@@ -232,8 +133,10 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     rep.netBytes = kLabelBytes * static_cast<double>(cfg.nImages);
 
     for (size_t i = 0; i < stores.size(); ++i) {
-        double gu = stores[i]->gpu.utilization();
-        double cu = stores[i]->cpu.utilization();
+        stores[i]->pipe->finalize();
+        rep.stages += stores[i]->pipe->metrics();
+        double gu = stores[i]->stations.gpu.utilization();
+        double cu = stores[i]->stations.cpu.utilization();
         rep.gpuUtil += gu / static_cast<double>(stores.size());
         rep.cpuUtil += cu / static_cast<double>(stores.size());
         auto p = hw::serverPower(cfg.storeSpec, gu, cu);
@@ -241,28 +144,15 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
             {cfg.storeSpec.name + "#" + std::to_string(i), p});
         rep.power += p;
     }
+    // operator+= summed the per-store utilizations; report means.
+    rep.stages.diskUtil /= static_cast<double>(stores.size());
+    rep.stages.cpuUtil /= static_cast<double>(stores.size());
+    rep.stages.gpuUtil /= static_cast<double>(stores.size());
     rep.energyJ = rep.power.totalW() * rep.seconds;
     return rep;
 }
 
 namespace {
-
-struct HostCtx
-{
-    HostCtx(sim::Simulator &s, const hw::ServerSpec &spec,
-            const hw::NicSpec &nic)
-        : gpus(s, *spec.gpu, spec.nGpus), cpu(s, spec.cpu.vcpus),
-          ingress(s, nic), arrived(s, 2 * kStageDepth),
-          ready(s, 2 * kStageDepth)
-    {}
-
-    hw::GpuExec gpus;
-    hw::CpuPool cpu;
-    hw::Link ingress;
-    sim::Channel<int> arrived;
-    sim::Channel<int> ready;
-    uint64_t done = 0;
-};
 
 /** Per-image bytes a storage server ships for each SRV variant. */
 double
@@ -280,119 +170,17 @@ srvWireBytes(const models::ModelSpec &m, SrvVariant v)
     }
 }
 
-sim::Task
-srvFeeder(HostCtx &host, hw::Disk &disk, uint64_t images, int batch,
-          double wire_bytes, sim::WaitGroup &feeders)
+/** CPU-stage ops on the SRV host (8 cores, §3.4). */
+std::vector<CpuStageOp>
+srvCpuOps(const models::ModelSpec &m, SrvVariant v)
 {
-    uint64_t left = images;
-    while (left > 0) {
-        int n = static_cast<int>(
-            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
-        left -= static_cast<uint64_t>(n);
-        co_await disk.read(wire_bytes * n);
-        co_await host.ingress.transfer(wire_bytes * n);
-        co_await host.arrived.put(n);
-    }
-    feeders.done();
-}
-
-/** Host-local producer (Ideal / RawLocal): data already present. */
-sim::Task
-srvLocalProducer(HostCtx &host, uint64_t images, int batch,
-                 sim::WaitGroup &feeders)
-{
-    uint64_t left = images;
-    while (left > 0) {
-        int n = static_cast<int>(
-            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
-        left -= static_cast<uint64_t>(n);
-        co_await host.arrived.put(n);
-    }
-    feeders.done();
-}
-
-sim::Task
-srvCloser(HostCtx &host, sim::WaitGroup &feeders)
-{
-    co_await feeders.wait();
-    host.arrived.close();
-}
-
-sim::Task
-srvCpuStage(HostCtx &host, SrvVariant v, const models::ModelSpec &m)
-{
-    bool preprocess =
-        v == SrvVariant::RawRemote || v == SrvVariant::RawLocal;
-    bool decompress = v == SrvVariant::Compressed;
-    while (true) {
-        auto n = co_await host.arrived.get();
-        if (!n)
-            break;
-        if (decompress) {
-            co_await host.cpu.run(
-                kSrvCpuStageCores,
-                decompressSeconds(m.inputMB() * *n, kSrvCpuStageCores));
-        }
-        if (preprocess) {
-            co_await host.cpu.run(
-                kSrvCpuStageCores,
-                preprocessSeconds(static_cast<double>(*n),
-                                  kSrvCpuStageCores));
-        }
-        co_await host.ready.put(*n);
-    }
-    host.ready.close();
-}
-
-sim::Task
-srvGpuWorker(HostCtx &host, double sec_per_image, sim::WaitGroup &wg)
-{
-    while (true) {
-        auto n = co_await host.ready.get();
-        if (!n)
-            break;
-        co_await host.gpus.compute(sec_per_image * *n);
-        host.done += static_cast<uint64_t>(*n);
-    }
-    wg.done();
-}
-
-/** The §3.4 "Typical" system: no stage overlap at all. */
-sim::Task
-srvSerial(HostCtx &host, std::vector<std::unique_ptr<hw::Disk>> &disks,
-          SrvVariant v, const models::ModelSpec &m, uint64_t images,
-          int batch, double sec_per_image, sim::WaitGroup &wg)
-{
-    double wire = srvWireBytes(m, v);
-    bool preprocess =
-        v == SrvVariant::RawRemote || v == SrvVariant::RawLocal;
-    bool decompress = v == SrvVariant::Compressed;
-    uint64_t left = images;
-    size_t turn = 0;
-    while (left > 0) {
-        int n = static_cast<int>(
-            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
-        left -= static_cast<uint64_t>(n);
-        if (wire > 0.0 && !disks.empty()) {
-            co_await disks[turn % disks.size()]->read(wire * n);
-            ++turn;
-            co_await host.ingress.transfer(wire * n);
-        }
-        if (decompress) {
-            co_await host.cpu.run(
-                kSrvCpuStageCores,
-                decompressSeconds(m.inputMB() * n, kSrvCpuStageCores));
-        }
-        if (preprocess) {
-            co_await host.cpu.run(
-                kSrvCpuStageCores,
-                preprocessSeconds(static_cast<double>(n),
-                                  kSrvCpuStageCores));
-        }
-        co_await host.gpus.compute(sec_per_image * n);
-        host.done += static_cast<uint64_t>(n);
-    }
-    wg.done();
+    std::vector<CpuStageOp> ops;
+    if (v == SrvVariant::Compressed)
+        ops.push_back(
+            CpuStageOp::decompress(m.inputMB(), kSrvCpuStageCores));
+    if (v == SrvVariant::RawRemote || v == SrvVariant::RawLocal)
+        ops.push_back(CpuStageOp::preprocess(kSrvCpuStageCores));
+    return ops;
 }
 
 } // namespace
@@ -400,6 +188,7 @@ srvSerial(HostCtx &host, std::vector<std::unique_ptr<hw::Disk>> &disks,
 InferenceReport
 runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
 {
+    cfg.validate();
     const models::ModelSpec &m = *cfg.model;
     InferenceReport rep;
     rep.images = cfg.nImages;
@@ -410,46 +199,51 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     }
 
     sim::Simulator s;
-    HostCtx host(s, cfg.hostSpec, cfg.nic());
+    HostStations host(s, cfg.hostSpec, cfg.nic());
     double sec_per_image =
         1.0 / models::deviceIps(*cfg.hostSpec.gpu, m, cfg.npe.batchSize);
+    double wire = srvWireBytes(m, variant);
 
     std::vector<std::unique_ptr<hw::Disk>> disks;
     for (int i = 0; i < cfg.srvStorageServers; ++i)
         disks.push_back(
             std::make_unique<hw::Disk>(s, cfg.srvStoreSpec.disk));
 
-    sim::WaitGroup gpu_wg(s);
-    sim::WaitGroup feeders(s);
-    if (!cfg.npe.pipelined) {
-        gpu_wg.add(1);
-        s.spawn(srvSerial(host, disks, variant, m, cfg.nImages,
-                          cfg.npe.batchSize, sec_per_image, gpu_wg));
-    } else {
-        double wire = srvWireBytes(m, variant);
-        if (wire > 0.0) {
-            feeders.add(cfg.srvStorageServers);
-            uint64_t base = cfg.nImages / cfg.srvStorageServers;
-            uint64_t rem = cfg.nImages % cfg.srvStorageServers;
-            for (int i = 0; i < cfg.srvStorageServers; ++i) {
-                uint64_t share =
-                    base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
-                s.spawn(srvFeeder(host, *disks[i], share,
-                                  cfg.npe.batchSize, wire, feeders));
-            }
-        } else {
-            feeders.add(1);
-            s.spawn(srvLocalProducer(host, cfg.nImages,
-                                     cfg.npe.batchSize, feeders));
+    PipelineSpec spec;
+    spec.pipelined = cfg.npe.pipelined;
+    spec.batch = cfg.npe.batchSize;
+    spec.depth = 2 * kStageDepth;
+    spec.readBytesPerItem = wire;
+    spec.ingress = &host.ingress;
+    spec.wireBytesPerItem = wire;
+    spec.cpu = &host.cpu;
+    spec.cpuOps = srvCpuOps(m, variant);
+    spec.gpu = &host.gpus;
+    spec.computeSecondsPerItem = sec_per_image;
+    spec.gpuWorkers = cfg.hostSpec.nGpus;
+
+    std::vector<ProducerSpec> producers;
+    if (wire > 0.0) {
+        for (int i = 0; i < cfg.srvStorageServers; ++i) {
+            ProducerSpec p;
+            p.disk = disks[static_cast<size_t>(i)].get();
+            p.runItems = {
+                evenShare(cfg.nImages, cfg.srvStorageServers, i)};
+            producers.push_back(std::move(p));
         }
-        s.spawn(srvCloser(host, feeders));
-        s.spawn(srvCpuStage(host, variant, m));
-        gpu_wg.add(cfg.hostSpec.nGpus);
-        for (int g = 0; g < cfg.hostSpec.nGpus; ++g)
-            s.spawn(srvGpuWorker(host, sec_per_image, gpu_wg));
+    } else {
+        // Host-local variants: data already present, no disks crossed.
+        ProducerSpec p;
+        p.runItems = {cfg.nImages};
+        producers.push_back(std::move(p));
     }
+
+    Pipeline pipe(s, std::move(spec), std::move(producers));
+    pipe.spawn();
     s.run();
 
+    pipe.finalize();
+    rep.stages = pipe.metrics();
     rep.seconds = s.now();
     rep.ips = rep.seconds > 0.0
                   ? static_cast<double>(cfg.nImages) / rep.seconds

@@ -1,13 +1,12 @@
 #include "core/media.h"
 
-#include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "core/npe_common.h"
+#include "core/pipeline.h"
 #include "hw/devices.h"
 #include "models/throughput.h"
-#include "sim/channel.h"
-#include "sim/wait_group.h"
 
 namespace ndp::core {
 
@@ -83,68 +82,10 @@ allMedia()
 
 namespace {
 
-constexpr size_t kDepth = 4;
-
-struct MediaStore
-{
-    MediaStore(sim::Simulator &s, const hw::ServerSpec &spec)
-        : disk(s, spec.disk), cpu(s, spec.cpu.vcpus),
-          gpu(s, *spec.gpu, spec.nGpus), loaded(s, kDepth),
-          extracted(s, kDepth)
-    {}
-
-    hw::Disk disk;
-    hw::CpuPool cpu;
-    hw::GpuExec gpu;
-    /** Tokens carry object counts. */
-    sim::Channel<int> loaded;
-    sim::Channel<int> extracted;
-};
-
-sim::Task
-mediaLoader(MediaStore &st, const MediaProfile &media, uint64_t objects)
-{
-    uint64_t left = objects;
-    while (left > 0) {
-        int n = static_cast<int>(std::min<uint64_t>(4, left));
-        left -= static_cast<uint64_t>(n);
-        co_await st.disk.read(media.rawMB * 1e6 * n);
-        co_await st.loaded.put(n);
-    }
-    st.loaded.close();
-}
-
-sim::Task
-mediaExtract(MediaStore &st, const MediaProfile &media)
-{
-    while (true) {
-        auto n = co_await st.loaded.get();
-        if (!n)
-            break;
-        double t = media.unitsPerObject * *n * media.extractPerUnitS /
-                   media.extractCores;
-        co_await st.cpu.run(media.extractCores, t);
-        co_await st.extracted.put(*n);
-    }
-    st.extracted.close();
-}
-
-sim::Task
-mediaAnalyze(MediaStore &st, const MediaProfile &media,
-             double unit_seconds, double *net_bytes,
-             sim::WaitGroup &wg)
-{
-    while (true) {
-        auto n = co_await st.extracted.get();
-        if (!n)
-            break;
-        co_await st.gpu.compute(media.unitsPerObject * *n *
-                                unit_seconds);
-        *net_bytes +=
-            media.unitsPerObject * *n * media.resultBytesPerUnit;
-    }
-    wg.done();
-}
+/** Objects per batch token near the data (small: objects are heavy). */
+constexpr int kNdpMediaBatch = 4;
+/** Objects per batch token on the SRV wire (whole raw objects). */
+constexpr int kSrvMediaBatch = 2;
 
 } // namespace
 
@@ -152,28 +93,46 @@ MediaReport
 runNdpMediaAnalysis(const ExperimentConfig &cfg,
                     const MediaProfile &media, uint64_t n_objects)
 {
+    cfg.validate();
     MediaReport rep;
     rep.objects = n_objects;
 
     sim::Simulator s;
-    sim::WaitGroup wg(s);
     double unit_seconds =
         1.0 / models::deviceIps(*cfg.storeSpec.gpu, *media.model,
                                 cfg.npe.batchSize);
 
-    std::vector<std::unique_ptr<MediaStore>> stores;
-    uint64_t base = n_objects / cfg.nStores;
-    uint64_t rem = n_objects % cfg.nStores;
-    wg.add(cfg.nStores);
+    struct Store
+    {
+        Store(sim::Simulator &s, const hw::ServerSpec &spec)
+            : stations(s, spec)
+        {}
+        StoreStations stations;
+        std::unique_ptr<Pipeline> pipe;
+    };
+
+    std::vector<std::unique_ptr<Store>> stores;
     for (int i = 0; i < cfg.nStores; ++i) {
-        stores.push_back(
-            std::make_unique<MediaStore>(s, cfg.storeSpec));
-        uint64_t share =
-            base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
-        s.spawn(mediaLoader(*stores.back(), media, share));
-        s.spawn(mediaExtract(*stores.back(), media));
-        s.spawn(mediaAnalyze(*stores.back(), media, unit_seconds,
-                             &rep.netBytes, wg));
+        auto st = std::make_unique<Store>(s, cfg.storeSpec);
+        PipelineSpec spec;
+        spec.batch = kNdpMediaBatch;
+        spec.readBytesPerItem = media.rawMB * 1e6;
+        spec.cpu = &st->stations.cpu;
+        spec.cpuOps = {CpuStageOp::extract(
+            media.unitsPerObject * media.extractPerUnitS,
+            media.extractCores)};
+        spec.gpu = &st->stations.gpu;
+        spec.computeSecondsPerItem = media.unitsPerObject * unit_seconds;
+        // Only per-unit labels/embeddings leave the store.
+        spec.shipBytesPerItem =
+            media.unitsPerObject * media.resultBytesPerUnit;
+        ProducerSpec prod;
+        prod.disk = &st->stations.disk;
+        prod.runItems = {evenShare(n_objects, cfg.nStores, i)};
+        st->pipe = std::make_unique<Pipeline>(s, std::move(spec),
+                                              std::vector{prod});
+        st->pipe->spawn();
+        stores.push_back(std::move(st));
     }
     s.run();
 
@@ -181,9 +140,11 @@ runNdpMediaAnalysis(const ExperimentConfig &cfg,
     rep.ops = rep.seconds > 0.0 ? n_objects / rep.seconds : 0.0;
     rep.ups = rep.ops * media.unitsPerObject;
     for (auto &st : stores) {
+        st->pipe->finalize();
+        rep.netBytes += st->pipe->metrics().shipBytes;
         rep.power += hw::serverPower(cfg.storeSpec,
-                                     st->gpu.utilization(),
-                                     st->cpu.utilization());
+                                     st->stations.gpu.utilization(),
+                                     st->stations.cpu.utilization());
     }
     rep.energyJ = rep.power.totalW() * rep.seconds;
     return rep;
@@ -193,105 +154,53 @@ MediaReport
 runSrvMediaAnalysis(const ExperimentConfig &cfg,
                     const MediaProfile &media, uint64_t n_objects)
 {
+    cfg.validate();
     MediaReport rep;
     rep.objects = n_objects;
 
     sim::Simulator s;
-    hw::Link ingress(s, cfg.nic());
-    hw::CpuPool host_cpu(s, cfg.hostSpec.cpu.vcpus);
-    hw::GpuExec host_gpu(s, *cfg.hostSpec.gpu, cfg.hostSpec.nGpus);
-    sim::Channel<int> arrived(s, 2 * kDepth);
-    sim::Channel<int> ready(s, 2 * kDepth);
-    sim::WaitGroup feeders(s), gpu_wg(s);
-
+    HostStations host(s, cfg.hostSpec, cfg.nic());
     double unit_seconds =
         1.0 / models::deviceIps(*cfg.hostSpec.gpu, *media.model,
                                 cfg.npe.batchSize);
 
-    struct Feeder
-    {
-        static sim::Task
-        run(hw::Disk &disk, hw::Link &link, sim::Channel<int> &out,
-            const MediaProfile &media, uint64_t objects,
-            sim::WaitGroup &wg)
-        {
-            uint64_t left = objects;
-            while (left > 0) {
-                int n = static_cast<int>(std::min<uint64_t>(2, left));
-                left -= static_cast<uint64_t>(n);
-                co_await disk.read(media.rawMB * 1e6 * n);
-                co_await link.transfer(media.rawMB * 1e6 * n);
-                co_await out.put(n);
-            }
-            wg.done();
-        }
-
-        static sim::Task
-        close(sim::WaitGroup &wg, sim::Channel<int> &ch)
-        {
-            co_await wg.wait();
-            ch.close();
-        }
-
-        static sim::Task
-        extract(sim::Channel<int> &in, sim::Channel<int> &out,
-                hw::CpuPool &cpu, const MediaProfile &media)
-        {
-            constexpr int cores = 8;
-            while (true) {
-                auto n = co_await in.get();
-                if (!n)
-                    break;
-                double t = media.unitsPerObject * *n *
-                           media.extractPerUnitS / cores;
-                co_await cpu.run(cores, t);
-                co_await out.put(*n);
-            }
-            out.close();
-        }
-
-        static sim::Task
-        analyze(sim::Channel<int> &in, hw::GpuExec &gpu,
-                const MediaProfile &media, double unit_s,
-                sim::WaitGroup &wg)
-        {
-            while (true) {
-                auto n = co_await in.get();
-                if (!n)
-                    break;
-                co_await gpu.compute(media.unitsPerObject * *n *
-                                     unit_s);
-            }
-            wg.done();
-        }
-    };
-
     std::vector<std::unique_ptr<hw::Disk>> disks;
-    feeders.add(cfg.srvStorageServers);
-    uint64_t base = n_objects / cfg.srvStorageServers;
-    uint64_t rem = n_objects % cfg.srvStorageServers;
-    for (int i = 0; i < cfg.srvStorageServers; ++i) {
+    for (int i = 0; i < cfg.srvStorageServers; ++i)
         disks.push_back(
             std::make_unique<hw::Disk>(s, cfg.srvStoreSpec.disk));
-        uint64_t share =
-            base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
-        s.spawn(Feeder::run(*disks.back(), ingress, arrived, media,
-                            share, feeders));
+
+    PipelineSpec spec;
+    spec.batch = kSrvMediaBatch;
+    spec.depth = 2 * kStageDepth;
+    spec.readBytesPerItem = media.rawMB * 1e6;
+    spec.ingress = &host.ingress;
+    spec.wireBytesPerItem = media.rawMB * 1e6;
+    spec.cpu = &host.cpu;
+    spec.cpuOps = {CpuStageOp::extract(
+        media.unitsPerObject * media.extractPerUnitS,
+        kSrvCpuStageCores)};
+    spec.gpu = &host.gpus;
+    spec.computeSecondsPerItem = media.unitsPerObject * unit_seconds;
+    spec.gpuWorkers = cfg.hostSpec.nGpus;
+
+    std::vector<ProducerSpec> producers;
+    for (int i = 0; i < cfg.srvStorageServers; ++i) {
+        ProducerSpec p;
+        p.disk = disks[static_cast<size_t>(i)].get();
+        p.runItems = {evenShare(n_objects, cfg.srvStorageServers, i)};
+        producers.push_back(std::move(p));
     }
-    s.spawn(Feeder::close(feeders, arrived));
-    s.spawn(Feeder::extract(arrived, ready, host_cpu, media));
-    gpu_wg.add(cfg.hostSpec.nGpus);
-    for (int g = 0; g < cfg.hostSpec.nGpus; ++g)
-        s.spawn(Feeder::analyze(ready, host_gpu, media, unit_seconds,
-                                gpu_wg));
+
+    Pipeline pipe(s, std::move(spec), std::move(producers));
+    pipe.spawn();
     s.run();
 
     rep.seconds = s.now();
     rep.ops = rep.seconds > 0.0 ? n_objects / rep.seconds : 0.0;
     rep.ups = rep.ops * media.unitsPerObject;
-    rep.netBytes = ingress.bytesMoved();
-    rep.power += hw::serverPower(cfg.hostSpec, host_gpu.utilization(),
-                                 host_cpu.utilization());
+    rep.netBytes = host.ingress.bytesMoved();
+    rep.power += hw::serverPower(cfg.hostSpec, host.gpus.utilization(),
+                                 host.cpu.utilization());
     for (int i = 0; i < cfg.srvStorageServers; ++i) {
         rep.power += hw::serverPower(
             cfg.srvStoreSpec, 0.0,

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Constants and helpers shared by every NPE dataflow (offline
+ * inference, FT-DMP feature extraction, SRV baselines, media
+ * extensions). Before the pipeline-engine refactor these were
+ * redefined per file and could drift; they live here exactly once.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "storage/codec.h"
+
+namespace ndp::core {
+
+/** In-flight batches between pipeline stages (§5.4). */
+constexpr size_t kStageDepth = 4;
+/** Host-side cores the paper dedicates to preprocess/decompress. */
+constexpr int kSrvCpuStageCores = 8;
+/** Label bytes returned per image by a PipeStore. */
+constexpr double kLabelBytes = 16.0;
+/**
+ * Sparse-delta compression achieved on the trainable layers'
+ * difference (Check-N-Run [29]); yields the paper's "up to 427.4x"
+ * traffic reduction vs shipping the full ResNet50 model.
+ */
+constexpr double kDeltaCompressFactor = 34.0;
+
+/** Seconds to decompress @p uncompressed_mb on @p cores cores. */
+inline double
+decompressSeconds(double uncompressed_mb, int cores)
+{
+    return uncompressed_mb /
+           (storage::kDecompressMBps * static_cast<double>(cores));
+}
+
+/** Seconds to JPEG-decode+resize @p images on @p cores cores. */
+inline double
+preprocessSeconds(double images, int cores)
+{
+    return images /
+           (kPreprocImgPerSecPerCore * static_cast<double>(cores));
+}
+
+/**
+ * Largest-remainder split: items participant @p index (of @p parts)
+ * receives out of @p total. Lower indices take the remainder, so
+ * index 0 always holds the largest share.
+ */
+inline uint64_t
+evenShare(uint64_t total, int parts, int index)
+{
+    uint64_t p = static_cast<uint64_t>(parts);
+    return total / p + (static_cast<uint64_t>(index) < total % p ? 1 : 0);
+}
+
+/** Images store @p s processes in pipeline run @p r (§5.2). */
+inline uint64_t
+runShare(uint64_t total, int n_run, int n_stores, int r, int s)
+{
+    return evenShare(evenShare(total, n_run, r), n_stores, s);
+}
+
+} // namespace ndp::core

@@ -1,0 +1,234 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndp::core {
+
+namespace {
+
+/** Next batch size: min(batch, left). */
+int
+takeBatch(int batch, uint64_t left)
+{
+    return static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+}
+
+} // namespace
+
+Pipeline::Pipeline(sim::Simulator &s, PipelineSpec spec,
+                   std::vector<ProducerSpec> producers)
+    : sim_(s), spec_(std::move(spec)), producers_(std::move(producers)),
+      feeders_(s), loaded_(s, spec_.depth), ready_(s, spec_.depth)
+{
+    assert(!producers_.empty() && "pipeline needs at least one producer");
+    assert(spec_.batch >= 1);
+    assert(spec_.nRun >= 1);
+    for (auto &p : producers_)
+        assert(p.runItems.size() ==
+                   static_cast<size_t>(spec_.nRun) &&
+               "producer shares must cover every run");
+}
+
+void
+Pipeline::spawn()
+{
+    if (!spec_.pipelined) {
+        if (spec_.done)
+            spec_.done->add(1);
+        sim_.spawn(serialProc());
+        return;
+    }
+    feeders_.add(static_cast<int>(producers_.size()));
+    for (size_t i = 0; i < producers_.size(); ++i)
+        sim_.spawn(producerProc(i));
+    sim_.spawn(closerProc());
+    sim_.spawn(cpuProc());
+    if (spec_.done)
+        spec_.done->add(spec_.gpuWorkers);
+    for (int g = 0; g < spec_.gpuWorkers; ++g)
+        sim_.spawn(gpuProc());
+}
+
+sim::Task
+Pipeline::producerProc(size_t idx)
+{
+    ProducerSpec &p = producers_[idx];
+    for (int r = 0; r < spec_.nRun; ++r) {
+        if (spec_.runGate) {
+            if (sim::WaitGroup *gate = spec_.runGate(r))
+                co_await gate->wait();
+        }
+        uint64_t left = p.runItems[static_cast<size_t>(r)];
+        while (left > 0) {
+            int n = takeBatch(spec_.batch, left);
+            left -= static_cast<uint64_t>(n);
+            if (p.disk && spec_.readBytesPerItem > 0.0) {
+                double bytes = spec_.readBytesPerItem * n;
+                metrics_.readS += p.disk->readServiceTime(bytes);
+                metrics_.readBytes += bytes;
+                co_await p.disk->read(bytes);
+            }
+            if (spec_.ingress && spec_.wireBytesPerItem > 0.0) {
+                double bytes = spec_.wireBytesPerItem * n;
+                metrics_.transferS += spec_.ingress->serviceTime(bytes);
+                metrics_.wireBytes += bytes;
+                co_await spec_.ingress->transfer(bytes);
+            }
+            co_await loaded_.put(PipeBatch{r, n});
+        }
+    }
+    feeders_.done();
+}
+
+sim::Task
+Pipeline::closerProc()
+{
+    co_await feeders_.wait();
+    loaded_.close();
+}
+
+sim::Task
+Pipeline::cpuProc()
+{
+    while (true) {
+        auto b = co_await loaded_.get();
+        if (!b)
+            break;
+        for (const CpuStageOp &op : spec_.cpuOps) {
+            if (op.workPerItem <= 0.0 || !spec_.cpu)
+                continue;
+            double t = op.workPerItem * b->n / op.rate;
+            co_await spec_.cpu->run(op.cores, t);
+            if (op.kind == CpuStageOp::Kind::Decompress)
+                metrics_.decompressS += t;
+            else
+                metrics_.preprocessS += t;
+        }
+        co_await ready_.put(*b);
+    }
+    ready_.close();
+}
+
+sim::Task
+Pipeline::gpuProc()
+{
+    while (true) {
+        auto b = co_await ready_.get();
+        if (!b)
+            break;
+        if (spec_.gpu && spec_.computeSecondsPerItem > 0.0) {
+            double t = spec_.computeSecondsPerItem * b->n;
+            co_await spec_.gpu->compute(t);
+            metrics_.computeS += t;
+        }
+        // A ship link is always crossed (it charges propagation
+        // latency even for an empty payload); without a link the
+        // bytes are only counted.
+        if (spec_.shipLink || spec_.shipBytesPerItem > 0.0) {
+            double bytes = spec_.shipBytesPerItem * b->n;
+            metrics_.shipBytes += bytes;
+            if (spec_.shipLink) {
+                metrics_.transferS += spec_.shipLink->serviceTime(bytes);
+                co_await spec_.shipLink->transfer(bytes);
+            }
+        }
+        if (!spec_.runOut.empty())
+            co_await spec_.runOut[static_cast<size_t>(b->run)]->put(b->n);
+        metrics_.itemsDone += static_cast<uint64_t>(b->n);
+        metrics_.lastItemS = sim_.now();
+    }
+    if (spec_.done)
+        spec_.done->done();
+}
+
+/** The unoptimized "Typical" walk: every batch visits all stages back
+ *  to back, round-robining over the producers' disks (§3.4). */
+sim::Task
+Pipeline::serialProc()
+{
+    std::vector<hw::Disk *> disks;
+    for (auto &p : producers_)
+        if (p.disk)
+            disks.push_back(p.disk);
+    size_t turn = 0;
+    for (int r = 0; r < spec_.nRun; ++r) {
+        if (spec_.runGate) {
+            if (sim::WaitGroup *gate = spec_.runGate(r))
+                co_await gate->wait();
+        }
+        uint64_t left = 0;
+        for (auto &p : producers_)
+            left += p.runItems[static_cast<size_t>(r)];
+        while (left > 0) {
+            int n = takeBatch(spec_.batch, left);
+            left -= static_cast<uint64_t>(n);
+            if (spec_.readBytesPerItem > 0.0 && !disks.empty()) {
+                hw::Disk &d = *disks[turn % disks.size()];
+                ++turn;
+                double bytes = spec_.readBytesPerItem * n;
+                metrics_.readS += d.readServiceTime(bytes);
+                metrics_.readBytes += bytes;
+                co_await d.read(bytes);
+                if (spec_.ingress && spec_.wireBytesPerItem > 0.0) {
+                    double wire = spec_.wireBytesPerItem * n;
+                    metrics_.transferS +=
+                        spec_.ingress->serviceTime(wire);
+                    metrics_.wireBytes += wire;
+                    co_await spec_.ingress->transfer(wire);
+                }
+            }
+            for (const CpuStageOp &op : spec_.cpuOps) {
+                if (op.workPerItem <= 0.0 || !spec_.cpu)
+                    continue;
+                double t = op.workPerItem * n / op.rate;
+                co_await spec_.cpu->run(op.cores, t);
+                if (op.kind == CpuStageOp::Kind::Decompress)
+                    metrics_.decompressS += t;
+                else
+                    metrics_.preprocessS += t;
+            }
+            if (spec_.gpu && spec_.computeSecondsPerItem > 0.0) {
+                double t = spec_.computeSecondsPerItem * n;
+                co_await spec_.gpu->compute(t);
+                metrics_.computeS += t;
+            }
+            if (spec_.shipLink || spec_.shipBytesPerItem > 0.0) {
+                double bytes = spec_.shipBytesPerItem * n;
+                metrics_.shipBytes += bytes;
+                if (spec_.shipLink) {
+                    metrics_.transferS +=
+                        spec_.shipLink->serviceTime(bytes);
+                    co_await spec_.shipLink->transfer(bytes);
+                }
+            }
+            if (!spec_.runOut.empty())
+                co_await spec_.runOut[static_cast<size_t>(r)]->put(n);
+            metrics_.itemsDone += static_cast<uint64_t>(n);
+            metrics_.lastItemS = sim_.now();
+        }
+    }
+    if (spec_.done)
+        spec_.done->done();
+}
+
+void
+Pipeline::finalize()
+{
+    if (spec_.cpu)
+        metrics_.cpuUtil = spec_.cpu->utilization();
+    if (spec_.gpu)
+        metrics_.gpuUtil = spec_.gpu->utilization();
+    double disk_util = 0.0;
+    int n_disks = 0;
+    for (auto &p : producers_) {
+        if (p.disk) {
+            disk_util += p.disk->utilization();
+            ++n_disks;
+        }
+    }
+    metrics_.diskUtil = n_disks > 0 ? disk_util / n_disks : 0.0;
+}
+
+} // namespace ndp::core

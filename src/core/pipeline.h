@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The one NPE stage-graph engine (§5.4).
+ *
+ * Every near-data dataflow in this repo — PipeStore offline inference,
+ * FT-DMP feature extraction, the SRV host baselines for inference and
+ * fine-tuning, and the §7.1 media extensions — is the same 3-stage
+ * pipeline: a front stage that reads bytes from a disk (optionally
+ * shipping them over a NIC), a CPU stage that decompresses and/or
+ * preprocesses, and a GPU stage that computes and ships results
+ * downstream. Before this engine existed the repo spelled that
+ * pipeline out five times with hand-rolled coroutine families; now a
+ * PipelineSpec describes the dataflow declaratively and Pipeline
+ * spawns the stage coroutines over sim::Channel, in either pipelined
+ * or fully serial ("Typical", §3.4) execution mode, with built-in
+ * per-stage time/bytes/utilization accounting in StageMetrics.
+ *
+ * Fan-out conventions:
+ *  - one Pipeline per PipeStore (NDP flavors): each store owns its
+ *    disk/CPU/GPU stations and its share of the dataset;
+ *  - one Pipeline per SRV host (baseline flavors): N storage-server
+ *    disks feed one shared CPU/GPU host through one ingress link.
+ *
+ * All per-item quantities are linear in the batch size, matching the
+ * paper's service-time models; stage times recorded in StageMetrics
+ * are service times (queueing excluded), so `timeS / itemsDone` is
+ * directly comparable with the analytical npeStageTimes() model.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/npe_common.h"
+#include "core/report.h"
+#include "hw/devices.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/wait_group.h"
+
+namespace ndp::core {
+
+/** Token flowing between stages: @p n items belonging to run @p run. */
+struct PipeBatch
+{
+    int run = 0;
+    int n = 0;
+};
+
+/**
+ * One unit of CPU-stage work, applied per batch. The stage holds
+ * @p cores tokens of the pipeline's CpuPool for
+ * `workPerItem * n / rate` seconds. Keeping work and rate separate
+ * (instead of a precomputed seconds-per-item) preserves the exact
+ * floating-point evaluation order of the paper-calibrated service
+ * times: (work * n) / rate.
+ */
+struct CpuStageOp
+{
+    enum class Kind
+    {
+        Decompress,
+        Preprocess,
+    };
+
+    Kind kind = Kind::Preprocess;
+    int cores = 1;
+    /** Work per item: MB to inflate, images to decode, units... */
+    double workPerItem = 0.0;
+    /** Work units per second at this core count. */
+    double rate = 1.0;
+
+    /** Inflate @p uncompressed_mb MB per item on @p cores cores. */
+    static CpuStageOp
+    decompress(double uncompressed_mb, int cores)
+    {
+        return {Kind::Decompress, cores, uncompressed_mb,
+                storage::kDecompressMBps * static_cast<double>(cores)};
+    }
+
+    /** JPEG-decode+resize one image per item on @p cores cores. */
+    static CpuStageOp
+    preprocess(int cores)
+    {
+        return {Kind::Preprocess, cores, 1.0,
+                kPreprocImgPerSecPerCore * static_cast<double>(cores)};
+    }
+
+    /** Generic extraction (media §7.1): core-seconds per item. */
+    static CpuStageOp
+    extract(double core_seconds_per_item, int cores)
+    {
+        return {Kind::Preprocess, cores, core_seconds_per_item,
+                static_cast<double>(cores)};
+    }
+};
+
+/** One producer feeding the pipeline front. */
+struct ProducerSpec
+{
+    /** Disk the producer reads from; null = data already local. */
+    hw::Disk *disk = nullptr;
+    /** Items fed per pipeline run (size == PipelineSpec::nRun). */
+    std::vector<uint64_t> runItems;
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t r : runItems)
+            t += r;
+        return t;
+    }
+};
+
+/** Declarative description of one NPE dataflow. */
+struct PipelineSpec
+{
+    /** 3-stage overlap vs the fully serial "Typical" walk (§3.4). */
+    bool pipelined = true;
+    /** Items per batch token. */
+    int batch = 1;
+    /** Bounded-channel depth between stages. */
+    size_t depth = kStageDepth;
+    /** Pipeline runs the producers iterate (N_run, §5.2). */
+    int nRun = 1;
+
+    /** @name Front stage (disk read, optional NIC transfer)
+     * @{ */
+    double readBytesPerItem = 0.0;
+    /** Ingress link crossed between the disks and the CPU stage. */
+    hw::Link *ingress = nullptr;
+    double wireBytesPerItem = 0.0;
+    /**
+     * Gate awaited before a producer starts run r (unpipelined FT-DMP
+     * waits for the Tuner to finish run r-1). May return null.
+     */
+    std::function<sim::WaitGroup *(int run)> runGate;
+    /** @} */
+
+    /** @name CPU stage
+     * @{ */
+    hw::CpuPool *cpu = nullptr;
+    std::vector<CpuStageOp> cpuOps;
+    /** @} */
+
+    /** @name GPU stage + downstream ship
+     * @{ */
+    hw::GpuExec *gpu = nullptr;
+    double computeSecondsPerItem = 0.0;
+    /** Parallel consumers of the ready channel (SRV: one per GPU). */
+    int gpuWorkers = 1;
+    /** Link results are shipped over; null = count bytes only. */
+    hw::Link *shipLink = nullptr;
+    double shipBytesPerItem = 0.0;
+    /** Per-run routing: deliver n to runOut[run] (FT-DMP features). */
+    std::vector<sim::Channel<int> *> runOut;
+    /** @} */
+
+    /** Signalled once per sink worker when the pipeline drains. */
+    sim::WaitGroup *done = nullptr;
+};
+
+/**
+ * An instantiated NPE dataflow: owns the inter-stage channels and the
+ * measured StageMetrics; stations (disks, CPU pool, GPU, links) are
+ * borrowed from the caller and must outlive the simulation.
+ */
+class Pipeline
+{
+  public:
+    Pipeline(sim::Simulator &s, PipelineSpec spec,
+             std::vector<ProducerSpec> producers);
+
+    /** Spawn all stage coroutines on the simulator. */
+    void spawn();
+
+    /**
+     * Fill the utilization fields of metrics() from the stations;
+     * call after Simulator::run().
+     */
+    void finalize();
+
+    const StageMetrics &metrics() const { return metrics_; }
+
+    /** @name Back-pressure probes: channel high-water marks
+     * @{ */
+    size_t loadedPeak() const { return loaded_.peakSize(); }
+    size_t readyPeak() const { return ready_.peakSize(); }
+    /** @} */
+
+  private:
+    sim::Task producerProc(size_t idx);
+    sim::Task closerProc();
+    sim::Task cpuProc();
+    sim::Task gpuProc();
+    sim::Task serialProc();
+
+    sim::Simulator &sim_;
+    PipelineSpec spec_;
+    std::vector<ProducerSpec> producers_;
+    sim::WaitGroup feeders_;
+    sim::Channel<PipeBatch> loaded_;
+    sim::Channel<PipeBatch> ready_;
+    StageMetrics metrics_;
+};
+
+/** Stations of one PipeStore (NDP flavors: one pipeline per store). */
+struct StoreStations
+{
+    StoreStations(sim::Simulator &s, const hw::ServerSpec &spec)
+        : disk(s, spec.disk), cpu(s, spec.cpu.vcpus),
+          gpu(s, *spec.gpu, spec.nGpus)
+    {}
+
+    hw::Disk disk;
+    hw::CpuPool cpu;
+    hw::GpuExec gpu;
+};
+
+/** Stations of one SRV host (baseline flavors: one shared pipeline). */
+struct HostStations
+{
+    HostStations(sim::Simulator &s, const hw::ServerSpec &spec,
+                 const hw::NicSpec &nic)
+        : gpus(s, *spec.gpu, spec.nGpus), cpu(s, spec.cpu.vcpus),
+          ingress(s, nic)
+    {}
+
+    hw::GpuExec gpus;
+    hw::CpuPool cpu;
+    hw::Link ingress;
+};
+
+} // namespace ndp::core

@@ -10,12 +10,81 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "hw/power.h"
 
 namespace ndp::core {
+
+/**
+ * Per-stage accounting of one NPE dataflow (Figs. 5, 6, 9, 12).
+ *
+ * The time fields hold device-seconds of *service time* summed over
+ * every batch a pipeline processed (queueing excluded), so dividing by
+ * `itemsDone` yields measured per-image stage times directly
+ * comparable with the analytical npeStageTimes() model. The byte and
+ * utilization fields are filled by the pipeline engine; `operator+=`
+ * merges pipelines (e.g. the per-store pipelines of one run) by
+ * summing everything except `lastItemS`, which takes the max.
+ * Utilization fields are summed too — divide by the number of merged
+ * pipelines for an average.
+ */
+struct StageMetrics
+{
+    double readS = 0.0;
+    double decompressS = 0.0;
+    double preprocessS = 0.0;
+    double transferS = 0.0;
+    /** Feature extraction / FE&Cl GPU time. */
+    double computeS = 0.0;
+    /** Tuner-side classifier training time. */
+    double tunerS = 0.0;
+    /** Weight-synchronization time (naive NDP / +FC). */
+    double syncS = 0.0;
+
+    /** Bytes read from the pipeline's disks. */
+    double readBytes = 0.0;
+    /** Bytes moved over the ingress link ahead of the CPU stage. */
+    double wireBytes = 0.0;
+    /** Bytes shipped downstream after the GPU stage (labels/features). */
+    double shipBytes = 0.0;
+
+    /** Items that reached the pipeline sink (conservation checks). */
+    uint64_t itemsDone = 0;
+    /** Simulated time the sink saw its last item. */
+    double lastItemS = 0.0;
+
+    /** Station utilizations at the end of the run (see merge note). */
+    double diskUtil = 0.0;
+    double cpuUtil = 0.0;
+    double gpuUtil = 0.0;
+
+    StageMetrics &
+    operator+=(const StageMetrics &o)
+    {
+        readS += o.readS;
+        decompressS += o.decompressS;
+        preprocessS += o.preprocessS;
+        transferS += o.transferS;
+        computeS += o.computeS;
+        tunerS += o.tunerS;
+        syncS += o.syncS;
+        readBytes += o.readBytes;
+        wireBytes += o.wireBytes;
+        shipBytes += o.shipBytes;
+        itemsDone += o.itemsDone;
+        lastItemS = std::max(lastItemS, o.lastItemS);
+        diskUtil += o.diskUtil;
+        cpuUtil += o.cpuUtil;
+        gpuUtil += o.gpuUtil;
+        return *this;
+    }
+};
+
+/** Legacy name kept for the analytical model and older call sites. */
+using StageBreakdown = StageMetrics;
 
 struct InferenceReport
 {
@@ -36,27 +105,15 @@ struct InferenceReport
     double gpuUtil = 0.0;
     double cpuUtil = 0.0;
 
+    /** Measured per-stage accounting from the pipeline engine. */
+    StageMetrics stages;
+
     double
     ipsPerWatt() const
     {
         double w = power.totalW();
         return w > 0.0 ? ips / w : 0.0;
     }
-};
-
-/** Per-stage time breakdown of one pipeline (Figs. 5, 6, 9, 12). */
-struct StageBreakdown
-{
-    double readS = 0.0;
-    double decompressS = 0.0;
-    double preprocessS = 0.0;
-    double transferS = 0.0;
-    /** Feature extraction / FE&Cl GPU time. */
-    double computeS = 0.0;
-    /** Tuner-side classifier training time. */
-    double tunerS = 0.0;
-    /** Weight-synchronization time (naive NDP / +FC). */
-    double syncS = 0.0;
 };
 
 struct TrainReport

@@ -5,46 +5,18 @@
 #include <memory>
 #include <vector>
 
+#include "core/npe_common.h"
+#include "core/pipeline.h"
 #include "hw/devices.h"
 #include "models/throughput.h"
 #include "sim/barrier.h"
 #include "sim/channel.h"
 #include "sim/simulator.h"
 #include "sim/wait_group.h"
-#include "storage/codec.h"
 
 namespace ndp::core {
 
 namespace {
-
-/** Sparse-delta compression achieved on the trainable layers'
- *  difference (Check-N-Run [29]); yields the paper's "up to 427.4x"
- *  traffic reduction vs shipping the full ResNet50 model. */
-constexpr double kDeltaCompressFactor = 34.0;
-
-constexpr size_t kStageDepth = 4;
-
-/** (run, images) token flowing through a store's FE pipeline. */
-struct RunBatch
-{
-    int run;
-    int n;
-};
-
-struct TrainStoreCtx
-{
-    TrainStoreCtx(sim::Simulator &s, const hw::ServerSpec &spec)
-        : disk(s, spec.disk), cpu(s, spec.cpu.vcpus),
-          gpu(s, *spec.gpu, spec.nGpus), loaded(s, kStageDepth),
-          decompressed(s, kStageDepth)
-    {}
-
-    hw::Disk disk;
-    hw::CpuPool cpu;
-    hw::GpuExec gpu;
-    sim::Channel<RunBatch> loaded;
-    sim::Channel<RunBatch> decompressed;
-};
 
 /** Everything the coroutines share for one FT-DMP run. */
 struct FtDmpEnv
@@ -72,113 +44,19 @@ struct FtDmpEnv
     std::vector<std::unique_ptr<sim::WaitGroup>> tunerDone;
 
     StageBreakdown stages;
-    double dataTraffic = 0.0;
     double syncTraffic = 0.0;
     double feEndTime = 0.0;
 };
 
-/** Images store @p s processes in run @p r. */
-uint64_t
-shareOf(uint64_t total, int n_run, int n_stores, int r, int s)
-{
-    uint64_t run_imgs = total / static_cast<uint64_t>(n_run) +
-                        (static_cast<uint64_t>(r) <
-                                 total % static_cast<uint64_t>(n_run)
-                             ? 1
-                             : 0);
-    return run_imgs / static_cast<uint64_t>(n_stores) +
-           (static_cast<uint64_t>(s) <
-                    run_imgs % static_cast<uint64_t>(n_stores)
-                ? 1
-                : 0);
-}
-
-/**
- * Store-side feature extraction runs the NPE 3-stage pipeline (§5.4):
- * a loader, a decompressor, and a GPU+ship stage, connected by bounded
- * channels so disk, CPU and GPU overlap across batches.
- * @{
- */
-sim::Task
-storeFeLoader(FtDmpEnv &env, TrainStoreCtx &st,
-              const ExperimentConfig &cfg, const TrainOptions &opt,
-              int store_idx)
-{
-    const models::ModelSpec &m = *cfg.model;
-    double read_bytes = m.inputMB() * 1e6 / kCompressionRatio;
-    for (int r = 0; r < opt.nRun; ++r) {
-        if (!opt.pipelined && r > 0)
-            co_await env.tunerDone[r - 1]->wait();
-        uint64_t left = shareOf(cfg.nImages, opt.nRun, cfg.nStores, r,
-                                store_idx);
-        while (left > 0) {
-            int n = static_cast<int>(std::min<uint64_t>(
-                static_cast<uint64_t>(opt.feBatch), left));
-            left -= static_cast<uint64_t>(n);
-            double read_t = st.disk.readServiceTime(read_bytes * n);
-            co_await st.disk.read(read_bytes * n);
-            env.stages.readS += read_t;
-            co_await st.loaded.put(RunBatch{r, n});
-        }
-    }
-    st.loaded.close();
-}
-
-sim::Task
-storeFeCpuStage(FtDmpEnv &env, TrainStoreCtx &st,
-                const ExperimentConfig &cfg)
-{
-    const models::ModelSpec &m = *cfg.model;
-    while (true) {
-        auto b = co_await st.loaded.get();
-        if (!b)
-            break;
-        double dec_t = m.inputMB() * b->n /
-                       (storage::kDecompressMBps *
-                        cfg.npe.decompressCores);
-        co_await st.cpu.run(cfg.npe.decompressCores, dec_t);
-        env.stages.decompressS += dec_t;
-        co_await st.decompressed.put(*b);
-    }
-    st.decompressed.close();
-}
-
-sim::Task
-storeFeGpuStage(FtDmpEnv &env, TrainStoreCtx &st,
-                const ExperimentConfig &cfg, const TrainOptions &opt,
-                size_t cut, int store_idx, sim::WaitGroup &stores_wg)
-{
-    const models::ModelSpec &m = *cfg.model;
-    double fe_per_image = models::feSecondsPerImage(
-                              *cfg.storeSpec.gpu, m, cut, opt.feBatch) /
-                          opt.speedOf(store_idx);
-    double feature_bytes = m.transferMBAt(cut) * 1e6;
-    while (true) {
-        auto b = co_await st.decompressed.get();
-        if (!b)
-            break;
-        if (fe_per_image > 0.0) {
-            co_await st.gpu.compute(fe_per_image * b->n);
-            env.stages.computeS += fe_per_image * b->n;
-        }
-        double wire = feature_bytes * b->n;
-        env.stages.transferS += env.ingress.serviceTime(wire);
-        co_await env.ingress.transfer(wire);
-        env.dataTraffic += wire;
-        co_await env.runFeatures[b->run]->put(b->n);
-        env.feEndTime = std::max(env.feEndTime, env.sim.now());
-    }
-    stores_wg.done();
-}
-/** @} */
-
 /**
  * Naive-NDP store ("+FC"): the whole model, classifier included, runs
  * on the store; every iteration pays a weight synchronization over the
- * shared network (§4.1).
+ * shared network (§4.1). This is not an NPE dataflow — it is the
+ * anti-pattern FT-DMP replaces — so it stays a bespoke coroutine
+ * rather than a Pipeline configuration.
  */
 sim::Task
-storeLocalTrainProc(FtDmpEnv &env, TrainStoreCtx &st,
+storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                     const ExperimentConfig &cfg, const TrainOptions &opt,
                     int store_idx, sim::Barrier &sync_barrier,
                     sim::WaitGroup &stores_wg)
@@ -210,12 +88,12 @@ storeLocalTrainProc(FtDmpEnv &env, TrainStoreCtx &st,
         2.0 * m.trainableParamsM() * 1e6 * 4.0;
 
     for (int r = 0; r < opt.nRun; ++r) {
-        uint64_t share = shareOf(cfg.nImages, opt.nRun, cfg.nStores, r,
-                                 store_idx);
+        uint64_t share = runShare(cfg.nImages, opt.nRun, cfg.nStores, r,
+                                  store_idx);
         // Store 0 always holds the largest share; every store runs
         // the same number of all-reduce rounds so the barrier closes.
         uint64_t max_share =
-            shareOf(cfg.nImages, opt.nRun, cfg.nStores, r, 0);
+            runShare(cfg.nImages, opt.nRun, cfg.nStores, r, 0);
         uint64_t iters_per_epoch =
             (max_share + static_cast<uint64_t>(store_batch) - 1) /
             static_cast<uint64_t>(store_batch);
@@ -264,12 +142,7 @@ tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
         *cfg.tunerSpec.gpu, m, opt.trainBatch);
 
     for (int r = 0; r < opt.nRun; ++r) {
-        uint64_t run_imgs =
-            cfg.nImages / static_cast<uint64_t>(opt.nRun) +
-            (static_cast<uint64_t>(r) <
-                     cfg.nImages % static_cast<uint64_t>(opt.nRun)
-                 ? 1
-                 : 0);
+        uint64_t run_imgs = evenShare(cfg.nImages, opt.nRun, r);
         uint64_t seen = 0;
         while (seen < run_imgs) {
             auto n = co_await env.runFeatures[r]->get();
@@ -308,6 +181,8 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
 TrainReport
 runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
 {
+    cfg.validate();
+    opt.validate();
     const models::ModelSpec &m = *cfg.model;
     size_t cut = opt.resolveCut(m);
     assert(cut <= m.numBlocks());
@@ -318,25 +193,69 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
 
     sim::Simulator s;
     FtDmpEnv env(s, cfg, opt.nRun);
+    // Counts store sinks: Pipeline::spawn registers its own workers;
+    // the bespoke "+FC" coroutine registers itself below.
     sim::WaitGroup stores_wg(s);
-    stores_wg.add(cfg.nStores);
     sim::Barrier sync_barrier(s, cfg.nStores);
 
-    std::vector<std::unique_ptr<TrainStoreCtx>> stores;
-    for (int i = 0; i < cfg.nStores; ++i)
-        stores.push_back(
-            std::make_unique<TrainStoreCtx>(s, cfg.storeSpec));
+    struct Store
+    {
+        Store(sim::Simulator &s, const hw::ServerSpec &spec)
+            : stations(s, spec)
+        {}
+        StoreStations stations;
+        std::unique_ptr<Pipeline> pipe;
+    };
 
+    // Feature extraction is the NPE dataflow (§5.4): per store, read
+    // compressed binaries, decompress, forward through [0, cut), ship
+    // the feature tensors to the Tuner's per-run spool.
+    double fe_base = models::feSecondsPerImage(*cfg.storeSpec.gpu, m,
+                                               cut, opt.feBatch);
+    std::vector<sim::Channel<int> *> run_out;
+    for (auto &ch : env.runFeatures)
+        run_out.push_back(ch.get());
+    bool piped = opt.pipelined;
+
+    std::vector<std::unique_ptr<Store>> stores;
     for (int i = 0; i < cfg.nStores; ++i) {
+        auto st = std::make_unique<Store>(s, cfg.storeSpec);
         if (classifier_on_stores) {
-            s.spawn(storeLocalTrainProc(env, *stores[i], cfg, opt, i,
+            stores_wg.add(1);
+            s.spawn(storeLocalTrainProc(env, st->stations, cfg, opt, i,
                                         sync_barrier, stores_wg));
         } else {
-            s.spawn(storeFeLoader(env, *stores[i], cfg, opt, i));
-            s.spawn(storeFeCpuStage(env, *stores[i], cfg));
-            s.spawn(storeFeGpuStage(env, *stores[i], cfg, opt, cut,
-                                    i, stores_wg));
+            PipelineSpec spec;
+            spec.pipelined = true; // opt.pipelined gates runs, below
+            spec.batch = opt.feBatch;
+            spec.nRun = opt.nRun;
+            spec.readBytesPerItem = m.inputMB() * 1e6 / kCompressionRatio;
+            // Without run pipelining a store may only start run r once
+            // the Tuner finished training on run r-1 (Fig. 17).
+            spec.runGate = [&env, piped](int r) -> sim::WaitGroup * {
+                if (piped || r == 0)
+                    return nullptr;
+                return env.tunerDone[static_cast<size_t>(r) - 1].get();
+            };
+            spec.cpu = &st->stations.cpu;
+            spec.cpuOps = {CpuStageOp::decompress(m.inputMB(),
+                                                  cfg.npe.decompressCores)};
+            spec.gpu = &st->stations.gpu;
+            spec.computeSecondsPerItem = fe_base / opt.speedOf(i);
+            spec.shipLink = &env.ingress;
+            spec.shipBytesPerItem = m.transferMBAt(cut) * 1e6;
+            spec.runOut = run_out;
+            spec.done = &stores_wg;
+            std::vector<ProducerSpec> prods(1);
+            prods[0].disk = &st->stations.disk;
+            for (int r = 0; r < opt.nRun; ++r)
+                prods[0].runItems.push_back(
+                    runShare(cfg.nImages, opt.nRun, cfg.nStores, r, i));
+            st->pipe = std::make_unique<Pipeline>(s, std::move(spec),
+                                                  std::move(prods));
+            st->pipe->spawn();
         }
+        stores.push_back(std::move(st));
     }
     if (classifier_on_stores) {
         // No Tuner stage; the stores converge among themselves. Mark
@@ -351,6 +270,20 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
 
     s.run();
 
+    rep.stages = env.stages;
+    for (auto &st : stores) {
+        if (!st->pipe)
+            continue;
+        st->pipe->finalize();
+        rep.stages += st->pipe->metrics();
+        rep.dataTrafficBytes += st->pipe->metrics().shipBytes;
+        env.feEndTime =
+            std::max(env.feEndTime, st->pipe->metrics().lastItemS);
+    }
+    rep.stages.diskUtil /= static_cast<double>(stores.size());
+    rep.stages.cpuUtil /= static_cast<double>(stores.size());
+    rep.stages.gpuUtil /= static_cast<double>(stores.size());
+
     rep.seconds = s.now();
     rep.trainIps = rep.seconds > 0.0
                        ? static_cast<double>(cfg.nImages) / rep.seconds
@@ -358,13 +291,11 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
     rep.feIps = env.feEndTime > 0.0
                     ? static_cast<double>(cfg.nImages) / env.feEndTime
                     : 0.0;
-    rep.dataTrafficBytes = env.dataTraffic;
     rep.syncTrafficBytes = env.syncTraffic;
-    rep.stages = env.stages;
 
     for (size_t i = 0; i < stores.size(); ++i) {
-        double gu = stores[i]->gpu.utilization();
-        double cu = stores[i]->cpu.utilization();
+        double gu = stores[i]->stations.gpu.utilization();
+        double cu = stores[i]->stations.cpu.utilization();
         auto p = hw::serverPower(cfg.storeSpec, gu, cu);
         rep.perServer.push_back(
             {cfg.storeSpec.name + "#" + std::to_string(i), p});
@@ -380,132 +311,14 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
 
 namespace {
 
-struct SrvTrainCtx
-{
-    SrvTrainCtx(sim::Simulator &s, const ExperimentConfig &cfg)
-        : gpus(s, *cfg.hostSpec.gpu, cfg.hostSpec.nGpus),
-          cpu(s, cfg.hostSpec.cpu.vcpus), ingress(s, cfg.nic()),
-          arrived(s, 2 * kStageDepth), ready(s, 2 * kStageDepth)
-    {}
-
-    hw::GpuExec gpus;
-    hw::CpuPool cpu;
-    hw::Link ingress;
-    sim::Channel<int> arrived;
-    sim::Channel<int> ready;
-};
-
+/** Classifier training on the host, once feature extraction drains. */
 sim::Task
-srvTrainFeeder(SrvTrainCtx &host, hw::Disk &disk, uint64_t images,
-               int batch, double wire_bytes, sim::WaitGroup &feeders,
-               StageBreakdown &stages)
-{
-    uint64_t left = images;
-    while (left > 0) {
-        int n = static_cast<int>(
-            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
-        left -= static_cast<uint64_t>(n);
-        stages.readS += disk.readServiceTime(wire_bytes * n);
-        co_await disk.read(wire_bytes * n);
-        stages.transferS += host.ingress.serviceTime(wire_bytes * n);
-        co_await host.ingress.transfer(wire_bytes * n);
-        co_await host.arrived.put(n);
-    }
-    feeders.done();
-}
-
-sim::Task
-srvTrainCloser(SrvTrainCtx &host, sim::WaitGroup &feeders)
-{
-    co_await feeders.wait();
-    host.arrived.close();
-}
-
-sim::Task
-srvTrainCpu(SrvTrainCtx &host, bool decompress,
-            const models::ModelSpec &m, StageBreakdown &stages)
-{
-    constexpr int cores = 8;
-    while (true) {
-        auto n = co_await host.arrived.get();
-        if (!n)
-            break;
-        if (decompress) {
-            double t =
-                m.inputMB() * *n / (storage::kDecompressMBps * cores);
-            co_await host.cpu.run(cores, t);
-            stages.decompressS += t;
-        }
-        co_await host.ready.put(*n);
-    }
-    host.ready.close();
-}
-
-sim::Task
-srvTrainGpuWorker(SrvTrainCtx &host, double fe_per_image,
-                  sim::WaitGroup &wg, StageBreakdown &stages)
-{
-    while (true) {
-        auto n = co_await host.ready.get();
-        if (!n)
-            break;
-        co_await host.gpus.compute(fe_per_image * *n);
-        stages.computeS += fe_per_image * *n;
-    }
-    wg.done();
-}
-
-sim::Task
-srvClassifierTrain(SrvTrainCtx &host, sim::WaitGroup &fe_done,
+srvClassifierTrain(HostStations &host, sim::WaitGroup &fe_done,
                    double seconds, StageBreakdown &stages)
 {
     co_await fe_done.wait();
     co_await host.gpus.compute(seconds);
     stages.tunerS += seconds;
-}
-
-/** Fully serial "Typical" flow (§3.4): read -> transfer -> FE per
- *  batch, no overlap. */
-sim::Task
-srvTrainSerial(SrvTrainCtx &host,
-               std::vector<std::unique_ptr<hw::Disk>> &disks,
-               double wire_bytes, uint64_t images, int batch,
-               double fe_per_image, sim::WaitGroup &done,
-               StageBreakdown &stages)
-{
-    uint64_t left = images;
-    size_t turn = 0;
-    while (left > 0) {
-        int n = static_cast<int>(
-            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
-        left -= static_cast<uint64_t>(n);
-        if (wire_bytes > 0.0 && !disks.empty()) {
-            hw::Disk &d = *disks[turn % disks.size()];
-            ++turn;
-            stages.readS += d.readServiceTime(wire_bytes * n);
-            co_await d.read(wire_bytes * n);
-            stages.transferS += host.ingress.serviceTime(wire_bytes * n);
-            co_await host.ingress.transfer(wire_bytes * n);
-        }
-        co_await host.gpus.compute(fe_per_image * n);
-        stages.computeS += fe_per_image * n;
-    }
-    done.done();
-}
-
-/** Host-local producer for the Ideal fine-tuning setup. */
-sim::Task
-srvTrainLocalProducer(SrvTrainCtx &host, uint64_t images, int batch,
-                      sim::WaitGroup &feeders)
-{
-    uint64_t left = images;
-    while (left > 0) {
-        int n = static_cast<int>(
-            std::min<uint64_t>(static_cast<uint64_t>(batch), left));
-        left -= static_cast<uint64_t>(n);
-        co_await host.arrived.put(n);
-    }
-    feeders.done();
 }
 
 } // namespace
@@ -514,12 +327,13 @@ TrainReport
 runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
                  int tuner_epochs, bool pipelined)
 {
+    cfg.validate();
     const models::ModelSpec &m = *cfg.model;
     TrainReport rep;
     rep.images = cfg.nImages;
 
     sim::Simulator s;
-    SrvTrainCtx host(s, cfg);
+    HostStations host(s, cfg.hostSpec, cfg.nic());
     size_t cut = m.classifierStart();
     double fe_per_image = models::feSecondsPerImage(
         *cfg.hostSpec.gpu, m, cut, cfg.npe.batchSize);
@@ -549,44 +363,45 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
             std::make_unique<hw::Disk>(s, cfg.srvStoreSpec.disk));
 
     sim::WaitGroup fe_done(s);
-    sim::WaitGroup feeders(s);
-    if (!pipelined) {
-        fe_done.add(1);
-        s.spawn(srvTrainSerial(host, disks, wire, cfg.nImages,
-                               cfg.npe.batchSize, fe_per_image, fe_done,
-                               rep.stages));
-    } else if (wire > 0.0) {
-        feeders.add(cfg.srvStorageServers);
-        uint64_t base = cfg.nImages / cfg.srvStorageServers;
-        uint64_t rem = cfg.nImages % cfg.srvStorageServers;
+
+    PipelineSpec spec;
+    spec.pipelined = pipelined;
+    spec.batch = cfg.npe.batchSize;
+    spec.depth = 2 * kStageDepth;
+    spec.readBytesPerItem = wire;
+    spec.ingress = &host.ingress;
+    spec.wireBytesPerItem = wire;
+    spec.cpu = &host.cpu;
+    if (decompress && pipelined)
+        spec.cpuOps = {
+            CpuStageOp::decompress(m.inputMB(), kSrvCpuStageCores)};
+    spec.gpu = &host.gpus;
+    spec.computeSecondsPerItem = fe_per_image;
+    spec.gpuWorkers = cfg.hostSpec.nGpus;
+    spec.done = &fe_done;
+
+    std::vector<ProducerSpec> producers;
+    if (wire > 0.0) {
         for (int i = 0; i < cfg.srvStorageServers; ++i) {
-            uint64_t share =
-                base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
-            s.spawn(srvTrainFeeder(host, *disks[i], share,
-                                   cfg.npe.batchSize, wire, feeders,
-                                   rep.stages));
+            ProducerSpec p;
+            p.disk = disks[static_cast<size_t>(i)].get();
+            p.runItems = {
+                evenShare(cfg.nImages, cfg.srvStorageServers, i)};
+            producers.push_back(std::move(p));
         }
-        s.spawn(srvTrainCloser(host, feeders));
-        s.spawn(srvTrainCpu(host, decompress, m, rep.stages));
-        fe_done.add(cfg.hostSpec.nGpus);
-        for (int g = 0; g < cfg.hostSpec.nGpus; ++g)
-            s.spawn(srvTrainGpuWorker(host, fe_per_image, fe_done,
-                                      rep.stages));
     } else {
-        // Host-local data: GPU-bound FE.
-        feeders.add(1);
-        s.spawn(srvTrainLocalProducer(host, cfg.nImages,
-                                      cfg.npe.batchSize, feeders));
-        s.spawn(srvTrainCloser(host, feeders));
-        s.spawn(srvTrainCpu(host, false, m, rep.stages));
-        fe_done.add(cfg.hostSpec.nGpus);
-        for (int g = 0; g < cfg.hostSpec.nGpus; ++g)
-            s.spawn(srvTrainGpuWorker(host, fe_per_image, fe_done,
-                                      rep.stages));
+        ProducerSpec p;
+        p.runItems = {cfg.nImages};
+        producers.push_back(std::move(p));
     }
+
+    Pipeline pipe(s, std::move(spec), std::move(producers));
+    pipe.spawn();
     s.spawn(srvClassifierTrain(host, fe_done, ct_seconds, rep.stages));
     s.run();
 
+    pipe.finalize();
+    rep.stages += pipe.metrics();
     rep.seconds = s.now();
     rep.trainIps = rep.seconds > 0.0
                        ? static_cast<double>(cfg.nImages) / rep.seconds

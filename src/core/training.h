@@ -66,6 +66,32 @@ struct TrainOptions
     {
         return cut == kCutAuto ? m.classifierStart() : cut;
     }
+
+    /**
+     * Reject option sets the trainers would divide by (the dataset is
+     * split across nRun sub-datasets and batched by feBatch/trainBatch).
+     * @throws std::invalid_argument naming the offending field.
+     */
+    void
+    validate() const
+    {
+        if (nRun < 1)
+            throw std::invalid_argument(
+                "TrainOptions: nRun must be >= 1");
+        if (tunerEpochs < 1)
+            throw std::invalid_argument(
+                "TrainOptions: tunerEpochs must be >= 1");
+        if (feBatch < 1)
+            throw std::invalid_argument(
+                "TrainOptions: feBatch must be >= 1");
+        if (trainBatch < 1)
+            throw std::invalid_argument(
+                "TrainOptions: trainBatch must be >= 1");
+        for (double f : storeSpeedFactor)
+            if (f <= 0.0)
+                throw std::invalid_argument(
+                    "TrainOptions: storeSpeedFactor entries must be > 0");
+    }
 };
 
 /** FT-DMP fine-tuning across cfg.nStores PipeStores and one Tuner. */

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <coroutine>
 #include <deque>
@@ -50,6 +51,7 @@ class Channel
             if (ch.buf.size() < ch.cap) {
                 ch.buf.push_back(std::move(value));
                 ++ch.nPut;
+                ch.peak = std::max(ch.peak, ch.buf.size());
                 return true;
             }
             return false;
@@ -146,6 +148,8 @@ class Channel
     size_t capacity() const { return cap; }
     uint64_t totalPut() const { return nPut; }
     uint64_t totalGot() const { return nGot; }
+    /** High-water mark of buffered values (stage back-pressure probe). */
+    size_t peakSize() const { return peak; }
 
   private:
     /** After freeing a buffer slot, move a blocked putter's value in. */
@@ -157,6 +161,7 @@ class Channel
             putters.pop_front();
             buf.push_back(std::move(p->value));
             ++nPut;
+            peak = std::max(peak, buf.size());
             sim.scheduleHandle(0.0, p->handle);
         }
     }
@@ -169,6 +174,7 @@ class Channel
     bool closedFlag = false;
     uint64_t nPut = 0;
     uint64_t nGot = 0;
+    size_t peak = 0;
 };
 
 } // namespace ndp::sim

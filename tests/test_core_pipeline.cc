@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Properties of the NPE pipeline engine (core/pipeline.h) that must
+ * hold for every dataflow built on it: pipelining never loses to the
+ * serial walk, no image is dropped or double-counted, the measured
+ * StageMetrics agree with the analytical npeStageTimes() model, and
+ * invalid configurations are rejected before any pipeline is built.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/inference.h"
+#include "core/media.h"
+#include "core/pipeline.h"
+#include "core/training.h"
+#include "sim/simulator.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+const models::ModelSpec *
+figureModels(int i)
+{
+    static const models::ModelSpec *kModels[] = {
+        &models::shufflenetV2(), &models::resnet50(),
+        &models::inceptionV3(), &models::vitB16()};
+    return kModels[i];
+}
+constexpr int kNumFigureModels = 4;
+
+constexpr SrvVariant kAllVariants[] = {
+    SrvVariant::RawRemote, SrvVariant::RawLocal, SrvVariant::Ideal,
+    SrvVariant::Preprocessed, SrvVariant::Compressed};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Pipelined execution never loses to the fully serial walk.
+// ---------------------------------------------------------------------
+
+TEST(PipelineProperties, NdpPipelinedNeverSlowerAcrossModels)
+{
+    for (int i = 0; i < kNumFigureModels; ++i) {
+        ExperimentConfig cfg;
+        cfg.model = figureModels(i);
+        cfg.nStores = 2;
+        cfg.nImages = 4000;
+        cfg.npe.pipelined = true;
+        auto piped = runNdpOfflineInference(cfg);
+        cfg.npe.pipelined = false;
+        auto serial = runNdpOfflineInference(cfg);
+        if (piped.oom || serial.oom)
+            continue;
+        EXPECT_LE(piped.seconds, serial.seconds * (1.0 + 1e-9))
+            << cfg.model->name();
+    }
+}
+
+TEST(PipelineProperties, SrvPipelinedNeverSlowerAcrossVariants)
+{
+    for (SrvVariant v : kAllVariants) {
+        ExperimentConfig cfg;
+        cfg.model = &models::resnet50();
+        cfg.nImages = 4000;
+        cfg.npe.pipelined = true;
+        auto piped = runSrvOfflineInference(cfg, v);
+        cfg.npe.pipelined = false;
+        auto serial = runSrvOfflineInference(cfg, v);
+        EXPECT_LE(piped.seconds, serial.seconds * (1.0 + 1e-9))
+            << srvVariantName(v);
+    }
+}
+
+TEST(PipelineProperties, NaiveNpeWithPipeliningNeverSlower)
+{
+    // The ablation base case: raw JPEGs, 1 preprocess core.
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 1;
+    cfg.nImages = 2000;
+    cfg.npe = NpeOptions::naive();
+    cfg.npe.pipelined = true;
+    auto piped = runNdpOfflineInference(cfg);
+    cfg.npe.pipelined = false;
+    auto serial = runNdpOfflineInference(cfg);
+    EXPECT_LE(piped.seconds, serial.seconds * (1.0 + 1e-9));
+}
+
+// ---------------------------------------------------------------------
+// Conservation: every image enters and leaves the pipeline exactly
+// once, for batch sizes that do not divide the share evenly and store
+// counts that do not divide the image count evenly.
+// ---------------------------------------------------------------------
+
+TEST(PipelineProperties, NdpInferenceConservesImages)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 3;
+    cfg.nImages = 10007; // prime: uneven across stores and batches
+    auto piped = runNdpOfflineInference(cfg);
+    EXPECT_EQ(piped.stages.itemsDone, cfg.nImages);
+    cfg.npe.pipelined = false;
+    auto serial = runNdpOfflineInference(cfg);
+    EXPECT_EQ(serial.stages.itemsDone, cfg.nImages);
+}
+
+TEST(PipelineProperties, SrvInferenceConservesImagesAcrossVariants)
+{
+    for (SrvVariant v : kAllVariants) {
+        ExperimentConfig cfg;
+        cfg.model = &models::resnet50();
+        cfg.srvStorageServers = 3;
+        cfg.nImages = 10007;
+        auto r = runSrvOfflineInference(cfg, v);
+        EXPECT_EQ(r.stages.itemsDone, cfg.nImages)
+            << srvVariantName(v);
+    }
+}
+
+TEST(PipelineProperties, FtDmpConservesImagesAcrossRuns)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 3;
+    cfg.nImages = 10007;
+    TrainOptions opt;
+    opt.nRun = 3; // images split across runs, then across stores
+    auto piped = runFtDmpTraining(cfg, opt);
+    EXPECT_EQ(piped.stages.itemsDone, cfg.nImages);
+    opt.pipelined = false;
+    auto gated = runFtDmpTraining(cfg, opt);
+    EXPECT_EQ(gated.stages.itemsDone, cfg.nImages);
+}
+
+TEST(PipelineProperties, SrvFineTuningConservesImages)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 10007;
+    auto r = runSrvFineTuning(cfg);
+    EXPECT_EQ(r.stages.itemsDone, cfg.nImages);
+}
+
+// ---------------------------------------------------------------------
+// The measured StageMetrics must agree with the analytical model for
+// the Fig. 12 NPE configurations: CPU/GPU service times are exactly
+// per-image-linear, and disk time adds one seek per batch on top of
+// the analytical per-image stream time.
+// ---------------------------------------------------------------------
+
+TEST(PipelineProperties, MeasuredStageTimesMatchAnalyticalModel)
+{
+    const NpeOptions levels[] = {
+        NpeOptions::naive(), NpeOptions::withOffload(),
+        NpeOptions::withCompression(), NpeOptions::withBatch()};
+    for (const NpeOptions &npe : levels) {
+        ExperimentConfig cfg;
+        cfg.model = &models::resnet50();
+        cfg.nStores = 1;
+        cfg.nImages = 6400; // divisible by both batch sizes (16, 128)
+        cfg.npe = npe;
+        auto r = runNdpOfflineInference(cfg);
+        auto a = npeStageTimes(cfg, cfg.npe, false);
+        double n = static_cast<double>(cfg.nImages);
+        double batches = n / npe.batchSize;
+        double seek = cfg.storeSpec.disk.seekS;
+
+        EXPECT_NEAR(r.stages.readS, a.readS * n + seek * batches,
+                    (a.readS * n + seek * batches) * 1e-9);
+        EXPECT_NEAR(r.stages.decompressS, a.decompressS * n,
+                    a.decompressS * n * 1e-9 + 1e-12);
+        EXPECT_NEAR(r.stages.preprocessS, a.preprocessS * n,
+                    a.preprocessS * n * 1e-9 + 1e-12);
+        EXPECT_NEAR(r.stages.computeS, a.computeS * n,
+                    a.computeS * n * 1e-9);
+    }
+}
+
+TEST(PipelineProperties, MeasuredBytesMatchConfiguredWork)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 2;
+    cfg.nImages = 5000;
+    auto r = runNdpOfflineInference(cfg);
+    double n = static_cast<double>(cfg.nImages);
+    // Compressed binaries on disk, 16-byte labels on the wire.
+    EXPECT_NEAR(r.stages.readBytes,
+                cfg.model->inputMB() * 1e6 / kCompressionRatio * n,
+                r.stages.readBytes * 1e-9);
+    EXPECT_DOUBLE_EQ(r.stages.shipBytes, r.netBytes);
+}
+
+// ---------------------------------------------------------------------
+// The engine stands alone: a hand-built PipelineSpec runs without any
+// run* adapter, and the bounded inter-stage channels never exceed
+// their configured depth (the back-pressure probes see real limits).
+// ---------------------------------------------------------------------
+
+TEST(PipelineProperties, StandaloneEngineRespectsChannelDepth)
+{
+    ExperimentConfig cfg;
+    sim::Simulator s;
+    StoreStations st(s, cfg.storeSpec);
+
+    PipelineSpec spec;
+    spec.batch = 8;
+    spec.depth = 3;
+    spec.readBytesPerItem = 1e6;
+    spec.cpu = &st.cpu;
+    spec.cpuOps = {CpuStageOp::decompress(3.5, 2)};
+    spec.gpu = &st.gpu;
+    spec.computeSecondsPerItem = 1e-4;
+    spec.shipBytesPerItem = 16.0;
+    ProducerSpec prod;
+    prod.disk = &st.disk;
+    prod.runItems = {1000};
+    Pipeline pipe(s, std::move(spec), {prod});
+    pipe.spawn();
+    s.run();
+    pipe.finalize();
+
+    EXPECT_EQ(pipe.metrics().itemsDone, 1000u);
+    EXPECT_LE(pipe.loadedPeak(), 3u);
+    EXPECT_LE(pipe.readyPeak(), 3u);
+    EXPECT_GT(pipe.metrics().readS, 0.0);
+    EXPECT_GT(pipe.metrics().decompressS, 0.0);
+    EXPECT_GT(pipe.metrics().computeS, 0.0);
+    EXPECT_DOUBLE_EQ(pipe.metrics().shipBytes, 16.0 * 1000);
+    EXPECT_GT(pipe.metrics().gpuUtil, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Validation: every run* entry point rejects degenerate configs with
+// std::invalid_argument before any simulation is built.
+// ---------------------------------------------------------------------
+
+TEST(ConfigValidation, RejectsBadExperimentConfig)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 0;
+    EXPECT_THROW(runNdpOfflineInference(cfg), std::invalid_argument);
+    EXPECT_THROW(runNdpMediaAnalysis(cfg, videoMedia(), 100),
+                 std::invalid_argument);
+
+    cfg = ExperimentConfig{};
+    cfg.srvStorageServers = 0;
+    EXPECT_THROW(runSrvOfflineInference(cfg, SrvVariant::Compressed),
+                 std::invalid_argument);
+    EXPECT_THROW(runSrvMediaAnalysis(cfg, videoMedia(), 100),
+                 std::invalid_argument);
+
+    cfg = ExperimentConfig{};
+    cfg.npe.batchSize = 0;
+    EXPECT_THROW(runNdpOfflineInference(cfg), std::invalid_argument);
+    EXPECT_THROW(runSrvOfflineInference(cfg, SrvVariant::Ideal),
+                 std::invalid_argument);
+
+    cfg = ExperimentConfig{};
+    cfg.networkGbps = 0.0;
+    EXPECT_THROW(runSrvFineTuning(cfg), std::invalid_argument);
+
+    cfg = ExperimentConfig{};
+    cfg.npe.decompressCores = 0;
+    EXPECT_THROW(runNdpOfflineInference(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsBadTrainOptions)
+{
+    ExperimentConfig cfg;
+    TrainOptions opt;
+    opt.nRun = 0;
+    EXPECT_THROW(runFtDmpTraining(cfg, opt), std::invalid_argument);
+
+    opt = TrainOptions{};
+    opt.feBatch = 0;
+    EXPECT_THROW(runFtDmpTraining(cfg, opt), std::invalid_argument);
+
+    opt = TrainOptions{};
+    opt.trainBatch = 0;
+    EXPECT_THROW(runFtDmpTraining(cfg, opt), std::invalid_argument);
+
+    opt = TrainOptions{};
+    opt.tunerEpochs = 0;
+    EXPECT_THROW(runFtDmpTraining(cfg, opt), std::invalid_argument);
+
+    opt = TrainOptions{};
+    opt.storeSpeedFactor = {1.0, 0.0};
+    EXPECT_THROW(runFtDmpTraining(cfg, opt), std::invalid_argument);
+}
+
+TEST(ConfigValidation, AcceptsDefaultConfigs)
+{
+    ExperimentConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    TrainOptions opt;
+    EXPECT_NO_THROW(opt.validate());
+}

@@ -151,8 +151,9 @@ TEST(PhotoWorld, FirstIndexOfDayBinarySearch)
     size_t idx = w.firstIndexOfDay(1);
     ASSERT_LT(idx, w.numImages());
     EXPECT_GE(w.pool()[idx].dayAdded, 1);
-    if (idx > 0)
+    if (idx > 0) {
         EXPECT_LT(w.pool()[idx - 1].dayAdded, 1);
+    }
     EXPECT_EQ(w.firstIndexOfDay(0), 0u);
     EXPECT_EQ(w.firstIndexOfDay(100), w.numImages());
 }

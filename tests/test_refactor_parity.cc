@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Refactor parity harness: the pipeline-engine rebuild of the
+ * inference/training/media simulators must reproduce the seed
+ * implementation's figure numbers. Golden values were captured from
+ * the pre-refactor build at %.17g precision by running the Fig.
+ * 5/6/12/13/15 configurations (plus the media and straggler paths)
+ * through the public run* APIs; every assertion here allows 1e-6
+ * relative tolerance. If one of these fires, a refactor changed
+ * simulated physics, not just code structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "core/media.h"
+#include "core/training.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+constexpr double kRelTol = 1e-6;
+
+void
+expectRel(double actual, double golden, const char *what)
+{
+    EXPECT_NEAR(actual, golden, std::abs(golden) * kRelTol + 1e-12)
+        << what;
+}
+
+} // namespace
+
+TEST(RefactorParity, Fig5aSrvFineTuningBottleneck)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.npe.pipelined = false;
+    cfg.nImages = 1200000;
+    auto typ = runSrvFineTuning(cfg, SrvVariant::Preprocessed,
+                                kDefaultTunerEpochs, true);
+    auto ideal = runSrvFineTuning(cfg, SrvVariant::Ideal,
+                                  kDefaultTunerEpochs, true);
+    expectRel(typ.seconds, 650.69613912469993, "fig5a.typ.seconds");
+    expectRel(typ.dataTrafficBytes, 722400000000.0,
+              "fig5a.typ.dataTrafficBytes");
+    expectRel(ideal.seconds, 219.15069244193256, "fig5a.ideal.seconds");
+}
+
+TEST(RefactorParity, Fig5bSrvInferenceBottleneck)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.npe.pipelined = false;
+    cfg.nImages = 20000;
+    auto typ = runSrvOfflineInference(cfg, SrvVariant::RawRemote);
+    auto ideal = runSrvOfflineInference(cfg, SrvVariant::RawLocal);
+    expectRel(typ.ips, 71.953543237163885, "fig5b.typ.ips");
+    expectRel(typ.netBytes, 54000000000.0, "fig5b.typ.netBytes");
+    expectRel(ideal.ips, 119.60106955382959, "fig5b.ideal.ips");
+}
+
+TEST(RefactorParity, Fig6aNaiveNdpStageTimes)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 4;
+    cfg.nImages = 1200000;
+    auto typ = runSrvFineTuning(cfg, SrvVariant::Preprocessed,
+                                kDefaultTunerEpochs, true);
+    TrainOptions naive;
+    naive.cut = cfg.model->numBlocks(); // "+FC"
+    naive.nRun = 1;
+    naive.pipelined = false;
+    auto ndp = runFtDmpTraining(cfg, naive);
+
+    expectRel(typ.stages.readS, 904.87520000021505, "fig6a.typ.readS");
+    expectRel(typ.stages.transferS, 577.92000000001394,
+              "fig6a.typ.transferS");
+    expectRel(typ.stages.computeS, 292.95781105106784,
+              "fig6a.typ.computeS");
+    expectRel(typ.stages.tunerS, 72.656162499802008, "fig6a.typ.tunerS");
+    expectRel(typ.seconds, 650.69613912469993, "fig6a.typ.seconds");
+    expectRel(ndp.stages.readS, 904.87520000021505, "fig6a.ndp.readS");
+    expectRel(ndp.stages.computeS, 645.75437998437167,
+              "fig6a.ndp.computeS");
+    expectRel(ndp.stages.syncS, 491.81245439989391, "fig6a.ndp.syncS");
+    expectRel(ndp.syncTrafficBytes, 614765568000.0,
+              "fig6a.ndp.syncTrafficBytes");
+    expectRel(ndp.seconds, 879.65736939569285, "fig6a.ndp.seconds");
+}
+
+TEST(RefactorParity, Fig6bNaiveNpeInference)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 4;
+    cfg.nImages = 1000;
+    cfg.npe = NpeOptions::naive();
+    cfg.npe.pipelined = true;
+    auto ndp = runNdpOfflineInference(cfg);
+    auto typ = runSrvOfflineInference(cfg, SrvVariant::RawRemote);
+    expectRel(ndp.ips, 61.360585992569398, "fig6b.ndp.ips");
+    expectRel(typ.ips, 121.79650802591435, "fig6b.typ.ips");
+}
+
+TEST(RefactorParity, Fig12NpeOptimizationLevels)
+{
+    struct Level
+    {
+        NpeOptions npe;
+        double ips, seconds, readS, decompressS, preprocessS, computeS;
+    };
+    const Level levels[] = {
+        {NpeOptions::naive(), 15.399673559498222, 3246.8220710536402,
+         0.003375, 0.0, 0.064935064935064929, 0.000914018762774047},
+        {NpeOptions::withOffload(), 1093.7765002532258,
+         45.713178138700407, 0.00075250000000000002, 0.0, 0.0,
+         0.000914018762774047},
+        {NpeOptions::withCompression(), 1093.8900980227261,
+         45.70843093870041, 0.00021499999999999999, 0.0002408, 0.0,
+         0.000914018762774047},
+        {NpeOptions::withBatch(), 2123.7061624865732,
+         23.543746721277461, 0.00021499999999999999, 0.0002408, 0.0,
+         0.00046970408642555192},
+    };
+    for (const Level &lv : levels) {
+        ExperimentConfig cfg;
+        cfg.model = &models::resnet50();
+        cfg.nStores = 1;
+        cfg.nImages = 50000;
+        cfg.npe = lv.npe;
+        auto r = runNdpOfflineInference(cfg);
+        expectRel(r.ips, lv.ips, "fig12 ips");
+        expectRel(r.seconds, lv.seconds, "fig12 seconds");
+        auto st = npeStageTimes(cfg, cfg.npe, false);
+        expectRel(st.readS, lv.readS, "fig12 readS");
+        expectRel(st.decompressS, lv.decompressS, "fig12 decompressS");
+        expectRel(st.preprocessS, lv.preprocessS, "fig12 preprocessS");
+        expectRel(st.computeS, lv.computeS, "fig12 computeS");
+    }
+}
+
+TEST(RefactorParity, Fig13InferenceScaling)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 200000;
+    expectRel(runSrvOfflineInference(cfg, SrvVariant::Ideal).ips,
+              8185.8420689995328, "fig13.srvI.ips");
+    expectRel(runSrvOfflineInference(cfg, SrvVariant::Preprocessed).ips,
+              2073.9125920809224, "fig13.srvP.ips");
+    expectRel(runSrvOfflineInference(cfg, SrvVariant::Compressed).ips,
+              7251.1698127763402, "fig13.srvC.ips");
+
+    struct Point
+    {
+        int stores;
+        double ips;
+    };
+    const Point points[] = {{1, 2127.6740678870983},
+                            {4, 8494.824649946293},
+                            {10, 21158.145852510952},
+                            {20, 42055.829724034898}};
+    for (const Point &p : points) {
+        cfg.nStores = p.stores;
+        auto r = runNdpOfflineInference(cfg);
+        expectRel(r.ips, p.ips, "fig13 ndp ips");
+        expectRel(r.netBytes, 3200000.0, "fig13 ndp netBytes");
+    }
+}
+
+TEST(RefactorParity, Fig15TrainingScaling)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 1200000;
+    auto srv = runSrvFineTuning(cfg);
+    expectRel(srv.seconds, 237.83689178272192, "fig15.srvC.seconds");
+
+    struct Point
+    {
+        int stores;
+        double seconds, feIps, energyJ;
+    };
+    const Point points[] = {
+        {1, 591.78138194787937, 2114.3047847209064, 194940.62358223405},
+        {4, 166.15539560840358, 8454.5252309484713, 144278.432416811},
+        {10, 91.637418792641142, 21122.022407816283,
+         159834.35450328683}};
+    TrainOptions opt;
+    for (const Point &p : points) {
+        cfg.nStores = p.stores;
+        auto r = runFtDmpTraining(cfg, opt);
+        expectRel(r.seconds, p.seconds, "fig15 ndp seconds");
+        expectRel(r.feIps, p.feIps, "fig15 ndp feIps");
+        expectRel(r.dataTrafficBytes, 4920000000.0,
+                  "fig15 ndp dataTrafficBytes");
+        expectRel(r.energyJ, p.energyJ, "fig15 ndp energyJ");
+    }
+}
+
+TEST(RefactorParity, MediaExtensionVideo)
+{
+    ExperimentConfig cfg;
+    auto media = videoMedia();
+    auto ndp = runNdpMediaAnalysis(cfg, media, 2000);
+    auto srv = runSrvMediaAnalysis(cfg, media, 2000);
+    expectRel(ndp.seconds, 301.14529159229687, "media.video.ndp.seconds");
+    expectRel(ndp.netBytes, 3072000.0, "media.video.ndp.netBytes");
+    expectRel(srv.seconds, 352.8619438139923, "media.video.srv.seconds");
+    expectRel(srv.netBytes, 440000000000.0, "media.video.srv.netBytes");
+}
+
+TEST(RefactorParity, StragglerSpeedFactors)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nImages = 400000;
+    cfg.nStores = 4;
+    TrainOptions ft;
+    ft.nRun = 1;
+    ft.storeSpeedFactor.assign(4, 1.0);
+    ft.storeSpeedFactor[0] = 0.5;
+    expectRel(runFtDmpTraining(cfg, ft).seconds, 118.51875727284347,
+              "straggler.ft.seconds");
+}
