@@ -30,6 +30,7 @@ BM_EventDispatch(benchmark::State &state)
 }
 BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
 
+// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the benchmark body.
 Task
 delayLoop(Simulator &s, int n)
 {
@@ -50,6 +51,7 @@ BM_CoroutineDelays(benchmark::State &state)
 }
 BENCHMARK(BM_CoroutineDelays)->Arg(1000)->Arg(100000);
 
+// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the benchmark body.
 Task
 producer(Channel<int> &ch, int n)
 {
@@ -58,6 +60,7 @@ producer(Channel<int> &ch, int n)
     ch.close();
 }
 
+// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the benchmark body.
 Task
 consumer(Channel<int> &ch, long long &sum)
 {
@@ -85,6 +88,7 @@ BM_ChannelHandoff(benchmark::State &state)
 }
 BENCHMARK(BM_ChannelHandoff)->Arg(1000)->Arg(100000);
 
+// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the benchmark body.
 Task
 contender(Simulator &s, Resource &res, int n)
 {

@@ -8,12 +8,51 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "hw/specs.h"
 #include "models/model.h"
 #include "models/zoo.h"
 
 namespace ndp::core {
+
+/**
+ * Result of validating a configuration. Marked [[nodiscard]] because
+ * discarding it silently skips the check the call was supposed to
+ * perform — the type-system counterpart of ndp-lint's discarded-task
+ * rule. Entry points chain `.orThrow()` to keep the old throwing
+ * behaviour.
+ */
+class [[nodiscard]] ValidationResult
+{
+  public:
+    /** A valid configuration. */
+    ValidationResult() = default;
+
+    /** Invalid: @p message names the offending field. */
+    explicit ValidationResult(std::string message)
+        : error_(std::move(message))
+    {}
+
+    /** True when the configuration is usable. */
+    explicit operator bool() const { return error_.empty(); }
+
+    [[nodiscard]] bool ok() const { return error_.empty(); }
+
+    [[nodiscard]] const std::string &error() const { return error_; }
+
+    /** Entry-point gate: throws std::invalid_argument when invalid. */
+    void
+    orThrow() const
+    {
+        if (!error_.empty())
+            throw std::invalid_argument(error_);
+    }
+
+  private:
+    std::string error_;
+};
 
 /** @name Workload constants (§3.4, §5.4, §6.1)
  * @{
@@ -120,32 +159,34 @@ struct ExperimentConfig
 
     /**
      * Reject configurations the simulators would divide or fan out by.
-     * Every run* entry point calls this before building a pipeline.
-     * @throws std::invalid_argument naming the offending field.
+     * Every run* entry point calls `validate().orThrow()` before
+     * building a pipeline; the result is [[nodiscard]] so a bare
+     * validate() call cannot silently skip the check.
      */
-    void
+    ValidationResult
     validate() const
     {
         if (model == nullptr)
-            throw std::invalid_argument("ExperimentConfig: model is null");
+            return ValidationResult("ExperimentConfig: model is null");
         if (nStores < 1)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "ExperimentConfig: nStores must be >= 1");
         if (srvStorageServers < 1)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "ExperimentConfig: srvStorageServers must be >= 1");
         if (networkGbps <= 0.0)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "ExperimentConfig: networkGbps must be > 0");
         if (npe.batchSize < 1)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "ExperimentConfig: npe.batchSize must be >= 1");
         if (npe.decompressCores < 1)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "ExperimentConfig: npe.decompressCores must be >= 1");
         if (npe.preprocessCores < 1)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "ExperimentConfig: npe.preprocessCores must be >= 1");
+        return {};
     }
 };
 

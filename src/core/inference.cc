@@ -77,7 +77,7 @@ srvVariantName(SrvVariant v)
 InferenceReport
 runNdpOfflineInference(const ExperimentConfig &cfg)
 {
-    cfg.validate();
+    cfg.validate().orThrow();
     const models::ModelSpec &m = *cfg.model;
     InferenceReport rep;
     rep.images = cfg.nImages;
@@ -188,7 +188,7 @@ srvCpuOps(const models::ModelSpec &m, SrvVariant v)
 InferenceReport
 runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
 {
-    cfg.validate();
+    cfg.validate().orThrow();
     const models::ModelSpec &m = *cfg.model;
     InferenceReport rep;
     rep.images = cfg.nImages;

@@ -93,7 +93,7 @@ MediaReport
 runNdpMediaAnalysis(const ExperimentConfig &cfg,
                     const MediaProfile &media, uint64_t n_objects)
 {
-    cfg.validate();
+    cfg.validate().orThrow();
     MediaReport rep;
     rep.objects = n_objects;
 
@@ -154,7 +154,7 @@ MediaReport
 runSrvMediaAnalysis(const ExperimentConfig &cfg,
                     const MediaProfile &media, uint64_t n_objects)
 {
-    cfg.validate();
+    cfg.validate().orThrow();
     MediaReport rep;
     rep.objects = n_objects;
 

@@ -12,6 +12,10 @@
 
 namespace ndp::core {
 
+// Coroutines below borrow run-scope state by reference; they are all
+// joined by s.run() inside runOnlineInference before the referents die.
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+
 namespace {
 
 struct OnlineCtx
@@ -26,7 +30,9 @@ struct OnlineCtx
     SampleStat latency;
 };
 
-/** One upload's journey: preprocess -> classify -> record latency. */
+/** One upload's journey: preprocess -> classify -> record latency.
+ * ndplint: allow(coroutine-ref-param) — referents live in
+ * runOnlineInference's scope, which joins this task via s.run(). */
 sim::Task
 uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
            double infer_s, sim::WaitGroup &wg)
@@ -38,7 +44,9 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
     wg.done();
 }
 
-/** Poisson arrival generator spawning upload processes. */
+/** Poisson arrival generator spawning upload processes.
+ * ndplint: allow(coroutine-ref-param) — referents live in
+ * runOnlineInference's scope, which joins this task via s.run(). */
 sim::Task
 arrivalProc(sim::Simulator &s, OnlineCtx &ctx, OnlineConfig cfg,
             double preproc_s, double infer_s, sim::WaitGroup &wg)
@@ -92,6 +100,8 @@ runOnlineInference(const OnlineConfig &cfg)
     rep.saturated = rep.meanMs > 10.0 * service_ms;
     return rep;
 }
+
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)
 
 double
 onlineCapacity(const OnlineConfig &cfg)

@@ -16,6 +16,12 @@
 
 namespace ndp::core {
 
+// Coroutines below borrow run-scope state by reference: every Task is
+// spawned on the Simulator owned by the enclosing run*() entry point,
+// and s.run() drains the event queue (joining all of them) before any
+// referent goes out of scope, so the references cannot dangle.
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+
 namespace {
 
 /** Everything the coroutines share for one FT-DMP run. */
@@ -54,6 +60,8 @@ struct FtDmpEnv
  * shared network (§4.1). This is not an NPE dataflow — it is the
  * anti-pattern FT-DMP replaces — so it stays a bespoke coroutine
  * rather than a Pipeline configuration.
+ * ndplint: allow(coroutine-ref-param) — referents live in
+ * runFtDmpTraining's scope, which joins this task via s.run().
  */
 sim::Task
 storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
@@ -130,7 +138,9 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
     stores_wg.done();
 }
 
-/** Tuner: ingest features per run, then train the classifier. */
+/** Tuner: ingest features per run, then train the classifier.
+ * ndplint: allow(coroutine-ref-param) — referents live in
+ * runFtDmpTraining's scope, which joins this task via s.run(). */
 sim::Task
 tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
           const TrainOptions &opt, size_t cut)
@@ -162,7 +172,9 @@ tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
     }
 }
 
-/** Check-N-Run delta redistribution to every store (§5). */
+/** Check-N-Run delta redistribution to every store (§5).
+ * ndplint: allow(coroutine-ref-param) — referents live in
+ * runFtDmpTraining's scope, which joins this task via s.run(). */
 sim::Task
 deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
                   const TrainOptions &opt, double *out_bytes)
@@ -181,8 +193,8 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
 TrainReport
 runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
 {
-    cfg.validate();
-    opt.validate();
+    cfg.validate().orThrow();
+    opt.validate().orThrow();
     const models::ModelSpec &m = *cfg.model;
     size_t cut = opt.resolveCut(m);
     assert(cut <= m.numBlocks());
@@ -311,7 +323,9 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
 
 namespace {
 
-/** Classifier training on the host, once feature extraction drains. */
+/** Classifier training on the host, once feature extraction drains.
+ * ndplint: allow(coroutine-ref-param) — referents live in
+ * runSrvFineTuning's scope, which joins this task via s.run(). */
 sim::Task
 srvClassifierTrain(HostStations &host, sim::WaitGroup &fe_done,
                    double seconds, StageBreakdown &stages)
@@ -327,7 +341,7 @@ TrainReport
 runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
                  int tuner_epochs, bool pipelined)
 {
-    cfg.validate();
+    cfg.validate().orThrow();
     const models::ModelSpec &m = *cfg.model;
     TrainReport rep;
     rep.images = cfg.nImages;
@@ -424,5 +438,7 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     rep.energyJ = rep.power.totalW() * rep.seconds;
     return rep;
 }
+
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)
 
 } // namespace ndp::core

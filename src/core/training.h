@@ -70,27 +70,27 @@ struct TrainOptions
     /**
      * Reject option sets the trainers would divide by (the dataset is
      * split across nRun sub-datasets and batched by feBatch/trainBatch).
-     * @throws std::invalid_argument naming the offending field.
+     * The result is [[nodiscard]]; entry points chain `.orThrow()`.
      */
-    void
+    ValidationResult
     validate() const
     {
         if (nRun < 1)
-            throw std::invalid_argument(
-                "TrainOptions: nRun must be >= 1");
+            return ValidationResult("TrainOptions: nRun must be >= 1");
         if (tunerEpochs < 1)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "TrainOptions: tunerEpochs must be >= 1");
         if (feBatch < 1)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "TrainOptions: feBatch must be >= 1");
         if (trainBatch < 1)
-            throw std::invalid_argument(
+            return ValidationResult(
                 "TrainOptions: trainBatch must be >= 1");
         for (double f : storeSpeedFactor)
             if (f <= 0.0)
-                throw std::invalid_argument(
+                return ValidationResult(
                     "TrainOptions: storeSpeedFactor entries must be > 0");
+        return {};
     }
 };
 

@@ -143,13 +143,13 @@ class Channel
         }
     }
 
-    bool closed() const { return closedFlag; }
-    size_t size() const { return buf.size(); }
-    size_t capacity() const { return cap; }
-    uint64_t totalPut() const { return nPut; }
-    uint64_t totalGot() const { return nGot; }
+    [[nodiscard]] bool closed() const { return closedFlag; }
+    [[nodiscard]] size_t size() const { return buf.size(); }
+    [[nodiscard]] size_t capacity() const { return cap; }
+    [[nodiscard]] uint64_t totalPut() const { return nPut; }
+    [[nodiscard]] uint64_t totalGot() const { return nGot; }
     /** High-water mark of buffered values (stage back-pressure probe). */
-    size_t peakSize() const { return peak; }
+    [[nodiscard]] size_t peakSize() const { return peak; }
 
   private:
     /** After freeing a buffer slot, move a blocked putter's value in. */

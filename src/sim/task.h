@@ -17,7 +17,12 @@
 
 namespace ndp::sim {
 
-class Task
+/*
+ * [[nodiscard]]: a Task that is neither co_awaited nor spawn()ed is a
+ * coroutine frame that never runs — the compile-time counterpart of
+ * ndp-lint's discarded-task rule.
+ */
+class [[nodiscard]] Task
 {
   public:
     struct promise_type
@@ -84,10 +89,10 @@ class Task
     }
 
     /** True once the coroutine body has run to completion. */
-    bool done() const { return !handle || handle.done(); }
+    [[nodiscard]] bool done() const { return !handle || handle.done(); }
 
     /** True if this task still refers to a live coroutine frame. */
-    bool valid() const { return handle != nullptr; }
+    [[nodiscard]] bool valid() const { return handle != nullptr; }
 
     /**
      * Awaiting a task starts (or resumes) it immediately and suspends the

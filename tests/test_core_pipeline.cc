@@ -297,7 +297,13 @@ TEST(ConfigValidation, RejectsBadTrainOptions)
 TEST(ConfigValidation, AcceptsDefaultConfigs)
 {
     ExperimentConfig cfg;
-    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_TRUE(cfg.validate().ok());
     TrainOptions opt;
-    EXPECT_NO_THROW(opt.validate());
+    EXPECT_TRUE(opt.validate().ok());
+    EXPECT_NO_THROW(cfg.validate().orThrow());
+    EXPECT_NO_THROW(opt.validate().orThrow());
+    ValidationResult bad("boom");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error(), "boom");
+    EXPECT_THROW(bad.orThrow(), std::invalid_argument);
 }

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Determinism smoke test: the simulator must be a pure function of its
+ * configuration. Every dataflow is run twice in-process and the report
+ * structs compared *bit-identically* (doubles via std::bit_cast, not a
+ * tolerance) — this is the runtime counterpart of ndp-lint's
+ * banned-nondeterminism and float-accum-order rules, and the property
+ * every figure in the paper reproduction depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/inference.h"
+#include "core/online.h"
+#include "core/training.h"
+
+namespace {
+
+using namespace ndp::core;
+
+/** Exact double equality via the bit pattern (catches -0.0 vs 0.0 and
+ *  last-ulp drift that EXPECT_DOUBLE_EQ would wave through). */
+#define EXPECT_BITEQ(a, b)                                               \
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))    \
+        << #a " differs across runs: " << (a) << " vs " << (b)
+
+void
+expectSameStages(const StageMetrics &a, const StageMetrics &b)
+{
+    EXPECT_BITEQ(a.readS, b.readS);
+    EXPECT_BITEQ(a.decompressS, b.decompressS);
+    EXPECT_BITEQ(a.preprocessS, b.preprocessS);
+    EXPECT_BITEQ(a.transferS, b.transferS);
+    EXPECT_BITEQ(a.computeS, b.computeS);
+    EXPECT_BITEQ(a.tunerS, b.tunerS);
+    EXPECT_BITEQ(a.syncS, b.syncS);
+    EXPECT_BITEQ(a.readBytes, b.readBytes);
+    EXPECT_BITEQ(a.wireBytes, b.wireBytes);
+    EXPECT_BITEQ(a.shipBytes, b.shipBytes);
+    EXPECT_EQ(a.itemsDone, b.itemsDone);
+    EXPECT_BITEQ(a.lastItemS, b.lastItemS);
+    EXPECT_BITEQ(a.diskUtil, b.diskUtil);
+    EXPECT_BITEQ(a.cpuUtil, b.cpuUtil);
+    EXPECT_BITEQ(a.gpuUtil, b.gpuUtil);
+}
+
+void
+expectSamePower(const ndp::hw::PowerBreakdown &a,
+                const ndp::hw::PowerBreakdown &b)
+{
+    EXPECT_BITEQ(a.gpuW, b.gpuW);
+    EXPECT_BITEQ(a.cpuW, b.cpuW);
+    EXPECT_BITEQ(a.otherW, b.otherW);
+}
+
+void
+expectSamePerServer(const std::vector<ndp::hw::ServerPowerSample> &a,
+                    const std::vector<ndp::hw::ServerPowerSample> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].server, b[i].server);
+        expectSamePower(a[i].power, b[i].power);
+    }
+}
+
+void
+expectSameInference(const InferenceReport &a, const InferenceReport &b)
+{
+    EXPECT_BITEQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.images, b.images);
+    EXPECT_BITEQ(a.ips, b.ips);
+    EXPECT_BITEQ(a.netBytes, b.netBytes);
+    EXPECT_BITEQ(a.energyJ, b.energyJ);
+    EXPECT_EQ(a.oom, b.oom);
+    EXPECT_BITEQ(a.gpuUtil, b.gpuUtil);
+    EXPECT_BITEQ(a.cpuUtil, b.cpuUtil);
+    expectSamePower(a.power, b.power);
+    expectSamePerServer(a.perServer, b.perServer);
+    expectSameStages(a.stages, b.stages);
+}
+
+void
+expectSameTrain(const TrainReport &a, const TrainReport &b)
+{
+    EXPECT_BITEQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.images, b.images);
+    EXPECT_BITEQ(a.feIps, b.feIps);
+    EXPECT_BITEQ(a.trainIps, b.trainIps);
+    EXPECT_BITEQ(a.dataTrafficBytes, b.dataTrafficBytes);
+    EXPECT_BITEQ(a.syncTrafficBytes, b.syncTrafficBytes);
+    EXPECT_BITEQ(a.distributionBytes, b.distributionBytes);
+    EXPECT_BITEQ(a.energyJ, b.energyJ);
+    expectSamePower(a.power, b.power);
+    expectSamePerServer(a.perServer, b.perServer);
+    expectSameStages(a.stages, b.stages);
+}
+
+/** Fig. 12-equivalent config: one PipeStore, each NPE level in turn. */
+ExperimentConfig
+fig12Config(const NpeOptions &npe)
+{
+    ExperimentConfig cfg;
+    cfg.model = &ndp::models::resnet50();
+    cfg.nStores = 1;
+    cfg.nImages = 20000;
+    cfg.npe = npe;
+    return cfg;
+}
+
+TEST(Determinism, OfflineInferenceBitIdenticalAcrossNpeLevels)
+{
+    const NpeOptions levels[] = {
+        NpeOptions::naive(),
+        NpeOptions::withOffload(),
+        NpeOptions::withCompression(),
+        NpeOptions::withBatch(),
+    };
+    for (const NpeOptions &npe : levels) {
+        ExperimentConfig cfg = fig12Config(npe);
+        InferenceReport first = runNdpOfflineInference(cfg);
+        InferenceReport second = runNdpOfflineInference(cfg);
+        expectSameInference(first, second);
+    }
+}
+
+TEST(Determinism, FtDmpTrainingBitIdentical)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    cfg.nImages = 40000;
+    TrainOptions opt;
+    opt.nRun = 3;
+    TrainReport first = runFtDmpTraining(cfg, opt);
+    TrainReport second = runFtDmpTraining(cfg, opt);
+    expectSameTrain(first, second);
+}
+
+TEST(Determinism, SrvFineTuningBitIdentical)
+{
+    ExperimentConfig cfg;
+    cfg.nImages = 40000;
+    TrainReport first = runSrvFineTuning(cfg);
+    TrainReport second = runSrvFineTuning(cfg);
+    expectSameTrain(first, second);
+}
+
+TEST(Determinism, OnlineInferenceBitIdentical)
+{
+    // Stochastic arrivals — but from a *seeded* Rng, so two runs must
+    // still agree to the last bit, percentiles included.
+    OnlineConfig cfg;
+    cfg.nUploads = 5000;
+    OnlineReport first = runOnlineInference(cfg);
+    OnlineReport second = runOnlineInference(cfg);
+    EXPECT_EQ(first.uploads, second.uploads);
+    EXPECT_BITEQ(first.seconds, second.seconds);
+    EXPECT_BITEQ(first.throughput, second.throughput);
+    EXPECT_BITEQ(first.p50Ms, second.p50Ms);
+    EXPECT_BITEQ(first.p95Ms, second.p95Ms);
+    EXPECT_BITEQ(first.p99Ms, second.p99Ms);
+    EXPECT_BITEQ(first.meanMs, second.meanMs);
+    EXPECT_BITEQ(first.gpuUtil, second.gpuUtil);
+    EXPECT_BITEQ(first.cpuUtil, second.cpuUtil);
+    EXPECT_EQ(first.saturated, second.saturated);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+#include "ndplint/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ndp::lint {
+
+namespace {
+
+bool
+lineAllows(const SourceFile &f, int line, const std::string &rule)
+{
+    auto it = f.allows.find(line);
+    if (it == f.allows.end())
+        return false;
+    return it->second.count(rule) != 0 || it->second.count("*") != 0;
+}
+
+void
+jsonEscape(std::ostringstream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+        }
+    }
+}
+
+} // namespace
+
+bool
+isSuppressed(const SourceFile &f, const Finding &fd)
+{
+    int last = std::max(fd.line, fd.endLine);
+    for (int ln = fd.line; ln <= last; ++ln)
+        if (lineAllows(f, ln, fd.rule))
+            return true;
+    // Walk the comment/blank block immediately above the finding.
+    for (int ln = fd.line - 1; ln >= 1; --ln) {
+        if (lineAllows(f, ln, fd.rule))
+            return true;
+        if (f.codeLines.count(ln) != 0)
+            break;
+    }
+    return false;
+}
+
+LintStats
+runLint(const std::vector<SourceFile> &files, const LintOptions &opt)
+{
+    AnalysisContext ctx;
+    for (const SourceFile &f : files)
+        collectTaskFunctions(f, ctx);
+
+    auto wantRule = [&](const Rule &r) {
+        if (opt.ruleFilter.empty())
+            return true;
+        return std::find(opt.ruleFilter.begin(), opt.ruleFilter.end(),
+                         r.name()) != opt.ruleFilter.end();
+    };
+
+    LintStats stats;
+    stats.filesScanned = static_cast<int>(files.size());
+    for (const SourceFile &f : files) {
+        std::vector<Finding> raw;
+        for (const auto &rule : allRules()) {
+            if (!wantRule(*rule))
+                continue;
+            if (!opt.ignorePathScope && !rule->appliesTo(f.path))
+                continue;
+            rule->analyze(f, ctx, raw);
+        }
+        for (Finding &fd : raw) {
+            if (isSuppressed(f, fd))
+                ++stats.suppressed;
+            else
+                stats.findings.push_back(std::move(fd));
+        }
+    }
+    std::sort(stats.findings.begin(), stats.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return stats;
+}
+
+std::string
+renderText(const LintStats &stats)
+{
+    std::ostringstream os;
+    for (const Finding &fd : stats.findings)
+        os << fd.path << ":" << fd.line << ": error: [" << fd.rule
+           << "] " << fd.message << "\n";
+    os << "ndp-lint: " << stats.findings.size() << " violation(s), "
+       << stats.suppressed << " suppressed, " << stats.filesScanned
+       << " file(s) scanned\n";
+    return os.str();
+}
+
+std::string
+renderJson(const LintStats &stats)
+{
+    std::ostringstream os;
+    os << "{\n  \"findings\": [";
+    for (size_t i = 0; i < stats.findings.size(); ++i) {
+        const Finding &fd = stats.findings[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"file\": \"";
+        jsonEscape(os, fd.path);
+        os << "\", \"line\": " << fd.line << ", \"rule\": \""
+           << fd.rule << "\", \"message\": \"";
+        jsonEscape(os, fd.message);
+        os << "\"}";
+    }
+    os << (stats.findings.empty() ? "]" : "\n  ]");
+    os << ",\n  \"suppressed\": " << stats.suppressed
+       << ",\n  \"filesScanned\": " << stats.filesScanned << "\n}\n";
+    return os.str();
+}
+
+} // namespace ndp::lint

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ndp-lint driver: runs the rule registry over a set of lexed files,
+ * applies per-line suppressions, and renders text or JSON reports.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ndplint/rules.h"
+
+namespace ndp::lint {
+
+struct LintOptions
+{
+    /** Run only these rules (empty = the whole registry). */
+    std::vector<std::string> ruleFilter;
+    /**
+     * Ignore per-rule path scoping (banned-nondeterminism normally
+     * fires only under src/sim + src/core). Used by the fixture tests.
+     */
+    bool ignorePathScope = false;
+};
+
+struct LintStats
+{
+    std::vector<Finding> findings; ///< unsuppressed, sorted
+    int suppressed = 0;
+    int filesScanned = 0;
+};
+
+/**
+ * A finding is suppressed by an `ndplint: allow(rule)` (or allow(*))
+ * directive on any line of [finding.line, finding.endLine], or on the
+ * run of comment/blank lines immediately above finding.line.
+ */
+bool isSuppressed(const SourceFile &f, const Finding &fd);
+
+LintStats runLint(const std::vector<SourceFile> &files,
+                  const LintOptions &opt = {});
+
+std::string renderText(const LintStats &stats);
+std::string renderJson(const LintStats &stats);
+
+} // namespace ndp::lint

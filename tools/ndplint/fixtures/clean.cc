@@ -1,0 +1,53 @@
+// ndp-lint fixture: idiomatic clean code — zero findings expected from
+// every rule, even with path scoping disabled.
+// Not compiled — lexed by test_ndplint.cc.
+
+#include <map>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/task.h"
+
+namespace fixture {
+
+sim::Task worker(int shard);
+
+/** Coroutines take parameters by value; results are awaited/spawned. */
+sim::Task
+parent(sim::Simulator s)
+{
+    co_await worker(1);
+    s.spawn(worker(2));
+}
+
+double
+deterministicSum(const std::map<int, double> &ordered)
+{
+    double sum = 0.0;
+    for (const auto &kv : ordered)
+        sum += kv.second;
+    return sum;
+}
+
+int
+seededDraw()
+{
+    ndp::Rng rng(1234);
+    std::vector<int> xs = {3, 1, 2};
+    int best = 0;
+    for (int x : xs) {
+        if (x > best)
+            best = x;
+    }
+    return best + static_cast<int>(rng.uniform() * 10.0);
+}
+
+/** Strings and comments must not trip token rules. */
+const char *
+decoys()
+{
+    // std::rand() in a comment is fine; so is time(nullptr).
+    return "calls std::rand() and iterates an unordered_map";
+}
+
+} // namespace fixture

@@ -1,0 +1,41 @@
+// ndp-lint fixture: discarded-task.
+// Not compiled — lexed by test_ndplint.cc. Line numbers matter: tests
+// assert findings on the lines marked BAD below.
+
+#include "sim/task.h"
+
+namespace fixture {
+
+sim::Task doWork(int images);
+sim::Task helper();
+
+struct Store
+{
+    sim::Task drain();
+};
+
+// `poll` is ambiguous: declared once returning Task and once returning
+// int, so discarded-task must skip it entirely.
+sim::Task poll(int n);
+int poll();
+
+void
+driver(Store &store)
+{
+    doWork(5);          // BAD: result discarded, the process never runs
+    helper();           // BAD: same, zero-argument form
+    store.drain();      // BAD: discard through a member qualifier
+
+    poll(3);            // ok: ambiguous name, rule must stay silent
+    auto held = doWork(3); // ok: bound to a variable
+    (void)held;
+}
+
+sim::Task
+parent(Store &store) // ref param is intentional; filtered per-rule
+{
+    co_await doWork(1);     // ok: awaited
+    co_await store.drain(); // ok: awaited through a member qualifier
+}
+
+} // namespace fixture

@@ -1,0 +1,59 @@
+// ndp-lint fixture: float-accum-order.
+// Not compiled — lexed by test_ndplint.cc.
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+double
+badHashOrderSum(const std::unordered_map<int, double> &weights)
+{
+    double sum = 0.0;
+    for (const auto &kv : weights) {
+        sum += kv.second; // BAD: accumulates in hash order
+    }
+    return sum;
+}
+
+float
+badSingleStatementBody(const std::unordered_map<int, float> &w)
+{
+    float acc = 0.0F;
+    for (const auto &kv : w)
+        acc += kv.second; // BAD: braceless body is still the loop body
+    return acc;
+}
+
+double
+goodOrderedSum(const std::map<int, double> &ordered)
+{
+    double sum = 0.0;
+    for (const auto &kv : ordered) {
+        sum += kv.second; // ok: std::map iterates in key order
+    }
+    return sum;
+}
+
+double
+goodVectorSum(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    for (double x : xs) {
+        sum += x; // ok: sequence order is deterministic
+    }
+    return sum;
+}
+
+long
+goodIntegerCount(const std::unordered_map<int, int> &table)
+{
+    long count = 0;
+    for (const auto &kv : table) {
+        count += kv.second; // ok: integer accumulation is exact
+    }
+    return count;
+}
+
+} // namespace fixture

@@ -1,0 +1,62 @@
+// ndp-lint fixture: banned-nondeterminism.
+// Not compiled — lexed by test_ndplint.cc. The rule is path-scoped to
+// src/sim + src/core; tests lex this file once under its real fixture
+// path (expecting silence) and once as "src/sim/nondet.cc".
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+int
+badWallClockAndPrng()
+{
+    int a = std::rand();                               // BAD: global PRNG
+    std::srand(42);                                    // BAD: global PRNG
+    long t = time(nullptr);                            // BAD: wall clock
+    auto n = std::chrono::steady_clock::now();         // BAD: wall clock
+    auto s = std::chrono::system_clock::now();         // BAD: wall clock
+    auto h = std::chrono::high_resolution_clock::now(); // BAD: wall clock
+    std::random_device rd;                             // BAD: HW entropy
+    return a + static_cast<int>(t) + rd();
+}
+
+int
+badUnorderedIteration(const std::unordered_map<int, int> &table)
+{
+    int total = 0;
+    for (const auto &kv : table) { // BAD: hash-order iteration
+        total += kv.second;
+    }
+    return total;
+}
+
+int
+goodAlternatives(const std::map<int, int> &sorted)
+{
+    int total = 0;
+    for (const auto &kv : sorted) { // ok: ordered container
+        total += kv.second;
+    }
+    // ok: member calls named like the banned functions are not the
+    // C library wall clock.
+    total += sorted.size();
+    return total;
+}
+
+// Note: a member *declaration* spelled `int time()` would still match
+// the token pattern (declare it under another name, or allow it); only
+// qualified member *calls* are exempt.
+struct Clock;
+
+int
+goodMemberTime(const Clock &c, Clock *p)
+{
+    return c.time() + p->time(); // ok: member calls, not ::time()
+}
+
+} // namespace fixture

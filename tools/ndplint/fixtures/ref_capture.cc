@@ -1,0 +1,44 @@
+// ndp-lint fixture: coroutine-ref-capture.
+// Not compiled — lexed by test_ndplint.cc.
+
+#include "sim/task.h"
+
+namespace fixture {
+
+void
+driver(sim::Simulator &s)
+{
+    double total = 0.0;
+    int ticks = 0;
+
+    // BAD: &total is captured by reference into a coroutine lambda.
+    auto bad = [&total]() -> sim::Task {
+        co_await something();
+        total += 1.0;
+    };
+
+    // BAD: default by-reference capture, no parameter list at all.
+    auto alsoBad = [&] { co_return; };
+
+    // ok: by-value captures are copied into the lambda object and then
+    // into the coroutine frame before the first suspension.
+    auto fine = [total]() -> sim::Task {
+        co_return;
+    };
+
+    // ok: init-capture by value (the `=` must not confuse the scanner).
+    auto fineInit = [t = total]() -> sim::Task {
+        co_return;
+    };
+
+    // ok: by-reference capture in a *plain* lambda, run synchronously.
+    auto plain = [&ticks]() { ticks += 1; };
+    plain();
+    (void)bad;
+    (void)alsoBad;
+    (void)fine;
+    (void)fineInit;
+    (void)s;
+}
+
+} // namespace fixture

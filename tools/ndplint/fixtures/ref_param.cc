@@ -1,0 +1,59 @@
+// ndp-lint fixture: coroutine-ref-param.
+// Not compiled — lexed by test_ndplint.cc.
+
+#include "sim/task.h"
+
+namespace fixture {
+
+struct Env
+{
+    double budget = 0.0;
+};
+
+sim::Task // BAD: findings are reported on this line (sigStartLine)
+leakyOne(Env &env, int n)
+{
+    co_await env.step(n);
+}
+
+// BAD: both `env` (lvalue ref) and `tmp` (rvalue ref) are flagged;
+// `count` and the defaulted `scale` are not.
+sim::Task
+leakyTwo(Env &env, int count, Env &&tmp, double scale = 1.0)
+{
+    co_return;
+}
+
+// ok: coroutine taking everything by value.
+sim::Task
+safeByValue(Env env, int n)
+{
+    co_await env.step(n);
+}
+
+// ok: coroutine taking a pointer (ownership is explicit at call sites).
+sim::Task
+safeByPointer(Env *env)
+{
+    co_return;
+}
+
+// ok: plain function — references without a coroutine body are fine.
+double
+notACoroutine(Env &env, const double &x)
+{
+    return env.budget + x;
+}
+
+// ok: const ref param on a *non*-coroutine helper nested between
+// coroutines must not be attributed to either neighbour.
+int
+alsoPlain(const Env &env)
+{
+    if (env.budget > 0.0) {
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace fixture

@@ -1,0 +1,59 @@
+// ndp-lint fixture: suppression handling.
+// Not compiled — lexed by test_ndplint.cc. Every violation below is
+// suppressed; tests expect zero findings and a matching suppressed
+// count, except for the single deliberate miss at the end.
+
+#include "sim/task.h"
+
+namespace fixture {
+
+sim::Task fireAndForget(int n);
+
+void
+inlineAllow()
+{
+    fireAndForget(1); // ndplint: allow(discarded-task): covered by test
+}
+
+void
+lineAboveAllow()
+{
+    // ndplint: allow(discarded-task): the driver joins it elsewhere
+    fireAndForget(2);
+}
+
+void
+commentBlockAllow()
+{
+    // A multi-line rationale: the directive sits at the top of the
+    // comment block, separated from the code by more commentary.
+    // ndplint: allow(discarded-task): suppressed through the block
+    // (this trailing line is still part of the same block)
+    fireAndForget(3);
+}
+
+void
+wildcardAllow()
+{
+    fireAndForget(4); // ndplint: allow(*): wildcard covers every rule
+}
+
+/**
+ * Doc-comment form, directive inside the block comment.
+ * ndplint: allow(coroutine-ref-param) — referent joined via s.run().
+ */
+sim::Task
+suppressedCoroutine(int &counter)
+{
+    co_return;
+}
+
+void
+wrongRuleAllow()
+{
+    // ndplint: allow(coroutine-ref-param): names the WRONG rule, so
+    // the discarded-task finding below must survive.
+    fireAndForget(5); // BAD: still reported
+}
+
+} // namespace fixture

@@ -1,0 +1,232 @@
+#include "ndplint/lexer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ndp::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first within a leading char. */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "+=",
+    "-=",  "*=",  "/=",  "%=",  "&&",  "||", "&=", "|=", "^=", "<<",
+    ">>",  "<=",  ">=",  "==",  "!=",
+};
+
+/**
+ * Scan @p comment for `ndplint: allow(a, b)` directives and record the
+ * listed rules (or "*") as allowed on @p line.
+ */
+void
+recordAllows(SourceFile &f, int line, std::string_view comment)
+{
+    size_t pos = 0;
+    while ((pos = comment.find("ndplint:", pos)) != std::string_view::npos) {
+        pos += 8;
+        while (pos < comment.size() && comment[pos] == ' ')
+            ++pos;
+        if (comment.compare(pos, 5, "allow") != 0)
+            continue;
+        pos += 5;
+        while (pos < comment.size() && comment[pos] == ' ')
+            ++pos;
+        if (pos >= comment.size() || comment[pos] != '(')
+            continue;
+        ++pos;
+        std::string name;
+        for (; pos < comment.size() && comment[pos] != ')'; ++pos) {
+            char c = comment[pos];
+            if (c == ',' || c == ' ') {
+                if (!name.empty())
+                    f.allows[line].insert(name);
+                name.clear();
+            } else {
+                name.push_back(c);
+            }
+        }
+        if (!name.empty())
+            f.allows[line].insert(name);
+    }
+}
+
+} // namespace
+
+SourceFile
+lexSource(std::string path, std::string_view src)
+{
+    SourceFile f;
+    f.path = std::move(path);
+
+    size_t i = 0;
+    const size_t n = src.size();
+    int line = 1;
+    bool lineStart = true; // only whitespace seen since the newline
+
+    auto push = [&](Tok kind, std::string text) {
+        f.codeLines.insert(line);
+        f.tokens.push_back(Token{kind, std::move(text), line});
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            lineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: skip to end of line (honouring \-
+        // continuations). Counted as code so suppression walks stop.
+        if (c == '#' && lineStart) {
+            f.codeLines.insert(line);
+            while (i < n) {
+                if (src[i] == '\n') {
+                    if (i > 0 && src[i - 1] == '\\') {
+                        ++line;
+                        ++i;
+                        continue;
+                    }
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        lineStart = false;
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            size_t e = src.find('\n', i);
+            if (e == std::string_view::npos)
+                e = n;
+            recordAllows(f, line, src.substr(i, e - i));
+            i = e;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            int startLine = line;
+            size_t e = src.find("*/", i + 2);
+            if (e == std::string_view::npos)
+                e = n;
+            else
+                e += 2;
+            recordAllows(f, startLine, src.substr(i, e - i));
+            for (size_t k = i; k < e; ++k)
+                if (src[k] == '\n')
+                    ++line;
+            i = e;
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim"
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            size_t d = i + 2;
+            while (d < n && src[d] != '(' && src[d] != '\n')
+                ++d;
+            std::string close =
+                ")" + std::string(src.substr(i + 2, d - (i + 2))) + "\"";
+            size_t e = src.find(close, d);
+            e = (e == std::string_view::npos) ? n : e + close.size();
+            push(Tok::String, "R\"...\"");
+            for (size_t k = i; k < e; ++k)
+                if (src[k] == '\n')
+                    ++line;
+            i = e;
+            continue;
+        }
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            size_t e = i + 1;
+            while (e < n && src[e] != quote) {
+                if (src[e] == '\\' && e + 1 < n)
+                    ++e;
+                if (src[e] == '\n')
+                    ++line;
+                ++e;
+            }
+            if (e < n)
+                ++e;
+            push(Tok::String, std::string(1, quote));
+            i = e;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            size_t e = i;
+            while (e < n && isIdentChar(src[e]))
+                ++e;
+            push(Tok::Identifier, std::string(src.substr(i, e - i)));
+            i = e;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            // pp-number: digits, idents, ', ., and exponent signs.
+            size_t e = i;
+            while (e < n) {
+                char d = src[e];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    ++e;
+                } else if ((d == '+' || d == '-') && e > i &&
+                           (src[e - 1] == 'e' || src[e - 1] == 'E' ||
+                            src[e - 1] == 'p' || src[e - 1] == 'P')) {
+                    ++e;
+                } else {
+                    break;
+                }
+            }
+            push(Tok::Number, std::string(src.substr(i, e - i)));
+            i = e;
+            continue;
+        }
+        // Punctuator: longest match first.
+        std::string_view rest = src.substr(i);
+        std::string matched;
+        for (const char *p : kPuncts) {
+            std::string_view pv(p);
+            if (rest.size() >= pv.size() &&
+                rest.compare(0, pv.size(), pv) == 0 &&
+                pv.size() > matched.size())
+                matched = std::string(pv);
+        }
+        if (matched.empty())
+            matched = std::string(1, c);
+        push(Tok::Punct, matched);
+        i += matched.size();
+    }
+    f.tokens.push_back(Token{Tok::Eof, "", line});
+    return f;
+}
+
+SourceFile
+lexFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("ndp-lint: cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string src = ss.str();
+    return lexSource(path, src);
+}
+
+} // namespace ndp::lint

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal C++ lexer for ndp-lint.
+ *
+ * Produces a flat token stream (identifiers, numbers, string/char
+ * literals, punctuators) with line numbers, skipping comments and
+ * preprocessor directives. While skipping comments it records
+ * suppression directives of the form
+ *
+ *     // ndplint: allow(rule-a, rule-b): free-form rationale
+ *
+ * and which lines carry code tokens at all, so the rule engine can
+ * honour an `allow` placed on the violating line itself or on the
+ * comment block immediately above it.
+ *
+ * This is deliberately not a parser: every ndp-lint rule is a token
+ * pattern with small amounts of bracket matching, which keeps the tool
+ * dependency-free (no libclang) and fast enough to run on every build.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndp::lint {
+
+enum class Tok
+{
+    Identifier,
+    Number,
+    String, // string, char, and raw-string literals
+    Punct,
+    Eof,
+};
+
+struct Token
+{
+    Tok kind = Tok::Eof;
+    std::string text;
+    int line = 0;
+};
+
+/** One lexed translation unit plus its suppression side-tables. */
+struct SourceFile
+{
+    std::string path;
+    std::vector<Token> tokens;
+    /** line -> rule names allowed on that line ("*" allows all). */
+    std::map<int, std::set<std::string>> allows;
+    /** Lines carrying at least one code (non-comment) token. */
+    std::set<int> codeLines;
+};
+
+/** Lex @p src (the file contents) into tokens + suppression tables. */
+SourceFile lexSource(std::string path, std::string_view src);
+
+/** Read @p path from disk and lex it. @throws std::runtime_error. */
+SourceFile lexFile(const std::string &path);
+
+} // namespace ndp::lint

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * ndp-lint CLI.
+ *
+ *     ndplint [options] <file-or-dir>...
+ *
+ * Options:
+ *   --json              machine-readable output
+ *   --list-rules        print the rule registry and exit
+ *   --rule <name>       run only this rule (repeatable)
+ *   --exclude <substr>  skip paths containing this substring
+ *                       (repeatable; "fixtures/" is how the tree scan
+ *                       avoids the linter's own known-bad test files)
+ *   --no-path-filter    disable per-rule path scoping
+ *
+ * Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/IO error.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ndplint/engine.h"
+
+namespace fs = std::filesystem;
+using namespace ndp::lint;
+
+namespace {
+
+bool
+isSourceFile(const fs::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".cxx" ||
+           ext == ".h" || ext == ".hpp" || ext == ".hh" || ext == ".ipp";
+}
+
+/** Build dirs and dot-dirs never hold first-party sources. */
+bool
+isSkippedDir(const fs::path &p)
+{
+    std::string name = p.filename().string();
+    return name.rfind("build", 0) == 0 ||
+           (!name.empty() && name[0] == '.');
+}
+
+bool
+excluded(const std::string &path,
+         const std::vector<std::string> &excludes)
+{
+    for (const std::string &e : excludes)
+        if (path.find(e) != std::string::npos)
+            return true;
+    return false;
+}
+
+void
+collectPaths(const fs::path &root, const std::vector<std::string> &excludes,
+             std::vector<std::string> &out)
+{
+    if (fs::is_regular_file(root)) {
+        if (!excluded(root.string(), excludes))
+            out.push_back(root.string());
+        return;
+    }
+    if (!fs::is_directory(root))
+        return;
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && isSkippedDir(it->path())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() && isSourceFile(it->path()) &&
+            !excluded(it->path().string(), excludes))
+            out.push_back(it->path().string());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    LintOptions opt;
+    std::vector<std::string> excludes;
+    std::vector<std::string> roots;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            for (const auto &r : allRules())
+                std::cout << r->name() << "\n    " << r->description()
+                          << "\n";
+            return 0;
+        } else if (arg == "--rule" && i + 1 < argc) {
+            opt.ruleFilter.push_back(argv[++i]);
+        } else if (arg == "--exclude" && i + 1 < argc) {
+            excludes.push_back(argv[++i]);
+        } else if (arg == "--no-path-filter") {
+            opt.ignorePathScope = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: ndplint [--json] [--list-rules] "
+                         "[--rule NAME]... [--exclude SUBSTR]... "
+                         "[--no-path-filter] <file-or-dir>...\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "ndp-lint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (roots.empty()) {
+        std::cerr << "ndp-lint: no paths given (try --help)\n";
+        return 2;
+    }
+
+    std::vector<std::string> paths;
+    for (const std::string &r : roots) {
+        if (!fs::exists(r)) {
+            std::cerr << "ndp-lint: no such path: " << r << "\n";
+            return 2;
+        }
+        collectPaths(r, excludes, paths);
+    }
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    try {
+        for (const std::string &p : paths)
+            files.push_back(lexFile(p));
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
+    LintStats stats = runLint(files, opt);
+    std::cout << (json ? renderJson(stats) : renderText(stats));
+    return stats.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ndp-lint rule registry.
+ *
+ * Each rule is a token-pattern analysis over one SourceFile, informed
+ * by a tree-wide AnalysisContext (e.g. the set of Task-returning
+ * function names, collected in a first pass over every file). Rules
+ * motivated by real hazard classes in this simulator:
+ *
+ *  - discarded-task:        a sim::Task-returning call whose result is
+ *                           neither co_awaited, spawned, nor bound is a
+ *                           process that silently never runs.
+ *  - coroutine-ref-param:   reference parameters to coroutines dangle
+ *                           if the argument dies before the first
+ *                           resume (cppcoreguidelines-avoid-reference-
+ *                           coroutine-parameters, statically).
+ *  - coroutine-ref-capture: by-reference lambda captures in coroutine
+ *                           lambdas dangle the same way.
+ *  - banned-nondeterminism: wall-clock, std::rand, and unordered-
+ *                           container iteration inside src/sim +
+ *                           src/core make event order (and therefore
+ *                           every figure) run-dependent; sim::Rng and
+ *                           ordered containers are the alternatives.
+ *  - float-accum-order:     float/double += inside iteration over an
+ *                           unordered container accumulates in hash
+ *                           order, so sums differ across
+ *                           libstdc++ versions and runs.
+ */
+
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ndplint/lexer.h"
+
+namespace ndp::lint {
+
+struct Finding
+{
+    std::string rule;
+    std::string path;
+    /** Line reported to the user (and first suppression line). */
+    int line = 0;
+    /** Last line an `allow` may sit on and still suppress this. */
+    int endLine = 0;
+    std::string message;
+};
+
+/** Facts gathered over the whole file set before rules run. */
+struct AnalysisContext
+{
+    /** Names declared at least once with return type `Task`. */
+    std::set<std::string> taskFunctions;
+    /**
+     * Names also declared with some other return type; excluded from
+     * discarded-task to avoid misfiring on overloaded/common names
+     * (e.g. `run` is both CpuPool::run -> Task and Simulator::run ->
+     * Time).
+     */
+    std::set<std::string> ambiguousFunctions;
+
+    /** True if @p name unambiguously returns Task somewhere. */
+    bool
+    returnsTask(const std::string &name) const
+    {
+        return taskFunctions.count(name) != 0 &&
+               ambiguousFunctions.count(name) == 0;
+    }
+};
+
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+    virtual std::string name() const = 0;
+    virtual std::string description() const = 0;
+    /** Path scope; @p path is as given on the command line. */
+    virtual bool
+    appliesTo(std::string_view path) const
+    {
+        (void)path;
+        return true;
+    }
+    virtual void analyze(const SourceFile &f, const AnalysisContext &ctx,
+                         std::vector<Finding> &out) const = 0;
+};
+
+/** The registry: every shipped rule, in reporting order. */
+const std::vector<std::unique_ptr<Rule>> &allRules();
+
+/** First pass: record Task-returning (and ambiguous) function names. */
+void collectTaskFunctions(const SourceFile &f, AnalysisContext &ctx);
+
+} // namespace ndp::lint
