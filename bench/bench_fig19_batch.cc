@@ -33,12 +33,12 @@ main()
             cfg.nImages = 50000;
             cfg.npe.batchSize = bs;
             auto r = runNdpOfflineInference(cfg);
-            if (r.oom) {
-                row.push_back(
-                    "OOM(" +
-                    bench::fmt("%.1f GiB",
-                               models::gpuMemoryNeededGiB(*m, bs)) +
-                    ")");
+            if (r.faults.terminal == sim::FaultClass::OutOfMemory) {
+                // Typed fault: the report carries the class and the
+                // sizing that did not fit, no sentinel decoding.
+                row.push_back("OOM(" +
+                              bench::fmt("%.1f GiB", r.oomNeededGiB) +
+                              ")");
             } else {
                 row.push_back(bench::fmt("%.2f", r.ips / 1e3));
             }

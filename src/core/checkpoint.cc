@@ -98,4 +98,38 @@ restoreCheckpoint(const Checkpoint &ckpt, nn::Layer &model)
     return loadParams(model, *params);
 }
 
+const char *
+deltaPushStatusName(DeltaPushStatus s)
+{
+    switch (s) {
+      case DeltaPushStatus::Applied:
+        return "applied";
+      case DeltaPushStatus::AlreadyCurrent:
+        return "already-current";
+      case DeltaPushStatus::VersionMismatch:
+        return "version-mismatch";
+      case DeltaPushStatus::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
+
+DeltaPushStatus
+applyDeltaPush(PipeStoreReplica &replica, const ModelDelta &delta,
+               int base_version, int new_version)
+{
+    if (replica.version >= new_version)
+        return DeltaPushStatus::AlreadyCurrent;
+    if (replica.version != base_version)
+        return DeltaPushStatus::VersionMismatch;
+    // Apply to a copy first: a corrupt payload must not leave the
+    // replica half-updated at the old version.
+    std::vector<float> updated = replica.params;
+    if (!applyDelta(delta, updated))
+        return DeltaPushStatus::Corrupt;
+    replica.params = std::move(updated);
+    replica.version = new_version;
+    return DeltaPushStatus::Applied;
+}
+
 } // namespace ndp::core

@@ -52,4 +52,44 @@ std::optional<int> checkpointVersion(const storage::Bytes &payload);
 /** FNV-1a 32-bit hash (the checkpoint checksum). */
 uint32_t fnv1a(const uint8_t *data, size_t n);
 
+/** @name Delta-push version reconciliation
+ *
+ * A delta only upgrades a replica whose version matches the base the
+ * Tuner diffed against. Reordered, replayed, or dropped pushes leave a
+ * replica behind (or already current); the typed status tells the
+ * distribution layer whether to retry, skip, or fall back to a full
+ * checkpoint.
+ * @{ */
+enum class DeltaPushStatus
+{
+    /** Delta applied; replica now at the new version. */
+    Applied,
+    /** Replica already at (or past) the new version: duplicate push. */
+    AlreadyCurrent,
+    /** Replica version != base version: delta cannot chain. */
+    VersionMismatch,
+    /** Payload failed to decode or apply. */
+    Corrupt,
+};
+
+const char *deltaPushStatusName(DeltaPushStatus s);
+
+/** One PipeStore's local copy of the model. */
+struct PipeStoreReplica
+{
+    std::vector<float> params;
+    int version = 0;
+};
+
+struct ModelDelta;
+
+/**
+ * Apply @p delta (diffed against @p base_version) to @p replica,
+ * reconciling versions first. Only an exact base match mutates the
+ * replica; every other outcome leaves it untouched.
+ */
+DeltaPushStatus applyDeltaPush(PipeStoreReplica &replica,
+                               const ModelDelta &delta,
+                               int base_version, int new_version);
+
 } // namespace ndp::core

@@ -14,6 +14,7 @@
 #include "hw/specs.h"
 #include "models/model.h"
 #include "models/zoo.h"
+#include "sim/fault.h"
 
 namespace ndp::core {
 
@@ -150,6 +151,12 @@ struct ExperimentConfig
     /** Images processed by the experiment. */
     uint64_t nImages = 200000;
     NpeOptions npe;
+    /**
+     * Seeded fault schedule injected into the run (empty = none; the
+     * hooks are zero-cost no-ops and every figure stays bitwise
+     * identical to a fault-free build).
+     */
+    sim::FaultPlan faults;
 
     hw::NicSpec
     nic() const
@@ -186,6 +193,8 @@ struct ExperimentConfig
         if (npe.preprocessCores < 1)
             return ValidationResult(
                 "ExperimentConfig: npe.preprocessCores must be >= 1");
+        if (std::string err = faults.validate(); !err.empty())
+            return ValidationResult(std::move(err));
         return {};
     }
 };

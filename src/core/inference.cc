@@ -82,13 +82,26 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     InferenceReport rep;
     rep.images = cfg.nImages;
 
-    if (!models::fitsInMemory(*cfg.storeSpec.gpu, m,
-                              cfg.npe.batchSize)) {
+    if (auto mem = models::checkMemory(*cfg.storeSpec.gpu, m,
+                                       cfg.npe.batchSize);
+        !mem) {
         rep.oom = true;
+        rep.oomNeededGiB = mem.neededGiB;
+        rep.faults.terminal = sim::FaultClass::OutOfMemory;
         return rep;
     }
 
     sim::Simulator s;
+    sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
+    sim::FaultInjector *inj = injector.armed() ? &injector : nullptr;
+    // The serial "Typical" walk has no per-store producers to report
+    // exits, so re-dispatch recovery only arms in pipelined mode.
+    std::unique_ptr<sim::RecoveryCoordinator> recovery;
+    if (inj && cfg.npe.pipelined) {
+        recovery = std::make_unique<sim::RecoveryCoordinator>(
+            s, injector, cfg.nStores, cfg.npe.batchSize);
+        s.spawn(recovery->run());
+    }
     StoreWork w = storeWork(m, cfg.npe);
     double sec_per_image =
         1.0 / models::deviceIps(*cfg.storeSpec.gpu, m,
@@ -116,6 +129,9 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
         spec.gpu = &st->stations.gpu;
         spec.computeSecondsPerItem = sec_per_image;
         spec.shipBytesPerItem = kLabelBytes; // labels only leave the store
+        spec.faults = inj;
+        spec.faultStoreBase = i;
+        spec.recovery = recovery.get();
         ProducerSpec prod;
         prod.disk = &st->stations.disk;
         prod.runItems = {evenShare(cfg.nImages, cfg.nStores, i)};
@@ -126,6 +142,7 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     }
     s.run();
 
+    rep.faults = injector.report();
     rep.seconds = s.now();
     rep.ips = rep.seconds > 0.0
                   ? static_cast<double>(cfg.nImages) / rep.seconds
@@ -193,13 +210,18 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     InferenceReport rep;
     rep.images = cfg.nImages;
 
-    if (!models::fitsInMemory(*cfg.hostSpec.gpu, m, cfg.npe.batchSize)) {
+    if (auto mem = models::checkMemory(*cfg.hostSpec.gpu, m,
+                                       cfg.npe.batchSize);
+        !mem) {
         rep.oom = true;
+        rep.oomNeededGiB = mem.neededGiB;
+        rep.faults.terminal = sim::FaultClass::OutOfMemory;
         return rep;
     }
 
     sim::Simulator s;
     HostStations host(s, cfg.hostSpec, cfg.nic());
+    sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
     double sec_per_image =
         1.0 / models::deviceIps(*cfg.hostSpec.gpu, m, cfg.npe.batchSize);
     double wire = srvWireBytes(m, variant);
@@ -221,6 +243,7 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     spec.gpu = &host.gpus;
     spec.computeSecondsPerItem = sec_per_image;
     spec.gpuWorkers = cfg.hostSpec.nGpus;
+    spec.faults = injector.armed() ? &injector : nullptr;
 
     std::vector<ProducerSpec> producers;
     if (wire > 0.0) {
@@ -242,6 +265,7 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     pipe.spawn();
     s.run();
 
+    rep.faults = injector.report();
     pipe.finalize();
     rep.stages = pipe.metrics();
     rep.seconds = s.now();

@@ -28,9 +28,15 @@ struct OnlineCtx
     hw::CpuPool cpu;
     hw::GpuExec gpu;
     SampleStat latency;
+    /** Non-null only when a non-empty FaultPlan armed the run. */
+    sim::FaultInjector *faults = nullptr;
 };
 
-/** One upload's journey: preprocess -> classify -> record latency.
+/** One upload's journey: (lossy) upload -> preprocess -> classify ->
+ * record latency. The fault hooks model the photo-upload leg: a lost
+ * upload retransmits with bounded exponential backoff (latency counts
+ * the backoff), and a stalled server delays the request; an exhausted
+ * retry budget drops the upload as a typed loss.
  * ndplint: allow(coroutine-ref-param) — referents live in
  * runOnlineInference's scope, which joins this task via s.run(). */
 sim::Task
@@ -38,6 +44,30 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
            double infer_s, sim::WaitGroup &wg)
 {
     double arrived = s.now();
+    if (sim::FaultInjector *inj = ctx.faults) {
+        double backoff = inj->plan().msgRetryBackoffS;
+        int resends = 0;
+        bool dropped = false;
+        while (inj->drawMessageLoss(0)) {
+            if (++resends > inj->plan().msgRetryLimit) {
+                inj->noteUnrecovered(sim::FaultClass::MessageLoss, 1);
+                dropped = true;
+                break;
+            }
+            ++inj->report().messagesResent;
+            inj->report().degradedS += backoff;
+            co_await s.delay(backoff);
+            backoff *= 2.0;
+        }
+        if (dropped) {
+            wg.done();
+            co_return;
+        }
+        if (double d = inj->stallDelay(0, s.now()); d > 0.0) {
+            inj->report().degradedS += d;
+            co_await s.delay(d);
+        }
+    }
     co_await ctx.cpu.run(1, preproc_s);
     co_await ctx.gpu.compute(infer_s);
     ctx.latency.add(s.now() - arrived);
@@ -70,6 +100,8 @@ runOnlineInference(const OnlineConfig &cfg)
 
     sim::Simulator s;
     OnlineCtx ctx(s, cfg);
+    sim::FaultInjector injector(s, cfg.faults, 1);
+    ctx.faults = injector.armed() ? &injector : nullptr;
     sim::WaitGroup wg(s);
     wg.add(static_cast<int>(cfg.nUploads));
 
@@ -98,6 +130,7 @@ runOnlineInference(const OnlineConfig &cfg)
     // offered load exceeds capacity and the queue grew without bound.
     double service_ms = (preproc_s + infer_s) * 1e3;
     rep.saturated = rep.meanMs > 10.0 * service_ms;
+    rep.faults = injector.report();
     return rep;
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/config.h"
 #include "hw/specs.h"
+#include "sim/fault.h"
 
 namespace ndp::core {
 
@@ -34,6 +35,12 @@ struct OnlineConfig
     /** CPU cores available for preprocessing. */
     int preprocessCores = 8;
     uint64_t seed = 11;
+    /**
+     * Faults injected into the upload path (store 0 = the inference
+     * server): stalls delay requests, message loss forces upload
+     * retransmissions. Empty = the exact fault-free run.
+     */
+    sim::FaultPlan faults;
 };
 
 struct OnlineReport
@@ -51,6 +58,8 @@ struct OnlineReport
     double cpuUtil = 0.0;
     /** True if the server cannot sustain the offered load. */
     bool saturated = false;
+    /** What the fault injector did to this run (empty plan = zeros). */
+    sim::FaultReport faults;
 };
 
 /** Drive a Poisson upload stream through the inference server. */

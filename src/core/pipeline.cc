@@ -43,6 +43,14 @@ Pipeline::spawn()
     feeders_.add(static_cast<int>(producers_.size()));
     for (size_t i = 0; i < producers_.size(); ++i)
         sim_.spawn(producerProc(i));
+    // Stores with a crash anywhere in their schedule never volunteer
+    // for re-dispatch duty — they would abandon the recovered work too.
+    if (spec_.recovery &&
+        !(spec_.faults &&
+          spec_.faults->crashScheduled(spec_.faultStoreBase))) {
+        feeders_.add(1);
+        sim_.spawn(redispatchProc());
+    }
     sim_.spawn(closerProc());
     sim_.spawn(cpuProc());
     if (spec_.done)
@@ -55,21 +63,68 @@ sim::Task
 Pipeline::producerProc(size_t idx)
 {
     ProducerSpec &p = producers_[idx];
-    for (int r = 0; r < spec_.nRun; ++r) {
+    // Fault hooks are guarded on `inj`: an unarmed pipeline performs no
+    // RNG draws and no extra awaits, so the event sequence is byte-for-
+    // byte the fault-free one (the zero-cost rule of sim/fault.h).
+    sim::FaultInjector *inj = spec_.faults;
+    const int fstore = spec_.faultStoreBase + static_cast<int>(idx);
+    bool dead = false;
+    int deadRun = 0;
+    uint64_t deadLeft = 0;
+    for (int r = 0; r < spec_.nRun && !dead; ++r) {
         if (spec_.runGate) {
             if (sim::WaitGroup *gate = spec_.runGate(r))
                 co_await gate->wait();
         }
         uint64_t left = p.runItems[static_cast<size_t>(r)];
         while (left > 0) {
+            if (inj) {
+                if (inj->crashed(fstore, sim_.now())) {
+                    dead = true;
+                } else if (double d =
+                               inj->stallDelay(fstore, sim_.now());
+                           d > 0.0) {
+                    inj->report().degradedS += d;
+                    co_await sim_.delay(d);
+                    dead = inj->crashed(fstore, sim_.now());
+                }
+                if (dead) {
+                    deadRun = r;
+                    deadLeft = left;
+                    break;
+                }
+            }
             int n = takeBatch(spec_.batch, left);
-            left -= static_cast<uint64_t>(n);
             if (p.disk && spec_.readBytesPerItem > 0.0) {
+                if (inj) {
+                    // Failed object-store reads retry with bounded
+                    // exponential backoff; exhausting the budget
+                    // escalates the store to dead (crash semantics).
+                    double backoff = inj->plan().ioRetryBackoffS;
+                    int failures = 0;
+                    while (inj->drawReadError(fstore)) {
+                        if (++failures > inj->plan().ioRetryLimit) {
+                            inj->declareDead(fstore);
+                            dead = inj->crashed(fstore, sim_.now());
+                            break;
+                        }
+                        ++inj->report().ioRetries;
+                        inj->report().degradedS += backoff;
+                        co_await sim_.delay(backoff);
+                        backoff *= 2.0;
+                    }
+                    if (dead) {
+                        deadRun = r;
+                        deadLeft = left;
+                        break;
+                    }
+                }
                 double bytes = spec_.readBytesPerItem * n;
                 metrics_.readS += p.disk->readServiceTime(bytes);
                 metrics_.readBytes += bytes;
                 co_await p.disk->read(bytes);
             }
+            left -= static_cast<uint64_t>(n);
             if (spec_.ingress && spec_.wireBytesPerItem > 0.0) {
                 double bytes = spec_.wireBytesPerItem * n;
                 metrics_.transferS += spec_.ingress->serviceTime(bytes);
@@ -78,6 +133,65 @@ Pipeline::producerProc(size_t idx)
             }
             co_await loaded_.put(PipeBatch{r, n});
         }
+    }
+    if (dead) {
+        // Spill the unread remainder — this run's leftover plus every
+        // future run's share. In-flight batches were already read and
+        // drain through the pipeline normally.
+        std::vector<sim::ShardSpill> rest;
+        uint64_t total = 0;
+        if (deadLeft > 0) {
+            rest.push_back({deadRun, deadLeft});
+            total += deadLeft;
+        }
+        for (int r = deadRun + 1; r < spec_.nRun; ++r) {
+            uint64_t items = p.runItems[static_cast<size_t>(r)];
+            if (items > 0) {
+                rest.push_back({r, items});
+                total += items;
+            }
+        }
+        if (spec_.recovery) {
+            co_await spec_.recovery->producerCrashed(std::move(rest));
+        } else if (total > 0) {
+            inj->noteUnrecovered(sim::FaultClass::StoreCrash, total);
+        }
+    } else if (spec_.recovery) {
+        co_await spec_.recovery->producerDone();
+    }
+    feeders_.done();
+}
+
+/**
+ * Recovery feeder: turns WorkOrders re-dispatched by the cluster's
+ * RecoveryCoordinator into regular front-stage work on this store's
+ * own disk (photos are replicated, so the survivor reads its local
+ * copy). Recovery traffic is not re-faulted — the orders are already
+ * the remedy, and conservation (`itemsDone + itemsLost == total`)
+ * must hold once the coordinator has spoken.
+ */
+sim::Task
+Pipeline::redispatchProc()
+{
+    sim::Channel<sim::WorkOrder> &orders = spec_.recovery->orders();
+    ProducerSpec &p = producers_[0];
+    while (true) {
+        auto o = co_await orders.get();
+        if (!o)
+            break;
+        if (p.disk && spec_.readBytesPerItem > 0.0) {
+            double bytes = spec_.readBytesPerItem * o->items;
+            metrics_.readS += p.disk->readServiceTime(bytes);
+            metrics_.readBytes += bytes;
+            co_await p.disk->read(bytes);
+        }
+        if (spec_.ingress && spec_.wireBytesPerItem > 0.0) {
+            double bytes = spec_.wireBytesPerItem * o->items;
+            metrics_.transferS += spec_.ingress->serviceTime(bytes);
+            metrics_.wireBytes += bytes;
+            co_await spec_.ingress->transfer(bytes);
+        }
+        co_await loaded_.put(PipeBatch{o->run, o->items});
     }
     feeders_.done();
 }
@@ -144,10 +258,14 @@ Pipeline::gpuProc()
 }
 
 /** The unoptimized "Typical" walk: every batch visits all stages back
- *  to back, round-robining over the producers' disks (§3.4). */
+ *  to back, round-robining over the producers' disks (§3.4). A serial
+ *  walk has no peer to re-dispatch to, so a crash types the remainder
+ *  as lost instead of spilling it to a coordinator. */
 sim::Task
 Pipeline::serialProc()
 {
+    sim::FaultInjector *inj = spec_.faults;
+    const int fstore = spec_.faultStoreBase;
     std::vector<hw::Disk *> disks;
     for (auto &p : producers_)
         if (p.disk)
@@ -162,6 +280,46 @@ Pipeline::serialProc()
         for (auto &p : producers_)
             left += p.runItems[static_cast<size_t>(r)];
         while (left > 0) {
+            if (inj) {
+                bool crashed = inj->crashed(fstore, sim_.now());
+                if (!crashed) {
+                    if (double d = inj->stallDelay(fstore, sim_.now());
+                        d > 0.0) {
+                        inj->report().degradedS += d;
+                        co_await sim_.delay(d);
+                        crashed = inj->crashed(fstore, sim_.now());
+                    }
+                }
+                if (!crashed && spec_.readBytesPerItem > 0.0 &&
+                    !disks.empty()) {
+                    double backoff = inj->plan().ioRetryBackoffS;
+                    int failures = 0;
+                    while (inj->drawReadError(fstore)) {
+                        if (++failures > inj->plan().ioRetryLimit) {
+                            inj->declareDead(fstore);
+                            crashed =
+                                inj->crashed(fstore, sim_.now());
+                            break;
+                        }
+                        ++inj->report().ioRetries;
+                        inj->report().degradedS += backoff;
+                        co_await sim_.delay(backoff);
+                        backoff *= 2.0;
+                    }
+                }
+                if (crashed) {
+                    uint64_t lost = left;
+                    for (int rr = r + 1; rr < spec_.nRun; ++rr)
+                        for (auto &p : producers_)
+                            lost +=
+                                p.runItems[static_cast<size_t>(rr)];
+                    inj->noteUnrecovered(sim::FaultClass::StoreCrash,
+                                         lost);
+                    if (spec_.done)
+                        spec_.done->done();
+                    co_return;
+                }
+            }
             int n = takeBatch(spec_.batch, left);
             left -= static_cast<uint64_t>(n);
             if (spec_.readBytesPerItem > 0.0 && !disks.empty()) {

@@ -38,6 +38,7 @@
 #include "core/report.h"
 #include "hw/devices.h"
 #include "sim/channel.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 #include "sim/wait_group.h"
@@ -163,6 +164,25 @@ struct PipelineSpec
 
     /** Signalled once per sink worker when the pipeline drains. */
     sim::WaitGroup *done = nullptr;
+
+    /** @name Fault injection (null = zero-cost no-ops)
+     * @{ */
+    /**
+     * Injector the front stage consults per batch: crash (stop
+     * producing, spill the remainder), transient stall, and read
+     * errors retried with bounded exponential backoff. Producer
+     * index i maps to store `faultStoreBase + i`.
+     */
+    sim::FaultInjector *faults = nullptr;
+    int faultStoreBase = 0;
+    /**
+     * Cluster-level recovery: crashed producers spill their remaining
+     * shard here, and (unless this store has a scheduled crash) the
+     * pipeline volunteers a consumer that turns re-dispatched
+     * WorkOrders into regular front-stage work.
+     */
+    sim::RecoveryCoordinator *recovery = nullptr;
+    /** @} */
 };
 
 /**
@@ -195,6 +215,7 @@ class Pipeline
 
   private:
     sim::Task producerProc(size_t idx);
+    sim::Task redispatchProc();
     sim::Task closerProc();
     sim::Task cpuProc();
     sim::Task gpuProc();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hw/power.h"
+#include "sim/fault.h"
 
 namespace ndp::core {
 
@@ -98,8 +99,17 @@ struct InferenceReport
     hw::PowerBreakdown power;
     std::vector<hw::ServerPowerSample> perServer;
     double energyJ = 0.0;
-    /** True if the batch did not fit in accelerator memory. */
+    /**
+     * True if the batch did not fit in accelerator memory. Kept for
+     * existing call sites; `faults.terminal == FaultClass::OutOfMemory`
+     * is the typed form (with the sizing details in `oomNeededGiB`).
+     */
     bool oom = false;
+    /** Device memory the failing configuration would have needed. */
+    double oomNeededGiB = 0.0;
+
+    /** What the fault injector did to this run (empty plan = zeros). */
+    sim::FaultReport faults;
 
     /** Mean utilizations (for sanity checks and Fig. 14 analysis). */
     double gpuUtil = 0.0;
@@ -133,6 +143,9 @@ struct TrainReport
     double distributionBytes = 0.0;
 
     StageBreakdown stages;
+
+    /** What the fault injector did to this run (empty plan = zeros). */
+    sim::FaultReport faults;
 
     hw::PowerBreakdown power;
     std::vector<hw::ServerPowerSample> perServer;

@@ -25,6 +25,14 @@ PhotoService::bootstrap()
     auto test = world_->sampleTestSet(cfg.profile.testSetSize);
     model_->fullTrain(train, test, cfg.profile.fullTrainCfg);
     model_->version = 1;
+    // Day-0 distribution: every PipeStore starts with a full copy of
+    // the bootstrapped model (deltas chain from here).
+    auto params = flattenParams(*model_);
+    replicas_.assign(static_cast<size_t>(cfg.nPipeStores), {});
+    for (auto &r : replicas_) {
+        r.params = params;
+        r.version = model_->version;
+    }
     labelRange(0, world_->numImages());
     labeledUpTo = world_->numImages();
 }
@@ -95,23 +103,50 @@ PhotoService::fineTune()
     model_->freezeBackbone(true);
     auto runs = curated.shards(static_cast<size_t>(cfg.nRun));
     out.shardSizes.assign(static_cast<size_t>(cfg.nPipeStores), 0);
+
+    // Crashed stores abandon their shards; survivors pick them up
+    // round-robin. With no survivor at all the curated set is lost and
+    // the model must stay at its current version — never train on an
+    // empty feature set and pretend the tune happened.
+    std::vector<bool> crashed(static_cast<size_t>(cfg.nPipeStores),
+                              false);
+    for (int c : cfg.crashedStores)
+        if (c >= 0 && c < cfg.nPipeStores)
+            crashed[static_cast<size_t>(c)] = true;
+    std::vector<size_t> survivors;
+    for (size_t s = 0; s < crashed.size(); ++s)
+        if (!crashed[s])
+            survivors.push_back(s);
+
     for (auto &run_ds : runs) {
         nn::Dataset run_features;
         auto shards = run_ds.shards(
             static_cast<size_t>(cfg.nPipeStores));
+        size_t turn = 0;
         for (size_t s = 0; s < shards.size(); ++s) {
+            size_t owner = s;
+            if (s < crashed.size() && crashed[s]) {
+                if (survivors.empty())
+                    continue; // shard lost with the whole fleet
+                owner = survivors[turn++ % survivors.size()];
+                out.redispatchedImages += shards[s].size();
+            }
             auto feats = model_->extractFeatures(shards[s]);
-            out.shardSizes[s] += feats.size();
+            out.shardSizes[owner] += feats.size();
             out.featureBytes += feats.size() *
                                 feats.featureDim() * sizeof(float);
             run_features.append(feats);
         }
+        if (run_features.size() == 0)
+            continue;
         auto result = model_->fineTuneOnFeatures(
             run_features, feat_test, cfg.profile.fineTuneCfg);
         out.epochs += result.epochsRun;
     }
     model_->freezeBackbone(false);
-    model_->version += 1;
+    out.baseVersion = model_->version;
+    if (out.epochs > 0)
+        model_->version += 1;
     out.newModelVersion = model_->version;
 
     auto params_after = flattenParams(*model_);
@@ -119,10 +154,52 @@ PhotoService::fineTune()
     out.deltaBytes = delta.payload.size();
     out.fullModelBytes = params_after.size() * sizeof(float);
     out.deltaReduction = delta.reductionFactor();
+    out.delta = std::move(delta);
 
     auto ev = evaluateCurrentModel();
     out.top1After = ev.top1;
     out.top5After = ev.top5;
+    return out;
+}
+
+PhotoService::DeltaDistOutcome
+PhotoService::distributeDelta(const ModelDelta &delta, int base_version,
+                              int new_version, double loss_probability)
+{
+    DeltaDistOutcome out;
+    out.status.assign(replicas_.size(),
+                      DeltaPushStatus::AlreadyCurrent);
+    constexpr int kPushRetries = 5;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+        PipeStoreReplica &rep = replicas_[i];
+        DeltaPushStatus st = DeltaPushStatus::Corrupt;
+        bool delivered = false;
+        for (int attempt = 0; attempt <= kPushRetries; ++attempt) {
+            if (loss_probability > 0.0 &&
+                rng.chance(loss_probability)) {
+                ++out.retransmissions;
+                continue; // lost in flight
+            }
+            delivered = true;
+            st = applyDeltaPush(rep, delta, base_version, new_version);
+            break;
+        }
+        if (st == DeltaPushStatus::Applied)
+            ++out.applied;
+        if (!delivered || st == DeltaPushStatus::VersionMismatch ||
+            st == DeltaPushStatus::Corrupt) {
+            // Delta reconciliation failed (or the channel swallowed
+            // every retry): ship the full current model. Costs the
+            // whole checkpoint instead of the delta, but the push
+            // must converge — a store never silently serves stale
+            // weights.
+            rep.params = flattenParams(*model_);
+            rep.version = model_->version;
+            ++out.fullFallbacks;
+            st = DeltaPushStatus::AlreadyCurrent;
+        }
+        out.status[i] = st;
+    }
     return out;
 }
 

@@ -16,6 +16,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.h"
+#include "core/delta.h"
 #include "data/backbone.h"
 #include "data/profiles.h"
 #include "data/world.h"
@@ -34,6 +36,14 @@ class PhotoService
         /** Pipeline runs for fine-tuning (N_run). */
         int nRun = 1;
         uint64_t seed = 7;
+        /**
+         * PipeStores treated as crashed during fineTune(): their
+         * feature-extraction shards are re-assigned round-robin to the
+         * surviving stores (FT-DMP shares no weights, so recovery is
+         * pure work re-assignment, §5.1). All stores crashed = the
+         * whole curated set is lost and the model stays unchanged.
+         */
+        std::vector<int> crashedStores;
     };
 
     struct FineTuneOutcome
@@ -52,6 +62,35 @@ class PhotoService
         size_t fullModelBytes = 0;
         double deltaReduction = 0.0;
         int newModelVersion = 0;
+        /** Version the delta chains against (newModelVersion - 1). */
+        int baseVersion = 0;
+        /** Images re-assigned from crashed stores to survivors. */
+        size_t redispatchedImages = 0;
+        /** The encoded delta, ready for distributeDelta(). */
+        ModelDelta delta;
+    };
+
+    /** Result of pushing one delta to every PipeStore replica. */
+    struct DeltaDistOutcome
+    {
+        /** Replicas upgraded by the delta itself. */
+        int applied = 0;
+        /** Pushes retransmitted after a simulated loss. */
+        int retransmissions = 0;
+        /** Replicas recovered via a full-checkpoint fallback. */
+        int fullFallbacks = 0;
+        /** Final per-store status. */
+        std::vector<DeltaPushStatus> status;
+
+        bool
+        allCurrent() const
+        {
+            for (DeltaPushStatus s : status)
+                if (s != DeltaPushStatus::Applied &&
+                    s != DeltaPushStatus::AlreadyCurrent)
+                    return false;
+            return true;
+        }
     };
 
     explicit PhotoService(const Config &cfg);
@@ -80,6 +119,25 @@ class PhotoService
      */
     size_t refreshLabels();
 
+    /**
+     * Push @p delta (chained against @p base_version) to every
+     * PipeStore replica over a lossy channel: each push is lost with
+     * @p loss_probability (seeded draws, deterministic), retried up
+     * to five times, and a replica that cannot be reconciled by delta
+     * (exhausted retries or a version mismatch) is recovered with a
+     * full-checkpoint fallback — the push must converge, typed, never
+     * silently leave a store stale.
+     */
+    DeltaDistOutcome distributeDelta(const ModelDelta &delta,
+                                     int base_version, int new_version,
+                                     double loss_probability = 0.0);
+
+    /** Per-store model replicas delta distribution maintains. */
+    const std::vector<PipeStoreReplica> &replicas() const
+    {
+        return replicas_;
+    }
+
     /** Photo ids currently indexed under @p label. */
     std::vector<uint64_t> search(int label) const;
 
@@ -99,6 +157,7 @@ class PhotoService
     std::unique_ptr<data::PhotoWorld> world_;
     std::unique_ptr<data::VisionModel> model_;
     storage::LabelDatabase labelDb;
+    std::vector<PipeStoreReplica> replicas_;
     Rng rng;
     /** Pool index up to which photos have been labeled. */
     size_t labeledUpTo = 0;

@@ -49,6 +49,9 @@ struct FtDmpEnv
     std::vector<std::unique_ptr<sim::Channel<int>>> runFeatures;
     std::vector<std::unique_ptr<sim::WaitGroup>> tunerDone;
 
+    /** Non-null only when a non-empty FaultPlan armed the run. */
+    sim::FaultInjector *faults = nullptr;
+
     StageBreakdown stages;
     double syncTraffic = 0.0;
     double feEndTime = 0.0;
@@ -108,6 +111,36 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
         for (int epoch = 0; epoch < opt.tunerEpochs; ++epoch) {
             uint64_t left = share;
             for (uint64_t it = 0; it < iters_per_epoch; ++it) {
+                if (env.faults) {
+                    if (double d = env.faults->stallDelay(
+                            store_idx, env.sim.now());
+                        d > 0.0) {
+                        env.faults->report().degradedS += d;
+                        co_await env.sim.delay(d);
+                    }
+                    if (env.faults->crashed(store_idx,
+                                            env.sim.now())) {
+                        // The synchronized fleet cannot re-assign a
+                        // shard (every store trains the full model):
+                        // the dead store's unextracted images are
+                        // simply lost, and it must leave the barrier
+                        // or the surviving all-reduces hang — exactly
+                        // the fragility FT-DMP's no-sync design
+                        // removes (§4.1).
+                        uint64_t lost = epoch == 0 ? left : 0;
+                        for (int rr = r + 1; rr < opt.nRun; ++rr)
+                            lost += runShare(cfg.nImages, opt.nRun,
+                                             cfg.nStores, rr,
+                                             store_idx);
+                        env.faults->noteUnrecovered(
+                            sim::FaultClass::StoreCrash, lost);
+                        sync_barrier.leave();
+                        env.feEndTime =
+                            std::max(env.feEndTime, env.sim.now());
+                        stores_wg.done();
+                        co_return;
+                    }
+                }
                 int n = static_cast<int>(std::min<uint64_t>(
                     static_cast<uint64_t>(store_batch), left));
                 left -= static_cast<uint64_t>(n);
@@ -156,20 +189,41 @@ tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
         uint64_t seen = 0;
         while (seen < run_imgs) {
             auto n = co_await env.runFeatures[r]->get();
-            assert(n && "feature channel closed early");
+            if (!n) {
+                // Channel closed with a shortfall: every store sink
+                // has exited and re-dispatch is exhausted, so the
+                // missing features are typed losses. Train on what
+                // arrived rather than hanging.
+                break;
+            }
             seen += static_cast<uint64_t>(*n);
             if (ingest_per_image > 0.0) {
                 co_await env.tunerGpu.compute(ingest_per_image * *n);
                 env.stages.tunerS += ingest_per_image * *n;
             }
         }
-        double train_t = epoch_per_image *
-                         static_cast<double>(run_imgs) *
+        double train_t = epoch_per_image * static_cast<double>(seen) *
                          static_cast<double>(opt.tunerEpochs);
         co_await env.tunerGpu.compute(train_t);
         env.stages.tunerS += train_t;
         env.tunerDone[r]->done();
     }
+}
+
+/**
+ * Fault-mode watchdog (spawned only when the injector is armed): once
+ * every store sink has drained no more features can arrive, so close
+ * the per-run spools. A crash-induced shortfall then wakes the Tuner
+ * with end-of-stream instead of leaving it blocked forever.
+ * ndplint: allow(coroutine-ref-param) — referents live in
+ * runFtDmpTraining's scope, which joins this task via s.run().
+ */
+sim::Task
+featureWatchdog(FtDmpEnv &env, sim::WaitGroup &stores_wg)
+{
+    co_await stores_wg.wait();
+    for (auto &ch : env.runFeatures)
+        ch->close();
 }
 
 /** Check-N-Run delta redistribution to every store (§5).
@@ -185,6 +239,29 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
     for (int i = 0; i < cfg.nStores; ++i) {
         co_await env.ingress.transfer(delta_bytes);
         *out_bytes += delta_bytes;
+        if (!env.faults)
+            continue;
+        // Lost delta pushes retransmit with bounded exponential
+        // backoff; an exhausted budget abandons the push (the store
+        // keeps serving its stale model until the next run) and is
+        // typed as an unrecovered MessageLoss. Retransmitted bytes
+        // count toward distribution traffic — they crossed the wire.
+        double backoff = env.faults->plan().msgRetryBackoffS;
+        int resends = 0;
+        while (env.faults->drawMessageLoss(i)) {
+            if (++resends > env.faults->plan().msgRetryLimit) {
+                ++env.faults->report().deltaPushFailures;
+                env.faults->noteUnrecovered(
+                    sim::FaultClass::MessageLoss, 0);
+                break;
+            }
+            ++env.faults->report().messagesResent;
+            env.faults->report().degradedS += backoff;
+            co_await env.sim.delay(backoff);
+            backoff *= 2.0;
+            co_await env.ingress.transfer(delta_bytes);
+            *out_bytes += delta_bytes;
+        }
     }
 }
 
@@ -205,6 +282,17 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
 
     sim::Simulator s;
     FtDmpEnv env(s, cfg, opt.nRun);
+    // Fault plumbing: the injector always exists, but the hooks only
+    // see it when the plan is non-empty — an empty plan leaves every
+    // dataflow on the exact fault-free event sequence.
+    sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
+    env.faults = injector.armed() ? &injector : nullptr;
+    std::unique_ptr<sim::RecoveryCoordinator> recovery;
+    if (env.faults && !classifier_on_stores) {
+        recovery = std::make_unique<sim::RecoveryCoordinator>(
+            s, injector, cfg.nStores, opt.feBatch);
+        s.spawn(recovery->run());
+    }
     // Counts store sinks: Pipeline::spawn registers its own workers;
     // the bespoke "+FC" coroutine registers itself below.
     sim::WaitGroup stores_wg(s);
@@ -258,6 +346,9 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
             spec.shipBytesPerItem = m.transferMBAt(cut) * 1e6;
             spec.runOut = run_out;
             spec.done = &stores_wg;
+            spec.faults = env.faults;
+            spec.faultStoreBase = i;
+            spec.recovery = recovery.get();
             std::vector<ProducerSpec> prods(1);
             prods[0].disk = &st->stations.disk;
             for (int r = 0; r < opt.nRun; ++r)
@@ -276,12 +367,15 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
             wg->done();
     } else {
         s.spawn(tunerProc(env, cfg, opt, cut));
+        if (env.faults)
+            s.spawn(featureWatchdog(env, stores_wg));
     }
     if (opt.distributeDeltas)
         s.spawn(deltaDistribution(env, cfg, opt, &rep.distributionBytes));
 
     s.run();
 
+    rep.faults = injector.report();
     rep.stages = env.stages;
     for (auto &st : stores) {
         if (!st->pipe)
@@ -348,6 +442,9 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
 
     sim::Simulator s;
     HostStations host(s, cfg.hostSpec, cfg.nic());
+    // SRV has no peer to re-dispatch to (one host owns the GPUs), so
+    // faults here degrade or type-fail the run but never re-assign.
+    sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
     size_t cut = m.classifierStart();
     double fe_per_image = models::feSecondsPerImage(
         *cfg.hostSpec.gpu, m, cut, cfg.npe.batchSize);
@@ -393,6 +490,7 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     spec.computeSecondsPerItem = fe_per_image;
     spec.gpuWorkers = cfg.hostSpec.nGpus;
     spec.done = &fe_done;
+    spec.faults = injector.armed() ? &injector : nullptr;
 
     std::vector<ProducerSpec> producers;
     if (wire > 0.0) {
@@ -414,6 +512,7 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     s.spawn(srvClassifierTrain(host, fe_done, ct_seconds, rep.stages));
     s.run();
 
+    rep.faults = injector.report();
     pipe.finalize();
     rep.stages += pipe.metrics();
     rep.seconds = s.now();

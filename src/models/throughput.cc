@@ -105,10 +105,20 @@ gpuMemoryNeededGiB(const ModelSpec &m, int batch)
     return (weights + act + runtime) / gib;
 }
 
+MemoryCheck
+checkMemory(const hw::GpuSpec &g, const ModelSpec &m, int batch)
+{
+    MemoryCheck c;
+    c.neededGiB = gpuMemoryNeededGiB(m, batch);
+    c.limitGiB = g.memGib;
+    c.fits = c.neededGiB <= c.limitGiB;
+    return c;
+}
+
 bool
 fitsInMemory(const hw::GpuSpec &g, const ModelSpec &m, int batch)
 {
-    return gpuMemoryNeededGiB(m, batch) <= g.memGib;
+    return checkMemory(g, m, batch).fits;
 }
 
 } // namespace ndp::models

@@ -66,7 +66,27 @@ double tunerEpochSecondsPerImage(const hw::GpuSpec &g,
 /** Device memory needed to run @p m at @p batch, GiB (weights + act). */
 double gpuMemoryNeededGiB(const ModelSpec &m, int batch);
 
-/** False reproduces Fig. 19's ViT out-of-memory failures. */
+/**
+ * Typed result of a device-memory admission check: carries the sizing
+ * details a report needs to explain *why* a configuration failed
+ * instead of a bare boolean sentinel.
+ */
+struct MemoryCheck
+{
+    bool fits = true;
+    /** GiB the model + activations + runtime would need. */
+    double neededGiB = 0.0;
+    /** GiB the device has. */
+    double limitGiB = 0.0;
+
+    explicit operator bool() const { return fits; }
+};
+
+/** Admission check reproducing Fig. 19's ViT out-of-memory failures. */
+MemoryCheck checkMemory(const hw::GpuSpec &g, const ModelSpec &m,
+                        int batch);
+
+/** Boolean shorthand for checkMemory().fits. */
 bool fitsInMemory(const hw::GpuSpec &g, const ModelSpec &m, int batch);
 
 /** Per-image optimizer/launch/data-feed overhead of a training step,

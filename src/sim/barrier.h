@@ -63,6 +63,29 @@ class Barrier
         return Awaiter{*this};
     }
 
+    /**
+     * A party leaves the barrier for good (a crashed store in the
+     * synchronized "+FC" fleet). If the remaining parties are all
+     * already waiting, the round releases immediately — without this
+     * a single dead store would block every all-reduce forever.
+     */
+    void
+    leave()
+    {
+        assert(parties > 0);
+        --parties;
+        if (parties > 0 && arrived == parties) {
+            arrived = 0;
+            ++rounds;
+            for (auto h : waiters)
+                sim.scheduleHandle(0.0, h);
+            waiters.clear();
+        }
+    }
+
+    /** Parties still participating. */
+    int partyCount() const { return parties; }
+
     /** Completed rounds. */
     uint64_t completedRounds() const { return rounds; }
 

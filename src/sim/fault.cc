@@ -1,0 +1,345 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndp::sim {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::StoreCrash:
+        return "store-crash";
+      case FaultKind::StoreStall:
+        return "store-stall";
+      case FaultKind::ReadError:
+        return "read-error";
+      case FaultKind::MessageLoss:
+        return "message-loss";
+    }
+    return "?";
+}
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::None:
+        return "none";
+      case FaultClass::StoreCrash:
+        return "store-crash";
+      case FaultClass::StoreStall:
+        return "store-stall";
+      case FaultClass::IoError:
+        return "io-error";
+      case FaultClass::MessageLoss:
+        return "message-loss";
+      case FaultClass::OutOfMemory:
+        return "out-of-memory";
+    }
+    return "?";
+}
+
+FaultPlan &
+FaultPlan::crashStore(int store, double at_s)
+{
+    FaultSpec f;
+    f.kind = FaultKind::StoreCrash;
+    f.store = store;
+    f.atS = at_s;
+    faults.push_back(f);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::stallStore(int store, double at_s, double duration_s)
+{
+    FaultSpec f;
+    f.kind = FaultKind::StoreStall;
+    f.store = store;
+    f.atS = at_s;
+    f.durationS = duration_s;
+    faults.push_back(f);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::readErrors(double p, int store)
+{
+    FaultSpec f;
+    f.kind = FaultKind::ReadError;
+    f.store = store;
+    f.probability = p;
+    faults.push_back(f);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::loseMessages(double p, int store)
+{
+    FaultSpec f;
+    f.kind = FaultKind::MessageLoss;
+    f.store = store;
+    f.probability = p;
+    faults.push_back(f);
+    return *this;
+}
+
+std::string
+FaultPlan::validate() const
+{
+    if (ioRetryLimit < 0 || probeRetries < 0 || msgRetryLimit < 0)
+        return "FaultPlan: retry limits must be >= 0";
+    if (ioRetryBackoffS < 0.0 || probeTimeoutS < 0.0 ||
+        msgRetryBackoffS < 0.0)
+        return "FaultPlan: backoff/timeout seconds must be >= 0";
+    for (const FaultSpec &f : faults) {
+        if (f.store < FaultSpec::kAnyStore)
+            return "FaultPlan: fault store must be >= -1";
+        if (f.atS < 0.0 || f.durationS < 0.0)
+            return "FaultPlan: fault times must be >= 0";
+        if ((f.kind == FaultKind::ReadError ||
+             f.kind == FaultKind::MessageLoss) &&
+            (f.probability < 0.0 || f.probability > 1.0))
+            return "FaultPlan: fault probability must be in [0, 1]";
+    }
+    return {};
+}
+
+namespace {
+
+/** Combine independent failure probabilities: 1 - prod(1 - p_i). */
+double
+combineP(double a, double b)
+{
+    return 1.0 - (1.0 - a) * (1.0 - b);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(Simulator &s, const FaultPlan &plan,
+                             int n_stores)
+    : sim_(&s), plan_(plan)
+{
+    assert(n_stores >= 1);
+    assert(plan_.validate().empty() && "invalid FaultPlan");
+    stores_.resize(static_cast<size_t>(n_stores));
+    // Independent per-store RNG streams so the draw sequence of one
+    // store never depends on how draws interleave with another's.
+    Rng master(plan_.seed ^ 0x9d5fa11ced15eedull);
+    for (StoreState &st : stores_)
+        st.rng = master.split();
+
+    for (const FaultSpec &f : plan_.faults) {
+        for (int i = 0; i < n_stores; ++i) {
+            if (f.store != FaultSpec::kAnyStore && f.store != i)
+                continue;
+            StoreState &st = stores_[static_cast<size_t>(i)];
+            switch (f.kind) {
+              case FaultKind::StoreCrash:
+                st.crashAtS = std::min(st.crashAtS, f.atS);
+                break;
+              case FaultKind::StoreStall:
+                st.stalls.push_back(
+                    {f.atS, f.atS + f.durationS, false});
+                break;
+              case FaultKind::ReadError:
+                st.readErrorP =
+                    combineP(st.readErrorP, f.probability);
+                break;
+              case FaultKind::MessageLoss:
+                st.msgLossP = combineP(st.msgLossP, f.probability);
+                break;
+            }
+        }
+    }
+}
+
+FaultInjector::StoreState *
+FaultInjector::stateOf(int store)
+{
+    if (store < 0 || static_cast<size_t>(store) >= stores_.size())
+        return nullptr;
+    return &stores_[static_cast<size_t>(store)];
+}
+
+const FaultInjector::StoreState *
+FaultInjector::stateOf(int store) const
+{
+    if (store < 0 || static_cast<size_t>(store) >= stores_.size())
+        return nullptr;
+    return &stores_[static_cast<size_t>(store)];
+}
+
+bool
+FaultInjector::crashScheduled(int store) const
+{
+    const StoreState *st = stateOf(store);
+    return st != nullptr &&
+           st->crashAtS < std::numeric_limits<double>::infinity();
+}
+
+double
+FaultInjector::crashTimeOf(int store) const
+{
+    const StoreState *st = stateOf(store);
+    return st ? st->crashAtS : std::numeric_limits<double>::infinity();
+}
+
+bool
+FaultInjector::crashed(int store, double now)
+{
+    StoreState *st = stateOf(store);
+    if (!st)
+        return false;
+    if (!st->dead && now < st->crashAtS)
+        return false;
+    if (!st->crashCounted) {
+        st->crashCounted = true;
+        ++report_.crashes;
+    }
+    return true;
+}
+
+double
+FaultInjector::stallDelay(int store, double now)
+{
+    StoreState *st = stateOf(store);
+    if (!st)
+        return 0.0;
+    double until = now;
+    for (StallWindow &w : st->stalls) {
+        if (now >= w.fromS && now < w.untilS) {
+            if (!w.counted) {
+                w.counted = true;
+                ++report_.stalls;
+            }
+            until = std::max(until, w.untilS);
+        }
+    }
+    return until - now;
+}
+
+bool
+FaultInjector::drawReadError(int store)
+{
+    StoreState *st = stateOf(store);
+    if (!st || st->readErrorP <= 0.0)
+        return false;
+    if (!st->rng.chance(st->readErrorP))
+        return false;
+    ++report_.ioErrors;
+    return true;
+}
+
+bool
+FaultInjector::drawMessageLoss(int store)
+{
+    StoreState *st = stateOf(store);
+    if (!st || st->msgLossP <= 0.0)
+        return false;
+    if (!st->rng.chance(st->msgLossP))
+        return false;
+    ++report_.messagesLost;
+    return true;
+}
+
+void
+FaultInjector::declareDead(int store)
+{
+    if (StoreState *st = stateOf(store))
+        st->dead = true;
+}
+
+int
+FaultInjector::eligibleConsumers() const
+{
+    int n = 0;
+    for (const StoreState &st : stores_)
+        if (st.crashAtS == std::numeric_limits<double>::infinity())
+            ++n;
+    return n;
+}
+
+// Producers report through an effectively unbounded channel, so
+// producerDone()/producerCrashed() never suspend the reporting store.
+namespace {
+constexpr size_t kUnbounded = static_cast<size_t>(1) << 40;
+} // namespace
+
+RecoveryCoordinator::RecoveryCoordinator(Simulator &s,
+                                         FaultInjector &inj,
+                                         int n_producers,
+                                         int order_batch)
+    : sim_(s), inj_(inj), nProducers_(n_producers),
+      orderBatch_(std::max(1, order_batch)), exits_(s, kUnbounded),
+      orders_(s, kUnbounded)
+{
+    assert(n_producers >= 1);
+}
+
+sim::Task
+RecoveryCoordinator::signal(int token)
+{
+    co_await exits_.put(token);
+}
+
+sim::Task
+RecoveryCoordinator::producerDone()
+{
+    return signal(kExitClean);
+}
+
+// Deliberately NOT a coroutine: the spill vector moves into
+// coordinator-owned storage while this frame is still a plain call,
+// and only the trivial token travels through coroutine frames.
+sim::Task
+RecoveryCoordinator::producerCrashed(std::vector<ShardSpill> rest)
+{
+    pending_.push_back(std::move(rest));
+    return signal(kExitCrashed);
+}
+
+sim::Task
+RecoveryCoordinator::run()
+{
+    // A store with a crash anywhere in its schedule never volunteers
+    // for recovery duty (it would abandon the re-dispatched work too).
+    const int consumers = inj_.eligibleConsumers();
+    for (int left = nProducers_; left > 0; --left) {
+        auto exit = co_await exits_.get();
+        assert(exit && "exit channel closed early");
+        if (*exit == kExitClean)
+            continue;
+        assert(!pending_.empty() && "crash token without a spill");
+        std::vector<ShardSpill> remaining = std::move(pending_.front());
+        pending_.pop_front();
+        // Tuner-side dead-store detection: probe with bounded
+        // exponential backoff before re-assigning the shard.
+        double backoff = inj_.plan().probeTimeoutS;
+        for (int k = 0; k < inj_.plan().probeRetries; ++k) {
+            co_await sim_.delay(backoff);
+            inj_.report().degradedS += backoff;
+            backoff *= 2.0;
+        }
+        for (const ShardSpill &spill : remaining) {
+            if (consumers == 0) {
+                inj_.noteUnrecovered(FaultClass::StoreCrash,
+                                     spill.items);
+                continue;
+            }
+            uint64_t left_items = spill.items;
+            while (left_items > 0) {
+                int n = static_cast<int>(std::min<uint64_t>(
+                    static_cast<uint64_t>(orderBatch_), left_items));
+                left_items -= static_cast<uint64_t>(n);
+                co_await orders_.put(WorkOrder{spill.run, n});
+            }
+            inj_.report().itemsRedispatched += spill.items;
+        }
+    }
+    orders_.close();
+}
+
+} // namespace ndp::sim

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated PipeStore cluster.
+ *
+ * The paper's FT-DMP argument (§4.1/§5.1) is that PipeStores share no
+ * trainable weights, so a slow or dead store should only delay — or
+ * shrink — its own sub-dataset shard. This module makes that claim
+ * testable: a FaultPlan is a seeded, fully declarative schedule of
+ * faults, and a FaultInjector is the runtime the dataflows consult at
+ * instrumented points:
+ *
+ *  - StoreCrash:  the store's front stage stops producing at time t.
+ *                 In-flight batches drain (they were already read);
+ *                 the remainder of the store's shard is spilled to the
+ *                 RecoveryCoordinator for re-dispatch.
+ *  - StoreStall:  the front stage pauses inside [t, t+d) and resumes
+ *                 on its own — a transient brown-out (compaction,
+ *                 thermal throttling).
+ *  - ReadError:   each object-store read fails with probability p; the
+ *                 store retries with bounded exponential backoff and a
+ *                 store that exhausts the retry budget is declared
+ *                 dead (escalates to StoreCrash semantics).
+ *  - MessageLoss: a delta-distribution (or online-upload) message is
+ *                 lost with probability p and must be retransmitted.
+ *
+ * Determinism rule: every stochastic draw routes through a per-store
+ * ndp::Rng stream derived from FaultPlan::seed — never wall clock —
+ * so a faulted run is a pure function of (config, plan) and two runs
+ * with the same seed produce bit-identical reports.
+ *
+ * An unarmed injector (default-constructed, or armed with an empty
+ * plan) must be a zero-cost no-op: hooks guard on armed() and perform
+ * no RNG draws, no event scheduling, and no awaits, so all golden
+ * figures stay bitwise identical when no faults are requested.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/wait_group.h"
+
+namespace ndp::sim {
+
+/** Fault kinds the simulator can inject. */
+enum class FaultKind
+{
+    StoreCrash,
+    StoreStall,
+    ReadError,
+    MessageLoss,
+};
+
+/**
+ * Typed classification of a fault outcome. `None` means the run
+ * completed clean or every injected fault was recovered; any other
+ * value names the class of the first *unrecovered* fault — the typed
+ * error the scenario tests assert instead of a sentinel value.
+ */
+enum class FaultClass
+{
+    None,
+    StoreCrash,
+    StoreStall,
+    IoError,
+    MessageLoss,
+    OutOfMemory,
+};
+
+const char *faultKindName(FaultKind k);
+const char *faultClassName(FaultClass c);
+
+/** One scheduled fault. `store == kAnyStore` targets every store. */
+struct FaultSpec
+{
+    static constexpr int kAnyStore = -1;
+
+    FaultKind kind = FaultKind::StoreCrash;
+    int store = kAnyStore;
+    /** Trigger time for crash/stall, simulated seconds. */
+    double atS = 0.0;
+    /** Stall duration; the store recovers at atS + durationS. */
+    double durationS = 0.0;
+    /** Per-event probability for ReadError / MessageLoss. */
+    double probability = 0.0;
+};
+
+/**
+ * Declarative, seeded fault schedule plus the recovery-policy knobs.
+ * An empty plan (no faults) arms nothing and perturbs nothing.
+ */
+struct FaultPlan
+{
+    uint64_t seed = 0x5eedfa17u;
+    std::vector<FaultSpec> faults;
+
+    /** @name Recovery policy (bounded exponential backoff)
+     * @{ */
+    /** First I/O-retry backoff; doubles per attempt. */
+    double ioRetryBackoffS = 0.05;
+    /** Read attempts before a store is declared dead. */
+    int ioRetryLimit = 5;
+    /** Tuner-side probe timeout before declaring a store dead. */
+    double probeTimeoutS = 1.0;
+    /** Dead-store probes (timeouts double) before re-dispatch. */
+    int probeRetries = 3;
+    /** First delta-retransmission backoff; doubles per attempt. */
+    double msgRetryBackoffS = 0.1;
+    /** Retransmissions before a delta push is abandoned. */
+    int msgRetryLimit = 5;
+    /** @} */
+
+    bool empty() const { return faults.empty(); }
+
+    /** @name Builder helpers
+     * @{ */
+    FaultPlan &crashStore(int store, double at_s);
+    FaultPlan &stallStore(int store, double at_s, double duration_s);
+    FaultPlan &readErrors(double p, int store = FaultSpec::kAnyStore);
+    FaultPlan &loseMessages(double p, int store = FaultSpec::kAnyStore);
+    /** @} */
+
+    /** Empty string when valid; otherwise names the offending field. */
+    std::string validate() const;
+};
+
+/**
+ * What the injector did to a run. Every figure bench can state which
+ * faults it survived; the determinism suite compares these
+ * bit-for-bit across same-seed runs.
+ */
+struct FaultReport
+{
+    /** @name Injected
+     * @{ */
+    uint64_t crashes = 0;
+    uint64_t stalls = 0;
+    uint64_t ioErrors = 0;
+    uint64_t messagesLost = 0;
+    /** @} */
+
+    /** @name Recovered
+     * @{ */
+    /** Read retries that eventually succeeded. */
+    uint64_t ioRetries = 0;
+    /** Delta/upload retransmissions. */
+    uint64_t messagesResent = 0;
+    /** Items re-assigned from dead stores to survivors. */
+    uint64_t itemsRedispatched = 0;
+    /** @} */
+
+    /** @name Unrecovered
+     * @{ */
+    /** Items permanently lost (no surviving store to re-dispatch to,
+     *  or a synchronized "+FC" fleet that cannot re-assign work). */
+    uint64_t itemsLost = 0;
+    /** Delta pushes abandoned after the retry budget. */
+    uint64_t deltaPushFailures = 0;
+    /** Class of the first unrecovered fault; None if all recovered. */
+    FaultClass terminal = FaultClass::None;
+    /** @} */
+
+    /** Simulated seconds spent stalled, backing off, or probing. */
+    double degradedS = 0.0;
+
+    bool
+    anyInjected() const
+    {
+        return crashes + stalls + ioErrors + messagesLost > 0;
+    }
+
+    bool
+    recovered() const
+    {
+        return terminal == FaultClass::None;
+    }
+
+    FaultReport &
+    operator+=(const FaultReport &o)
+    {
+        crashes += o.crashes;
+        stalls += o.stalls;
+        ioErrors += o.ioErrors;
+        messagesLost += o.messagesLost;
+        ioRetries += o.ioRetries;
+        messagesResent += o.messagesResent;
+        itemsRedispatched += o.itemsRedispatched;
+        itemsLost += o.itemsLost;
+        deltaPushFailures += o.deltaPushFailures;
+        degradedS += o.degradedS;
+        if (terminal == FaultClass::None)
+            terminal = o.terminal;
+        return *this;
+    }
+};
+
+/**
+ * Runtime the dataflows consult at instrumented points. One injector
+ * serves one simulation run; it holds per-store fault schedules, the
+ * per-store RNG streams, and the accumulated FaultReport.
+ *
+ * Thread the injector through a PipelineSpec (or use the query API
+ * directly from bespoke coroutines). All queries are O(active faults
+ * on that store) and schedule nothing themselves; the *caller* awaits
+ * any delay the policy demands, so an unarmed injector never changes
+ * the event sequence.
+ */
+class FaultInjector
+{
+  public:
+    /** Unarmed: every query is an inert no-op. */
+    FaultInjector() = default;
+
+    FaultInjector(Simulator &s, const FaultPlan &plan, int n_stores);
+
+    /** True when a non-empty plan is loaded. */
+    bool armed() const { return sim_ != nullptr && !plan_.empty(); }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** @name Schedule queries (no RNG, no side effects on timing)
+     * @{ */
+    /** A crash fault targets @p store (fired or not). Stores with a
+     *  scheduled crash never volunteer for re-dispatch duty. */
+    bool crashScheduled(int store) const;
+
+    /** Crash trigger time for @p store; +inf when none. */
+    double crashTimeOf(int store) const;
+
+    /**
+     * True once @p now has passed the store's crash time (or the
+     * store was declared dead by I/O escalation). First observation
+     * counts the crash in the report.
+     */
+    bool crashed(int store, double now);
+
+    /**
+     * Seconds the store must stall from @p now to clear every active
+     * stall window; 0 when none is active. Counts each window once.
+     */
+    double stallDelay(int store, double now);
+    /** @} */
+
+    /** @name Stochastic draws (per-store seeded streams)
+     * @{ */
+    /** Draw a read failure for the next object-store read. */
+    bool drawReadError(int store);
+
+    /** Draw a loss for the next distribution/upload message. */
+    bool drawMessageLoss(int store);
+    /** @} */
+
+    /** Escalate @p store to dead (I/O retry budget exhausted). */
+    void declareDead(int store);
+
+    /** Stores with no scheduled crash: re-dispatch volunteers. */
+    int eligibleConsumers() const;
+
+    FaultReport &report() { return report_; }
+    const FaultReport &report() const { return report_; }
+
+    /** Record an unrecovered fault of class @p c (first one wins). */
+    void
+    noteUnrecovered(FaultClass c, uint64_t items_lost)
+    {
+        report_.itemsLost += items_lost;
+        if (report_.terminal == FaultClass::None)
+            report_.terminal = c;
+    }
+
+  private:
+    struct StallWindow
+    {
+        double fromS = 0.0;
+        double untilS = 0.0;
+        bool counted = false;
+    };
+
+    struct StoreState
+    {
+        double crashAtS = std::numeric_limits<double>::infinity();
+        bool crashCounted = false;
+        bool dead = false;
+        std::vector<StallWindow> stalls;
+        double readErrorP = 0.0;
+        double msgLossP = 0.0;
+        Rng rng;
+    };
+
+    StoreState *stateOf(int store);
+    const StoreState *stateOf(int store) const;
+
+    Simulator *sim_ = nullptr;
+    FaultPlan plan_;
+    std::vector<StoreState> stores_;
+    FaultReport report_;
+};
+
+/** One chunk of re-dispatched work: @p items of pipeline run @p run. */
+struct WorkOrder
+{
+    int run = 0;
+    int items = 0;
+};
+
+/** A dying producer's remaining share of one run. */
+struct ShardSpill
+{
+    int run = 0;
+    uint64_t items = 0;
+};
+
+/**
+ * Tuner-side recovery: collects the shards dead stores abandoned and
+ * re-dispatches them to surviving stores as WorkOrders on a shared
+ * multi-consumer channel (FT-DMP shares no weights, so recovery is
+ * pure work re-assignment, §5.1). Each producer reports exactly once
+ * — clean exit or crash-with-remainder; after a crash the
+ * coordinator probes the dead store with bounded exponential backoff
+ * (the per-run timeout policy) before declaring it dead and emitting
+ * orders. With no surviving consumer the shard is typed as lost
+ * instead of hanging.
+ */
+class RecoveryCoordinator
+{
+  public:
+    RecoveryCoordinator(Simulator &s, FaultInjector &inj,
+                        int n_producers, int order_batch);
+
+    /** Re-dispatch orders; survivors' pipelines consume this. */
+    Channel<WorkOrder> &orders() { return orders_; }
+
+    /** @name Producer-side reporting (awaitable, never blocks)
+     * @{ */
+    /** Producer finished its shard normally. */
+    [[nodiscard]] Task producerDone();
+
+    /**
+     * Producer observed its crash; hand over the remainder. The spill
+     * is stored synchronously before the returned task signals the
+     * coordinator — only a trivially-copyable token ever crosses a
+     * coroutine frame (non-trivial coroutine parameters are a
+     * lifetime hazard, the by-value cousin of coroutine-ref-param).
+     */
+    [[nodiscard]] Task producerCrashed(std::vector<ShardSpill> rest);
+    /** @} */
+
+    /** Coordinator process; spawn once on the simulator. */
+    [[nodiscard]] Task run();
+
+  private:
+    /** Exit token: one per producer. */
+    enum ExitKind : int
+    {
+        kExitClean = 0,
+        kExitCrashed = 1,
+    };
+
+    [[nodiscard]] Task signal(int token);
+
+    Simulator &sim_;
+    FaultInjector &inj_;
+    int nProducers_;
+    int orderBatch_;
+    Channel<int> exits_;
+    Channel<WorkOrder> orders_;
+    /** Spills handed over by crashed producers, in signal order. */
+    std::deque<std::vector<ShardSpill>> pending_;
+};
+
+} // namespace ndp::sim

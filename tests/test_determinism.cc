@@ -68,6 +68,23 @@ expectSamePerServer(const std::vector<ndp::hw::ServerPowerSample> &a,
 }
 
 void
+expectSameFaults(const ndp::sim::FaultReport &a,
+                 const ndp::sim::FaultReport &b)
+{
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.stalls, b.stalls);
+    EXPECT_EQ(a.ioErrors, b.ioErrors);
+    EXPECT_EQ(a.messagesLost, b.messagesLost);
+    EXPECT_EQ(a.ioRetries, b.ioRetries);
+    EXPECT_EQ(a.messagesResent, b.messagesResent);
+    EXPECT_EQ(a.itemsRedispatched, b.itemsRedispatched);
+    EXPECT_EQ(a.itemsLost, b.itemsLost);
+    EXPECT_EQ(a.deltaPushFailures, b.deltaPushFailures);
+    EXPECT_EQ(a.terminal, b.terminal);
+    EXPECT_BITEQ(a.degradedS, b.degradedS);
+}
+
+void
 expectSameInference(const InferenceReport &a, const InferenceReport &b)
 {
     EXPECT_BITEQ(a.seconds, b.seconds);
@@ -81,6 +98,7 @@ expectSameInference(const InferenceReport &a, const InferenceReport &b)
     expectSamePower(a.power, b.power);
     expectSamePerServer(a.perServer, b.perServer);
     expectSameStages(a.stages, b.stages);
+    expectSameFaults(a.faults, b.faults);
 }
 
 void
@@ -97,6 +115,7 @@ expectSameTrain(const TrainReport &a, const TrainReport &b)
     expectSamePower(a.power, b.power);
     expectSamePerServer(a.perServer, b.perServer);
     expectSameStages(a.stages, b.stages);
+    expectSameFaults(a.faults, b.faults);
 }
 
 /** Fig. 12-equivalent config: one PipeStore, each NPE level in turn. */
@@ -166,6 +185,53 @@ TEST(Determinism, OnlineInferenceBitIdentical)
     EXPECT_BITEQ(first.gpuUtil, second.gpuUtil);
     EXPECT_BITEQ(first.cpuUtil, second.cpuUtil);
     EXPECT_EQ(first.saturated, second.saturated);
+}
+
+// Faulted runs must be just as deterministic as clean ones: every
+// fault draw routes through the per-store seeded sim::random streams
+// (never wall clock), so (config, FaultPlan) fully determines the run.
+
+TEST(Determinism, FaultedFtDmpTrainingBitIdentical)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    cfg.nImages = 40000;
+    cfg.faults.crashStore(1, 2.0)
+        .stallStore(2, 1.0, 3.0)
+        .readErrors(0.02)
+        .loseMessages(0.3);
+    TrainOptions opt;
+    opt.nRun = 3;
+    TrainReport first = runFtDmpTraining(cfg, opt);
+    TrainReport second = runFtDmpTraining(cfg, opt);
+    EXPECT_TRUE(first.faults.anyInjected());
+    expectSameTrain(first, second);
+}
+
+TEST(Determinism, FaultedNdpInferenceBitIdentical)
+{
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    cfg.nImages = 20000;
+    cfg.faults.crashStore(0, 1.0).readErrors(0.05, 2);
+    InferenceReport first = runNdpOfflineInference(cfg);
+    InferenceReport second = runNdpOfflineInference(cfg);
+    EXPECT_TRUE(first.faults.anyInjected());
+    expectSameInference(first, second);
+}
+
+TEST(Determinism, FaultedOnlineInferenceBitIdentical)
+{
+    OnlineConfig cfg;
+    cfg.nUploads = 5000;
+    cfg.faults.loseMessages(0.1).stallStore(0, 5.0, 2.0);
+    OnlineReport first = runOnlineInference(cfg);
+    OnlineReport second = runOnlineInference(cfg);
+    EXPECT_TRUE(first.faults.anyInjected());
+    EXPECT_BITEQ(first.seconds, second.seconds);
+    EXPECT_BITEQ(first.p99Ms, second.p99Ms);
+    EXPECT_BITEQ(first.meanMs, second.meanMs);
+    expectSameFaults(first.faults, second.faults);
 }
 
 } // namespace

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Fault-matrix scenario harness: every {fault kind} x {lifecycle
+ * phase} x {faulted-store count} cell must end in one of exactly two
+ * outcomes — the run converges (work conserved, accuracy within
+ * tolerance of fault-free) or it fails *typed* (FaultReport::terminal
+ * names the class, lost work is counted). A hang or a silent sentinel
+ * is never acceptable. Phases are expressed as fractions of the
+ * fault-free run's wall time, so the grid stays valid as the
+ * calibrated physics evolve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/inference.h"
+#include "core/online.h"
+#include "core/service.h"
+#include "core/training.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+#define EXPECT_BITEQ(a, b)                                               \
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))    \
+        << #a " differs: " << (a) << " vs " << (b)
+
+ExperimentConfig
+matrixCfg(int n_stores = 4)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = n_stores;
+    cfg.nImages = 20000;
+    return cfg;
+}
+
+enum class Kind
+{
+    Crash,
+    Stall,
+    IoError,
+};
+
+/** Schedule @p kind on stores [0, n_faulty) around phase @p at_s. */
+sim::FaultPlan
+planFor(Kind kind, int n_faulty, double at_s, double stall_s)
+{
+    sim::FaultPlan plan;
+    for (int s = 0; s < n_faulty; ++s) {
+        switch (kind) {
+          case Kind::Crash:
+            plan.crashStore(s, at_s);
+            break;
+          case Kind::Stall:
+            plan.stallStore(s, at_s, stall_s);
+            break;
+          case Kind::IoError:
+            plan.readErrors(0.05, s);
+            break;
+        }
+    }
+    return plan;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Offline NDP inference: {crash, stall, io-error} x {early, mid, late}
+// x {1, N-1 of 4 stores}. Survivors exist in every cell, so every cell
+// must conserve work: all images classified, crash remainders
+// re-dispatched, and the report must say the run recovered.
+// ---------------------------------------------------------------------
+
+TEST(FaultMatrix, NdpInferenceGridConvergesWithSurvivors)
+{
+    ExperimentConfig base_cfg = matrixCfg();
+    InferenceReport base = runNdpOfflineInference(base_cfg);
+    ASSERT_EQ(base.stages.itemsDone, base_cfg.nImages);
+    ASSERT_GT(base.seconds, 0.0);
+
+    // Phases anchor inside the front-stage (read) window: crash and
+    // stall are consulted at the producer's batch boundaries, so a
+    // trigger after the last read is a structural no-op (covered by
+    // CrashAfterReadPhaseIsNoOp below).
+    const Kind kinds[] = {Kind::Crash, Kind::Stall, Kind::IoError};
+    const double phases[] = {0.2, 0.4, 0.6};
+    const int faulty_counts[] = {1, base_cfg.nStores - 1};
+
+    for (Kind kind : kinds) {
+        for (double phase : phases) {
+            for (int n_faulty : faulty_counts) {
+                ExperimentConfig cfg = base_cfg;
+                cfg.faults = planFor(kind, n_faulty,
+                                     phase * base.seconds,
+                                     0.5 * base.seconds);
+                InferenceReport r = runNdpOfflineInference(cfg);
+                SCOPED_TRACE(testing::Message()
+                             << "kind=" << static_cast<int>(kind)
+                             << " phase=" << phase
+                             << " faulty=" << n_faulty);
+
+                // Converged: every image classified, recovery clean.
+                EXPECT_EQ(r.stages.itemsDone, cfg.nImages);
+                EXPECT_TRUE(r.faults.recovered());
+                EXPECT_EQ(r.faults.itemsLost, 0u);
+                EXPECT_TRUE(r.faults.anyInjected());
+
+                switch (kind) {
+                  case Kind::Crash:
+                    EXPECT_EQ(r.faults.crashes,
+                              static_cast<uint64_t>(n_faulty));
+                    EXPECT_GT(r.faults.itemsRedispatched, 0u);
+                    // Probing dead stores took wall time.
+                    EXPECT_GT(r.faults.degradedS, 0.0);
+                    EXPECT_GT(r.seconds, base.seconds);
+                    break;
+                  case Kind::Stall:
+                    EXPECT_GE(r.faults.stalls,
+                              static_cast<uint64_t>(n_faulty));
+                    EXPECT_GT(r.seconds, base.seconds);
+                    break;
+                  case Kind::IoError:
+                    EXPECT_GT(r.faults.ioErrors, 0u);
+                    // Every drawn error was retried successfully.
+                    EXPECT_EQ(r.faults.ioRetries, r.faults.ioErrors);
+                    EXPECT_GE(r.seconds, base.seconds);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+TEST(FaultMatrix, CrashAfterReadPhaseIsNoOp)
+{
+    // A crash scheduled after the store finished reading its shard
+    // never fires: every image was already in flight or done, and the
+    // armed-but-idle hooks must not perturb the timing either.
+    ExperimentConfig cfg = matrixCfg();
+    InferenceReport base = runNdpOfflineInference(cfg);
+    cfg.faults.crashStore(0, 0.99 * base.seconds);
+    InferenceReport r = runNdpOfflineInference(cfg);
+    EXPECT_EQ(r.faults.crashes, 0u);
+    EXPECT_EQ(r.stages.itemsDone, cfg.nImages);
+    EXPECT_TRUE(r.faults.recovered());
+    EXPECT_BITEQ(r.seconds, base.seconds);
+}
+
+TEST(FaultMatrix, AllStoresCrashedIsTypedLossNotHang)
+{
+    ExperimentConfig cfg = matrixCfg();
+    InferenceReport base = runNdpOfflineInference(matrixCfg());
+    for (int s = 0; s < cfg.nStores; ++s)
+        cfg.faults.crashStore(s, 0.5 * base.seconds);
+    InferenceReport r = runNdpOfflineInference(cfg);
+    // No survivor to re-dispatch to: the remainder is a typed loss,
+    // and what drained before the crash plus the loss covers the set.
+    EXPECT_EQ(r.faults.terminal, sim::FaultClass::StoreCrash);
+    EXPECT_GT(r.faults.itemsLost, 0u);
+    EXPECT_EQ(r.faults.itemsRedispatched, 0u);
+    EXPECT_EQ(r.stages.itemsDone + r.faults.itemsLost, cfg.nImages);
+}
+
+TEST(FaultMatrix, SerialTypicalCrashIsTypedLoss)
+{
+    ExperimentConfig cfg = matrixCfg(1);
+    cfg.npe.pipelined = false;
+    InferenceReport base = runNdpOfflineInference(cfg);
+    cfg.faults.crashStore(0, 0.5 * base.seconds);
+    InferenceReport r = runNdpOfflineInference(cfg);
+    EXPECT_EQ(r.faults.terminal, sim::FaultClass::StoreCrash);
+    EXPECT_EQ(r.stages.itemsDone + r.faults.itemsLost, cfg.nImages);
+}
+
+// ---------------------------------------------------------------------
+// FT-DMP training phases: bootstrap (crash before any work), feature
+// extraction (mid-run), tuner (late), delta distribution (message
+// loss). FT-DMP shares no weights, so a dead store's shard re-assigns
+// and the tuner still sees every feature.
+// ---------------------------------------------------------------------
+
+TEST(FaultMatrix, FtDmpCrashPhasesConserveFeatures)
+{
+    ExperimentConfig base_cfg = matrixCfg();
+    base_cfg.nImages = 40000;
+    TrainOptions opt;
+    opt.nRun = 3;
+    TrainReport base = runFtDmpTraining(base_cfg, opt);
+    ASSERT_EQ(base.stages.itemsDone, base_cfg.nImages);
+
+    // Fractions of total wall time that land in the bootstrap, early-
+    // extraction, and late-extraction windows (the tuner tail starts
+    // after the last feature ships, so stay below ~0.7).
+    const double phases[] = {0.0, 0.3, 0.6};
+    for (double phase : phases) {
+        ExperimentConfig cfg = base_cfg;
+        cfg.faults.crashStore(0, phase * base.seconds);
+        TrainReport r = runFtDmpTraining(cfg, opt);
+        SCOPED_TRACE(testing::Message() << "phase=" << phase);
+        EXPECT_EQ(r.faults.crashes, 1u);
+        EXPECT_TRUE(r.faults.recovered());
+        // Survivors absorbed the dead store's shard: the tuner saw
+        // every feature, whichever phase the crash hit.
+        EXPECT_EQ(r.stages.itemsDone, cfg.nImages);
+        EXPECT_GT(r.faults.itemsRedispatched, 0u);
+    }
+}
+
+TEST(FaultMatrix, FtDmpUnpipelinedGatesSurviveCrash)
+{
+    // Unpipelined FT-DMP gates run r on the tuner finishing r-1; a
+    // run-0 crash must not starve the gates into a deadlock.
+    ExperimentConfig cfg = matrixCfg();
+    cfg.nImages = 40000;
+    cfg.faults.crashStore(0, 0.0);
+    TrainOptions opt;
+    opt.nRun = 3;
+    opt.pipelined = false;
+    TrainReport r = runFtDmpTraining(cfg, opt);
+    EXPECT_EQ(r.stages.itemsDone, cfg.nImages);
+    EXPECT_TRUE(r.faults.recovered());
+    EXPECT_GT(r.faults.itemsRedispatched, 0u);
+}
+
+TEST(FaultMatrix, FcFleetCrashLosesShardButNeverHangs)
+{
+    // Naive "+FC": every store trains the full model behind a
+    // per-iteration all-reduce. A dead store cannot hand its shard to
+    // anyone — the loss is typed — and it must leave the barrier or
+    // the surviving fleet's all-reduce would wait forever.
+    ExperimentConfig cfg = matrixCfg();
+    cfg.nImages = 40000;
+    TrainOptions fc;
+    fc.cut = cfg.model->numBlocks();
+    TrainReport base = runFtDmpTraining(cfg, fc);
+    cfg.faults.crashStore(1, 0.25 * base.seconds);
+    TrainReport r = runFtDmpTraining(cfg, fc);
+    EXPECT_EQ(r.faults.crashes, 1u);
+    EXPECT_GT(r.faults.itemsLost, 0u);
+    EXPECT_EQ(r.faults.terminal, sim::FaultClass::StoreCrash);
+}
+
+TEST(FaultMatrix, DeltaDistributionRetransmitsLostPushes)
+{
+    ExperimentConfig cfg = matrixCfg();
+    cfg.nImages = 40000;
+    TrainOptions opt;
+    TrainReport base = runFtDmpTraining(cfg, opt);
+    // Only one loss draw happens per store per push, so a middling p
+    // can sail through clean on a given seed — 0.9 guarantees this
+    // seed observes losses while staying under the retry budget.
+    cfg.faults.loseMessages(0.9);
+    TrainReport r = runFtDmpTraining(cfg, opt);
+    EXPECT_GT(r.faults.messagesLost, 0u);
+    EXPECT_GT(r.faults.messagesResent, 0u);
+    // Retransmissions crossed the wire: distribution traffic grew.
+    EXPECT_GT(r.distributionBytes, base.distributionBytes);
+}
+
+TEST(FaultMatrix, DeltaPushExhaustionIsTypedFailure)
+{
+    ExperimentConfig cfg = matrixCfg();
+    cfg.nImages = 40000;
+    cfg.faults.loseMessages(1.0);
+    cfg.faults.msgRetryLimit = 3;
+    TrainOptions opt;
+    TrainReport r = runFtDmpTraining(cfg, opt);
+    // Every push drops every time: each store's delta is abandoned
+    // after the bounded retry budget — typed, and the run still ends.
+    EXPECT_EQ(r.faults.deltaPushFailures,
+              static_cast<uint64_t>(cfg.nStores));
+    EXPECT_EQ(r.faults.terminal, sim::FaultClass::MessageLoss);
+}
+
+// ---------------------------------------------------------------------
+// Online inference under upload loss.
+// ---------------------------------------------------------------------
+
+TEST(FaultMatrix, OnlineUploadLossRetransmitsOrDropsTyped)
+{
+    OnlineConfig cfg;
+    cfg.nUploads = 5000;
+    cfg.faults.loseMessages(0.2);
+    OnlineReport r = runOnlineInference(cfg);
+    EXPECT_GT(r.faults.messagesLost, 0u);
+    EXPECT_GT(r.faults.messagesResent, 0u);
+    // 0.2^6 per upload: a dropped upload is possible but must be
+    // accounted as a typed loss if it happens.
+    if (r.faults.itemsLost > 0)
+        EXPECT_EQ(r.faults.terminal, sim::FaultClass::MessageLoss);
+    else
+        EXPECT_TRUE(r.faults.recovered());
+}
+
+// ---------------------------------------------------------------------
+// Zero-fault parity: an empty FaultPlan must leave every figure
+// bitwise identical — the injection hooks are zero-cost no-ops when
+// unarmed, whatever the plan's seed or policy knobs say.
+// ---------------------------------------------------------------------
+
+TEST(FaultMatrix, EmptyPlanIsBitwiseIdenticalToDefault)
+{
+    ExperimentConfig plain = matrixCfg();
+    ExperimentConfig knobs = matrixCfg();
+    knobs.faults.seed = 0xdeadbeef; // different seed, still no faults
+    knobs.faults.ioRetryLimit = 99;
+    knobs.faults.probeTimeoutS = 123.0;
+
+    InferenceReport a = runNdpOfflineInference(plain);
+    InferenceReport b = runNdpOfflineInference(knobs);
+    EXPECT_BITEQ(a.seconds, b.seconds);
+    EXPECT_BITEQ(a.ips, b.ips);
+    EXPECT_BITEQ(a.energyJ, b.energyJ);
+    EXPECT_EQ(a.stages.itemsDone, b.stages.itemsDone);
+    EXPECT_BITEQ(a.stages.lastItemS, b.stages.lastItemS);
+    EXPECT_FALSE(b.faults.anyInjected());
+
+    TrainOptions opt;
+    TrainReport ta = runFtDmpTraining(plain, opt);
+    TrainReport tb = runFtDmpTraining(knobs, opt);
+    EXPECT_BITEQ(ta.seconds, tb.seconds);
+    EXPECT_BITEQ(ta.dataTrafficBytes, tb.dataTrafficBytes);
+    EXPECT_BITEQ(ta.distributionBytes, tb.distributionBytes);
+    EXPECT_EQ(ta.stages.itemsDone, tb.stages.itemsDone);
+}
+
+// ---------------------------------------------------------------------
+// Out-of-memory is a typed fault, not a sentinel (Fig. 19's ViT
+// failures): the report carries the class and the sizing details.
+// ---------------------------------------------------------------------
+
+TEST(FaultMatrix, OomIsTypedFaultWithSizing)
+{
+    ExperimentConfig cfg = matrixCfg();
+    cfg.model = &models::vitB16();
+    cfg.npe.batchSize = 512;
+    InferenceReport r = runNdpOfflineInference(cfg);
+    EXPECT_TRUE(r.oom); // legacy sentinel still set for old callers
+    EXPECT_EQ(r.faults.terminal, sim::FaultClass::OutOfMemory);
+    EXPECT_GT(r.oomNeededGiB, cfg.storeSpec.gpu->memGib);
+    EXPECT_EQ(r.ips, 0.0);
+
+    InferenceReport srv = runSrvOfflineInference(cfg, SrvVariant::Ideal);
+    EXPECT_TRUE(srv.oom);
+    EXPECT_EQ(srv.faults.terminal, sim::FaultClass::OutOfMemory);
+    EXPECT_GT(srv.oomNeededGiB, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Functional layer: crashed stores during PhotoService::fineTune()
+// re-assign their shards and the model still converges; delta pushes
+// over a lossy channel reconcile versions or fall back to a full
+// checkpoint — replicas never silently stay stale.
+// ---------------------------------------------------------------------
+
+namespace {
+
+PhotoService::Config
+tinyServiceConfig()
+{
+    PhotoService::Config cfg;
+    cfg.profile = data::imagenet1kProfile();
+    cfg.profile.world.initialImages = 1500;
+    cfg.profile.world.initialClasses = 20;
+    cfg.profile.world.maxClasses = 25;
+    cfg.profile.testSetSize = 600;
+    cfg.profile.fullTrainCfg.maxEpochs = 20;
+    cfg.profile.fineTuneCfg.maxEpochs = 12;
+    cfg.nPipeStores = 3;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FaultMatrix, ServiceCrashedStoreConvergesWithinTolerance)
+{
+    PhotoService clean(tinyServiceConfig());
+    clean.bootstrap();
+    clean.advanceDays(2);
+    auto clean_out = clean.fineTune();
+
+    auto crashed_cfg = tinyServiceConfig();
+    crashed_cfg.crashedStores = {1};
+    PhotoService faulted(crashed_cfg);
+    faulted.bootstrap();
+    faulted.advanceDays(2);
+    auto fault_out = faulted.fineTune();
+
+    // The dead store extracted nothing; its images moved to survivors
+    // and the same training set reached the tuner.
+    EXPECT_EQ(fault_out.shardSizes[1], 0u);
+    EXPECT_GT(fault_out.redispatchedImages, 0u);
+    EXPECT_EQ(fault_out.newModelVersion, clean_out.newModelVersion);
+    EXPECT_NEAR(fault_out.top1After, clean_out.top1After, 0.08);
+}
+
+TEST(FaultMatrix, ServiceAllStoresCrashedLeavesModelUnchanged)
+{
+    auto cfg = tinyServiceConfig();
+    cfg.crashedStores = {0, 1, 2};
+    PhotoService service(cfg);
+    service.bootstrap();
+    service.advanceDays(2);
+    auto out = service.fineTune();
+    // Nothing extracted, nothing trained: the version must not lie.
+    EXPECT_EQ(out.epochs, 0);
+    EXPECT_EQ(out.newModelVersion, 1);
+    EXPECT_EQ(out.redispatchedImages, 0u);
+}
+
+TEST(FaultMatrix, DeltaPushReconcilesVersionsOnReplicas)
+{
+    PhotoService service(tinyServiceConfig());
+    service.bootstrap();
+    service.advanceDays(2);
+    auto out = service.fineTune();
+    ASSERT_GT(out.delta.payload.size(), 0u);
+
+    // Clean channel: every replica upgrades by delta.
+    auto dist = service.distributeDelta(out.delta, out.baseVersion,
+                                        out.newModelVersion);
+    EXPECT_EQ(dist.applied, service.config().nPipeStores);
+    EXPECT_EQ(dist.fullFallbacks, 0);
+    EXPECT_TRUE(dist.allCurrent());
+    for (const auto &rep : service.replicas())
+        EXPECT_EQ(rep.version, out.newModelVersion);
+
+    // Duplicate push: reconciliation detects it, applies nothing.
+    auto dup = service.distributeDelta(out.delta, out.baseVersion,
+                                       out.newModelVersion);
+    EXPECT_EQ(dup.applied, 0);
+    EXPECT_EQ(dup.fullFallbacks, 0);
+    EXPECT_TRUE(dup.allCurrent());
+}
+
+TEST(FaultMatrix, DeltaPushFullyLossyFallsBackToCheckpoint)
+{
+    PhotoService service(tinyServiceConfig());
+    service.bootstrap();
+    service.advanceDays(2);
+    auto out = service.fineTune();
+
+    // p = 1.0: every push (and every retry) is lost. The bounded
+    // retry budget must expire and every replica recover via the
+    // full-checkpoint fallback — typed, converged, no hang.
+    auto dist = service.distributeDelta(out.delta, out.baseVersion,
+                                        out.newModelVersion, 1.0);
+    EXPECT_EQ(dist.applied, 0);
+    EXPECT_EQ(dist.fullFallbacks, service.config().nPipeStores);
+    EXPECT_GT(dist.retransmissions, 0);
+    EXPECT_TRUE(dist.allCurrent());
+    for (const auto &rep : service.replicas())
+        EXPECT_EQ(rep.version, out.newModelVersion);
+}
+
+TEST(FaultMatrix, DeltaPushVersionMismatchFallsBack)
+{
+    PhotoService service(tinyServiceConfig());
+    service.bootstrap();
+    service.advanceDays(2);
+    auto out = service.fineTune();
+
+    // A delta chained against a base no replica holds cannot apply;
+    // reconciliation types the mismatch and the fallback restores
+    // convergence with the full model.
+    auto dist = service.distributeDelta(out.delta, out.baseVersion + 5,
+                                        out.newModelVersion + 5);
+    EXPECT_EQ(dist.applied, 0);
+    EXPECT_EQ(dist.fullFallbacks, service.config().nPipeStores);
+    EXPECT_TRUE(dist.allCurrent());
+}
