@@ -15,6 +15,7 @@
 #include "core/inference.h"
 #include "core/training.h"
 #include "models/throughput.h"
+#include "net/estimate.h"
 
 using namespace ndp;
 using namespace ndp::core;
@@ -88,10 +89,13 @@ main()
     // host preprocess cores and 2 V100s.
     auto b_ndp = npeStageTimes(cfg, cfg.npe, false);
     double n_st = static_cast<double>(cfg.nStores);
-    double t_read = models::kRawImageMB * 1e6 /
-                    (cfg.srvStoreSpec.disk.readMBps * 1e6) /
+    // Steady-state stream rate: per-image seek is amortized away.
+    double t_read = (cfg.srvStoreSpec.disk.streamReadSeconds(
+                         models::kRawImageMB * 1e6) -
+                     cfg.srvStoreSpec.disk.seekS) /
                     cfg.srvStorageServers;
-    double t_net = models::kRawImageMB * 8.0 / (cfg.networkGbps * 1e3);
+    double t_net = ndp::net::wireSeconds(models::kRawImageMB * 1e6,
+                                         cfg.networkGbps);
     double t_pre = 1.0 / (kPreprocImgPerSecPerCore * 8.0);
     double t_gpu = 1.0 / models::deviceIps(*cfg.hostSpec.gpu,
                                            *cfg.model,

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "core/npe_common.h"
 #include "models/throughput.h"
+#include "net/estimate.h"
 #include "storage/codec.h"
 
 namespace ndp::core {
@@ -23,19 +25,23 @@ evaluateCut(const ExperimentConfig &cfg, const TrainOptions &opt,
                       static_cast<double>(opt.nRun);
 
     // Store stage: the slowest of the 3-stage NPE pipeline, per image.
-    double read_s = (m.inputMB() / kCompressionRatio) /
-                    (cfg.storeSpec.disk.readMBps);
-    double dec_s = m.inputMB() / (storage::kDecompressMBps *
-                                  cfg.npe.decompressCores);
+    // Steady-state stream rate: per-image seek is amortized away.
+    double read_s = cfg.storeSpec.disk.streamReadSeconds(
+                        m.inputMB() / kCompressionRatio * 1e6) -
+                    cfg.storeSpec.disk.seekS;
+    double dec_s = decompressSeconds(m.inputMB(),
+                                     cfg.npe.decompressCores);
     double fe_s = models::feSecondsPerImage(*cfg.storeSpec.gpu, m, cut,
                                             opt.feBatch);
     double per_image_store = std::max({read_s, dec_s, fe_s});
     c.storeStageS =
         imgs_run * per_image_store / static_cast<double>(cfg.nStores);
 
-    // Network stage: all stores share the Tuner's ingress link.
-    c.netStageS = imgs_run * c.transferMBPerImage * 8.0 /
-                  (cfg.networkGbps * 1e3);
+    // Network stage: all stores funnel into the Tuner's ingress link;
+    // the fabric is work-conserving, so the shared drain time equals
+    // the aggregate bytes over the link rate (see net/estimate.h).
+    c.netStageS = net::sharedIngressSeconds(
+        imgs_run * c.transferMBPerImage * 1e6, cfg.networkGbps);
 
     // Tuner stage.
     double ingest = models::tunerIngestSecondsPerImage(

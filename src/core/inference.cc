@@ -92,8 +92,17 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     }
 
     sim::Simulator s;
+    // Topology: stores plus the front-end index server the labels
+    // return to, all on one ToR (§3.1 step 6).
+    net::NetFabric fabric(s);
+    std::vector<net::NodeId> store_nodes;
+    for (int i = 0; i < cfg.nStores; ++i)
+        store_nodes.push_back(fabric.addNode(cfg.storeSpec.nic));
+    const net::NodeId index_node = fabric.addNode(cfg.nic());
+    fabric.setIngress(index_node);
     sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
     sim::FaultInjector *inj = injector.armed() ? &injector : nullptr;
+    fabric.attachFaults(inj);
     // The serial "Typical" walk has no per-store producers to report
     // exits, so re-dispatch recovery only arms in pipelined mode.
     std::unique_ptr<sim::RecoveryCoordinator> recovery;
@@ -128,12 +137,19 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
         spec.cpuOps = storeCpuOps(w, cfg.npe);
         spec.gpu = &st->stations.gpu;
         spec.computeSecondsPerItem = sec_per_image;
-        spec.shipBytesPerItem = kLabelBytes; // labels only leave the store
+        // Labels are the only bytes leaving the store; they ride the
+        // fabric to the index server like any other transfer.
+        spec.fabric = &fabric;
+        spec.shipSrc = store_nodes[static_cast<size_t>(i)];
+        spec.shipDst = index_node;
+        spec.shipClass = net::FlowClass::ResultShip;
+        spec.shipBytesPerItem = kLabelBytes;
         spec.faults = inj;
         spec.faultStoreBase = i;
         spec.recovery = recovery.get();
         ProducerSpec prod;
         prod.disk = &st->stations.disk;
+        prod.node = store_nodes[static_cast<size_t>(i)];
         prod.runItems = {evenShare(cfg.nImages, cfg.nStores, i)};
         st->pipe = std::make_unique<Pipeline>(s, std::move(spec),
                                               std::vector{prod});
@@ -143,11 +159,12 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     s.run();
 
     rep.faults = injector.report();
+    rep.net = fabric.report();
     rep.seconds = s.now();
     rep.ips = rep.seconds > 0.0
                   ? static_cast<double>(cfg.nImages) / rep.seconds
                   : 0.0;
-    rep.netBytes = kLabelBytes * static_cast<double>(cfg.nImages);
+    rep.netBytes = fabric.bytesInto(index_node);
 
     for (size_t i = 0; i < stores.size(); ++i) {
         stores[i]->pipe->finalize();
@@ -220,8 +237,16 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     }
 
     sim::Simulator s;
-    HostStations host(s, cfg.hostSpec, cfg.nic());
+    HostStations host(s, cfg.hostSpec);
+    // Topology: N storage servers funneling into the host's downlink.
+    net::NetFabric fabric(s);
+    std::vector<net::NodeId> srv_nodes;
+    for (int i = 0; i < cfg.srvStorageServers; ++i)
+        srv_nodes.push_back(fabric.addNode(cfg.srvStoreSpec.nic));
+    const net::NodeId host_node = fabric.addNode(cfg.nic());
+    fabric.setIngress(host_node);
     sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
+    fabric.attachFaults(injector.armed() ? &injector : nullptr);
     double sec_per_image =
         1.0 / models::deviceIps(*cfg.hostSpec.gpu, m, cfg.npe.batchSize);
     double wire = srvWireBytes(m, variant);
@@ -236,7 +261,9 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     spec.batch = cfg.npe.batchSize;
     spec.depth = 2 * kStageDepth;
     spec.readBytesPerItem = wire;
-    spec.ingress = &host.ingress;
+    spec.fabric = &fabric;
+    spec.wireDst = host_node;
+    spec.wireClass = net::FlowClass::BulkInput;
     spec.wireBytesPerItem = wire;
     spec.cpu = &host.cpu;
     spec.cpuOps = srvCpuOps(m, variant);
@@ -250,6 +277,7 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
         for (int i = 0; i < cfg.srvStorageServers; ++i) {
             ProducerSpec p;
             p.disk = disks[static_cast<size_t>(i)].get();
+            p.node = srv_nodes[static_cast<size_t>(i)];
             p.runItems = {
                 evenShare(cfg.nImages, cfg.srvStorageServers, i)};
             producers.push_back(std::move(p));
@@ -266,13 +294,14 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     s.run();
 
     rep.faults = injector.report();
+    rep.net = fabric.report();
     pipe.finalize();
     rep.stages = pipe.metrics();
     rep.seconds = s.now();
     rep.ips = rep.seconds > 0.0
                   ? static_cast<double>(cfg.nImages) / rep.seconds
                   : 0.0;
-    rep.netBytes = host.ingress.bytesMoved();
+    rep.netBytes = fabric.bytesInto(host_node);
     rep.gpuUtil = host.gpus.utilization();
     rep.cpuUtil = host.cpu.utilization();
 
@@ -307,7 +336,9 @@ npeStageTimes(const ExperimentConfig &cfg, const NpeOptions &npe,
         double read_bytes = npe.compressedBinaries
                                 ? m.inputMB() * 1e6 / kCompressionRatio
                                 : m.inputMB() * 1e6;
-        b.readS = read_bytes / (spec.disk.readMBps * 1e6);
+        // Steady-state stream rate: per-image seek is amortized away.
+        b.readS = spec.disk.streamReadSeconds(read_bytes) -
+                  spec.disk.seekS;
         if (npe.compressedBinaries) {
             b.decompressS =
                 decompressSeconds(m.inputMB(), npe.decompressCores);
@@ -318,7 +349,8 @@ npeStageTimes(const ExperimentConfig &cfg, const NpeOptions &npe,
     }
 
     StoreWork w = storeWork(m, npe);
-    b.readS = w.readBytes / (spec.disk.readMBps * 1e6);
+    b.readS = spec.disk.streamReadSeconds(w.readBytes) -
+              spec.disk.seekS;
     if (w.needDecompress) {
         b.decompressS =
             decompressSeconds(w.uncompressedMB, npe.decompressCores);

@@ -98,6 +98,13 @@ runNdpMediaAnalysis(const ExperimentConfig &cfg,
     rep.objects = n_objects;
 
     sim::Simulator s;
+    // Topology: stores ship per-unit results to the Tuner-side sink.
+    net::NetFabric fabric(s);
+    std::vector<net::NodeId> store_nodes;
+    for (int i = 0; i < cfg.nStores; ++i)
+        store_nodes.push_back(fabric.addNode(cfg.storeSpec.nic));
+    const net::NodeId sink_node = fabric.addNode(cfg.nic());
+    fabric.setIngress(sink_node);
     double unit_seconds =
         1.0 / models::deviceIps(*cfg.storeSpec.gpu, *media.model,
                                 cfg.npe.batchSize);
@@ -124,10 +131,15 @@ runNdpMediaAnalysis(const ExperimentConfig &cfg,
         spec.gpu = &st->stations.gpu;
         spec.computeSecondsPerItem = media.unitsPerObject * unit_seconds;
         // Only per-unit labels/embeddings leave the store.
+        spec.fabric = &fabric;
+        spec.shipSrc = store_nodes[static_cast<size_t>(i)];
+        spec.shipDst = sink_node;
+        spec.shipClass = net::FlowClass::ResultShip;
         spec.shipBytesPerItem =
             media.unitsPerObject * media.resultBytesPerUnit;
         ProducerSpec prod;
         prod.disk = &st->stations.disk;
+        prod.node = store_nodes[static_cast<size_t>(i)];
         prod.runItems = {evenShare(n_objects, cfg.nStores, i)};
         st->pipe = std::make_unique<Pipeline>(s, std::move(spec),
                                               std::vector{prod});
@@ -139,9 +151,9 @@ runNdpMediaAnalysis(const ExperimentConfig &cfg,
     rep.seconds = s.now();
     rep.ops = rep.seconds > 0.0 ? n_objects / rep.seconds : 0.0;
     rep.ups = rep.ops * media.unitsPerObject;
+    rep.netBytes = fabric.bytesInto(sink_node);
     for (auto &st : stores) {
         st->pipe->finalize();
-        rep.netBytes += st->pipe->metrics().shipBytes;
         rep.power += hw::serverPower(cfg.storeSpec,
                                      st->stations.gpu.utilization(),
                                      st->stations.cpu.utilization());
@@ -159,7 +171,16 @@ runSrvMediaAnalysis(const ExperimentConfig &cfg,
     rep.objects = n_objects;
 
     sim::Simulator s;
-    HostStations host(s, cfg.hostSpec, cfg.nic());
+    HostStations host(s, cfg.hostSpec);
+    // Topology: raw objects stream from every storage server into the
+    // host's downlink — the bulk-input funnel that makes SRV media
+    // analysis network-bound.
+    net::NetFabric fabric(s);
+    std::vector<net::NodeId> srv_nodes;
+    for (int i = 0; i < cfg.srvStorageServers; ++i)
+        srv_nodes.push_back(fabric.addNode(cfg.srvStoreSpec.nic));
+    const net::NodeId host_node = fabric.addNode(cfg.nic());
+    fabric.setIngress(host_node);
     double unit_seconds =
         1.0 / models::deviceIps(*cfg.hostSpec.gpu, *media.model,
                                 cfg.npe.batchSize);
@@ -173,7 +194,9 @@ runSrvMediaAnalysis(const ExperimentConfig &cfg,
     spec.batch = kSrvMediaBatch;
     spec.depth = 2 * kStageDepth;
     spec.readBytesPerItem = media.rawMB * 1e6;
-    spec.ingress = &host.ingress;
+    spec.fabric = &fabric;
+    spec.wireDst = host_node;
+    spec.wireClass = net::FlowClass::BulkInput;
     spec.wireBytesPerItem = media.rawMB * 1e6;
     spec.cpu = &host.cpu;
     spec.cpuOps = {CpuStageOp::extract(
@@ -187,6 +210,7 @@ runSrvMediaAnalysis(const ExperimentConfig &cfg,
     for (int i = 0; i < cfg.srvStorageServers; ++i) {
         ProducerSpec p;
         p.disk = disks[static_cast<size_t>(i)].get();
+        p.node = srv_nodes[static_cast<size_t>(i)];
         p.runItems = {evenShare(n_objects, cfg.srvStorageServers, i)};
         producers.push_back(std::move(p));
     }
@@ -198,7 +222,7 @@ runSrvMediaAnalysis(const ExperimentConfig &cfg,
     rep.seconds = s.now();
     rep.ops = rep.seconds > 0.0 ? n_objects / rep.seconds : 0.0;
     rep.ups = rep.ops * media.unitsPerObject;
-    rep.netBytes = host.ingress.bytesMoved();
+    rep.netBytes = fabric.bytesInto(host_node);
     rep.power += hw::serverPower(cfg.hostSpec, host.gpus.utilization(),
                                  host.cpu.utilization());
     for (int i = 0; i < cfg.srvStorageServers; ++i) {

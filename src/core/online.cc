@@ -22,21 +22,35 @@ struct OnlineCtx
 {
     OnlineCtx(sim::Simulator &s, const OnlineConfig &cfg)
         : cpu(s, cfg.preprocessCores),
-          gpu(s, *cfg.server.gpu, cfg.server.nGpus)
-    {}
+          gpu(s, *cfg.server.gpu, cfg.server.nGpus), fabric(s)
+    {
+        // Topology: an aggregate client-side node (the upload front
+        // door) and the inference server. Concurrent uploads contend
+        // for the server's downlink under max-min sharing.
+        clientNode = fabric.addNode(cfg.server.nic);
+        serverNode = fabric.addNode(cfg.server.nic);
+        fabric.setIngress(serverNode);
+        uploadBytes = models::kRawImageMB * 1e6;
+    }
 
     hw::CpuPool cpu;
     hw::GpuExec gpu;
+    net::NetFabric fabric;
+    net::NodeId clientNode = net::kNoNode;
+    net::NodeId serverNode = net::kNoNode;
+    double uploadBytes = 0.0;
     SampleStat latency;
     /** Non-null only when a non-empty FaultPlan armed the run. */
     sim::FaultInjector *faults = nullptr;
 };
 
-/** One upload's journey: (lossy) upload -> preprocess -> classify ->
- * record latency. The fault hooks model the photo-upload leg: a lost
- * upload retransmits with bounded exponential backoff (latency counts
- * the backoff), and a stalled server delays the request; an exhausted
- * retry budget drops the upload as a typed loss.
+/** One upload's journey: upload over the fabric (retransmitting on
+ * loss) -> preprocess -> classify -> record latency. The fault hooks
+ * model the photo-upload leg: a lost upload retransmits with bounded
+ * exponential backoff (latency counts the backoff and every
+ * retransmitted copy crosses the wire again), and a stalled server
+ * delays the request; an exhausted retry budget drops the upload as a
+ * typed loss.
  * ndplint: allow(coroutine-ref-param) — referents live in
  * runOnlineInference's scope, which joins this task via s.run(). */
 sim::Task
@@ -44,6 +58,9 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
            double infer_s, sim::WaitGroup &wg)
 {
     double arrived = s.now();
+    co_await ctx.fabric.transfer(ctx.clientNode, ctx.serverNode,
+                                 ctx.uploadBytes,
+                                 net::FlowClass::Upload);
     if (sim::FaultInjector *inj = ctx.faults) {
         double backoff = inj->plan().msgRetryBackoffS;
         int resends = 0;
@@ -58,6 +75,10 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
             inj->report().degradedS += backoff;
             co_await s.delay(backoff);
             backoff *= 2.0;
+            co_await ctx.fabric.transfer(ctx.clientNode,
+                                         ctx.serverNode,
+                                         ctx.uploadBytes,
+                                         net::FlowClass::Upload);
         }
         if (dropped) {
             wg.done();
@@ -128,9 +149,13 @@ runOnlineInference(const OnlineConfig &cfg)
 
     // If the mean latency dwarfs the no-queue service time, the
     // offered load exceeds capacity and the queue grew without bound.
-    double service_ms = (preproc_s + infer_s) * 1e3;
+    double upload_s =
+        ctx.fabric.serviceTime(ctx.clientNode, ctx.serverNode,
+                               ctx.uploadBytes);
+    double service_ms = (upload_s + preproc_s + infer_s) * 1e3;
     rep.saturated = rep.meanMs > 10.0 * service_ms;
     rep.faults = injector.report();
+    rep.net = ctx.fabric.report();
     return rep;
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/config.h"
 #include "hw/specs.h"
+#include "net/fabric.h"
 #include "sim/fault.h"
 
 namespace ndp::core {
@@ -60,6 +61,8 @@ struct OnlineReport
     bool saturated = false;
     /** What the fault injector did to this run (empty plan = zeros). */
     sim::FaultReport faults;
+    /** Fabric roll-up of the upload transfers (client -> server). */
+    net::NetReport net;
 };
 
 /** Drive a Poisson upload stream through the inference server. */

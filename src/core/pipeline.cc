@@ -41,8 +41,16 @@ Pipeline::spawn()
         return;
     }
     feeders_.add(static_cast<int>(producers_.size()));
-    for (size_t i = 0; i < producers_.size(); ++i)
+    sendq_.resize(producers_.size());
+    for (size_t i = 0; i < producers_.size(); ++i) {
+        if (wireLegActive(producers_[i])) {
+            sendq_[i] = std::make_unique<sim::Channel<PipeBatch>>(
+                sim_, 1);
+            feeders_.add(1);
+            sim_.spawn(senderProc(i));
+        }
         sim_.spawn(producerProc(i));
+    }
     // Stores with a crash anywhere in their schedule never volunteer
     // for re-dispatch duty — they would abandon the recovered work too.
     if (spec_.recovery &&
@@ -125,15 +133,14 @@ Pipeline::producerProc(size_t idx)
                 co_await p.disk->read(bytes);
             }
             left -= static_cast<uint64_t>(n);
-            if (spec_.ingress && spec_.wireBytesPerItem > 0.0) {
-                double bytes = spec_.wireBytesPerItem * n;
-                metrics_.transferS += spec_.ingress->serviceTime(bytes);
-                metrics_.wireBytes += bytes;
-                co_await spec_.ingress->transfer(bytes);
-            }
-            co_await loaded_.put(PipeBatch{r, n});
+            if (sendq_[idx])
+                co_await sendq_[idx]->put(PipeBatch{r, n});
+            else
+                co_await loaded_.put(PipeBatch{r, n});
         }
     }
+    if (sendq_[idx])
+        sendq_[idx]->close();
     if (dead) {
         // Spill the unread remainder — this run's leftover plus every
         // future run's share. In-flight batches were already read and
@@ -163,6 +170,33 @@ Pipeline::producerProc(size_t idx)
 }
 
 /**
+ * Per-producer wire sender: double-buffers the front stage so the
+ * next disk read overlaps the in-flight transfer. Without it, max-min
+ * fair sharing convoys equal producers into lock-step — every flow
+ * finishes at once and the shared downlink idles while all producers
+ * read — which no real NIC with async send queues would do.
+ */
+sim::Task
+Pipeline::senderProc(size_t idx)
+{
+    ProducerSpec &p = producers_[idx];
+    sim::Channel<PipeBatch> &q = *sendq_[idx];
+    while (true) {
+        auto b = co_await q.get();
+        if (!b)
+            break;
+        double bytes = spec_.wireBytesPerItem * b->n;
+        metrics_.transferS += spec_.fabric->serviceTime(
+            p.node, spec_.wireDst, bytes);
+        metrics_.wireBytes += bytes;
+        co_await spec_.fabric->transfer(p.node, spec_.wireDst, bytes,
+                                        spec_.wireClass);
+        co_await loaded_.put(*b);
+    }
+    feeders_.done();
+}
+
+/**
  * Recovery feeder: turns WorkOrders re-dispatched by the cluster's
  * RecoveryCoordinator into regular front-stage work on this store's
  * own disk (photos are replicated, so the survivor reads its local
@@ -185,11 +219,15 @@ Pipeline::redispatchProc()
             metrics_.readBytes += bytes;
             co_await p.disk->read(bytes);
         }
-        if (spec_.ingress && spec_.wireBytesPerItem > 0.0) {
+        if (spec_.fabric && spec_.wireDst != net::kNoNode &&
+            spec_.wireBytesPerItem > 0.0 &&
+            p.node != net::kNoNode) {
             double bytes = spec_.wireBytesPerItem * o->items;
-            metrics_.transferS += spec_.ingress->serviceTime(bytes);
+            metrics_.transferS += spec_.fabric->serviceTime(
+                p.node, spec_.wireDst, bytes);
             metrics_.wireBytes += bytes;
-            co_await spec_.ingress->transfer(bytes);
+            co_await spec_.fabric->transfer(
+                p.node, spec_.wireDst, bytes, spec_.wireClass);
         }
         co_await loaded_.put(PipeBatch{o->run, o->items});
     }
@@ -237,15 +275,20 @@ Pipeline::gpuProc()
             co_await spec_.gpu->compute(t);
             metrics_.computeS += t;
         }
-        // A ship link is always crossed (it charges propagation
-        // latency even for an empty payload); without a link the
-        // bytes are only counted.
-        if (spec_.shipLink || spec_.shipBytesPerItem > 0.0) {
+        // A configured ship leg is always crossed (it charges
+        // propagation latency even for an empty payload); without
+        // endpoints the bytes are only counted.
+        if (spec_.shipDst != net::kNoNode ||
+            spec_.shipBytesPerItem > 0.0) {
             double bytes = spec_.shipBytesPerItem * b->n;
             metrics_.shipBytes += bytes;
-            if (spec_.shipLink) {
-                metrics_.transferS += spec_.shipLink->serviceTime(bytes);
-                co_await spec_.shipLink->transfer(bytes);
+            if (spec_.fabric && spec_.shipSrc != net::kNoNode &&
+                spec_.shipDst != net::kNoNode) {
+                metrics_.transferS += spec_.fabric->serviceTime(
+                    spec_.shipSrc, spec_.shipDst, bytes);
+                co_await spec_.fabric->transfer(
+                    spec_.shipSrc, spec_.shipDst, bytes,
+                    spec_.shipClass);
             }
         }
         if (!spec_.runOut.empty())
@@ -266,10 +309,12 @@ Pipeline::serialProc()
 {
     sim::FaultInjector *inj = spec_.faults;
     const int fstore = spec_.faultStoreBase;
-    std::vector<hw::Disk *> disks;
+    // Keep each disk paired with its producer's fabric node so the
+    // wire leg leaves from the server that was just read.
+    std::vector<std::pair<hw::Disk *, net::NodeId>> disks;
     for (auto &p : producers_)
         if (p.disk)
-            disks.push_back(p.disk);
+            disks.emplace_back(p.disk, p.node);
     size_t turn = 0;
     for (int r = 0; r < spec_.nRun; ++r) {
         if (spec_.runGate) {
@@ -323,18 +368,21 @@ Pipeline::serialProc()
             int n = takeBatch(spec_.batch, left);
             left -= static_cast<uint64_t>(n);
             if (spec_.readBytesPerItem > 0.0 && !disks.empty()) {
-                hw::Disk &d = *disks[turn % disks.size()];
+                auto [d, src] = disks[turn % disks.size()];
                 ++turn;
                 double bytes = spec_.readBytesPerItem * n;
-                metrics_.readS += d.readServiceTime(bytes);
+                metrics_.readS += d->readServiceTime(bytes);
                 metrics_.readBytes += bytes;
-                co_await d.read(bytes);
-                if (spec_.ingress && spec_.wireBytesPerItem > 0.0) {
+                co_await d->read(bytes);
+                if (spec_.fabric && spec_.wireDst != net::kNoNode &&
+                    spec_.wireBytesPerItem > 0.0 &&
+                    src != net::kNoNode) {
                     double wire = spec_.wireBytesPerItem * n;
-                    metrics_.transferS +=
-                        spec_.ingress->serviceTime(wire);
+                    metrics_.transferS += spec_.fabric->serviceTime(
+                        src, spec_.wireDst, wire);
                     metrics_.wireBytes += wire;
-                    co_await spec_.ingress->transfer(wire);
+                    co_await spec_.fabric->transfer(
+                        src, spec_.wireDst, wire, spec_.wireClass);
                 }
             }
             for (const CpuStageOp &op : spec_.cpuOps) {
@@ -352,13 +400,17 @@ Pipeline::serialProc()
                 co_await spec_.gpu->compute(t);
                 metrics_.computeS += t;
             }
-            if (spec_.shipLink || spec_.shipBytesPerItem > 0.0) {
+            if (spec_.shipDst != net::kNoNode ||
+                spec_.shipBytesPerItem > 0.0) {
                 double bytes = spec_.shipBytesPerItem * n;
                 metrics_.shipBytes += bytes;
-                if (spec_.shipLink) {
-                    metrics_.transferS +=
-                        spec_.shipLink->serviceTime(bytes);
-                    co_await spec_.shipLink->transfer(bytes);
+                if (spec_.fabric && spec_.shipSrc != net::kNoNode &&
+                    spec_.shipDst != net::kNoNode) {
+                    metrics_.transferS += spec_.fabric->serviceTime(
+                        spec_.shipSrc, spec_.shipDst, bytes);
+                    co_await spec_.fabric->transfer(
+                        spec_.shipSrc, spec_.shipDst, bytes,
+                        spec_.shipClass);
                 }
             }
             if (!spec_.runOut.empty())

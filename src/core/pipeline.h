@@ -37,6 +37,7 @@
 #include "core/npe_common.h"
 #include "core/report.h"
 #include "hw/devices.h"
+#include "net/fabric.h"
 #include "sim/channel.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -105,6 +106,8 @@ struct ProducerSpec
 {
     /** Disk the producer reads from; null = data already local. */
     hw::Disk *disk = nullptr;
+    /** Fabric node the producer's bytes leave from (wire source). */
+    net::NodeId node = net::kNoNode;
     /** Items fed per pipeline run (size == PipelineSpec::nRun). */
     std::vector<uint64_t> runItems;
 
@@ -133,8 +136,17 @@ struct PipelineSpec
     /** @name Front stage (disk read, optional NIC transfer)
      * @{ */
     double readBytesPerItem = 0.0;
-    /** Ingress link crossed between the disks and the CPU stage. */
-    hw::Link *ingress = nullptr;
+    /**
+     * Fabric every transfer of this dataflow crosses; null = no
+     * network legs at all (bytes may still be counted via
+     * shipBytesPerItem). One fabric instance is shared by all
+     * pipelines of a run so their flows contend for real.
+     */
+    net::NetFabric *fabric = nullptr;
+    /** Destination of the front-stage wire leg (per-producer source
+     *  comes from ProducerSpec::node). kNoNode = no wire leg. */
+    net::NodeId wireDst = net::kNoNode;
+    net::FlowClass wireClass = net::FlowClass::BulkInput;
     double wireBytesPerItem = 0.0;
     /**
      * Gate awaited before a producer starts run r (unpipelined FT-DMP
@@ -155,8 +167,11 @@ struct PipelineSpec
     double computeSecondsPerItem = 0.0;
     /** Parallel consumers of the ready channel (SRV: one per GPU). */
     int gpuWorkers = 1;
-    /** Link results are shipped over; null = count bytes only. */
-    hw::Link *shipLink = nullptr;
+    /** Ship leg endpoints; kNoNode = count shipBytes only, no
+     *  transfer (e.g. labels whose cost the paper ignores). */
+    net::NodeId shipSrc = net::kNoNode;
+    net::NodeId shipDst = net::kNoNode;
+    net::FlowClass shipClass = net::FlowClass::ResultShip;
     double shipBytesPerItem = 0.0;
     /** Per-run routing: deliver n to runOut[run] (FT-DMP features). */
     std::vector<sim::Channel<int> *> runOut;
@@ -215,11 +230,19 @@ class Pipeline
 
   private:
     sim::Task producerProc(size_t idx);
+    sim::Task senderProc(size_t idx);
     sim::Task redispatchProc();
     sim::Task closerProc();
     sim::Task cpuProc();
     sim::Task gpuProc();
     sim::Task serialProc();
+
+    /** True when producer @p p has a configured front-stage wire leg. */
+    bool wireLegActive(const ProducerSpec &p) const
+    {
+        return spec_.fabric && spec_.wireDst != net::kNoNode &&
+               spec_.wireBytesPerItem > 0.0 && p.node != net::kNoNode;
+    }
 
     sim::Simulator &sim_;
     PipelineSpec spec_;
@@ -227,6 +250,9 @@ class Pipeline
     sim::WaitGroup feeders_;
     sim::Channel<PipeBatch> loaded_;
     sim::Channel<PipeBatch> ready_;
+    /** Per-producer read→wire hand-off (depth 1): the next disk read
+     *  overlaps the in-flight transfer. Null when no wire leg. */
+    std::vector<std::unique_ptr<sim::Channel<PipeBatch>>> sendq_;
     StageMetrics metrics_;
 };
 
@@ -243,18 +269,16 @@ struct StoreStations
     hw::GpuExec gpu;
 };
 
-/** Stations of one SRV host (baseline flavors: one shared pipeline). */
+/** Stations of one SRV host (baseline flavors: one shared pipeline).
+ *  The host's NIC lives on the shared NetFabric, not here. */
 struct HostStations
 {
-    HostStations(sim::Simulator &s, const hw::ServerSpec &spec,
-                 const hw::NicSpec &nic)
-        : gpus(s, *spec.gpu, spec.nGpus), cpu(s, spec.cpu.vcpus),
-          ingress(s, nic)
+    HostStations(sim::Simulator &s, const hw::ServerSpec &spec)
+        : gpus(s, *spec.gpu, spec.nGpus), cpu(s, spec.cpu.vcpus)
     {}
 
     hw::GpuExec gpus;
     hw::CpuPool cpu;
-    hw::Link ingress;
 };
 
 } // namespace ndp::core

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hw/power.h"
+#include "net/fabric.h"
 #include "sim/fault.h"
 
 namespace ndp::core {
@@ -111,6 +112,9 @@ struct InferenceReport
     /** What the fault injector did to this run (empty plan = zeros). */
     sim::FaultReport faults;
 
+    /** Fabric roll-up of every inter-node transfer in the run. */
+    net::NetReport net;
+
     /** Mean utilizations (for sanity checks and Fig. 14 analysis). */
     double gpuUtil = 0.0;
     double cpuUtil = 0.0;
@@ -146,6 +150,9 @@ struct TrainReport
 
     /** What the fault injector did to this run (empty plan = zeros). */
     sim::FaultReport faults;
+
+    /** Fabric roll-up of every inter-node transfer in the run. */
+    net::NetReport net;
 
     hw::PowerBreakdown power;
     std::vector<hw::ServerPowerSample> perServer;

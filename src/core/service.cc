@@ -4,9 +4,28 @@
 #include <cstring>
 
 #include "core/delta.h"
+#include "hw/specs.h"
+#include "net/fabric.h"
 #include "nn/loss.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
 
 namespace ndp::core {
+
+namespace {
+
+/** Replay one endpoint's queued copies over the fabric, in order.
+ * Pointer parameters only: the byte lists live in the caller's scope,
+ * which joins this task via s.run() before they die. */
+sim::Task
+replayTransfers(net::NetFabric *fab, net::NodeId src, net::NodeId dst,
+                const std::vector<double> *bytes, net::FlowClass cls)
+{
+    for (double b : *bytes)
+        co_await fab->transfer(src, dst, b, cls);
+}
+
+} // namespace
 
 PhotoService::PhotoService(const Config &c)
     : cfg(c), rng(c.seed ^ 0xabcdef12345ull)
@@ -144,6 +163,37 @@ PhotoService::fineTune()
         out.epochs += result.epochsRun;
     }
     model_->freezeBackbone(false);
+
+    // FT-DMP feature-shipping time: every store that extracted a shard
+    // ships it to the Tuner concurrently; the fabric's max-min sharing
+    // makes the N stores contend for the Tuner's single ingress link.
+    {
+        sim::Simulator s;
+        net::NetFabric fabric(s);
+        const hw::NicSpec store_nic = hw::g4dn4xlarge(true).nic;
+        std::vector<net::NodeId> store_nodes;
+        store_nodes.reserve(out.shardSizes.size());
+        for (size_t i = 0; i < out.shardSizes.size(); ++i)
+            store_nodes.push_back(fabric.addNode(store_nic));
+        const net::NodeId tuner = fabric.addNode(hw::p32xlarge().nic);
+        fabric.setIngress(tuner);
+        std::vector<std::vector<double>> shipments(
+            out.shardSizes.size());
+        for (size_t i = 0; i < out.shardSizes.size(); ++i)
+            if (out.shardSizes[i] > 0)
+                shipments[i] = {static_cast<double>(
+                    out.shardSizes[i] * cfg.profile.featureDim *
+                    sizeof(float))};
+        for (size_t i = 0; i < shipments.size(); ++i)
+            if (!shipments[i].empty())
+                s.spawn(replayTransfers(
+                    &fabric, store_nodes[i], tuner, &shipments[i],
+                    net::FlowClass::FeatureShip));
+        s.run();
+        s.reapFinished();
+        out.featureShipSeconds = s.now();
+    }
+
     out.baseVersion = model_->version;
     if (out.epochs > 0)
         model_->version += 1;
@@ -170,11 +220,17 @@ PhotoService::distributeDelta(const ModelDelta &delta, int base_version,
     out.status.assign(replicas_.size(),
                       DeltaPushStatus::AlreadyCurrent);
     constexpr int kPushRetries = 5;
+    // Every copy that crosses the wire, per replica: lost pushes cost
+    // their bytes too, and a fallback ships the whole checkpoint.
+    std::vector<std::vector<double>> wire(replicas_.size());
+    const double delta_bytes =
+        static_cast<double>(delta.payload.size());
     for (size_t i = 0; i < replicas_.size(); ++i) {
         PipeStoreReplica &rep = replicas_[i];
         DeltaPushStatus st = DeltaPushStatus::Corrupt;
         bool delivered = false;
         for (int attempt = 0; attempt <= kPushRetries; ++attempt) {
+            wire[i].push_back(delta_bytes);
             if (loss_probability > 0.0 &&
                 rng.chance(loss_probability)) {
                 ++out.retransmissions;
@@ -197,8 +253,33 @@ PhotoService::distributeDelta(const ModelDelta &delta, int base_version,
             rep.version = model_->version;
             ++out.fullFallbacks;
             st = DeltaPushStatus::AlreadyCurrent;
+            wire[i].push_back(static_cast<double>(
+                rep.params.size() * sizeof(float)));
         }
         out.status[i] = st;
+    }
+
+    // Check-N-Run push time: replay every copy over the fabric. Pushes
+    // to different replicas go out concurrently and share the Tuner's
+    // uplink under max-min fairness; retries to one replica serialize.
+    {
+        sim::Simulator s;
+        net::NetFabric fabric(s);
+        const hw::NicSpec store_nic = hw::g4dn4xlarge(true).nic;
+        std::vector<net::NodeId> store_nodes;
+        store_nodes.reserve(replicas_.size());
+        for (size_t i = 0; i < replicas_.size(); ++i)
+            store_nodes.push_back(fabric.addNode(store_nic));
+        const net::NodeId tuner = fabric.addNode(hw::p32xlarge().nic);
+        fabric.setIngress(tuner);
+        for (size_t i = 0; i < wire.size(); ++i)
+            if (!wire[i].empty())
+                s.spawn(replayTransfers(&fabric, tuner, store_nodes[i],
+                                        &wire[i],
+                                        net::FlowClass::DeltaPush));
+        s.run();
+        s.reapFinished();
+        out.pushSeconds = s.now();
     }
     return out;
 }

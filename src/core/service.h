@@ -66,6 +66,9 @@ class PhotoService
         int baseVersion = 0;
         /** Images re-assigned from crashed stores to survivors. */
         size_t redispatchedImages = 0;
+        /** Simulated seconds to ship every feature shard to the Tuner
+         *  over the network fabric (stores contend for its ingress). */
+        double featureShipSeconds = 0.0;
         /** The encoded delta, ready for distributeDelta(). */
         ModelDelta delta;
     };
@@ -79,6 +82,9 @@ class PhotoService
         int retransmissions = 0;
         /** Replicas recovered via a full-checkpoint fallback. */
         int fullFallbacks = 0;
+        /** Simulated seconds to push every copy (lost, delivered, and
+         *  fallback checkpoints) over the network fabric. */
+        double pushSeconds = 0.0;
         /** Final per-store status. */
         std::vector<DeltaPushStatus> status;
 

@@ -28,9 +28,17 @@ namespace {
 struct FtDmpEnv
 {
     FtDmpEnv(sim::Simulator &s, const ExperimentConfig &cfg, int n_run)
-        : sim(s), ingress(s, cfg.nic()), tunerGpu(s, *cfg.tunerSpec.gpu,
-                                                  cfg.tunerSpec.nGpus)
+        : sim(s), fabric(s), tunerGpu(s, *cfg.tunerSpec.gpu,
+                                      cfg.tunerSpec.nGpus)
     {
+        // Topology: one fabric node per store plus the Tuner, all
+        // hanging off one ToR. Stores go first so fault store index i
+        // is fabric node i; every feature/sync/delta flow then shares
+        // the Tuner's NIC structurally (§4.1).
+        for (int i = 0; i < cfg.nStores; ++i)
+            storeNodes.push_back(fabric.addNode(cfg.storeSpec.nic));
+        tunerNode = fabric.addNode(cfg.nic());
+        fabric.setIngress(tunerNode);
         // The Tuner spools arriving features to its local NVMe before
         // each training run (§5.2), so the feature path exerts no
         // back-pressure on the stores: effectively unbounded buffers.
@@ -44,7 +52,9 @@ struct FtDmpEnv
     }
 
     sim::Simulator &sim;
-    hw::Link ingress;
+    net::NetFabric fabric;
+    std::vector<net::NodeId> storeNodes;
+    net::NodeId tunerNode = net::kNoNode;
     hw::GpuExec tunerGpu;
     std::vector<std::unique_ptr<sim::Channel<int>>> runFeatures;
     std::vector<std::unique_ptr<sim::WaitGroup>> tunerDone;
@@ -159,9 +169,13 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                     env.stages.computeS += head_per_image * n;
                 }
 
-                env.stages.syncS +=
-                    env.ingress.serviceTime(sync_bytes_per_iter);
-                co_await env.ingress.transfer(sync_bytes_per_iter);
+                env.stages.syncS += env.fabric.serviceTime(
+                    env.storeNodes[static_cast<size_t>(store_idx)],
+                    env.tunerNode, sync_bytes_per_iter);
+                co_await env.fabric.transfer(
+                    env.storeNodes[static_cast<size_t>(store_idx)],
+                    env.tunerNode, sync_bytes_per_iter,
+                    net::FlowClass::Sync);
                 env.syncTraffic += sync_bytes_per_iter;
                 co_await sync_barrier.arrive();
             }
@@ -237,7 +251,11 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
     double delta_bytes = cfg.model->trainableParamsM() * 1e6 * 4.0 /
                          kDeltaCompressFactor;
     for (int i = 0; i < cfg.nStores; ++i) {
-        co_await env.ingress.transfer(delta_bytes);
+        // Deltas leave over the Tuner's *uplink*: duplex NICs mean
+        // pushes never steal capacity from arriving features.
+        co_await env.fabric.transfer(
+            env.tunerNode, env.storeNodes[static_cast<size_t>(i)],
+            delta_bytes, net::FlowClass::DeltaPush);
         *out_bytes += delta_bytes;
         if (!env.faults)
             continue;
@@ -259,7 +277,9 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
             env.faults->report().degradedS += backoff;
             co_await env.sim.delay(backoff);
             backoff *= 2.0;
-            co_await env.ingress.transfer(delta_bytes);
+            co_await env.fabric.transfer(
+                env.tunerNode, env.storeNodes[static_cast<size_t>(i)],
+                delta_bytes, net::FlowClass::DeltaPush);
             *out_bytes += delta_bytes;
         }
     }
@@ -287,6 +307,7 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
     // dataflow on the exact fault-free event sequence.
     sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
     env.faults = injector.armed() ? &injector : nullptr;
+    env.fabric.attachFaults(env.faults);
     std::unique_ptr<sim::RecoveryCoordinator> recovery;
     if (env.faults && !classifier_on_stores) {
         recovery = std::make_unique<sim::RecoveryCoordinator>(
@@ -342,7 +363,10 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
                                                   cfg.npe.decompressCores)};
             spec.gpu = &st->stations.gpu;
             spec.computeSecondsPerItem = fe_base / opt.speedOf(i);
-            spec.shipLink = &env.ingress;
+            spec.fabric = &env.fabric;
+            spec.shipSrc = env.storeNodes[static_cast<size_t>(i)];
+            spec.shipDst = env.tunerNode;
+            spec.shipClass = net::FlowClass::FeatureShip;
             spec.shipBytesPerItem = m.transferMBAt(cut) * 1e6;
             spec.runOut = run_out;
             spec.done = &stores_wg;
@@ -351,6 +375,7 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
             spec.recovery = recovery.get();
             std::vector<ProducerSpec> prods(1);
             prods[0].disk = &st->stations.disk;
+            prods[0].node = env.storeNodes[static_cast<size_t>(i)];
             for (int r = 0; r < opt.nRun; ++r)
                 prods[0].runItems.push_back(
                     runShare(cfg.nImages, opt.nRun, cfg.nStores, r, i));
@@ -376,6 +401,7 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
     s.run();
 
     rep.faults = injector.report();
+    rep.net = env.fabric.report();
     rep.stages = env.stages;
     for (auto &st : stores) {
         if (!st->pipe)
@@ -441,10 +467,19 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     rep.images = cfg.nImages;
 
     sim::Simulator s;
-    HostStations host(s, cfg.hostSpec, cfg.nic());
+    HostStations host(s, cfg.hostSpec);
+    // Topology: the SRV storage servers and the host on one ToR; all
+    // staged input funnels into the host's downlink.
+    net::NetFabric fabric(s);
+    std::vector<net::NodeId> srv_nodes;
+    for (int i = 0; i < cfg.srvStorageServers; ++i)
+        srv_nodes.push_back(fabric.addNode(cfg.srvStoreSpec.nic));
+    const net::NodeId host_node = fabric.addNode(cfg.nic());
+    fabric.setIngress(host_node);
     // SRV has no peer to re-dispatch to (one host owns the GPUs), so
     // faults here degrade or type-fail the run but never re-assign.
     sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
+    fabric.attachFaults(injector.armed() ? &injector : nullptr);
     size_t cut = m.classifierStart();
     double fe_per_image = models::feSecondsPerImage(
         *cfg.hostSpec.gpu, m, cut, cfg.npe.batchSize);
@@ -480,7 +515,9 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     spec.batch = cfg.npe.batchSize;
     spec.depth = 2 * kStageDepth;
     spec.readBytesPerItem = wire;
-    spec.ingress = &host.ingress;
+    spec.fabric = &fabric;
+    spec.wireDst = host_node;
+    spec.wireClass = net::FlowClass::BulkInput;
     spec.wireBytesPerItem = wire;
     spec.cpu = &host.cpu;
     if (decompress && pipelined)
@@ -497,6 +534,7 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
         for (int i = 0; i < cfg.srvStorageServers; ++i) {
             ProducerSpec p;
             p.disk = disks[static_cast<size_t>(i)].get();
+            p.node = srv_nodes[static_cast<size_t>(i)];
             p.runItems = {
                 evenShare(cfg.nImages, cfg.srvStorageServers, i)};
             producers.push_back(std::move(p));
@@ -513,6 +551,7 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     s.run();
 
     rep.faults = injector.report();
+    rep.net = fabric.report();
     pipe.finalize();
     rep.stages += pipe.metrics();
     rep.seconds = s.now();
@@ -520,7 +559,7 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
                        ? static_cast<double>(cfg.nImages) / rep.seconds
                        : 0.0;
     rep.feIps = rep.trainIps;
-    rep.dataTrafficBytes = host.ingress.bytesMoved();
+    rep.dataTrafficBytes = fabric.bytesInto(host_node);
 
     auto host_power = hw::serverPower(
         cfg.hostSpec, host.gpus.utilization(), host.cpu.utilization());

@@ -2,21 +2,6 @@
 
 namespace ndp::hw {
 
-Link::Link(sim::Simulator &s, const NicSpec &nic)
-    : sim(s), spec(nic), port(s, 1)
-{}
-
-sim::Task
-Link::transfer(double bytes)
-{
-    co_await port.acquire();
-    co_await sim.delay(serviceTime(bytes));
-    port.release();
-    totalBytes += bytes;
-    // Propagation latency does not occupy the port.
-    co_await sim.delay(spec.latencyS);
-}
-
 Disk::Disk(sim::Simulator &s, const DiskSpec &d)
     : sim(s), spec(d), port(s, 1)
 {}
@@ -34,7 +19,7 @@ sim::Task
 Disk::write(double bytes)
 {
     co_await port.acquire();
-    co_await sim.delay(spec.seekS + bytes / (spec.writeMBps * 1e6));
+    co_await sim.delay(spec.streamWriteSeconds(bytes));
     port.release();
     totalWritten += bytes;
 }

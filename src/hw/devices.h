@@ -19,32 +19,9 @@
 
 namespace ndp::hw {
 
-/** A (half-duplex) network link with FIFO serialization. */
-class Link
-{
-  public:
-    Link(sim::Simulator &s, const NicSpec &nic);
-
-    /** Transfer @p bytes; completes after serialization + latency. */
-    sim::Task transfer(double bytes);
-
-    double gbps() const { return spec.gbps; }
-    double bytesMoved() const { return totalBytes; }
-    double utilization() const { return port.utilization(); }
-
-    /** Time to push @p bytes through the wire, ignoring queueing. */
-    double
-    serviceTime(double bytes) const
-    {
-        return bytes * 8.0 / (spec.gbps * 1e9);
-    }
-
-  private:
-    sim::Simulator &sim;
-    NicSpec spec;
-    sim::Resource port;
-    double totalBytes = 0.0;
-};
+// The half-duplex Link that used to live here is gone: all inter-node
+// transfers now cross net::NetFabric (src/net/fabric.h), which models
+// duplex NICs with max-min fair sharing instead of FIFO serialization.
 
 /** A storage volume with FIFO request service. */
 class Disk
@@ -62,7 +39,7 @@ class Disk
     double
     readServiceTime(double bytes) const
     {
-        return spec.seekS + bytes / (spec.readMBps * 1e6);
+        return spec.streamReadSeconds(bytes);
     }
 
   private:

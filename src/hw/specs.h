@@ -48,6 +48,22 @@ struct DiskSpec
     double seekS;
     /** Constant spindle/controller power (always-on). */
     double watts;
+
+    /** Seconds to stream-read @p bytes (one seek + sequential scan).
+     *  The single source of truth for disk-read rate math; planners
+     *  and stage models call this instead of dividing by readMBps. */
+    double
+    streamReadSeconds(double bytes) const
+    {
+        return seekS + bytes / (readMBps * 1e6);
+    }
+
+    /** Seconds to stream-write @p bytes (one seek + sequential scan). */
+    double
+    streamWriteSeconds(double bytes) const
+    {
+        return seekS + bytes / (writeMBps * 1e6);
+    }
 };
 
 /** Network interface specification. */
@@ -56,6 +72,15 @@ struct NicSpec
     double gbps;
     /** One-way propagation + protocol latency, seconds. */
     double latencyS;
+
+    /** Seconds to serialize @p bytes at line rate (no latency, no
+     *  sharing). Contended transfers go through net::NetFabric; this
+     *  is the uncontended spec-sheet number. */
+    double
+    wireSeconds(double bytes) const
+    {
+        return bytes * 8.0 / (gbps * 1e9);
+    }
 };
 
 /** A full server (one EC2 instance). */

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Closed-form network-time estimates that are *provably* equal to the
+ * fabric's fluid-flow outcome, for planners (APO) and back-of-envelope
+ * figure benches that must not spin up a Simulator.
+ *
+ * These are the only sanctioned homes for `bytes / Gbps` arithmetic
+ * outside the fabric itself; everything else ships real bytes through
+ * NetFabric::transfer (enforced by the `analytic-net-math` lint rule).
+ */
+
+#pragma once
+
+namespace ndp::net {
+
+/** Seconds to serialize @p bytes over an uncontended @p gbps link. */
+inline double
+wireSeconds(double bytes, double gbps)
+{
+    return bytes * 8.0 / (gbps * 1e9);
+}
+
+/**
+ * Aggregate drain time of @p total_bytes offered by any number of
+ * senders to one shared @p gbps ingress link.
+ *
+ * Work conservation makes this exact under max-min fairness: while
+ * any flow is active the shared link runs at full rate, so the time
+ * to drain the batch is total work over capacity regardless of how
+ * the instantaneous shares split between senders. This is the
+ * "N stores share the Tuner's ingress" term APO charges per run —
+ * cross-validated against fabric simulation in test_net.cc.
+ */
+inline double
+sharedIngressSeconds(double total_bytes, double gbps)
+{
+    return wireSeconds(total_bytes, gbps);
+}
+
+} // namespace ndp::net

@@ -1,0 +1,384 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ndp::net {
+
+namespace {
+
+/** Residual bits below which a flow counts as drained. Absolute, not
+ *  relative: payloads are whole bytes, so 1e-3 bits is pure float
+ *  slack and never truncates real work. */
+constexpr double kEpsBits = 1e-3;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+const char *
+flowClassName(FlowClass c)
+{
+    switch (c) {
+      case FlowClass::BulkInput:
+        return "bulk-input";
+      case FlowClass::FeatureShip:
+        return "feature-ship";
+      case FlowClass::DeltaPush:
+        return "delta-push";
+      case FlowClass::Upload:
+        return "upload";
+      case FlowClass::ResultShip:
+        return "result-ship";
+      case FlowClass::Sync:
+        return "sync";
+    }
+    return "?";
+}
+
+NodeId
+NetFabric::addNode(const hw::NicSpec &nic)
+{
+    assert(nic.gbps > 0.0 && "node NIC needs positive bandwidth");
+    const NodeId id = static_cast<NodeId>(links_.size() / 2);
+    // Duplex: the uplink and downlink are independent directed links,
+    // so (e.g.) delta pushes out of the Tuner never steal capacity
+    // from feature shipping into it.
+    links_.push_back({nic.gbps * 1e9, nic.latencyS, 0.0, 0.0});
+    links_.push_back({nic.gbps * 1e9, nic.latencyS, 0.0, 0.0});
+    return id;
+}
+
+void
+NetFabric::attachFaults(sim::FaultInjector *inj)
+{
+    inj_ = inj;
+    windows_.clear();
+    if (!inj)
+        return;
+    const int n_nodes = static_cast<int>(links_.size() / 2);
+    for (const sim::FaultInjector::LinkFault &lf : inj->linkFaults()) {
+        std::vector<NodeId> targets;
+        if (lf.node == sim::FaultSpec::kIngressLink) {
+            if (ingress_ != kNoNode)
+                targets.push_back(ingress_);
+        } else if (lf.node == sim::FaultSpec::kAnyStore) {
+            for (NodeId n = 0; n < n_nodes; ++n)
+                if (n != ingress_)
+                    targets.push_back(n);
+        } else if (lf.node >= 0 && lf.node < n_nodes) {
+            targets.push_back(lf.node);
+        }
+        const bool down = lf.kind == sim::FaultKind::LinkDown;
+        for (NodeId n : targets) {
+            // A node-level fault hits both directions of its NIC.
+            windows_.push_back({upOf(n), lf.fromS, lf.untilS,
+                                lf.factor, down, false});
+            windows_.push_back({downOf(n), lf.fromS, lf.untilS,
+                                lf.factor, down, false});
+        }
+    }
+}
+
+double
+NetFabric::effectiveCap(int link) const
+{
+    const double now = sim_.now();
+    double cap = links_[static_cast<size_t>(link)].capBps;
+    for (const FaultWindow &w : windows_) {
+        if (w.link != link || now < w.fromS || now >= w.untilS)
+            continue;
+        if (w.down)
+            return 0.0;
+        cap *= w.factor;
+    }
+    return cap;
+}
+
+double
+NetFabric::nextFaultBoundary() const
+{
+    const double now = sim_.now();
+    double next = kInf;
+    for (const FaultWindow &w : windows_) {
+        if (w.fromS > now)
+            next = std::min(next, w.fromS);
+        if (w.untilS > now)
+            next = std::min(next, w.untilS);
+    }
+    return next;
+}
+
+void
+NetFabric::countWindows()
+{
+    if (!inj_ || windows_.empty())
+        return;
+    const double now = sim_.now();
+    for (FaultWindow &w : windows_) {
+        if (w.counted || now < w.fromS)
+            continue;
+        w.counted = true;
+        // Both directions of a NIC share one FaultSpec; count the
+        // uplink copy only so the report matches the plan.
+        if (w.link % 2 != 0)
+            continue;
+        if (w.down)
+            ++inj_->report().linkDowns;
+        else
+            ++inj_->report().linkDegrades;
+    }
+}
+
+double
+NetFabric::serviceTime(NodeId src, NodeId dst, double bytes) const
+{
+    assert(src >= 0 && dst >= 0 &&
+           static_cast<size_t>(2 * src + 1) < links_.size() &&
+           static_cast<size_t>(2 * dst + 1) < links_.size());
+    const double cap =
+        std::min(links_[static_cast<size_t>(upOf(src))].capBps,
+                 links_[static_cast<size_t>(downOf(dst))].capBps);
+    return bytes * 8.0 / cap;
+}
+
+double
+NetFabric::pathLatency(NodeId src, NodeId dst) const
+{
+    return links_[static_cast<size_t>(upOf(src))].latencyS +
+           links_[static_cast<size_t>(downOf(dst))].latencyS;
+}
+
+double
+NetFabric::bytesInto(NodeId n) const
+{
+    return links_[static_cast<size_t>(downOf(n))].bytesMoved;
+}
+
+double
+NetFabric::bytesOutOf(NodeId n) const
+{
+    return links_[static_cast<size_t>(upOf(n))].bytesMoved;
+}
+
+double
+NetFabric::downlinkUtilization(NodeId n) const
+{
+    const double now = sim_.now();
+    if (now <= 0.0)
+        return 0.0;
+    return links_[static_cast<size_t>(downOf(n))].busyS / now;
+}
+
+NetReport
+NetFabric::report() const
+{
+    NetReport r;
+    r.bytesMoved = totalBytes_;
+    r.flowsCompleted = flowsCompleted_;
+    r.peakConcurrentFlows = peakConcurrent_;
+    if (ingress_ != kNoNode) {
+        r.ingressBytes = bytesInto(ingress_);
+        r.ingressUtil = downlinkUtilization(ingress_);
+    }
+    return r;
+}
+
+void
+NetFabric::startFlow(TransferAwaiter *aw)
+{
+    assert(aw->src >= 0 && aw->dst >= 0 && "transfer endpoints unset");
+    assert(static_cast<size_t>(2 * aw->src + 1) < links_.size() &&
+           static_cast<size_t>(2 * aw->dst + 1) < links_.size());
+    assert(aw->bytes >= 0.0);
+    const double now = sim_.now();
+    countWindows();
+    const double latency = pathLatency(aw->src, aw->dst);
+    if (aw->bytes <= 0.0) {
+        // Empty payload: a message still crosses the wire and pays
+        // propagation latency, but never enters the sharing engine.
+        aw->stats = {now, now, 0.0, 0.0, 0};
+        ++flowsCompleted_;
+        sim_.scheduleHandle(latency, aw->handle);
+        return;
+    }
+    advance();
+    Flow f;
+    f.aw = aw;
+    f.up = upOf(aw->src);
+    f.down = downOf(aw->dst);
+    f.remBits = aw->bytes * 8.0;
+    aw->stats.startS = now;
+    aw->stats.bytes = aw->bytes;
+    flows_.push_back(f);
+    peakConcurrent_ = std::max<uint64_t>(peakConcurrent_,
+                                         flows_.size());
+    recompute();
+    scheduleNext();
+}
+
+void
+NetFabric::advance()
+{
+    const double now = sim_.now();
+    const double dt = now - lastAdvanceS_;
+    lastAdvanceS_ = now;
+    if (dt <= 0.0 || flows_.empty())
+        return;
+    // Per-link allocated rate, for the busy-time integral. Link byte
+    // counters are charged at flow completion instead of per-advance:
+    // the increments would accumulate float residue and reported
+    // bytes must equal the payload bytes exactly.
+    remCap_.assign(links_.size(), 0.0);
+    for (Flow &f : flows_) {
+        f.remBits -= f.rateBps * dt;
+        remCap_[static_cast<size_t>(f.up)] += f.rateBps;
+        remCap_[static_cast<size_t>(f.down)] += f.rateBps;
+    }
+    for (size_t l = 0; l < links_.size(); ++l) {
+        if (remCap_[l] <= 0.0)
+            continue;
+        links_[l].busyS += dt * (remCap_[l] / links_[l].capBps);
+    }
+}
+
+void
+NetFabric::recompute()
+{
+    if (flows_.empty())
+        return;
+    remCap_.assign(links_.size(), 0.0);
+    nUnfixed_.assign(links_.size(), 0);
+    for (size_t l = 0; l < links_.size(); ++l)
+        remCap_[l] = effectiveCap(static_cast<int>(l));
+    for (Flow &f : flows_) {
+        f.rateBps = 0.0;
+        ++nUnfixed_[static_cast<size_t>(f.up)];
+        ++nUnfixed_[static_cast<size_t>(f.down)];
+    }
+    // Contention stat: flows sharing any of my links right now
+    // (counts are complete only after the pass above).
+    for (Flow &f : flows_) {
+        int shared = std::max(nUnfixed_[static_cast<size_t>(f.up)],
+                              nUnfixed_[static_cast<size_t>(f.down)]);
+        f.peakShared = std::max(f.peakShared, shared - 1);
+    }
+
+    // Progressive filling. Each round saturates the link with the
+    // smallest fair share (ties broken by lowest link index, keeping
+    // the solve deterministic); its flows are fixed at that share and
+    // their demand leaves every other link they cross.
+    std::vector<char> fixed(flows_.size(), 0);
+    size_t n_left = flows_.size();
+    while (n_left > 0) {
+        int bottleneck = -1;
+        double best = kInf;
+        for (size_t l = 0; l < links_.size(); ++l) {
+            if (nUnfixed_[l] == 0)
+                continue;
+            // max() guards float residue from earlier subtractions.
+            const double share =
+                std::max(remCap_[l], 0.0) / nUnfixed_[l];
+            if (share < best) {
+                best = share;
+                bottleneck = static_cast<int>(l);
+            }
+        }
+        assert(bottleneck >= 0 && "unfixed flow crosses no link");
+        const double share = best;
+        for (size_t i = 0; i < flows_.size(); ++i) {
+            if (fixed[i])
+                continue;
+            Flow &f = flows_[i];
+            if (f.up != bottleneck && f.down != bottleneck)
+                continue;
+            f.rateBps = share;
+            fixed[i] = 1;
+            --n_left;
+            for (int l : {f.up, f.down}) {
+                remCap_[static_cast<size_t>(l)] -= share;
+                --nUnfixed_[static_cast<size_t>(l)];
+            }
+        }
+        // Guard against float residue leaving a link "negative".
+        remCap_[static_cast<size_t>(bottleneck)] =
+            std::max(remCap_[static_cast<size_t>(bottleneck)], 0.0);
+    }
+}
+
+void
+NetFabric::scheduleNext()
+{
+    if (flows_.empty())
+        return;
+    double dt = kInf;
+    for (const Flow &f : flows_) {
+        if (f.rateBps <= 0.0)
+            continue; // stalled by a LinkDown window
+        dt = std::min(dt, std::max(f.remBits, 0.0) / f.rateBps);
+    }
+    // Fault boundaries only matter while flows are in flight; idle
+    // windows schedule nothing, so an armed-but-idle fabric never
+    // extends the simulation's end time.
+    const double boundary = nextFaultBoundary();
+    if (boundary < kInf)
+        dt = std::min(dt, boundary - sim_.now());
+    if (dt == kInf)
+        return; // every flow stalled and no boundary ahead: wedged
+                // until the plan says otherwise (LinkDown forever).
+    dt = std::max(dt, 0.0);
+    // The tick must move the clock: once a flow's residual drops under
+    // rate * ulp(now) while still above kEpsBits, its drain dt rounds
+    // to the same timestamp and advance() sees dt == 0 — an infinite
+    // same-time spin. Clamping to one ulp shifts a finish by at most
+    // ~4e-13 s and is bitwise deterministic.
+    const double now = sim_.now();
+    const double tick = std::nextafter(now, kInf) - now;
+    dt = std::max(dt, tick);
+    const uint64_t e = ++epoch_;
+    sim_.schedule(dt, [this, e] {
+        if (e != epoch_)
+            return; // superseded by a later arrival/departure
+        onTick();
+    });
+}
+
+void
+NetFabric::onTick()
+{
+    advance();
+    countWindows();
+    // Complete drained flows in arrival order.
+    for (size_t i = 0; i < flows_.size();) {
+        if (flows_[i].remBits <= kEpsBits)
+            finishFlow(i);
+        else
+            ++i;
+    }
+    recompute();
+    scheduleNext();
+}
+
+void
+NetFabric::finishFlow(size_t idx)
+{
+    Flow f = flows_[idx];
+    flows_.erase(flows_.begin() +
+                 static_cast<std::ptrdiff_t>(idx));
+    TransferAwaiter *aw = f.aw;
+    const double now = sim_.now();
+    aw->stats.finishS = now;
+    const double dur = now - aw->stats.startS;
+    aw->stats.achievedGbps =
+        dur > 0.0 ? aw->stats.bytes * 8.0 / (dur * 1e9) : 0.0;
+    aw->stats.peakSharedWith = f.peakShared;
+    links_[static_cast<size_t>(f.up)].bytesMoved += aw->stats.bytes;
+    links_[static_cast<size_t>(f.down)].bytesMoved += aw->stats.bytes;
+    totalBytes_ += aw->stats.bytes;
+    ++flowsCompleted_;
+    sim_.scheduleHandle(pathLatency(aw->src, aw->dst), aw->handle);
+}
+
+} // namespace ndp::net

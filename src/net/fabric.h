@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Deterministic, event-driven datacenter network fabric (§4.1, §6.4).
+ *
+ * Every inter-node transfer in the simulated cluster — feature
+ * shipping, delta pushes, SRV input staging, online uploads, media
+ * results, recovery re-dispatch — crosses one NetFabric instead of a
+ * per-dataflow ad-hoc `bytes / Gbps` division. The fabric owns a
+ * declarative hub topology: each node's NIC (from hw/specs.h)
+ * contributes a duplex pair of directed links to an implicit
+ * top-of-rack switch — an uplink (node -> ToR) and a downlink
+ * (ToR -> node) — and a flow from src to dst crosses exactly
+ * [uplink(src), downlink(dst)]. N PipeStores shipping to one Tuner
+ * therefore share the Tuner's ingress downlink *structurally*: the
+ * paper's bandwidth knee (Fig. 18) and the N-stores-share-one-link
+ * APO term are emergent, not precomputed.
+ *
+ * Bandwidth allocation is flow-level max-min fairness via progressive
+ * filling: on every flow arrival, departure, and link-fault window
+ * boundary the fabric (1) advances all active flows by their current
+ * rates, (2) re-solves the allocation — repeatedly fix the flows of
+ * the link with the smallest fair share remCap/nUnfixed, in
+ * deterministic link-index order — and (3) schedules the earliest
+ * completion, guarded by an epoch counter so superseded events no-op.
+ * A transfer completes after serialization and then charges the path
+ * propagation latency before the awaiting coroutine resumes, matching
+ * the retired half-duplex hw::Link contract.
+ *
+ * Determinism rule: the fabric performs no RNG draws and no wall-clock
+ * reads; flows are stored and iterated in arrival order and links in
+ * index order, so a run is a pure function of the transfer sequence.
+ * Same seed + same FaultPlan => bit-identical NetReport.
+ *
+ * Fault interaction: when a FaultInjector carrying LinkDegrade /
+ * LinkDown windows is attached, the affected links' capacities scale
+ * (or drop to zero — flows stall in place, stall semantics) inside
+ * each window; the fabric schedules recompute events at window
+ * boundaries only while flows are active, so an empty plan leaves the
+ * event sequence bitwise identical to an unarmed run.
+ */
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "hw/specs.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+
+namespace ndp::net {
+
+/** Index of a node (NIC) attached to the fabric. */
+using NodeId = int;
+
+/** Sentinel: no node / transfer leg not configured. */
+inline constexpr NodeId kNoNode = -1;
+
+/** Why bytes are crossing the fabric (per-flow accounting). */
+enum class FlowClass
+{
+    /** SRV input staging: storage server -> host. */
+    BulkInput,
+    /** FT-DMP feature tensors: store -> Tuner. */
+    FeatureShip,
+    /** Check-N-Run model deltas: Tuner -> store. */
+    DeltaPush,
+    /** Online photo uploads: client -> inference server. */
+    Upload,
+    /** Inference labels / media results leaving a store. */
+    ResultShip,
+    /** Naive-NDP ("+FC") weight synchronization. */
+    Sync,
+};
+
+const char *flowClassName(FlowClass c);
+
+/** What one completed transfer experienced. */
+struct FlowStats
+{
+    double startS = 0.0;
+    /** Serialization end; the awaiter resumes latency later. */
+    double finishS = 0.0;
+    double bytes = 0.0;
+    /** bytes * 8 / (finishS - startS), i.e. contention included. */
+    double achievedGbps = 0.0;
+    /** Peak number of *other* flows sharing any of this flow's links. */
+    int peakSharedWith = 0;
+};
+
+/** Per-run fabric roll-up, reported alongside StageMetrics. */
+struct NetReport
+{
+    /** Payload bytes of completed flows (fabric-wide). */
+    double bytesMoved = 0.0;
+    uint64_t flowsCompleted = 0;
+    /** High-water mark of simultaneously active flows. */
+    uint64_t peakConcurrentFlows = 0;
+    /** Bytes into the designated ingress node (Tuner/host downlink). */
+    double ingressBytes = 0.0;
+    /** Busy fraction of the ingress downlink over the whole run. */
+    double ingressUtil = 0.0;
+};
+
+class NetFabric
+{
+  public:
+    explicit NetFabric(sim::Simulator &s) : sim_(s) {}
+
+    NetFabric(const NetFabric &) = delete;
+    NetFabric &operator=(const NetFabric &) = delete;
+
+    /**
+     * Attach a node with @p nic: creates its duplex uplink/downlink
+     * pair to the implicit ToR. Node ids are dense and assigned in
+     * call order (dataflows add stores first, so fault store index i
+     * is fabric node i).
+     */
+    NodeId addNode(const hw::NicSpec &nic);
+
+    /** Designate the node whose downlink NetReport's ingress fields
+     *  track (the Tuner / SRV host / inference server). */
+    void setIngress(NodeId n) { ingress_ = n; }
+    NodeId ingress() const { return ingress_; }
+
+    /**
+     * Adopt @p inj's LinkDegrade/LinkDown windows. Fault node mapping:
+     * store index i targets fabric node i, FaultSpec::kIngressLink
+     * targets the designated ingress node, kAnyStore every non-ingress
+     * node. A null injector (or one without link faults) changes
+     * nothing — the zero-cost rule of sim/fault.h.
+     */
+    void attachFaults(sim::FaultInjector *inj);
+
+    struct TransferAwaiter
+    {
+        NetFabric &fab;
+        NodeId src;
+        NodeId dst;
+        double bytes;
+        FlowClass cls;
+        FlowStats stats;
+        std::coroutine_handle<> handle = nullptr;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            handle = h;
+            fab.startFlow(this);
+        }
+
+        FlowStats await_resume() const { return stats; }
+    };
+
+    /**
+     * Awaitable moving @p bytes from @p src to @p dst. Suspends until
+     * the flow drains under max-min sharing plus the path propagation
+     * latency; resumes with the flow's FlowStats. A zero-byte transfer
+     * still charges the latency (a message crossed the wire).
+     */
+    TransferAwaiter
+    transfer(NodeId src, NodeId dst, double bytes, FlowClass cls)
+    {
+        return TransferAwaiter{*this, src, dst, bytes, cls, {}};
+    }
+
+    /** Uncontended seconds to serialize @p bytes along src -> dst
+     *  (path bottleneck rate; latency and sharing excluded). */
+    double serviceTime(NodeId src, NodeId dst, double bytes) const;
+
+    /** Propagation latency of the src -> dst path. */
+    double pathLatency(NodeId src, NodeId dst) const;
+
+    /** @name Per-node accounting (after Simulator::run())
+     * @{ */
+    double bytesInto(NodeId n) const;
+    double bytesOutOf(NodeId n) const;
+    double downlinkUtilization(NodeId n) const;
+    /** @} */
+
+    NetReport report() const;
+
+    /** Flows currently in flight (tests / probes). */
+    size_t activeFlows() const { return flows_.size(); }
+
+  private:
+    struct Link
+    {
+        double capBps = 0.0;
+        double latencyS = 0.0;
+        double bytesMoved = 0.0;
+        /** Integral of (allocated rate / capacity) dt. */
+        double busyS = 0.0;
+    };
+
+    struct Flow
+    {
+        TransferAwaiter *aw = nullptr;
+        int up = 0;
+        int down = 0;
+        double remBits = 0.0;
+        double rateBps = 0.0;
+        int peakShared = 0;
+    };
+
+    /** One resolved LinkDegrade/LinkDown window on one link. */
+    struct FaultWindow
+    {
+        int link = 0;
+        double fromS = 0.0;
+        double untilS = 0.0;
+        /** Capacity multiplier; 0 = LinkDown. */
+        double factor = 1.0;
+        bool down = false;
+        bool counted = false;
+    };
+
+    static int upOf(NodeId n) { return 2 * n; }
+    static int downOf(NodeId n) { return 2 * n + 1; }
+
+    void startFlow(TransferAwaiter *aw);
+    /** Deliver bytes for the elapsed interval at current rates. */
+    void advance();
+    /** Progressive-filling max-min rate assignment (link order). */
+    void recompute();
+    /** Arm the next completion / fault-boundary event. */
+    void scheduleNext();
+    void onTick();
+    void finishFlow(size_t idx);
+    double effectiveCap(int link) const;
+    /** Next fault-window boundary strictly after now; +inf if none. */
+    double nextFaultBoundary() const;
+    /** Count windows whose start has been reached (first observation). */
+    void countWindows();
+
+    sim::Simulator &sim_;
+    std::vector<Link> links_;
+    std::vector<Flow> flows_;
+    std::vector<FaultWindow> windows_;
+    sim::FaultInjector *inj_ = nullptr;
+    NodeId ingress_ = kNoNode;
+    double lastAdvanceS_ = 0.0;
+    uint64_t epoch_ = 0;
+    double totalBytes_ = 0.0;
+    uint64_t flowsCompleted_ = 0;
+    uint64_t peakConcurrent_ = 0;
+    /** Scratch buffers for recompute() (sized to links_). */
+    mutable std::vector<double> remCap_;
+    mutable std::vector<int> nUnfixed_;
+};
+
+} // namespace ndp::net

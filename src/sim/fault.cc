@@ -17,6 +17,10 @@ faultKindName(FaultKind k)
         return "read-error";
       case FaultKind::MessageLoss:
         return "message-loss";
+      case FaultKind::LinkDegrade:
+        return "link-degrade";
+      case FaultKind::LinkDown:
+        return "link-down";
     }
     return "?";
 }
@@ -86,6 +90,33 @@ FaultPlan::loseMessages(double p, int store)
     return *this;
 }
 
+FaultPlan &
+FaultPlan::degradeLink(int node, double at_s, double duration_s,
+                       double factor)
+{
+    FaultSpec f;
+    f.kind = FaultKind::LinkDegrade;
+    f.store = node;
+    f.atS = at_s;
+    f.durationS = duration_s;
+    f.factor = factor;
+    faults.push_back(f);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::downLink(int node, double at_s, double duration_s)
+{
+    FaultSpec f;
+    f.kind = FaultKind::LinkDown;
+    f.store = node;
+    f.atS = at_s;
+    f.durationS = duration_s;
+    f.factor = 0.0;
+    faults.push_back(f);
+    return *this;
+}
+
 std::string
 FaultPlan::validate() const
 {
@@ -95,14 +126,23 @@ FaultPlan::validate() const
         msgRetryBackoffS < 0.0)
         return "FaultPlan: backoff/timeout seconds must be >= 0";
     for (const FaultSpec &f : faults) {
-        if (f.store < FaultSpec::kAnyStore)
-            return "FaultPlan: fault store must be >= -1";
+        const bool link_fault = f.kind == FaultKind::LinkDegrade ||
+                                f.kind == FaultKind::LinkDown;
+        const int floor =
+            link_fault ? FaultSpec::kIngressLink : FaultSpec::kAnyStore;
+        if (f.store < floor)
+            return link_fault
+                       ? "FaultPlan: link-fault node must be >= -2"
+                       : "FaultPlan: fault store must be >= -1";
         if (f.atS < 0.0 || f.durationS < 0.0)
             return "FaultPlan: fault times must be >= 0";
         if ((f.kind == FaultKind::ReadError ||
              f.kind == FaultKind::MessageLoss) &&
             (f.probability < 0.0 || f.probability > 1.0))
             return "FaultPlan: fault probability must be in [0, 1]";
+        if (f.kind == FaultKind::LinkDegrade &&
+            (f.factor <= 0.0 || f.factor > 1.0))
+            return "FaultPlan: degrade factor must be in (0, 1]";
     }
     return {};
 }
@@ -132,6 +172,15 @@ FaultInjector::FaultInjector(Simulator &s, const FaultPlan &plan,
         st.rng = master.split();
 
     for (const FaultSpec &f : plan_.faults) {
+        // Link faults are fabric-scoped, not per-store state: keep
+        // the declared node id for net::NetFabric::attachFaults to
+        // resolve against its topology.
+        if (f.kind == FaultKind::LinkDegrade ||
+            f.kind == FaultKind::LinkDown) {
+            linkFaults_.push_back({f.kind, f.store, f.atS,
+                                   f.atS + f.durationS, f.factor});
+            continue;
+        }
         for (int i = 0; i < n_stores; ++i) {
             if (f.store != FaultSpec::kAnyStore && f.store != i)
                 continue;
@@ -151,6 +200,9 @@ FaultInjector::FaultInjector(Simulator &s, const FaultPlan &plan,
               case FaultKind::MessageLoss:
                 st.msgLossP = combineP(st.msgLossP, f.probability);
                 break;
+              case FaultKind::LinkDegrade:
+              case FaultKind::LinkDown:
+                break; // handled above
             }
         }
     }

@@ -22,6 +22,19 @@
  *                 dead (escalates to StoreCrash semantics).
  *  - MessageLoss: a delta-distribution (or online-upload) message is
  *                 lost with probability p and must be retransmitted.
+ *  - LinkDegrade: the node's NIC runs at capacity * factor inside
+ *                 [t, t+d) — a congested or renegotiated link. Flows
+ *                 slow down but keep draining (stall semantics: the
+ *                 delay is absorbed, nothing is lost).
+ *  - LinkDown:    the node's NIC carries nothing inside [t, t+d);
+ *                 in-flight flows freeze in place and resume when the
+ *                 window closes — the fluid-flow analogue of the
+ *                 message-loss-and-retransmit path, with the retry
+ *                 traffic made implicit by conservation.
+ *
+ * Link faults are consumed by net::NetFabric (attachFaults); the
+ * injector only parses and carries them so one FaultPlan stays the
+ * single declarative schedule for a run.
  *
  * Determinism rule: every stochastic draw routes through a per-store
  * ndp::Rng stream derived from FaultPlan::seed — never wall clock —
@@ -57,6 +70,8 @@ enum class FaultKind
     StoreStall,
     ReadError,
     MessageLoss,
+    LinkDegrade,
+    LinkDown,
 };
 
 /**
@@ -82,15 +97,20 @@ const char *faultClassName(FaultClass c);
 struct FaultSpec
 {
     static constexpr int kAnyStore = -1;
+    /** Link-fault target: the fabric's designated ingress node (the
+     *  Tuner / host NIC) rather than a store NIC. */
+    static constexpr int kIngressLink = -2;
 
     FaultKind kind = FaultKind::StoreCrash;
     int store = kAnyStore;
-    /** Trigger time for crash/stall, simulated seconds. */
+    /** Trigger time for crash/stall/link faults, simulated seconds. */
     double atS = 0.0;
-    /** Stall duration; the store recovers at atS + durationS. */
+    /** Window length; the store/link recovers at atS + durationS. */
     double durationS = 0.0;
     /** Per-event probability for ReadError / MessageLoss. */
     double probability = 0.0;
+    /** Capacity multiplier for LinkDegrade, in (0, 1]. */
+    double factor = 1.0;
 };
 
 /**
@@ -126,6 +146,10 @@ struct FaultPlan
     FaultPlan &stallStore(int store, double at_s, double duration_s);
     FaultPlan &readErrors(double p, int store = FaultSpec::kAnyStore);
     FaultPlan &loseMessages(double p, int store = FaultSpec::kAnyStore);
+    /** @p node may be a store index, kAnyStore, or kIngressLink. */
+    FaultPlan &degradeLink(int node, double at_s, double duration_s,
+                           double factor);
+    FaultPlan &downLink(int node, double at_s, double duration_s);
     /** @} */
 
     /** Empty string when valid; otherwise names the offending field. */
@@ -145,6 +169,10 @@ struct FaultReport
     uint64_t stalls = 0;
     uint64_t ioErrors = 0;
     uint64_t messagesLost = 0;
+    /** Link-degrade windows observed by the fabric. */
+    uint64_t linkDegrades = 0;
+    /** Link-down windows observed by the fabric. */
+    uint64_t linkDowns = 0;
     /** @} */
 
     /** @name Recovered
@@ -174,7 +202,9 @@ struct FaultReport
     bool
     anyInjected() const
     {
-        return crashes + stalls + ioErrors + messagesLost > 0;
+        return crashes + stalls + ioErrors + messagesLost +
+                   linkDegrades + linkDowns >
+               0;
     }
 
     bool
@@ -190,6 +220,8 @@ struct FaultReport
         stalls += o.stalls;
         ioErrors += o.ioErrors;
         messagesLost += o.messagesLost;
+        linkDegrades += o.linkDegrades;
+        linkDowns += o.linkDowns;
         ioRetries += o.ioRetries;
         messagesResent += o.messagesResent;
         itemsRedispatched += o.itemsRedispatched;
@@ -264,6 +296,25 @@ class FaultInjector
     /** Stores with no scheduled crash: re-dispatch volunteers. */
     int eligibleConsumers() const;
 
+    /**
+     * One parsed LinkDegrade/LinkDown window, node id kept exactly as
+     * declared (store index, kAnyStore, or kIngressLink) — the fabric
+     * resolves targets against its own topology in attachFaults().
+     */
+    struct LinkFault
+    {
+        FaultKind kind = FaultKind::LinkDegrade;
+        int node = FaultSpec::kAnyStore;
+        double fromS = 0.0;
+        double untilS = 0.0;
+        double factor = 1.0;
+    };
+
+    const std::vector<LinkFault> &linkFaults() const
+    {
+        return linkFaults_;
+    }
+
     FaultReport &report() { return report_; }
     const FaultReport &report() const { return report_; }
 
@@ -301,6 +352,7 @@ class FaultInjector
     Simulator *sim_ = nullptr;
     FaultPlan plan_;
     std::vector<StoreState> stores_;
+    std::vector<LinkFault> linkFaults_;
     FaultReport report_;
 };
 

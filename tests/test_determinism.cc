@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "core/inference.h"
+#include "core/media.h"
 #include "core/online.h"
 #include "core/training.h"
 
@@ -68,6 +69,16 @@ expectSamePerServer(const std::vector<ndp::hw::ServerPowerSample> &a,
 }
 
 void
+expectSameNet(const ndp::net::NetReport &a, const ndp::net::NetReport &b)
+{
+    EXPECT_BITEQ(a.bytesMoved, b.bytesMoved);
+    EXPECT_EQ(a.flowsCompleted, b.flowsCompleted);
+    EXPECT_EQ(a.peakConcurrentFlows, b.peakConcurrentFlows);
+    EXPECT_BITEQ(a.ingressBytes, b.ingressBytes);
+    EXPECT_BITEQ(a.ingressUtil, b.ingressUtil);
+}
+
+void
 expectSameFaults(const ndp::sim::FaultReport &a,
                  const ndp::sim::FaultReport &b)
 {
@@ -80,6 +91,8 @@ expectSameFaults(const ndp::sim::FaultReport &a,
     EXPECT_EQ(a.itemsRedispatched, b.itemsRedispatched);
     EXPECT_EQ(a.itemsLost, b.itemsLost);
     EXPECT_EQ(a.deltaPushFailures, b.deltaPushFailures);
+    EXPECT_EQ(a.linkDegrades, b.linkDegrades);
+    EXPECT_EQ(a.linkDowns, b.linkDowns);
     EXPECT_EQ(a.terminal, b.terminal);
     EXPECT_BITEQ(a.degradedS, b.degradedS);
 }
@@ -99,6 +112,7 @@ expectSameInference(const InferenceReport &a, const InferenceReport &b)
     expectSamePerServer(a.perServer, b.perServer);
     expectSameStages(a.stages, b.stages);
     expectSameFaults(a.faults, b.faults);
+    expectSameNet(a.net, b.net);
 }
 
 void
@@ -116,6 +130,7 @@ expectSameTrain(const TrainReport &a, const TrainReport &b)
     expectSamePerServer(a.perServer, b.perServer);
     expectSameStages(a.stages, b.stages);
     expectSameFaults(a.faults, b.faults);
+    expectSameNet(a.net, b.net);
 }
 
 /** Fig. 12-equivalent config: one PipeStore, each NPE level in turn. */
@@ -185,6 +200,32 @@ TEST(Determinism, OnlineInferenceBitIdentical)
     EXPECT_BITEQ(first.gpuUtil, second.gpuUtil);
     EXPECT_BITEQ(first.cpuUtil, second.cpuUtil);
     EXPECT_EQ(first.saturated, second.saturated);
+    expectSameNet(first.net, second.net);
+}
+
+TEST(Determinism, MediaAnalysisBitIdentical)
+{
+    // Both media paths route their inter-node bytes through the
+    // fabric (results for NDP, whole raw objects for SRV).
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    for (const auto &runOnce :
+         {+[](const ExperimentConfig &c) {
+              return runNdpMediaAnalysis(c, videoMedia(), 400);
+          },
+          +[](const ExperimentConfig &c) {
+              return runSrvMediaAnalysis(c, videoMedia(), 400);
+          }}) {
+        MediaReport first = runOnce(cfg);
+        MediaReport second = runOnce(cfg);
+        EXPECT_EQ(first.objects, second.objects);
+        EXPECT_BITEQ(first.seconds, second.seconds);
+        EXPECT_BITEQ(first.ops, second.ops);
+        EXPECT_BITEQ(first.ups, second.ups);
+        EXPECT_BITEQ(first.netBytes, second.netBytes);
+        EXPECT_BITEQ(first.energyJ, second.energyJ);
+        expectSamePower(first.power, second.power);
+    }
 }
 
 // Faulted runs must be just as deterministic as clean ones: every
@@ -218,6 +259,24 @@ TEST(Determinism, FaultedNdpInferenceBitIdentical)
     InferenceReport second = runNdpOfflineInference(cfg);
     EXPECT_TRUE(first.faults.anyInjected());
     expectSameInference(first, second);
+}
+
+TEST(Determinism, LinkFaultedTrainingBitIdentical)
+{
+    // Link faults perturb the fabric's max-min allocation at plan
+    // boundaries; the recompute cascade must still be a pure function
+    // of (config, FaultPlan).
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    cfg.nImages = 40000;
+    cfg.faults.degradeLink(1, 2.0, 30.0, 0.5).downLink(2, 5.0, 3.0);
+    TrainOptions opt;
+    opt.nRun = 3;
+    TrainReport first = runFtDmpTraining(cfg, opt);
+    TrainReport second = runFtDmpTraining(cfg, opt);
+    EXPECT_TRUE(first.faults.anyInjected());
+    EXPECT_GE(first.faults.linkDegrades + first.faults.linkDowns, 1U);
+    expectSameTrain(first, second);
 }
 
 TEST(Determinism, FaultedOnlineInferenceBitIdentical)

@@ -121,14 +121,6 @@ namespace {
 
 // ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
 sim::Task
-doTransfer(Link &link, double bytes, sim::WaitGroup &wg)
-{
-    co_await link.transfer(bytes);
-    wg.done();
-}
-
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
-sim::Task
 doRead(Disk &disk, double bytes, sim::WaitGroup &wg)
 {
     co_await disk.read(bytes);
@@ -145,46 +137,13 @@ doCompute(GpuExec &gpu, double seconds, sim::WaitGroup &wg)
 
 } // namespace
 
-TEST(Link, TransferTimeMatchesBandwidth)
+// Point-to-point transfer behavior (serialization, latency, sharing)
+// now lives on net::NetFabric — see test_net.cc. NicSpec's uncontended
+// wire-time formula stays a hardware-spec fact and is checked here.
+TEST(Nic, WireSecondsFormula)
 {
-    sim::Simulator s;
-    Link link(s, NicSpec{10.0, 0.0}); // 10 Gbps, no latency
-    sim::WaitGroup wg(s);
-    wg.add(1);
-    s.spawn(doTransfer(link, 1.25e9, wg)); // 1.25 GB = 10 Gbit
-    s.run();
-    EXPECT_NEAR(s.now(), 1.0, 1e-9);
-    EXPECT_DOUBLE_EQ(link.bytesMoved(), 1.25e9);
-}
-
-TEST(Link, ConcurrentTransfersSerialize)
-{
-    sim::Simulator s;
-    Link link(s, NicSpec{10.0, 0.0});
-    sim::WaitGroup wg(s);
-    wg.add(4);
-    for (int i = 0; i < 4; ++i)
-        s.spawn(doTransfer(link, 1.25e9 / 4.0, wg));
-    s.run();
-    EXPECT_NEAR(s.now(), 1.0, 1e-9); // total wire time conserved
-}
-
-TEST(Link, LatencyAddsAfterSerialization)
-{
-    sim::Simulator s;
-    Link link(s, NicSpec{10.0, 0.5});
-    sim::WaitGroup wg(s);
-    wg.add(1);
-    s.spawn(doTransfer(link, 1.25e9, wg));
-    s.run();
-    EXPECT_NEAR(s.now(), 1.5, 1e-9);
-}
-
-TEST(Link, ServiceTimeFormula)
-{
-    sim::Simulator s;
-    Link link(s, NicSpec{40.0, 0.0});
-    EXPECT_NEAR(link.serviceTime(5e9), 1.0, 1e-9); // 40 Gbit in 1 s
+    NicSpec nic{40.0, 0.0};
+    EXPECT_NEAR(nic.wireSeconds(5e9), 1.0, 1e-9); // 40 Gbit in 1 s
 }
 
 TEST(Disk, ReadRateAndSeek)

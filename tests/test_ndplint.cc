@@ -149,6 +149,36 @@ TEST(NdpLint, FloatAccumOrderFlagsUnorderedSumsOnly)
     EXPECT_FALSE(anyMessageContains(st, "'xs'"));
 }
 
+TEST(NdpLint, AnalyticNetMathFlagsDivisorRatesOnly)
+{
+    LintStats st =
+        lintFixture("analytic_net_math.cc", {"analytic-net-math"});
+    // The three BAD sites; numerator rates, literal divisors, and the
+    // suppressed codec-rate division stay silent.
+    ASSERT_EQ(st.findings.size(), 3U);
+    EXPECT_TRUE(anyMessageContains(st, "'networkGbps'"));
+    EXPECT_TRUE(anyMessageContains(st, "'gbps'"));
+    EXPECT_TRUE(anyMessageContains(st, "'readMBps'"));
+    EXPECT_EQ(st.suppressed, 1);
+}
+
+TEST(NdpLintEngine, AnalyticNetMathScopedOffFabricAndHw)
+{
+    const auto &rules = ndp::lint::allRules();
+    auto it = std::find_if(rules.begin(), rules.end(), [](const auto &r) {
+        return r->name() == "analytic-net-math";
+    });
+    ASSERT_NE(it, rules.end());
+    // The fabric and the hw spec formulas are the sanctioned homes for
+    // rate arithmetic; everywhere else the rule applies.
+    EXPECT_FALSE((*it)->appliesTo("src/net/fabric.cc"));
+    EXPECT_FALSE((*it)->appliesTo("src/net/estimate.h"));
+    EXPECT_FALSE((*it)->appliesTo("src/hw/specs.h"));
+    EXPECT_TRUE((*it)->appliesTo("src/core/apo.cc"));
+    EXPECT_TRUE((*it)->appliesTo("bench/bench_fig06_ndp_breakdown.cc"));
+    EXPECT_TRUE((*it)->appliesTo("tests/test_core_inference.cc"));
+}
+
 TEST(NdpLint, SuppressionsCoverEveryPlacementForm)
 {
     // Inline, line-above, top-of-comment-block, wildcard, and

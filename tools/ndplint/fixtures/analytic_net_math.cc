@@ -1,0 +1,57 @@
+// analytic-net-math fixture: ad-hoc bandwidth math vs sanctioned forms.
+// Lexed only, never compiled.
+
+struct Cfg
+{
+    double networkGbps;
+    double readMBps;
+};
+
+struct Nic
+{
+    double gbps;
+};
+
+double
+badParenthesized(const Cfg &cfg, double bytes)
+{
+    // BAD: classic wire-time division with the rate in the divisor.
+    return bytes * 8.0 / (cfg.networkGbps * 1e9);
+}
+
+double
+badPrimaryChain(const Nic &nic, double bits)
+{
+    // BAD: bare member-chain divisor, no parentheses.
+    return bits / nic.gbps;
+}
+
+double
+badDiskRate(const Cfg &cfg, double mb)
+{
+    // BAD: disk stream rates belong in hw::DiskSpec too.
+    return mb / (cfg.readMBps * 1e6);
+}
+
+double
+goodNumeratorRate(const Cfg &cfg, double bytes)
+{
+    // GOOD: the rate is in the numerator — this computes a byte rate,
+    // not a transfer time.
+    double byte_rate = cfg.networkGbps * 1e9 / 8.0;
+    return bytes / byte_rate;
+}
+
+double
+goodLiteralDivision(double bytes)
+{
+    // GOOD: no rate-named identifier in the divisor.
+    return bytes / 8.0;
+}
+
+double
+suppressedCodecRate(const Cfg &cfg, double mb)
+{
+    // ndplint: allow(analytic-net-math): CPU codec rate, not a wire.
+    return mb / (cfg.readMBps * 4.0);
+}

@@ -702,6 +702,107 @@ class FloatAccumOrderRule final : public Rule
     }
 };
 
+class AnalyticNetMathRule final : public Rule
+{
+  public:
+    std::string name() const override { return "analytic-net-math"; }
+
+    std::string
+    description() const override
+    {
+        return "ad-hoc `bytes / bandwidth` division outside src/net + "
+               "src/hw re-derives transfer physics the NetFabric owns "
+               "and silently ignores link contention; route the bytes "
+               "through net::NetFabric::transfer()/serviceTime(), the "
+               "net/estimate.h helpers, or a hw spec method";
+    }
+
+    bool
+    appliesTo(std::string_view path) const override
+    {
+        std::string p(path);
+        std::replace(p.begin(), p.end(), '\\', '/');
+        // The fabric and the device-spec formulas are the two
+        // sanctioned homes for rate arithmetic.
+        return p.find("src/net/") == std::string::npos &&
+               p.find("src/hw/") == std::string::npos;
+    }
+
+    void
+    analyze(const SourceFile &f, const AnalysisContext &ctx,
+            std::vector<Finding> &out) const override
+    {
+        (void)ctx;
+        const Tokens &toks = f.tokens;
+        for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
+            if (!is(toks[static_cast<size_t>(i)], "/"))
+                continue;
+            std::string bw = divisorBandwidthName(toks, i + 1);
+            if (bw.empty())
+                continue;
+            Finding fd;
+            fd.rule = name();
+            fd.path = f.path;
+            fd.line = toks[static_cast<size_t>(i)].line;
+            fd.endLine = fd.line;
+            fd.message =
+                "division by bandwidth '" + bw +
+                "' computes a wire time analytically, bypassing the "
+                "network fabric's contention model; use "
+                "net::NetFabric::transfer()/serviceTime() or a "
+                "net/estimate.h helper instead";
+            out.push_back(std::move(fd));
+        }
+    }
+
+  private:
+    /** True for identifiers that carry a link/IO rate unit. */
+    static bool
+    isBandwidthName(const std::string &s)
+    {
+        for (std::string_view unit :
+             {"Gbps", "GBps", "gbps", "Mbps", "MBps", "mbps"})
+            if (s.find(unit) != std::string::npos)
+                return true;
+        return false;
+    }
+
+    /**
+     * The first rate-named identifier inside the divisor starting at
+     * token @p j: either a parenthesized expression (checked whole) or
+     * a primary chain `a.b->c::d`. Rates appearing only in the
+     * numerator (e.g. `gbps * 1e9 / 8.0`) are fine — that computes a
+     * byte rate, not a transfer time.
+     */
+    static std::string
+    divisorBandwidthName(const Tokens &toks, int j)
+    {
+        if (j >= static_cast<int>(toks.size()))
+            return {};
+        if (is(toks[static_cast<size_t>(j)], "(")) {
+            int close = matchForward(toks, j);
+            if (close < 0)
+                return {};
+            for (int k = j + 1; k < close; ++k) {
+                const Token &d = toks[static_cast<size_t>(k)];
+                if (isIdent(d) && isBandwidthName(d.text))
+                    return d.text;
+            }
+            return {};
+        }
+        for (int k = j; k < static_cast<int>(toks.size()); ++k) {
+            const Token &d = toks[static_cast<size_t>(k)];
+            if (isIdent(d)) {
+                if (isBandwidthName(d.text))
+                    return d.text;
+            } else if (!anyOf(d, {".", "->", "::"})) {
+                break;
+            }
+        }
+        return {};
+    }
+};
+
 } // namespace
 
 void
@@ -751,6 +852,7 @@ allRules()
         r.push_back(std::make_unique<CoroutineRefCaptureRule>());
         r.push_back(std::make_unique<BannedNondeterminismRule>());
         r.push_back(std::make_unique<FloatAccumOrderRule>());
+        r.push_back(std::make_unique<AnalyticNetMathRule>());
         return r;
     }();
     return rules;

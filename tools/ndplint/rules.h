@@ -25,6 +25,11 @@
  *                           unordered container accumulates in hash
  *                           order, so sums differ across
  *                           libstdc++ versions and runs.
+ *  - analytic-net-math:     `bytes / bandwidth` division outside
+ *                           src/net + src/hw re-derives wire time by
+ *                           hand and bypasses the network fabric's
+ *                           contention model; use NetFabric::transfer
+ *                           / serviceTime or net/estimate.h helpers.
  */
 
 #pragma once
