@@ -18,8 +18,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Extension - NDPipe for video/audio/document media",
                   "NDPipe (ASPLOS'24) Section 7.1 (discussion)");
 

@@ -16,8 +16,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Extension - Online inference latency envelope",
                   "NDPipe (ASPLOS'24) Sections 3.1 & 5.4 (online path)");
 

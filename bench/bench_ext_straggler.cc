@@ -18,8 +18,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Ablation - stragglers vs weight synchronization",
                   "NDPipe (ASPLOS'24) Sections 4.1 & 5.1 (design "
                   "rationale)");

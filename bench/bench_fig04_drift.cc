@@ -18,8 +18,9 @@
 using namespace ndp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 4 - Outdated model problem",
                   "NDPipe (ASPLOS'24) Fig. 4, Section 3.2");
 

@@ -17,8 +17,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 5 - Impact of network bottleneck",
                   "NDPipe (ASPLOS'24) Fig. 5, Section 3.4");
 

@@ -33,15 +33,17 @@ norm(double ndp, double typ)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 6 - Naive NDP vs Typical, per-stage times",
                   "NDPipe (ASPLOS'24) Fig. 6, Section 4");
 
     ExperimentConfig cfg;
     cfg.model = &models::resnet50();
     cfg.nStores = 4;
-    cfg.nImages = 1200000;
+    // Quick mode keeps traced smoke runs (NDP_TRACE=1 in CI) small.
+    cfg.nImages = bench::scaled(1200000, 60000);
 
     // (a) Fine-tuning.
     auto typ = runSrvFineTuning(cfg, SrvVariant::Preprocessed,

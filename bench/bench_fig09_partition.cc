@@ -19,8 +19,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner(
         "Fig. 9 - Impact of layer offloading (ResNet50, 4 PipeStores)",
         "NDPipe (ASPLOS'24) Fig. 9, Section 5.1");

@@ -18,8 +18,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 11 - Training time / energy vs #PipeStores + APO",
                   "NDPipe (ASPLOS'24) Fig. 11, Section 5.3");
 

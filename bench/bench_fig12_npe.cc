@@ -58,8 +58,9 @@ reportTask(const ExperimentConfig &base, bool fine_tuning)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 12 - NPE optimizations on one PipeStore",
                   "NDPipe (ASPLOS'24) Fig. 12, Section 5.4");
 

@@ -16,8 +16,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 13 - Offline inference throughput (KIPS)",
                   "NDPipe (ASPLOS'24) Fig. 13, Section 6.2");
 

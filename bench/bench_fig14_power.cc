@@ -32,8 +32,9 @@ matchPoint(ExperimentConfig cfg, double target_ips)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 14 - Inference power at match points P1/P2/P3",
                   "NDPipe (ASPLOS'24) Fig. 14, Section 6.2");
 

@@ -15,8 +15,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 15 - Training time vs #PipeStores",
                   "NDPipe (ASPLOS'24) Fig. 15, Section 6.3");
 

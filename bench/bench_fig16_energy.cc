@@ -15,8 +15,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 16 - Training energy efficiency (IPS/kJ)",
                   "NDPipe (ASPLOS'24) Fig. 16, Section 6.3");
 

@@ -20,8 +20,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 17 - Pipelined FT-DMP: time and accuracy",
                   "NDPipe (ASPLOS'24) Fig. 17, Sections 5.2 & 6.3");
 

@@ -37,8 +37,9 @@ check(bool ok, const char *what)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 18 - Impact of network bandwidth (IPS/W)",
                   "NDPipe (ASPLOS'24) Fig. 18, Section 6.4");
 

@@ -17,8 +17,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 19 - Impact of batch size (KIPS per store)",
                   "NDPipe (ASPLOS'24) Fig. 19, Section 6.4");
 

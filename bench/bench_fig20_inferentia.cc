@@ -17,8 +17,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 20 - NDPipe-Inf1 (NeuronCoreV1 PipeStores)",
                   "NDPipe (ASPLOS'24) Fig. 20, Section 6.4");
 

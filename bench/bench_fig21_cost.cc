@@ -19,8 +19,9 @@ using namespace ndp;
 using namespace ndp::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Fig. 21 - Operational cost of fine-tuning",
                   "NDPipe (ASPLOS'24) Fig. 21, Section 7.2");
 

@@ -35,8 +35,9 @@ predictPool(data::VisionModel &model, data::PhotoWorld &world,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Table 1 - %% of labels fixed by new models",
                   "NDPipe (ASPLOS'24) Table 1, Section 3.3");
 

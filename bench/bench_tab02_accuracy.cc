@@ -34,8 +34,9 @@ backboneWidthFor(const std::string &model, size_t base_width)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto trace = ndp::bench::init(argc, argv);
     bench::banner("Table 2 - Model accuracy under drift (%)",
                   "NDPipe (ASPLOS'24) Table 2, Section 6.3");
 

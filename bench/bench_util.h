@@ -1,8 +1,10 @@
 /**
  * @file
  * Shared helpers for the figure/table reproduction benches: fixed-width
- * table printing and a quick-mode switch (NDP_QUICK=1 shrinks the
- * functional NN workloads for smoke runs).
+ * table printing, a quick-mode switch (NDP_QUICK=1 shrinks the
+ * functional NN workloads for smoke runs), the shared --json flag
+ * (machine-readable row output), and the NDP_TRACE gate (init()
+ * opens the obs::TraceSession every simulator entry point picks up).
  */
 
 #pragma once
@@ -10,8 +12,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace ndp::bench {
 
@@ -29,9 +34,57 @@ scaled(size_t full, size_t quick)
     return quickMode() ? quick : full;
 }
 
+inline bool &
+jsonModeFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
+/** True after init() saw --json: tables print JSON lines instead. */
+inline bool
+jsonMode()
+{
+    return jsonModeFlag();
+}
+
+/**
+ * Parse the shared bench flags (--json) and open the NDP_TRACE-gated
+ * trace session. Call it first thing in main() and hold the returned
+ * session for the whole run — its destructor writes the trace file
+ * (NDP_TRACE_FILE, default ndp_trace.json). Null (tracing off, zero
+ * cost) unless NDP_TRACE is set.
+ */
+[[nodiscard]] inline std::unique_ptr<obs::TraceSession>
+init(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0)
+            jsonModeFlag() = true;
+    return obs::TraceSession::fromEnv();
+}
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
 inline void
 banner(const std::string &title, const std::string &paper_ref)
 {
+    if (jsonMode()) {
+        std::printf("{\"bench\":\"%s\",\"reproduces\":\"%s\"}\n",
+                    jsonEscape(title).c_str(),
+                    jsonEscape(paper_ref).c_str());
+        return;
+    }
     std::printf("\n=============================================="
                 "==============================\n");
     std::printf("%s\n", title.c_str());
@@ -63,6 +116,17 @@ class Table
     void
     print() const
     {
+        if (jsonMode()) {
+            for (const auto &r : rows) {
+                std::printf("{");
+                for (size_t i = 0; i < cols.size(); ++i)
+                    std::printf("%s\"%s\":\"%s\"", i ? "," : "",
+                                jsonEscape(cols[i]).c_str(),
+                                jsonEscape(r[i]).c_str());
+                std::printf("}\n");
+            }
+            return;
+        }
         printRow(cols);
         std::string sep;
         for (size_t i = 0; i < cols.size(); ++i) {

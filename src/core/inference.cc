@@ -1,11 +1,13 @@
 #include "core/inference.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/npe_common.h"
 #include "core/pipeline.h"
 #include "hw/devices.h"
+#include "hw/power.h"
 #include "models/throughput.h"
 #include "sim/simulator.h"
 
@@ -92,6 +94,8 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     }
 
     sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
+    obs::GaugeSet gauges(tr);
     // Topology: stores plus the front-end index server the labels
     // return to, all on one ToR (§3.1 step 6).
     net::NetFabric fabric(s);
@@ -100,6 +104,15 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
         store_nodes.push_back(fabric.addNode(cfg.storeSpec.nic));
     const net::NodeId index_node = fabric.addNode(cfg.nic());
     fabric.setIngress(index_node);
+    fabric.setTracer(tr);
+    if (tr) {
+        gauges.add("net", "ingress.util", [&fabric] {
+            return fabric.downlinkUtilization(fabric.ingress());
+        });
+        gauges.add("net", "flows.active", [&fabric] {
+            return static_cast<double>(fabric.activeFlows());
+        });
+    }
     sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
     sim::FaultInjector *inj = injector.armed() ? &injector : nullptr;
     fabric.attachFaults(inj);
@@ -147,6 +160,24 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
         spec.faults = inj;
         spec.faultStoreBase = i;
         spec.recovery = recovery.get();
+        spec.trace = tr;
+        spec.traceNode = "store" + std::to_string(i);
+        if (tr) {
+            hw::Disk *disk = &st->stations.disk;
+            hw::CpuPool *cpu = &st->stations.cpu;
+            hw::GpuExec *gpu = &st->stations.gpu;
+            gauges.add(spec.traceNode, "util.disk",
+                       [disk] { return disk->utilization(); });
+            gauges.add(spec.traceNode, "util.cpu",
+                       [cpu] { return cpu->utilization(); });
+            gauges.add(spec.traceNode, "util.gpu",
+                       [gpu] { return gpu->utilization(); });
+            gauges.add(spec.traceNode, "power.w",
+                       [probe = hw::PowerProbe{&cfg.storeSpec, gpu,
+                                               cpu}] {
+                           return probe.watts();
+                       });
+        }
         ProducerSpec prod;
         prod.disk = &st->stations.disk;
         prod.node = store_nodes[static_cast<size_t>(i)];
@@ -178,10 +209,6 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
             {cfg.storeSpec.name + "#" + std::to_string(i), p});
         rep.power += p;
     }
-    // operator+= summed the per-store utilizations; report means.
-    rep.stages.diskUtil /= static_cast<double>(stores.size());
-    rep.stages.cpuUtil /= static_cast<double>(stores.size());
-    rep.stages.gpuUtil /= static_cast<double>(stores.size());
     rep.energyJ = rep.power.totalW() * rep.seconds;
     return rep;
 }
@@ -237,6 +264,8 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     }
 
     sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
+    obs::GaugeSet gauges(tr);
     HostStations host(s, cfg.hostSpec);
     // Topology: N storage servers funneling into the host's downlink.
     net::NetFabric fabric(s);
@@ -245,6 +274,24 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
         srv_nodes.push_back(fabric.addNode(cfg.srvStoreSpec.nic));
     const net::NodeId host_node = fabric.addNode(cfg.nic());
     fabric.setIngress(host_node);
+    fabric.setTracer(tr);
+    if (tr) {
+        gauges.add("net", "ingress.util", [&fabric] {
+            return fabric.downlinkUtilization(fabric.ingress());
+        });
+        gauges.add("net", "flows.active", [&fabric] {
+            return static_cast<double>(fabric.activeFlows());
+        });
+        gauges.add("host", "util.cpu",
+                   [&host] { return host.cpu.utilization(); });
+        gauges.add("host", "util.gpu",
+                   [&host] { return host.gpus.utilization(); });
+        gauges.add("host", "power.w",
+                   [probe = hw::PowerProbe{&cfg.hostSpec, &host.gpus,
+                                           &host.cpu}] {
+                       return probe.watts();
+                   });
+    }
     sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
     fabric.attachFaults(injector.armed() ? &injector : nullptr);
     double sec_per_image =
@@ -271,6 +318,8 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     spec.computeSecondsPerItem = sec_per_image;
     spec.gpuWorkers = cfg.hostSpec.nGpus;
     spec.faults = injector.armed() ? &injector : nullptr;
+    spec.trace = tr;
+    spec.traceNode = "host";
 
     std::vector<ProducerSpec> producers;
     if (wire > 0.0) {
@@ -278,6 +327,12 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
             ProducerSpec p;
             p.disk = disks[static_cast<size_t>(i)].get();
             p.node = srv_nodes[static_cast<size_t>(i)];
+            p.traceNode = "srv" + std::to_string(i);
+            if (tr) {
+                hw::Disk *disk = p.disk;
+                gauges.add(p.traceNode, "util.disk",
+                           [disk] { return disk->utilization(); });
+            }
             p.runItems = {
                 evenShare(cfg.nImages, cfg.srvStorageServers, i)};
             producers.push_back(std::move(p));
@@ -322,13 +377,13 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
     return rep;
 }
 
-StageBreakdown
+StageMetrics
 npeStageTimes(const ExperimentConfig &cfg, const NpeOptions &npe,
               bool fine_tuning)
 {
     const models::ModelSpec &m = *cfg.model;
     const hw::ServerSpec &spec = cfg.storeSpec;
-    StageBreakdown b;
+    StageMetrics b;
 
     if (fine_tuning) {
         // Fine-tuning always consumes preprocessed binaries; the

@@ -46,7 +46,7 @@ InferenceReport runSrvOfflineInference(const ExperimentConfig &cfg,
  * Per-image stage service times for a single PipeStore under the given
  * NPE options (Fig. 12's task breakdown), in seconds per image.
  */
-StageBreakdown npeStageTimes(const ExperimentConfig &cfg,
-                             const NpeOptions &npe, bool fine_tuning);
+StageMetrics npeStageTimes(const ExperimentConfig &cfg,
+                           const NpeOptions &npe, bool fine_tuning);
 
 } // namespace ndp::core

@@ -1,12 +1,14 @@
 #include "core/media.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/npe_common.h"
 #include "core/pipeline.h"
 #include "hw/devices.h"
 #include "models/throughput.h"
+#include "obs/trace.h"
 
 namespace ndp::core {
 
@@ -98,6 +100,7 @@ runNdpMediaAnalysis(const ExperimentConfig &cfg,
     rep.objects = n_objects;
 
     sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
     // Topology: stores ship per-unit results to the Tuner-side sink.
     net::NetFabric fabric(s);
     std::vector<net::NodeId> store_nodes;
@@ -105,6 +108,7 @@ runNdpMediaAnalysis(const ExperimentConfig &cfg,
         store_nodes.push_back(fabric.addNode(cfg.storeSpec.nic));
     const net::NodeId sink_node = fabric.addNode(cfg.nic());
     fabric.setIngress(sink_node);
+    fabric.setTracer(tr);
     double unit_seconds =
         1.0 / models::deviceIps(*cfg.storeSpec.gpu, *media.model,
                                 cfg.npe.batchSize);
@@ -137,6 +141,8 @@ runNdpMediaAnalysis(const ExperimentConfig &cfg,
         spec.shipClass = net::FlowClass::ResultShip;
         spec.shipBytesPerItem =
             media.unitsPerObject * media.resultBytesPerUnit;
+        spec.trace = tr;
+        spec.traceNode = "store" + std::to_string(i);
         ProducerSpec prod;
         prod.disk = &st->stations.disk;
         prod.node = store_nodes[static_cast<size_t>(i)];
@@ -171,6 +177,7 @@ runSrvMediaAnalysis(const ExperimentConfig &cfg,
     rep.objects = n_objects;
 
     sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
     HostStations host(s, cfg.hostSpec);
     // Topology: raw objects stream from every storage server into the
     // host's downlink — the bulk-input funnel that makes SRV media
@@ -181,6 +188,7 @@ runSrvMediaAnalysis(const ExperimentConfig &cfg,
         srv_nodes.push_back(fabric.addNode(cfg.srvStoreSpec.nic));
     const net::NodeId host_node = fabric.addNode(cfg.nic());
     fabric.setIngress(host_node);
+    fabric.setTracer(tr);
     double unit_seconds =
         1.0 / models::deviceIps(*cfg.hostSpec.gpu, *media.model,
                                 cfg.npe.batchSize);
@@ -205,6 +213,8 @@ runSrvMediaAnalysis(const ExperimentConfig &cfg,
     spec.gpu = &host.gpus;
     spec.computeSecondsPerItem = media.unitsPerObject * unit_seconds;
     spec.gpuWorkers = cfg.hostSpec.nGpus;
+    spec.trace = tr;
+    spec.traceNode = "host";
 
     std::vector<ProducerSpec> producers;
     for (int i = 0; i < cfg.srvStorageServers; ++i) {
@@ -212,6 +222,7 @@ runSrvMediaAnalysis(const ExperimentConfig &cfg,
         p.disk = disks[static_cast<size_t>(i)].get();
         p.node = srv_nodes[static_cast<size_t>(i)];
         p.runItems = {evenShare(n_objects, cfg.srvStorageServers, i)};
+        p.traceNode = "srv" + std::to_string(i);
         producers.push_back(std::move(p));
     }
 

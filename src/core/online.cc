@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "hw/devices.h"
+#include "hw/power.h"
 #include "models/throughput.h"
+#include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/stats.h"
 #include "sim/wait_group.h"
@@ -42,6 +44,10 @@ struct OnlineCtx
     SampleStat latency;
     /** Non-null only when a non-empty FaultPlan armed the run. */
     sim::FaultInjector *faults = nullptr;
+    /** Null when tracing is off (zero-cost rule). */
+    obs::Tracer *trace = nullptr;
+    int trkReq = 0;
+    int trkFault = 0;
 };
 
 /** One upload's journey: upload over the fabric (retransmitting on
@@ -58,6 +64,8 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
            double infer_s, sim::WaitGroup &wg)
 {
     double arrived = s.now();
+    obs::AsyncSpanGuard req(ctx.trace, s, ctx.trkReq,
+                            obs::Cat::Service, "request");
     co_await ctx.fabric.transfer(ctx.clientNode, ctx.serverNode,
                                  ctx.uploadBytes,
                                  net::FlowClass::Upload);
@@ -71,6 +79,10 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
                 dropped = true;
                 break;
             }
+            if (ctx.trace)
+                ctx.trace->instant(ctx.trkFault, obs::Cat::Fault,
+                                   "upload-loss", s.now(),
+                                   {{"resend", (double)resends}});
             ++inj->report().messagesResent;
             inj->report().degradedS += backoff;
             co_await s.delay(backoff);
@@ -81,10 +93,17 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
                                          net::FlowClass::Upload);
         }
         if (dropped) {
+            if (ctx.trace)
+                ctx.trace->instant(ctx.trkFault, obs::Cat::Fault,
+                                   "upload-dropped", s.now());
             wg.done();
             co_return;
         }
         if (double d = inj->stallDelay(0, s.now()); d > 0.0) {
+            if (ctx.trace)
+                ctx.trace->instant(ctx.trkFault, obs::Cat::Fault,
+                                   "server-stall", s.now(),
+                                   {{"s", d}});
             inj->report().degradedS += d;
             co_await s.delay(d);
         }
@@ -121,6 +140,27 @@ runOnlineInference(const OnlineConfig &cfg)
 
     sim::Simulator s;
     OnlineCtx ctx(s, cfg);
+    obs::Tracer *tr = obs::Tracer::current();
+    obs::GaugeSet gauges(tr);
+    ctx.trace = tr;
+    ctx.fabric.setTracer(tr);
+    if (tr) {
+        ctx.trkReq = tr->track("server", "requests");
+        ctx.trkFault = tr->track("server", "faults");
+        gauges.add("net", "ingress.util", [&ctx] {
+            return ctx.fabric.downlinkUtilization(
+                ctx.fabric.ingress());
+        });
+        gauges.add("server", "util.cpu",
+                   [&ctx] { return ctx.cpu.utilization(); });
+        gauges.add("server", "util.gpu",
+                   [&ctx] { return ctx.gpu.utilization(); });
+        gauges.add("server", "power.w",
+                   [probe = hw::PowerProbe{&cfg.server, &ctx.gpu,
+                                           &ctx.cpu}] {
+                       return probe.watts();
+                   });
+    }
     sim::FaultInjector injector(s, cfg.faults, 1);
     ctx.faults = injector.armed() ? &injector : nullptr;
     sim::WaitGroup wg(s);

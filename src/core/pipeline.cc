@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace ndp::core {
 
@@ -20,7 +21,8 @@ takeBatch(int batch, uint64_t left)
 Pipeline::Pipeline(sim::Simulator &s, PipelineSpec spec,
                    std::vector<ProducerSpec> producers)
     : sim_(s), spec_(std::move(spec)), producers_(std::move(producers)),
-      feeders_(s), loaded_(s, spec_.depth), ready_(s, spec_.depth)
+      feeders_(s), loaded_(s, spec_.depth), ready_(s, spec_.depth),
+      gauges_(spec_.trace)
 {
     assert(!producers_.empty() && "pipeline needs at least one producer");
     assert(spec_.batch >= 1);
@@ -32,8 +34,54 @@ Pipeline::Pipeline(sim::Simulator &s, PipelineSpec spec,
 }
 
 void
+Pipeline::setupTrace()
+{
+    obs::Tracer *tr = spec_.trace;
+    if (!tr)
+        return;
+    // Intern only tracks that can receive events so traces have no
+    // blank rows; accessors return 0 for the rest, and every guard
+    // that would use such a track is gated on the same condition.
+    const bool wire = spec_.fabric && spec_.wireDst != net::kNoNode &&
+                      spec_.wireBytesPerItem > 0.0;
+    trkDisk_.resize(producers_.size(), 0);
+    trkWire_.resize(producers_.size(), 0);
+    for (size_t i = 0; i < producers_.size(); ++i) {
+        if ((producers_[i].disk && spec_.readBytesPerItem > 0.0) ||
+            spec_.faults)
+            trkDisk_[i] = tr->track(nodeOf(i), "disk");
+        if (wire)
+            trkWire_[i] = tr->track(nodeOf(i), "wire");
+    }
+    if (spec_.cpu && !spec_.cpuOps.empty())
+        trkCpu_ = tr->track(spec_.traceNode, "cpu");
+    if (spec_.fabric && spec_.shipSrc != net::kNoNode &&
+        spec_.shipDst != net::kNoNode)
+        trkShip_ = tr->track(spec_.traceNode, "ship");
+    if (spec_.faults || spec_.recovery)
+        trkFault_ = tr->track(spec_.traceNode, "faults");
+    trkGpu_.resize(static_cast<size_t>(spec_.gpuWorkers), 0);
+    if (spec_.gpu && spec_.computeSecondsPerItem > 0.0)
+        for (int g = 0; g < spec_.gpuWorkers; ++g)
+            trkGpu_[static_cast<size_t>(g)] =
+                tr->track(spec_.traceNode,
+                          spec_.gpuWorkers > 1
+                              ? "gpu" + std::to_string(g)
+                              : "gpu");
+    if (spec_.pipelined) {
+        gauges_.add(spec_.traceNode, "queue.loaded", [this] {
+            return static_cast<double>(loaded_.size());
+        });
+        gauges_.add(spec_.traceNode, "queue.ready", [this] {
+            return static_cast<double>(ready_.size());
+        });
+    }
+}
+
+void
 Pipeline::spawn()
 {
+    setupTrace();
     if (!spec_.pipelined) {
         if (spec_.done)
             spec_.done->add(1);
@@ -64,7 +112,7 @@ Pipeline::spawn()
     if (spec_.done)
         spec_.done->add(spec_.gpuWorkers);
     for (int g = 0; g < spec_.gpuWorkers; ++g)
-        sim_.spawn(gpuProc());
+        sim_.spawn(gpuProc(g));
 }
 
 sim::Task
@@ -93,7 +141,12 @@ Pipeline::producerProc(size_t idx)
                                inj->stallDelay(fstore, sim_.now());
                            d > 0.0) {
                     inj->report().degradedS += d;
-                    co_await sim_.delay(d);
+                    {
+                        obs::SpanGuard sg(spec_.trace, sim_,
+                                          dTrk(idx), obs::Cat::Stall,
+                                          "stall");
+                        co_await sim_.delay(d);
+                    }
                     dead = inj->crashed(fstore, sim_.now());
                 }
                 if (dead) {
@@ -118,7 +171,17 @@ Pipeline::producerProc(size_t idx)
                         }
                         ++inj->report().ioRetries;
                         inj->report().degradedS += backoff;
-                        co_await sim_.delay(backoff);
+                        if (spec_.trace)
+                            spec_.trace->instant(trkFault_,
+                                                 obs::Cat::Fault,
+                                                 "read-error",
+                                                 sim_.now());
+                        {
+                            obs::SpanGuard sg(
+                                spec_.trace, sim_, dTrk(idx),
+                                obs::Cat::Stall, "io-retry");
+                            co_await sim_.delay(backoff);
+                        }
                         backoff *= 2.0;
                     }
                     if (dead) {
@@ -130,6 +193,10 @@ Pipeline::producerProc(size_t idx)
                 double bytes = spec_.readBytesPerItem * n;
                 metrics_.readS += p.disk->readServiceTime(bytes);
                 metrics_.readBytes += bytes;
+                obs::SpanGuard sg(
+                    spec_.trace, sim_, dTrk(idx), obs::Cat::Disk,
+                    "read",
+                    {{"n", static_cast<double>(n)}, {"bytes", bytes}});
                 co_await p.disk->read(bytes);
             }
             left -= static_cast<uint64_t>(n);
@@ -158,6 +225,10 @@ Pipeline::producerProc(size_t idx)
                 total += items;
             }
         }
+        if (spec_.trace)
+            spec_.trace->instant(
+                trkFault_, obs::Cat::Fault, "crash", sim_.now(),
+                {{"spilled", static_cast<double>(total)}});
         if (spec_.recovery) {
             co_await spec_.recovery->producerCrashed(std::move(rest));
         } else if (total > 0) {
@@ -189,8 +260,14 @@ Pipeline::senderProc(size_t idx)
         metrics_.transferS += spec_.fabric->serviceTime(
             p.node, spec_.wireDst, bytes);
         metrics_.wireBytes += bytes;
-        co_await spec_.fabric->transfer(p.node, spec_.wireDst, bytes,
-                                        spec_.wireClass);
+        {
+            obs::SpanGuard sg(spec_.trace, sim_, wTrk(idx),
+                              obs::Cat::Wire, "send",
+                              {{"n", static_cast<double>(b->n)},
+                               {"bytes", bytes}});
+            co_await spec_.fabric->transfer(p.node, spec_.wireDst,
+                                            bytes, spec_.wireClass);
+        }
         co_await loaded_.put(*b);
     }
     feeders_.done();
@@ -213,10 +290,18 @@ Pipeline::redispatchProc()
         auto o = co_await orders.get();
         if (!o)
             break;
+        if (spec_.trace)
+            spec_.trace->instant(
+                trkFault_, obs::Cat::Fault, "redispatch", sim_.now(),
+                {{"items", static_cast<double>(o->items)}});
         if (p.disk && spec_.readBytesPerItem > 0.0) {
             double bytes = spec_.readBytesPerItem * o->items;
             metrics_.readS += p.disk->readServiceTime(bytes);
             metrics_.readBytes += bytes;
+            obs::SpanGuard sg(
+                spec_.trace, sim_, dTrk(0), obs::Cat::Disk, "read",
+                {{"n", static_cast<double>(o->items)},
+                 {"bytes", bytes}});
             co_await p.disk->read(bytes);
         }
         if (spec_.fabric && spec_.wireDst != net::kNoNode &&
@@ -226,6 +311,10 @@ Pipeline::redispatchProc()
             metrics_.transferS += spec_.fabric->serviceTime(
                 p.node, spec_.wireDst, bytes);
             metrics_.wireBytes += bytes;
+            obs::SpanGuard sg(spec_.trace, sim_, wTrk(0),
+                              obs::Cat::Wire, "send",
+                              {{"n", static_cast<double>(o->items)},
+                               {"bytes", bytes}});
             co_await spec_.fabric->transfer(
                 p.node, spec_.wireDst, bytes, spec_.wireClass);
         }
@@ -252,7 +341,15 @@ Pipeline::cpuProc()
             if (op.workPerItem <= 0.0 || !spec_.cpu)
                 continue;
             double t = op.workPerItem * b->n / op.rate;
-            co_await spec_.cpu->run(op.cores, t);
+            {
+                obs::SpanGuard sg(
+                    spec_.trace, sim_, trkCpu_, obs::Cat::Cpu,
+                    op.kind == CpuStageOp::Kind::Decompress
+                        ? "decompress"
+                        : "preprocess",
+                    {{"n", static_cast<double>(b->n)}});
+                co_await spec_.cpu->run(op.cores, t);
+            }
             if (op.kind == CpuStageOp::Kind::Decompress)
                 metrics_.decompressS += t;
             else
@@ -264,7 +361,7 @@ Pipeline::cpuProc()
 }
 
 sim::Task
-Pipeline::gpuProc()
+Pipeline::gpuProc(int worker)
 {
     while (true) {
         auto b = co_await ready_.get();
@@ -272,7 +369,12 @@ Pipeline::gpuProc()
             break;
         if (spec_.gpu && spec_.computeSecondsPerItem > 0.0) {
             double t = spec_.computeSecondsPerItem * b->n;
-            co_await spec_.gpu->compute(t);
+            {
+                obs::SpanGuard sg(
+                    spec_.trace, sim_, gTrk(worker), obs::Cat::Gpu,
+                    "compute", {{"n", static_cast<double>(b->n)}});
+                co_await spec_.gpu->compute(t);
+            }
             metrics_.computeS += t;
         }
         // A configured ship leg is always crossed (it charges
@@ -286,6 +388,9 @@ Pipeline::gpuProc()
                 spec_.shipDst != net::kNoNode) {
                 metrics_.transferS += spec_.fabric->serviceTime(
                     spec_.shipSrc, spec_.shipDst, bytes);
+                obs::SpanGuard sg(
+                    spec_.trace, sim_, trkShip_, obs::Cat::Wire,
+                    "ship", {{"bytes", bytes}});
                 co_await spec_.fabric->transfer(
                     spec_.shipSrc, spec_.shipDst, bytes,
                     spec_.shipClass);
@@ -309,12 +414,19 @@ Pipeline::serialProc()
 {
     sim::FaultInjector *inj = spec_.faults;
     const int fstore = spec_.faultStoreBase;
-    // Keep each disk paired with its producer's fabric node so the
-    // wire leg leaves from the server that was just read.
-    std::vector<std::pair<hw::Disk *, net::NodeId>> disks;
-    for (auto &p : producers_)
-        if (p.disk)
-            disks.emplace_back(p.disk, p.node);
+    // Keep each disk paired with its producer's fabric node (so the
+    // wire leg leaves from the server that was just read) and the
+    // producer index (so trace spans land on that server's tracks).
+    struct DiskSrc
+    {
+        hw::Disk *disk;
+        net::NodeId node;
+        size_t idx;
+    };
+    std::vector<DiskSrc> disks;
+    for (size_t i = 0; i < producers_.size(); ++i)
+        if (producers_[i].disk)
+            disks.push_back({producers_[i].disk, producers_[i].node, i});
     size_t turn = 0;
     for (int r = 0; r < spec_.nRun; ++r) {
         if (spec_.runGate) {
@@ -331,7 +443,13 @@ Pipeline::serialProc()
                     if (double d = inj->stallDelay(fstore, sim_.now());
                         d > 0.0) {
                         inj->report().degradedS += d;
-                        co_await sim_.delay(d);
+                        {
+                            obs::SpanGuard sg(spec_.trace, sim_,
+                                              dTrk(0),
+                                              obs::Cat::Stall,
+                                              "stall");
+                            co_await sim_.delay(d);
+                        }
                         crashed = inj->crashed(fstore, sim_.now());
                     }
                 }
@@ -348,7 +466,17 @@ Pipeline::serialProc()
                         }
                         ++inj->report().ioRetries;
                         inj->report().degradedS += backoff;
-                        co_await sim_.delay(backoff);
+                        if (spec_.trace)
+                            spec_.trace->instant(trkFault_,
+                                                 obs::Cat::Fault,
+                                                 "read-error",
+                                                 sim_.now());
+                        {
+                            obs::SpanGuard sg(
+                                spec_.trace, sim_, dTrk(0),
+                                obs::Cat::Stall, "io-retry");
+                            co_await sim_.delay(backoff);
+                        }
                         backoff *= 2.0;
                     }
                 }
@@ -360,6 +488,11 @@ Pipeline::serialProc()
                                 p.runItems[static_cast<size_t>(rr)];
                     inj->noteUnrecovered(sim::FaultClass::StoreCrash,
                                          lost);
+                    if (spec_.trace)
+                        spec_.trace->instant(
+                            trkFault_, obs::Cat::Fault, "crash",
+                            sim_.now(),
+                            {{"lost", static_cast<double>(lost)}});
                     if (spec_.done)
                         spec_.done->done();
                     co_return;
@@ -368,12 +501,18 @@ Pipeline::serialProc()
             int n = takeBatch(spec_.batch, left);
             left -= static_cast<uint64_t>(n);
             if (spec_.readBytesPerItem > 0.0 && !disks.empty()) {
-                auto [d, src] = disks[turn % disks.size()];
+                auto [d, src, pidx] = disks[turn % disks.size()];
                 ++turn;
                 double bytes = spec_.readBytesPerItem * n;
                 metrics_.readS += d->readServiceTime(bytes);
                 metrics_.readBytes += bytes;
-                co_await d->read(bytes);
+                {
+                    obs::SpanGuard sg(spec_.trace, sim_, dTrk(pidx),
+                                      obs::Cat::Disk, "read",
+                                      {{"n", static_cast<double>(n)},
+                                       {"bytes", bytes}});
+                    co_await d->read(bytes);
+                }
                 if (spec_.fabric && spec_.wireDst != net::kNoNode &&
                     spec_.wireBytesPerItem > 0.0 &&
                     src != net::kNoNode) {
@@ -381,6 +520,10 @@ Pipeline::serialProc()
                     metrics_.transferS += spec_.fabric->serviceTime(
                         src, spec_.wireDst, wire);
                     metrics_.wireBytes += wire;
+                    obs::SpanGuard sg(spec_.trace, sim_, wTrk(pidx),
+                                      obs::Cat::Wire, "send",
+                                      {{"n", static_cast<double>(n)},
+                                       {"bytes", wire}});
                     co_await spec_.fabric->transfer(
                         src, spec_.wireDst, wire, spec_.wireClass);
                 }
@@ -389,7 +532,15 @@ Pipeline::serialProc()
                 if (op.workPerItem <= 0.0 || !spec_.cpu)
                     continue;
                 double t = op.workPerItem * n / op.rate;
-                co_await spec_.cpu->run(op.cores, t);
+                {
+                    obs::SpanGuard sg(
+                        spec_.trace, sim_, trkCpu_, obs::Cat::Cpu,
+                        op.kind == CpuStageOp::Kind::Decompress
+                            ? "decompress"
+                            : "preprocess",
+                        {{"n", static_cast<double>(n)}});
+                    co_await spec_.cpu->run(op.cores, t);
+                }
                 if (op.kind == CpuStageOp::Kind::Decompress)
                     metrics_.decompressS += t;
                 else
@@ -397,7 +548,12 @@ Pipeline::serialProc()
             }
             if (spec_.gpu && spec_.computeSecondsPerItem > 0.0) {
                 double t = spec_.computeSecondsPerItem * n;
-                co_await spec_.gpu->compute(t);
+                {
+                    obs::SpanGuard sg(
+                        spec_.trace, sim_, gTrk(0), obs::Cat::Gpu,
+                        "compute", {{"n", static_cast<double>(n)}});
+                    co_await spec_.gpu->compute(t);
+                }
                 metrics_.computeS += t;
             }
             if (spec_.shipDst != net::kNoNode ||
@@ -408,6 +564,9 @@ Pipeline::serialProc()
                     spec_.shipDst != net::kNoNode) {
                     metrics_.transferS += spec_.fabric->serviceTime(
                         spec_.shipSrc, spec_.shipDst, bytes);
+                    obs::SpanGuard sg(spec_.trace, sim_, trkShip_,
+                                      obs::Cat::Wire, "ship",
+                                      {{"bytes", bytes}});
                     co_await spec_.fabric->transfer(
                         spec_.shipSrc, spec_.shipDst, bytes,
                         spec_.shipClass);
@@ -439,6 +598,7 @@ Pipeline::finalize()
         }
     }
     metrics_.diskUtil = n_disks > 0 ? disk_util / n_disks : 0.0;
+    metrics_.pipelines = 1;
 }
 
 } // namespace ndp::core

@@ -38,6 +38,7 @@
 #include "core/report.h"
 #include "hw/devices.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 #include "sim/channel.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -108,6 +109,9 @@ struct ProducerSpec
     hw::Disk *disk = nullptr;
     /** Fabric node the producer's bytes leave from (wire source). */
     net::NodeId node = net::kNoNode;
+    /** Trace process this producer's disk/wire spans land on; empty =
+     *  the pipeline's PipelineSpec::traceNode. */
+    std::string traceNode;
     /** Items fed per pipeline run (size == PipelineSpec::nRun). */
     std::vector<uint64_t> runItems;
 
@@ -180,6 +184,19 @@ struct PipelineSpec
     /** Signalled once per sink worker when the pipeline drains. */
     sim::WaitGroup *done = nullptr;
 
+    /** @name Observability (null tracer = zero-cost no-ops)
+     * @{ */
+    /**
+     * Tracer every stage batch is recorded on. Follows the fault
+     * injector's zero-cost rule: when null, no span guards fire and
+     * no gauges register, so the event sequence is untouched.
+     */
+    obs::Tracer *trace = nullptr;
+    /** Trace process name of this pipeline's CPU/GPU/sink stations
+     *  (e.g. "store3", "host"). */
+    std::string traceNode;
+    /** @} */
+
     /** @name Fault injection (null = zero-cost no-ops)
      * @{ */
     /**
@@ -234,8 +251,30 @@ class Pipeline
     sim::Task redispatchProc();
     sim::Task closerProc();
     sim::Task cpuProc();
-    sim::Task gpuProc();
+    sim::Task gpuProc(int worker);
     sim::Task serialProc();
+
+    /** Intern this pipeline's trace tracks + register queue gauges
+     *  (no-op when spec_.trace is null). Called from spawn(). */
+    void setupTrace();
+
+    /** Trace process of producer @p idx's disk/wire spans. */
+    const std::string &nodeOf(size_t idx) const
+    {
+        return producers_[idx].traceNode.empty()
+                   ? spec_.traceNode
+                   : producers_[idx].traceNode;
+    }
+
+    /** @name Track accessors safe to call untraced (vectors empty)
+     * @{ */
+    int dTrk(size_t i) const { return trkDisk_.empty() ? 0 : trkDisk_[i]; }
+    int wTrk(size_t i) const { return trkWire_.empty() ? 0 : trkWire_[i]; }
+    int gTrk(int g) const
+    {
+        return trkGpu_.empty() ? 0 : trkGpu_[static_cast<size_t>(g)];
+    }
+    /** @} */
 
     /** True when producer @p p has a configured front-stage wire leg. */
     bool wireLegActive(const ProducerSpec &p) const
@@ -254,6 +293,18 @@ class Pipeline
      *  overlaps the in-flight transfer. Null when no wire leg. */
     std::vector<std::unique_ptr<sim::Channel<PipeBatch>>> sendq_;
     StageMetrics metrics_;
+
+    /** @name Trace tracks (valid only when spec_.trace != null)
+     * @{ */
+    std::vector<int> trkDisk_;
+    std::vector<int> trkWire_;
+    std::vector<int> trkGpu_;
+    int trkCpu_ = 0;
+    int trkShip_ = 0;
+    int trkFault_ = 0;
+    /** @} */
+    /** Queue-depth gauges; unregistered before the channels die. */
+    obs::GaugeSet gauges_;
 };
 
 /** Stations of one PipeStore (NDP flavors: one pipeline per store). */

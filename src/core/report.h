@@ -29,9 +29,9 @@ namespace ndp::core {
  * comparable with the analytical npeStageTimes() model. The byte and
  * utilization fields are filled by the pipeline engine; `operator+=`
  * merges pipelines (e.g. the per-store pipelines of one run) by
- * summing everything except `lastItemS`, which takes the max.
- * Utilization fields are summed too — divide by the number of merged
- * pipelines for an average.
+ * summing everything except `lastItemS` (max) and the utilizations,
+ * which merge to a mean weighted by `pipelines` so the merged struct
+ * is directly usable — no caller-side division.
  */
 struct StageMetrics
 {
@@ -58,10 +58,15 @@ struct StageMetrics
     /** Simulated time the sink saw its last item. */
     double lastItemS = 0.0;
 
-    /** Station utilizations at the end of the run (see merge note). */
+    /** Mean station utilizations over the merged pipelines. */
     double diskUtil = 0.0;
     double cpuUtil = 0.0;
     double gpuUtil = 0.0;
+
+    /** Pipelines merged into this record (the utilization weight);
+     *  the pipeline engine's finalize() sets it to 1. Zero means "no
+     *  measured pipelines" (e.g. a purely analytical breakdown). */
+    uint64_t pipelines = 0;
 
     StageMetrics &
     operator+=(const StageMetrics &o)
@@ -78,15 +83,21 @@ struct StageMetrics
         shipBytes += o.shipBytes;
         itemsDone += o.itemsDone;
         lastItemS = std::max(lastItemS, o.lastItemS);
-        diskUtil += o.diskUtil;
-        cpuUtil += o.cpuUtil;
-        gpuUtil += o.gpuUtil;
+        uint64_t np = pipelines + o.pipelines;
+        if (np > 0) {
+            auto wmean = [&](double a, double b) {
+                return (a * static_cast<double>(pipelines) +
+                        b * static_cast<double>(o.pipelines)) /
+                       static_cast<double>(np);
+            };
+            diskUtil = wmean(diskUtil, o.diskUtil);
+            cpuUtil = wmean(cpuUtil, o.cpuUtil);
+            gpuUtil = wmean(gpuUtil, o.gpuUtil);
+        }
+        pipelines = np;
         return *this;
     }
 };
-
-/** Legacy name kept for the analytical model and older call sites. */
-using StageBreakdown = StageMetrics;
 
 struct InferenceReport
 {
@@ -146,7 +157,7 @@ struct TrainReport
     /** Model redistribution bytes (Check-N-Run deltas). */
     double distributionBytes = 0.0;
 
-    StageBreakdown stages;
+    StageMetrics stages;
 
     /** What the fault injector did to this run (empty plan = zeros). */
     sim::FaultReport faults;

@@ -7,6 +7,7 @@
 #include "hw/specs.h"
 #include "net/fabric.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 
@@ -169,6 +170,7 @@ PhotoService::fineTune()
     // makes the N stores contend for the Tuner's single ingress link.
     {
         sim::Simulator s;
+        obs::Tracer *tr = obs::Tracer::current();
         net::NetFabric fabric(s);
         const hw::NicSpec store_nic = hw::g4dn4xlarge(true).nic;
         std::vector<net::NodeId> store_nodes;
@@ -177,6 +179,7 @@ PhotoService::fineTune()
             store_nodes.push_back(fabric.addNode(store_nic));
         const net::NodeId tuner = fabric.addNode(hw::p32xlarge().nic);
         fabric.setIngress(tuner);
+        fabric.setTracer(tr);
         std::vector<std::vector<double>> shipments(
             out.shardSizes.size());
         for (size_t i = 0; i < out.shardSizes.size(); ++i)
@@ -192,6 +195,11 @@ PhotoService::fineTune()
         s.run();
         s.reapFinished();
         out.featureShipSeconds = s.now();
+        if (tr)
+            tr->complete(tr->track("service", "photo"),
+                         obs::Cat::Service, "feature-ship", 0.0,
+                         s.now(),
+                         {{"bytes", (double)out.featureBytes}});
     }
 
     out.baseVersion = model_->version;
@@ -264,6 +272,7 @@ PhotoService::distributeDelta(const ModelDelta &delta, int base_version,
     // uplink under max-min fairness; retries to one replica serialize.
     {
         sim::Simulator s;
+        obs::Tracer *tr = obs::Tracer::current();
         net::NetFabric fabric(s);
         const hw::NicSpec store_nic = hw::g4dn4xlarge(true).nic;
         std::vector<net::NodeId> store_nodes;
@@ -272,6 +281,7 @@ PhotoService::distributeDelta(const ModelDelta &delta, int base_version,
             store_nodes.push_back(fabric.addNode(store_nic));
         const net::NodeId tuner = fabric.addNode(hw::p32xlarge().nic);
         fabric.setIngress(tuner);
+        fabric.setTracer(tr);
         for (size_t i = 0; i < wire.size(); ++i)
             if (!wire[i].empty())
                 s.spawn(replayTransfers(&fabric, tuner, store_nodes[i],
@@ -280,6 +290,13 @@ PhotoService::distributeDelta(const ModelDelta &delta, int base_version,
         s.run();
         s.reapFinished();
         out.pushSeconds = s.now();
+        if (tr)
+            tr->complete(
+                tr->track("service", "photo"), obs::Cat::Service,
+                "delta-push", 0.0, s.now(),
+                {{"applied", (double)out.applied},
+                 {"retransmissions", (double)out.retransmissions},
+                 {"fallbacks", (double)out.fullFallbacks}});
     }
     return out;
 }

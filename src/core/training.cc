@@ -8,6 +8,7 @@
 #include "core/npe_common.h"
 #include "core/pipeline.h"
 #include "hw/devices.h"
+#include "hw/power.h"
 #include "models/throughput.h"
 #include "sim/barrier.h"
 #include "sim/channel.h"
@@ -62,9 +63,37 @@ struct FtDmpEnv
     /** Non-null only when a non-empty FaultPlan armed the run. */
     sim::FaultInjector *faults = nullptr;
 
-    StageBreakdown stages;
+    StageMetrics stages;
     double syncTraffic = 0.0;
     double feEndTime = 0.0;
+
+    /** @name Trace plumbing (null tracer = no-ops everywhere)
+     * @{ */
+    obs::Tracer *trace = nullptr;
+    /** Per-store tracks for the bespoke "+FC" coroutine (the NPE
+     *  pipelines intern their own). */
+    std::vector<int> trkStoreDisk, trkStoreGpu, trkStoreSync;
+    int trkTunerGpu = 0;
+    int trkFault = 0;
+    /** @} */
+
+    void
+    setupTrace(obs::Tracer *t, int plus_fc_stores, bool has_tuner)
+    {
+        trace = t;
+        if (!t)
+            return;
+        for (int i = 0; i < plus_fc_stores; ++i) {
+            std::string node = "store" + std::to_string(i);
+            trkStoreDisk.push_back(t->track(node, "disk"));
+            trkStoreGpu.push_back(t->track(node, "gpu"));
+            trkStoreSync.push_back(t->track(node, "sync"));
+        }
+        if (has_tuner)
+            trkTunerGpu = t->track("tuner", "gpu");
+        if (faults)
+            trkFault = t->track("tuner", "faults");
+    }
 };
 
 /**
@@ -126,7 +155,16 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                             store_idx, env.sim.now());
                         d > 0.0) {
                         env.faults->report().degradedS += d;
-                        co_await env.sim.delay(d);
+                        {
+                            obs::SpanGuard sg(
+                                env.trace, env.sim,
+                                env.trace ? env.trkStoreDisk
+                                                [static_cast<size_t>(
+                                                    store_idx)]
+                                          : 0,
+                                obs::Cat::Stall, "stall");
+                            co_await env.sim.delay(d);
+                        }
                     }
                     if (env.faults->crashed(store_idx,
                                             env.sim.now())) {
@@ -144,6 +182,14 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                                              store_idx);
                         env.faults->noteUnrecovered(
                             sim::FaultClass::StoreCrash, lost);
+                        if (env.trace)
+                            env.trace->instant(
+                                env.trkFault, obs::Cat::Fault,
+                                "crash", env.sim.now(),
+                                {{"store", static_cast<double>(
+                                               store_idx)},
+                                 {"lost",
+                                  static_cast<double>(lost)}});
                         sync_barrier.leave();
                         env.feEndTime =
                             std::max(env.feEndTime, env.sim.now());
@@ -155,29 +201,56 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                     static_cast<uint64_t>(store_batch), left));
                 left -= static_cast<uint64_t>(n);
 
+                const size_t sidx = static_cast<size_t>(store_idx);
                 if (n > 0 && epoch == 0) {
                     double read_t =
                         st.disk.readServiceTime(read_bytes * n);
-                    co_await st.disk.read(read_bytes * n);
+                    {
+                        obs::SpanGuard sg(
+                            env.trace, env.sim,
+                            env.trace ? env.trkStoreDisk[sidx] : 0,
+                            obs::Cat::Disk, "read",
+                            {{"n", static_cast<double>(n)}});
+                        co_await st.disk.read(read_bytes * n);
+                    }
                     env.stages.readS += read_t;
 
-                    co_await st.gpu.compute(fe_per_image * n);
+                    {
+                        obs::SpanGuard sg(
+                            env.trace, env.sim,
+                            env.trace ? env.trkStoreGpu[sidx] : 0,
+                            obs::Cat::Gpu, "fe",
+                            {{"n", static_cast<double>(n)}});
+                        co_await st.gpu.compute(fe_per_image * n);
+                    }
                     env.stages.computeS += fe_per_image * n;
                 }
                 if (n > 0) {
+                    obs::SpanGuard sg(
+                        env.trace, env.sim,
+                        env.trace ? env.trkStoreGpu[sidx] : 0,
+                        obs::Cat::Gpu, "train",
+                        {{"n", static_cast<double>(n)}});
                     co_await st.gpu.compute(head_per_image * n);
                     env.stages.computeS += head_per_image * n;
                 }
 
                 env.stages.syncS += env.fabric.serviceTime(
-                    env.storeNodes[static_cast<size_t>(store_idx)],
+                    env.storeNodes[sidx],
                     env.tunerNode, sync_bytes_per_iter);
-                co_await env.fabric.transfer(
-                    env.storeNodes[static_cast<size_t>(store_idx)],
-                    env.tunerNode, sync_bytes_per_iter,
-                    net::FlowClass::Sync);
-                env.syncTraffic += sync_bytes_per_iter;
-                co_await sync_barrier.arrive();
+                {
+                    obs::SpanGuard sg(
+                        env.trace, env.sim,
+                        env.trace ? env.trkStoreSync[sidx] : 0,
+                        obs::Cat::Sync, "all-reduce",
+                        {{"bytes", sync_bytes_per_iter}});
+                    co_await env.fabric.transfer(
+                        env.storeNodes[sidx],
+                        env.tunerNode, sync_bytes_per_iter,
+                        net::FlowClass::Sync);
+                    env.syncTraffic += sync_bytes_per_iter;
+                    co_await sync_barrier.arrive();
+                }
             }
         }
         env.feEndTime = std::max(env.feEndTime, env.sim.now());
@@ -212,13 +285,22 @@ tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
             }
             seen += static_cast<uint64_t>(*n);
             if (ingest_per_image > 0.0) {
+                obs::SpanGuard sg(env.trace, env.sim, env.trkTunerGpu,
+                                  obs::Cat::Tuner, "ingest",
+                                  {{"n", static_cast<double>(*n)}});
                 co_await env.tunerGpu.compute(ingest_per_image * *n);
                 env.stages.tunerS += ingest_per_image * *n;
             }
         }
         double train_t = epoch_per_image * static_cast<double>(seen) *
                          static_cast<double>(opt.tunerEpochs);
-        co_await env.tunerGpu.compute(train_t);
+        {
+            obs::SpanGuard sg(env.trace, env.sim, env.trkTunerGpu,
+                              obs::Cat::Tuner, "train",
+                              {{"run", static_cast<double>(r)},
+                               {"n", static_cast<double>(seen)}});
+            co_await env.tunerGpu.compute(train_t);
+        }
         env.stages.tunerS += train_t;
         env.tunerDone[r]->done();
     }
@@ -275,7 +357,16 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
             }
             ++env.faults->report().messagesResent;
             env.faults->report().degradedS += backoff;
-            co_await env.sim.delay(backoff);
+            if (env.trace)
+                env.trace->instant(
+                    env.trkFault, obs::Cat::Fault, "delta-loss",
+                    env.sim.now(),
+                    {{"store", static_cast<double>(i)}});
+            {
+                obs::SpanGuard sg(env.trace, env.sim, env.trkFault,
+                                  obs::Cat::Stall, "retransmit");
+                co_await env.sim.delay(backoff);
+            }
             backoff *= 2.0;
             co_await env.fabric.transfer(
                 env.tunerNode, env.storeNodes[static_cast<size_t>(i)],
@@ -301,6 +392,8 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
     rep.images = cfg.nImages;
 
     sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
+    obs::GaugeSet gauges(tr);
     FtDmpEnv env(s, cfg, opt.nRun);
     // Fault plumbing: the injector always exists, but the hooks only
     // see it when the plan is non-empty — an empty plan leaves every
@@ -308,6 +401,25 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
     sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
     env.faults = injector.armed() ? &injector : nullptr;
     env.fabric.attachFaults(env.faults);
+    env.fabric.setTracer(tr);
+    env.setupTrace(tr, classifier_on_stores ? cfg.nStores : 0,
+                   !classifier_on_stores);
+    if (tr) {
+        gauges.add("net", "ingress.util", [&env] {
+            return env.fabric.downlinkUtilization(
+                env.fabric.ingress());
+        });
+        gauges.add("net", "flows.active", [&env] {
+            return static_cast<double>(env.fabric.activeFlows());
+        });
+        gauges.add("tuner", "util.gpu",
+                   [&env] { return env.tunerGpu.utilization(); });
+        gauges.add("tuner", "power.w",
+                   [probe = hw::PowerProbe{&cfg.tunerSpec,
+                                           &env.tunerGpu, nullptr}] {
+                       return probe.watts();
+                   });
+    }
     std::unique_ptr<sim::RecoveryCoordinator> recovery;
     if (env.faults && !classifier_on_stores) {
         recovery = std::make_unique<sim::RecoveryCoordinator>(
@@ -341,6 +453,21 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
     std::vector<std::unique_ptr<Store>> stores;
     for (int i = 0; i < cfg.nStores; ++i) {
         auto st = std::make_unique<Store>(s, cfg.storeSpec);
+        if (tr) {
+            const std::string node = "store" + std::to_string(i);
+            hw::Disk *disk = &st->stations.disk;
+            hw::CpuPool *cpu = &st->stations.cpu;
+            hw::GpuExec *gpu = &st->stations.gpu;
+            gauges.add(node, "util.disk",
+                       [disk] { return disk->utilization(); });
+            gauges.add(node, "util.gpu",
+                       [gpu] { return gpu->utilization(); });
+            gauges.add(node, "power.w",
+                       [probe = hw::PowerProbe{&cfg.storeSpec, gpu,
+                                               cpu}] {
+                           return probe.watts();
+                       });
+        }
         if (classifier_on_stores) {
             stores_wg.add(1);
             s.spawn(storeLocalTrainProc(env, st->stations, cfg, opt, i,
@@ -373,6 +500,8 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
             spec.faults = env.faults;
             spec.faultStoreBase = i;
             spec.recovery = recovery.get();
+            spec.trace = tr;
+            spec.traceNode = "store" + std::to_string(i);
             std::vector<ProducerSpec> prods(1);
             prods[0].disk = &st->stations.disk;
             prods[0].node = env.storeNodes[static_cast<size_t>(i)];
@@ -412,9 +541,6 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
         env.feEndTime =
             std::max(env.feEndTime, st->pipe->metrics().lastItemS);
     }
-    rep.stages.diskUtil /= static_cast<double>(stores.size());
-    rep.stages.cpuUtil /= static_cast<double>(stores.size());
-    rep.stages.gpuUtil /= static_cast<double>(stores.size());
 
     rep.seconds = s.now();
     rep.trainIps = rep.seconds > 0.0
@@ -447,11 +573,15 @@ namespace {
  * ndplint: allow(coroutine-ref-param) — referents live in
  * runSrvFineTuning's scope, which joins this task via s.run(). */
 sim::Task
-srvClassifierTrain(HostStations &host, sim::WaitGroup &fe_done,
-                   double seconds, StageBreakdown &stages)
+srvClassifierTrain(const sim::Simulator &s, HostStations &host,
+                   sim::WaitGroup &fe_done, double seconds,
+                   StageMetrics &stages, obs::Tracer *tr, int trk)
 {
     co_await fe_done.wait();
-    co_await host.gpus.compute(seconds);
+    {
+        obs::SpanGuard sg(tr, s, trk, obs::Cat::Tuner, "train");
+        co_await host.gpus.compute(seconds);
+    }
     stages.tunerS += seconds;
 }
 
@@ -467,6 +597,8 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     rep.images = cfg.nImages;
 
     sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
+    obs::GaugeSet gauges(tr);
     HostStations host(s, cfg.hostSpec);
     // Topology: the SRV storage servers and the host on one ToR; all
     // staged input funnels into the host's downlink.
@@ -476,6 +608,21 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
         srv_nodes.push_back(fabric.addNode(cfg.srvStoreSpec.nic));
     const net::NodeId host_node = fabric.addNode(cfg.nic());
     fabric.setIngress(host_node);
+    fabric.setTracer(tr);
+    if (tr) {
+        gauges.add("net", "ingress.util", [&fabric] {
+            return fabric.downlinkUtilization(fabric.ingress());
+        });
+        gauges.add("host", "util.cpu",
+                   [&host] { return host.cpu.utilization(); });
+        gauges.add("host", "util.gpu",
+                   [&host] { return host.gpus.utilization(); });
+        gauges.add("host", "power.w",
+                   [probe = hw::PowerProbe{&cfg.hostSpec, &host.gpus,
+                                           &host.cpu}] {
+                       return probe.watts();
+                   });
+    }
     // SRV has no peer to re-dispatch to (one host owns the GPUs), so
     // faults here degrade or type-fail the run but never re-assign.
     sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
@@ -528,6 +675,8 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     spec.gpuWorkers = cfg.hostSpec.nGpus;
     spec.done = &fe_done;
     spec.faults = injector.armed() ? &injector : nullptr;
+    spec.trace = tr;
+    spec.traceNode = "host";
 
     std::vector<ProducerSpec> producers;
     if (wire > 0.0) {
@@ -537,6 +686,10 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
             p.node = srv_nodes[static_cast<size_t>(i)];
             p.runItems = {
                 evenShare(cfg.nImages, cfg.srvStorageServers, i)};
+            p.traceNode = "srv" + std::to_string(i);
+            if (tr)
+                gauges.add(p.traceNode, "util.disk",
+                           [d = p.disk] { return d->utilization(); });
             producers.push_back(std::move(p));
         }
     } else {
@@ -547,7 +700,8 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
 
     Pipeline pipe(s, std::move(spec), std::move(producers));
     pipe.spawn();
-    s.spawn(srvClassifierTrain(host, fe_done, ct_seconds, rep.stages));
+    s.spawn(srvClassifierTrain(s, host, fe_done, ct_seconds, rep.stages,
+                               tr, tr ? tr->track("host", "tuner") : 0));
     s.run();
 
     rep.faults = injector.report();

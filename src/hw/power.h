@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/devices.h"
 #include "hw/specs.h"
 
 namespace ndp::hw {
@@ -64,5 +65,27 @@ struct ServerPowerSample
 
 /** Sum of the samples' total watts. */
 double clusterWatts(const std::vector<ServerPowerSample> &samples);
+
+/**
+ * Live power gauge for one server: evaluates the analytic power model
+ * against the stations' *current* cumulative utilizations, so the obs
+ * layer can emit a power timeseries (`power.w`) while a run is in
+ * flight. Stations are optional — a store with no CPU stage passes
+ * null and contributes idle CPU power.
+ */
+struct PowerProbe
+{
+    const ServerSpec *spec = nullptr;
+    const GpuExec *gpu = nullptr;
+    const CpuPool *cpu = nullptr;
+
+    double
+    watts() const
+    {
+        return serverPower(*spec, gpu ? gpu->utilization() : 0.0,
+                           cpu ? cpu->utilization() : 0.0)
+            .totalW();
+    }
+};
 
 } // namespace ndp::hw

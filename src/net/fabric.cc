@@ -52,6 +52,17 @@ NetFabric::addNode(const hw::NicSpec &nic)
 }
 
 void
+NetFabric::setTracer(obs::Tracer *t)
+{
+    trace_ = t;
+    if (!t)
+        return;
+    for (int c = 0; c < 6; ++c)
+        trkFlow_[c] =
+            t->track("net", flowClassName(static_cast<FlowClass>(c)));
+}
+
+void
 NetFabric::attachFaults(sim::FaultInjector *inj)
 {
     inj_ = inj;
@@ -212,6 +223,14 @@ NetFabric::startFlow(TransferAwaiter *aw)
     f.remBits = aw->bytes * 8.0;
     aw->stats.startS = now;
     aw->stats.bytes = aw->bytes;
+    if (trace_) {
+        f.traceTrk = trkFlow_[static_cast<int>(aw->cls)];
+        f.traceId = trace_->asyncBegin(
+            f.traceTrk, obs::Cat::Flow, flowClassName(aw->cls), now,
+            {{"src", static_cast<double>(aw->src)},
+             {"dst", static_cast<double>(aw->dst)},
+             {"mb", aw->bytes / 1e6}});
+    }
     flows_.push_back(f);
     peakConcurrent_ = std::max<uint64_t>(peakConcurrent_,
                                          flows_.size());
@@ -306,6 +325,17 @@ NetFabric::recompute()
         remCap_[static_cast<size_t>(bottleneck)] =
             std::max(remCap_[static_cast<size_t>(bottleneck)], 0.0);
     }
+    if (trace_) {
+        const double now = sim_.now();
+        for (Flow &f : flows_) {
+            if (f.rateBps == f.tracedRateBps)
+                continue;
+            trace_->asyncInstant(f.traceId, f.traceTrk,
+                                 obs::Cat::Flow, "rate", now,
+                                 {{"gbps", f.rateBps / 1e9}});
+            f.tracedRateBps = f.rateBps;
+        }
+    }
 }
 
 void
@@ -374,6 +404,12 @@ NetFabric::finishFlow(size_t idx)
     aw->stats.achievedGbps =
         dur > 0.0 ? aw->stats.bytes * 8.0 / (dur * 1e9) : 0.0;
     aw->stats.peakSharedWith = f.peakShared;
+    if (trace_)
+        trace_->asyncEnd(
+            f.traceId, f.traceTrk, obs::Cat::Flow,
+            flowClassName(aw->cls), now,
+            {{"gbps", aw->stats.achievedGbps},
+             {"shared", static_cast<double>(f.peakShared)}});
     links_[static_cast<size_t>(f.up)].bytesMoved += aw->stats.bytes;
     links_[static_cast<size_t>(f.down)].bytesMoved += aw->stats.bytes;
     totalBytes_ += aw->stats.bytes;

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "hw/specs.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
 
@@ -133,6 +134,15 @@ class NetFabric
      */
     void attachFaults(sim::FaultInjector *inj);
 
+    /**
+     * Record every flow on @p t as a nestable async span on a per-
+     * FlowClass "net" track: begin at arrival, a "rate" instant on
+     * every max-min re-allocation that changes the flow's share (NIC
+     * contention made visible), end at drain. Null = no-op recording
+     * (the zero-cost rule); recording never schedules events.
+     */
+    void setTracer(obs::Tracer *t);
+
     struct TransferAwaiter
     {
         NetFabric &fab;
@@ -204,6 +214,12 @@ class NetFabric
         double remBits = 0.0;
         double rateBps = 0.0;
         int peakShared = 0;
+        /** Async-span id on trace_ (0 = untraced). */
+        uint64_t traceId = 0;
+        /** Trace track of this flow's class. */
+        int traceTrk = 0;
+        /** Last rate recorded, to emit "rate" instants on change. */
+        double tracedRateBps = -1.0;
     };
 
     /** One resolved LinkDegrade/LinkDown window on one link. */
@@ -241,6 +257,9 @@ class NetFabric
     std::vector<Flow> flows_;
     std::vector<FaultWindow> windows_;
     sim::FaultInjector *inj_ = nullptr;
+    obs::Tracer *trace_ = nullptr;
+    /** Per-FlowClass "net" process tracks (valid when trace_ set). */
+    int trkFlow_[6] = {};
     NodeId ingress_ = kNoNode;
     double lastAdvanceS_ = 0.0;
     uint64_t epoch_ = 0;

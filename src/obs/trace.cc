@@ -1,0 +1,415 @@
+#include "obs/trace.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ndp::obs {
+
+namespace {
+
+/** The session-installed tracer (single-threaded simulator — a plain
+ *  pointer, no TLS needed). */
+Tracer *g_current = nullptr;
+
+/** Fixed-format helpers so serialization is byte-stable across runs.
+ *  Timestamps print as microseconds with nanosecond resolution; arg
+ *  values round-trip exactly via %.17g. */
+void putMicros(std::ostream &os, double seconds)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+    os << buf;
+}
+
+void putNumber(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void putString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c; break;
+        }
+    }
+    os << '"';
+}
+
+void putArgs(std::ostream &os, const Arg *args, int n)
+{
+    os << "\"args\":{";
+    for (int i = 0; i < n; ++i) {
+        if (i)
+            os << ',';
+        os << '"' << args[i].key << "\":";
+        putNumber(os, args[i].val);
+    }
+    os << '}';
+}
+
+} // namespace
+
+const char *catName(Cat c)
+{
+    switch (c) {
+    case Cat::Disk: return "disk";
+    case Cat::Cpu: return "cpu";
+    case Cat::Gpu: return "gpu";
+    case Cat::Wire: return "wire";
+    case Cat::Tuner: return "tuner";
+    case Cat::Sync: return "sync";
+    case Cat::Stall: return "stall";
+    case Cat::Flow: return "flow";
+    case Cat::Fault: return "fault";
+    case Cat::Service: return "service";
+    case Cat::Mark: return "mark";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+int MetricsRegistry::addGauge(const std::string &node,
+                              const std::string &name, GaugeFn fn)
+{
+    Gauge g;
+    g.id = nextId_++;
+    g.counter = tracer_.counterTrack(node, name);
+    g.fn = std::move(fn);
+    g.live = true;
+    gauges_.push_back(std::move(g));
+    return gauges_.back().id;
+}
+
+void MetricsRegistry::removeGauge(int id)
+{
+    // Dead gauges stay in place (ids stable, order deterministic);
+    // their callables are released so captured references can't
+    // dangle into destroyed pipelines.
+    for (auto &g : gauges_)
+        if (g.id == id && g.live) {
+            g.live = false;
+            g.fn = nullptr;
+            return;
+        }
+}
+
+void MetricsRegistry::count(const std::string &node,
+                            const std::string &name, double now_s,
+                            double value)
+{
+    tracer_.counterSampleRaw(tracer_.counterTrack(node, name), now_s,
+                             value);
+}
+
+void MetricsRegistry::maybeSample(double now_s)
+{
+    if (now_s - lastSampleS_ < periodS_)
+        return;
+    lastSampleS_ = now_s;
+    for (auto &g : gauges_)
+        if (g.live)
+            tracer_.counterSampleRaw(g.counter, now_s, g.fn());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+int Tracer::internNode(const std::string &node)
+{
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i] == node)
+            return static_cast<int>(i);
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Tracer::track(const std::string &node, const std::string &station)
+{
+    for (size_t i = 0; i < tracks_.size(); ++i)
+        if (tracks_[i].node == node && tracks_[i].station == station)
+            return static_cast<int>(i);
+    Track t;
+    t.node = node;
+    t.station = station;
+    t.pid = internNode(node) + 1;
+    int tid = 1;
+    for (const auto &other : tracks_)
+        if (other.pid == t.pid)
+            ++tid;
+    t.tid = tid;
+    tracks_.push_back(std::move(t));
+    return static_cast<int>(tracks_.size()) - 1;
+}
+
+int Tracer::counterTrack(const std::string &node,
+                         const std::string &name)
+{
+    for (size_t i = 0; i < counters_.size(); ++i)
+        if (counters_[i].node == node && counters_[i].name == name)
+            return static_cast<int>(i);
+    Counter c;
+    c.node = node;
+    c.name = name;
+    c.pid = internNode(node) + 1;
+    counters_.push_back(std::move(c));
+    return static_cast<int>(counters_.size()) - 1;
+}
+
+void Tracer::push(const Event &e)
+{
+    events_.push_back(e);
+    metrics_.maybeSample(e.tsS);
+}
+
+void Tracer::counterSampleRaw(int counter, double now_s, double value)
+{
+    Event e;
+    e.ph = 'C';
+    e.trk = counter;
+    e.tsS = now_s;
+    e.durS = value;
+    events_.push_back(e); // not push(): must not re-enter sampling
+}
+
+void Tracer::begin(int trk, Cat cat, const char *name, double now_s,
+                   std::initializer_list<Arg> args)
+{
+    OpenSpan s;
+    s.trk = trk;
+    s.cat = cat;
+    s.name = name;
+    s.t0 = now_s;
+    for (const Arg &a : args) {
+        assert(s.nArgs < 3);
+        s.args[s.nArgs++] = a;
+    }
+    open_.push_back(s);
+}
+
+void Tracer::end(int trk, double now_s)
+{
+    for (size_t i = open_.size(); i-- > 0;) {
+        if (open_[i].trk != trk)
+            continue;
+        const OpenSpan &s = open_[i];
+        Event e;
+        e.ph = 'X';
+        e.trk = s.trk;
+        e.cat = s.cat;
+        e.name = s.name;
+        e.tsS = s.t0;
+        e.durS = now_s - s.t0;
+        e.nArgs = s.nArgs;
+        for (int a = 0; a < s.nArgs; ++a)
+            e.args[a] = s.args[a];
+        open_.erase(open_.begin() + static_cast<long>(i));
+        push(e);
+        return;
+    }
+    assert(false && "end() without a matching open span on this track");
+}
+
+void Tracer::complete(int trk, Cat cat, const char *name, double t0,
+                      double t1, std::initializer_list<Arg> args)
+{
+    Event e;
+    e.ph = 'X';
+    e.trk = trk;
+    e.cat = cat;
+    e.name = name;
+    e.tsS = t0;
+    e.durS = t1 - t0;
+    for (const Arg &a : args) {
+        assert(e.nArgs < 3);
+        e.args[e.nArgs++] = a;
+    }
+    push(e);
+}
+
+void Tracer::instant(int trk, Cat cat, const char *name, double now_s,
+                     std::initializer_list<Arg> args)
+{
+    Event e;
+    e.ph = 'i';
+    e.trk = trk;
+    e.cat = cat;
+    e.name = name;
+    e.tsS = now_s;
+    for (const Arg &a : args) {
+        assert(e.nArgs < 3);
+        e.args[e.nArgs++] = a;
+    }
+    push(e);
+}
+
+uint64_t Tracer::asyncBegin(int trk, Cat cat, const char *name,
+                            double now_s,
+                            std::initializer_list<Arg> args)
+{
+    Event e;
+    e.ph = 'b';
+    e.trk = trk;
+    e.cat = cat;
+    e.name = name;
+    e.tsS = now_s;
+    e.id = nextAsyncId_++;
+    for (const Arg &a : args) {
+        assert(e.nArgs < 3);
+        e.args[e.nArgs++] = a;
+    }
+    push(e);
+    return e.id;
+}
+
+void Tracer::asyncInstant(uint64_t id, int trk, Cat cat,
+                          const char *name, double now_s,
+                          std::initializer_list<Arg> args)
+{
+    Event e;
+    e.ph = 'n';
+    e.trk = trk;
+    e.cat = cat;
+    e.name = name;
+    e.tsS = now_s;
+    e.id = id;
+    for (const Arg &a : args) {
+        assert(e.nArgs < 3);
+        e.args[e.nArgs++] = a;
+    }
+    push(e);
+}
+
+void Tracer::asyncEnd(uint64_t id, int trk, Cat cat, const char *name,
+                      double now_s, std::initializer_list<Arg> args)
+{
+    Event e;
+    e.ph = 'e';
+    e.trk = trk;
+    e.cat = cat;
+    e.name = name;
+    e.tsS = now_s;
+    e.id = id;
+    for (const Arg &a : args) {
+        assert(e.nArgs < 3);
+        e.args[e.nArgs++] = a;
+    }
+    push(e);
+}
+
+void Tracer::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
+           << (i + 1) << ",\"args\":{\"name\":";
+        putString(os, nodes_[i]);
+        os << "}}";
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":"
+           << (i + 1) << ",\"args\":{\"sort_index\":" << (i + 1)
+           << "}}";
+    }
+    for (const auto &t : tracks_) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << t.pid
+           << ",\"tid\":" << t.tid << ",\"args\":{\"name\":";
+        putString(os, t.station);
+        os << "}}";
+    }
+
+    for (const Event &e : events_) {
+        sep();
+        if (e.ph == 'C') {
+            const Counter &c = counters_[static_cast<size_t>(e.trk)];
+            os << "{\"ph\":\"C\",\"name\":";
+            putString(os, c.name);
+            os << ",\"pid\":" << c.pid << ",\"tid\":0,\"ts\":";
+            putMicros(os, e.tsS);
+            os << ",\"args\":{\"value\":";
+            putNumber(os, e.durS);
+            os << "}}";
+            continue;
+        }
+        const Track &t = tracks_[static_cast<size_t>(e.trk)];
+        os << "{\"ph\":\"" << e.ph << "\",\"cat\":\"" << catName(e.cat)
+           << "\",\"name\":\"" << e.name << "\",\"pid\":" << t.pid
+           << ",\"tid\":" << t.tid << ",\"ts\":";
+        putMicros(os, e.tsS);
+        if (e.ph == 'X') {
+            os << ",\"dur\":";
+            putMicros(os, e.durS);
+        }
+        if (e.ph == 'i')
+            os << ",\"s\":\"t\"";
+        if (e.ph == 'b' || e.ph == 'n' || e.ph == 'e')
+            os << ",\"id\":" << e.id;
+        if (e.nArgs > 0) {
+            os << ',';
+            putArgs(os, e.args, e.nArgs);
+        }
+        os << '}';
+    }
+    os << "]}\n";
+}
+
+std::string Tracer::json() const
+{
+    std::ostringstream ss;
+    writeJson(ss);
+    return ss.str();
+}
+
+Tracer *Tracer::current() { return g_current; }
+
+// ---------------------------------------------------------------------------
+// TraceSession
+
+TraceSession::TraceSession(std::string out_path)
+    : tracer_(std::make_unique<Tracer>()), path_(std::move(out_path))
+{
+    assert(g_current == nullptr && "nested TraceSession");
+    g_current = tracer_.get();
+}
+
+TraceSession::~TraceSession()
+{
+    if (!path_.empty()) {
+        std::ofstream f(path_);
+        tracer_->writeJson(f);
+    }
+    if (g_current == tracer_.get())
+        g_current = nullptr;
+}
+
+std::unique_ptr<TraceSession> TraceSession::fromEnv()
+{
+    const char *on = std::getenv("NDP_TRACE");
+    if (on == nullptr || std::string(on) == "0")
+        return nullptr;
+    const char *file = std::getenv("NDP_TRACE_FILE");
+    return std::make_unique<TraceSession>(
+        file != nullptr ? file : "ndp_trace.json");
+}
+
+} // namespace ndp::obs

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Deterministic, sim-time-native tracing and metrics (the `obs` layer).
+ *
+ * A Tracer records what the simulated cluster did — stage batches,
+ * network flows, fault actions, counter timeseries — keyed to
+ * sim::Simulator::now(), and exports Chrome/Perfetto trace-event JSON
+ * with one process per node ("store3", "host", "tuner", "net") and one
+ * thread per station ("disk", "cpu", "gpu", "wire", ...).
+ *
+ * Determinism rules (mirroring sim/fault.h's zero-cost contract):
+ *  - A null Tracer pointer is a no-op everywhere: hooks neither
+ *    allocate nor await, so an untraced run's event sequence is
+ *    byte-identical to one where the obs layer does not exist.
+ *  - Recording is *passive*: it only reads now() and appends to
+ *    in-memory buffers. It never schedules events, touches channels,
+ *    or draws randomness — so enabling tracing cannot change results,
+ *    and two traced same-seed runs serialize byte-identical JSON.
+ *  - Gauge sampling piggybacks on record sites (throttled by sim-time
+ *    period) instead of a poller coroutine, which would extend the
+ *    simulation's end time.
+ *
+ * Span discipline: spans are opened and closed ONLY through the RAII
+ * SpanGuard / AsyncSpanGuard (enforced by the `unbalanced-span`
+ * ndp-lint rule); the begin()/end() primitives are for this file.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ndp::obs {
+
+/** Span/event category; the attribution buckets of tools/ndptrace. */
+enum class Cat
+{
+    Disk,
+    Cpu,
+    Gpu,
+    Wire,
+    Tuner,
+    Sync,
+    Stall,
+    Flow,
+    Fault,
+    Service,
+    Mark,
+};
+
+const char *catName(Cat c);
+
+/** One key/value argument attached to an event (keys are literals). */
+struct Arg
+{
+    const char *key;
+    double val;
+};
+
+class Tracer;
+
+/**
+ * Counters and sampled gauges emitted as a timeseries alongside the
+ * trace (Chrome "C" counter events, one counter track per
+ * (node, name)). Gauges are polled lazily from Tracer record sites at
+ * most once per periodS() of sim time; registration is run-scoped —
+ * owners must remove their gauges before the sampled objects die
+ * (see GaugeSet and Pipeline's destructor).
+ */
+class MetricsRegistry
+{
+  public:
+    explicit MetricsRegistry(Tracer &t) : tracer_(t) {}
+
+    using GaugeFn = std::function<double()>;
+
+    /** Register a sampled gauge; returns an id for removeGauge(). */
+    int addGauge(const std::string &node, const std::string &name,
+                 GaugeFn fn);
+    void removeGauge(int id);
+
+    /** Emit one counter sample immediately (monotonic counters). */
+    void count(const std::string &node, const std::string &name,
+               double now_s, double value);
+
+    /** Sample all live gauges if >= periodS() elapsed since the last
+     *  sample. Called from Tracer record sites; never schedules. */
+    void maybeSample(double now_s);
+
+    void setPeriodS(double s) { periodS_ = s; }
+    double periodS() const { return periodS_; }
+
+  private:
+    struct Gauge
+    {
+        int id = 0;
+        int counter = 0;
+        GaugeFn fn;
+        bool live = false;
+    };
+
+    Tracer &tracer_;
+    std::vector<Gauge> gauges_;
+    int nextId_ = 0;
+    double periodS_ = 0.5;
+    double lastSampleS_ = -1.0;
+};
+
+/**
+ * The trace recorder. One Tracer per TraceSession; dataflow entry
+ * points pick it up via Tracer::current() (null unless a session is
+ * active) and thread it through their pipelines and fabrics.
+ */
+class Tracer
+{
+  public:
+    Tracer() : metrics_(*this) {}
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Intern the (node, station) pair into a track id. */
+    int track(const std::string &node, const std::string &station);
+
+    /** Intern a (node, counter-name) pair (used by MetricsRegistry). */
+    int counterTrack(const std::string &node, const std::string &name);
+
+    /** @name Span primitives — RAII-only outside src/obs
+     * Open a duration span on @p trk / close the innermost open one.
+     * Call these through SpanGuard, never bare (`unbalanced-span`
+     * lint rule): a span opened without a guard leaks open when a
+     * coroutine exits early, corrupting the track's nesting.
+     * @{ */
+    void begin(int trk, Cat cat, const char *name, double now_s,
+               std::initializer_list<Arg> args = {});
+    void end(int trk, double now_s);
+    /** @} */
+
+    /** Record a complete [t0, t1] span in one call. */
+    void complete(int trk, Cat cat, const char *name, double t0,
+                  double t1, std::initializer_list<Arg> args = {});
+
+    /** Zero-duration marker. */
+    void instant(int trk, Cat cat, const char *name, double now_s,
+                 std::initializer_list<Arg> args = {});
+
+    /** @name Async (nestable) events — cross-coroutine spans
+     * Used for network flows (begin at arrival, rate-change notes,
+     * end at drain) and online requests; the id ties the b/n/e
+     * triplet together across tracks and coroutines.
+     * @{ */
+    uint64_t asyncBegin(int trk, Cat cat, const char *name,
+                        double now_s,
+                        std::initializer_list<Arg> args = {});
+    void asyncInstant(uint64_t id, int trk, Cat cat, const char *name,
+                      double now_s,
+                      std::initializer_list<Arg> args = {});
+    void asyncEnd(uint64_t id, int trk, Cat cat, const char *name,
+                  double now_s, std::initializer_list<Arg> args = {});
+    /** @} */
+
+    MetricsRegistry &metrics() { return metrics_; }
+
+    size_t eventCount() const { return events_.size(); }
+
+    /** Serialize Chrome trace-event JSON (deterministic byte-wise). */
+    void writeJson(std::ostream &os) const;
+    std::string json() const;
+
+    /** The session-installed tracer, or null when tracing is off. */
+    static Tracer *current();
+
+  private:
+    friend class TraceSession;
+    friend class MetricsRegistry;
+
+    struct Track
+    {
+        std::string node;
+        std::string station;
+        int pid = 0;
+        int tid = 0;
+    };
+
+    struct Counter
+    {
+        std::string node;
+        std::string name;
+        int pid = 0;
+    };
+
+    struct Event
+    {
+        char ph = 'X';
+        /** Track index; counter index for ph == 'C'. */
+        int trk = 0;
+        Cat cat = Cat::Mark;
+        const char *name = "";
+        double tsS = 0.0;
+        /** Duration for 'X'; counter value for 'C'. */
+        double durS = 0.0;
+        uint64_t id = 0;
+        int nArgs = 0;
+        Arg args[3] = {};
+    };
+
+    struct OpenSpan
+    {
+        int trk = 0;
+        Cat cat = Cat::Mark;
+        const char *name = "";
+        double t0 = 0.0;
+        int nArgs = 0;
+        Arg args[3] = {};
+    };
+
+    int internNode(const std::string &node);
+    void push(const Event &e);
+    /** Counter emission that never re-enters gauge sampling. */
+    void counterSampleRaw(int counter, double now_s, double value);
+
+    std::vector<std::string> nodes_;
+    std::vector<Track> tracks_;
+    std::vector<Counter> counters_;
+    std::vector<Event> events_;
+    /** Open begin()/end() spans, innermost last (all tracks mixed:
+     *  end() pops the last open span with a matching track). */
+    std::vector<OpenSpan> open_;
+    uint64_t nextAsyncId_ = 1;
+    MetricsRegistry metrics_;
+};
+
+/**
+ * RAII duration span: opens at construction (reading sim.now()) and
+ * closes when the scope — including a coroutine frame — unwinds. A
+ * default-constructed or null-tracer guard is inert.
+ */
+class SpanGuard
+{
+  public:
+    SpanGuard() = default;
+
+    SpanGuard(Tracer *t, const sim::Simulator &s, int trk, Cat cat,
+              const char *name, std::initializer_list<Arg> args = {})
+        : t_(t), s_(&s), trk_(trk)
+    {
+        if (t_)
+            t_->begin(trk_, cat, name, s.now(), args);
+    }
+
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+    ~SpanGuard()
+    {
+        if (t_)
+            t_->end(trk_, s_->now());
+    }
+
+  private:
+    Tracer *t_ = nullptr;
+    const sim::Simulator *s_ = nullptr;
+    int trk_ = 0;
+};
+
+/** RAII async span (overlapping requests on one track). */
+class AsyncSpanGuard
+{
+  public:
+    AsyncSpanGuard() = default;
+
+    AsyncSpanGuard(Tracer *t, const sim::Simulator &s, int trk, Cat cat,
+                   const char *name,
+                   std::initializer_list<Arg> args = {})
+        : t_(t), s_(&s), trk_(trk), cat_(cat), name_(name)
+    {
+        if (t_)
+            id_ = t_->asyncBegin(trk_, cat_, name_, s.now(), args);
+    }
+
+    AsyncSpanGuard(const AsyncSpanGuard &) = delete;
+    AsyncSpanGuard &operator=(const AsyncSpanGuard &) = delete;
+
+    ~AsyncSpanGuard()
+    {
+        if (t_)
+            t_->asyncEnd(id_, trk_, cat_, name_, s_->now());
+    }
+
+  private:
+    Tracer *t_ = nullptr;
+    const sim::Simulator *s_ = nullptr;
+    int trk_ = 0;
+    Cat cat_ = Cat::Service;
+    const char *name_ = "";
+    uint64_t id_ = 0;
+};
+
+/**
+ * Run-scoped gauge registration: entry points add station/power/link
+ * gauges through this, and the destructor unregisters them before the
+ * sampled devices go out of scope. Inert when the tracer is null.
+ */
+class GaugeSet
+{
+  public:
+    explicit GaugeSet(Tracer *t) : t_(t) {}
+
+    GaugeSet(const GaugeSet &) = delete;
+    GaugeSet &operator=(const GaugeSet &) = delete;
+
+    ~GaugeSet()
+    {
+        if (t_)
+            for (int id : ids_)
+                t_->metrics().removeGauge(id);
+    }
+
+    void
+    add(const std::string &node, const std::string &name,
+        MetricsRegistry::GaugeFn fn)
+    {
+        if (t_)
+            ids_.push_back(
+                t_->metrics().addGauge(node, name, std::move(fn)));
+    }
+
+  private:
+    Tracer *t_ = nullptr;
+    std::vector<int> ids_;
+};
+
+/**
+ * Installs a Tracer as Tracer::current() for its lifetime (no
+ * nesting). If constructed with a path, the destructor writes the
+ * trace JSON there. `fromEnv()` is the NDP_TRACE gate used by benches:
+ * returns null (tracing off, zero cost) unless NDP_TRACE is set to a
+ * non-"0" value; NDP_TRACE_FILE overrides the output path.
+ */
+class TraceSession
+{
+  public:
+    explicit TraceSession(std::string out_path = "");
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    Tracer &tracer() { return *tracer_; }
+
+    static std::unique_ptr<TraceSession> fromEnv();
+
+  private:
+    std::unique_ptr<Tracer> tracer_;
+    std::string path_;
+};
+
+} // namespace ndp::obs

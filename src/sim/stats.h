@@ -43,6 +43,31 @@ class RunningStat
     double min() const { return n ? minVal : 0.0; }
     double max() const { return n ? maxVal : 0.0; }
 
+    /** Combine another accumulator into this one (Chan's parallel
+     *  variant of Welford): the result matches feeding both sample
+     *  streams through a single accumulator. */
+    void
+    merge(const RunningStat &o)
+    {
+        if (o.n == 0)
+            return;
+        if (n == 0) {
+            *this = o;
+            return;
+        }
+        uint64_t nc = n + o.n;
+        double delta = o.meanVal - meanVal;
+        m2 += o.m2 + delta * delta * static_cast<double>(n) *
+                         static_cast<double>(o.n) /
+                         static_cast<double>(nc);
+        meanVal += delta * static_cast<double>(o.n) /
+                   static_cast<double>(nc);
+        n = nc;
+        total += o.total;
+        minVal = std::min(minVal, o.minVal);
+        maxVal = std::max(maxVal, o.maxVal);
+    }
+
   private:
     uint64_t n = 0;
     double meanVal = 0.0;
@@ -82,6 +107,15 @@ class SampleStat
     }
 
     double median() { return percentile(50.0); }
+
+    /** Append another accumulator's samples to this one. */
+    void
+    merge(const SampleStat &o)
+    {
+        samples.insert(samples.end(), o.samples.begin(),
+                       o.samples.end());
+        sorted = false;
+    }
 
     double
     mean() const

@@ -13,10 +13,13 @@
 #include <bit>
 #include <cstdint>
 
+#include <string>
+
 #include "core/inference.h"
 #include "core/media.h"
 #include "core/online.h"
 #include "core/training.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -259,6 +262,64 @@ TEST(Determinism, FaultedNdpInferenceBitIdentical)
     InferenceReport second = runNdpOfflineInference(cfg);
     EXPECT_TRUE(first.faults.anyInjected());
     expectSameInference(first, second);
+}
+
+// The obs layer's two-sided contract: tracing OFF must not change any
+// result bit (null hooks draw nothing, await nothing); tracing ON is
+// purely passive, so traced results equal untraced ones AND two traced
+// same-seed runs serialize byte-identical JSON.
+
+TEST(Determinism, TracingOnDoesNotPerturbResults)
+{
+    ExperimentConfig cfg = fig12Config(NpeOptions::withBatch());
+    InferenceReport untraced = runNdpOfflineInference(cfg);
+    InferenceReport traced;
+    {
+        ndp::obs::TraceSession session;
+        traced = runNdpOfflineInference(cfg);
+        EXPECT_GT(session.tracer().eventCount(), 0U);
+    }
+    expectSameInference(untraced, traced);
+}
+
+TEST(Determinism, TracingOnDoesNotPerturbFaultedTraining)
+{
+    // Fault draws come from per-store RNG streams; tracing must not
+    // add or reorder a single draw even on the recovery paths.
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    cfg.nImages = 40000;
+    cfg.faults.crashStore(1, 2.0).readErrors(0.02).loseMessages(0.3);
+    TrainOptions opt;
+    opt.nRun = 3;
+    TrainReport untraced = runFtDmpTraining(cfg, opt);
+    TrainReport traced;
+    {
+        ndp::obs::TraceSession session;
+        traced = runFtDmpTraining(cfg, opt);
+    }
+    EXPECT_TRUE(untraced.faults.anyInjected());
+    expectSameTrain(untraced, traced);
+}
+
+TEST(Determinism, TracedRunsSerializeByteIdenticalJson)
+{
+    auto tracedJson = [] {
+        ndp::obs::TraceSession session;
+        ExperimentConfig cfg = fig12Config(NpeOptions::withBatch());
+        runNdpOfflineInference(cfg);
+        TrainOptions opt;
+        ExperimentConfig tcfg;
+        tcfg.nStores = 2;
+        tcfg.nImages = 20000;
+        runFtDmpTraining(tcfg, opt);
+        return session.tracer().json();
+    };
+    std::string first = tracedJson();
+    std::string second = tracedJson();
+    EXPECT_GT(first.size(), 0U);
+    EXPECT_EQ(first, second) << "trace JSON differs across "
+                                "same-seed runs";
 }
 
 TEST(Determinism, LinkFaultedTrainingBitIdentical)

@@ -191,6 +191,37 @@ TEST(NdpLint, SuppressionsCoverEveryPlacementForm)
     EXPECT_EQ(st.suppressed, 5);
 }
 
+TEST(NdpLint, UnbalancedSpanFlagsBarePrimitives)
+{
+    LintStats st =
+        lintFixture("unbalanced_span.cc", {"unbalanced-span"});
+    // The bare begin() and the bare end(); the suppressed begin()
+    // counts as suppressed. Container begin()/end() (empty argument
+    // lists) and SpanGuard construction stay silent.
+    ASSERT_EQ(st.findings.size(), 2U);
+    EXPECT_TRUE(anyMessageContains(st, "'begin(...)'"));
+    EXPECT_TRUE(anyMessageContains(st, "'end(...)'"));
+    EXPECT_EQ(st.suppressed, 1);
+    for (const Finding &f : st.findings)
+        EXPECT_EQ(f.rule, "unbalanced-span");
+}
+
+TEST(NdpLint, UnbalancedSpanScopedOutOfObsAndTools)
+{
+    // The primitives' own home (src/obs) and the trace tooling are
+    // out of scope; everything else is in.
+    const auto &rules = ndp::lint::allRules();
+    const ndp::lint::Rule *rule = nullptr;
+    for (const auto &r : rules)
+        if (r->name() == "unbalanced-span")
+            rule = r.get();
+    ASSERT_NE(rule, nullptr);
+    EXPECT_FALSE(rule->appliesTo("src/obs/trace.cc"));
+    EXPECT_FALSE(rule->appliesTo("tools/ndptrace/analyzer.cc"));
+    EXPECT_TRUE(rule->appliesTo("src/core/pipeline.cc"));
+    EXPECT_TRUE(rule->appliesTo("tests/test_trace.cc"));
+}
+
 TEST(NdpLint, CleanFixtureIsSilent)
 {
     LintStats st = lintFixture("clean.cc");

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators in sim/stats.h:
+ * RunningStat (Welford mean/variance, Chan merge) and SampleStat
+ * (percentiles with linear interpolation) — including the empty and
+ * single-sample edge cases the simulator hits on zero-item runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace {
+
+using ndp::RunningStat;
+using ndp::SampleStat;
+
+TEST(RunningStat, EmptyIsAllZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.sum(), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance)
+{
+    RunningStat s;
+    s.add(42.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.5);
+    EXPECT_DOUBLE_EQ(s.max(), 42.5);
+}
+
+TEST(RunningStat, MatchesClosedFormMoments)
+{
+    RunningStat s;
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    // Sample (Bessel-corrected) variance of the set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_NEAR(s.variance(), 18.0, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesSingleStream)
+{
+    std::vector<double> xs = {1.5, -2.0, 7.25, 0.0, 3.125,
+                              9.0, 4.75, -1.5, 2.25, 6.5};
+    RunningStat whole;
+    for (double x : xs)
+        whole.add(x);
+
+    for (size_t split = 0; split <= xs.size(); ++split) {
+        RunningStat a;
+        RunningStat b;
+        for (size_t i = 0; i < xs.size(); ++i)
+            (i < split ? a : b).add(xs[i]);
+        a.merge(b);
+        EXPECT_EQ(a.count(), whole.count()) << "split " << split;
+        EXPECT_NEAR(a.mean(), whole.mean(), 1e-12) << "split " << split;
+        EXPECT_NEAR(a.variance(), whole.variance(), 1e-12)
+            << "split " << split;
+        EXPECT_NEAR(a.sum(), whole.sum(), 1e-12) << "split " << split;
+        EXPECT_DOUBLE_EQ(a.min(), whole.min()) << "split " << split;
+        EXPECT_DOUBLE_EQ(a.max(), whole.max()) << "split " << split;
+    }
+}
+
+TEST(RunningStat, MergeEmptyIsIdentity)
+{
+    RunningStat a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStat empty;
+
+    RunningStat lhs = a;
+    lhs.merge(empty);
+    EXPECT_EQ(lhs.count(), 2u);
+    EXPECT_DOUBLE_EQ(lhs.mean(), 1.5);
+
+    RunningStat rhs;
+    rhs.merge(a);
+    EXPECT_EQ(rhs.count(), 2u);
+    EXPECT_DOUBLE_EQ(rhs.mean(), 1.5);
+    EXPECT_DOUBLE_EQ(rhs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rhs.max(), 2.0);
+
+    RunningStat both;
+    both.merge(empty);
+    EXPECT_EQ(both.count(), 0u);
+    EXPECT_EQ(both.mean(), 0.0);
+}
+
+TEST(SampleStat, EmptyPercentileIsZero)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.percentile(50.0), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleStat, SingleSampleIsEveryPercentile)
+{
+    SampleStat s;
+    s.add(3.25);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 3.25);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 3.25);
+    EXPECT_DOUBLE_EQ(s.percentile(99.0), 3.25);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+}
+
+TEST(SampleStat, PercentileInterpolatesLinearly)
+{
+    SampleStat s;
+    // Insert out of order: percentile() sorts lazily.
+    for (double x : {40.0, 10.0, 30.0, 20.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+    EXPECT_DOUBLE_EQ(s.median(), 25.0);
+    // Rank 0.75 between 10 and 20.
+    EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 25.0);
+}
+
+TEST(SampleStat, AddAfterQueryResorts)
+{
+    SampleStat s;
+    s.add(2.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.median(), 1.5);
+    s.add(0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 1.0);
+}
+
+TEST(SampleStat, MergeAppendsSamples)
+{
+    SampleStat a;
+    a.add(1.0);
+    a.add(3.0);
+    SampleStat b;
+    b.add(2.0);
+    b.add(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.median(), 2.5);
+    EXPECT_DOUBLE_EQ(a.percentile(100.0), 4.0);
+
+    SampleStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+}
+
+} // namespace

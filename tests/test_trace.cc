@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Cross-validation of the obs tracing layer and the ndptrace
+ * critical-path analyzer against the simulator's own analytic models:
+ *
+ *  - traced runs serialize valid trace JSON (`ndptrace --check` logic)
+ *  - the critical-path sweep attributes (to <1%) the full wall time
+ *    reported by the dataflow
+ *  - the attributed bottleneck bucket names the same stage as the
+ *    per-image npeStageTimes() model for clearly-bottlenecked NPE
+ *    configurations, and the same coarse stage as APO's predicted
+ *    partition bottleneck for FT-DMP
+ *  - gauge timeseries (counters) land in the trace
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/apo.h"
+#include "core/inference.h"
+#include "core/training.h"
+#include "models/throughput.h"
+#include "ndptrace/analyzer.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::core;
+
+struct TracedRun
+{
+    std::string json;
+    ndp::trace::Trace trace;
+};
+
+/** Run @p fn inside a TraceSession and parse the serialized trace. */
+template <typename Fn>
+TracedRun
+traced(Fn &&fn)
+{
+    TracedRun out;
+    {
+        obs::TraceSession session;
+        fn();
+        out.json = session.tracer().json();
+    }
+    std::string err;
+    EXPECT_TRUE(ndp::trace::parseTrace(out.json, out.trace, err))
+        << err;
+    return out;
+}
+
+/** Argmax stage of the per-image analytic model, in trace buckets. */
+std::string
+analyticBottleneck(const StageMetrics &per_image)
+{
+    double disk = per_image.readS;
+    double cpu = per_image.decompressS + per_image.preprocessS;
+    double gpu = per_image.computeS;
+    if (disk >= cpu && disk >= gpu)
+        return "disk";
+    return cpu >= gpu ? "cpu" : "gpu";
+}
+
+void
+expectAttributionReconciles(const ndp::trace::Attribution &attr,
+                            double report_seconds)
+{
+    // The sweep's makespan is the traced run's end time; buckets
+    // partition it exactly, and it reconciles with the report.
+    double bucket_sum = 0.0;
+    for (const auto &[cat, sec] : attr.byCat)
+        bucket_sum += sec;
+    EXPECT_NEAR(bucket_sum, attr.totalS, 1e-6 * attr.totalS + 1e-9);
+    ASSERT_GT(report_seconds, 0.0);
+    EXPECT_NEAR(attr.totalS, report_seconds, 0.01 * report_seconds)
+        << "attributed time does not reconcile with report.seconds";
+}
+
+} // namespace
+
+TEST(Trace, GpuBoundInferenceNamesGpuBottleneck)
+{
+    // Full NPE keeps the store GPU >95% busy (§5.4): the analyzer and
+    // the per-image model must both call the GPU the bottleneck.
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 2;
+    cfg.nImages = 50000;
+
+    InferenceReport rep;
+    TracedRun run = traced([&] { rep = runNdpOfflineInference(cfg); });
+
+    auto check = ndp::trace::checkTrace(run.json);
+    EXPECT_TRUE(check.ok()) << (check.errors.empty()
+                                    ? ""
+                                    : check.errors.front());
+
+    auto attr = ndp::trace::criticalPath(run.trace);
+    expectAttributionReconciles(attr, rep.seconds);
+    EXPECT_EQ(attr.bottleneck, "gpu");
+    EXPECT_EQ(analyticBottleneck(npeStageTimes(cfg, cfg.npe, false)),
+              "gpu");
+}
+
+TEST(Trace, CpuBoundInferenceNamesCpuBottleneck)
+{
+    // Naive NPE decodes JPEGs on one store core — preprocessing
+    // dominates (§4.2, Fig. 6b).
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 1;
+    cfg.nImages = 20000;
+    cfg.npe = NpeOptions::naive();
+
+    InferenceReport rep;
+    TracedRun run = traced([&] { rep = runNdpOfflineInference(cfg); });
+
+    auto check = ndp::trace::checkTrace(run.json);
+    EXPECT_TRUE(check.ok()) << (check.errors.empty()
+                                    ? ""
+                                    : check.errors.front());
+
+    auto attr = ndp::trace::criticalPath(run.trace);
+    expectAttributionReconciles(attr, rep.seconds);
+    EXPECT_EQ(attr.bottleneck, "cpu");
+    EXPECT_EQ(analyticBottleneck(npeStageTimes(cfg, cfg.npe, false)),
+              "cpu");
+}
+
+TEST(Trace, FtDmpBottleneckMatchesApoPrediction)
+{
+    // APO predicts per-run Store-, network- and Tuner-stage times for
+    // the chosen cut; the traced run's coarse attribution must agree
+    // on which of the three dominates.
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    cfg.nImages = 40000;
+    TrainOptions opt;
+
+    PartitionChoice pred =
+        evaluateCut(cfg, opt, opt.resolveCut(*cfg.model));
+    std::string predicted = "store";
+    if (pred.netStageS >= pred.storeStageS &&
+        pred.netStageS >= pred.tunerStageS)
+        predicted = "net";
+    else if (pred.tunerStageS >= pred.storeStageS &&
+             pred.tunerStageS >= pred.netStageS)
+        predicted = "tuner";
+
+    TrainReport rep;
+    TracedRun run = traced([&] { rep = runFtDmpTraining(cfg, opt); });
+
+    auto check = ndp::trace::checkTrace(run.json);
+    EXPECT_TRUE(check.ok()) << (check.errors.empty()
+                                    ? ""
+                                    : check.errors.front());
+
+    auto attr = ndp::trace::criticalPath(run.trace);
+    expectAttributionReconciles(attr, rep.seconds);
+
+    double store_s = attr.catS("disk") + attr.catS("cpu") +
+                     attr.catS("gpu") + attr.catS("sync");
+    double net_s = attr.catS("wire");
+    double tuner_s = attr.catS("tuner");
+    std::string observed = "store";
+    if (net_s >= store_s && net_s >= tuner_s)
+        observed = "net";
+    else if (tuner_s >= store_s && tuner_s >= net_s)
+        observed = "tuner";
+    EXPECT_EQ(observed, predicted)
+        << "trace: store " << store_s << " net " << net_s << " tuner "
+        << tuner_s << "; APO: store " << pred.storeStageS << " net "
+        << pred.netStageS << " tuner " << pred.tunerStageS;
+}
+
+TEST(Trace, GaugeTimeseriesLandsInTheTrace)
+{
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 2;
+    cfg.nImages = 50000;
+
+    TracedRun run = traced([&] { runNdpOfflineInference(cfg); });
+
+    ASSERT_FALSE(run.trace.counters.empty());
+    auto has = [&](const std::string &node, const std::string &name) {
+        return std::any_of(
+            run.trace.counters.begin(), run.trace.counters.end(),
+            [&](const ndp::trace::CounterSample &c) {
+                return c.node == node && c.name == name;
+            });
+    };
+    EXPECT_TRUE(has("store0", "util.gpu"));
+    EXPECT_TRUE(has("store0", "util.disk"));
+    EXPECT_TRUE(has("store0", "power.w"));
+    EXPECT_TRUE(has("store1", "util.gpu"));
+    EXPECT_TRUE(has("net", "flows.active"));
+    // Sampled values are utilizations in [0, 1] (power aside).
+    for (const auto &c : run.trace.counters)
+        if (c.name == "util.gpu" || c.name == "util.disk" ||
+            c.name == "util.cpu") {
+            EXPECT_GE(c.value, 0.0);
+            EXPECT_LE(c.value, 1.0);
+        }
+}
+
+TEST(Trace, UntracedRunRecordsNothing)
+{
+    // No session installed: Tracer::current() is null and every hook
+    // is a no-op (the zero-cost rule the determinism suite relies on).
+    ASSERT_EQ(obs::Tracer::current(), nullptr);
+    ExperimentConfig cfg;
+    cfg.model = &models::resnet50();
+    cfg.nStores = 1;
+    cfg.nImages = 5000;
+    auto rep = runNdpOfflineInference(cfg);
+    EXPECT_GT(rep.seconds, 0.0);
+}
+
+TEST(Trace, CheckCatchesStructuralDamage)
+{
+    // Unbalanced async pair and a counter without a numeric value.
+    const std::string bad =
+        "{\"traceEvents\":["
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,"
+        "\"args\":{\"name\":\"store0\"}},"
+        "{\"ph\":\"b\",\"cat\":\"flow\",\"name\":\"f\",\"pid\":1,"
+        "\"tid\":1,\"ts\":0,\"id\":7},"
+        "{\"ph\":\"C\",\"name\":\"c\",\"pid\":1,\"tid\":0,\"ts\":1,"
+        "\"args\":{}}"
+        "]}";
+    auto res = ndp::trace::checkTrace(bad);
+    EXPECT_FALSE(res.ok());
+    // Garbage is a parse error, not a crash.
+    auto garbage = ndp::trace::checkTrace("not json at all");
+    EXPECT_FALSE(garbage.ok());
+}

@@ -1,0 +1,47 @@
+// ndp-lint fixture: unbalanced-span.
+// Not compiled — lexed by test_ndplint.cc. Bare Tracer span
+// primitives must be flagged; container begin()/end() (empty argument
+// lists) and the RAII guards must stay silent.
+
+#include "obs/trace.h"
+
+namespace fixture {
+
+void
+bareBegin(ndp::obs::Tracer *tr, int trk, double now)
+{
+    // BAD: open without RAII — leaks the span on early coroutine exit.
+    tr->begin(trk, ndp::obs::Cat::Disk, "read", now);
+}
+
+void
+bareEnd(ndp::obs::Tracer &tr, int trk, double now)
+{
+    tr.end(trk, now); // BAD: close without a matching guard
+}
+
+void
+containerIterationIsFine(std::vector<int> &v)
+{
+    // Empty argument lists: container iterators, not span calls.
+    for (auto it = v.begin(); it != v.end(); ++it)
+        (void)*it;
+    std::sort(v.begin(), v.end());
+}
+
+void
+raiiGuardIsFine(ndp::obs::Tracer *tr, const ndp::sim::Simulator &s,
+                int trk)
+{
+    ndp::obs::SpanGuard sg(tr, s, trk, ndp::obs::Cat::Cpu,
+                           "decompress");
+}
+
+void
+suppressedBegin(ndp::obs::Tracer *tr, int trk, double now)
+{
+    // ndplint: allow(unbalanced-span): fixture exercises suppression
+    tr->begin(trk, ndp::obs::Cat::Gpu, "compute", now);
+}
+
+} // namespace fixture

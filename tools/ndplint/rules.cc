@@ -803,6 +803,71 @@ class AnalyticNetMathRule final : public Rule
     }
 };
 
+/**
+ * Bare Tracer::begin()/end() calls outside src/obs. The obs span
+ * primitives take arguments (a track id at minimum); a span opened
+ * without a SpanGuard leaks open when the enclosing coroutine exits
+ * early (crash path, channel close), corrupting the track's nesting.
+ * Container begin()/end() take no arguments and stay silent.
+ */
+class UnbalancedSpanRule final : public Rule
+{
+  public:
+    std::string name() const override { return "unbalanced-span"; }
+
+    std::string
+    description() const override
+    {
+        return "bare begin(...)/end(...) span calls outside src/obs: "
+               "a span opened without RAII leaks open when a "
+               "coroutine exits early, corrupting its track's "
+               "nesting; use obs::SpanGuard / obs::AsyncSpanGuard";
+    }
+
+    bool
+    appliesTo(std::string_view path) const override
+    {
+        std::string p(path);
+        std::replace(p.begin(), p.end(), '\\', '/');
+        // The primitives live in src/obs; tools/ parses traces and
+        // never holds a Tracer.
+        return p.find("src/obs/") == std::string::npos &&
+               p.find("tools/") == std::string::npos;
+    }
+
+    void
+    analyze(const SourceFile &f, const AnalysisContext &ctx,
+            std::vector<Finding> &out) const override
+    {
+        (void)ctx;
+        const Tokens &toks = f.tokens;
+        for (int i = 1; i + 1 < static_cast<int>(toks.size()); ++i) {
+            const Token &t = toks[static_cast<size_t>(i)];
+            if (!isIdent(t) || !anyOf(t, {"begin", "end"}))
+                continue;
+            if (!anyOf(toks[static_cast<size_t>(i - 1)], {".", "->"}))
+                continue;
+            if (!is(toks[static_cast<size_t>(i + 1)], "("))
+                continue;
+            // Empty argument list: container begin()/end(), fine.
+            int close = matchForward(toks, i + 1);
+            if (close < 0 || close == i + 2)
+                continue;
+            Finding fd;
+            fd.rule = name();
+            fd.path = f.path;
+            fd.line = t.line;
+            fd.endLine = t.line;
+            fd.message =
+                "'" + std::string(t.text) +
+                "(...)' opens/closes a trace span without RAII; if "
+                "the coroutine exits early the span never closes — "
+                "use obs::SpanGuard / obs::AsyncSpanGuard instead";
+            out.push_back(std::move(fd));
+        }
+    }
+};
+
 } // namespace
 
 void
@@ -853,6 +918,7 @@ allRules()
         r.push_back(std::make_unique<BannedNondeterminismRule>());
         r.push_back(std::make_unique<FloatAccumOrderRule>());
         r.push_back(std::make_unique<AnalyticNetMathRule>());
+        r.push_back(std::make_unique<UnbalancedSpanRule>());
         return r;
     }();
     return rules;

@@ -1,0 +1,413 @@
+#include "ndptrace/analyzer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "ndptrace/json.h"
+
+namespace ndp::trace {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/** Span categories that represent work (critical-path candidates). */
+bool
+isWorkCat(const std::string &cat)
+{
+    return cat == "disk" || cat == "cpu" || cat == "gpu" ||
+           cat == "wire" || cat == "tuner" || cat == "sync";
+}
+
+struct TrackKey
+{
+    int pid = 0;
+    int tid = 0;
+
+    bool
+    operator<(const TrackKey &o) const
+    {
+        return pid != o.pid ? pid < o.pid : tid < o.tid;
+    }
+};
+
+/** pid -> node name and (pid, tid) -> station name, from 'M' events. */
+struct Meta
+{
+    std::map<int, std::string> nodeOf;
+    std::map<TrackKey, std::string> stationOf;
+};
+
+Meta
+collectMeta(const JsonValue &events)
+{
+    Meta m;
+    for (const JsonValue &e : events.arr) {
+        const JsonValue *ph = e.find("ph");
+        if (ph == nullptr || ph->stringOr("") != "M")
+            continue;
+        const JsonValue *name = e.find("name");
+        const JsonValue *args = e.find("args");
+        const JsonValue *pid = e.find("pid");
+        if (name == nullptr || args == nullptr || pid == nullptr)
+            continue;
+        int p = static_cast<int>(pid->numberOr(0));
+        if (name->stringOr("") == "process_name") {
+            if (const JsonValue *n = args->find("name"))
+                m.nodeOf[p] = n->stringOr("");
+        } else if (name->stringOr("") == "thread_name") {
+            const JsonValue *tid = e.find("tid");
+            int t = tid != nullptr
+                        ? static_cast<int>(tid->numberOr(0))
+                        : 0;
+            if (const JsonValue *n = args->find("name"))
+                m.stationOf[{p, t}] = n->stringOr("");
+        }
+    }
+    return m;
+}
+
+const JsonValue *
+traceEvents(const JsonValue &root, std::string &err)
+{
+    if (!root.isObject()) {
+        err = "top level is not an object";
+        return nullptr;
+    }
+    const JsonValue *events = root.find("traceEvents");
+    if (events == nullptr || !events->isArray()) {
+        err = "missing traceEvents array";
+        return nullptr;
+    }
+    return events;
+}
+
+} // namespace
+
+double
+Trace::makespanS() const
+{
+    double end = 0.0;
+    for (const Span &s : spans)
+        end = std::max(end, s.endS());
+    for (const Span &s : asyncSpans)
+        end = std::max(end, s.endS());
+    return end;
+}
+
+double
+Attribution::catS(const std::string &c) const
+{
+    auto it = byCat.find(c);
+    return it != byCat.end() ? it->second : 0.0;
+}
+
+CheckResult
+checkTrace(const std::string &text)
+{
+    CheckResult res;
+    JsonValue root;
+    std::string err;
+    if (!parseJson(text, root, err)) {
+        res.errors.push_back("parse error: " + err);
+        return res;
+    }
+    const JsonValue *events = traceEvents(root, err);
+    if (events == nullptr) {
+        res.errors.push_back(err);
+        return res;
+    }
+    Meta meta = collectMeta(*events);
+
+    // Async begin/end balance per id.
+    std::map<uint64_t, long> asyncDepth;
+
+    size_t idx = 0;
+    for (const JsonValue &e : events->arr) {
+        ++res.events;
+        auto bad = [&](const std::string &what) {
+            if (res.errors.size() < 20)
+                res.errors.push_back("event " + std::to_string(idx) +
+                                     ": " + what);
+        };
+        ++idx;
+        if (!e.isObject()) {
+            bad("not an object");
+            continue;
+        }
+        const JsonValue *ph = e.find("ph");
+        if (ph == nullptr || !ph->isString() ||
+            ph->str.size() != 1) {
+            bad("missing ph");
+            continue;
+        }
+        char p = ph->str[0];
+        if (p == 'M')
+            continue;
+        const JsonValue *pid = e.find("pid");
+        const JsonValue *tid = e.find("tid");
+        const JsonValue *ts = e.find("ts");
+        if (pid == nullptr || !pid->isNumber()) {
+            bad("missing pid");
+            continue;
+        }
+        if (tid == nullptr || !tid->isNumber()) {
+            bad("missing tid");
+            continue;
+        }
+        if (ts == nullptr || !ts->isNumber()) {
+            bad("missing ts");
+            continue;
+        }
+        int pidv = static_cast<int>(pid->numberOr(0));
+        int tidv = static_cast<int>(tid->numberOr(0));
+        if (meta.nodeOf.find(pidv) == meta.nodeOf.end())
+            bad("pid " + std::to_string(pidv) +
+                " has no process_name metadata");
+        switch (p) {
+        case 'X': {
+            const JsonValue *dur = e.find("dur");
+            if (dur == nullptr || !dur->isNumber() ||
+                dur->number < 0.0)
+                bad("'X' without non-negative dur");
+            if (meta.stationOf.find({pidv, tidv}) ==
+                meta.stationOf.end())
+                bad("tid " + std::to_string(tidv) +
+                    " has no thread_name metadata");
+            break;
+        }
+        case 'i':
+            break;
+        case 'b':
+        case 'n':
+        case 'e': {
+            const JsonValue *id = e.find("id");
+            if (id == nullptr || !id->isNumber()) {
+                bad("async event without id");
+                break;
+            }
+            auto key = static_cast<uint64_t>(id->number);
+            if (p == 'b')
+                ++asyncDepth[key];
+            else if (p == 'e')
+                --asyncDepth[key];
+            else if (asyncDepth[key] <= 0)
+                bad("'n' outside its async span");
+            break;
+        }
+        case 'C': {
+            const JsonValue *args = e.find("args");
+            const JsonValue *v =
+                args != nullptr ? args->find("value") : nullptr;
+            if (v == nullptr || !v->isNumber())
+                bad("counter without numeric args.value");
+            break;
+        }
+        default:
+            bad(std::string("unknown ph '") + p + "'");
+        }
+    }
+    for (const auto &[id, depth] : asyncDepth)
+        if (depth != 0 && res.errors.size() < 20)
+            res.errors.push_back("async id " + std::to_string(id) +
+                                 " unbalanced (depth " +
+                                 std::to_string(depth) + ")");
+    return res;
+}
+
+bool
+parseTrace(const std::string &text, Trace &out, std::string &err)
+{
+    JsonValue root;
+    if (!parseJson(text, root, err))
+        return false;
+    const JsonValue *events = traceEvents(root, err);
+    if (events == nullptr)
+        return false;
+    Meta meta = collectMeta(*events);
+
+    struct OpenAsync
+    {
+        Span span;
+    };
+    std::map<uint64_t, OpenAsync> openAsync;
+
+    for (const JsonValue &e : events->arr) {
+        if (!e.isObject())
+            continue;
+        const JsonValue *ph = e.find("ph");
+        if (ph == nullptr || ph->str.size() != 1)
+            continue;
+        char p = ph->str[0];
+        if (p == 'M')
+            continue;
+        int pidv = static_cast<int>(
+            e.find("pid") != nullptr ? e.find("pid")->numberOr(0)
+                                     : 0);
+        int tidv = static_cast<int>(
+            e.find("tid") != nullptr ? e.find("tid")->numberOr(0)
+                                     : 0);
+        double tsS = (e.find("ts") != nullptr
+                          ? e.find("ts")->numberOr(0)
+                          : 0.0) /
+                     1e6;
+        auto nodeIt = meta.nodeOf.find(pidv);
+        std::string node =
+            nodeIt != meta.nodeOf.end() ? nodeIt->second : "";
+
+        if (p == 'C') {
+            CounterSample c;
+            c.node = node;
+            const JsonValue *name = e.find("name");
+            c.name = name != nullptr ? name->stringOr("") : "";
+            c.tsS = tsS;
+            const JsonValue *args = e.find("args");
+            const JsonValue *v =
+                args != nullptr ? args->find("value") : nullptr;
+            c.value = v != nullptr ? v->numberOr(0) : 0.0;
+            out.counters.push_back(std::move(c));
+            continue;
+        }
+
+        Span s;
+        s.node = node;
+        auto stIt = meta.stationOf.find({pidv, tidv});
+        s.station = stIt != meta.stationOf.end() ? stIt->second : "";
+        const JsonValue *cat = e.find("cat");
+        s.cat = cat != nullptr ? cat->stringOr("") : "";
+        const JsonValue *name = e.find("name");
+        s.name = name != nullptr ? name->stringOr("") : "";
+        s.t0 = tsS;
+
+        switch (p) {
+        case 'X': {
+            const JsonValue *dur = e.find("dur");
+            s.durS =
+                (dur != nullptr ? dur->numberOr(0) : 0.0) / 1e6;
+            out.spans.push_back(std::move(s));
+            break;
+        }
+        case 'i':
+            out.instants.push_back(std::move(s));
+            break;
+        case 'b': {
+            const JsonValue *id = e.find("id");
+            if (id != nullptr)
+                openAsync[static_cast<uint64_t>(id->number)] = {
+                    std::move(s)};
+            break;
+        }
+        case 'e': {
+            const JsonValue *id = e.find("id");
+            if (id == nullptr)
+                break;
+            auto it =
+                openAsync.find(static_cast<uint64_t>(id->number));
+            if (it == openAsync.end())
+                break;
+            Span done = std::move(it->second.span);
+            openAsync.erase(it);
+            done.durS = tsS - done.t0;
+            out.asyncSpans.push_back(std::move(done));
+            break;
+        }
+        default:
+            break; // 'n' notes carry no duration
+        }
+    }
+    return true;
+}
+
+bool
+loadTrace(const std::string &path, Trace &out, std::string &err)
+{
+    std::ifstream f(path);
+    if (!f) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parseTrace(ss.str(), out, err);
+}
+
+std::vector<std::string>
+workNodes(const Trace &t)
+{
+    std::vector<std::string> nodes;
+    for (const Span &s : t.spans) {
+        if (!isWorkCat(s.cat))
+            continue;
+        if (std::find(nodes.begin(), nodes.end(), s.node) ==
+            nodes.end())
+            nodes.push_back(s.node);
+    }
+    return nodes;
+}
+
+Attribution
+criticalPath(const Trace &t, const std::string &node)
+{
+    Attribution attr;
+    // Work spans, optionally restricted to one node. The sweep's
+    // makespan stays global so per-node stall is comparable.
+    std::vector<const Span *> work;
+    for (const Span &s : t.spans) {
+        if (!isWorkCat(s.cat) || s.durS <= 0.0)
+            continue;
+        if (!node.empty() && s.node != node)
+            continue;
+        work.push_back(&s);
+    }
+    double cursor = t.makespanS();
+    attr.totalS = cursor;
+    if (cursor <= 0.0)
+        return attr;
+
+    // Backward sweep: at each instant attribute to the covering span
+    // with the latest end (lazy-discard max-heap keyed on end time);
+    // gaps no work span covers are stall.
+    auto later = [](const Span *a, const Span *b) {
+        if (a->endS() != b->endS())
+            return a->endS() < b->endS();
+        if (a->t0 != b->t0)
+            return a->t0 < b->t0;
+        return a->cat < b->cat; // full tiebreak: deterministic pop
+    };
+    std::priority_queue<const Span *, std::vector<const Span *>,
+                        decltype(later)>
+        heap(later, std::move(work));
+
+    while (cursor > kEps && !heap.empty()) {
+        const Span *top = heap.top();
+        if (top->endS() < cursor - kEps) {
+            // Nothing covers (top->end, cursor): stall.
+            attr.byCat["stall"] += cursor - top->endS();
+            cursor = top->endS();
+            continue;
+        }
+        heap.pop();
+        if (top->t0 >= cursor - kEps)
+            continue; // span lies entirely at/after the cursor
+        attr.byCat[top->cat] += cursor - top->t0;
+        cursor = top->t0;
+    }
+    if (cursor > kEps)
+        attr.byCat["stall"] += cursor; // leading idle before any work
+
+    double best = 0.0;
+    for (const auto &[cat, sec] : attr.byCat) {
+        if (cat == "stall")
+            continue;
+        if (sec > best) {
+            best = sec;
+            attr.bottleneck = cat;
+        }
+    }
+    return attr;
+}
+
+} // namespace ndp::trace

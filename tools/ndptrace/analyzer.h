@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ndptrace: offline analysis of obs-layer trace files.
+ *
+ * Loads Chrome/Perfetto trace-event JSON produced by obs::Tracer,
+ * validates its structure (`--check`), and extracts the end-to-end
+ * critical path: a backward sweep over all work spans that attributes
+ * every second of the run's makespan to one of the buckets
+ * {disk, cpu, gpu, wire, tuner, sync, stall}. The non-stall bucket
+ * with the most attributed time is the run's bottleneck — the same
+ * verdict npeStageTimes() and the APO planner reach analytically,
+ * which the test suite cross-validates.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ndp::trace {
+
+/** One duration span ('X' event) resolved against track metadata. */
+struct Span
+{
+    std::string node;
+    std::string station;
+    std::string cat;
+    std::string name;
+    double t0 = 0.0;
+    double durS = 0.0;
+
+    double endS() const { return t0 + durS; }
+};
+
+/** One counter sample ('C' event). */
+struct CounterSample
+{
+    std::string node;
+    std::string name;
+    double tsS = 0.0;
+    double value = 0.0;
+};
+
+/** The parts of a trace the analyzer works on. */
+struct Trace
+{
+    std::vector<Span> spans;    ///< 'X' complete spans
+    std::vector<Span> instants; ///< 'i' markers (durS == 0)
+    /** 'b'/'e' pairs resolved into spans (flows, online requests). */
+    std::vector<Span> asyncSpans;
+    std::vector<CounterSample> counters;
+
+    /** Latest end time over all spans (the run's makespan). */
+    double makespanS() const;
+};
+
+struct CheckResult
+{
+    std::vector<std::string> errors;
+    size_t events = 0;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Structural validation of raw trace JSON: parseable, known pids and
+ *  tids, numeric ts/dur, balanced async begin/end per id, numeric
+ *  counter values. */
+CheckResult checkTrace(const std::string &text);
+
+/** Parse trace JSON into the analyzer model. Returns false with @p err
+ *  set on malformed input (checkTrace() gives finer diagnostics). */
+bool parseTrace(const std::string &text, Trace &out, std::string &err);
+
+/** parseTrace() over a file's contents. */
+bool loadTrace(const std::string &path, Trace &out, std::string &err);
+
+/**
+ * Where the run's wall time went, per attribution bucket. Buckets are
+ * span categories; "stall" covers makespan not under any work span.
+ */
+struct Attribution
+{
+    /** Total attributed time == the sweep's makespan (seconds). */
+    double totalS = 0.0;
+    /** bucket name -> seconds; buckets sum to totalS. */
+    std::map<std::string, double> byCat;
+    /** Non-stall bucket with the most attributed time ("" if none). */
+    std::string bottleneck;
+
+    double catS(const std::string &c) const;
+};
+
+/**
+ * Critical-path attribution over work spans (categories disk, cpu,
+ * gpu, wire, tuner, sync). A backward sweep from the makespan picks,
+ * at every instant, the covering span with the latest end; gaps where
+ * no work span covers the cursor are attributed to "stall". When
+ * @p node is non-empty only that node's spans participate (per-store
+ * attribution) — the makespan stays global so stall is comparable
+ * across stores.
+ */
+Attribution criticalPath(const Trace &t, const std::string &node = "");
+
+/** Nodes that own at least one work span, in first-seen order. */
+std::vector<std::string> workNodes(const Trace &t);
+
+} // namespace ndp::trace

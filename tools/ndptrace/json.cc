@@ -1,0 +1,241 @@
+#include "ndptrace/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ndp::trace {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(double fallback) const
+{
+    return type == Type::Number ? number : fallback;
+}
+
+const std::string &
+JsonValue::stringOr(const std::string &fallback) const
+{
+    return type == Type::String ? str : fallback;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &err)
+        : text_(text), err_(err)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing data after JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        err_ = what + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+        case '{':
+            return parseObject(out);
+        case '[':
+            return parseArray(out);
+        case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.str);
+        case 't':
+            return parseLiteral("true", out, JsonValue::Type::Bool,
+                                true);
+        case 'f':
+            return parseLiteral("false", out, JsonValue::Type::Bool,
+                                false);
+        case 'n':
+            return parseLiteral("null", out, JsonValue::Type::Null,
+                                false);
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseLiteral(const char *lit, JsonValue &out, JsonValue::Type type,
+                 bool b)
+    {
+        size_t n = std::string(lit).size();
+        if (text_.compare(pos_, n, lit) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        out.type = type;
+        out.boolean = b;
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *endp = nullptr;
+        double v = std::strtod(start, &endp);
+        if (endp == start)
+            return fail("expected a value");
+        pos_ += static_cast<size_t>(endp - start);
+        out.type = JsonValue::Type::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!eat('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'n': out.push_back('\n'); break;
+            case 't': out.push_back('\t'); break;
+            case 'r': out.push_back('\r'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'u':
+                // The obs layer never emits \u escapes; accept and
+                // keep the raw sequence so --check still parses.
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                out += "\\u" + text_.substr(pos_, 4);
+                pos_ += 4;
+                break;
+            default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        eat('{');
+        out.type = JsonValue::Type::Object;
+        skipWs();
+        if (eat('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return fail("expected ':'");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (eat(','))
+                continue;
+            if (eat('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        eat('[');
+        out.type = JsonValue::Type::Array;
+        skipWs();
+        if (eat(']'))
+            return true;
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (eat(','))
+                continue;
+            if (eat(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    const std::string &text_;
+    std::string &err_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &err)
+{
+    Parser p(text, err);
+    return p.parse(out);
+}
+
+} // namespace ndp::trace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for ndptrace.
+ *
+ * Dependency-free on purpose (the toolchain image carries no JSON
+ * library): parses the subset the obs layer emits — objects, arrays,
+ * strings with the obs escape set, numbers, booleans, null — into an
+ * ordered DOM. Not a general-purpose validator, but strict enough
+ * that `ndptrace --check` catches malformed output.
+ */
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ndp::trace {
+
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    /** Ordered members: duplicate keys preserved, first one wins. */
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+    bool isNumber() const { return type == Type::Number; }
+
+    /** First member named @p key, or null if absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    double numberOr(double fallback) const;
+    const std::string &stringOr(const std::string &fallback) const;
+};
+
+/**
+ * Parse @p text into @p out. Returns false and sets @p err (with a
+ * byte offset) on malformed input or trailing garbage.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &err);
+
+} // namespace ndp::trace

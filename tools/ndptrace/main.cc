@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ndptrace CLI.
+ *
+ *     ndptrace [options] <trace.json>
+ *
+ * Options:
+ *   --check        validate trace structure only (CI gate); prints
+ *                  the first errors found
+ *   --json         machine-readable attribution output
+ *   --node <name>  restrict the critical-path sweep to one node's
+ *                  spans (per-store attribution)
+ *
+ * Exit codes: 0 clean, 1 check failures, 2 usage/IO error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ndptrace/analyzer.h"
+
+using namespace ndp::trace;
+
+namespace {
+
+void
+usage()
+{
+    std::cerr << "usage: ndptrace [--check] [--json] [--node <name>] "
+                 "<trace.json>\n";
+}
+
+void
+printAttribution(const Attribution &a, const std::string &label)
+{
+    std::printf("%s (%.6f s attributed):\n", label.c_str(), a.totalS);
+    for (const auto &[cat, sec] : a.byCat) {
+        double pct = a.totalS > 0.0 ? 100.0 * sec / a.totalS : 0.0;
+        std::printf("  %-6s %12.6f s  %5.1f%%\n", cat.c_str(), sec,
+                    pct);
+    }
+    std::printf("  bottleneck: %s\n",
+                a.bottleneck.empty() ? "(none)" : a.bottleneck.c_str());
+}
+
+void
+printAttributionJson(std::ostream &os, const Attribution &a,
+                     const std::string &node)
+{
+    os << "{\"node\":\"" << node << "\",\"totalS\":" << a.totalS
+       << ",\"byCat\":{";
+    bool first = true;
+    for (const auto &[cat, sec] : a.byCat) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << cat << "\":" << sec;
+    }
+    os << "},\"bottleneck\":\"" << a.bottleneck << "\"}";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check = false;
+    bool json = false;
+    std::string node;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--check") {
+            check = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--node") {
+            if (++i >= argc) {
+                usage();
+                return 2;
+            }
+            node = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream f(path);
+    if (!f) {
+        std::cerr << "ndptrace: cannot open " << path << "\n";
+        return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const std::string text = ss.str();
+
+    if (check) {
+        CheckResult res = checkTrace(text);
+        if (!res.ok()) {
+            for (const std::string &e : res.errors)
+                std::cerr << "ndptrace: " << e << "\n";
+            std::cerr << "ndptrace: " << path << ": "
+                      << res.errors.size() << " problem(s) in "
+                      << res.events << " events\n";
+            return 1;
+        }
+        std::printf("%s: ok (%zu events)\n", path.c_str(),
+                    res.events);
+        return 0;
+    }
+
+    Trace trace;
+    std::string err;
+    if (!parseTrace(text, trace, err)) {
+        std::cerr << "ndptrace: " << path << ": " << err << "\n";
+        return 2;
+    }
+
+    if (json) {
+        std::ostringstream out;
+        out << "{\"events\":"
+            << (trace.spans.size() + trace.instants.size() +
+                trace.asyncSpans.size() + trace.counters.size())
+            << ",\"makespanS\":" << trace.makespanS()
+            << ",\"attribution\":[";
+        if (node.empty()) {
+            printAttributionJson(out, criticalPath(trace), "");
+            for (const std::string &n : workNodes(trace)) {
+                out << ',';
+                printAttributionJson(out, criticalPath(trace, n), n);
+            }
+        } else {
+            printAttributionJson(out, criticalPath(trace, node),
+                                 node);
+        }
+        out << "]}";
+        std::cout << out.str() << "\n";
+        return 0;
+    }
+
+    std::printf("%s: %zu spans, %zu async, %zu counter samples, "
+                "makespan %.6f s\n",
+                path.c_str(), trace.spans.size(),
+                trace.asyncSpans.size(), trace.counters.size(),
+                trace.makespanS());
+    if (node.empty()) {
+        printAttribution(criticalPath(trace), "critical path");
+        for (const std::string &n : workNodes(trace))
+            printAttribution(criticalPath(trace, n), n);
+    } else {
+        printAttribution(criticalPath(trace, node), node);
+    }
+    return 0;
+}
