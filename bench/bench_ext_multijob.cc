@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Extension study: the multi-job cluster (global APO + scheduler).
+ *
+ * The nightly scenario §5.2 implies but never measures: K = 5 models
+ * fine-tune concurrently on a shared PipeStore fleet while the photo
+ * service keeps serving online uploads on the Tuner host. Global APO
+ * (core/apo.h planJobs) partitions the fleet and picks each job's
+ * cut; the cluster scheduler (core/sched) arbitrates the shared Tuner
+ * GPU. Reported: per-job makespan / waits / preemptions, serving
+ * latency percentiles, and the serving-p99 cost of colocating the
+ * nightly fine-tunes with the online path.
+ */
+
+#include "bench_util.h"
+
+#include "core/apo.h"
+#include "core/sched/cluster.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+namespace {
+
+sched::JobDesc
+onlineJob(uint64_t uploads)
+{
+    sched::JobDesc d;
+    d.name = "serve";
+    d.kind = sched::JobKind::OnlineServe;
+    d.priority = 2; // latency path outranks every nightly batch job
+    d.arrivalsPerSec = 120.0;
+    d.nUploads = uploads;
+    return d;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto trace = ndp::bench::init(argc, argv);
+    bench::banner(
+        "Extension - Multi-job cluster: 5 nightly fine-tunes + serving",
+        "NDPipe (ASPLOS'24) Sections 5.2-5.3, generalized to K jobs");
+
+    ClusterSpec spec;
+    spec.nStores = 10;
+
+    const uint64_t imgs = bench::scaled(60000, 6000);
+    const uint64_t uploads = bench::scaled(20000, 2000);
+
+    // Global APO partitions the fleet among the nightly jobs and
+    // picks each one's cut (PipeDream-style DP, core/apo.h).
+    ExperimentConfig fleet;
+    fleet.networkGbps = spec.networkGbps;
+    fleet.storeSpec = spec.storeSpec;
+    fleet.tunerSpec = spec.tunerSpec;
+    std::vector<ApoJobSpec> wants;
+    wants.push_back({"ft-resnet50", &models::resnet50(), imgs, {}});
+    wants.push_back(
+        {"ft-shufflenet", &models::shufflenetV2(), imgs, {}});
+    wants.push_back(
+        {"ft-inception", &models::inceptionV3(), imgs, {}});
+    wants.push_back(
+        {"ft-resnext", &models::resnext101(), imgs / 2, {}});
+    wants.push_back(
+        {"ft-resnet50-b", &models::resnet50(), imgs / 2, {}});
+    GlobalApoResult plan = planJobs(fleet, wants, spec.nStores);
+
+    std::printf("\nGlobal APO plan (%d stores, predicted makespan "
+                "%.0f s):\n",
+                spec.nStores, plan.makespanS);
+    bench::Table pt({"Job", "Stores", "Range", "Cut",
+                     "Predicted (s)"});
+    for (const ApoJobPlan &p : plan.jobs)
+        pt.addRow({p.name, bench::fmtInt(p.nStores),
+                   std::to_string(p.firstStore) + ".." +
+                       std::to_string(p.firstStore + p.nStores - 1),
+                   bench::fmtInt(static_cast<long long>(p.choice.cut)),
+                   bench::fmt("%.0f", p.choice.predictedTotalS)});
+    pt.print();
+
+    // The colocated run: every planned fine-tune plus online serving.
+    sched::Cluster cluster(spec);
+    for (size_t j = 0; j < plan.jobs.size(); ++j) {
+        const ApoJobPlan &p = plan.jobs[j];
+        sched::JobDesc d;
+        d.name = p.name;
+        d.kind = sched::JobKind::FtDmpTrain;
+        d.priority = j == 0 ? 1 : 0; // the flagship model goes first
+        d.share = j == 0 ? 2.0 : 1.0;
+        for (int k = 0; k < p.nStores; ++k)
+            d.stores.push_back(p.firstStore + k);
+        d.model = wants[j].model;
+        d.nImages = wants[j].nImages;
+        d.train = wants[j].train;
+        cluster.submit(d);
+    }
+    cluster.submit(onlineJob(uploads));
+    sched::ClusterReport rep = cluster.run();
+
+    // Serve-alone baseline: the same upload stream, empty fleet.
+    sched::Cluster alone(spec);
+    alone.submit(onlineJob(uploads));
+    sched::ClusterReport ref = alone.run();
+
+    std::printf("\nCluster run: %.0f sim-s, %llu events\n", rep.seconds,
+                static_cast<unsigned long long>(rep.events));
+    bench::Table t({"Job", "Kind", "Prio", "Makespan (s)", "Wait (s)",
+                    "Preempt", "GPU (s)", "p50 (ms)", "p99 (ms)"});
+    for (const sched::JobReport &j : rep.jobs) {
+        bool online = j.kind == sched::JobKind::OnlineServe;
+        t.addRow({j.name, sched::jobKindName(j.kind),
+                  bench::fmtInt(j.priority),
+                  bench::fmt("%.0f", j.makespanS),
+                  bench::fmt("%.1f", j.waitS),
+                  bench::fmtInt(static_cast<long long>(j.preemptions)),
+                  bench::fmt("%.1f", j.chargedGpuS),
+                  online ? bench::fmt("%.1f", j.p50Ms) : "-",
+                  online ? bench::fmt("%.1f", j.p99Ms) : "-"});
+    }
+    t.print();
+
+    const sched::JobReport &served = rep.jobs.back();
+    const sched::JobReport &servedAlone = ref.jobs.front();
+    std::printf("\nServing p99: %.1f ms colocated vs %.1f ms alone "
+                "(+%.1f ms for sharing the Tuner with %zu nightly "
+                "fine-tunes).\n",
+                served.p99Ms, servedAlone.p99Ms,
+                served.p99Ms - servedAlone.p99Ms, plan.jobs.size());
+    if (bench::jsonMode())
+        std::printf("{\"serving_p99_ms\":%.3f,"
+                    "\"serving_alone_p99_ms\":%.3f,"
+                    "\"cluster_makespan_s\":%.3f}\n",
+                    served.p99Ms, servedAlone.p99Ms, rep.seconds);
+    return 0;
+}

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "storage/codec.h"
 #include "storage/photo_gen.h"
 
@@ -76,6 +78,62 @@ BM_CompressionRatio(benchmark::State &state)
 }
 BENCHMARK(BM_CompressionRatio);
 
+/** --json: one pass per workload; events = bytes through the codec. */
+int
+runJson()
+{
+    PhotoGenerator gen;
+    {
+        Bytes input = gen.preprocessedBinary(1);
+        long long bytes = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 50; ++i) {
+            Bytes out = deflateLite(input);
+            benchmark::DoNotOptimize(out.data());
+            bytes += static_cast<long long>(input.size());
+        }
+        ndp::bench::jsonWorkloadLine("deflate-preprocessed", bytes,
+                                     w.seconds());
+    }
+    {
+        Bytes compressed = deflateLite(gen.preprocessedBinary(1));
+        long long out_size =
+            static_cast<long long>(*inflatedSize(compressed));
+        long long bytes = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 50; ++i) {
+            auto out = inflateLite(compressed);
+            benchmark::DoNotOptimize(out->data());
+            bytes += out_size;
+        }
+        ndp::bench::jsonWorkloadLine("inflate-preprocessed", bytes,
+                                     w.seconds());
+    }
+    {
+        Bytes input = gen.rawPhoto(1);
+        long long bytes = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 20; ++i) {
+            Bytes out = deflateLite(input);
+            benchmark::DoNotOptimize(out.data());
+            bytes += static_cast<long long>(input.size());
+        }
+        ndp::bench::jsonWorkloadLine("deflate-raw-photo", bytes,
+                                     w.seconds());
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    auto trace = ndp::bench::init(argc, argv);
+    if (ndp::bench::jsonMode())
+        return runJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/apo.h"
 #include "core/delta.h"
 #include "sim/random.h"
@@ -86,6 +88,73 @@ BM_DeltaApply(benchmark::State &state)
 }
 BENCHMARK(BM_DeltaApply);
 
+/** --json: one pass per workload; events = searches / params. */
+int
+runJson()
+{
+    {
+        ExperimentConfig cfg;
+        cfg.model = &models::vitB16();
+        cfg.nStores = 8;
+        cfg.nImages = 1200000;
+        TrainOptions opt;
+        long long searches = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 2000; ++i) {
+            auto c = findBestPoint(cfg, opt);
+            benchmark::DoNotOptimize(c.predictedTotalS);
+            ++searches;
+        }
+        ndp::bench::jsonWorkloadLine("find-best-point", searches,
+                                     w.seconds());
+    }
+    {
+        ExperimentConfig cfg;
+        cfg.model = &models::resnet50();
+        cfg.nImages = 1200000;
+        TrainOptions opt;
+        long long sweeps = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 500; ++i) {
+            auto r = findBestOrganization(cfg, opt, 20);
+            benchmark::DoNotOptimize(r.bestStores);
+            ++sweeps;
+        }
+        ndp::bench::jsonWorkloadLine("find-best-organization", sweeps,
+                                     w.seconds());
+    }
+    {
+        Rng rng(5);
+        const size_t n = 1u << 20;
+        std::vector<float> base(n), updated;
+        for (auto &v : base)
+            v = static_cast<float>(rng.normal());
+        updated = base;
+        for (size_t i = 0; i < n / 50; ++i)
+            updated[rng.below(n)] += 0.01f;
+        long long params = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 20; ++i) {
+            auto d = encodeDelta(base, updated);
+            benchmark::DoNotOptimize(d.payload.data());
+            params += static_cast<long long>(n);
+        }
+        ndp::bench::jsonWorkloadLine("delta-encode", params,
+                                     w.seconds());
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    auto trace = ndp::bench::init(argc, argv);
+    if (ndp::bench::jsonMode())
+        return runJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

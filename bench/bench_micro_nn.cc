@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "data/backbone.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
@@ -84,6 +86,73 @@ BM_TopKAccuracy(benchmark::State &state)
 }
 BENCHMARK(BM_TopKAccuracy);
 
+/** --json: one pass per workload; events = items through the kernel. */
+int
+runJson()
+{
+    {
+        Rng rng(1);
+        const size_t n = 256;
+        nn::Tensor a = nn::Tensor::randn(n, n, rng, 1.0f);
+        nn::Tensor b = nn::Tensor::randn(n, n, rng, 1.0f);
+        long long items = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 20; ++i) {
+            nn::Tensor c = nn::matmul(a, b);
+            benchmark::DoNotOptimize(c.data().data());
+            items += static_cast<long long>(n * n * n);
+        }
+        ndp::bench::jsonWorkloadLine("matmul-256", items, w.seconds());
+    }
+    {
+        Rng rng(2);
+        const size_t batch = 128, feat = 64, classes = 100;
+        nn::Sequential clf = nn::makeClassifier(feat, 0, classes, rng);
+        nn::Sgd opt(clf.params(), nn::SgdConfig{});
+        nn::Tensor x = nn::Tensor::randn(batch, feat, rng, 1.0f);
+        std::vector<int> y(batch);
+        for (auto &v : y)
+            v = static_cast<int>(rng.below(classes));
+        long long items = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 200; ++i) {
+            nn::Tensor logits = clf.forward(x);
+            auto loss = nn::softmaxCrossEntropy(logits, y);
+            clf.backward(loss.gradLogits);
+            opt.step();
+            benchmark::DoNotOptimize(loss.loss);
+            items += static_cast<long long>(batch);
+        }
+        ndp::bench::jsonWorkloadLine("classifier-step", items,
+                                     w.seconds());
+    }
+    {
+        Rng rng(3);
+        data::VisionModel model(24, 12, 100, rng);
+        nn::Tensor x = nn::Tensor::randn(512, 24, rng, 1.0f);
+        long long items = 0;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 50; ++i) {
+            nn::Tensor f = model.features(x);
+            benchmark::DoNotOptimize(f.data().data());
+            items += 512;
+        }
+        ndp::bench::jsonWorkloadLine("feature-extraction", items,
+                                     w.seconds());
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    auto trace = ndp::bench::init(argc, argv);
+    if (ndp::bench::jsonMode())
+        return runJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "sim/channel.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -114,6 +116,69 @@ BM_ResourceContention(benchmark::State &state)
 }
 BENCHMARK(BM_ResourceContention)->Arg(1000)->Arg(10000);
 
+/** --json: one pass per workload, real simulator event counts
+ *  (events/s is the engine's headline dispatch rate; the output is
+ *  checked in as BENCH_sim.json). */
+int
+runJson()
+{
+    {
+        Simulator s;
+        const int n = 1000000;
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < n; ++i)
+            s.schedule(static_cast<double>(i) * 1e-6, [] {});
+        s.run();
+        ndp::bench::jsonWorkloadLine(
+            "event-dispatch",
+            static_cast<long long>(s.processedEvents()), w.seconds());
+    }
+    {
+        Simulator s;
+        ndp::bench::WallTimer w;
+        s.spawn(delayLoop(s, 1000000));
+        s.run();
+        ndp::bench::jsonWorkloadLine(
+            "coroutine-delays",
+            static_cast<long long>(s.processedEvents()), w.seconds());
+    }
+    {
+        Simulator s;
+        Channel<int> ch(s, 4);
+        long long sum = 0;
+        ndp::bench::WallTimer w;
+        s.spawn(producer(ch, 1000000));
+        s.spawn(consumer(ch, sum));
+        s.run();
+        benchmark::DoNotOptimize(sum);
+        ndp::bench::jsonWorkloadLine(
+            "channel-handoff",
+            static_cast<long long>(s.processedEvents()), w.seconds());
+    }
+    {
+        Simulator s;
+        Resource res(s, 2);
+        ndp::bench::WallTimer w;
+        for (int i = 0; i < 8; ++i)
+            s.spawn(contender(s, res, 10000));
+        s.run();
+        ndp::bench::jsonWorkloadLine(
+            "resource-contention",
+            static_cast<long long>(s.processedEvents()), w.seconds());
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    auto trace = ndp::bench::init(argc, argv);
+    if (ndp::bench::jsonMode())
+        return runJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -171,6 +172,39 @@ fmtInt(long long v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", v);
     return buf;
+}
+
+/** Wall-clock stopwatch for the micro-bench --json workloads. */
+class WallTimer
+{
+  public:
+    WallTimer() : t0(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point t0;
+};
+
+/**
+ * One line of the micro-bench --json schema (BENCH_sim.json et al.):
+ * a workload name, how many events/items it processed, and the wall
+ * time it took.
+ */
+inline void
+jsonWorkloadLine(const char *workload, long long events, double wall_s)
+{
+    std::printf("{\"workload\":\"%s\",\"events\":%lld,"
+                "\"wall_s\":%.6f,\"events_per_sec\":%.0f}\n",
+                workload, events, wall_s,
+                wall_s > 0.0 ? static_cast<double>(events) / wall_s
+                             : 0.0);
 }
 
 } // namespace ndp::bench

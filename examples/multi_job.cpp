@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Multi-job cluster walkthrough: plan a shared PipeStore fleet with
+ * global APO, then run the planned nightly fine-tunes next to online
+ * serving under the cluster scheduler.
+ *
+ * The photo service contributes its own fine-tune via
+ * PhotoService::fineTuneJobDesc() — a performance twin of fineTune()
+ * sized to the current photo pool — and a second tenant brings a
+ * ShuffleNetV2 job. planJobs() (core/apo.h) partitions the fleet and
+ * picks each job's cut; the Cluster (core/sched) arbitrates the
+ * shared Tuner GPU, keeping the latency-critical serving job at
+ * higher priority than every batch job.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/apo.h"
+#include "core/sched/cluster.h"
+#include "core/service.h"
+
+using namespace ndp;
+using namespace ndp::core;
+
+int
+main()
+{
+    std::printf("NDPipe multi-job cluster walkthrough\n");
+    std::printf("====================================\n\n");
+
+    // The functional photo service accumulates a few days of uploads;
+    // its nightly fine-tune becomes one schedulable cluster job.
+    PhotoService::Config scfg;
+    scfg.profile = data::imagenet1kProfile();
+    scfg.profile.world.initialImages = 2500; // demo scale
+    scfg.nRun = 2;
+    PhotoService service(scfg);
+    service.bootstrap();
+    service.advanceDays(2);
+    sched::JobDesc svc = service.fineTuneJobDesc("svc-nightly");
+    std::printf("Photo service pool: %zu photos -> job '%s' "
+                "(%llu images, N_run=%d)\n",
+                service.world().numImages(), svc.name.c_str(),
+                static_cast<unsigned long long>(svc.nImages),
+                svc.train.nRun);
+
+    // Global APO splits a 6-store fleet between the service job and a
+    // second tenant, choosing each job's partition point jointly.
+    ClusterSpec spec;
+    spec.nStores = 6;
+    ExperimentConfig fleet;
+    fleet.networkGbps = spec.networkGbps;
+    fleet.storeSpec = spec.storeSpec;
+    fleet.tunerSpec = spec.tunerSpec;
+    std::vector<ApoJobSpec> wants;
+    wants.push_back({svc.name, svc.model, svc.nImages, svc.train});
+    wants.push_back(
+        {"tenant-shufflenet", &models::shufflenetV2(), 40000, {}});
+    GlobalApoResult plan = planJobs(fleet, wants, spec.nStores);
+
+    std::printf("\nGlobal APO plan (%d stores, predicted makespan "
+                "%.0f s):\n",
+                spec.nStores, plan.makespanS);
+    for (const ApoJobPlan &p : plan.jobs)
+        std::printf("  %-18s stores %d..%d  cut %d  predicted %.0f s\n",
+                    p.name.c_str(), p.firstStore,
+                    p.firstStore + p.nStores - 1,
+                    static_cast<int>(p.choice.cut),
+                    p.choice.predictedTotalS);
+
+    // Submit the planned jobs plus the online serving path; the
+    // scheduler keeps serving (priority 2) ahead of the batch jobs.
+    sched::Cluster cluster(spec);
+    for (size_t j = 0; j < plan.jobs.size(); ++j) {
+        const ApoJobPlan &p = plan.jobs[j];
+        sched::JobDesc d;
+        d.name = p.name;
+        d.kind = sched::JobKind::FtDmpTrain;
+        for (int k = 0; k < p.nStores; ++k)
+            d.stores.push_back(p.firstStore + k);
+        d.model = wants[j].model;
+        d.nImages = wants[j].nImages;
+        d.train = wants[j].train;
+        cluster.submit(d);
+    }
+    sched::JobDesc serve;
+    serve.name = "serve";
+    serve.kind = sched::JobKind::OnlineServe;
+    serve.priority = 2;
+    serve.arrivalsPerSec = 80.0;
+    serve.nUploads = 2000;
+    cluster.submit(serve);
+    sched::ClusterReport rep = cluster.run();
+
+    std::printf("\nCluster run: %.0f sim-s, %llu events\n", rep.seconds,
+                static_cast<unsigned long long>(rep.events));
+    for (const sched::JobReport &j : rep.jobs) {
+        std::printf("  %-18s %-8s prio %d  makespan %7.1f s  "
+                    "wait %5.1f s  preempt %llu",
+                    j.name.c_str(), sched::jobKindName(j.kind),
+                    j.priority, j.makespanS, j.waitS,
+                    static_cast<unsigned long long>(j.preemptions));
+        if (j.kind == sched::JobKind::OnlineServe)
+            std::printf("  p50 %.1f ms  p99 %.1f ms", j.p50Ms,
+                        j.p99Ms);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "core/npe_common.h"
 #include "models/throughput.h"
@@ -82,24 +83,136 @@ findBestPoint(const ExperimentConfig &cfg, const TrainOptions &opt)
     return best;
 }
 
-ApoResult
-findBestOrganization(const ExperimentConfig &cfg, const TrainOptions &opt,
-                     int max_stores)
+std::vector<ApoSweepPoint>
+sweepOrganizations(const ExperimentConfig &cfg, const TrainOptions &opt,
+                   int max_stores)
 {
     assert(max_stores >= 1);
-    ApoResult result;
-    double t_min = std::numeric_limits<double>::infinity();
+    std::vector<ApoSweepPoint> sweep;
+    sweep.reserve(static_cast<size_t>(max_stores));
     for (int n = 1; n <= max_stores; ++n) {
         ExperimentConfig c = cfg;
         c.nStores = n;
         PartitionChoice choice = findBestPoint(c, opt);
         double t_diff = std::abs(choice.storeStageS - choice.tunerStageS);
-        result.sweep.push_back(ApoSweepPoint{n, choice, t_diff});
-        if (t_diff < t_min) {
-            t_min = t_diff;
-            result.bestStores = n;
-            result.bestChoice = choice;
+        sweep.push_back(ApoSweepPoint{n, choice, t_diff});
+    }
+    return sweep;
+}
+
+ApoResult
+selectBalanced(const std::vector<ApoSweepPoint> &sweep)
+{
+    ApoResult result;
+    result.sweep = sweep;
+    double t_min = std::numeric_limits<double>::infinity();
+    for (const ApoSweepPoint &p : sweep) {
+        if (p.tDiff < t_min) {
+            t_min = p.tDiff;
+            result.bestStores = p.nStores;
+            result.bestChoice = p.choice;
         }
+    }
+    return result;
+}
+
+ApoResult
+findBestOrganization(const ExperimentConfig &cfg, const TrainOptions &opt,
+                     int max_stores)
+{
+    return selectBalanced(sweepOrganizations(cfg, opt, max_stores));
+}
+
+GlobalApoResult
+planJobs(const ExperimentConfig &fleet,
+         const std::vector<ApoJobSpec> &jobs, int fleet_stores)
+{
+    const int k = static_cast<int>(jobs.size());
+    if (k == 0)
+        throw std::invalid_argument("planJobs: no jobs");
+    if (fleet_stores < k)
+        throw std::invalid_argument(
+            "planJobs: more jobs than PipeStores (every job needs at "
+            "least one store)");
+
+    // Per-job sweep tables: sweeps[j][s-1] is job j's best cut on s
+    // stores. With K jobs, no job can hold more than N - (K-1).
+    const int max_s = fleet_stores - (k - 1);
+    std::vector<std::vector<ApoSweepPoint>> sweeps;
+    sweeps.reserve(jobs.size());
+    for (const ApoJobSpec &js : jobs) {
+        ExperimentConfig c = fleet;
+        c.model = js.model;
+        c.nImages = js.nImages;
+        sweeps.push_back(sweepOrganizations(c, js.train, max_s));
+    }
+
+    GlobalApoResult result;
+    if (k == 1) {
+        // Bit-exact reduction to Algorithm 1: one tenant keeps the
+        // balance criterion (it may leave stores idle).
+        ApoResult one = selectBalanced(sweeps.front());
+        result.makespanS = one.bestChoice.predictedTotalS;
+        result.jobs.push_back(
+            ApoJobPlan{jobs.front().name, one.bestStores, 0,
+                       one.bestChoice});
+        return result;
+    }
+
+    // PipeDream-style DP over exact partitions: dp[j][n] = minimal
+    // makespan placing the first j jobs on exactly n stores. Strict
+    // `<` with ascending s makes ties deterministic (earlier jobs
+    // keep fewer stores).
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> dp(
+        static_cast<size_t>(k) + 1,
+        std::vector<double>(static_cast<size_t>(fleet_stores) + 1,
+                            inf));
+    std::vector<std::vector<int>> pick(
+        static_cast<size_t>(k) + 1,
+        std::vector<int>(static_cast<size_t>(fleet_stores) + 1, 0));
+    dp[0][0] = 0.0;
+    for (int j = 1; j <= k; ++j) {
+        const auto &tbl = sweeps[static_cast<size_t>(j - 1)];
+        for (int n = j; n <= fleet_stores; ++n) {
+            for (int s = 1; s <= std::min(max_s, n - (j - 1)); ++s) {
+                double prev =
+                    dp[static_cast<size_t>(j - 1)]
+                      [static_cast<size_t>(n - s)];
+                if (prev == inf)
+                    continue;
+                double t = std::max(
+                    prev,
+                    tbl[static_cast<size_t>(s - 1)]
+                        .choice.predictedTotalS);
+                if (t <
+                    dp[static_cast<size_t>(j)][static_cast<size_t>(n)]) {
+                    dp[static_cast<size_t>(j)][static_cast<size_t>(n)] =
+                        t;
+                    pick[static_cast<size_t>(j)]
+                        [static_cast<size_t>(n)] = s;
+                }
+            }
+        }
+    }
+
+    result.makespanS =
+        dp[static_cast<size_t>(k)][static_cast<size_t>(fleet_stores)];
+    std::vector<int> widths(static_cast<size_t>(k), 0);
+    for (int j = k, n = fleet_stores; j >= 1; --j) {
+        int s = pick[static_cast<size_t>(j)][static_cast<size_t>(n)];
+        assert(s >= 1);
+        widths[static_cast<size_t>(j - 1)] = s;
+        n -= s;
+    }
+    int first = 0;
+    for (int j = 0; j < k; ++j) {
+        int s = widths[static_cast<size_t>(j)];
+        result.jobs.push_back(ApoJobPlan{
+            jobs[static_cast<size_t>(j)].name, s, first,
+            sweeps[static_cast<size_t>(j)][static_cast<size_t>(s - 1)]
+                .choice});
+        first += s;
     }
     return result;
 }

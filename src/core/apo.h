@@ -15,11 +15,20 @@
  * exactly as the paper specifies ("to prevent weight synchronization
  * among the PipeStores, the trainable layer is assigned to the
  * Tuner").
+ *
+ * planJobs() generalizes Algorithm 1 to a multi-job fleet: given K
+ * fine-tuning jobs and N PipeStores, it jointly chooses a (cut, store
+ * count) per job — a PipeDream-style dynamic program over exact
+ * partitions of the fleet that minimizes the cluster makespan
+ * (max over jobs of the predicted training time). K = 1 reduces
+ * bit-exactly to findBestOrganization().
  */
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -65,8 +74,67 @@ PartitionChoice evaluateCut(const ExperimentConfig &cfg,
 PartitionChoice findBestPoint(const ExperimentConfig &cfg,
                               const TrainOptions &opt);
 
+/** Best cut at every store count in [1, max_stores] (Algorithm 1's
+ *  inner sweep, also the per-job table planJobs() optimizes over). */
+std::vector<ApoSweepPoint> sweepOrganizations(const ExperimentConfig &cfg,
+                                              const TrainOptions &opt,
+                                              int max_stores);
+
+/** Algorithm 1's selection rule: the sweep point with the most
+ *  balanced stages (minimal |T_ps - T_tuner|; first wins ties). */
+ApoResult selectBalanced(const std::vector<ApoSweepPoint> &sweep);
+
 /** Algorithm 1: best number of PipeStores in [1, max_stores]. */
 ApoResult findBestOrganization(const ExperimentConfig &cfg,
                                const TrainOptions &opt, int max_stores);
+
+/** @name Global APO (multi-job)
+ * @{ */
+
+/** One fine-tuning job competing for the shared fleet. */
+struct ApoJobSpec
+{
+    std::string name;
+    const models::ModelSpec *model = &models::resnet50();
+    uint64_t nImages = 200000;
+    TrainOptions train;
+};
+
+/** Fleet placement planJobs() chose for one job: the contiguous
+ *  store range [firstStore, firstStore + nStores) and the best cut
+ *  at that width. */
+struct ApoJobPlan
+{
+    std::string name;
+    int nStores = 0;
+    int firstStore = 0;
+    PartitionChoice choice;
+};
+
+struct GlobalApoResult
+{
+    /** Predicted cluster makespan: max over jobs of predictedTotalS.
+     *  (K = 1 keeps Algorithm 1's balance rule, so the single job's
+     *  predicted time, not a makespan minimum.) */
+    double makespanS = 0.0;
+    /** Per-job placements, in submission order. */
+    std::vector<ApoJobPlan> jobs;
+};
+
+/**
+ * Global APO: jointly partition @p fleet_stores PipeStores among
+ * @p jobs and pick each job's cut. @p fleet carries the shared
+ * hardware (storeSpec / tunerSpec / networkGbps); each job overrides
+ * model and nImages. K = 1 reduces bit-exactly to
+ * findBestOrganization(cfg, opt, fleet_stores). K > 1 minimizes the
+ * makespan over exact partitions (every job >= 1 store, all stores
+ * used); ties break toward fewer stores for earlier jobs. Throws
+ * std::invalid_argument when jobs is empty or K > fleet_stores.
+ */
+GlobalApoResult planJobs(const ExperimentConfig &fleet,
+                         const std::vector<ApoJobSpec> &jobs,
+                         int fleet_stores);
+
+/** @} */
 
 } // namespace ndp::core

@@ -199,4 +199,57 @@ struct ExperimentConfig
     }
 };
 
+/**
+ * The shared fleet a multi-job Cluster owns: PipeStores, one Tuner
+ * host, and the fabric between them (see core/sched/cluster.h). Jobs
+ * partition the stores; the Tuner GPU and the network are shared.
+ */
+struct ClusterSpec
+{
+    /** PipeStores in the fleet. */
+    int nStores = 8;
+    /** Tuner ingress bandwidth, Gbps. */
+    double networkGbps = 10.0;
+    hw::ServerSpec storeSpec = hw::g4dn4xlarge(true);
+    hw::ServerSpec tunerSpec = hw::p32xlarge();
+    /**
+     * Fair-share quantum of the cluster scheduler: how far (in GPU
+     * service seconds, share-weighted) a job may run ahead of a
+     * competitor before its stage coroutines park at the next batch
+     * boundary (core/sched/scheduler.h).
+     */
+    double quantumS = 5.0;
+    /**
+     * When false the Cluster runs with no scheduler at all — jobs
+     * free-run against device queues (useful as a contention
+     * baseline, and the zero-cost path of the preemption hooks).
+     */
+    bool scheduling = true;
+    /** Fault schedule; armed only for jobs owning the full fleet. */
+    sim::FaultPlan faults;
+
+    hw::NicSpec
+    nic() const
+    {
+        return hw::NicSpec{networkGbps, 2.0e-5};
+    }
+
+    ValidationResult
+    validate() const
+    {
+        if (nStores < 1)
+            return ValidationResult(
+                "ClusterSpec: nStores must be >= 1");
+        if (networkGbps <= 0.0)
+            return ValidationResult(
+                "ClusterSpec: networkGbps must be > 0");
+        if (quantumS <= 0.0)
+            return ValidationResult(
+                "ClusterSpec: quantumS must be > 0");
+        if (std::string err = faults.validate(); !err.empty())
+            return ValidationResult(std::move(err));
+        return {};
+    }
+};
+
 } // namespace ndp::core

@@ -1,11 +1,13 @@
 #include "core/inference.h"
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/npe_common.h"
 #include "core/pipeline.h"
+#include "core/sched/scheduler.h"
 #include "hw/devices.h"
 #include "hw/power.h"
 #include "models/throughput.h"
@@ -56,6 +58,17 @@ storeCpuOps(const StoreWork &w, const NpeOptions &npe)
     return ops;
 }
 
+/** Multi-job completion monitor for offline inference.
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
+sim::Task
+offlineJobMonitor(sim::WaitGroup &sink_wg, sim::WaitGroup &job_done)
+{
+    co_await sink_wg.wait();
+    job_done.done();
+}
+
 } // namespace
 
 const char *
@@ -74,6 +87,134 @@ srvVariantName(SrvVariant v)
         return "SRV-C";
     }
     return "?";
+}
+
+struct OfflineInferDataflow::Impl
+{
+    Impl(sim::Simulator &sim, const ExperimentConfig &config,
+         const OfflineInferPorts &p)
+        : s(sim), cfg(config), ports(p), gauges(p.trace), sinkWg(sim)
+    {}
+
+    sim::Simulator &s;
+    ExperimentConfig cfg;
+    OfflineInferPorts ports;
+    obs::GaugeSet gauges;
+    /** Drained-pipelines gate; awaited only by the job monitor. */
+    sim::WaitGroup sinkWg;
+    std::unique_ptr<sim::RecoveryCoordinator> recovery;
+    std::vector<std::unique_ptr<Pipeline>> pipes;
+};
+
+OfflineInferDataflow::OfflineInferDataflow(sim::Simulator &s,
+                                           const ExperimentConfig &cfg,
+                                           const OfflineInferPorts &ports)
+    : impl_(std::make_unique<Impl>(s, cfg, ports))
+{
+    assert(static_cast<int>(ports.stores.size()) == cfg.nStores);
+    assert(ports.fleetIdx.size() == ports.stores.size());
+    // The serial "Typical" walk has no per-store producers to report
+    // exits, so re-dispatch recovery only arms in pipelined mode.
+    if (ports.faults && cfg.npe.pipelined) {
+        impl_->recovery = std::make_unique<sim::RecoveryCoordinator>(
+            s, *ports.faults, cfg.nStores, cfg.npe.batchSize);
+    }
+}
+
+OfflineInferDataflow::~OfflineInferDataflow() = default;
+
+void
+OfflineInferDataflow::spawn()
+{
+    Impl &im = *impl_;
+    const ExperimentConfig &cfg = im.cfg;
+    const models::ModelSpec &m = *cfg.model;
+    obs::Tracer *tr = im.ports.trace;
+
+    if (im.recovery)
+        im.s.spawn(im.recovery->run());
+
+    StoreWork w = storeWork(m, cfg.npe);
+    double sec_per_image =
+        1.0 / models::deviceIps(*cfg.storeSpec.gpu, m,
+                                cfg.npe.batchSize);
+
+    im.pipes.reserve(im.ports.stores.size());
+    for (int i = 0; i < cfg.nStores; ++i) {
+        StoreStations &st = *im.ports.stores[static_cast<size_t>(i)];
+        const int fidx = im.ports.fleetIdx[static_cast<size_t>(i)];
+        PipelineSpec spec;
+        spec.pipelined = cfg.npe.pipelined;
+        spec.batch = cfg.npe.batchSize;
+        spec.readBytesPerItem = w.readBytes;
+        spec.cpu = &st.cpu;
+        spec.cpuOps = storeCpuOps(w, cfg.npe);
+        spec.gpu = &st.gpu;
+        spec.computeSecondsPerItem = sec_per_image;
+        // Labels are the only bytes leaving the store; they ride the
+        // fabric to the index server like any other transfer.
+        spec.fabric = im.ports.fabric;
+        spec.shipSrc = im.ports.storeNodes[static_cast<size_t>(i)];
+        spec.shipDst = im.ports.indexNode;
+        spec.shipClass = net::FlowClass::ResultShip;
+        spec.shipBytesPerItem = kLabelBytes;
+        // Only the job monitor (multi-job) needs the drain gate; a
+        // single-tenant run just lets the event queue empty.
+        spec.done = im.ports.jobDone ? &im.sinkWg : nullptr;
+        spec.sched = im.ports.sched;
+        spec.jobId = im.ports.jobId;
+        spec.faults = im.ports.faults;
+        spec.faultStoreBase = fidx;
+        spec.recovery = im.recovery.get();
+        spec.trace = tr;
+        spec.traceNode = obs::scopedNode(
+            im.ports.scope, "store" + std::to_string(fidx));
+        if (tr) {
+            hw::Disk *disk = &st.disk;
+            hw::CpuPool *cpu = &st.cpu;
+            hw::GpuExec *gpu = &st.gpu;
+            im.gauges.add(spec.traceNode, "util.disk",
+                          [disk] { return disk->utilization(); });
+            im.gauges.add(spec.traceNode, "util.cpu",
+                          [cpu] { return cpu->utilization(); });
+            im.gauges.add(spec.traceNode, "util.gpu",
+                          [gpu] { return gpu->utilization(); });
+            im.gauges.add(spec.traceNode, "power.w",
+                          [probe = hw::PowerProbe{&im.cfg.storeSpec,
+                                                  gpu, cpu}] {
+                              return probe.watts();
+                          });
+        }
+        ProducerSpec prod;
+        prod.disk = &st.disk;
+        prod.node = im.ports.storeNodes[static_cast<size_t>(i)];
+        prod.runItems = {evenShare(cfg.nImages, cfg.nStores, i)};
+        im.pipes.push_back(std::make_unique<Pipeline>(
+            im.s, std::move(spec), std::vector{prod}));
+        im.pipes.back()->spawn();
+    }
+    if (im.ports.jobDone)
+        im.s.spawn(offlineJobMonitor(im.sinkWg, *im.ports.jobDone));
+}
+
+void
+OfflineInferDataflow::finalize(InferenceReport &rep)
+{
+    Impl &im = *impl_;
+    for (size_t i = 0; i < im.pipes.size(); ++i) {
+        im.pipes[i]->finalize();
+        rep.stages += im.pipes[i]->metrics();
+        double gu = im.ports.stores[i]->gpu.utilization();
+        double cu = im.ports.stores[i]->cpu.utilization();
+        rep.gpuUtil += gu / static_cast<double>(im.pipes.size());
+        rep.cpuUtil += cu / static_cast<double>(im.pipes.size());
+        auto p = hw::serverPower(im.cfg.storeSpec, gu, cu);
+        rep.perServer.push_back(
+            {im.cfg.storeSpec.name + "#" +
+                 std::to_string(im.ports.fleetIdx[i]),
+             p});
+        rep.power += p;
+    }
 }
 
 InferenceReport
@@ -99,11 +240,12 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     // Topology: stores plus the front-end index server the labels
     // return to, all on one ToR (§3.1 step 6).
     net::NetFabric fabric(s);
-    std::vector<net::NodeId> store_nodes;
+    OfflineInferPorts ports;
+    ports.fabric = &fabric;
     for (int i = 0; i < cfg.nStores; ++i)
-        store_nodes.push_back(fabric.addNode(cfg.storeSpec.nic));
-    const net::NodeId index_node = fabric.addNode(cfg.nic());
-    fabric.setIngress(index_node);
+        ports.storeNodes.push_back(fabric.addNode(cfg.storeSpec.nic));
+    ports.indexNode = fabric.addNode(cfg.nic());
+    fabric.setIngress(ports.indexNode);
     fabric.setTracer(tr);
     if (tr) {
         gauges.add("net", "ingress.util", [&fabric] {
@@ -114,79 +256,21 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
         });
     }
     sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
-    sim::FaultInjector *inj = injector.armed() ? &injector : nullptr;
-    fabric.attachFaults(inj);
-    // The serial "Typical" walk has no per-store producers to report
-    // exits, so re-dispatch recovery only arms in pipelined mode.
-    std::unique_ptr<sim::RecoveryCoordinator> recovery;
-    if (inj && cfg.npe.pipelined) {
-        recovery = std::make_unique<sim::RecoveryCoordinator>(
-            s, injector, cfg.nStores, cfg.npe.batchSize);
-        s.spawn(recovery->run());
-    }
-    StoreWork w = storeWork(m, cfg.npe);
-    double sec_per_image =
-        1.0 / models::deviceIps(*cfg.storeSpec.gpu, m,
-                                cfg.npe.batchSize);
+    ports.faults = injector.armed() ? &injector : nullptr;
+    fabric.attachFaults(ports.faults);
+    ports.trace = tr;
 
-    struct Store
-    {
-        Store(sim::Simulator &s, const hw::ServerSpec &spec)
-            : stations(s, spec)
-        {}
-        StoreStations stations;
-        std::unique_ptr<Pipeline> pipe;
-    };
-
-    std::vector<std::unique_ptr<Store>> stores;
-    stores.reserve(static_cast<size_t>(cfg.nStores));
+    std::vector<std::unique_ptr<StoreStations>> stations;
+    stations.reserve(static_cast<size_t>(cfg.nStores));
     for (int i = 0; i < cfg.nStores; ++i) {
-        auto st = std::make_unique<Store>(s, cfg.storeSpec);
-        PipelineSpec spec;
-        spec.pipelined = cfg.npe.pipelined;
-        spec.batch = cfg.npe.batchSize;
-        spec.readBytesPerItem = w.readBytes;
-        spec.cpu = &st->stations.cpu;
-        spec.cpuOps = storeCpuOps(w, cfg.npe);
-        spec.gpu = &st->stations.gpu;
-        spec.computeSecondsPerItem = sec_per_image;
-        // Labels are the only bytes leaving the store; they ride the
-        // fabric to the index server like any other transfer.
-        spec.fabric = &fabric;
-        spec.shipSrc = store_nodes[static_cast<size_t>(i)];
-        spec.shipDst = index_node;
-        spec.shipClass = net::FlowClass::ResultShip;
-        spec.shipBytesPerItem = kLabelBytes;
-        spec.faults = inj;
-        spec.faultStoreBase = i;
-        spec.recovery = recovery.get();
-        spec.trace = tr;
-        spec.traceNode = "store" + std::to_string(i);
-        if (tr) {
-            hw::Disk *disk = &st->stations.disk;
-            hw::CpuPool *cpu = &st->stations.cpu;
-            hw::GpuExec *gpu = &st->stations.gpu;
-            gauges.add(spec.traceNode, "util.disk",
-                       [disk] { return disk->utilization(); });
-            gauges.add(spec.traceNode, "util.cpu",
-                       [cpu] { return cpu->utilization(); });
-            gauges.add(spec.traceNode, "util.gpu",
-                       [gpu] { return gpu->utilization(); });
-            gauges.add(spec.traceNode, "power.w",
-                       [probe = hw::PowerProbe{&cfg.storeSpec, gpu,
-                                               cpu}] {
-                           return probe.watts();
-                       });
-        }
-        ProducerSpec prod;
-        prod.disk = &st->stations.disk;
-        prod.node = store_nodes[static_cast<size_t>(i)];
-        prod.runItems = {evenShare(cfg.nImages, cfg.nStores, i)};
-        st->pipe = std::make_unique<Pipeline>(s, std::move(spec),
-                                              std::vector{prod});
-        st->pipe->spawn();
-        stores.push_back(std::move(st));
+        stations.push_back(
+            std::make_unique<StoreStations>(s, cfg.storeSpec));
+        ports.stores.push_back(stations.back().get());
+        ports.fleetIdx.push_back(i);
     }
+
+    OfflineInferDataflow flow(s, cfg, ports);
+    flow.spawn();
     s.run();
 
     rep.faults = injector.report();
@@ -195,20 +279,8 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
     rep.ips = rep.seconds > 0.0
                   ? static_cast<double>(cfg.nImages) / rep.seconds
                   : 0.0;
-    rep.netBytes = fabric.bytesInto(index_node);
-
-    for (size_t i = 0; i < stores.size(); ++i) {
-        stores[i]->pipe->finalize();
-        rep.stages += stores[i]->pipe->metrics();
-        double gu = stores[i]->stations.gpu.utilization();
-        double cu = stores[i]->stations.cpu.utilization();
-        rep.gpuUtil += gu / static_cast<double>(stores.size());
-        rep.cpuUtil += cu / static_cast<double>(stores.size());
-        auto p = hw::serverPower(cfg.storeSpec, gu, cu);
-        rep.perServer.push_back(
-            {cfg.storeSpec.name + "#" + std::to_string(i), p});
-        rep.power += p;
-    }
+    rep.netBytes = fabric.bytesInto(ports.indexNode);
+    flow.finalize(rep);
     rep.energyJ = rep.power.totalW() * rep.seconds;
     return rep;
 }

@@ -19,10 +19,19 @@
 
 #pragma once
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/config.h"
+#include "core/pipeline.h"
 #include "core/report.h"
 
 namespace ndp::core {
+
+namespace sched {
+class Scheduler;
+}
 
 enum class SrvVariant
 {
@@ -34,6 +43,54 @@ enum class SrvVariant
 };
 
 const char *srvVariantName(SrvVariant v);
+
+/**
+ * Borrowed resources one offline-inference job runs against (see
+ * FtDmpPorts in core/training.h for the borrowing contract). The
+ * sched / jobId / jobDone trio follows the zero-cost rule: all
+ * null/-1 in single-tenant runs.
+ */
+struct OfflineInferPorts
+{
+    net::NetFabric *fabric = nullptr;
+    /** Fabric nodes of the job's stores, job-local order. */
+    std::vector<net::NodeId> storeNodes;
+    /** Front-end index server the labels return to. */
+    net::NodeId indexNode = net::kNoNode;
+    /** The job's store stations, job-local order. */
+    std::vector<StoreStations *> stores;
+    /** Fleet store index of stores[k]; single-tenant: k. */
+    std::vector<int> fleetIdx;
+    sim::FaultInjector *faults = nullptr;
+    obs::Tracer *trace = nullptr;
+    /** Per-job trace prefix (obs::scopedNode); empty = untouched. */
+    std::string scope;
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
+    sim::WaitGroup *jobDone = nullptr;
+};
+
+/** One NPE offline-inference dataflow against borrowed stores. */
+class OfflineInferDataflow
+{
+  public:
+    OfflineInferDataflow(sim::Simulator &s, const ExperimentConfig &cfg,
+                         const OfflineInferPorts &ports);
+    ~OfflineInferDataflow();
+
+    OfflineInferDataflow(const OfflineInferDataflow &) = delete;
+    OfflineInferDataflow &operator=(const OfflineInferDataflow &) =
+        delete;
+
+    void spawn();
+
+    /** Per-store stage metrics, utilizations, and power into @p rep. */
+    void finalize(InferenceReport &rep);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /** Offline inference across cfg.nStores PipeStores (Tuner idle). */
 InferenceReport runNdpOfflineInference(const ExperimentConfig &cfg);

@@ -1,12 +1,15 @@
 #include "core/media.h"
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/npe_common.h"
 #include "core/pipeline.h"
+#include "core/sched/scheduler.h"
 #include "hw/devices.h"
+#include "hw/power.h"
 #include "models/throughput.h"
 #include "obs/trace.h"
 
@@ -89,7 +92,117 @@ constexpr int kNdpMediaBatch = 4;
 /** Objects per batch token on the SRV wire (whole raw objects). */
 constexpr int kSrvMediaBatch = 2;
 
+/** Multi-job completion monitor for media analysis.
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
+sim::Task
+mediaJobMonitor(sim::WaitGroup &sink_wg, sim::WaitGroup &job_done)
+{
+    co_await sink_wg.wait();
+    job_done.done();
+}
+
 } // namespace
+
+struct MediaDataflow::Impl
+{
+    Impl(sim::Simulator &sim, const ExperimentConfig &config,
+         const MediaProfile &profile, uint64_t objects,
+         const MediaPorts &p)
+        : s(sim), cfg(config), media(profile), nObjects(objects),
+          ports(p), sinkWg(sim)
+    {}
+
+    sim::Simulator &s;
+    ExperimentConfig cfg;
+    MediaProfile media;
+    uint64_t nObjects;
+    MediaPorts ports;
+    sim::WaitGroup sinkWg;
+    std::vector<std::unique_ptr<Pipeline>> pipes;
+    StageMetrics stages;
+};
+
+MediaDataflow::MediaDataflow(sim::Simulator &s,
+                             const ExperimentConfig &cfg,
+                             const MediaProfile &media,
+                             uint64_t n_objects, const MediaPorts &ports)
+    : impl_(std::make_unique<Impl>(s, cfg, media, n_objects, ports))
+{
+    assert(static_cast<int>(ports.stores.size()) == cfg.nStores);
+    assert(ports.fleetIdx.size() == ports.stores.size());
+}
+
+MediaDataflow::~MediaDataflow() = default;
+
+void
+MediaDataflow::spawn()
+{
+    Impl &im = *impl_;
+    const ExperimentConfig &cfg = im.cfg;
+    const MediaProfile &media = im.media;
+    obs::Tracer *tr = im.ports.trace;
+    double unit_seconds =
+        1.0 / models::deviceIps(*cfg.storeSpec.gpu, *media.model,
+                                cfg.npe.batchSize);
+
+    im.pipes.reserve(im.ports.stores.size());
+    for (int i = 0; i < cfg.nStores; ++i) {
+        StoreStations &st = *im.ports.stores[static_cast<size_t>(i)];
+        const int fidx = im.ports.fleetIdx[static_cast<size_t>(i)];
+        PipelineSpec spec;
+        spec.batch = kNdpMediaBatch;
+        spec.readBytesPerItem = media.rawMB * 1e6;
+        spec.cpu = &st.cpu;
+        spec.cpuOps = {CpuStageOp::extract(
+            media.unitsPerObject * media.extractPerUnitS,
+            media.extractCores)};
+        spec.gpu = &st.gpu;
+        spec.computeSecondsPerItem = media.unitsPerObject * unit_seconds;
+        // Only per-unit labels/embeddings leave the store.
+        spec.fabric = im.ports.fabric;
+        spec.shipSrc = im.ports.storeNodes[static_cast<size_t>(i)];
+        spec.shipDst = im.ports.sinkNode;
+        spec.shipClass = net::FlowClass::ResultShip;
+        spec.shipBytesPerItem =
+            media.unitsPerObject * media.resultBytesPerUnit;
+        spec.done = im.ports.jobDone ? &im.sinkWg : nullptr;
+        spec.sched = im.ports.sched;
+        spec.jobId = im.ports.jobId;
+        spec.trace = tr;
+        spec.traceNode = obs::scopedNode(
+            im.ports.scope, "store" + std::to_string(fidx));
+        ProducerSpec prod;
+        prod.disk = &st.disk;
+        prod.node = im.ports.storeNodes[static_cast<size_t>(i)];
+        prod.runItems = {evenShare(im.nObjects, cfg.nStores, i)};
+        im.pipes.push_back(std::make_unique<Pipeline>(
+            im.s, std::move(spec), std::vector{prod}));
+        im.pipes.back()->spawn();
+    }
+    if (im.ports.jobDone)
+        im.s.spawn(mediaJobMonitor(im.sinkWg, *im.ports.jobDone));
+}
+
+void
+MediaDataflow::finalize(MediaReport &rep)
+{
+    Impl &im = *impl_;
+    for (size_t i = 0; i < im.pipes.size(); ++i) {
+        im.pipes[i]->finalize();
+        im.stages += im.pipes[i]->metrics();
+        rep.power += hw::serverPower(
+            im.cfg.storeSpec, im.ports.stores[i]->gpu.utilization(),
+            im.ports.stores[i]->cpu.utilization());
+    }
+}
+
+const StageMetrics &
+MediaDataflow::stages() const
+{
+    return impl_->stages;
+}
 
 MediaReport
 runNdpMediaAnalysis(const ExperimentConfig &cfg,
@@ -103,67 +216,32 @@ runNdpMediaAnalysis(const ExperimentConfig &cfg,
     obs::Tracer *tr = obs::Tracer::current();
     // Topology: stores ship per-unit results to the Tuner-side sink.
     net::NetFabric fabric(s);
-    std::vector<net::NodeId> store_nodes;
+    MediaPorts ports;
+    ports.fabric = &fabric;
     for (int i = 0; i < cfg.nStores; ++i)
-        store_nodes.push_back(fabric.addNode(cfg.storeSpec.nic));
-    const net::NodeId sink_node = fabric.addNode(cfg.nic());
-    fabric.setIngress(sink_node);
+        ports.storeNodes.push_back(fabric.addNode(cfg.storeSpec.nic));
+    ports.sinkNode = fabric.addNode(cfg.nic());
+    fabric.setIngress(ports.sinkNode);
     fabric.setTracer(tr);
-    double unit_seconds =
-        1.0 / models::deviceIps(*cfg.storeSpec.gpu, *media.model,
-                                cfg.npe.batchSize);
+    ports.trace = tr;
 
-    struct Store
-    {
-        Store(sim::Simulator &s, const hw::ServerSpec &spec)
-            : stations(s, spec)
-        {}
-        StoreStations stations;
-        std::unique_ptr<Pipeline> pipe;
-    };
-
-    std::vector<std::unique_ptr<Store>> stores;
+    std::vector<std::unique_ptr<StoreStations>> stations;
     for (int i = 0; i < cfg.nStores; ++i) {
-        auto st = std::make_unique<Store>(s, cfg.storeSpec);
-        PipelineSpec spec;
-        spec.batch = kNdpMediaBatch;
-        spec.readBytesPerItem = media.rawMB * 1e6;
-        spec.cpu = &st->stations.cpu;
-        spec.cpuOps = {CpuStageOp::extract(
-            media.unitsPerObject * media.extractPerUnitS,
-            media.extractCores)};
-        spec.gpu = &st->stations.gpu;
-        spec.computeSecondsPerItem = media.unitsPerObject * unit_seconds;
-        // Only per-unit labels/embeddings leave the store.
-        spec.fabric = &fabric;
-        spec.shipSrc = store_nodes[static_cast<size_t>(i)];
-        spec.shipDst = sink_node;
-        spec.shipClass = net::FlowClass::ResultShip;
-        spec.shipBytesPerItem =
-            media.unitsPerObject * media.resultBytesPerUnit;
-        spec.trace = tr;
-        spec.traceNode = "store" + std::to_string(i);
-        ProducerSpec prod;
-        prod.disk = &st->stations.disk;
-        prod.node = store_nodes[static_cast<size_t>(i)];
-        prod.runItems = {evenShare(n_objects, cfg.nStores, i)};
-        st->pipe = std::make_unique<Pipeline>(s, std::move(spec),
-                                              std::vector{prod});
-        st->pipe->spawn();
-        stores.push_back(std::move(st));
+        stations.push_back(
+            std::make_unique<StoreStations>(s, cfg.storeSpec));
+        ports.stores.push_back(stations.back().get());
+        ports.fleetIdx.push_back(i);
     }
+
+    MediaDataflow flow(s, cfg, media, n_objects, ports);
+    flow.spawn();
     s.run();
 
     rep.seconds = s.now();
     rep.ops = rep.seconds > 0.0 ? n_objects / rep.seconds : 0.0;
     rep.ups = rep.ops * media.unitsPerObject;
-    rep.netBytes = fabric.bytesInto(sink_node);
-    for (auto &st : stores) {
-        st->pipe->finalize();
-        rep.power += hw::serverPower(cfg.storeSpec,
-                                     st->stations.gpu.utilization(),
-                                     st->stations.cpu.utilization());
-    }
+    rep.netBytes = fabric.bytesInto(ports.sinkNode);
+    flow.finalize(rep);
     rep.energyJ = rep.power.totalW() * rep.seconds;
     return rep;
 }

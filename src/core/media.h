@@ -19,12 +19,19 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
+#include "core/pipeline.h"
 #include "core/report.h"
 
 namespace ndp::core {
+
+namespace sched {
+class Scheduler;
+}
 
 struct MediaProfile
 {
@@ -69,6 +76,52 @@ struct MediaReport
     double netBytes = 0.0;
     hw::PowerBreakdown power;
     double energyJ = 0.0;
+};
+
+/** Borrowed resources one media-analysis job runs against (see
+ *  FtDmpPorts in core/training.h for the borrowing contract). */
+struct MediaPorts
+{
+    net::NetFabric *fabric = nullptr;
+    /** Fabric nodes of the job's stores, job-local order. */
+    std::vector<net::NodeId> storeNodes;
+    /** Tuner-side sink the per-unit results ship to. */
+    net::NodeId sinkNode = net::kNoNode;
+    /** The job's store stations, job-local order. */
+    std::vector<StoreStations *> stores;
+    /** Fleet store index of stores[k]; single-tenant: k. */
+    std::vector<int> fleetIdx;
+    obs::Tracer *trace = nullptr;
+    /** Per-job trace prefix (obs::scopedNode); empty = untouched. */
+    std::string scope;
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
+    sim::WaitGroup *jobDone = nullptr;
+};
+
+/** One near-data media-analysis dataflow against borrowed stores. */
+class MediaDataflow
+{
+  public:
+    MediaDataflow(sim::Simulator &s, const ExperimentConfig &cfg,
+                  const MediaProfile &media, uint64_t n_objects,
+                  const MediaPorts &ports);
+    ~MediaDataflow();
+
+    MediaDataflow(const MediaDataflow &) = delete;
+    MediaDataflow &operator=(const MediaDataflow &) = delete;
+
+    void spawn();
+
+    /** Per-store power into @p rep (callers derive rates/energy). */
+    void finalize(MediaReport &rep);
+
+    /** Summed stage metrics (valid after finalize()). */
+    const StageMetrics &stages() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /**

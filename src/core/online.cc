@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/sched/scheduler.h"
 #include "hw/devices.h"
 #include "hw/power.h"
 #include "models/throughput.h"
@@ -15,35 +16,38 @@
 namespace ndp::core {
 
 // Coroutines below borrow run-scope state by reference; they are all
-// joined by s.run() inside runOnlineInference before the referents die.
+// joined by s.run() inside the enclosing entry point (or the multi-job
+// Cluster) before the referents die.
 // NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
 
 namespace {
 
+/** Everything the serving coroutines share; devices and fabric nodes
+ *  are borrowed from OnlinePorts. */
 struct OnlineCtx
 {
-    OnlineCtx(sim::Simulator &s, const OnlineConfig &cfg)
-        : cpu(s, cfg.preprocessCores),
-          gpu(s, *cfg.server.gpu, cfg.server.nGpus), fabric(s)
+    explicit OnlineCtx(const OnlinePorts &ports)
+        : cpu(*ports.cpu), gpu(*ports.gpu), fabric(*ports.fabric),
+          clientNode(ports.clientNode), serverNode(ports.serverNode),
+          faults(ports.faults), sched(ports.sched), jobId(ports.jobId)
     {
-        // Topology: an aggregate client-side node (the upload front
-        // door) and the inference server. Concurrent uploads contend
-        // for the server's downlink under max-min sharing.
-        clientNode = fabric.addNode(cfg.server.nic);
-        serverNode = fabric.addNode(cfg.server.nic);
-        fabric.setIngress(serverNode);
         uploadBytes = models::kRawImageMB * 1e6;
     }
 
-    hw::CpuPool cpu;
-    hw::GpuExec gpu;
-    net::NetFabric fabric;
+    hw::CpuPool &cpu;
+    hw::GpuExec &gpu;
+    net::NetFabric &fabric;
     net::NodeId clientNode = net::kNoNode;
     net::NodeId serverNode = net::kNoNode;
     double uploadBytes = 0.0;
     SampleStat latency;
     /** Non-null only when a non-empty FaultPlan armed the run. */
     sim::FaultInjector *faults = nullptr;
+    /** Multi-job hooks (null/-1 single-tenant: zero-cost rule). An
+     *  online job owns no stores, so it never *parks* — it only
+     *  charges its GPU service so competitors' fair shares see it. */
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
     /** Null when tracing is off (zero-cost rule). */
     obs::Tracer *trace = nullptr;
     int trkReq = 0;
@@ -57,8 +61,8 @@ struct OnlineCtx
  * retransmitted copy crosses the wire again), and a stalled server
  * delays the request; an exhausted retry budget drops the upload as a
  * typed loss.
- * ndplint: allow(coroutine-ref-param) — referents live in
- * runOnlineInference's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
 sim::Task
 uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
            double infer_s, sim::WaitGroup &wg)
@@ -110,13 +114,15 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
     }
     co_await ctx.cpu.run(1, preproc_s);
     co_await ctx.gpu.compute(infer_s);
+    if (ctx.sched)
+        ctx.sched->charge(ctx.jobId, infer_s);
     ctx.latency.add(s.now() - arrived);
     wg.done();
 }
 
 /** Poisson arrival generator spawning upload processes.
- * ndplint: allow(coroutine-ref-param) — referents live in
- * runOnlineInference's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
 sim::Task
 arrivalProc(sim::Simulator &s, OnlineCtx &ctx, OnlineConfig cfg,
             double preproc_s, double infer_s, sim::WaitGroup &wg)
@@ -130,7 +136,114 @@ arrivalProc(sim::Simulator &s, OnlineCtx &ctx, OnlineConfig cfg,
     }
 }
 
+/** Multi-job completion monitor for online serving.
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
+sim::Task
+onlineJobMonitor(sim::WaitGroup &wg, sim::WaitGroup &job_done)
+{
+    co_await wg.wait();
+    job_done.done();
+}
+
 } // namespace
+
+struct OnlineDataflow::Impl
+{
+    Impl(sim::Simulator &sim, const OnlineConfig &config,
+         const OnlinePorts &p)
+        : s(sim), cfg(config), ports(p), ctx(p), gauges(p.trace),
+          wg(sim)
+    {}
+
+    sim::Simulator &s;
+    OnlineConfig cfg;
+    OnlinePorts ports;
+    OnlineCtx ctx;
+    obs::GaugeSet gauges;
+    sim::WaitGroup wg;
+    double preprocS = 0.0;
+    double inferS = 0.0;
+};
+
+OnlineDataflow::OnlineDataflow(sim::Simulator &s,
+                               const OnlineConfig &cfg,
+                               const OnlinePorts &ports)
+    : impl_(std::make_unique<Impl>(s, cfg, ports))
+{
+    Impl &im = *impl_;
+    obs::Tracer *tr = ports.trace;
+    im.ctx.trace = tr;
+    const std::string server_node =
+        obs::scopedNode(ports.scope, "server");
+    if (tr) {
+        im.ctx.trkReq = tr->track(server_node, "requests");
+        im.ctx.trkFault = tr->track(server_node, "faults");
+        im.gauges.add(obs::scopedNode(ports.scope, "net"),
+                      "ingress.util", [c = &im.ctx] {
+                          return c->fabric.downlinkUtilization(
+                              c->fabric.ingress());
+                      });
+        im.gauges.add(server_node, "util.cpu",
+                      [c = &im.ctx] { return c->cpu.utilization(); });
+        im.gauges.add(server_node, "util.gpu",
+                      [c = &im.ctx] { return c->gpu.utilization(); });
+        im.gauges.add(server_node, "power.w",
+                      [probe = hw::PowerProbe{&im.cfg.server,
+                                              ports.gpu, ports.cpu}] {
+                          return probe.watts();
+                      });
+    }
+    // Online requests run at batch 1: latency, not throughput.
+    im.preprocS = 1.0 / kPreprocImgPerSecPerCore;
+    im.inferS =
+        1.0 / models::deviceIps(*cfg.server.gpu, *cfg.model, 1);
+}
+
+OnlineDataflow::~OnlineDataflow() = default;
+
+void
+OnlineDataflow::spawn()
+{
+    Impl &im = *impl_;
+    im.wg.add(static_cast<int>(im.cfg.nUploads));
+    im.s.spawn(arrivalProc(im.s, im.ctx, im.cfg, im.preprocS,
+                           im.inferS, im.wg));
+    if (im.ports.jobDone)
+        im.s.spawn(onlineJobMonitor(im.wg, *im.ports.jobDone));
+}
+
+void
+OnlineDataflow::finalize(OnlineReport &rep)
+{
+    Impl &im = *impl_;
+    rep.p50Ms = im.ctx.latency.percentile(50.0) * 1e3;
+    rep.p95Ms = im.ctx.latency.percentile(95.0) * 1e3;
+    rep.p99Ms = im.ctx.latency.percentile(99.0) * 1e3;
+    rep.meanMs = im.ctx.latency.mean() * 1e3;
+    rep.gpuUtil = im.ctx.gpu.utilization();
+    rep.cpuUtil = im.ctx.cpu.utilization();
+
+    // If the mean latency dwarfs the no-queue service time, the
+    // offered load exceeds capacity and the queue grew without bound.
+    double upload_s =
+        im.ctx.fabric.serviceTime(im.ctx.clientNode, im.ctx.serverNode,
+                                  im.ctx.uploadBytes);
+    double service_ms = (upload_s + im.preprocS + im.inferS) * 1e3;
+    rep.saturated = rep.meanMs > 10.0 * service_ms;
+}
+
+double
+OnlineDataflow::preprocS() const
+{
+    return impl_->preprocS;
+}
+
+double
+OnlineDataflow::inferS() const
+{
+    return impl_->inferS;
+}
 
 OnlineReport
 runOnlineInference(const OnlineConfig &cfg)
@@ -139,39 +252,27 @@ runOnlineInference(const OnlineConfig &cfg)
     rep.uploads = cfg.nUploads;
 
     sim::Simulator s;
-    OnlineCtx ctx(s, cfg);
     obs::Tracer *tr = obs::Tracer::current();
-    obs::GaugeSet gauges(tr);
-    ctx.trace = tr;
-    ctx.fabric.setTracer(tr);
-    if (tr) {
-        ctx.trkReq = tr->track("server", "requests");
-        ctx.trkFault = tr->track("server", "faults");
-        gauges.add("net", "ingress.util", [&ctx] {
-            return ctx.fabric.downlinkUtilization(
-                ctx.fabric.ingress());
-        });
-        gauges.add("server", "util.cpu",
-                   [&ctx] { return ctx.cpu.utilization(); });
-        gauges.add("server", "util.gpu",
-                   [&ctx] { return ctx.gpu.utilization(); });
-        gauges.add("server", "power.w",
-                   [probe = hw::PowerProbe{&cfg.server, &ctx.gpu,
-                                           &ctx.cpu}] {
-                       return probe.watts();
-                   });
-    }
+    hw::CpuPool cpu(s, cfg.preprocessCores);
+    hw::GpuExec gpu(s, *cfg.server.gpu, cfg.server.nGpus);
+    // Topology: an aggregate client-side node (the upload front door)
+    // and the inference server. Concurrent uploads contend for the
+    // server's downlink under max-min sharing.
+    net::NetFabric fabric(s);
+    OnlinePorts ports;
+    ports.fabric = &fabric;
+    ports.clientNode = fabric.addNode(cfg.server.nic);
+    ports.serverNode = fabric.addNode(cfg.server.nic);
+    fabric.setIngress(ports.serverNode);
+    fabric.setTracer(tr);
+    ports.cpu = &cpu;
+    ports.gpu = &gpu;
     sim::FaultInjector injector(s, cfg.faults, 1);
-    ctx.faults = injector.armed() ? &injector : nullptr;
-    sim::WaitGroup wg(s);
-    wg.add(static_cast<int>(cfg.nUploads));
+    ports.faults = injector.armed() ? &injector : nullptr;
+    ports.trace = tr;
 
-    // Online requests run at batch 1: latency, not throughput.
-    double preproc_s = 1.0 / kPreprocImgPerSecPerCore;
-    double infer_s =
-        1.0 / models::deviceIps(*cfg.server.gpu, *cfg.model, 1);
-
-    s.spawn(arrivalProc(s, ctx, cfg, preproc_s, infer_s, wg));
+    OnlineDataflow flow(s, cfg, ports);
+    flow.spawn();
     s.run();
     s.reapFinished();
 
@@ -180,22 +281,9 @@ runOnlineInference(const OnlineConfig &cfg)
                          ? static_cast<double>(cfg.nUploads) /
                                rep.seconds
                          : 0.0;
-    rep.p50Ms = ctx.latency.percentile(50.0) * 1e3;
-    rep.p95Ms = ctx.latency.percentile(95.0) * 1e3;
-    rep.p99Ms = ctx.latency.percentile(99.0) * 1e3;
-    rep.meanMs = ctx.latency.mean() * 1e3;
-    rep.gpuUtil = ctx.gpu.utilization();
-    rep.cpuUtil = ctx.cpu.utilization();
-
-    // If the mean latency dwarfs the no-queue service time, the
-    // offered load exceeds capacity and the queue grew without bound.
-    double upload_s =
-        ctx.fabric.serviceTime(ctx.clientNode, ctx.serverNode,
-                               ctx.uploadBytes);
-    double service_ms = (upload_s + preproc_s + infer_s) * 1e3;
-    rep.saturated = rep.meanMs > 10.0 * service_ms;
+    flow.finalize(rep);
     rep.faults = injector.report();
-    rep.net = ctx.fabric.report();
+    rep.net = fabric.report();
     return rep;
 }
 

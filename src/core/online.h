@@ -15,13 +15,20 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "core/config.h"
+#include "core/pipeline.h"
 #include "hw/specs.h"
 #include "net/fabric.h"
 #include "sim/fault.h"
 
 namespace ndp::core {
+
+namespace sched {
+class Scheduler;
+}
 
 struct OnlineConfig
 {
@@ -63,6 +70,57 @@ struct OnlineReport
     sim::FaultReport faults;
     /** Fabric roll-up of the upload transfers (client -> server). */
     net::NetReport net;
+};
+
+/**
+ * Borrowed resources one online-serving job runs against (see
+ * FtDmpPorts in core/training.h for the borrowing contract). A
+ * multi-job Cluster places serving on the Tuner host: gpu is the
+ * *shared* Tuner GPU, cpu a per-job preprocessing pool.
+ */
+struct OnlinePorts
+{
+    net::NetFabric *fabric = nullptr;
+    /** Aggregate client-side node (the upload front door). */
+    net::NodeId clientNode = net::kNoNode;
+    net::NodeId serverNode = net::kNoNode;
+    hw::CpuPool *cpu = nullptr;
+    hw::GpuExec *gpu = nullptr;
+    sim::FaultInjector *faults = nullptr;
+    obs::Tracer *trace = nullptr;
+    /** Per-job trace prefix (obs::scopedNode); empty = untouched. */
+    std::string scope;
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
+    sim::WaitGroup *jobDone = nullptr;
+};
+
+/** One Poisson upload-serving dataflow against borrowed devices. */
+class OnlineDataflow
+{
+  public:
+    OnlineDataflow(sim::Simulator &s, const OnlineConfig &cfg,
+                   const OnlinePorts &ports);
+    ~OnlineDataflow();
+
+    OnlineDataflow(const OnlineDataflow &) = delete;
+    OnlineDataflow &operator=(const OnlineDataflow &) = delete;
+
+    void spawn();
+
+    /** Latency distribution, utilizations, and the saturation verdict
+     *  into @p rep (throughput is derived from makespan by callers). */
+    void finalize(OnlineReport &rep);
+
+    /** @name No-queue service times (batch 1)
+     * @{ */
+    double preprocS() const;
+    double inferS() const;
+    /** @} */
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /** Drive a Poisson upload stream through the inference server. */

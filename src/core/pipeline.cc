@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "core/sched/scheduler.h"
+
 namespace ndp::core {
 
 namespace {
@@ -134,6 +136,10 @@ Pipeline::producerProc(size_t idx)
         }
         uint64_t left = p.runItems[static_cast<size_t>(r)];
         while (left > 0) {
+            // Batch-boundary preemption point: completes synchronously
+            // (no suspension) whenever the job is runnable.
+            if (spec_.sched)
+                co_await spec_.sched->yield(spec_.jobId);
             if (inj) {
                 if (inj->crashed(fstore, sim_.now())) {
                     dead = true;
@@ -337,6 +343,8 @@ Pipeline::cpuProc()
         auto b = co_await loaded_.get();
         if (!b)
             break;
+        if (spec_.sched)
+            co_await spec_.sched->yield(spec_.jobId);
         for (const CpuStageOp &op : spec_.cpuOps) {
             if (op.workPerItem <= 0.0 || !spec_.cpu)
                 continue;
@@ -367,6 +375,8 @@ Pipeline::gpuProc(int worker)
         auto b = co_await ready_.get();
         if (!b)
             break;
+        if (spec_.sched)
+            co_await spec_.sched->yield(spec_.jobId);
         if (spec_.gpu && spec_.computeSecondsPerItem > 0.0) {
             double t = spec_.computeSecondsPerItem * b->n;
             {
@@ -376,6 +386,8 @@ Pipeline::gpuProc(int worker)
                 co_await spec_.gpu->compute(t);
             }
             metrics_.computeS += t;
+            if (spec_.sched)
+                spec_.sched->charge(spec_.jobId, t);
         }
         // A configured ship leg is always crossed (it charges
         // propagation latency even for an empty payload); without
@@ -437,6 +449,8 @@ Pipeline::serialProc()
         for (auto &p : producers_)
             left += p.runItems[static_cast<size_t>(r)];
         while (left > 0) {
+            if (spec_.sched)
+                co_await spec_.sched->yield(spec_.jobId);
             if (inj) {
                 bool crashed = inj->crashed(fstore, sim_.now());
                 if (!crashed) {
@@ -555,6 +569,8 @@ Pipeline::serialProc()
                     co_await spec_.gpu->compute(t);
                 }
                 metrics_.computeS += t;
+                if (spec_.sched)
+                    spec_.sched->charge(spec_.jobId, t);
             }
             if (spec_.shipDst != net::kNoNode ||
                 spec_.shipBytesPerItem > 0.0) {

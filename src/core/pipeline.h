@@ -47,6 +47,10 @@
 
 namespace ndp::core {
 
+namespace sched {
+class Scheduler;
+}
+
 /** Token flowing between stages: @p n items belonging to run @p run. */
 struct PipeBatch
 {
@@ -195,6 +199,18 @@ struct PipelineSpec
     /** Trace process name of this pipeline's CPU/GPU/sink stations
      *  (e.g. "store3", "host"). */
     std::string traceNode;
+    /** @} */
+
+    /** @name Multi-job scheduling (null = zero-cost no-ops)
+     * Stage coroutines yield to the cluster scheduler at each batch
+     * boundary (preemption point) and charge their GPU service time
+     * to jobId (the fair-share currency). A null scheduler performs
+     * no awaits and no calls at all — the single-tenant event
+     * sequence is byte-identical, mirroring the fault injector's
+     * zero-cost rule.
+     * @{ */
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
     /** @} */
 
     /** @name Fault injection (null = zero-cost no-ops)

@@ -1,0 +1,496 @@
+#include "core/sched/cluster.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/media.h"
+#include "core/npe_common.h"
+#include "core/online.h"
+#include "core/pipeline.h"
+#include "core/sched/scheduler.h"
+#include "core/training.h"
+#include "hw/devices.h"
+#include "models/throughput.h"
+#include "net/fabric.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+#include "sim/wait_group.h"
+
+namespace ndp::core::sched {
+
+const char *
+jobKindName(JobKind k)
+{
+    switch (k) {
+      case JobKind::FtDmpTrain:
+        return "ft-dmp";
+      case JobKind::OfflineInfer:
+        return "offline";
+      case JobKind::OnlineServe:
+        return "online";
+      case JobKind::SrvFineTune:
+        return "srv-ft";
+      case JobKind::Media:
+        return "media";
+    }
+    return "?";
+}
+
+ValidationResult
+JobDesc::validate(int fleet_stores) const
+{
+    if (name.empty())
+        return ValidationResult("JobDesc: name must be non-empty");
+    if (share <= 0.0)
+        return ValidationResult("JobDesc: share must be > 0");
+    if (submitAtS < 0.0)
+        return ValidationResult("JobDesc: submitAtS must be >= 0");
+    if (kind == JobKind::OnlineServe) {
+        if (!stores.empty())
+            return ValidationResult(
+                "JobDesc: OnlineServe runs on the Tuner host and "
+                "must not own stores");
+        if (arrivalsPerSec <= 0.0)
+            return ValidationResult(
+                "JobDesc: arrivalsPerSec must be > 0");
+        if (nUploads == 0)
+            return ValidationResult("JobDesc: nUploads must be >= 1");
+    } else {
+        if (stores.empty())
+            return ValidationResult(
+                "JobDesc: store-bound job needs a non-empty store "
+                "set");
+        std::vector<int> sorted = stores;
+        std::sort(sorted.begin(), sorted.end());
+        if (sorted.front() < 0 || sorted.back() >= fleet_stores)
+            return ValidationResult(
+                "JobDesc: store index out of fleet range");
+        if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+            sorted.end())
+            return ValidationResult(
+                "JobDesc: duplicate store index");
+    }
+    if (kind == JobKind::FtDmpTrain) {
+        if (auto r = train.validate(); !r)
+            return r;
+        // "+FC" cuts (trainable layers on the stores) need the
+        // fleet-wide all-reduce barrier of the single-tenant entry
+        // point; a store-subset job cannot own one.
+        if (model->cutSplitsClassifier(train.resolveCut(*model)))
+            return ValidationResult(
+                "JobDesc: FT-DMP cut places trainable layers on the "
+                "stores (+FC); multi-job runs require cut <= "
+                "classifierStart");
+    }
+    if (kind != JobKind::OnlineServe && nImages == 0)
+        return ValidationResult("JobDesc: nImages must be >= 1");
+    return {};
+}
+
+namespace {
+
+/** One submitted job's runtime state inside the cluster. */
+struct JobRun
+{
+    JobDesc desc;
+    /** Scheduler account (== index in ClusterReport::jobs). */
+    int schedId = -1;
+    /** Job-scoped view of the shared fleet. */
+    ExperimentConfig cfg;
+    OnlineConfig ocfg;
+    /** Signalled once by the dataflow's completion monitor. */
+    std::unique_ptr<sim::WaitGroup> done;
+    double startS = 0.0;
+    double endS = 0.0;
+    /** Exactly one dataflow is non-null, per desc.kind. */
+    std::unique_ptr<FtDmpDataflow> ft;
+    std::unique_ptr<OfflineInferDataflow> offline;
+    std::unique_ptr<OnlineDataflow> online;
+    std::unique_ptr<SrvFineTuneDataflow> srv;
+    std::unique_ptr<MediaDataflow> media;
+    /** OnlineServe: per-job preprocessing pool on the Tuner host. */
+    std::unique_ptr<hw::CpuPool> onlineCpu;
+    /** Per-job lifecycle track ("<job>/job"). */
+    int trkJob = 0;
+};
+
+} // namespace
+
+struct Cluster::Impl
+{
+    explicit Impl(const ClusterSpec &cluster_spec)
+        : spec(cluster_spec), trace(obs::Tracer::current()),
+          gauges(trace), fabric(s),
+          tunerGpu(s, *spec.tunerSpec.gpu, spec.tunerSpec.nGpus),
+          tunerCpu(s, spec.tunerSpec.cpu.vcpus),
+          injector(s, spec.faults, spec.nStores)
+    {
+        spec.validate().orThrow();
+        // Topology: the fleet's stores, then the Tuner host (the
+        // shared ingress funnel), a front-end node labels and media
+        // results return to, and an aggregate client node uploads
+        // arrive from.
+        for (int i = 0; i < spec.nStores; ++i)
+            storeNodes.push_back(fabric.addNode(spec.storeSpec.nic));
+        tunerNode = fabric.addNode(spec.nic());
+        fabric.setIngress(tunerNode);
+        frontNode = fabric.addNode(spec.nic());
+        clientNode = fabric.addNode(spec.tunerSpec.nic);
+        fabric.setTracer(trace);
+        faults = injector.armed() ? &injector : nullptr;
+        fabric.attachFaults(faults);
+        for (int i = 0; i < spec.nStores; ++i)
+            stations.push_back(
+                std::make_unique<StoreStations>(s, spec.storeSpec));
+        if (spec.scheduling)
+            sched = std::make_unique<Scheduler>(s, spec.quantumS);
+        if (trace) {
+            gauges.add("tuner", "util.gpu",
+                       [g = &tunerGpu] { return g->utilization(); });
+            gauges.add("net", "ingress.util", [f = &fabric] {
+                return f->downlinkUtilization(f->ingress());
+            });
+        }
+    }
+
+    /** True when @p d owns every fleet store (the only placement the
+     *  fleet-indexed fault plan is armed for). */
+    bool
+    fullFleet(const JobDesc &d) const
+    {
+        if (static_cast<int>(d.stores.size()) != spec.nStores)
+            return false;
+        std::vector<int> sorted = d.stores;
+        std::sort(sorted.begin(), sorted.end());
+        for (int i = 0; i < spec.nStores; ++i)
+            if (sorted[static_cast<size_t>(i)] != i)
+                return false;
+        return true;
+    }
+
+    static void buildDataflow(Impl &im, JobRun &jr);
+    static sim::Task jobLauncher(Impl &im, JobRun &jr);
+
+    ClusterSpec spec;
+    sim::Simulator s;
+    obs::Tracer *trace = nullptr;
+    obs::GaugeSet gauges;
+    net::NetFabric fabric;
+    std::vector<net::NodeId> storeNodes;
+    net::NodeId tunerNode = net::kNoNode;
+    net::NodeId frontNode = net::kNoNode;
+    net::NodeId clientNode = net::kNoNode;
+    hw::GpuExec tunerGpu;
+    hw::CpuPool tunerCpu;
+    sim::FaultInjector injector;
+    sim::FaultInjector *faults = nullptr;
+    std::vector<std::unique_ptr<StoreStations>> stations;
+    std::unique_ptr<Scheduler> sched;
+    std::vector<std::unique_ptr<JobRun>> jobs;
+    bool ran = false;
+};
+
+namespace {
+
+/** Job-scoped view of the shared fleet for one store-bound job. */
+ExperimentConfig
+jobConfig(const ClusterSpec &spec, const JobDesc &d)
+{
+    ExperimentConfig cfg;
+    cfg.model = d.model;
+    cfg.nStores = static_cast<int>(d.stores.size());
+    cfg.networkGbps = spec.networkGbps;
+    cfg.storeSpec = spec.storeSpec;
+    cfg.tunerSpec = spec.tunerSpec;
+    // SRV-style jobs run on the Tuner host and stream from the job's
+    // store disks.
+    cfg.hostSpec = spec.tunerSpec;
+    cfg.srvStorageServers = std::max<int>(
+        1, static_cast<int>(d.stores.size()));
+    cfg.srvStoreSpec = spec.storeSpec;
+    cfg.nImages = d.nImages;
+    cfg.npe = d.npe;
+    return cfg;
+}
+
+} // namespace
+
+/** Construct and spawn the job's dataflow (called from the launcher
+ * at its submit time, so trace scopes and devices resolve lazily). */
+void
+Cluster::Impl::buildDataflow(Impl &im, JobRun &jr)
+{
+    const JobDesc &d = jr.desc;
+    sim::FaultInjector *jf =
+        im.fullFleet(d) && d.kind != JobKind::SrvFineTune ? im.faults
+                                                          : nullptr;
+    switch (d.kind) {
+      case JobKind::FtDmpTrain: {
+        FtDmpPorts p;
+        p.fabric = &im.fabric;
+        for (int sidx : d.stores) {
+            p.storeNodes.push_back(
+                im.storeNodes[static_cast<size_t>(sidx)]);
+            p.stores.push_back(
+                im.stations[static_cast<size_t>(sidx)].get());
+            p.fleetIdx.push_back(sidx);
+        }
+        p.tunerNode = im.tunerNode;
+        p.tunerGpu = &im.tunerGpu;
+        p.faults = jf;
+        p.trace = im.trace;
+        p.scope = d.name;
+        p.sched = im.sched.get();
+        p.jobId = jr.schedId;
+        p.jobDone = jr.done.get();
+        jr.ft = std::make_unique<FtDmpDataflow>(im.s, jr.cfg, d.train,
+                                                p);
+        jr.ft->spawn();
+        break;
+      }
+      case JobKind::OfflineInfer: {
+        OfflineInferPorts p;
+        p.fabric = &im.fabric;
+        for (int sidx : d.stores) {
+            p.storeNodes.push_back(
+                im.storeNodes[static_cast<size_t>(sidx)]);
+            p.stores.push_back(
+                im.stations[static_cast<size_t>(sidx)].get());
+            p.fleetIdx.push_back(sidx);
+        }
+        p.indexNode = im.frontNode;
+        p.faults = jf;
+        p.trace = im.trace;
+        p.scope = d.name;
+        p.sched = im.sched.get();
+        p.jobId = jr.schedId;
+        p.jobDone = jr.done.get();
+        jr.offline = std::make_unique<OfflineInferDataflow>(
+            im.s, jr.cfg, p);
+        jr.offline->spawn();
+        break;
+      }
+      case JobKind::OnlineServe: {
+        jr.onlineCpu = std::make_unique<hw::CpuPool>(
+            im.s, jr.ocfg.preprocessCores);
+        OnlinePorts p;
+        p.fabric = &im.fabric;
+        p.clientNode = im.clientNode;
+        p.serverNode = im.tunerNode;
+        p.cpu = jr.onlineCpu.get();
+        p.gpu = &im.tunerGpu;
+        p.faults = nullptr;
+        p.trace = im.trace;
+        p.scope = d.name;
+        p.sched = im.sched.get();
+        p.jobId = jr.schedId;
+        p.jobDone = jr.done.get();
+        jr.online = std::make_unique<OnlineDataflow>(im.s, jr.ocfg, p);
+        jr.online->spawn();
+        break;
+      }
+      case JobKind::SrvFineTune: {
+        SrvFineTunePorts p;
+        p.fabric = &im.fabric;
+        for (int sidx : d.stores) {
+            p.srvNodes.push_back(
+                im.storeNodes[static_cast<size_t>(sidx)]);
+            p.disks.push_back(
+                &im.stations[static_cast<size_t>(sidx)]->disk);
+        }
+        p.hostNode = im.tunerNode;
+        p.gpus = &im.tunerGpu;
+        p.cpu = &im.tunerCpu;
+        p.faults = nullptr;
+        p.trace = im.trace;
+        p.scope = d.name;
+        p.sched = im.sched.get();
+        p.jobId = jr.schedId;
+        p.jobDone = jr.done.get();
+        jr.srv = std::make_unique<SrvFineTuneDataflow>(
+            im.s, jr.cfg, SrvVariant::Compressed, d.train.tunerEpochs,
+            d.train.pipelined, p);
+        jr.srv->spawn();
+        break;
+      }
+      case JobKind::Media: {
+        MediaPorts p;
+        p.fabric = &im.fabric;
+        for (int sidx : d.stores) {
+            p.storeNodes.push_back(
+                im.storeNodes[static_cast<size_t>(sidx)]);
+            p.stores.push_back(
+                im.stations[static_cast<size_t>(sidx)].get());
+            p.fleetIdx.push_back(sidx);
+        }
+        p.sinkNode = im.frontNode;
+        p.trace = im.trace;
+        p.scope = d.name;
+        p.sched = im.sched.get();
+        p.jobId = jr.schedId;
+        p.jobDone = jr.done.get();
+        jr.media = std::make_unique<MediaDataflow>(
+            im.s, jr.cfg, d.media, d.nImages, p);
+        jr.media->spawn();
+        break;
+      }
+    }
+}
+
+/** Per-job lifecycle: delay to the submit time, register with the
+ * scheduler, build + spawn the dataflow, await its drain.
+ * ndplint: allow(coroutine-ref-param) — referents (the Impl and its
+ * JobRuns) outlive s.run(), which joins this task.
+ */
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
+sim::Task
+Cluster::Impl::jobLauncher(Impl &im, JobRun &jr)
+{
+    co_await im.s.delay(jr.desc.submitAtS);
+    jr.startS = im.s.now();
+    if (im.trace)
+        im.trace->instant(jr.trkJob, obs::Cat::Service, "start",
+                          im.s.now(),
+                          {{"priority",
+                            static_cast<double>(jr.desc.priority)},
+                           {"share", jr.desc.share}});
+    if (im.sched)
+        im.sched->started(jr.schedId);
+    jr.done->add(1);
+    buildDataflow(im, jr);
+    co_await jr.done->wait();
+    jr.endS = im.s.now();
+    if (im.sched)
+        im.sched->finished(jr.schedId);
+    if (im.trace)
+        im.trace->instant(jr.trkJob, obs::Cat::Service, "end",
+                          im.s.now(),
+                          {{"makespan", jr.endS - jr.startS}});
+}
+
+Cluster::Cluster(const ClusterSpec &spec)
+    : impl_(std::make_unique<Impl>(spec))
+{}
+
+Cluster::~Cluster() = default;
+
+int
+Cluster::submit(const JobDesc &job)
+{
+    Impl &im = *impl_;
+    if (im.ran)
+        throw std::logic_error("Cluster: submit after run()");
+    job.validate(im.spec.nStores).orThrow();
+    if (job.kind == JobKind::OfflineInfer) {
+        if (auto mem = models::checkMemory(*im.spec.storeSpec.gpu,
+                                           *job.model,
+                                           job.npe.batchSize);
+            !mem) {
+            throw std::runtime_error(
+                "Cluster: job '" + job.name + "' needs " +
+                std::to_string(mem.neededGiB) +
+                " GiB GPU memory on the store GPU; model/batch does "
+                "not fit");
+        }
+    }
+    auto jr = std::make_unique<JobRun>();
+    jr->desc = job;
+    jr->done = std::make_unique<sim::WaitGroup>(im.s);
+    if (job.kind == JobKind::OnlineServe) {
+        jr->ocfg.arrivalsPerSec = job.arrivalsPerSec;
+        jr->ocfg.nUploads = job.nUploads;
+        jr->ocfg.server = im.spec.tunerSpec;
+        jr->ocfg.model = job.model;
+        jr->ocfg.seed = job.seed;
+    } else {
+        jr->cfg = jobConfig(im.spec, job);
+    }
+    if (im.sched)
+        jr->schedId = im.sched->add(job.name, job.priority, job.share,
+                                    job.stores);
+    else
+        jr->schedId = static_cast<int>(im.jobs.size());
+    if (im.trace)
+        jr->trkJob = im.trace->track(
+            obs::scopedNode(job.name, "job"), "lifecycle");
+    im.jobs.push_back(std::move(jr));
+    return static_cast<int>(im.jobs.size()) - 1;
+}
+
+ClusterReport
+Cluster::run()
+{
+    Impl &im = *impl_;
+    if (im.ran)
+        throw std::logic_error("Cluster: run() called twice");
+    im.ran = true;
+
+    for (auto &jr : im.jobs)
+        im.s.spawn(Impl::jobLauncher(im, *jr));
+    im.s.run();
+    im.s.reapFinished();
+
+    ClusterReport rep;
+    rep.seconds = im.s.now();
+    rep.events = im.s.processedEvents();
+    rep.net = im.fabric.report();
+    rep.faults = im.injector.report();
+    for (auto &jr : im.jobs) {
+        JobReport j;
+        j.name = jr->desc.name;
+        j.kind = jr->desc.kind;
+        j.priority = jr->desc.priority;
+        j.share = jr->desc.share;
+        j.stores = jr->desc.stores;
+        j.submitAtS = jr->desc.submitAtS;
+        j.startS = jr->startS;
+        j.endS = jr->endS;
+        j.makespanS = jr->endS - jr->startS;
+        if (im.sched) {
+            j.preemptions = im.sched->preemptions(jr->schedId);
+            j.waitS = im.sched->waitS(jr->schedId);
+            j.chargedGpuS = im.sched->chargedS(jr->schedId);
+        }
+        if (jr->ft) {
+            TrainReport t;
+            jr->ft->finalize(t);
+            j.stages = t.stages;
+        } else if (jr->offline) {
+            InferenceReport t;
+            jr->offline->finalize(t);
+            j.stages = t.stages;
+        } else if (jr->online) {
+            OnlineReport t;
+            jr->online->finalize(t);
+            j.uploads = jr->desc.nUploads;
+            j.throughput =
+                j.makespanS > 0.0
+                    ? static_cast<double>(jr->desc.nUploads) /
+                          j.makespanS
+                    : 0.0;
+            j.p50Ms = t.p50Ms;
+            j.p95Ms = t.p95Ms;
+            j.p99Ms = t.p99Ms;
+            j.meanMs = t.meanMs;
+            j.saturated = t.saturated;
+        } else if (jr->srv) {
+            TrainReport t;
+            jr->srv->finalize(t);
+            j.stages = t.stages;
+        } else if (jr->media) {
+            MediaReport t;
+            jr->media->finalize(t);
+            j.stages = jr->media->stages();
+        }
+        rep.jobs.push_back(std::move(j));
+    }
+    return rep;
+}
+
+} // namespace ndp::core::sched

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The multi-job cluster: one simulation, one shared fleet, many
+ * job-scoped dataflows.
+ *
+ * A Cluster owns what NDPipe deploys once per photo-storage fleet —
+ * the PipeStores (disk/CPU/GPU stations), the Tuner host (the GPU
+ * every fine-tuning and serving job shares), the network fabric, and
+ * the fault injector — and runs every submitted JobDesc against those
+ * shared devices in a single discrete-event simulation. Each job gets
+ * its *own* dataflow object (FtDmpDataflow, OfflineInferDataflow,
+ * OnlineDataflow, MediaDataflow, SrvFineTuneDataflow) wired to its
+ * store subset through the ports structs, plus:
+ *
+ *  - a scheduler account (core/sched/scheduler.h): priority, weighted
+ *    fair share, preemption at batch boundaries;
+ *  - a launcher coroutine that delays to submitAtS, registers with the
+ *    scheduler, spawns the dataflow, and awaits its completion;
+ *  - a per-job Perfetto track group ("<job>/store3", "<job>/tuner"…)
+ *    via the ports' scope prefix, so ndptrace attributes contention
+ *    per job.
+ *
+ * Store sets of concurrent jobs may overlap: overlapping jobs share
+ * the stores' stations (their batches interleave in the device FIFO
+ * queues) and the scheduler arbitrates GPU time between them; every
+ * job also contends for the Tuner GPU and the fabric. Cluster::run()
+ * returns per-job JobReports (makespan, waits, preemptions, serving
+ * percentiles) plus the cluster roll-up.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/sched/job.h"
+
+namespace ndp::core::sched {
+
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterSpec &spec);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /**
+     * Validate and enqueue one job; returns its job id (index into
+     * ClusterReport::jobs). Throws std::invalid_argument for
+     * descriptions the fleet cannot place and std::runtime_error when
+     * an offline-inference job's model cannot fit the store GPU at
+     * the requested batch (models::checkMemory).
+     */
+    int submit(const JobDesc &job);
+
+    /** Run all submitted jobs to completion (one Simulator::run). */
+    ClusterReport run();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace ndp::core::sched

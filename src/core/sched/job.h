@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The multi-job model: what a schedulable job *is* (JobDesc), what a
+ * finished job reports (JobReport), and what a whole cluster run rolls
+ * up to (ClusterReport).
+ *
+ * A JobDesc names one dataflow — FT-DMP fine-tuning, offline
+ * inference, online serving, SRV fine-tuning, or media analysis — plus
+ * its placement (which fleet stores it owns), its scheduling class
+ * (priority, weighted share), and its submit time. The Cluster turns
+ * each accepted JobDesc into a job-scoped dataflow over the *shared*
+ * fleet devices and runs them all in one simulation; see
+ * core/sched/cluster.h.
+ *
+ * Placement semantics: `stores` lists the fleet store indices the job
+ * runs on. Store sets MAY overlap — overlapping jobs contend for the
+ * shared disk/CPU/GPU stations (device FIFO queues interleave their
+ * batches) and the scheduler arbitrates GPU time between them by
+ * priority and weighted share; jobs with disjoint store sets never
+ * preempt each other. Every job additionally shares the Tuner (its
+ * GPU) and the network fabric. An online-serving job runs on the
+ * Tuner host and has an empty store set.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/media.h"
+#include "core/report.h"
+#include "core/training.h"
+
+namespace ndp::core::sched {
+
+enum class JobKind
+{
+    /** FT-DMP fine-tuning across the job's stores + the Tuner. */
+    FtDmpTrain,
+    /** NPE offline inference across the job's stores. */
+    OfflineInfer,
+    /** Poisson upload serving on the Tuner host (no stores). */
+    OnlineServe,
+    /** Centralized SRV fine-tuning: the job's stores stream binaries
+     *  to the Tuner host, which extracts and trains. */
+    SrvFineTune,
+    /** §7.1 media analysis across the job's stores. */
+    Media,
+};
+
+const char *jobKindName(JobKind k);
+
+struct JobDesc
+{
+    std::string name;
+    JobKind kind = JobKind::FtDmpTrain;
+
+    /** @name Scheduling class
+     * Strictly higher priority preempts store-overlapping jobs;
+     * equal-priority overlapping jobs split GPU time by `share`
+     * (see core/sched/scheduler.h).
+     * @{ */
+    int priority = 0;
+    double share = 1.0;
+    /** @} */
+
+    /** Sim time the job enters the cluster. */
+    double submitAtS = 0.0;
+
+    /** Fleet store indices this job owns (empty for OnlineServe). */
+    std::vector<int> stores;
+
+    const models::ModelSpec *model = &models::resnet50();
+    uint64_t nImages = 200000;
+    NpeOptions npe;
+    /** FtDmpTrain / SrvFineTune options. */
+    TrainOptions train;
+
+    /** @name OnlineServe
+     * @{ */
+    double arrivalsPerSec = 60.0;
+    uint64_t nUploads = 20000;
+    uint64_t seed = 11;
+    /** @} */
+
+    /** Media jobs only. */
+    MediaProfile media = photoMedia();
+
+    /**
+     * Reject descriptions the cluster cannot place: out-of-range or
+     * duplicate store indices, an empty store set for a store-bound
+     * kind (or a non-empty one for OnlineServe), and FT-DMP cuts that
+     * put trainable layers on the stores — the "+FC" configuration
+     * needs a fleet-wide all-reduce barrier, which only a
+     * single-tenant run can own.
+     */
+    ValidationResult validate(int fleet_stores) const;
+};
+
+/** What one job did, assembled by Cluster::run(). */
+struct JobReport
+{
+    std::string name;
+    JobKind kind = JobKind::FtDmpTrain;
+    int priority = 0;
+    double share = 1.0;
+    std::vector<int> stores;
+
+    double submitAtS = 0.0;
+    /** Sim time the job's dataflow actually started. */
+    double startS = 0.0;
+    double endS = 0.0;
+    /** endS - startS. */
+    double makespanS = 0.0;
+
+    /** @name Scheduler accounting (zero when scheduling is off)
+     * @{ */
+    uint64_t preemptions = 0;
+    /** Sim seconds the job's stage coroutines spent parked. */
+    double waitS = 0.0;
+    /** GPU service seconds charged to the job. */
+    double chargedGpuS = 0.0;
+    /** @} */
+
+    /** Summed stage metrics of the job's pipelines. */
+    StageMetrics stages;
+
+    /** @name OnlineServe only
+     * @{ */
+    uint64_t uploads = 0;
+    double throughput = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+    bool saturated = false;
+    /** @} */
+};
+
+/** One multi-job cluster run. */
+struct ClusterReport
+{
+    /** End of the last job (the whole simulation's makespan). */
+    double seconds = 0.0;
+    /** Simulator events processed (determinism fingerprint). */
+    uint64_t events = 0;
+    /** One entry per submitted job, in submit order. */
+    std::vector<JobReport> jobs;
+    /** Fabric roll-up across every job's transfers. */
+    net::NetReport net;
+    /** Fault roll-up (armed only for full-fleet jobs). */
+    sim::FaultReport faults;
+};
+
+} // namespace ndp::core::sched

@@ -1,0 +1,173 @@
+#include "core/sched/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace ndp::core::sched {
+
+int
+Scheduler::add(std::string name, int priority, double share,
+               std::vector<int> stores)
+{
+    if (share <= 0.0)
+        throw std::invalid_argument("sched: share must be positive");
+    std::sort(stores.begin(), stores.end());
+    stores.erase(std::unique(stores.begin(), stores.end()),
+                 stores.end());
+    JobState j;
+    j.name = std::move(name);
+    j.priority = priority;
+    j.share = share;
+    j.stores = std::move(stores);
+    jobs_.push_back(std::move(j));
+    return static_cast<int>(jobs_.size()) - 1;
+}
+
+const std::string &
+Scheduler::name(int id) const
+{
+    return jobs_.at(static_cast<size_t>(id)).name;
+}
+
+uint64_t
+Scheduler::preemptions(int id) const
+{
+    return jobs_.at(static_cast<size_t>(id)).preemptions;
+}
+
+double
+Scheduler::waitS(int id) const
+{
+    return jobs_.at(static_cast<size_t>(id)).waitS;
+}
+
+double
+Scheduler::chargedS(int id) const
+{
+    return jobs_.at(static_cast<size_t>(id)).chargedS;
+}
+
+double
+Scheduler::vtime(int id) const
+{
+    return jobs_.at(static_cast<size_t>(id)).vtime;
+}
+
+bool
+Scheduler::overlaps(const JobState &a, const JobState &b)
+{
+    // Sorted-unique merge scan; empty sets never overlap.
+    auto ia = a.stores.begin();
+    auto ib = b.stores.begin();
+    while (ia != a.stores.end() && ib != b.stores.end()) {
+        if (*ia < *ib)
+            ++ia;
+        else if (*ib < *ia)
+            ++ib;
+        else
+            return true;
+    }
+    return false;
+}
+
+double
+Scheduler::minCompetitorV(const JobState &j) const
+{
+    double min_v = std::numeric_limits<double>::infinity();
+    for (const JobState &o : jobs_) {
+        if (&o == &j || !o.active || o.done)
+            continue;
+        if (o.priority != j.priority || !overlaps(j, o))
+            continue;
+        min_v = std::min(min_v, o.vtime);
+    }
+    return min_v;
+}
+
+void
+Scheduler::started(int id)
+{
+    JobState &j = jobs_.at(static_cast<size_t>(id));
+    j.active = true;
+    // CFS newcomer rule: a late-submitted job starts at the pack's
+    // current virtual time rather than banking credit since t=0.
+    double min_v = minCompetitorV(j);
+    if (min_v != std::numeric_limits<double>::infinity())
+        j.vtime = std::max(j.vtime, min_v);
+}
+
+void
+Scheduler::finished(int id)
+{
+    JobState &j = jobs_.at(static_cast<size_t>(id));
+    j.active = false;
+    j.done = true;
+    rebalance();
+}
+
+void
+Scheduler::charge(int id, double service_s)
+{
+    if (id < 0 || static_cast<size_t>(id) >= jobs_.size())
+        return;
+    JobState &j = jobs_[static_cast<size_t>(id)];
+    j.chargedS += service_s;
+    // Lag clamp: a job whose own stages sat idle (e.g. waiting on the
+    // fabric) may trail the pack arbitrarily; cap the deficit to one
+    // quantum so it cannot later monopolize the devices.
+    double min_v = minCompetitorV(j);
+    if (min_v != std::numeric_limits<double>::infinity())
+        j.vtime = std::max(j.vtime, min_v - quantumS_);
+    j.vtime += service_s / j.share;
+    rebalance();
+}
+
+bool
+Scheduler::runnable(int id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= jobs_.size())
+        return true;
+    const JobState &j = jobs_[static_cast<size_t>(id)];
+    if (!j.active || j.done)
+        return true;
+    for (const JobState &o : jobs_) {
+        if (&o == &j || !o.active || o.done)
+            continue;
+        if (o.priority > j.priority && overlaps(j, o))
+            return false;
+    }
+    double min_v = std::min(j.vtime, minCompetitorV(j));
+    return j.vtime <= min_v + quantumS_;
+}
+
+void
+Scheduler::park(int id, std::coroutine_handle<> h)
+{
+    JobState &j = jobs_.at(static_cast<size_t>(id));
+    ++j.preemptions;
+    parked_.push_back(Parked{id, h, sim_.now()});
+}
+
+void
+Scheduler::rebalance()
+{
+    // One pass in park (FIFO) order; released coroutines resume via
+    // zero-delay events so they interleave with already-queued work in
+    // deterministic (time, seq) order instead of running inline here.
+    size_t kept = 0;
+    for (size_t i = 0; i < parked_.size(); ++i) {
+        Parked &p = parked_[i];
+        if (runnable(p.job)) {
+            JobState &j = jobs_[static_cast<size_t>(p.job)];
+            j.waitS += sim_.now() - p.sinceS;
+            sim_.scheduleHandle(0.0, p.h);
+        } else {
+            parked_[kept++] = p;
+        }
+    }
+    parked_.resize(kept);
+}
+
+} // namespace ndp::core::sched

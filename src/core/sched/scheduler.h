@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cluster scheduler: priorities, weighted fair shares, and preemption
+ * at batch boundaries for multi-job runs on the shared fleet.
+ *
+ * The scheduler does not own devices and never moves work itself; it
+ * decides *when a job's stage coroutines may start their next batch*.
+ * Pipeline workers call `co_await sched->yield(jobId)` at each batch
+ * boundary: if the job is runnable the awaiter completes synchronously
+ * — no suspension, no event is scheduled, and two same-sim-time events
+ * keep their exact FIFO order (the determinism contract of
+ * sim/simulator.h). Only when the job is preempted does the coroutine
+ * park, to be released by rebalance() when the decision flips.
+ *
+ * Policy, in decision order:
+ *  1. Priority: a job parks while any *store-overlapping* active job
+ *     of strictly higher priority is running. Jobs on disjoint store
+ *     subsets never preempt each other (they share only the Tuner and
+ *     fabric, which stay FIFO/max-min fair), so a medium-priority job
+ *     on other stores cannot invert a high-priority job — preemption
+ *     scope is exactly the contended devices.
+ *  2. Weighted fair share among equal-priority overlapping jobs:
+ *     per-job virtual time advances by chargedGpuSeconds / share
+ *     (CFS-style), and a job parks once its vtime leads the minimum
+ *     competitor vtime by more than one quantum. The minimum-vtime job
+ *     is always runnable, so the policy cannot deadlock.
+ *
+ * GPU service seconds are the fair-share currency: the accelerator is
+ * the dominant shared device of every NDPipe dataflow, and charging a
+ * single resource keeps the accounting deterministic and cheap.
+ *
+ * Zero-cost rule: a null Scheduler pointer in PipelineSpec (or any
+ * dataflow Ports struct) means no yield() is awaited and no charge()
+ * is made — the event sequence is byte-identical to a single-tenant
+ * run, which tests/test_sched.cc pins bit-for-bit.
+ */
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ndp::core::sched {
+
+class Scheduler
+{
+  public:
+    /** @p quantum_s: fair-share lag bound in virtual seconds. */
+    explicit Scheduler(sim::Simulator &s, double quantum_s = 5.0)
+        : sim_(s), quantumS_(quantum_s)
+    {}
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Register a job before the simulation starts. @p stores are the
+     * fleet store indices the job occupies (empty = no store overlap
+     * with anyone, e.g. online serving on the Tuner host): preemption
+     * is scoped to jobs whose store sets intersect. @return job id.
+     */
+    int add(std::string name, int priority, double share,
+            std::vector<int> stores);
+
+    /** The job began running (its launcher reached submit time). */
+    void started(int id);
+
+    /** The job completed; releases parked competitors. */
+    void finished(int id);
+
+    /**
+     * Charge @p service_s GPU seconds to the job and advance its
+     * virtual time by service_s / share (with a CFS-style lag clamp
+     * so a job idle on its own stages cannot bank unbounded credit),
+     * then release any parked job the new ordering makes runnable.
+     */
+    void charge(int id, double service_s);
+
+    /**
+     * Preemption decision for the job's next batch. True when the job
+     * may proceed: not yet started/already done (monitors drain), no
+     * overlapping strictly-higher-priority active job, and within one
+     * quantum of the minimum competitor virtual time.
+     */
+    bool runnable(int id) const;
+
+    /**
+     * Batch-boundary yield point. await_ready() returns runnable(id):
+     * the runnable path never suspends and never touches the event
+     * queue, so it cannot reorder same-sim-time events.
+     */
+    struct YieldAwaiter
+    {
+        Scheduler &sched;
+        int id;
+
+        bool await_ready() const noexcept { return sched.runnable(id); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sched.park(id, h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    YieldAwaiter yield(int id) { return YieldAwaiter{*this, id}; }
+
+    double quantumS() const { return quantumS_; }
+    int jobCount() const { return static_cast<int>(jobs_.size()); }
+    const std::string &name(int id) const;
+
+    /** @name Per-job accounting (valid any time; final after run)
+     * @{ */
+    /** Batch boundaries at which the job was actually parked. */
+    uint64_t preemptions(int id) const;
+    /** Total sim seconds the job's coroutines spent parked. */
+    double waitS(int id) const;
+    /** GPU service seconds charged to the job. */
+    double chargedS(int id) const;
+    /** Virtual time (chargedS weighted by 1/share, lag-clamped). */
+    double vtime(int id) const;
+    /** @} */
+
+    /** Coroutines currently parked (all jobs). */
+    int parkedCount() const { return static_cast<int>(parked_.size()); }
+
+  private:
+    struct JobState
+    {
+        std::string name;
+        int priority = 0;
+        double share = 1.0;
+        /** Sorted fleet store indices (overlap via merge scan). */
+        std::vector<int> stores;
+        bool active = false;
+        bool done = false;
+        double vtime = 0.0;
+        double chargedS = 0.0;
+        uint64_t preemptions = 0;
+        double waitS = 0.0;
+    };
+
+    struct Parked
+    {
+        int job = 0;
+        std::coroutine_handle<> h;
+        double sinceS = 0.0;
+    };
+
+    /** Park a preempted coroutine (YieldAwaiter::await_suspend). */
+    void park(int id, std::coroutine_handle<> h);
+
+    /** Release every parked coroutine whose job became runnable, in
+     *  park (FIFO) order, via scheduleHandle(0, h). */
+    void rebalance();
+
+    static bool overlaps(const JobState &a, const JobState &b);
+
+    /** Minimum vtime over active equal-priority overlapping
+     *  competitors of @p j, excluding @p j itself; +inf if none. */
+    double minCompetitorV(const JobState &j) const;
+
+    sim::Simulator &sim_;
+    double quantumS_;
+    std::vector<JobState> jobs_;
+    std::vector<Parked> parked_;
+};
+
+} // namespace ndp::core::sched

@@ -341,4 +341,19 @@ PhotoService::outdatedLabelCount() const
     return labelDb.countOutdated(model_->version);
 }
 
+sched::JobDesc
+PhotoService::fineTuneJobDesc(const std::string &name,
+                              int priority) const
+{
+    sched::JobDesc d;
+    d.name = name;
+    d.kind = sched::JobKind::FtDmpTrain;
+    d.priority = priority;
+    // Same workload fineTune() curates: the whole pool, recency-biased,
+    // split into nRun pipelined runs.
+    d.nImages = world_->numImages();
+    d.train.nRun = cfg.nRun;
+    return d;
+}
+
 } // namespace ndp::core

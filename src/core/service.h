@@ -18,6 +18,7 @@
 
 #include "core/checkpoint.h"
 #include "core/delta.h"
+#include "core/sched/job.h"
 #include "data/backbone.h"
 #include "data/profiles.h"
 #include "data/world.h"
@@ -124,6 +125,15 @@ class PhotoService
      * model. @return number of labels that changed.
      */
     size_t refreshLabels();
+
+    /**
+     * Describe this service's nightly FT-DMP fine-tune as a
+     * schedulable cluster job (core/sched/cluster.h): the performance
+     * twin of fineTune(), sized to the current photo pool. The caller
+     * assigns stores (e.g. from planJobs()) before submitting.
+     */
+    sched::JobDesc fineTuneJobDesc(const std::string &name,
+                                   int priority = 0) const;
 
     /**
      * Push @p delta (chained against @p base_version) to every

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/npe_common.h"
 #include "core/pipeline.h"
+#include "core/sched/scheduler.h"
 #include "hw/devices.h"
 #include "hw/power.h"
 #include "models/throughput.h"
@@ -18,28 +20,24 @@
 namespace ndp::core {
 
 // Coroutines below borrow run-scope state by reference: every Task is
-// spawned on the Simulator owned by the enclosing run*() entry point,
-// and s.run() drains the event queue (joining all of them) before any
-// referent goes out of scope, so the references cannot dangle.
+// spawned on the Simulator owned by the enclosing entry point (or the
+// multi-job Cluster), and s.run() drains the event queue (joining all
+// of them) before any referent goes out of scope, so the references
+// cannot dangle.
 // NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
 
 namespace {
 
-/** Everything the coroutines share for one FT-DMP run. */
+/** Everything the coroutines share for one FT-DMP dataflow. Devices
+ *  and fabric nodes are borrowed from FtDmpPorts; the per-run feature
+ *  spools and gates are owned here. */
 struct FtDmpEnv
 {
-    FtDmpEnv(sim::Simulator &s, const ExperimentConfig &cfg, int n_run)
-        : sim(s), fabric(s), tunerGpu(s, *cfg.tunerSpec.gpu,
-                                      cfg.tunerSpec.nGpus)
+    FtDmpEnv(sim::Simulator &s, const FtDmpPorts &ports, int n_run)
+        : sim(s), fabric(*ports.fabric), storeNodes(ports.storeNodes),
+          tunerNode(ports.tunerNode), tunerGpu(*ports.tunerGpu),
+          faults(ports.faults), sched(ports.sched), jobId(ports.jobId)
     {
-        // Topology: one fabric node per store plus the Tuner, all
-        // hanging off one ToR. Stores go first so fault store index i
-        // is fabric node i; every feature/sync/delta flow then shares
-        // the Tuner's NIC structurally (§4.1).
-        for (int i = 0; i < cfg.nStores; ++i)
-            storeNodes.push_back(fabric.addNode(cfg.storeSpec.nic));
-        tunerNode = fabric.addNode(cfg.nic());
-        fabric.setIngress(tunerNode);
         // The Tuner spools arriving features to its local NVMe before
         // each training run (§5.2), so the feature path exerts no
         // back-pressure on the stores: effectively unbounded buffers.
@@ -53,15 +51,19 @@ struct FtDmpEnv
     }
 
     sim::Simulator &sim;
-    net::NetFabric fabric;
+    net::NetFabric &fabric;
+    /** Job-local store order; storeNodes[k] is stores[k]'s node. */
     std::vector<net::NodeId> storeNodes;
     net::NodeId tunerNode = net::kNoNode;
-    hw::GpuExec tunerGpu;
+    hw::GpuExec &tunerGpu;
     std::vector<std::unique_ptr<sim::Channel<int>>> runFeatures;
     std::vector<std::unique_ptr<sim::WaitGroup>> tunerDone;
 
     /** Non-null only when a non-empty FaultPlan armed the run. */
     sim::FaultInjector *faults = nullptr;
+    /** Multi-job hooks (null/-1 single-tenant: zero-cost rule). */
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
 
     StageMetrics stages;
     double syncTraffic = 0.0;
@@ -78,21 +80,28 @@ struct FtDmpEnv
     /** @} */
 
     void
-    setupTrace(obs::Tracer *t, int plus_fc_stores, bool has_tuner)
+    setupTrace(obs::Tracer *t, const std::string &scope,
+               const std::vector<int> &fleet_idx, int plus_fc_stores,
+               bool has_tuner)
     {
         trace = t;
         if (!t)
             return;
         for (int i = 0; i < plus_fc_stores; ++i) {
-            std::string node = "store" + std::to_string(i);
+            std::string node = obs::scopedNode(
+                scope,
+                "store" +
+                    std::to_string(fleet_idx[static_cast<size_t>(i)]));
             trkStoreDisk.push_back(t->track(node, "disk"));
             trkStoreGpu.push_back(t->track(node, "gpu"));
             trkStoreSync.push_back(t->track(node, "sync"));
         }
         if (has_tuner)
-            trkTunerGpu = t->track("tuner", "gpu");
+            trkTunerGpu =
+                t->track(obs::scopedNode(scope, "tuner"), "gpu");
         if (faults)
-            trkFault = t->track("tuner", "faults");
+            trkFault =
+                t->track(obs::scopedNode(scope, "tuner"), "faults");
     }
 };
 
@@ -101,14 +110,16 @@ struct FtDmpEnv
  * on the store; every iteration pays a weight synchronization over the
  * shared network (§4.1). This is not an NPE dataflow — it is the
  * anti-pattern FT-DMP replaces — so it stays a bespoke coroutine
- * rather than a Pipeline configuration.
- * ndplint: allow(coroutine-ref-param) — referents live in
- * runFtDmpTraining's scope, which joins this task via s.run().
+ * rather than a Pipeline configuration. @p lidx is the job-local store
+ * index (shard shares, node/track arrays); @p fidx the fleet index
+ * (fault RNG streams). Single-tenant runs pass lidx == fidx.
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run().
  */
 sim::Task
 storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                     const ExperimentConfig &cfg, const TrainOptions &opt,
-                    int store_idx, sim::Barrier &sync_barrier,
+                    int lidx, int fidx, sim::Barrier &sync_barrier,
                     sim::WaitGroup &stores_wg)
 {
     const models::ModelSpec &m = *cfg.model;
@@ -120,7 +131,7 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
     // of the trainable weights across stores — the cost FT-DMP exists
     // to eliminate — and the all-reduce is a fleet-wide barrier: the
     // fastest store waits for the slowest.
-    double speed = opt.speedOf(store_idx);
+    double speed = opt.speedOf(lidx);
     double fe_per_image =
         models::feSecondsPerImage(*cfg.storeSpec.gpu, m,
                                   m.classifierStart(), opt.feBatch) /
@@ -139,7 +150,7 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
 
     for (int r = 0; r < opt.nRun; ++r) {
         uint64_t share = runShare(cfg.nImages, opt.nRun, cfg.nStores, r,
-                                  store_idx);
+                                  lidx);
         // Store 0 always holds the largest share; every store runs
         // the same number of all-reduce rounds so the barrier closes.
         uint64_t max_share =
@@ -152,7 +163,7 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
             for (uint64_t it = 0; it < iters_per_epoch; ++it) {
                 if (env.faults) {
                     if (double d = env.faults->stallDelay(
-                            store_idx, env.sim.now());
+                            fidx, env.sim.now());
                         d > 0.0) {
                         env.faults->report().degradedS += d;
                         {
@@ -160,14 +171,13 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                                 env.trace, env.sim,
                                 env.trace ? env.trkStoreDisk
                                                 [static_cast<size_t>(
-                                                    store_idx)]
+                                                    lidx)]
                                           : 0,
                                 obs::Cat::Stall, "stall");
                             co_await env.sim.delay(d);
                         }
                     }
-                    if (env.faults->crashed(store_idx,
-                                            env.sim.now())) {
+                    if (env.faults->crashed(fidx, env.sim.now())) {
                         // The synchronized fleet cannot re-assign a
                         // shard (every store trains the full model):
                         // the dead store's unextracted images are
@@ -178,16 +188,15 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                         uint64_t lost = epoch == 0 ? left : 0;
                         for (int rr = r + 1; rr < opt.nRun; ++rr)
                             lost += runShare(cfg.nImages, opt.nRun,
-                                             cfg.nStores, rr,
-                                             store_idx);
+                                             cfg.nStores, rr, lidx);
                         env.faults->noteUnrecovered(
                             sim::FaultClass::StoreCrash, lost);
                         if (env.trace)
                             env.trace->instant(
                                 env.trkFault, obs::Cat::Fault,
                                 "crash", env.sim.now(),
-                                {{"store", static_cast<double>(
-                                               store_idx)},
+                                {{"store",
+                                  static_cast<double>(fidx)},
                                  {"lost",
                                   static_cast<double>(lost)}});
                         sync_barrier.leave();
@@ -201,7 +210,7 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
                     static_cast<uint64_t>(store_batch), left));
                 left -= static_cast<uint64_t>(n);
 
-                const size_t sidx = static_cast<size_t>(store_idx);
+                const size_t sidx = static_cast<size_t>(lidx);
                 if (n > 0 && epoch == 0) {
                     double read_t =
                         st.disk.readServiceTime(read_bytes * n);
@@ -258,9 +267,11 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
     stores_wg.done();
 }
 
-/** Tuner: ingest features per run, then train the classifier.
- * ndplint: allow(coroutine-ref-param) — referents live in
- * runFtDmpTraining's scope, which joins this task via s.run(). */
+/** Tuner: ingest features per run, then train the classifier. The
+ * Tuner GPU is the device every fine-tuning job shares, so its
+ * compute is yielded and charged to the job's scheduler account.
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
 sim::Task
 tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
           const TrainOptions &opt, size_t cut)
@@ -285,15 +296,22 @@ tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
             }
             seen += static_cast<uint64_t>(*n);
             if (ingest_per_image > 0.0) {
+                if (env.sched)
+                    co_await env.sched->yield(env.jobId);
                 obs::SpanGuard sg(env.trace, env.sim, env.trkTunerGpu,
                                   obs::Cat::Tuner, "ingest",
                                   {{"n", static_cast<double>(*n)}});
                 co_await env.tunerGpu.compute(ingest_per_image * *n);
                 env.stages.tunerS += ingest_per_image * *n;
+                if (env.sched)
+                    env.sched->charge(env.jobId,
+                                      ingest_per_image * *n);
             }
         }
         double train_t = epoch_per_image * static_cast<double>(seen) *
                          static_cast<double>(opt.tunerEpochs);
+        if (env.sched)
+            co_await env.sched->yield(env.jobId);
         {
             obs::SpanGuard sg(env.trace, env.sim, env.trkTunerGpu,
                               obs::Cat::Tuner, "train",
@@ -302,6 +320,8 @@ tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
             co_await env.tunerGpu.compute(train_t);
         }
         env.stages.tunerS += train_t;
+        if (env.sched)
+            env.sched->charge(env.jobId, train_t);
         env.tunerDone[r]->done();
     }
 }
@@ -311,8 +331,8 @@ tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
  * every store sink has drained no more features can arrive, so close
  * the per-run spools. A crash-induced shortfall then wakes the Tuner
  * with end-of-stream instead of leaving it blocked forever.
- * ndplint: allow(coroutine-ref-param) — referents live in
- * runFtDmpTraining's scope, which joins this task via s.run().
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run().
  */
 sim::Task
 featureWatchdog(FtDmpEnv &env, sim::WaitGroup &stores_wg)
@@ -322,12 +342,14 @@ featureWatchdog(FtDmpEnv &env, sim::WaitGroup &stores_wg)
         ch->close();
 }
 
-/** Check-N-Run delta redistribution to every store (§5).
- * ndplint: allow(coroutine-ref-param) — referents live in
- * runFtDmpTraining's scope, which joins this task via s.run(). */
+/** Check-N-Run delta redistribution to every store (§5). @p fin
+ * (multi-job only) signals the job monitor that the push finished.
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
 sim::Task
 deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
-                  const TrainOptions &opt, double *out_bytes)
+                  const TrainOptions &opt, double *out_bytes,
+                  sim::WaitGroup *fin)
 {
     co_await env.tunerDone[static_cast<size_t>(opt.nRun) - 1]->wait();
     double delta_bytes = cfg.model->trainableParamsM() * 1e6 * 4.0 /
@@ -374,104 +396,149 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
             *out_bytes += delta_bytes;
         }
     }
+    if (fin)
+        fin->done();
+}
+
+/** Multi-job completion monitor: fires jobDone once the stores, the
+ * Tuner, and (when enabled) the delta push have all drained. Spawned
+ * only when a Cluster provided jobDone, so single-tenant runs never
+ * see it. ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
+sim::Task
+ftJobMonitor(FtDmpEnv &env, sim::WaitGroup &stores_wg,
+             sim::WaitGroup *delta_fin, sim::WaitGroup &job_done)
+{
+    co_await stores_wg.wait();
+    co_await env.tunerDone.back()->wait();
+    if (delta_fin)
+        co_await delta_fin->wait();
+    job_done.done();
 }
 
 } // namespace
 
-TrainReport
-runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
+struct FtDmpDataflow::Impl
 {
-    cfg.validate().orThrow();
-    opt.validate().orThrow();
-    const models::ModelSpec &m = *cfg.model;
-    size_t cut = opt.resolveCut(m);
-    assert(cut <= m.numBlocks());
-    bool classifier_on_stores = m.cutSplitsClassifier(cut);
+    Impl(sim::Simulator &sim, const ExperimentConfig &config,
+         const TrainOptions &options, const FtDmpPorts &p)
+        : s(sim), cfg(config), opt(options), ports(p),
+          env(sim, ports, options.nRun), gauges(p.trace), storesWg(sim),
+          syncBarrier(sim, config.nStores)
+    {}
 
-    TrainReport rep;
-    rep.images = cfg.nImages;
-
-    sim::Simulator s;
-    obs::Tracer *tr = obs::Tracer::current();
-    obs::GaugeSet gauges(tr);
-    FtDmpEnv env(s, cfg, opt.nRun);
-    // Fault plumbing: the injector always exists, but the hooks only
-    // see it when the plan is non-empty — an empty plan leaves every
-    // dataflow on the exact fault-free event sequence.
-    sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
-    env.faults = injector.armed() ? &injector : nullptr;
-    env.fabric.attachFaults(env.faults);
-    env.fabric.setTracer(tr);
-    env.setupTrace(tr, classifier_on_stores ? cfg.nStores : 0,
-                   !classifier_on_stores);
-    if (tr) {
-        gauges.add("net", "ingress.util", [&env] {
-            return env.fabric.downlinkUtilization(
-                env.fabric.ingress());
-        });
-        gauges.add("net", "flows.active", [&env] {
-            return static_cast<double>(env.fabric.activeFlows());
-        });
-        gauges.add("tuner", "util.gpu",
-                   [&env] { return env.tunerGpu.utilization(); });
-        gauges.add("tuner", "power.w",
-                   [probe = hw::PowerProbe{&cfg.tunerSpec,
-                                           &env.tunerGpu, nullptr}] {
-                       return probe.watts();
-                   });
-    }
+    sim::Simulator &s;
+    ExperimentConfig cfg;
+    TrainOptions opt;
+    FtDmpPorts ports;
+    FtDmpEnv env;
+    obs::GaugeSet gauges;
+    sim::WaitGroup storesWg;
+    sim::Barrier syncBarrier;
     std::unique_ptr<sim::RecoveryCoordinator> recovery;
-    if (env.faults && !classifier_on_stores) {
-        recovery = std::make_unique<sim::RecoveryCoordinator>(
-            s, injector, cfg.nStores, opt.feBatch);
-        s.spawn(recovery->run());
-    }
-    // Counts store sinks: Pipeline::spawn registers its own workers;
-    // the bespoke "+FC" coroutine registers itself below.
-    sim::WaitGroup stores_wg(s);
-    sim::Barrier sync_barrier(s, cfg.nStores);
+    std::vector<std::unique_ptr<Pipeline>> pipes;
+    std::unique_ptr<sim::WaitGroup> deltaFin;
+    double distributionBytes = 0.0;
+    size_t cut = 0;
+    bool classifierOnStores = false;
+};
 
-    struct Store
-    {
-        Store(sim::Simulator &s, const hw::ServerSpec &spec)
-            : stations(s, spec)
-        {}
-        StoreStations stations;
-        std::unique_ptr<Pipeline> pipe;
-    };
+FtDmpDataflow::FtDmpDataflow(sim::Simulator &s,
+                             const ExperimentConfig &cfg,
+                             const TrainOptions &opt,
+                             const FtDmpPorts &ports)
+    : impl_(std::make_unique<Impl>(s, cfg, opt, ports))
+{
+    assert(static_cast<int>(ports.stores.size()) == cfg.nStores);
+    assert(ports.fleetIdx.size() == ports.stores.size());
+    const models::ModelSpec &m = *cfg.model;
+    impl_->cut = opt.resolveCut(m);
+    assert(impl_->cut <= m.numBlocks());
+    impl_->classifierOnStores = m.cutSplitsClassifier(impl_->cut);
+
+    FtDmpEnv &env = impl_->env;
+    obs::Tracer *tr = ports.trace;
+    env.setupTrace(tr, ports.scope, ports.fleetIdx,
+                   impl_->classifierOnStores ? cfg.nStores : 0,
+                   !impl_->classifierOnStores);
+    if (tr) {
+        impl_->gauges.add(
+            obs::scopedNode(ports.scope, "net"), "ingress.util",
+            [e = &env] {
+                return e->fabric.downlinkUtilization(
+                    e->fabric.ingress());
+            });
+        impl_->gauges.add(
+            obs::scopedNode(ports.scope, "net"), "flows.active",
+            [e = &env] {
+                return static_cast<double>(e->fabric.activeFlows());
+            });
+        impl_->gauges.add(obs::scopedNode(ports.scope, "tuner"),
+                          "util.gpu", [e = &env] {
+                              return e->tunerGpu.utilization();
+                          });
+        impl_->gauges.add(
+            obs::scopedNode(ports.scope, "tuner"), "power.w",
+            [probe = hw::PowerProbe{&impl_->cfg.tunerSpec,
+                                    ports.tunerGpu, nullptr}] {
+                return probe.watts();
+            });
+    }
+    if (env.faults && !impl_->classifierOnStores) {
+        impl_->recovery = std::make_unique<sim::RecoveryCoordinator>(
+            s, *env.faults, cfg.nStores, opt.feBatch);
+    }
+}
+
+FtDmpDataflow::~FtDmpDataflow() = default;
+
+void
+FtDmpDataflow::spawn()
+{
+    Impl &im = *impl_;
+    FtDmpEnv &env = im.env;
+    const ExperimentConfig &cfg = im.cfg;
+    const TrainOptions &opt = im.opt;
+    const models::ModelSpec &m = *cfg.model;
+    obs::Tracer *tr = im.ports.trace;
+
+    if (im.recovery)
+        im.s.spawn(im.recovery->run());
 
     // Feature extraction is the NPE dataflow (§5.4): per store, read
     // compressed binaries, decompress, forward through [0, cut), ship
     // the feature tensors to the Tuner's per-run spool.
     double fe_base = models::feSecondsPerImage(*cfg.storeSpec.gpu, m,
-                                               cut, opt.feBatch);
+                                               im.cut, opt.feBatch);
     std::vector<sim::Channel<int> *> run_out;
     for (auto &ch : env.runFeatures)
         run_out.push_back(ch.get());
     bool piped = opt.pipelined;
 
-    std::vector<std::unique_ptr<Store>> stores;
     for (int i = 0; i < cfg.nStores; ++i) {
-        auto st = std::make_unique<Store>(s, cfg.storeSpec);
+        StoreStations &st = *im.ports.stores[static_cast<size_t>(i)];
+        const int fidx = im.ports.fleetIdx[static_cast<size_t>(i)];
+        const std::string node = obs::scopedNode(
+            im.ports.scope, "store" + std::to_string(fidx));
         if (tr) {
-            const std::string node = "store" + std::to_string(i);
-            hw::Disk *disk = &st->stations.disk;
-            hw::CpuPool *cpu = &st->stations.cpu;
-            hw::GpuExec *gpu = &st->stations.gpu;
-            gauges.add(node, "util.disk",
-                       [disk] { return disk->utilization(); });
-            gauges.add(node, "util.gpu",
-                       [gpu] { return gpu->utilization(); });
-            gauges.add(node, "power.w",
-                       [probe = hw::PowerProbe{&cfg.storeSpec, gpu,
-                                               cpu}] {
-                           return probe.watts();
-                       });
+            hw::Disk *disk = &st.disk;
+            hw::CpuPool *cpu = &st.cpu;
+            hw::GpuExec *gpu = &st.gpu;
+            im.gauges.add(node, "util.disk",
+                          [disk] { return disk->utilization(); });
+            im.gauges.add(node, "util.gpu",
+                          [gpu] { return gpu->utilization(); });
+            im.gauges.add(node, "power.w",
+                          [probe = hw::PowerProbe{&im.cfg.storeSpec,
+                                                  gpu, cpu}] {
+                              return probe.watts();
+                          });
         }
-        if (classifier_on_stores) {
-            stores_wg.add(1);
-            s.spawn(storeLocalTrainProc(env, st->stations, cfg, opt, i,
-                                        sync_barrier, stores_wg));
+        if (im.classifierOnStores) {
+            im.storesWg.add(1);
+            im.s.spawn(storeLocalTrainProc(env, st, im.cfg, im.opt, i,
+                                           fidx, im.syncBarrier,
+                                           im.storesWg));
         } else {
             PipelineSpec spec;
             spec.pipelined = true; // opt.pipelined gates runs, below
@@ -485,82 +552,149 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
                     return nullptr;
                 return env.tunerDone[static_cast<size_t>(r) - 1].get();
             };
-            spec.cpu = &st->stations.cpu;
+            spec.cpu = &st.cpu;
             spec.cpuOps = {CpuStageOp::decompress(m.inputMB(),
                                                   cfg.npe.decompressCores)};
-            spec.gpu = &st->stations.gpu;
+            spec.gpu = &st.gpu;
             spec.computeSecondsPerItem = fe_base / opt.speedOf(i);
             spec.fabric = &env.fabric;
             spec.shipSrc = env.storeNodes[static_cast<size_t>(i)];
             spec.shipDst = env.tunerNode;
             spec.shipClass = net::FlowClass::FeatureShip;
-            spec.shipBytesPerItem = m.transferMBAt(cut) * 1e6;
+            spec.shipBytesPerItem = m.transferMBAt(im.cut) * 1e6;
             spec.runOut = run_out;
-            spec.done = &stores_wg;
+            spec.done = &im.storesWg;
+            spec.sched = im.ports.sched;
+            spec.jobId = im.ports.jobId;
             spec.faults = env.faults;
-            spec.faultStoreBase = i;
-            spec.recovery = recovery.get();
+            spec.faultStoreBase = fidx;
+            spec.recovery = im.recovery.get();
             spec.trace = tr;
-            spec.traceNode = "store" + std::to_string(i);
+            spec.traceNode = node;
             std::vector<ProducerSpec> prods(1);
-            prods[0].disk = &st->stations.disk;
+            prods[0].disk = &st.disk;
             prods[0].node = env.storeNodes[static_cast<size_t>(i)];
             for (int r = 0; r < opt.nRun; ++r)
                 prods[0].runItems.push_back(
                     runShare(cfg.nImages, opt.nRun, cfg.nStores, r, i));
-            st->pipe = std::make_unique<Pipeline>(s, std::move(spec),
-                                                  std::move(prods));
-            st->pipe->spawn();
+            im.pipes.push_back(std::make_unique<Pipeline>(
+                im.s, std::move(spec), std::move(prods)));
+            im.pipes.back()->spawn();
         }
-        stores.push_back(std::move(st));
     }
-    if (classifier_on_stores) {
+    if (im.classifierOnStores) {
         // No Tuner stage; the stores converge among themselves. Mark
         // the tuner gates done so delta distribution can proceed.
         for (auto &wg : env.tunerDone)
             wg->done();
     } else {
-        s.spawn(tunerProc(env, cfg, opt, cut));
+        im.s.spawn(tunerProc(env, im.cfg, im.opt, im.cut));
         if (env.faults)
-            s.spawn(featureWatchdog(env, stores_wg));
+            im.s.spawn(featureWatchdog(env, im.storesWg));
     }
-    if (opt.distributeDeltas)
-        s.spawn(deltaDistribution(env, cfg, opt, &rep.distributionBytes));
+    if (opt.distributeDeltas) {
+        if (im.ports.jobDone) {
+            im.deltaFin = std::make_unique<sim::WaitGroup>(im.s);
+            im.deltaFin->add(1);
+        }
+        im.s.spawn(deltaDistribution(env, im.cfg, im.opt,
+                                     &im.distributionBytes,
+                                     im.deltaFin.get()));
+    }
+    if (im.ports.jobDone)
+        im.s.spawn(ftJobMonitor(env, im.storesWg, im.deltaFin.get(),
+                                *im.ports.jobDone));
+}
 
+void
+FtDmpDataflow::finalize(TrainReport &rep)
+{
+    Impl &im = *impl_;
+    rep.stages = im.env.stages;
+    for (auto &pipe : im.pipes) {
+        pipe->finalize();
+        rep.stages += pipe->metrics();
+        rep.dataTrafficBytes += pipe->metrics().shipBytes;
+        im.env.feEndTime =
+            std::max(im.env.feEndTime, pipe->metrics().lastItemS);
+    }
+    rep.syncTrafficBytes = im.env.syncTraffic;
+    rep.distributionBytes = im.distributionBytes;
+}
+
+double
+FtDmpDataflow::feEndTime() const
+{
+    return impl_->env.feEndTime;
+}
+
+TrainReport
+runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
+{
+    cfg.validate().orThrow();
+    opt.validate().orThrow();
+
+    TrainReport rep;
+    rep.images = cfg.nImages;
+
+    sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
+    // Topology: one fabric node per store plus the Tuner, all hanging
+    // off one ToR. Stores go first so fault store index i is fabric
+    // node i; every feature/sync/delta flow then shares the Tuner's
+    // NIC structurally (§4.1).
+    net::NetFabric fabric(s);
+    FtDmpPorts ports;
+    ports.fabric = &fabric;
+    for (int i = 0; i < cfg.nStores; ++i)
+        ports.storeNodes.push_back(fabric.addNode(cfg.storeSpec.nic));
+    ports.tunerNode = fabric.addNode(cfg.nic());
+    fabric.setIngress(ports.tunerNode);
+    hw::GpuExec tuner_gpu(s, *cfg.tunerSpec.gpu, cfg.tunerSpec.nGpus);
+    ports.tunerGpu = &tuner_gpu;
+    // Fault plumbing: the injector always exists, but the hooks only
+    // see it when the plan is non-empty — an empty plan leaves every
+    // dataflow on the exact fault-free event sequence.
+    sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
+    ports.faults = injector.armed() ? &injector : nullptr;
+    fabric.attachFaults(ports.faults);
+    fabric.setTracer(tr);
+    ports.trace = tr;
+
+    std::vector<std::unique_ptr<StoreStations>> stations;
+    for (int i = 0; i < cfg.nStores; ++i) {
+        stations.push_back(
+            std::make_unique<StoreStations>(s, cfg.storeSpec));
+        ports.stores.push_back(stations.back().get());
+        ports.fleetIdx.push_back(i);
+    }
+
+    FtDmpDataflow flow(s, cfg, opt, ports);
+    flow.spawn();
     s.run();
 
     rep.faults = injector.report();
-    rep.net = env.fabric.report();
-    rep.stages = env.stages;
-    for (auto &st : stores) {
-        if (!st->pipe)
-            continue;
-        st->pipe->finalize();
-        rep.stages += st->pipe->metrics();
-        rep.dataTrafficBytes += st->pipe->metrics().shipBytes;
-        env.feEndTime =
-            std::max(env.feEndTime, st->pipe->metrics().lastItemS);
-    }
+    rep.net = fabric.report();
+    flow.finalize(rep);
 
     rep.seconds = s.now();
     rep.trainIps = rep.seconds > 0.0
                        ? static_cast<double>(cfg.nImages) / rep.seconds
                        : 0.0;
-    rep.feIps = env.feEndTime > 0.0
-                    ? static_cast<double>(cfg.nImages) / env.feEndTime
+    rep.feIps = flow.feEndTime() > 0.0
+                    ? static_cast<double>(cfg.nImages) / flow.feEndTime()
                     : 0.0;
-    rep.syncTrafficBytes = env.syncTraffic;
 
-    for (size_t i = 0; i < stores.size(); ++i) {
-        double gu = stores[i]->stations.gpu.utilization();
-        double cu = stores[i]->stations.cpu.utilization();
+    for (size_t i = 0; i < stations.size(); ++i) {
+        double gu = stations[i]->gpu.utilization();
+        double cu = stations[i]->cpu.utilization();
         auto p = hw::serverPower(cfg.storeSpec, gu, cu);
         rep.perServer.push_back(
             {cfg.storeSpec.name + "#" + std::to_string(i), p});
         rep.power += p;
     }
     auto tuner_power = hw::serverPower(
-        cfg.tunerSpec, env.tunerGpu.utilization(), 0.05);
+        cfg.tunerSpec, tuner_gpu.utilization(), 0.05);
     rep.perServer.push_back({cfg.tunerSpec.name, tuner_power});
     rep.power += tuner_power;
     rep.energyJ = rep.power.totalW() * rep.seconds;
@@ -570,67 +704,93 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
 namespace {
 
 /** Classifier training on the host, once feature extraction drains.
- * ndplint: allow(coroutine-ref-param) — referents live in
- * runSrvFineTuning's scope, which joins this task via s.run(). */
+ * The host GPU is the shared device under multi-job runs, so the
+ * training block is yielded and charged like any other GPU stage.
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
 sim::Task
-srvClassifierTrain(const sim::Simulator &s, HostStations &host,
+srvClassifierTrain(const sim::Simulator &s, hw::GpuExec &gpus,
                    sim::WaitGroup &fe_done, double seconds,
-                   StageMetrics &stages, obs::Tracer *tr, int trk)
+                   double &tuner_s, obs::Tracer *tr, int trk,
+                   sched::Scheduler *sched, int job_id,
+                   sim::WaitGroup *fin)
 {
     co_await fe_done.wait();
+    if (sched)
+        co_await sched->yield(job_id);
     {
         obs::SpanGuard sg(tr, s, trk, obs::Cat::Tuner, "train");
-        co_await host.gpus.compute(seconds);
+        co_await gpus.compute(seconds);
     }
-    stages.tunerS += seconds;
+    tuner_s += seconds;
+    if (sched)
+        sched->charge(job_id, seconds);
+    if (fin)
+        fin->done();
+}
+
+/** Multi-job completion monitor for SRV fine-tuning.
+ * ndplint: allow(coroutine-ref-param) — referents live in the
+ * dataflow's scope, which joins this task via s.run(). */
+sim::Task
+srvJobMonitor(sim::WaitGroup &ct_fin, sim::WaitGroup &job_done)
+{
+    co_await ct_fin.wait();
+    job_done.done();
 }
 
 } // namespace
 
-TrainReport
-runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
-                 int tuner_epochs, bool pipelined)
+struct SrvFineTuneDataflow::Impl
 {
-    cfg.validate().orThrow();
-    const models::ModelSpec &m = *cfg.model;
-    TrainReport rep;
-    rep.images = cfg.nImages;
+    Impl(sim::Simulator &sim, const ExperimentConfig &config,
+         const SrvFineTunePorts &p)
+        : s(sim), cfg(config), ports(p), gauges(p.trace), feDone(sim),
+          ctFin(sim)
+    {}
 
-    sim::Simulator s;
-    obs::Tracer *tr = obs::Tracer::current();
-    obs::GaugeSet gauges(tr);
-    HostStations host(s, cfg.hostSpec);
-    // Topology: the SRV storage servers and the host on one ToR; all
-    // staged input funnels into the host's downlink.
-    net::NetFabric fabric(s);
-    std::vector<net::NodeId> srv_nodes;
-    for (int i = 0; i < cfg.srvStorageServers; ++i)
-        srv_nodes.push_back(fabric.addNode(cfg.srvStoreSpec.nic));
-    const net::NodeId host_node = fabric.addNode(cfg.nic());
-    fabric.setIngress(host_node);
-    fabric.setTracer(tr);
+    sim::Simulator &s;
+    ExperimentConfig cfg;
+    SrvFineTunePorts ports;
+    obs::GaugeSet gauges;
+    sim::WaitGroup feDone;
+    sim::WaitGroup ctFin;
+    std::unique_ptr<Pipeline> pipe;
+    double ctSeconds = 0.0;
+    double ctTunerS = 0.0;
+    int trkTuner = 0;
+};
+
+SrvFineTuneDataflow::SrvFineTuneDataflow(sim::Simulator &s,
+                                         const ExperimentConfig &cfg,
+                                         SrvVariant variant,
+                                         int tuner_epochs,
+                                         bool pipelined,
+                                         const SrvFineTunePorts &ports)
+    : impl_(std::make_unique<Impl>(s, cfg, ports))
+{
+    Impl &im = *impl_;
+    const models::ModelSpec &m = *cfg.model;
+    obs::Tracer *tr = ports.trace;
+    const std::string host_node = obs::scopedNode(ports.scope, "host");
     if (tr) {
-        gauges.add("net", "ingress.util", [&fabric] {
-            return fabric.downlinkUtilization(fabric.ingress());
+        im.gauges.add(host_node, "util.cpu", [c = ports.cpu] {
+            return c->utilization();
         });
-        gauges.add("host", "util.cpu",
-                   [&host] { return host.cpu.utilization(); });
-        gauges.add("host", "util.gpu",
-                   [&host] { return host.gpus.utilization(); });
-        gauges.add("host", "power.w",
-                   [probe = hw::PowerProbe{&cfg.hostSpec, &host.gpus,
-                                           &host.cpu}] {
-                       return probe.watts();
-                   });
+        im.gauges.add(host_node, "util.gpu", [g = ports.gpus] {
+            return g->utilization();
+        });
+        im.gauges.add(host_node, "power.w",
+                      [probe = hw::PowerProbe{&im.cfg.hostSpec,
+                                              ports.gpus, ports.cpu}] {
+                          return probe.watts();
+                      });
+        im.trkTuner = tr->track(host_node, "tuner");
     }
-    // SRV has no peer to re-dispatch to (one host owns the GPUs), so
-    // faults here degrade or type-fail the run but never re-assign.
-    sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
-    fabric.attachFaults(injector.armed() ? &injector : nullptr);
     size_t cut = m.classifierStart();
     double fe_per_image = models::feSecondsPerImage(
         *cfg.hostSpec.gpu, m, cut, cfg.npe.batchSize);
-    double ct_seconds =
+    im.ctSeconds =
         models::tunerEpochSecondsPerImage(*cfg.hostSpec.gpu, m,
                                           kTrainBatch) *
         static_cast<double>(cfg.nImages) *
@@ -650,46 +810,42 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
         break; // host-local data
     }
 
-    std::vector<std::unique_ptr<hw::Disk>> disks;
-    for (int i = 0; i < cfg.srvStorageServers; ++i)
-        disks.push_back(
-            std::make_unique<hw::Disk>(s, cfg.srvStoreSpec.disk));
-
-    sim::WaitGroup fe_done(s);
-
     PipelineSpec spec;
     spec.pipelined = pipelined;
     spec.batch = cfg.npe.batchSize;
     spec.depth = 2 * kStageDepth;
     spec.readBytesPerItem = wire;
-    spec.fabric = &fabric;
-    spec.wireDst = host_node;
+    spec.fabric = ports.fabric;
+    spec.wireDst = ports.hostNode;
     spec.wireClass = net::FlowClass::BulkInput;
     spec.wireBytesPerItem = wire;
-    spec.cpu = &host.cpu;
+    spec.cpu = ports.cpu;
     if (decompress && pipelined)
         spec.cpuOps = {
             CpuStageOp::decompress(m.inputMB(), kSrvCpuStageCores)};
-    spec.gpu = &host.gpus;
+    spec.gpu = ports.gpus;
     spec.computeSecondsPerItem = fe_per_image;
     spec.gpuWorkers = cfg.hostSpec.nGpus;
-    spec.done = &fe_done;
-    spec.faults = injector.armed() ? &injector : nullptr;
+    spec.done = &im.feDone;
+    spec.sched = ports.sched;
+    spec.jobId = ports.jobId;
+    spec.faults = ports.faults;
     spec.trace = tr;
-    spec.traceNode = "host";
+    spec.traceNode = host_node;
 
     std::vector<ProducerSpec> producers;
     if (wire > 0.0) {
         for (int i = 0; i < cfg.srvStorageServers; ++i) {
             ProducerSpec p;
-            p.disk = disks[static_cast<size_t>(i)].get();
-            p.node = srv_nodes[static_cast<size_t>(i)];
+            p.disk = im.ports.disks[static_cast<size_t>(i)];
+            p.node = im.ports.srvNodes[static_cast<size_t>(i)];
             p.runItems = {
                 evenShare(cfg.nImages, cfg.srvStorageServers, i)};
-            p.traceNode = "srv" + std::to_string(i);
+            p.traceNode = obs::scopedNode(ports.scope,
+                                          "srv" + std::to_string(i));
             if (tr)
-                gauges.add(p.traceNode, "util.disk",
-                           [d = p.disk] { return d->utilization(); });
+                im.gauges.add(p.traceNode, "util.disk",
+                              [d = p.disk] { return d->utilization(); });
             producers.push_back(std::move(p));
         }
     } else {
@@ -697,23 +853,92 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
         p.runItems = {cfg.nImages};
         producers.push_back(std::move(p));
     }
+    im.pipe = std::make_unique<Pipeline>(s, std::move(spec),
+                                         std::move(producers));
+}
 
-    Pipeline pipe(s, std::move(spec), std::move(producers));
-    pipe.spawn();
-    s.spawn(srvClassifierTrain(s, host, fe_done, ct_seconds, rep.stages,
-                               tr, tr ? tr->track("host", "tuner") : 0));
+SrvFineTuneDataflow::~SrvFineTuneDataflow() = default;
+
+void
+SrvFineTuneDataflow::spawn()
+{
+    Impl &im = *impl_;
+    im.pipe->spawn();
+    im.ctFin.add(1);
+    im.s.spawn(srvClassifierTrain(im.s, *im.ports.gpus, im.feDone,
+                                  im.ctSeconds, im.ctTunerS,
+                                  im.ports.trace, im.trkTuner,
+                                  im.ports.sched, im.ports.jobId,
+                                  &im.ctFin));
+    if (im.ports.jobDone)
+        im.s.spawn(srvJobMonitor(im.ctFin, *im.ports.jobDone));
+}
+
+void
+SrvFineTuneDataflow::finalize(TrainReport &rep)
+{
+    Impl &im = *impl_;
+    rep.stages.tunerS += im.ctTunerS;
+    im.pipe->finalize();
+    rep.stages += im.pipe->metrics();
+}
+
+TrainReport
+runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
+                 int tuner_epochs, bool pipelined)
+{
+    cfg.validate().orThrow();
+    TrainReport rep;
+    rep.images = cfg.nImages;
+
+    sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
+    obs::GaugeSet gauges(tr);
+    HostStations host(s, cfg.hostSpec);
+    // Topology: the SRV storage servers and the host on one ToR; all
+    // staged input funnels into the host's downlink.
+    net::NetFabric fabric(s);
+    SrvFineTunePorts ports;
+    ports.fabric = &fabric;
+    for (int i = 0; i < cfg.srvStorageServers; ++i)
+        ports.srvNodes.push_back(fabric.addNode(cfg.srvStoreSpec.nic));
+    ports.hostNode = fabric.addNode(cfg.nic());
+    fabric.setIngress(ports.hostNode);
+    fabric.setTracer(tr);
+    if (tr)
+        gauges.add("net", "ingress.util", [&fabric] {
+            return fabric.downlinkUtilization(fabric.ingress());
+        });
+    // SRV has no peer to re-dispatch to (one host owns the GPUs), so
+    // faults here degrade or type-fail the run but never re-assign.
+    sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
+    fabric.attachFaults(injector.armed() ? &injector : nullptr);
+    ports.faults = injector.armed() ? &injector : nullptr;
+    ports.gpus = &host.gpus;
+    ports.cpu = &host.cpu;
+    ports.trace = tr;
+
+    std::vector<std::unique_ptr<hw::Disk>> disks;
+    for (int i = 0; i < cfg.srvStorageServers; ++i) {
+        disks.push_back(
+            std::make_unique<hw::Disk>(s, cfg.srvStoreSpec.disk));
+        ports.disks.push_back(disks.back().get());
+    }
+
+    SrvFineTuneDataflow flow(s, cfg, variant, tuner_epochs, pipelined,
+                             ports);
+    flow.spawn();
     s.run();
 
     rep.faults = injector.report();
     rep.net = fabric.report();
-    pipe.finalize();
-    rep.stages += pipe.metrics();
+    flow.finalize(rep);
     rep.seconds = s.now();
     rep.trainIps = rep.seconds > 0.0
                        ? static_cast<double>(cfg.nImages) / rep.seconds
                        : 0.0;
     rep.feIps = rep.trainIps;
-    rep.dataTrafficBytes = fabric.bytesInto(host_node);
+    rep.dataTrafficBytes = fabric.bytesInto(ports.hostNode);
 
     auto host_power = hw::serverPower(
         cfg.hostSpec, host.gpus.utilization(), host.cpu.utilization());

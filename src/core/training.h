@@ -14,13 +14,20 @@
 
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/inference.h"
+#include "core/pipeline.h"
 #include "core/report.h"
 
 namespace ndp::core {
+
+namespace sched {
+class Scheduler;
+}
 
 struct TrainOptions
 {
@@ -94,9 +101,111 @@ struct TrainOptions
     }
 };
 
+/**
+ * Borrowed resources one FT-DMP job runs against. A single-tenant run
+ * (runFtDmpTraining) owns everything and fills this with its own
+ * devices; a multi-job Cluster hands each job its store subset plus
+ * the *shared* fabric, Tuner GPU, and scheduler. The sched / jobId /
+ * jobDone trio follows the zero-cost rule: all null/-1 in
+ * single-tenant runs, leaving the event sequence byte-identical.
+ */
+struct FtDmpPorts
+{
+    net::NetFabric *fabric = nullptr;
+    /** Fabric nodes of the job's stores, job-local order. */
+    std::vector<net::NodeId> storeNodes;
+    net::NodeId tunerNode = net::kNoNode;
+    hw::GpuExec *tunerGpu = nullptr;
+    /** The job's store stations, job-local order. */
+    std::vector<StoreStations *> stores;
+    /** Fleet store index of stores[k] (fault RNG stream + trace
+     *  names). Single-tenant: fleetIdx[k] == k. */
+    std::vector<int> fleetIdx;
+    /** Armed fault injector or null (zero-cost rule). */
+    sim::FaultInjector *faults = nullptr;
+    obs::Tracer *trace = nullptr;
+    /** Per-job trace prefix (obs::scopedNode); empty = untouched. */
+    std::string scope;
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
+    /** done() once when the whole dataflow drains (multi-job only:
+     *  null spawns no monitor coroutine at all). */
+    sim::WaitGroup *jobDone = nullptr;
+};
+
+/**
+ * One FT-DMP fine-tuning dataflow instantiated against FtDmpPorts:
+ * owns its channels, pipelines, recovery coordinator, and metrics;
+ * borrows every device from the ports.
+ */
+class FtDmpDataflow
+{
+  public:
+    FtDmpDataflow(sim::Simulator &s, const ExperimentConfig &cfg,
+                  const TrainOptions &opt, const FtDmpPorts &ports);
+    ~FtDmpDataflow();
+
+    FtDmpDataflow(const FtDmpDataflow &) = delete;
+    FtDmpDataflow &operator=(const FtDmpDataflow &) = delete;
+
+    /** Spawn every stage coroutine (same order as the single-tenant
+     *  entry point always used). */
+    void spawn();
+
+    /** Fill stages / traffic fields of @p rep after the run. */
+    void finalize(TrainReport &rep);
+
+    /** Sim time the last feature left the stores. */
+    double feEndTime() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 /** FT-DMP fine-tuning across cfg.nStores PipeStores and one Tuner. */
 TrainReport runFtDmpTraining(const ExperimentConfig &cfg,
                              const TrainOptions &opt);
+
+/** Borrowed resources of one SRV fine-tuning job (see FtDmpPorts). */
+struct SrvFineTunePorts
+{
+    net::NetFabric *fabric = nullptr;
+    /** Fabric nodes of the storage servers, job-local order. */
+    std::vector<net::NodeId> srvNodes;
+    /** Storage-server disks, job-local order (empty = host-local). */
+    std::vector<hw::Disk *> disks;
+    net::NodeId hostNode = net::kNoNode;
+    hw::GpuExec *gpus = nullptr;
+    hw::CpuPool *cpu = nullptr;
+    sim::FaultInjector *faults = nullptr;
+    obs::Tracer *trace = nullptr;
+    std::string scope;
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
+    sim::WaitGroup *jobDone = nullptr;
+};
+
+/** One SRV fine-tuning dataflow against borrowed host devices. */
+class SrvFineTuneDataflow
+{
+  public:
+    SrvFineTuneDataflow(sim::Simulator &s, const ExperimentConfig &cfg,
+                        SrvVariant variant, int tuner_epochs,
+                        bool pipelined, const SrvFineTunePorts &ports);
+    ~SrvFineTuneDataflow();
+
+    SrvFineTuneDataflow(const SrvFineTuneDataflow &) = delete;
+    SrvFineTuneDataflow &operator=(const SrvFineTuneDataflow &) =
+        delete;
+
+    void spawn();
+    void finalize(TrainReport &rep);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * Centralized fine-tuning on the SRV host (2x V100): storage servers

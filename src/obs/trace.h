@@ -338,6 +338,20 @@ class GaugeSet
 };
 
 /**
+ * Per-job track grouping: a multi-job cluster run prefixes every node
+ * name with the job's scope ("nightly-ft/store3", "serve/tuner"), so
+ * the Perfetto UI groups one job's processes together and ndptrace's
+ * per-node attribution becomes per-job attribution for free. An empty
+ * scope (single-tenant dataflows) leaves node names untouched, so
+ * every existing trace keeps its exact shape.
+ */
+inline std::string
+scopedNode(const std::string &scope, const std::string &node)
+{
+    return scope.empty() ? node : scope + "/" + node;
+}
+
+/**
  * Installs a Tracer as Tracer::current() for its lifetime (no
  * nesting). If constructed with a path, the destructor writes the
  * trace JSON there. `fromEnv()` is the NDP_TRACE gate used by benches:

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
 #include "core/apo.h"
 
 using namespace ndp;
@@ -151,4 +156,140 @@ TEST(Apo, TransferSizeReportedPerCut)
     TrainOptions opt;
     auto c = evaluateCut(cfg, opt, 0);
     EXPECT_DOUBLE_EQ(c.transferMBPerImage, cfg.model->inputMB());
+}
+
+// ---- Global APO (planJobs) ------------------------------------------
+
+namespace {
+
+/** Bit-level equality of two PartitionChoices. */
+void
+expectSameChoice(const PartitionChoice &a, const PartitionChoice &b)
+{
+    EXPECT_EQ(a.cut, b.cut);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.storeStageS),
+              std::bit_cast<uint64_t>(b.storeStageS));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.netStageS),
+              std::bit_cast<uint64_t>(b.netStageS));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.tunerStageS),
+              std::bit_cast<uint64_t>(b.tunerStageS));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.predictedTotalS),
+              std::bit_cast<uint64_t>(b.predictedTotalS));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.transferMBPerImage),
+              std::bit_cast<uint64_t>(b.transferMBPerImage));
+}
+
+} // namespace
+
+TEST(GlobalApo, SingleJobReducesBitExactlyToAlgorithm1)
+{
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    ApoResult classic = findBestOrganization(cfg, opt, 20);
+
+    ApoJobSpec job;
+    job.name = "only";
+    job.model = cfg.model;
+    job.nImages = cfg.nImages;
+    job.train = opt;
+    GlobalApoResult g = planJobs(cfg, {job}, 20);
+
+    ASSERT_EQ(g.jobs.size(), 1u);
+    EXPECT_EQ(g.jobs[0].nStores, classic.bestStores);
+    EXPECT_EQ(g.jobs[0].firstStore, 0);
+    expectSameChoice(g.jobs[0].choice, classic.bestChoice);
+    EXPECT_EQ(std::bit_cast<uint64_t>(g.makespanS),
+              std::bit_cast<uint64_t>(
+                  classic.bestChoice.predictedTotalS));
+}
+
+TEST(GlobalApo, RefactoredSweepMatchesAlgorithm1)
+{
+    // findBestOrganization == selectBalanced(sweepOrganizations(...))
+    // bit-for-bit — the refactor seam planJobs() builds on.
+    auto cfg = apoCfg();
+    TrainOptions opt;
+    ApoResult whole = findBestOrganization(cfg, opt, 12);
+    ApoResult split = selectBalanced(sweepOrganizations(cfg, opt, 12));
+    EXPECT_EQ(whole.bestStores, split.bestStores);
+    expectSameChoice(whole.bestChoice, split.bestChoice);
+    ASSERT_EQ(whole.sweep.size(), split.sweep.size());
+    for (size_t i = 0; i < whole.sweep.size(); ++i) {
+        EXPECT_EQ(whole.sweep[i].nStores, split.sweep[i].nStores);
+        expectSameChoice(whole.sweep[i].choice, split.sweep[i].choice);
+    }
+}
+
+TEST(GlobalApo, PartitionIsExactDisjointAndContiguous)
+{
+    auto cfg = apoCfg();
+    std::vector<ApoJobSpec> jobs;
+    jobs.push_back({"r50", &models::resnet50(), 1200000, {}});
+    jobs.push_back({"shuffle", &models::shufflenetV2(), 600000, {}});
+    jobs.push_back({"incept", &models::inceptionV3(), 400000, {}});
+    const int fleet = 10;
+    GlobalApoResult g = planJobs(cfg, jobs, fleet);
+    ASSERT_EQ(g.jobs.size(), jobs.size());
+    int next = 0, total = 0;
+    double worst = 0.0;
+    for (const ApoJobPlan &p : g.jobs) {
+        EXPECT_GE(p.nStores, 1);
+        EXPECT_EQ(p.firstStore, next) << p.name;
+        next += p.nStores;
+        total += p.nStores;
+        worst = std::max(worst, p.choice.predictedTotalS);
+    }
+    EXPECT_EQ(total, fleet);
+    // The reported makespan is exactly the slowest job's prediction.
+    EXPECT_EQ(std::bit_cast<uint64_t>(g.makespanS),
+              std::bit_cast<uint64_t>(worst));
+}
+
+TEST(GlobalApo, IdenticalJobsSplitTheFleetEvenly)
+{
+    auto cfg = apoCfg();
+    ApoJobSpec a{"a", &models::resnet50(), 1200000, {}};
+    ApoJobSpec b{"b", &models::resnet50(), 1200000, {}};
+    GlobalApoResult g = planJobs(cfg, {a, b}, 8);
+    ASSERT_EQ(g.jobs.size(), 2u);
+    EXPECT_EQ(g.jobs[0].nStores, 4);
+    EXPECT_EQ(g.jobs[1].nStores, 4);
+    EXPECT_EQ(g.jobs[0].firstStore, 0);
+    EXPECT_EQ(g.jobs[1].firstStore, 4);
+    expectSameChoice(g.jobs[0].choice, g.jobs[1].choice);
+}
+
+TEST(GlobalApo, HeavierJobGetsMoreStores)
+{
+    auto cfg = apoCfg();
+    ApoJobSpec heavy{"heavy", &models::resnext101(), 1200000, {}};
+    ApoJobSpec light{"light", &models::shufflenetV2(), 300000, {}};
+    GlobalApoResult g = planJobs(cfg, {heavy, light}, 10);
+    EXPECT_GT(g.jobs[0].nStores, g.jobs[1].nStores);
+}
+
+TEST(GlobalApo, DeterministicAcrossCalls)
+{
+    auto cfg = apoCfg();
+    std::vector<ApoJobSpec> jobs;
+    jobs.push_back({"r50", &models::resnet50(), 1200000, {}});
+    jobs.push_back({"vgg-ish", &models::resnext101(), 800000, {}});
+    GlobalApoResult g1 = planJobs(cfg, jobs, 9);
+    GlobalApoResult g2 = planJobs(cfg, jobs, 9);
+    EXPECT_EQ(std::bit_cast<uint64_t>(g1.makespanS),
+              std::bit_cast<uint64_t>(g2.makespanS));
+    ASSERT_EQ(g1.jobs.size(), g2.jobs.size());
+    for (size_t i = 0; i < g1.jobs.size(); ++i) {
+        EXPECT_EQ(g1.jobs[i].nStores, g2.jobs[i].nStores);
+        EXPECT_EQ(g1.jobs[i].firstStore, g2.jobs[i].firstStore);
+        expectSameChoice(g1.jobs[i].choice, g2.jobs[i].choice);
+    }
+}
+
+TEST(GlobalApo, RejectsEmptyAndOversubscribed)
+{
+    auto cfg = apoCfg();
+    EXPECT_THROW(planJobs(cfg, {}, 8), std::invalid_argument);
+    ApoJobSpec j{"x", &models::resnet50(), 1000, {}};
+    EXPECT_THROW(planJobs(cfg, {j, j, j}, 2), std::invalid_argument);
 }

@@ -18,6 +18,7 @@
 #include "core/inference.h"
 #include "core/media.h"
 #include "core/online.h"
+#include "core/sched/cluster.h"
 #include "core/training.h"
 #include "obs/trace.h"
 
@@ -352,6 +353,61 @@ TEST(Determinism, FaultedOnlineInferenceBitIdentical)
     EXPECT_BITEQ(first.p99Ms, second.p99Ms);
     EXPECT_BITEQ(first.meanMs, second.meanMs);
     expectSameFaults(first.faults, second.faults);
+}
+
+TEST(Determinism, MultiJobClusterBitIdentical)
+{
+    // A mixed 3-job cluster — training, offline inference, and online
+    // serving sharing one fleet, fabric, and scheduler — must be just
+    // as pure a function of its configuration as any single dataflow.
+    auto runCluster = [] {
+        ClusterSpec spec;
+        spec.nStores = 4;
+        sched::Cluster c(spec);
+        sched::JobDesc train;
+        train.name = "train";
+        train.kind = sched::JobKind::FtDmpTrain;
+        train.stores = {0, 1};
+        train.nImages = 16000;
+        train.train.nRun = 2;
+        c.submit(train);
+        sched::JobDesc off;
+        off.name = "offline";
+        off.kind = sched::JobKind::OfflineInfer;
+        off.stores = {2, 3};
+        off.nImages = 12000;
+        off.submitAtS = 1.0;
+        c.submit(off);
+        sched::JobDesc serve;
+        serve.name = "serve";
+        serve.kind = sched::JobKind::OnlineServe;
+        serve.priority = 2;
+        serve.nUploads = 3000;
+        c.submit(serve);
+        return c.run();
+    };
+    sched::ClusterReport first = runCluster();
+    sched::ClusterReport second = runCluster();
+    EXPECT_BITEQ(first.seconds, second.seconds);
+    EXPECT_EQ(first.events, second.events);
+    expectSameNet(first.net, second.net);
+    expectSameFaults(first.faults, second.faults);
+    ASSERT_EQ(first.jobs.size(), second.jobs.size());
+    for (size_t j = 0; j < first.jobs.size(); ++j) {
+        const sched::JobReport &a = first.jobs[j];
+        const sched::JobReport &b = second.jobs[j];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_BITEQ(a.startS, b.startS);
+        EXPECT_BITEQ(a.endS, b.endS);
+        EXPECT_BITEQ(a.makespanS, b.makespanS);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_BITEQ(a.waitS, b.waitS);
+        EXPECT_BITEQ(a.chargedGpuS, b.chargedGpuS);
+        EXPECT_BITEQ(a.throughput, b.throughput);
+        EXPECT_BITEQ(a.p50Ms, b.p50Ms);
+        EXPECT_BITEQ(a.p99Ms, b.p99Ms);
+        expectSameStages(a.stages, b.stages);
+    }
 }
 
 } // namespace

@@ -321,6 +321,9 @@ TEST(NdpLintEngine, PathScopeLimitsNondeterminismRule)
     ASSERT_NE(it, rules.end());
     EXPECT_TRUE((*it)->appliesTo("src/sim/simulator.h"));
     EXPECT_TRUE((*it)->appliesTo("src/core/pipeline.cc"));
+    // The scheduler subtree is inside src/core and stays in scope.
+    EXPECT_TRUE((*it)->appliesTo("src/core/sched/scheduler.cc"));
+    EXPECT_TRUE((*it)->appliesTo("src/core/sched/cluster.cc"));
     EXPECT_FALSE((*it)->appliesTo("tools/ndplint/rules.cc"));
     EXPECT_FALSE((*it)->appliesTo("bench/bench_micro_sim.cc"));
 }

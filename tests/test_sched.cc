@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Cluster-scheduler tests (core/sched): the zero-cost rule of the
+ * yield fast-path (a scheduling-enabled run with no parking is
+ * bit-identical to a scheduling-off run — same-sim-time events are
+ * never reordered), priority preemption at batch boundaries, work
+ * conservation under preemption, and weighted-fair-share convergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/sched/cluster.h"
+
+namespace {
+
+using namespace ndp::core;
+using namespace ndp::core::sched;
+
+#define EXPECT_BITEQ(a, b)                                               \
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))    \
+        << #a " differs: " << (a) << " vs " << (b)
+
+void
+expectSameStages(const StageMetrics &a, const StageMetrics &b)
+{
+    EXPECT_BITEQ(a.readS, b.readS);
+    EXPECT_BITEQ(a.decompressS, b.decompressS);
+    EXPECT_BITEQ(a.preprocessS, b.preprocessS);
+    EXPECT_BITEQ(a.transferS, b.transferS);
+    EXPECT_BITEQ(a.computeS, b.computeS);
+    EXPECT_BITEQ(a.tunerS, b.tunerS);
+    EXPECT_BITEQ(a.syncS, b.syncS);
+    EXPECT_BITEQ(a.readBytes, b.readBytes);
+    EXPECT_BITEQ(a.wireBytes, b.wireBytes);
+    EXPECT_BITEQ(a.shipBytes, b.shipBytes);
+    EXPECT_EQ(a.itemsDone, b.itemsDone);
+    EXPECT_BITEQ(a.lastItemS, b.lastItemS);
+}
+
+/** Timing/work equality for one job across two cluster runs
+ *  (scheduler accounting like chargedGpuS is compared separately —
+ *  a scheduling-off run records none). */
+void
+expectSameTiming(const JobReport &a, const JobReport &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_BITEQ(a.startS, b.startS);
+    EXPECT_BITEQ(a.endS, b.endS);
+    EXPECT_BITEQ(a.makespanS, b.makespanS);
+    expectSameStages(a.stages, b.stages);
+}
+
+JobDesc
+trainJob(const std::string &name, std::vector<int> stores,
+         uint64_t images = 16000)
+{
+    JobDesc d;
+    d.name = name;
+    d.kind = JobKind::FtDmpTrain;
+    d.stores = std::move(stores);
+    d.nImages = images;
+    d.train.nRun = 2;
+    return d;
+}
+
+TEST(Sched, SingleJobSchedulingOnOffBitIdentical)
+{
+    // One tenant: every yield's await_ready() fast-path fires (no
+    // competitor can preempt it), so the event sequence must be
+    // byte-identical to a run with the scheduler compiled out of the
+    // wiring entirely.
+    ClusterReport reps[2];
+    for (bool scheduling : {true, false}) {
+        ClusterSpec spec;
+        spec.nStores = 4;
+        spec.scheduling = scheduling;
+        Cluster c(spec);
+        c.submit(trainJob("solo", {0, 1, 2, 3}));
+        reps[scheduling ? 0 : 1] = c.run();
+    }
+    EXPECT_BITEQ(reps[0].seconds, reps[1].seconds);
+    EXPECT_EQ(reps[0].events, reps[1].events);
+    ASSERT_EQ(reps[0].jobs.size(), 1u);
+    expectSameTiming(reps[0].jobs[0], reps[1].jobs[0]);
+    EXPECT_EQ(reps[0].jobs[0].preemptions, 0u);
+    EXPECT_BITEQ(reps[0].jobs[0].waitS, 0.0);
+}
+
+TEST(Sched, DisjointStoreSetsNeverPreempt)
+{
+    // Preemption scope is exactly the contended stores: jobs on
+    // disjoint subsets never park each other regardless of priority,
+    // and the whole run stays bit-identical to scheduling-off.
+    ClusterReport reps[2];
+    for (bool scheduling : {true, false}) {
+        ClusterSpec spec;
+        spec.nStores = 4;
+        spec.scheduling = scheduling;
+        Cluster c(spec);
+        JobDesc hi = trainJob("hi", {0, 1}, 8000);
+        hi.priority = 5;
+        JobDesc lo = trainJob("lo", {2, 3}, 8000);
+        c.submit(hi);
+        c.submit(lo);
+        reps[scheduling ? 0 : 1] = c.run();
+    }
+    EXPECT_BITEQ(reps[0].seconds, reps[1].seconds);
+    EXPECT_EQ(reps[0].events, reps[1].events);
+    ASSERT_EQ(reps[0].jobs.size(), 2u);
+    for (size_t j = 0; j < 2; ++j) {
+        expectSameTiming(reps[0].jobs[j], reps[1].jobs[j]);
+        EXPECT_EQ(reps[0].jobs[j].preemptions, 0u);
+    }
+}
+
+TEST(Sched, PriorityParityShiftBitIdentical)
+{
+    // Regression for the yield fast-path: two store-overlapping jobs
+    // at priority parity never park (equal shares, lag bound huge),
+    // so shifting both priorities by the same amount — or turning
+    // scheduling off — must not move a single event.
+    ClusterReport reps[3];
+    const int prios[3][2] = {{0, 0}, {3, 3}, {0, 0}};
+    for (int v = 0; v < 3; ++v) {
+        ClusterSpec spec;
+        spec.nStores = 2;
+        spec.quantumS = 1e9;
+        spec.scheduling = v != 2;
+        Cluster c(spec);
+        JobDesc a = trainJob("a", {0, 1}, 8000);
+        a.priority = prios[v][0];
+        JobDesc b = trainJob("b", {0, 1}, 8000);
+        b.priority = prios[v][1];
+        c.submit(a);
+        c.submit(b);
+        reps[v] = c.run();
+    }
+    for (int v : {1, 2}) {
+        EXPECT_BITEQ(reps[0].seconds, reps[v].seconds);
+        EXPECT_EQ(reps[0].events, reps[v].events);
+        ASSERT_EQ(reps[0].jobs.size(), reps[v].jobs.size());
+        for (size_t j = 0; j < reps[0].jobs.size(); ++j)
+            expectSameTiming(reps[0].jobs[j], reps[v].jobs[j]);
+    }
+    for (const JobReport &j : reps[0].jobs)
+        EXPECT_EQ(j.preemptions, 0u);
+}
+
+TEST(Sched, PriorityPreemptsAtBatchBoundariesAndConservesWork)
+{
+    // An overlapping strictly-higher-priority job parks the low one
+    // at batch boundaries; the preempted-then-resumed job still
+    // processes every one of its images (work conservation).
+    ClusterSpec spec;
+    spec.nStores = 2;
+    Cluster c(spec);
+    JobDesc hi = trainJob("hi", {0, 1}, 16000);
+    hi.priority = 1;
+    JobDesc lo = trainJob("lo", {0, 1}, 16000);
+    c.submit(hi);
+    c.submit(lo);
+    ClusterReport rep = c.run();
+    ASSERT_EQ(rep.jobs.size(), 2u);
+    const JobReport &h = rep.jobs[0];
+    const JobReport &l = rep.jobs[1];
+    EXPECT_EQ(h.preemptions, 0u);
+    EXPECT_GT(l.preemptions, 0u);
+    EXPECT_GT(l.waitS, 0.0);
+    // The high-priority job gets the stores to itself while active.
+    EXPECT_LT(h.endS, l.endS);
+
+    // Conservation: the preempted job's item count matches a solo run
+    // of the identical job on an identical (but uncontended) fleet.
+    ClusterSpec solo_spec;
+    solo_spec.nStores = 2;
+    Cluster solo(solo_spec);
+    solo.submit(trainJob("lo", {0, 1}, 16000));
+    ClusterReport solo_rep = solo.run();
+    EXPECT_EQ(l.stages.itemsDone, solo_rep.jobs[0].stages.itemsDone);
+    EXPECT_GT(l.stages.itemsDone, 0u);
+}
+
+TEST(Sched, WeightedFairShareFavorsTheLargerShare)
+{
+    // Two identical overlapping jobs at equal priority with shares
+    // 2:1: the low-share job's virtual time runs twice as fast, so it
+    // parks while the high-share job catches up — and the high-share
+    // job finishes first.
+    ClusterSpec spec;
+    spec.nStores = 2;
+    spec.quantumS = 0.5;
+    Cluster c(spec);
+    JobDesc fat = trainJob("fat", {0, 1}, 16000);
+    fat.share = 2.0;
+    JobDesc thin = trainJob("thin", {0, 1}, 16000);
+    thin.share = 1.0;
+    c.submit(fat);
+    c.submit(thin);
+    ClusterReport rep = c.run();
+    ASSERT_EQ(rep.jobs.size(), 2u);
+    const JobReport &f = rep.jobs[0];
+    const JobReport &t = rep.jobs[1];
+    EXPECT_GT(t.preemptions, 0u);
+    EXPECT_LT(f.endS, t.endS);
+    // Identical work: both charged the same GPU seconds in total.
+    EXPECT_NEAR(f.chargedGpuS, t.chargedGpuS,
+                1e-9 * (f.chargedGpuS + 1.0));
+    EXPECT_EQ(f.stages.itemsDone, t.stages.itemsDone);
+}
+
+TEST(Sched, SubmitRejectsInvalidJobs)
+{
+    ClusterSpec spec;
+    spec.nStores = 4;
+    Cluster c(spec);
+    JobDesc d = trainJob("bad", {0, 0});
+    EXPECT_THROW(c.submit(d), std::invalid_argument);
+    d = trainJob("oor", {7});
+    EXPECT_THROW(c.submit(d), std::invalid_argument);
+    d = trainJob("", {0});
+    EXPECT_THROW(c.submit(d), std::invalid_argument);
+    JobDesc online;
+    online.name = "serve";
+    online.kind = JobKind::OnlineServe;
+    online.stores = {0};
+    EXPECT_THROW(c.submit(online), std::invalid_argument);
+    // Offline inference admission reproduces the ViT OOM gate.
+    JobDesc oom;
+    oom.name = "vit";
+    oom.kind = JobKind::OfflineInfer;
+    oom.stores = {0};
+    oom.model = &ndp::models::vitB16();
+    oom.npe.batchSize = 512;
+    EXPECT_THROW(c.submit(oom), std::runtime_error);
+}
+
+TEST(Sched, SubmitTimesAreHonored)
+{
+    ClusterSpec spec;
+    spec.nStores = 2;
+    Cluster c(spec);
+    JobDesc d = trainJob("late", {0, 1}, 8000);
+    d.submitAtS = 123.0;
+    c.submit(d);
+    ClusterReport rep = c.run();
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_BITEQ(rep.jobs[0].startS, 123.0);
+    EXPECT_GT(rep.jobs[0].endS, 123.0);
+}
+
+} // namespace

@@ -383,6 +383,9 @@ pathInSimOrCore(std::string_view path)
 {
     std::string p(path);
     std::replace(p.begin(), p.end(), '\\', '/');
+    // "src/core" covers its subdirectories too — notably
+    // src/core/sched, whose scheduler decisions feed every multi-job
+    // run and must obey the same determinism contract.
     return p.find("src/sim") != std::string::npos ||
            p.find("src/core") != std::string::npos;
 }
