@@ -32,7 +32,7 @@ BM_EventDispatch(benchmark::State &state)
 }
 BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the benchmark body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
 Task
 delayLoop(Simulator &s, int n)
 {
@@ -53,7 +53,7 @@ BM_CoroutineDelays(benchmark::State &state)
 }
 BENCHMARK(BM_CoroutineDelays)->Arg(1000)->Arg(100000);
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the benchmark body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
 Task
 producer(Channel<int> &ch, int n)
 {
@@ -62,7 +62,7 @@ producer(Channel<int> &ch, int n)
     ch.close();
 }
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the benchmark body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
 Task
 consumer(Channel<int> &ch, long long &sum)
 {
@@ -90,7 +90,7 @@ BM_ChannelHandoff(benchmark::State &state)
 }
 BENCHMARK(BM_ChannelHandoff)->Arg(1000)->Arg(100000);
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the benchmark body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
 Task
 contender(Simulator &s, Resource &res, int n)
 {

@@ -59,8 +59,9 @@ storeCpuOps(const StoreWork &w, const NpeOptions &npe)
 }
 
 /** Multi-job completion monitor for offline inference.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die) */
 // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::Task
 offlineJobMonitor(sim::WaitGroup &sink_wg, sim::WaitGroup &job_done)

@@ -93,8 +93,9 @@ constexpr int kNdpMediaBatch = 4;
 constexpr int kSrvMediaBatch = 2;
 
 /** Multi-job completion monitor for media analysis.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die) */
 // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::Task
 mediaJobMonitor(sim::WaitGroup &sink_wg, sim::WaitGroup &job_done)

@@ -32,8 +32,8 @@ constexpr double kDeltaCompressFactor = 34.0;
 inline double
 decompressSeconds(double uncompressed_mb, int cores)
 {
-    // ndplint: allow(analytic-net-math): kDecompressMBps is a CPU
-    // codec rate, not a wire; local decompress sees no contention.
+    /* ndplint: allow(analytic-net-math: kDecompressMBps is a CPU codec
+       rate, not a wire; local decompress sees no contention) */
     return uncompressed_mb /
            (storage::kDecompressMBps * static_cast<double>(cores));
 }

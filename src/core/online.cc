@@ -61,8 +61,9 @@ struct OnlineCtx
  * retransmitted copy crosses the wire again), and a stalled server
  * delays the request; an exhausted retry budget drops the upload as a
  * typed loss.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents live
+ * in the dataflow's scope, which joins this task via s.run() before
+ * they die) */
 sim::Task
 uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
            double infer_s, sim::WaitGroup &wg)
@@ -113,6 +114,12 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
         }
     }
     co_await ctx.cpu.run(1, preproc_s);
+    // Batch boundary: let the fair-share scheduler deschedule this job
+    // before it takes the GPU. An online job owns no stores, so it is
+    // always runnable and the yield's fast path keeps event order
+    // bit-identical in single-tenant runs.
+    if (ctx.sched)
+        co_await ctx.sched->yield(ctx.jobId);
     co_await ctx.gpu.compute(infer_s);
     if (ctx.sched)
         ctx.sched->charge(ctx.jobId, infer_s);
@@ -121,8 +128,9 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
 }
 
 /** Poisson arrival generator spawning upload processes.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents live
+ * in the dataflow's scope, which joins this task via s.run() before
+ * they die) */
 sim::Task
 arrivalProc(sim::Simulator &s, OnlineCtx &ctx, OnlineConfig cfg,
             double preproc_s, double infer_s, sim::WaitGroup &wg)
@@ -137,8 +145,9 @@ arrivalProc(sim::Simulator &s, OnlineCtx &ctx, OnlineConfig cfg,
 }
 
 /** Multi-job completion monitor for online serving.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents live
+ * in the dataflow's scope, which joins this task via s.run() before
+ * they die) */
 sim::Task
 onlineJobMonitor(sim::WaitGroup &wg, sim::WaitGroup &job_done)
 {

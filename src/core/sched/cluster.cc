@@ -345,8 +345,8 @@ Cluster::Impl::buildDataflow(Impl &im, JobRun &jr)
 
 /** Per-job lifecycle: delay to the submit time, register with the
  * scheduler, build + spawn the dataflow, await its drain.
- * ndplint: allow(coroutine-ref-param) — referents (the Impl and its
- * JobRuns) outlive s.run(), which joins this task.
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents (the
+ * Impl and its JobRuns) outlive s.run(), which joins this task)
  */
 // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::Task

@@ -113,8 +113,9 @@ struct FtDmpEnv
  * rather than a Pipeline configuration. @p lidx is the job-local store
  * index (shard shares, node/track arrays); @p fidx the fleet index
  * (fault RNG streams). Single-tenant runs pass lidx == fidx.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run().
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die)
  */
 sim::Task
 storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
@@ -270,8 +271,9 @@ storeLocalTrainProc(FtDmpEnv &env, StoreStations &st,
 /** Tuner: ingest features per run, then train the classifier. The
  * Tuner GPU is the device every fine-tuning job shares, so its
  * compute is yielded and charged to the job's scheduler account.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die) */
 sim::Task
 tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
           const TrainOptions &opt, size_t cut)
@@ -331,8 +333,9 @@ tunerProc(FtDmpEnv &env, const ExperimentConfig &cfg,
  * every store sink has drained no more features can arrive, so close
  * the per-run spools. A crash-induced shortfall then wakes the Tuner
  * with end-of-stream instead of leaving it blocked forever.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run().
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die)
  */
 sim::Task
 featureWatchdog(FtDmpEnv &env, sim::WaitGroup &stores_wg)
@@ -344,8 +347,9 @@ featureWatchdog(FtDmpEnv &env, sim::WaitGroup &stores_wg)
 
 /** Check-N-Run delta redistribution to every store (§5). @p fin
  * (multi-job only) signals the job monitor that the push finished.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die) */
 sim::Task
 deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
                   const TrainOptions &opt, double *out_bytes,
@@ -403,8 +407,9 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
 /** Multi-job completion monitor: fires jobDone once the stores, the
  * Tuner, and (when enabled) the delta push have all drained. Spawned
  * only when a Cluster provided jobDone, so single-tenant runs never
- * see it. ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * see it. ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die) */
 sim::Task
 ftJobMonitor(FtDmpEnv &env, sim::WaitGroup &stores_wg,
              sim::WaitGroup *delta_fin, sim::WaitGroup &job_done)
@@ -706,8 +711,9 @@ namespace {
 /** Classifier training on the host, once feature extraction drains.
  * The host GPU is the shared device under multi-job runs, so the
  * training block is yielded and charged like any other GPU stage.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die) */
 sim::Task
 srvClassifierTrain(const sim::Simulator &s, hw::GpuExec &gpus,
                    sim::WaitGroup &fe_done, double seconds,
@@ -730,8 +736,9 @@ srvClassifierTrain(const sim::Simulator &s, hw::GpuExec &gpus,
 }
 
 /** Multi-job completion monitor for SRV fine-tuning.
- * ndplint: allow(coroutine-ref-param) — referents live in the
- * dataflow's scope, which joins this task via s.run(). */
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents
+ * live in the dataflow's scope, which joins this task via s.run()
+ * before they die) */
 sim::Task
 srvJobMonitor(sim::WaitGroup &ct_fin, sim::WaitGroup &job_done)
 {

@@ -119,7 +119,7 @@ TEST(Power, BreakdownAccumulates)
 
 namespace {
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 sim::Task
 doRead(Disk &disk, double bytes, sim::WaitGroup &wg)
 {
@@ -127,7 +127,7 @@ doRead(Disk &disk, double bytes, sim::WaitGroup &wg)
     wg.done();
 }
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 sim::Task
 doCompute(GpuExec &gpu, double seconds, sim::WaitGroup &wg)
 {
@@ -205,12 +205,12 @@ TEST(CpuPool, PartialOccupancy)
     sim::WaitGroup wg(s);
     wg.add(2);
     // Two jobs each take 4 cores for 1 s: they fit concurrently.
-    // ndplint: allow(coroutine-ref-param): cpu/wg outlive s.run().
+    // ndplint: allow(coroutine-ref-param, coroutine-escape: cpu/wg outlive s.run())
     s.spawn([](CpuPool &c, sim::WaitGroup &w) -> sim::Task {
         co_await c.run(4, 1.0);
         w.done();
     }(cpu, wg));
-    // ndplint: allow(coroutine-ref-param): cpu/wg outlive s.run().
+    // ndplint: allow(coroutine-ref-param, coroutine-escape: cpu/wg outlive s.run())
     s.spawn([](CpuPool &c, sim::WaitGroup &w) -> sim::Task {
         co_await c.run(4, 1.0);
         w.done();
@@ -226,12 +226,12 @@ TEST(CpuPool, OversubscriptionQueues)
     CpuPool cpu(s, 4);
     sim::WaitGroup wg(s);
     wg.add(2);
-    // ndplint: allow(coroutine-ref-param): cpu/wg outlive s.run().
+    // ndplint: allow(coroutine-ref-param, coroutine-escape: cpu/wg outlive s.run())
     s.spawn([](CpuPool &c, sim::WaitGroup &w) -> sim::Task {
         co_await c.run(4, 1.0);
         w.done();
     }(cpu, wg));
-    // ndplint: allow(coroutine-ref-param): cpu/wg outlive s.run().
+    // ndplint: allow(coroutine-ref-param, coroutine-escape: cpu/wg outlive s.run())
     s.spawn([](CpuPool &c, sim::WaitGroup &w) -> sim::Task {
         co_await c.run(4, 1.0);
         w.done();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "ndplint/config.h"
 #include "ndplint/engine.h"
 #include "ndplint/lexer.h"
 #include "ndplint/rules.h"
@@ -164,19 +165,18 @@ TEST(NdpLint, AnalyticNetMathFlagsDivisorRatesOnly)
 
 TEST(NdpLintEngine, AnalyticNetMathScopedOffFabricAndHw)
 {
-    const auto &rules = ndp::lint::allRules();
-    auto it = std::find_if(rules.begin(), rules.end(), [](const auto &r) {
-        return r->name() == "analytic-net-math";
-    });
-    ASSERT_NE(it, rules.end());
+    // Scoping now lives in ScopeConfig (.ndplint.json), not on rules.
     // The fabric and the hw spec formulas are the sanctioned homes for
     // rate arithmetic; everywhere else the rule applies.
-    EXPECT_FALSE((*it)->appliesTo("src/net/fabric.cc"));
-    EXPECT_FALSE((*it)->appliesTo("src/net/estimate.h"));
-    EXPECT_FALSE((*it)->appliesTo("src/hw/specs.h"));
-    EXPECT_TRUE((*it)->appliesTo("src/core/apo.cc"));
-    EXPECT_TRUE((*it)->appliesTo("bench/bench_fig06_ndp_breakdown.cc"));
-    EXPECT_TRUE((*it)->appliesTo("tests/test_core_inference.cc"));
+    const auto cfg = ndp::lint::ScopeConfig::builtin();
+    EXPECT_FALSE(cfg.appliesTo("analytic-net-math", "src/net/fabric.cc"));
+    EXPECT_FALSE(cfg.appliesTo("analytic-net-math", "src/net/estimate.h"));
+    EXPECT_FALSE(cfg.appliesTo("analytic-net-math", "src/hw/specs.h"));
+    EXPECT_TRUE(cfg.appliesTo("analytic-net-math", "src/core/apo.cc"));
+    EXPECT_TRUE(cfg.appliesTo("analytic-net-math",
+                              "bench/bench_fig06_ndp_breakdown.cc"));
+    EXPECT_TRUE(cfg.appliesTo("analytic-net-math",
+                              "tests/test_core_inference.cc"));
 }
 
 TEST(NdpLint, SuppressionsCoverEveryPlacementForm)
@@ -210,16 +210,12 @@ TEST(NdpLint, UnbalancedSpanScopedOutOfObsAndTools)
 {
     // The primitives' own home (src/obs) and the trace tooling are
     // out of scope; everything else is in.
-    const auto &rules = ndp::lint::allRules();
-    const ndp::lint::Rule *rule = nullptr;
-    for (const auto &r : rules)
-        if (r->name() == "unbalanced-span")
-            rule = r.get();
-    ASSERT_NE(rule, nullptr);
-    EXPECT_FALSE(rule->appliesTo("src/obs/trace.cc"));
-    EXPECT_FALSE(rule->appliesTo("tools/ndptrace/analyzer.cc"));
-    EXPECT_TRUE(rule->appliesTo("src/core/pipeline.cc"));
-    EXPECT_TRUE(rule->appliesTo("tests/test_trace.cc"));
+    const auto cfg = ndp::lint::ScopeConfig::builtin();
+    EXPECT_FALSE(cfg.appliesTo("unbalanced-span", "src/obs/trace.cc"));
+    EXPECT_FALSE(
+        cfg.appliesTo("unbalanced-span", "tools/ndptrace/analyzer.cc"));
+    EXPECT_TRUE(cfg.appliesTo("unbalanced-span", "src/core/pipeline.cc"));
+    EXPECT_TRUE(cfg.appliesTo("unbalanced-span", "tests/test_trace.cc"));
 }
 
 TEST(NdpLint, CleanFixtureIsSilent)
@@ -314,18 +310,15 @@ TEST(NdpLintContext, AmbiguousReturnTypesAreExcluded)
 
 TEST(NdpLintEngine, PathScopeLimitsNondeterminismRule)
 {
-    const auto &rules = ndp::lint::allRules();
-    auto it = std::find_if(rules.begin(), rules.end(), [](const auto &r) {
-        return r->name() == "banned-nondeterminism";
-    });
-    ASSERT_NE(it, rules.end());
-    EXPECT_TRUE((*it)->appliesTo("src/sim/simulator.h"));
-    EXPECT_TRUE((*it)->appliesTo("src/core/pipeline.cc"));
+    const auto cfg = ndp::lint::ScopeConfig::builtin();
+    const std::string rule = "banned-nondeterminism";
+    EXPECT_TRUE(cfg.appliesTo(rule, "src/sim/simulator.h"));
+    EXPECT_TRUE(cfg.appliesTo(rule, "src/core/pipeline.cc"));
     // The scheduler subtree is inside src/core and stays in scope.
-    EXPECT_TRUE((*it)->appliesTo("src/core/sched/scheduler.cc"));
-    EXPECT_TRUE((*it)->appliesTo("src/core/sched/cluster.cc"));
-    EXPECT_FALSE((*it)->appliesTo("tools/ndplint/rules.cc"));
-    EXPECT_FALSE((*it)->appliesTo("bench/bench_micro_sim.cc"));
+    EXPECT_TRUE(cfg.appliesTo(rule, "src/core/sched/scheduler.cc"));
+    EXPECT_TRUE(cfg.appliesTo(rule, "src/core/sched/cluster.cc"));
+    EXPECT_FALSE(cfg.appliesTo(rule, "tools/ndplint/rules.cc"));
+    EXPECT_FALSE(cfg.appliesTo(rule, "bench/bench_micro_sim.cc"));
 }
 
 TEST(NdpLintEngine, RenderersIncludeFindingsAndSummary)

@@ -96,7 +96,7 @@ TEST(Simulator, ProcessedEventCountAccumulates)
 
 namespace {
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 simpleDelay(Simulator &s, double d, int &done)
 {
@@ -104,7 +104,7 @@ simpleDelay(Simulator &s, double d, int &done)
     ++done;
 }
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 nested(Simulator &s, int &steps)
 {
@@ -165,7 +165,7 @@ TEST(Task, DefaultConstructedIsDone)
 
 namespace {
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 acquireHold(Simulator &s, Resource &r, int n, double hold,
             std::vector<int> &order, int id)
@@ -243,7 +243,7 @@ TEST(Resource, UtilizationIntegratesBusyTime)
 
 namespace {
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 producerTask(Channel<int> &ch, int n)
 {
@@ -252,7 +252,7 @@ producerTask(Channel<int> &ch, int n)
     ch.close();
 }
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 consumerTask(Channel<int> &ch, std::vector<int> &got)
 {
@@ -264,7 +264,7 @@ consumerTask(Channel<int> &ch, std::vector<int> &got)
     }
 }
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 slowConsumer(Simulator &s, Channel<int> &ch, std::vector<int> &got,
              double per_item)
@@ -360,7 +360,7 @@ TEST(Channel, BufferedValuesSurviveClose)
 
 namespace {
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 worker(Simulator &s, WaitGroup &wg, double d)
 {
@@ -368,7 +368,7 @@ worker(Simulator &s, WaitGroup &wg, double d)
     wg.done();
 }
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 waiter(WaitGroup &wg, bool &resumed, Simulator &s, double &at)
 {

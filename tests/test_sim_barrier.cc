@@ -18,7 +18,7 @@ using namespace ndp::core;
 
 namespace {
 
-// ndplint: allow(coroutine-ref-param): referents outlive s.run() in the test body.
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the test body)
 Task
 barrierWorker(Simulator &s, Barrier &b, double step, int rounds,
               std::vector<double> &finish_times, size_t idx,

@@ -1,0 +1,510 @@
+#include "ndplint/analysis/model.h"
+
+namespace ndp::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+/** Tokens that may legally sit between `)` and the body `{`. */
+bool
+isTrailingSigToken(const Token &t)
+{
+    return tokIsIdent(t) ||
+           tokAnyOf(t, {"::", "->", "*", "&", "&&", "<", ">", "[", "]"});
+}
+
+/** Control-flow keywords whose parens are not parameter lists. */
+bool
+isControlKeyword(const Token &t)
+{
+    return tokAnyOf(t,
+                    {"if", "for", "while", "switch", "catch", "constexpr"});
+}
+
+bool
+isUnorderedType(const Token &t)
+{
+    return tokAnyOf(t, {"unordered_map", "unordered_set",
+                        "unordered_multimap", "unordered_multiset"});
+}
+
+/**
+ * Parse the parameter list in (paramBegin, paramEnd) into ParamDecls:
+ * split at top-level commas, then per segment record the declarator
+ * shape (& / && / * outside default arguments), whether the type
+ * mentions string_view, and the declared name — the last identifier
+ * whose successor is one of `, ) = [` (so type-only segments like
+ * `const Config &` stay unnamed).
+ */
+void
+parseParams(const Tokens &toks, FunctionModel &fn)
+{
+    int segStart = fn.paramBegin + 1;
+    int depth = 0;
+    for (int k = fn.paramBegin + 1; k <= fn.paramEnd; ++k) {
+        const Token &t = toks[static_cast<size_t>(k)];
+        if (k < fn.paramEnd) {
+            if (tokAnyOf(t, {"(", "[", "{"})) {
+                ++depth;
+                continue;
+            }
+            if (tokAnyOf(t, {")", "]", "}"})) {
+                --depth;
+                continue;
+            }
+            if (t.kind == Tok::Punct && t.text == "<") {
+                int past = skipAngles(toks, k);
+                if (past > 0 && past <= fn.paramEnd)
+                    k = past - 1;
+                continue;
+            }
+            if (depth != 0 || !tokIs(t, ","))
+                continue;
+        }
+        // Segment [segStart, k).
+        ParamDecl p;
+        bool inDefault = false;
+        int nameIdx = -1;
+        for (int j = segStart; j < k; ++j) {
+            const Token &s = toks[static_cast<size_t>(j)];
+            if (s.kind == Tok::Punct && s.text == "<") {
+                int past = skipAngles(toks, j);
+                if (past > 0 && past <= k) {
+                    // string_view may hide inside optional<...> etc.
+                    for (int a = j + 1; a < past - 1; ++a)
+                        if (tokIs(toks[static_cast<size_t>(a)],
+                                  "string_view"))
+                            p.stringView = true;
+                    j = past - 1;
+                }
+                continue;
+            }
+            if (tokIs(s, "="))
+                inDefault = true;
+            if (inDefault)
+                continue;
+            if (tokAnyOf(s, {"&", "&&"}))
+                p.byRef = true;
+            else if (tokIs(s, "*"))
+                p.byPointer = true;
+            else if (tokIs(s, "string_view"))
+                p.stringView = true;
+            else if (tokIsIdent(s)) {
+                int nx = j + 1;
+                if (nx <= k &&
+                    (nx == k ||
+                     tokAnyOf(toks[static_cast<size_t>(nx)],
+                              {",", ")", "=", "["})))
+                    nameIdx = j;
+            }
+        }
+        if (nameIdx >= 0) {
+            // A lone identifier segment is a type, not a name (`int`).
+            bool loneType =
+                nameIdx == segStart && !p.byRef && !p.byPointer;
+            if (!loneType || p.stringView) {
+                p.name = toks[static_cast<size_t>(nameIdx)].text;
+                p.line = toks[static_cast<size_t>(nameIdx)].line;
+            }
+        }
+        if (p.line == 0)
+            p.line = toks[static_cast<size_t>(segStart)].line;
+        if (segStart < k)
+            fn.params.push_back(std::move(p));
+        segStart = k + 1;
+    }
+}
+
+/** Parse the capture list in (captureBegin, captureEnd). */
+void
+parseCaptures(const Tokens &toks, FunctionModel &fn)
+{
+    bool inInit = false;
+    for (int k = fn.captureBegin + 1; k < fn.captureEnd; ++k) {
+        const Token &t = toks[static_cast<size_t>(k)];
+        if (tokIs(t, "="))
+            inInit = (k != fn.captureBegin + 1);
+        else if (tokIs(t, ","))
+            inInit = false;
+        if (inInit || !tokIs(t, "&"))
+            continue;
+        const Token &nx = toks[static_cast<size_t>(k + 1)];
+        if (tokIsIdent(nx))
+            fn.refCaptures.push_back("&" + nx.text);
+        else if (tokAnyOf(nx, {",", "]"}))
+            fn.refCaptures.push_back("&");
+    }
+}
+
+} // namespace
+
+int
+matchForward(const Tokens &toks, int i)
+{
+    std::string_view open = toks[static_cast<size_t>(i)].text;
+    std::string_view close = open == "(" ? ")" : open == "[" ? "]" : "}";
+    int depth = 0;
+    for (int k = i; k < static_cast<int>(toks.size()); ++k) {
+        const Token &t = toks[static_cast<size_t>(k)];
+        if (t.kind != Tok::Punct)
+            continue;
+        if (t.text == open)
+            ++depth;
+        else if (t.text == close && --depth == 0)
+            return k;
+    }
+    return -1;
+}
+
+int
+matchBackward(const Tokens &toks, int i)
+{
+    std::string_view close = toks[static_cast<size_t>(i)].text;
+    std::string_view open = close == ")" ? "(" : close == "]" ? "[" : "{";
+    int depth = 0;
+    for (int k = i; k >= 0; --k) {
+        const Token &t = toks[static_cast<size_t>(k)];
+        if (t.kind != Tok::Punct)
+            continue;
+        if (t.text == close)
+            ++depth;
+        else if (t.text == open && --depth == 0)
+            return k;
+    }
+    return -1;
+}
+
+int
+skipAngles(const Tokens &toks, int i)
+{
+    int depth = 0;
+    for (int k = i; k < static_cast<int>(toks.size()); ++k) {
+        const Token &t = toks[static_cast<size_t>(k)];
+        if (tokIs(t, "<")) {
+            ++depth;
+        } else if (tokIs(t, ">")) {
+            if (--depth == 0)
+                return k + 1;
+        } else if (tokIs(t, ">>")) {
+            depth -= 2;
+            if (depth <= 0)
+                return k + 1;
+        } else if (tokAnyOf(t, {";", "{", "}"}) || t.kind == Tok::Eof) {
+            return -1; // statement boundary: not a template list
+        }
+    }
+    return -1;
+}
+
+int
+memberCallBase(const Tokens &toks, int calleeIdx)
+{
+    int k = calleeIdx - 1;
+    if (k < 1 || !tokAnyOf(toks[static_cast<size_t>(k)], {".", "->"}))
+        return -1;
+    --k;
+    while (k >= 0) {
+        const Token &t = toks[static_cast<size_t>(k)];
+        if (tokIs(t, "]")) {
+            int open = matchBackward(toks, k);
+            if (open <= 0)
+                return -1;
+            k = open - 1;
+            continue;
+        }
+        if (tokIsIdent(t)) {
+            // Keep walking over deeper accessor links (`a.b->put`
+            // resolves to `a`, the owning object).
+            if (k >= 2 && tokAnyOf(toks[static_cast<size_t>(k - 1)],
+                                   {".", "->"})) {
+                k -= 2;
+                continue;
+            }
+            return k;
+        }
+        if (tokIs(t, ")")) {
+            // Call in the chain (`x().put`): no stable base name.
+            return -1;
+        }
+        return -1;
+    }
+    return -1;
+}
+
+FileModel
+buildFileModel(const SourceFile &f)
+{
+    const Tokens &toks = f.tokens;
+    FileModel model;
+    std::vector<FunctionModel> &funcs = model.functions;
+    // Stack entry: function index, or -1 for a plain block.
+    std::vector<int> stack;
+
+    for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
+        const Token &t = toks[static_cast<size_t>(i)];
+        if (tokIsIdent(t) &&
+            tokAnyOf(t, {"co_await", "co_return", "co_yield"})) {
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+                if (*it >= 0) {
+                    FunctionModel &fn = funcs[static_cast<size_t>(*it)];
+                    fn.hasCo = true;
+                    if (!tokIs(t, "co_return"))
+                        fn.suspendPoints.push_back(i);
+                    break;
+                }
+            }
+            continue;
+        }
+        if (t.kind != Tok::Punct)
+            continue;
+        if (tokIs(t, "}")) {
+            if (!stack.empty()) {
+                if (int fi = stack.back(); fi >= 0)
+                    funcs[static_cast<size_t>(fi)].bodyEnd = i;
+                stack.pop_back();
+            }
+            continue;
+        }
+        if (!tokIs(t, "{"))
+            continue;
+
+        // Classify this '{': function/lambda body or plain block.
+        FunctionModel fn;
+        bool isFunction = false;
+        int k = i - 1;
+        while (k >= 0 && isTrailingSigToken(toks[static_cast<size_t>(k)]))
+            --k;
+        // `[caps] {` lambda without a parameter list.
+        if (k + 1 <= i - 1 && tokIs(toks[static_cast<size_t>(i - 1)], "]")) {
+            int open = matchBackward(toks, i - 1);
+            if (open >= 0 && open > 0 &&
+                !tokIs(toks[static_cast<size_t>(open - 1)], "[")) {
+                fn.isLambda = true;
+                fn.captureBegin = open;
+                fn.captureEnd = i - 1;
+                fn.sigLine = toks[static_cast<size_t>(open)].line;
+                fn.sigStartLine = fn.sigLine;
+                fn.name = "<lambda>";
+                isFunction = true;
+            }
+        }
+        while (!isFunction && k >= 0 &&
+               tokIs(toks[static_cast<size_t>(k)], ")")) {
+            int open = matchBackward(toks, k);
+            if (open <= 0)
+                break;
+            const Token &before = toks[static_cast<size_t>(open - 1)];
+            // noexcept(...) / decltype(...) trailers: keep walking.
+            if (tokAnyOf(before, {"noexcept", "decltype", "requires"})) {
+                k = open - 2;
+                while (k >= 0 &&
+                       isTrailingSigToken(toks[static_cast<size_t>(k)]))
+                    --k;
+                continue;
+            }
+            if (isControlKeyword(before))
+                break; // if/for/while/... block
+            fn.paramBegin = open;
+            fn.paramEnd = k;
+            fn.sigLine = toks[static_cast<size_t>(open)].line;
+            if (tokIs(before, "]")) {
+                int capOpen = matchBackward(toks, open - 1);
+                if (capOpen >= 0) {
+                    fn.isLambda = true;
+                    fn.captureBegin = capOpen;
+                    fn.captureEnd = open - 1;
+                    fn.name = "<lambda>";
+                    fn.sigStartLine =
+                        toks[static_cast<size_t>(capOpen)].line;
+                }
+            } else if (tokIsIdent(before)) {
+                fn.name = before.text;
+            }
+            if (!fn.isLambda) {
+                // Signature start: walk back over the name chain and a
+                // simple return type so a suppression placed above the
+                // whole signature is honoured.
+                int s = open - 1;
+                while (s >= 0 &&
+                       (tokIsIdent(toks[static_cast<size_t>(s)]) ||
+                        tokAnyOf(toks[static_cast<size_t>(s)],
+                                 {"::", "~", "*", "&", "&&", "<", ">",
+                                  "[", "]"})))
+                    --s;
+                fn.sigStartLine = toks[static_cast<size_t>(s + 1)].line;
+            }
+            isFunction = true;
+        }
+        if (isFunction) {
+            fn.bodyBegin = i;
+            if (fn.paramBegin >= 0)
+                parseParams(toks, fn);
+            if (fn.captureBegin >= 0)
+                parseCaptures(toks, fn);
+            stack.push_back(static_cast<int>(funcs.size()));
+            funcs.push_back(std::move(fn));
+        } else {
+            stack.push_back(-1);
+        }
+    }
+    // Unterminated bodies (truncated files): close at EOF.
+    for (FunctionModel &fn : funcs)
+        if (fn.bodyBegin >= 0 && fn.bodyEnd < 0)
+            fn.bodyEnd = static_cast<int>(toks.size()) - 1;
+    model.loops = findLoops(toks, 0, static_cast<int>(toks.size()));
+    return model;
+}
+
+std::vector<LoopRange>
+findLoops(const Tokens &toks, int begin, int end)
+{
+    std::vector<LoopRange> loops;
+    for (int i = begin; i < end; ++i) {
+        const Token &t = toks[static_cast<size_t>(i)];
+        if (!tokIsIdent(t))
+            continue;
+        LoopRange loop;
+        loop.line = t.line;
+        int b = -1;
+        if (tokAnyOf(t, {"for", "while"})) {
+            if (i + 1 >= end || !tokIs(toks[static_cast<size_t>(i + 1)], "("))
+                continue;
+            int close = matchForward(toks, i + 1);
+            if (close < 0)
+                continue;
+            b = close + 1;
+            // The `while (...)` tail of a do-while has no body.
+            if (b < end && tokIs(toks[static_cast<size_t>(b)], ";"))
+                continue;
+        } else if (tokIs(t, "do")) {
+            b = i + 1;
+        } else {
+            continue;
+        }
+        if (b >= end)
+            continue;
+        if (tokIs(toks[static_cast<size_t>(b)], "{")) {
+            int close = matchForward(toks, b);
+            loop.bodyBegin = b + 1;
+            loop.bodyEnd = close < 0 ? end : close;
+        } else {
+            loop.bodyBegin = b;
+            int k = b;
+            int d = 0;
+            while (k < end) {
+                const Token &s = toks[static_cast<size_t>(k)];
+                if (tokAnyOf(s, {"(", "[", "{"}))
+                    ++d;
+                else if (tokAnyOf(s, {")", "]", "}"}))
+                    --d;
+                else if (d == 0 && tokIs(s, ";"))
+                    break;
+                ++k;
+            }
+            loop.bodyEnd = k;
+        }
+        loops.push_back(loop);
+    }
+    return loops;
+}
+
+std::set<std::string>
+collectUnorderedVars(const SourceFile &f)
+{
+    const Tokens &toks = f.tokens;
+    std::set<std::string> vars;
+    for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
+        if (!isUnorderedType(toks[static_cast<size_t>(i)]))
+            continue;
+        int j = i + 1;
+        if (j < static_cast<int>(toks.size()) &&
+            tokIs(toks[static_cast<size_t>(j)], "<")) {
+            j = skipAngles(toks, j);
+            if (j < 0)
+                continue;
+        }
+        while (j < static_cast<int>(toks.size()) &&
+               tokAnyOf(toks[static_cast<size_t>(j)], {"&", "*", "const"}))
+            ++j;
+        if (j < static_cast<int>(toks.size()) &&
+            tokIsIdent(toks[static_cast<size_t>(j)]))
+            vars.insert(toks[static_cast<size_t>(j)].text);
+    }
+    return vars;
+}
+
+std::vector<RangeForLoop>
+findUnorderedRangeFors(const SourceFile &f,
+                       const std::set<std::string> &vars)
+{
+    const Tokens &toks = f.tokens;
+    std::vector<RangeForLoop> loops;
+    for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
+        if (!tokIs(toks[static_cast<size_t>(i)], "for") ||
+            !tokIs(toks[static_cast<size_t>(i + 1)], "("))
+            continue;
+        int close = matchForward(toks, i + 1);
+        if (close < 0)
+            continue;
+        // Find the range-for ':' at top parenthesis level.
+        int colon = -1;
+        int depth = 0;
+        for (int k = i + 2; k < close; ++k) {
+            const Token &t = toks[static_cast<size_t>(k)];
+            if (tokAnyOf(t, {"(", "[", "{"}))
+                ++depth;
+            else if (tokAnyOf(t, {")", "]", "}"}))
+                --depth;
+            else if (depth == 0 && tokIs(t, ";"))
+                break; // classic for loop
+            else if (depth == 0 && tokIs(t, ":")) {
+                colon = k;
+                break;
+            }
+        }
+        if (colon < 0)
+            continue;
+        std::string hit;
+        for (int k = colon + 1; k < close; ++k) {
+            const Token &t = toks[static_cast<size_t>(k)];
+            if (tokIsIdent(t) &&
+                (vars.count(t.text) != 0 || isUnorderedType(t))) {
+                hit = t.text;
+                break;
+            }
+        }
+        if (hit.empty())
+            continue;
+        RangeForLoop loop;
+        loop.line = toks[static_cast<size_t>(i)].line;
+        loop.var = hit;
+        int b = close + 1;
+        if (b < static_cast<int>(toks.size()) &&
+            tokIs(toks[static_cast<size_t>(b)], "{")) {
+            int bodyClose = matchForward(toks, b);
+            loop.bodyBegin = b + 1;
+            loop.bodyEnd = bodyClose < 0 ? static_cast<int>(toks.size())
+                                         : bodyClose;
+        } else {
+            loop.bodyBegin = b;
+            int k = b;
+            int d = 0;
+            while (k < static_cast<int>(toks.size())) {
+                const Token &t = toks[static_cast<size_t>(k)];
+                if (tokAnyOf(t, {"(", "[", "{"}))
+                    ++d;
+                else if (tokAnyOf(t, {")", "]", "}"}))
+                    --d;
+                else if (d == 0 && tokIs(t, ";"))
+                    break;
+                ++k;
+            }
+            loop.bodyEnd = k;
+        }
+        loops.push_back(loop);
+    }
+    return loops;
+}
+
+} // namespace ndp::lint

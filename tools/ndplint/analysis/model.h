@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ndp-lint analysis layer, pass 1: the per-file declaration / scope /
+ * function model every flow-aware rule is built on.
+ *
+ * The lexer gives a flat token stream; this pass recovers just enough
+ * structure for lifetime and protocol reasoning without a real parser:
+ *
+ *  - FunctionModel: one record per function or lambda body, with the
+ *    parameter list parsed into typed ParamDecls (by-ref / pointer /
+ *    string_view), the lambda capture list (named by-ref captures and
+ *    the bare `[&]` default), the body token range, and the token
+ *    positions of the co_await / co_yield suspension points *of that
+ *    body* (a coroutine lambda nested in a plain function suspends the
+ *    lambda, not the function).
+ *  - LoopRange: body token ranges of for / while / do loops, so rules
+ *    can reason about "both the suspension point and the use sit in
+ *    the same loop" (a use lexically before a co_await is still live
+ *    across it when both repeat).
+ *  - Unordered-container tracking shared by the determinism rules.
+ *
+ * Everything here is per-file; the cross-file symbol index built on
+ * top of these models lives in analysis/symbols.h.
+ */
+
+#pragma once
+
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ndplint/lexer.h"
+
+namespace ndp::lint {
+
+/** @name Token helpers shared by all rule files
+ * @{ */
+inline bool
+tokIs(const Token &t, std::string_view text)
+{
+    return t.text == text;
+}
+
+inline bool
+tokIsIdent(const Token &t)
+{
+    return t.kind == Tok::Identifier;
+}
+
+inline bool
+tokAnyOf(const Token &t, std::initializer_list<std::string_view> set)
+{
+    for (auto s : set)
+        if (t.text == s)
+            return true;
+    return false;
+}
+
+/** Index of the punct matching the opener at @p i, or -1. */
+int matchForward(const std::vector<Token> &toks, int i);
+
+/** Index of the punct matching the closer at @p i, or -1. */
+int matchBackward(const std::vector<Token> &toks, int i);
+
+/**
+ * Starting at a `<` at @p i, skip balanced template arguments.
+ * @return index just past the closing `>`, or -1 if this `<` does not
+ * look like a template-argument list (e.g. a comparison).
+ */
+int skipAngles(const std::vector<Token> &toks, int i);
+
+/**
+ * Base identifier of the member call whose callee identifier sits at
+ * @p calleeIdx: walks back over `.` / `->` accessors and balanced
+ * `[...]` subscripts (`sendq_[i]->put` resolves to `sendq_`).
+ * @return token index of the base identifier, or -1.
+ */
+int memberCallBase(const std::vector<Token> &toks, int calleeIdx);
+/** @} */
+
+/** One parsed function/lambda parameter. */
+struct ParamDecl
+{
+    /** Declared name; empty for unnamed parameters. */
+    std::string name;
+    bool byRef = false;      ///< `&` or `&&` declarator
+    bool byPointer = false;  ///< `*` declarator
+    bool stringView = false; ///< type mentions string_view (borrowing)
+    int line = 0;
+};
+
+/** One function or lambda body, innermost-first in file order. */
+struct FunctionModel
+{
+    std::string name; ///< "<lambda>" for lambdas
+    bool isLambda = false;
+    /** Body contains co_await / co_return / co_yield (not nested). */
+    bool hasCo = false;
+    int paramBegin = -1;   ///< token index of '(' (or -1)
+    int paramEnd = -1;     ///< token index of ')'
+    int captureBegin = -1; ///< token index of '[' for lambdas
+    int captureEnd = -1;   ///< token index of ']' for lambdas
+    int bodyBegin = -1;    ///< token index of the body '{'
+    int bodyEnd = -1;      ///< token index of the matching '}'
+    int sigStartLine = 0;  ///< first line of the signature
+    int sigLine = 0;       ///< line of the parameter list
+    std::vector<ParamDecl> params;
+    /** By-ref captures as written: "&name", or "&" for a bare `[&]`. */
+    std::vector<std::string> refCaptures;
+    /** Token indices of co_await / co_yield in THIS body (suspension
+     *  points; co_return is completion, not mid-body suspension). */
+    std::vector<int> suspendPoints;
+
+    /** True when @p idx lies strictly inside the body braces. */
+    bool
+    inBody(int idx) const
+    {
+        return bodyBegin >= 0 && idx > bodyBegin && idx < bodyEnd;
+    }
+};
+
+/** Body token range of one for / while / do loop. */
+struct LoopRange
+{
+    int line = 0;      ///< line of the loop keyword
+    int bodyBegin = 0; ///< first body token
+    int bodyEnd = 0;   ///< one past the last body token
+};
+
+/** Range-for loop over an unordered container. */
+struct RangeForLoop
+{
+    int line = 0;    ///< line of the `for`
+    std::string var; ///< iterated variable (or type) name
+    int bodyBegin = 0;
+    int bodyEnd = 0;
+};
+
+struct FileModel
+{
+    std::vector<FunctionModel> functions;
+    std::vector<LoopRange> loops; ///< every loop body in the file
+};
+
+/** Build the scope/function model of one lexed file. */
+FileModel buildFileModel(const SourceFile &f);
+
+/** Loop bodies found in [begin, end) of the token stream. */
+std::vector<LoopRange> findLoops(const std::vector<Token> &toks,
+                                 int begin, int end);
+
+/** Variable names declared with an unordered container type. */
+std::set<std::string> collectUnorderedVars(const SourceFile &f);
+
+/** Range-for loops whose range expression names an unordered var. */
+std::vector<RangeForLoop>
+findUnorderedRangeFors(const SourceFile &f,
+                       const std::set<std::string> &vars);
+
+} // namespace ndp::lint

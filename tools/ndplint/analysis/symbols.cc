@@ -1,0 +1,161 @@
+#include "ndplint/analysis/symbols.h"
+
+#include "ndplint/analysis/taint.h"
+
+namespace ndp::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+/**
+ * Classify one non-declaration occurrence of a channel name at @p k.
+ * Member calls bump the matching counter; construction (`name(` in a
+ * ctor init list) and plain member access stay neutral; anything else
+ * means the channel escaped (returned, passed, aliased).
+ */
+void
+countUse(const Tokens &toks, int k, ChannelEndpoint &ep)
+{
+    int n = static_cast<int>(toks.size());
+    if (k + 3 < n && tokAnyOf(toks[static_cast<size_t>(k + 1)], {".", "->"}) &&
+        tokIsIdent(toks[static_cast<size_t>(k + 2)]) &&
+        tokIs(toks[static_cast<size_t>(k + 3)], "(")) {
+        const std::string &callee = toks[static_cast<size_t>(k + 2)].text;
+        if (callee == "put")
+            ++ep.puts;
+        else if (callee == "get")
+            ++ep.gets;
+        else if (callee == "close")
+            ++ep.closes;
+        // Other member calls (size(), peak(), ...) are neutral reads.
+        return;
+    }
+    if (k + 1 < n && tokAnyOf(toks[static_cast<size_t>(k + 1)],
+                              {"(", ".", "->"}))
+        return; // construction or plain member access
+    ++ep.escapes;
+}
+
+} // namespace
+
+std::vector<ChannelDecl>
+collectChannelDecls(const SourceFile &f)
+{
+    const Tokens &toks = f.tokens;
+    std::vector<ChannelDecl> decls;
+    for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
+        const Token &t = toks[static_cast<size_t>(i)];
+        if (!tokIsIdent(t) || !tokIs(t, "Channel"))
+            continue;
+        if (!tokIs(toks[static_cast<size_t>(i + 1)], "<"))
+            continue;
+        int j = skipAngles(toks, i + 1);
+        if (j < 0)
+            continue;
+        bool owning = true;
+        while (j < static_cast<int>(toks.size()) &&
+               tokAnyOf(toks[static_cast<size_t>(j)],
+                        {"&", "&&", "*", "const"})) {
+            if (!tokIs(toks[static_cast<size_t>(j)], "const"))
+                owning = false;
+            ++j;
+        }
+        if (j >= static_cast<int>(toks.size()) ||
+            !tokIsIdent(toks[static_cast<size_t>(j)]))
+            continue; // template argument position, not a declaration
+        ChannelDecl d;
+        d.name = toks[static_cast<size_t>(j)].text;
+        d.tokenIdx = j;
+        d.line = toks[static_cast<size_t>(j)].line;
+        d.owning = owning;
+        decls.push_back(std::move(d));
+    }
+    return decls;
+}
+
+SymbolIndex
+buildSymbolIndex(const std::vector<SourceFile> &files)
+{
+    SymbolIndex idx;
+    for (const SourceFile &f : files)
+        idx.models.emplace(f.path, buildFileModel(f));
+
+    // Coroutine names + direct-source taint seeds.
+    for (const SourceFile &f : files) {
+        const FileModel &m = idx.models.at(f.path);
+        for (const FunctionModel &fn : m.functions) {
+            if (fn.isLambda || fn.name.empty())
+                continue;
+            if (fn.hasCo)
+                idx.coroutineNames.insert(fn.name);
+            if (idx.taintedFunctions.count(fn.name) != 0)
+                continue;
+            for (int k = fn.bodyBegin + 1; k < fn.bodyEnd; ++k) {
+                std::string why = directSourceAt(f.tokens, k);
+                if (!why.empty()) {
+                    idx.taintedFunctions[fn.name] =
+                        "which reads " + why;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Close the tainted set under calls, bounded: a five-hop chain of
+    // wrappers is already far beyond anything in this tree.
+    for (int round = 0; round < 5; ++round) {
+        bool changed = false;
+        for (const SourceFile &f : files) {
+            const FileModel &m = idx.models.at(f.path);
+            for (const FunctionModel &fn : m.functions) {
+                if (fn.isLambda || fn.name.empty() ||
+                    idx.taintedFunctions.count(fn.name) != 0)
+                    continue;
+                for (int k = fn.bodyBegin + 1; k + 1 < fn.bodyEnd; ++k) {
+                    const Token &t = f.tokens[static_cast<size_t>(k)];
+                    if (!tokIsIdent(t) || t.text == fn.name ||
+                        !tokIs(f.tokens[static_cast<size_t>(k + 1)], "("))
+                        continue;
+                    auto it = idx.taintedFunctions.find(t.text);
+                    if (it == idx.taintedFunctions.end())
+                        continue;
+                    idx.taintedFunctions[fn.name] =
+                        "which calls '" + t.text + "()', " + it->second;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    // Channel endpoints: declarations first, then tree-wide usage.
+    std::map<std::string, std::set<int>> declTokens; // path -> tok idx
+    for (const SourceFile &f : files) {
+        for (const ChannelDecl &d : collectChannelDecls(f)) {
+            declTokens[f.path].insert(d.tokenIdx);
+            auto [it, fresh] = idx.channels.try_emplace(d.name);
+            if (fresh) {
+                it->second.declFile = f.path;
+                it->second.declLine = d.line;
+            }
+            it->second.owning = it->second.owning || d.owning;
+        }
+    }
+    for (const SourceFile &f : files) {
+        const std::set<int> &skip = declTokens[f.path];
+        for (int k = 0; k < static_cast<int>(f.tokens.size()); ++k) {
+            const Token &t = f.tokens[static_cast<size_t>(k)];
+            if (!tokIsIdent(t) || skip.count(k) != 0)
+                continue;
+            auto it = idx.channels.find(t.text);
+            if (it != idx.channels.end())
+                countUse(f.tokens, k, it->second);
+        }
+    }
+    return idx;
+}
+
+} // namespace ndp::lint

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ndp-lint analysis layer, pass 2: the cross-file symbol index.
+ *
+ * Built once over the whole file set before any rule runs, the index
+ * holds the facts that only exist ACROSS translation units:
+ *
+ *  - FileModel per file (pass 1 output, cached here so each rule does
+ *    not re-derive scopes),
+ *  - the names of coroutine functions (body contains co_await /
+ *    co_return / co_yield) anywhere in the tree,
+ *  - the tainted-function map for the determinism rules: functions
+ *    whose return value derives from a banned nondeterminism source,
+ *    closed under calls with a bounded fixpoint — this is what makes
+ *    `r.wall = wallSeconds();` in one TU a finding when wallSeconds()
+ *    reads the wall clock in another TU,
+ *  - channel endpoints: every `Channel<T> name` declaration with its
+ *    tree-wide put/get/close/escape usage counts, keyed by variable
+ *    name (a channel's producer and consumer usually live in different
+ *    files from its declaration).
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ndplint/analysis/model.h"
+
+namespace ndp::lint {
+
+/** One `Channel<...> name` declaration site in a file. */
+struct ChannelDecl
+{
+    std::string name;
+    int tokenIdx = -1; ///< token index of the declared name
+    int line = 0;
+    /** Declared by value (not `*` / `&`): this object owns the
+     *  buffered messages, so it is the accountable endpoint. */
+    bool owning = false;
+};
+
+/** Channel declarations in one lexed file, in file order. */
+std::vector<ChannelDecl> collectChannelDecls(const SourceFile &f);
+
+/** Tree-wide usage profile of one channel variable name. */
+struct ChannelEndpoint
+{
+    std::string declFile; ///< file of the first declaration seen
+    int declLine = 0;
+    bool owning = false;
+    int puts = 0;   ///< `.put(` member calls
+    int gets = 0;   ///< `.get(` member calls
+    int closes = 0; ///< `.close(` member calls
+    /**
+     * Uses that are neither member calls nor the declaration itself:
+     * returned, passed as an argument, address-taken, aliased. An
+     * escaped channel may be drained through the alias, so escape > 0
+     * disarms the never-drained rule.
+     */
+    int escapes = 0;
+};
+
+struct SymbolIndex
+{
+    /** path -> pass-1 model (built once, shared by every rule). */
+    std::map<std::string, FileModel> models;
+    /** Names of functions whose own body is a coroutine. */
+    std::set<std::string> coroutineNames;
+    /** function name -> why its return value is nondeterministic. */
+    std::map<std::string, std::string> taintedFunctions;
+    /** channel variable name -> tree-wide endpoint profile. */
+    std::map<std::string, ChannelEndpoint> channels;
+
+    const FileModel *
+    modelFor(const std::string &path) const
+    {
+        auto it = models.find(path);
+        return it == models.end() ? nullptr : &it->second;
+    }
+};
+
+/** Build the index over the whole file set (pass 2). */
+SymbolIndex buildSymbolIndex(const std::vector<SourceFile> &files);
+
+} // namespace ndp::lint

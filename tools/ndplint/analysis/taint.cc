@@ -1,0 +1,137 @@
+#include "ndplint/analysis/taint.h"
+
+namespace ndp::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool
+isAssignOp(const Token &t)
+{
+    return tokAnyOf(t, {"=", "+=", "-=", "*=", "/=", "%=", "|=", "&=",
+                        "^=", "<<=", ">>="});
+}
+
+bool
+isAccumOp(const Token &t)
+{
+    return tokAnyOf(t, {"+=", "-=", "*=", "/="});
+}
+
+/** One past the last token of the statement containing index @p i. */
+int
+statementEnd(const Tokens &toks, int i)
+{
+    int depth = 0;
+    for (int k = i; k < static_cast<int>(toks.size()); ++k) {
+        const Token &t = toks[static_cast<size_t>(k)];
+        if (tokAnyOf(t, {"(", "[", "{"}))
+            ++depth;
+        else if (tokAnyOf(t, {")", "]", "}"})) {
+            if (--depth < 0)
+                return k;
+        } else if (depth == 0 && tokIs(t, ";")) {
+            return k;
+        }
+    }
+    return static_cast<int>(toks.size()) - 1;
+}
+
+} // namespace
+
+std::string
+directSourceAt(const Tokens &toks, int i)
+{
+    const Token &t = toks[static_cast<size_t>(i)];
+    if (!tokIsIdent(t))
+        return "";
+    const Token prev = i > 0 ? toks[static_cast<size_t>(i - 1)] : Token{};
+    const Token next = i + 1 < static_cast<int>(toks.size())
+                           ? toks[static_cast<size_t>(i + 1)]
+                           : Token{};
+    bool member = tokAnyOf(prev, {".", "->"});
+    if (tokAnyOf(t, {"system_clock", "steady_clock",
+                     "high_resolution_clock"}))
+        return "std::chrono::" + t.text + " (wall clock)";
+    if (tokAnyOf(t, {"rand", "srand"}) && tokIs(next, "(") && !member)
+        return "std::" + t.text + "() (global PRNG)";
+    if (tokIs(t, "time") && tokIs(next, "(") && !member)
+        return "time() (wall clock)";
+    if (tokIs(t, "random_device") && !member)
+        return "std::random_device (hardware entropy)";
+    if (tokIs(t, "hash") && tokIs(next, "<")) {
+        int past = skipAngles(toks, i + 1);
+        for (int k = i + 2; past > 0 && k < past - 1; ++k)
+            if (tokIs(toks[static_cast<size_t>(k)], "*"))
+                return "std::hash over a pointer type (address-based "
+                       "hashing)";
+    }
+    if (tokIs(t, "reinterpret_cast") && tokIs(next, "<")) {
+        int past = skipAngles(toks, i + 1);
+        for (int k = i + 2; past > 0 && k < past - 1; ++k)
+            if (tokAnyOf(toks[static_cast<size_t>(k)],
+                         {"uintptr_t", "intptr_t"}))
+                return "reinterpret_cast to an integer (address-"
+                       "dependent value)";
+    }
+    return "";
+}
+
+TaintMap
+computeLocalTaint(const SourceFile &f, const TaintMap &taintedFunctions)
+{
+    const Tokens &toks = f.tokens;
+    TaintMap tm;
+
+    // Hash-order taint: accumulation inside iteration over an
+    // unordered container is order-dependent even when every addend is
+    // deterministic.
+    auto unordered = collectUnorderedVars(f);
+    for (const RangeForLoop &loop : findUnorderedRangeFors(f, unordered)) {
+        for (int k = loop.bodyBegin; k + 1 < loop.bodyEnd; ++k) {
+            const Token &t = toks[static_cast<size_t>(k)];
+            if (tokIsIdent(t) &&
+                isAccumOp(toks[static_cast<size_t>(k + 1)]))
+                tm[t.text] = "accumulated while iterating unordered "
+                             "container '" +
+                             loop.var + "' (hash order)";
+        }
+    }
+
+    // Assignment propagation, two rounds: `x = a; b = x;` converges.
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
+            const Token &t = toks[static_cast<size_t>(i)];
+            if (!tokIsIdent(t) ||
+                !isAssignOp(toks[static_cast<size_t>(i + 1)]))
+                continue;
+            if (tm.count(t.text) != 0)
+                continue;
+            int end = statementEnd(toks, i + 2);
+            for (int j = i + 2; j < end; ++j) {
+                const Token &r = toks[static_cast<size_t>(j)];
+                std::string why = directSourceAt(toks, j);
+                if (why.empty() && tokIsIdent(r)) {
+                    if (auto it = tm.find(r.text); it != tm.end())
+                        why = "'" + r.text + "', " + it->second;
+                    else if (j + 1 < end &&
+                             tokIs(toks[static_cast<size_t>(j + 1)],
+                                   "(")) {
+                        if (auto tf = taintedFunctions.find(r.text);
+                            tf != taintedFunctions.end())
+                            why = "call to '" + r.text + "()', " +
+                                  tf->second;
+                    }
+                }
+                if (!why.empty()) {
+                    tm[t.text] = "assigned from " + why;
+                    break;
+                }
+            }
+        }
+    }
+    return tm;
+}
+
+} // namespace ndp::lint

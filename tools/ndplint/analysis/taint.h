@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ndp-lint analysis layer, pass 3: the determinism taint lattice.
+ *
+ * The lattice is the simplest one that is useful: a value is either
+ * CLEAN or TAINTED, and a tainted value carries a human-readable chain
+ * of *why* (its source, and each assignment hop it took). Sources are
+ * the banned nondeterminism primitives; propagation is by assignment
+ * (two local rounds, so a two-hop chain `a = clock; b = a;` converges)
+ * and by calls into the cross-TU tainted-function map built by
+ * analysis/symbols. Sinks (Report fields, trace serialization,
+ * scheduler decisions) live in the determinism-taint rule itself.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ndplint/analysis/model.h"
+
+namespace ndp::lint {
+
+/**
+ * If the token at @p i is a direct nondeterminism source — a chrono
+ * wall clock, time()/rand()/srand(), std::random_device, address-based
+ * hashing (`hash<T*>`), or a pointer-to-integer cast — return a short
+ * description of it; otherwise return "".
+ */
+std::string directSourceAt(const std::vector<Token> &toks, int i);
+
+/** var name -> why it is tainted (source + assignment chain). */
+using TaintMap = std::map<std::string, std::string>;
+
+/**
+ * Local taint propagation over one file: two rounds of assignment
+ * propagation (`x op= rhs` taints x when rhs mentions a source, a
+ * tainted variable, or a call to a cross-TU tainted function), plus
+ * hash-order taint for accumulation ops inside range-for loops over
+ * unordered containers (the accumulated value depends on iteration
+ * order even when every addend is clean).
+ */
+TaintMap computeLocalTaint(const SourceFile &f,
+                           const TaintMap &taintedFunctions);
+
+} // namespace ndp::lint

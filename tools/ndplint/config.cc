@@ -1,0 +1,228 @@
+#include "ndplint/config.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace ndp::lint {
+
+namespace {
+
+/**
+ * Just enough JSON for the config shape: one object of objects of
+ * string arrays. Hand-rolled to keep ndp-lint dependency-free.
+ */
+struct Parser
+{
+    std::string_view s;
+    size_t i = 0;
+    bool ok = true;
+    std::string err;
+
+    void
+    fail(const std::string &what)
+    {
+        if (ok) {
+            ok = false;
+            err = what + " near offset " + std::to_string(i);
+        }
+    }
+
+    void
+    ws()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                s[i] == '\r'))
+            ++i;
+    }
+
+    bool
+    eat(char c)
+    {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    str()
+    {
+        ws();
+        std::string out;
+        if (i >= s.size() || s[i] != '"') {
+            fail("expected string");
+            return out;
+        }
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\' && i + 1 < s.size())
+                ++i;
+            out.push_back(s[i]);
+            ++i;
+        }
+        if (i >= s.size())
+            fail("unterminated string");
+        else
+            ++i;
+        return out;
+    }
+
+    std::vector<std::string>
+    stringArray()
+    {
+        std::vector<std::string> out;
+        if (!eat('[')) {
+            fail("expected [");
+            return out;
+        }
+        if (eat(']'))
+            return out;
+        do {
+            out.push_back(str());
+        } while (ok && eat(','));
+        if (!eat(']'))
+            fail("expected ]");
+        return out;
+    }
+
+    RuleScope
+    ruleScope()
+    {
+        RuleScope rs;
+        if (!eat('{')) {
+            fail("expected {");
+            return rs;
+        }
+        if (eat('}'))
+            return rs;
+        do {
+            std::string key = str();
+            if (!eat(':')) {
+                fail("expected :");
+                return rs;
+            }
+            if (key == "include")
+                rs.include = stringArray();
+            else if (key == "exclude")
+                rs.exclude = stringArray();
+            else
+                fail("unknown scope key '" + key + "'");
+        } while (ok && eat(','));
+        if (!eat('}'))
+            fail("expected }");
+        return rs;
+    }
+};
+
+} // namespace
+
+bool
+ScopeConfig::appliesTo(const std::string &rule,
+                       std::string_view path) const
+{
+    auto it = scopes.find(rule);
+    if (it == scopes.end())
+        return true;
+    std::string p(path);
+    std::replace(p.begin(), p.end(), '\\', '/');
+    const RuleScope &rs = it->second;
+    for (const std::string &e : rs.exclude)
+        if (p.find(e) != std::string::npos)
+            return false;
+    if (rs.include.empty())
+        return true;
+    for (const std::string &inc : rs.include)
+        if (p.find(inc) != std::string::npos)
+            return true;
+    return false;
+}
+
+ScopeConfig
+ScopeConfig::builtin()
+{
+    ScopeConfig cfg;
+    // "src/core" (no trailing slash) covers src/core/sched too —
+    // scheduler decisions feed every multi-job run and must obey the
+    // same determinism contract.
+    cfg.scopes["banned-nondeterminism"] = {{"src/sim", "src/core"}, {}};
+    // The fabric and the device-spec formulas are the two sanctioned
+    // homes for rate arithmetic.
+    cfg.scopes["analytic-net-math"] = {{}, {"src/net/", "src/hw/"}};
+    // The span primitives live in src/obs; tools/ parses traces and
+    // never holds a Tracer.
+    cfg.scopes["unbalanced-span"] = {{}, {"src/obs/", "tools/"}};
+    // The flow rules encode simulator-core invariants; tests and
+    // benches legitimately drive channels one-sided and charge without
+    // yielding to provoke the scheduler.
+    cfg.scopes["determinism-taint"] = {{"src/"}, {}};
+    cfg.scopes["missing-batch-yield"] = {{"src/"}, {}};
+    cfg.scopes["channel-never-drained"] = {{"src/"}, {}};
+    return cfg;
+}
+
+ScopeConfig
+ScopeConfig::fromJson(std::string_view text, std::string *err)
+{
+    ScopeConfig cfg;
+    Parser p;
+    p.s = text;
+    if (!p.eat('{'))
+        p.fail("expected top-level {");
+    if (p.ok && !p.eat('}')) {
+        do {
+            std::string key = p.str();
+            if (!p.eat(':')) {
+                p.fail("expected :");
+                break;
+            }
+            if (key == "scopes") {
+                if (!p.eat('{')) {
+                    p.fail("expected {");
+                    break;
+                }
+                if (p.eat('}'))
+                    continue;
+                do {
+                    std::string rule = p.str();
+                    if (!p.eat(':')) {
+                        p.fail("expected :");
+                        break;
+                    }
+                    cfg.scopes[rule] = p.ruleScope();
+                } while (p.ok && p.eat(','));
+                if (p.ok && !p.eat('}'))
+                    p.fail("expected }");
+            } else {
+                p.fail("unknown top-level key '" + key + "'");
+            }
+        } while (p.ok && p.eat(','));
+        if (p.ok && !p.eat('}'))
+            p.fail("expected closing }");
+    }
+    if (!p.ok) {
+        if (err)
+            *err = "ndp-lint config: " + p.err;
+        return builtin();
+    }
+    return cfg;
+}
+
+ScopeConfig
+ScopeConfig::load(const std::string &path, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "ndp-lint config: cannot read " + path;
+        return builtin();
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return fromJson(ss.str(), err);
+}
+
+} // namespace ndp::lint

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-rule path scoping for ndp-lint, centralized in a checked-in
+ * `.ndplint.json` at the repo root (satellite of the flow-aware
+ * analyzer work; previously each Rule hardcoded its own appliesTo).
+ *
+ * Shape:
+ *
+ *     {
+ *       "scopes": {
+ *         "banned-nondeterminism": { "include": ["src/sim", "src/core"] },
+ *         "analytic-net-math":     { "exclude": ["src/net/", "src/hw/"] }
+ *       }
+ *     }
+ *
+ * A rule with no entry applies everywhere. `include` means the path
+ * must contain at least one of the substrings; `exclude` means it must
+ * contain none. Matching is substring-based on '/'-normalized paths,
+ * same as the old hardcoded checks, so relative and absolute
+ * invocations behave identically.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndp::lint {
+
+struct RuleScope
+{
+    std::vector<std::string> include;
+    std::vector<std::string> exclude;
+};
+
+struct ScopeConfig
+{
+    std::map<std::string, RuleScope> scopes;
+
+    /** True when @p rule should analyze @p path under this config. */
+    bool appliesTo(const std::string &rule, std::string_view path) const;
+
+    /**
+     * The compiled-in default, kept in lockstep with the checked-in
+     * `.ndplint.json` (the unit tests assert they agree) so the tool
+     * behaves the same when run outside the repo root.
+     */
+    static ScopeConfig builtin();
+
+    /** Parse config JSON. On error returns builtin() and sets *err. */
+    static ScopeConfig fromJson(std::string_view text, std::string *err);
+
+    /** Load from @p path. On error returns builtin() and sets *err. */
+    static ScopeConfig load(const std::string &path, std::string *err);
+};
+
+} // namespace ndp::lint

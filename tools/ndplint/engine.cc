@@ -39,6 +39,17 @@ jsonEscape(std::ostringstream &os, const std::string &s)
     }
 }
 
+/** Forward-slashed relative-style path for SARIF artifact URIs. */
+std::string
+sarifUri(const std::string &path)
+{
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    while (p.size() >= 2 && p[0] == '.' && p[1] == '/')
+        p.erase(0, 2);
+    return p;
+}
+
 } // namespace
 
 bool
@@ -64,6 +75,7 @@ runLint(const std::vector<SourceFile> &files, const LintOptions &opt)
     AnalysisContext ctx;
     for (const SourceFile &f : files)
         collectTaskFunctions(f, ctx);
+    ctx.index = buildSymbolIndex(files);
 
     auto wantRule = [&](const Rule &r) {
         if (opt.ruleFilter.empty())
@@ -79,7 +91,8 @@ runLint(const std::vector<SourceFile> &files, const LintOptions &opt)
         for (const auto &rule : allRules()) {
             if (!wantRule(*rule))
                 continue;
-            if (!opt.ignorePathScope && !rule->appliesTo(f.path))
+            if (!opt.ignorePathScope &&
+                !opt.scope.appliesTo(rule->name(), f.path))
                 continue;
             rule->analyze(f, ctx, raw);
         }
@@ -133,6 +146,79 @@ renderJson(const LintStats &stats)
     os << ",\n  \"suppressed\": " << stats.suppressed
        << ",\n  \"filesScanned\": " << stats.filesScanned << "\n}\n";
     return os.str();
+}
+
+std::string
+renderSarif(const LintStats &stats)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [{\n"
+       << "    \"tool\": {\"driver\": {\n"
+       << "      \"name\": \"ndp-lint\",\n"
+       << "      \"informationUri\": "
+          "\"tools/ndplint/README reference: repo DESIGN.md section "
+          "12\",\n"
+       << "      \"rules\": [";
+    bool first = true;
+    for (const auto &rule : allRules()) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "        {\"id\": \"" << rule->name()
+           << "\", \"shortDescription\": {\"text\": \"";
+        jsonEscape(os, rule->description());
+        os << "\"}}";
+    }
+    os << "\n      ]\n"
+       << "    }},\n"
+       << "    \"results\": [";
+    for (size_t i = 0; i < stats.findings.size(); ++i) {
+        const Finding &fd = stats.findings[i];
+        os << (i ? ",\n" : "\n");
+        os << "      {\"ruleId\": \"" << fd.rule
+           << "\", \"level\": \"error\", \"message\": {\"text\": \"";
+        jsonEscape(os, fd.message);
+        os << "\"}, \"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \"";
+        jsonEscape(os, sarifUri(fd.path));
+        os << "\"}, \"region\": {\"startLine\": " << fd.line
+           << "}}}]}";
+    }
+    os << (stats.findings.empty() ? "]" : "\n    ]");
+    os << "\n  }]\n}\n";
+    return os.str();
+}
+
+SuppressionAudit
+auditSuppressions(const std::vector<SourceFile> &files)
+{
+    SuppressionAudit audit;
+    std::ostringstream os;
+    for (const SourceFile &f : files) {
+        for (const Suppression &s : f.suppressions) {
+            ++audit.total;
+            std::string rules;
+            for (const std::string &r : s.rules)
+                rules += (rules.empty() ? "" : ", ") + r;
+            os << f.path << ":" << s.line << ": allow(" << rules
+               << ")";
+            if (s.reason.empty()) {
+                ++audit.unrationaled;
+                os << "  <-- MISSING RATIONALE (use `allow(rule: "
+                      "reason)`)";
+            } else {
+                os << "  \"" << s.reason << "\"";
+            }
+            os << "\n";
+        }
+    }
+    os << "ndp-lint: " << audit.total << " suppression(s), "
+       << audit.unrationaled << " without rationale\n";
+    audit.text = os.str();
+    return audit;
 }
 
 } // namespace ndp::lint

@@ -1,7 +1,9 @@
 /**
  * @file
- * ndp-lint driver: runs the rule registry over a set of lexed files,
- * applies per-line suppressions, and renders text or JSON reports.
+ * ndp-lint driver: builds the analysis passes (task-name collection +
+ * symbol index) over a set of lexed files, runs the rule registry
+ * under the scope config, applies per-line suppressions, and renders
+ * text, JSON, or SARIF reports plus the suppression audit.
  */
 
 #pragma once
@@ -9,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ndplint/config.h"
 #include "ndplint/rules.h"
 
 namespace ndp::lint {
@@ -22,6 +25,8 @@ struct LintOptions
      * fires only under src/sim + src/core). Used by the fixture tests.
      */
     bool ignorePathScope = false;
+    /** Per-rule path scoping; see config.h / `.ndplint.json`. */
+    ScopeConfig scope = ScopeConfig::builtin();
 };
 
 struct LintStats
@@ -32,9 +37,10 @@ struct LintStats
 };
 
 /**
- * A finding is suppressed by an `ndplint: allow(rule)` (or allow(*))
- * directive on any line of [finding.line, finding.endLine], or on the
- * run of comment/blank lines immediately above finding.line.
+ * A finding is suppressed by an allow directive (see lexer.h) naming
+ * its rule — or the `*` wildcard — on any line of
+ * [finding.line, finding.endLine], or on the run of comment/blank
+ * lines immediately above finding.line.
  */
 bool isSuppressed(const SourceFile &f, const Finding &fd);
 
@@ -43,5 +49,19 @@ LintStats runLint(const std::vector<SourceFile> &files,
 
 std::string renderText(const LintStats &stats);
 std::string renderJson(const LintStats &stats);
+/** SARIF 2.1.0, for GitHub code-scanning annotations. */
+std::string renderSarif(const LintStats &stats);
+
+/** `--audit-suppressions` output. */
+struct SuppressionAudit
+{
+    int total = 0;
+    /** Directives with no rationale after the rule list (legacy
+     *  syntax); these fail the CI audit step. */
+    int unrationaled = 0;
+    std::string text;
+};
+
+SuppressionAudit auditSuppressions(const std::vector<SourceFile> &files);
 
 } // namespace ndp::lint

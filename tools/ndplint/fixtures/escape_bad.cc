@@ -1,0 +1,40 @@
+// ndp-lint fixture: coroutine-lifetime escape analysis, BAD cases.
+// Not compiled — lexed by test_ndplint_flow.cc. Every borrow below is
+// read after (or across) a suspension point, so the referent may be
+// destroyed while the coroutine is suspended.
+
+#include <string_view>
+
+#include "sim/task.h"
+
+namespace fixture {
+
+// BAD: both by-reference parameters are read after the co_await
+// completes. `s` is only used inside the co_await expression itself
+// (evaluated before suspension) and must stay silent.
+sim::Task
+refAfterAwait(sim::Simulator &s, const Config &cfg, double &out)
+{
+    co_await s.delay(1.0);
+    out = cfg.rate;
+}
+
+// BAD: the string_view's backing buffer can die during the suspension.
+sim::Task
+viewAfterAwait(sim::Simulator &s, std::string_view name)
+{
+    co_await s.delay(1.0);
+    log(name);
+}
+
+// BAD: by-reference lambda capture used after the lambda suspends.
+void
+spawnWorker(sim::Simulator &s, Stats &stats)
+{
+    s.spawn([&stats, &s]() -> sim::Task {
+        co_await s.delay(2.0);
+        stats.done += 1;
+    }());
+}
+
+} // namespace fixture

@@ -1,0 +1,38 @@
+// ndp-lint fixture: coroutine-lifetime escape analysis, GOOD cases.
+// Not compiled — lexed by test_ndplint_flow.cc. Zero coroutine-escape
+// findings expected: borrows are consumed before the first suspension
+// or replaced by owned copies.
+
+#include <string>
+
+#include "sim/task.h"
+
+namespace fixture {
+
+// Reads the borrow while the caller's frame is guaranteed live, then
+// only touches the copy after suspending.
+sim::Task
+copiesBeforeSuspend(sim::Simulator &s, const Config &cfg)
+{
+    const double rate = cfg.rate;
+    co_await s.delay(rate);
+    co_return;
+}
+
+// Owned copies: safe to touch on either side of the suspension.
+sim::Task
+byValue(sim::Simulator s, std::string name)
+{
+    co_await s.delay(1.0);
+    log(name);
+}
+
+// A borrow used only inside the co_await expression is evaluated
+// before the suspension, so it never outlives the caller's frame.
+sim::Task
+useInsideAwaitOnly(Store &store)
+{
+    co_await store.flush();
+}
+
+} // namespace fixture

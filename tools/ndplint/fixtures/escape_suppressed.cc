@@ -1,0 +1,19 @@
+// ndp-lint fixture: coroutine-escape with a rationaled suppression.
+// Not compiled — lexed by test_ndplint_flow.cc. The escape is real in
+// shape but the allow names the rule with a rationale, so the finding
+// (anchored at the signature) is suppressed and the audit is clean.
+
+#include "sim/task.h"
+
+namespace fixture {
+
+/* ndplint: allow(coroutine-escape, coroutine-ref-param: the dataflow
+ * scope owns cfg and joins this task via s.run() before it dies) */
+sim::Task
+suppressedEscape(sim::Simulator &s, const Config &cfg)
+{
+    co_await s.delay(1.0);
+    consume(cfg);
+}
+
+} // namespace fixture

@@ -1,0 +1,27 @@
+// ndp-lint fixture: lexer hardening. Raw strings (with and without
+// encoding prefixes and custom delimiters), digit separators, and
+// line-spliced comments must all be opaque: none of the banned names
+// inside them may surface as identifier tokens. Not compiled — lexed
+// by test_ndplint_flow.cc.
+
+namespace fixture {
+
+const char *raw = R"(std::rand() time(nullptr))";
+const char *rawDelim = R"ndp(srand(42) steady_clock)ndp";
+const char *rawU8 = u8R"(random_device)";
+const wchar_t *rawWide = LR"(system_clock)";
+
+constexpr long big = 1'000'000;
+constexpr unsigned mask = 0xFF'FF'00'00u;
+constexpr double rate = 12'500.5;
+
+// A spliced line comment hides the next physical line too: \
+std::rand();
+
+int
+after()
+{
+    return static_cast<int>(big);
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// ndp-lint fixture: the PR 3 ASan-confirmed use-after-free, minimized.
+// Not compiled — lexed by test_ndplint_flow.cc. The dataflow handed
+// `batches` to the coroutine by const reference and destroyed it while
+// the task was still suspended inside the loop; the next iteration
+// then indexed a dead vector. The escape rule must flag `batches` as
+// live across the suspending loop.
+
+#include <vector>
+
+#include "sim/task.h"
+
+namespace fixture {
+
+sim::Task
+uploadBatches(Ctx &ctx, const std::vector<Batch> &batches)
+{
+    for (size_t i = 0; i < batches.size(); ++i) {
+        co_await ctx.gpu.compute(batches[i].seconds);
+    }
+}
+
+} // namespace fixture

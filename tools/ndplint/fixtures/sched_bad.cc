@@ -1,0 +1,41 @@
+// ndp-lint fixture: scheduler/channel protocol checks, BAD cases —
+// one per rule. Not compiled — lexed by test_ndplint_flow.cc.
+
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace fixture {
+
+// BAD (missing-batch-yield): charges scheduler time every batch but
+// never co_awaits a yield(), so fair-share can never deschedule it.
+sim::Task
+greedyJob(Ctx &ctx)
+{
+    for (int i = 0; i < 8; ++i) {
+        co_await ctx.gpu.compute(0.01);
+        ctx.sched->charge(ctx.job, 0.01);
+    }
+}
+
+// BAD (send-after-close): the second put is sequenced after close();
+// Channel::put asserts the channel is open, so this path aborts.
+sim::Task
+badProducer(sim::Channel<int> &out)
+{
+    co_await out.put(1);
+    out.close();
+    co_await out.put(2);
+}
+
+// BAD (channel-never-drained): an owning channel that is put into but
+// never get() from and never aliased — the producer blocks forever
+// once the two-slot buffer fills.
+sim::Task
+orphanProducer(sim::Simulator &s)
+{
+    sim::Channel<int> orphan(s, 2);
+    co_await orphan.put(1);
+    co_await orphan.put(2);
+}
+
+} // namespace fixture

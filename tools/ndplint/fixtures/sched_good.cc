@@ -1,0 +1,61 @@
+// ndp-lint fixture: scheduler/channel protocol checks, GOOD cases —
+// zero findings. Not compiled — lexed by test_ndplint_flow.cc.
+
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace fixture {
+
+// Yields at every batch boundary before charging: preemptable.
+sim::Task
+politeJob(Ctx &ctx)
+{
+    for (int i = 0; i < 8; ++i) {
+        co_await ctx.sched->yield(ctx.job);
+        co_await ctx.gpu.compute(0.01);
+        ctx.sched->charge(ctx.job, 0.01);
+    }
+}
+
+// close() strictly after the last put: the normal producer shape.
+sim::Task
+goodProducer(sim::Channel<int> &out)
+{
+    for (int i = 0; i < 4; ++i)
+        co_await out.put(i);
+    out.close();
+}
+
+// close() and put() on opposite branches are never sequenced.
+sim::Task
+branchyProducer(sim::Channel<int> &out, bool done)
+{
+    if (done) {
+        out.close();
+    } else {
+        co_await out.put(7);
+    }
+}
+
+// A channel that is both put into and drained locally.
+sim::Task
+drainedPair(sim::Simulator &s)
+{
+    sim::Channel<int> ch(s, 2);
+    co_await ch.put(1);
+    auto v = co_await ch.get();
+    ch.close();
+    use(v);
+}
+
+// Passing the channel to another function aliases it: a consumer may
+// drain it, so never-drained must stay silent.
+sim::Task
+handsOff(sim::Simulator &s)
+{
+    sim::Channel<int> escapee(s, 2);
+    co_await escapee.put(1);
+    consumeLater(escapee);
+}
+
+} // namespace fixture

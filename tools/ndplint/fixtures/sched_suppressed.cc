@@ -1,0 +1,37 @@
+// ndp-lint fixture: scheduler/channel protocol checks with rationaled
+// suppressions — one per rule, zero surviving findings. Not compiled —
+// lexed by test_ndplint_flow.cc.
+
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace fixture {
+
+sim::Task
+calibrate(Ctx &ctx)
+{
+    co_await ctx.gpu.compute(0.5);
+    /* ndplint: allow(missing-batch-yield: boot-time calibration job —
+       runs before the scheduler admits tenants, nothing to preempt) */
+    ctx.sched->charge(ctx.job, 0.5);
+}
+
+sim::Task
+flushSentinel(sim::Channel<int> &out)
+{
+    out.close();
+    /* ndplint: allow(send-after-close: this put targets the reopened
+       epoch; the epoch lock upstream guards the transition) */
+    co_await out.put(-1);
+}
+
+sim::Task
+metricsBacklog(sim::Simulator &s)
+{
+    /* ndplint: allow(channel-never-drained: the test harness drains
+       backlog after run() returns) */
+    sim::Channel<int> backlog(s, 8);
+    co_await backlog.put(1);
+}
+
+} // namespace fixture

@@ -1,0 +1,56 @@
+// ndp-lint fixture: determinism taint, BAD cases — one per sink kind.
+// Not compiled — lexed by test_ndplint_flow.cc. Values derived from
+// banned nondeterminism sources reach a Report field, a trace event,
+// and a scheduler decision.
+
+#include <chrono>
+#include <unordered_map>
+
+namespace fixture {
+
+struct StageReport
+{
+    double seconds = 0.0;
+};
+
+// BAD (sink A): wall-clock time flows into a serialized report field
+// through two assignments.
+void
+reportWallClock(StageReport &rep)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    double wall = seconds(t0);
+    rep.seconds = wall;
+}
+
+// BAD (sink A, hash-order): a sum accumulated while iterating an
+// unordered container depends on hash order even though every addend
+// is deterministic.
+void
+reportHashOrder(StageReport &agg,
+                const std::unordered_map<int, double> &perStore)
+{
+    double total = 0.0;
+    for (const auto &kv : perStore)
+        total += kv.second;
+    agg.seconds = total;
+}
+
+// BAD (sink B): a global-PRNG draw serialized into the trace stream.
+void
+traceJitter(Tracer &trace)
+{
+    trace.instant("jitter", std::rand());
+}
+
+// BAD (sink C): a wall-clock delta drives how much the scheduler
+// bills the job, so fair-share decisions diverge across runs.
+void
+chargeWallTime(Ctx &ctx)
+{
+    double start = 0.0;
+    auto now = time(nullptr);
+    ctx.sched->charge(ctx.job, now - start);
+}
+
+} // namespace fixture

@@ -1,0 +1,51 @@
+// ndp-lint fixture: determinism taint, GOOD cases — zero findings.
+// Not compiled — lexed by test_ndplint_flow.cc. Sim time, seeded Rng
+// draws, and ordered iteration are the sanctioned inputs to reports,
+// traces, and scheduler decisions.
+
+#include <map>
+
+namespace fixture {
+
+struct StageReport
+{
+    double seconds = 0.0;
+};
+
+// Sim time is deterministic: fine to serialize.
+void
+simTimeOnly(StageReport &rep, const Simulator &s)
+{
+    rep.seconds = s.now();
+}
+
+// Ordered iteration: the sum is reproducible bit-for-bit.
+void
+orderedSum(StageReport &rep, const std::map<int, double> &perStore)
+{
+    double total = 0.0;
+    for (const auto &kv : perStore)
+        total += kv.second;
+    rep.seconds = total;
+}
+
+// Tainted but unsunk: a local wall-clock read that never reaches a
+// report, trace, or scheduler call carries no taint finding (the
+// banned-nondeterminism token rule handles the raw call under src/).
+double
+taintedButUnsunk()
+{
+    auto wall = time(nullptr);
+    (void)wall;
+    return 0.0;
+}
+
+// begin() on a receiver that is not a tracer is not a trace sink.
+void
+spanNotATracer(Span &span)
+{
+    auto wall = time(nullptr);
+    span.begin(wall);
+}
+
+} // namespace fixture

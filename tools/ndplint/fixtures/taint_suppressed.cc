@@ -1,0 +1,22 @@
+// ndp-lint fixture: determinism taint with a rationaled suppression.
+// Not compiled — lexed by test_ndplint_flow.cc.
+
+#include <chrono>
+
+namespace fixture {
+
+struct WarmupReport
+{
+    double seconds = 0.0;
+};
+
+void
+wallClockWarmup(WarmupReport &rep)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    /* ndplint: allow(determinism-taint: warmup wall time is
+       diagnostic-only and excluded from the determinism digest) */
+    rep.seconds = sinceSeconds(t0);
+}
+
+} // namespace fixture

@@ -1,0 +1,20 @@
+// ndp-lint fixture: determinism taint, cross-TU sink half.
+// Not compiled — lexed by test_ndplint_flow.cc together with
+// taint_xtu_source.cc. The tainted function is defined in the other
+// file; only the cross-file symbol index can connect the call here to
+// its wall-clock source.
+
+namespace fixture {
+
+struct SyncReport
+{
+    double seconds = 0.0;
+};
+
+void
+fillFromOtherTu(SyncReport &rep)
+{
+    rep.seconds = wallSeconds();
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// ndp-lint fixture: determinism taint, cross-TU source half.
+// Not compiled — lexed by test_ndplint_flow.cc together with
+// taint_xtu_sink.cc. wallSeconds() reads the wall clock, so the
+// symbol index marks it (and its transitive callers) tainted; the
+// sink lives in the other file. Linted alone, this file has no sink
+// and must produce zero determinism-taint findings.
+
+namespace fixture {
+
+double
+wallSeconds()
+{
+    return static_cast<double>(time(nullptr));
+}
+
+double
+jitterScale()
+{
+    return wallSeconds() * 0.5;
+}
+
+} // namespace fixture

@@ -28,9 +28,45 @@ const char *const kPuncts[] = {
     ">>",  "<=",  ">=",  "==",  "!=",
 };
 
+/** Encoding prefixes that may precede a raw-string R. */
+bool
+isRawStringPrefix(std::string_view ident)
+{
+    return ident == "R" || ident == "uR" || ident == "UR" ||
+           ident == "LR" || ident == "u8R";
+}
+
 /**
- * Scan @p comment for `ndplint: allow(a, b)` directives and record the
- * listed rules (or "*") as allowed on @p line.
+ * Append one rationale character, normalizing block-comment interior
+ * whitespace: after a newline, leading spaces and `*` leaders are
+ * collapsed into a single space so multi-line rationales read as one
+ * sentence in the audit listing.
+ */
+void
+appendReasonChar(std::string &reason, char c, bool &atLineBreak)
+{
+    if (c == '\n') {
+        atLineBreak = true;
+        return;
+    }
+    if (atLineBreak) {
+        if (c == ' ' || c == '\t' || c == '*' || c == '\r')
+            return;
+        if (!reason.empty())
+            reason.push_back(' ');
+        atLineBreak = false;
+    }
+    if (reason.empty() && (c == ' ' || c == '\t'))
+        return; // trim leading whitespace
+    reason.push_back(c);
+}
+
+/**
+ * Scan @p comment for suppression directives (`allow(a, b: rationale)`
+ * after an `ndplint` marker + colon) and record the listed rules (or
+ * "*") as allowed on @p line, plus the full directive — with its
+ * rationale, parsed paren-depth-aware so reasons may themselves contain
+ * balanced parentheses — for `--audit-suppressions`.
  */
 void
 recordAllows(SourceFile &f, int line, std::string_view comment)
@@ -48,19 +84,43 @@ recordAllows(SourceFile &f, int line, std::string_view comment)
         if (pos >= comment.size() || comment[pos] != '(')
             continue;
         ++pos;
+        Suppression sup;
+        sup.line = line;
         std::string name;
-        for (; pos < comment.size() && comment[pos] != ')'; ++pos) {
+        bool inReason = false;
+        bool atLineBreak = false;
+        int depth = 1;
+        for (; pos < comment.size(); ++pos) {
             char c = comment[pos];
-            if (c == ',' || c == ' ') {
+            if (c == '(') {
+                ++depth;
+            } else if (c == ')') {
+                if (--depth == 0)
+                    break;
+            }
+            if (inReason) {
+                appendReasonChar(sup.reason, c, atLineBreak);
+                continue;
+            }
+            if (c == ':' && depth == 1) {
+                inReason = true;
+            } else if (c == ',' || c == ' ' || c == '\n' || c == '\r') {
                 if (!name.empty())
-                    f.allows[line].insert(name);
+                    sup.rules.insert(name);
                 name.clear();
             } else {
                 name.push_back(c);
             }
         }
         if (!name.empty())
-            f.allows[line].insert(name);
+            sup.rules.insert(name);
+        while (!sup.reason.empty() && sup.reason.back() == ' ')
+            sup.reason.pop_back();
+        if (!sup.rules.empty()) {
+            for (const std::string &r : sup.rules)
+                f.allows[line].insert(r);
+            f.suppressions.push_back(std::move(sup));
+        }
     }
 }
 
@@ -80,6 +140,25 @@ lexSource(std::string path, std::string_view src)
     auto push = [&](Tok kind, std::string text) {
         f.codeLines.insert(line);
         f.tokens.push_back(Token{kind, std::move(text), line});
+    };
+
+    // Consume a raw string literal whose opening '"' sits at @p quote:
+    // R"delim( ... )delim". Returns the index just past the closing
+    // quote and counts the newlines the literal spans.
+    auto consumeRawString = [&](size_t quote) {
+        size_t d = quote + 1;
+        while (d < n && src[d] != '(' && src[d] != '\n')
+            ++d;
+        std::string close =
+            ")" + std::string(src.substr(quote + 1, d - (quote + 1))) +
+            "\"";
+        size_t e = src.find(close, d);
+        e = (e == std::string_view::npos) ? n : e + close.size();
+        push(Tok::String, "R\"...\"");
+        for (size_t k = quote; k < e; ++k)
+            if (src[k] == '\n')
+                ++line;
+        return e;
     };
 
     while (i < n) {
@@ -112,12 +191,30 @@ lexSource(std::string path, std::string_view src)
             continue;
         }
         lineStart = false;
-        // Line comment.
+        // Line comment — a trailing backslash splices the next physical
+        // line into the comment ([lex.phases] p1), so code on that line
+        // is commentary, not tokens.
         if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            size_t e = src.find('\n', i);
-            if (e == std::string_view::npos)
-                e = n;
-            recordAllows(f, line, src.substr(i, e - i));
+            int startLine = line;
+            size_t e = i;
+            while (true) {
+                size_t nl = src.find('\n', e);
+                if (nl == std::string_view::npos) {
+                    e = n;
+                    break;
+                }
+                size_t back = nl;
+                if (back > i && src[back - 1] == '\r')
+                    --back;
+                if (back > i && src[back - 1] == '\\') {
+                    ++line; // spliced: the comment swallows this line
+                    e = nl + 1;
+                    continue;
+                }
+                e = nl;
+                break;
+            }
+            recordAllows(f, startLine, src.substr(i, e - i));
             i = e;
             continue;
         }
@@ -130,22 +227,6 @@ lexSource(std::string path, std::string_view src)
             else
                 e += 2;
             recordAllows(f, startLine, src.substr(i, e - i));
-            for (size_t k = i; k < e; ++k)
-                if (src[k] == '\n')
-                    ++line;
-            i = e;
-            continue;
-        }
-        // Raw string literal: R"delim( ... )delim"
-        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-            size_t d = i + 2;
-            while (d < n && src[d] != '(' && src[d] != '\n')
-                ++d;
-            std::string close =
-                ")" + std::string(src.substr(i + 2, d - (i + 2))) + "\"";
-            size_t e = src.find(close, d);
-            e = (e == std::string_view::npos) ? n : e + close.size();
-            push(Tok::String, "R\"...\"");
             for (size_t k = i; k < e; ++k)
                 if (src[k] == '\n')
                     ++line;
@@ -173,18 +254,31 @@ lexSource(std::string path, std::string_view src)
             size_t e = i;
             while (e < n && isIdentChar(src[e]))
                 ++e;
-            push(Tok::Identifier, std::string(src.substr(i, e - i)));
+            std::string_view ident = src.substr(i, e - i);
+            // Raw string literal, with or without an encoding prefix:
+            // R"(...)", u8R"(...)", LR"(...)", uR"(...)", UR"(...)".
+            if (e < n && src[e] == '"' && isRawStringPrefix(ident)) {
+                i = consumeRawString(e);
+                continue;
+            }
+            push(Tok::Identifier, std::string(ident));
             i = e;
             continue;
         }
         if (std::isdigit(static_cast<unsigned char>(c)) ||
             (c == '.' && i + 1 < n &&
              std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
-            // pp-number: digits, idents, ', ., and exponent signs.
+            // pp-number: digits, idents, ' separators, ., and exponent
+            // signs. A separator must sit between digits/idents, so a
+            // trailing ' (e.g. `1'000'` followed by a char literal)
+            // stays outside the number.
             size_t e = i;
             while (e < n) {
                 char d = src[e];
-                if (isIdentChar(d) || d == '.' || d == '\'') {
+                if (isIdentChar(d) || d == '.') {
+                    ++e;
+                } else if (d == '\'' && e + 1 < n &&
+                           isIdentChar(src[e + 1])) {
                     ++e;
                 } else if ((d == '+' || d == '-') && e > i &&
                            (src[e - 1] == 'e' || src[e - 1] == 'E' ||

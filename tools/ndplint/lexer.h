@@ -5,13 +5,16 @@
  * Produces a flat token stream (identifiers, numbers, string/char
  * literals, punctuators) with line numbers, skipping comments and
  * preprocessor directives. While skipping comments it records
- * suppression directives of the form
+ * suppression directives — an `ndplint` marker, a colon, then
  *
- *     // ndplint: allow(rule-a, rule-b): free-form rationale
+ *     allow(rule-a, rule-b: free-form rationale)
  *
- * and which lines carry code tokens at all, so the rule engine can
- * honour an `allow` placed on the violating line itself or on the
- * comment block immediately above it.
+ * — and which lines carry code tokens at all, so the rule engine can
+ * honour a suppression placed on the violating line itself or on the
+ * comment block immediately above it. The rationale (everything after
+ * the first top-level colon inside the parens) is mandatory for a
+ * suppression to pass `--audit-suppressions`; the legacy form without
+ * an in-paren rationale still suppresses but is flagged by the audit.
  *
  * This is deliberately not a parser: every ndp-lint rule is a token
  * pattern with small amounts of bracket matching, which keeps the tool
@@ -44,6 +47,16 @@ struct Token
     int line = 0;
 };
 
+/** One recorded suppression directive (for `--audit-suppressions`). */
+struct Suppression
+{
+    int line = 0;
+    /** Rules named in the directive ("*" = all). */
+    std::set<std::string> rules;
+    /** In-paren rationale; empty = legacy unrationaled directive. */
+    std::string reason;
+};
+
 /** One lexed translation unit plus its suppression side-tables. */
 struct SourceFile
 {
@@ -51,6 +64,8 @@ struct SourceFile
     std::vector<Token> tokens;
     /** line -> rule names allowed on that line ("*" allows all). */
     std::map<int, std::set<std::string>> allows;
+    /** Every directive, in file order, with its rationale. */
+    std::vector<Suppression> suppressions;
     /** Lines carrying at least one code (non-comment) token. */
     std::set<int> codeLines;
 };

@@ -5,15 +5,24 @@
  *     ndplint [options] <file-or-dir>...
  *
  * Options:
- *   --json              machine-readable output
- *   --list-rules        print the rule registry and exit
- *   --rule <name>       run only this rule (repeatable)
- *   --exclude <substr>  skip paths containing this substring
- *                       (repeatable; "fixtures/" is how the tree scan
- *                       avoids the linter's own known-bad test files)
- *   --no-path-filter    disable per-rule path scoping
+ *   --json                machine-readable output
+ *   --sarif               SARIF 2.1.0 output (GitHub annotations)
+ *   --list-rules          print the rule registry and exit
+ *   --rule <name>         run only this rule (repeatable)
+ *   --exclude <substr>    skip paths containing this substring
+ *                         (repeatable; "fixtures/" is how the tree
+ *                         scan avoids the linter's own known-bad test
+ *                         files)
+ *   --config <path>       per-rule scope config (default: the
+ *                         `.ndplint.json` in the current directory if
+ *                         one exists, else the compiled-in default)
+ *   --no-path-filter      disable per-rule path scoping
+ *   --audit-suppressions  list every suppression with its rationale
+ *                         instead of linting; exits 1 if any
+ *                         suppression has no rationale
  *
- * Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/IO error.
+ * Exit codes: 0 clean, 1 unsuppressed violations (or, in audit mode,
+ * unrationaled suppressions), 2 usage/IO error.
  */
 
 #include <algorithm>
@@ -85,7 +94,10 @@ int
 main(int argc, char **argv)
 {
     bool json = false;
+    bool sarif = false;
+    bool audit = false;
     LintOptions opt;
+    std::string configPath;
     std::vector<std::string> excludes;
     std::vector<std::string> roots;
 
@@ -93,6 +105,10 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--sarif") {
+            sarif = true;
+        } else if (arg == "--audit-suppressions") {
+            audit = true;
         } else if (arg == "--list-rules") {
             for (const auto &r : allRules())
                 std::cout << r->name() << "\n    " << r->description()
@@ -102,12 +118,16 @@ main(int argc, char **argv)
             opt.ruleFilter.push_back(argv[++i]);
         } else if (arg == "--exclude" && i + 1 < argc) {
             excludes.push_back(argv[++i]);
+        } else if (arg == "--config" && i + 1 < argc) {
+            configPath = argv[++i];
         } else if (arg == "--no-path-filter") {
             opt.ignorePathScope = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: ndplint [--json] [--list-rules] "
-                         "[--rule NAME]... [--exclude SUBSTR]... "
-                         "[--no-path-filter] <file-or-dir>...\n";
+            std::cout << "usage: ndplint [--json] [--sarif] "
+                         "[--list-rules] [--rule NAME]... "
+                         "[--exclude SUBSTR]... [--config PATH] "
+                         "[--no-path-filter] [--audit-suppressions] "
+                         "<file-or-dir>...\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "ndp-lint: unknown option " << arg << "\n";
@@ -119,6 +139,17 @@ main(int argc, char **argv)
     if (roots.empty()) {
         std::cerr << "ndp-lint: no paths given (try --help)\n";
         return 2;
+    }
+
+    if (configPath.empty() && fs::exists(".ndplint.json"))
+        configPath = ".ndplint.json";
+    if (!configPath.empty()) {
+        std::string err;
+        opt.scope = ScopeConfig::load(configPath, &err);
+        if (!err.empty()) {
+            std::cerr << err << "\n";
+            return 2;
+        }
     }
 
     std::vector<std::string> paths;
@@ -142,7 +173,15 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (audit) {
+        SuppressionAudit a = auditSuppressions(files);
+        std::cout << a.text;
+        return a.unrationaled > 0 ? 1 : 0;
+    }
+
     LintStats stats = runLint(files, opt);
-    std::cout << (json ? renderJson(stats) : renderText(stats));
+    std::cout << (sarif  ? renderSarif(stats)
+                  : json ? renderJson(stats)
+                         : renderText(stats));
     return stats.findings.empty() ? 0 : 1;
 }

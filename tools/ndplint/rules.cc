@@ -1,363 +1,12 @@
 #include "ndplint/rules.h"
 
-#include <algorithm>
+#include "ndplint/analysis/model.h"
 
 namespace ndp::lint {
 
 namespace {
 
 using Tokens = std::vector<Token>;
-
-bool
-is(const Token &t, std::string_view text)
-{
-    return t.text == text;
-}
-
-bool
-isIdent(const Token &t)
-{
-    return t.kind == Tok::Identifier;
-}
-
-bool
-anyOf(const Token &t, std::initializer_list<std::string_view> set)
-{
-    for (auto s : set)
-        if (t.text == s)
-            return true;
-    return false;
-}
-
-/** Index of the punct matching the opener at @p i, or -1. */
-int
-matchForward(const Tokens &toks, int i)
-{
-    std::string_view open = toks[static_cast<size_t>(i)].text;
-    std::string_view close = open == "(" ? ")" : open == "[" ? "]" : "}";
-    int depth = 0;
-    for (int k = i; k < static_cast<int>(toks.size()); ++k) {
-        const Token &t = toks[static_cast<size_t>(k)];
-        if (t.kind != Tok::Punct)
-            continue;
-        if (t.text == open)
-            ++depth;
-        else if (t.text == close && --depth == 0)
-            return k;
-    }
-    return -1;
-}
-
-/** Index of the punct matching the closer at @p i, or -1. */
-int
-matchBackward(const Tokens &toks, int i)
-{
-    std::string_view close = toks[static_cast<size_t>(i)].text;
-    std::string_view open = close == ")" ? "(" : close == "]" ? "[" : "{";
-    int depth = 0;
-    for (int k = i; k >= 0; --k) {
-        const Token &t = toks[static_cast<size_t>(k)];
-        if (t.kind != Tok::Punct)
-            continue;
-        if (t.text == close)
-            ++depth;
-        else if (t.text == open && --depth == 0)
-            return k;
-    }
-    return -1;
-}
-
-/**
- * Starting at a `<` at @p i, skip balanced template arguments.
- * @return index just past the closing `>`, or -1 if this `<` does not
- * look like a template-argument list (e.g. a comparison).
- */
-int
-skipAngles(const Tokens &toks, int i)
-{
-    int depth = 0;
-    for (int k = i; k < static_cast<int>(toks.size()); ++k) {
-        const Token &t = toks[static_cast<size_t>(k)];
-        if (is(t, "<")) {
-            ++depth;
-        } else if (is(t, ">")) {
-            if (--depth == 0)
-                return k + 1;
-        } else if (is(t, ">>")) {
-            depth -= 2;
-            if (depth <= 0)
-                return k + 1;
-        } else if (anyOf(t, {";", "{", "}"}) || t.kind == Tok::Eof) {
-            return -1; // statement boundary: not a template list
-        }
-    }
-    return -1;
-}
-
-// ---------------------------------------------------------------------------
-// Function/lambda body discovery (shared by the coroutine rules).
-// ---------------------------------------------------------------------------
-
-struct FunctionInfo
-{
-    int paramBegin = -1;   ///< token index of the '(' (or -1)
-    int paramEnd = -1;     ///< token index of the ')'
-    int captureBegin = -1; ///< token index of '[' for lambdas
-    int captureEnd = -1;   ///< token index of ']' for lambdas
-    int sigStartLine = 0;  ///< first line of the signature
-    int sigLine = 0;       ///< line of the parameter list
-    bool hasCo = false;    ///< body contains co_await/co_return/co_yield
-    bool isLambda = false;
-    std::string name;
-};
-
-/** Tokens that may legally sit between `)` and the body `{`. */
-bool
-isTrailingSigToken(const Token &t)
-{
-    return isIdent(t) ||
-           anyOf(t, {"::", "->", "*", "&", "&&", "<", ">", "[", "]"});
-}
-
-/** Control-flow keywords whose parens are not parameter lists. */
-bool
-isControlKeyword(const Token &t)
-{
-    return anyOf(t, {"if", "for", "while", "switch", "catch", "constexpr"});
-}
-
-/**
- * Walk the token stream, building one FunctionInfo per function or
- * lambda body, attributing co_await/co_return/co_yield to the
- * innermost enclosing function (a coroutine lambda inside a plain
- * function makes only the lambda a coroutine).
- */
-std::vector<FunctionInfo>
-scanFunctions(const SourceFile &f)
-{
-    const Tokens &toks = f.tokens;
-    std::vector<FunctionInfo> funcs;
-    std::vector<int> stack; // FunctionInfo index, or -1 for plain blocks
-
-    for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
-        const Token &t = toks[static_cast<size_t>(i)];
-        if (isIdent(t) &&
-            anyOf(t, {"co_await", "co_return", "co_yield"})) {
-            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-                if (*it >= 0) {
-                    funcs[static_cast<size_t>(*it)].hasCo = true;
-                    break;
-                }
-            }
-            continue;
-        }
-        if (t.kind != Tok::Punct)
-            continue;
-        if (is(t, "}")) {
-            if (!stack.empty())
-                stack.pop_back();
-            continue;
-        }
-        if (!is(t, "{"))
-            continue;
-
-        // Classify this '{': function/lambda body or plain block.
-        FunctionInfo fn;
-        bool isFunction = false;
-        int k = i - 1;
-        while (k >= 0 && isTrailingSigToken(toks[static_cast<size_t>(k)]))
-            --k;
-        // `[caps] {` lambda without a parameter list.
-        if (k + 1 <= i - 1 &&
-            is(toks[static_cast<size_t>(i - 1)], "]")) {
-            int open = matchBackward(toks, i - 1);
-            if (open >= 0 && open > 0 &&
-                !is(toks[static_cast<size_t>(open - 1)], "[")) {
-                fn.isLambda = true;
-                fn.captureBegin = open;
-                fn.captureEnd = i - 1;
-                fn.sigLine = toks[static_cast<size_t>(open)].line;
-                fn.sigStartLine = fn.sigLine;
-                fn.name = "<lambda>";
-                isFunction = true;
-            }
-        }
-        while (!isFunction && k >= 0 &&
-               is(toks[static_cast<size_t>(k)], ")")) {
-            int open = matchBackward(toks, k);
-            if (open <= 0)
-                break;
-            const Token &before = toks[static_cast<size_t>(open - 1)];
-            // noexcept(...) / decltype(...) trailers: keep walking.
-            if (anyOf(before, {"noexcept", "decltype", "requires"})) {
-                k = open - 2;
-                while (k >= 0 &&
-                       isTrailingSigToken(toks[static_cast<size_t>(k)]))
-                    --k;
-                continue;
-            }
-            if (isControlKeyword(before))
-                break; // if/for/while/... block
-            fn.paramBegin = open;
-            fn.paramEnd = k;
-            fn.sigLine = toks[static_cast<size_t>(open)].line;
-            if (is(before, "]")) {
-                int capOpen = matchBackward(toks, open - 1);
-                if (capOpen >= 0) {
-                    fn.isLambda = true;
-                    fn.captureBegin = capOpen;
-                    fn.captureEnd = open - 1;
-                    fn.name = "<lambda>";
-                    fn.sigStartLine =
-                        toks[static_cast<size_t>(capOpen)].line;
-                }
-            } else if (isIdent(before)) {
-                fn.name = before.text;
-            }
-            if (!fn.isLambda) {
-                // Signature start: walk back over the name chain and a
-                // simple return type so a suppression placed above the
-                // whole signature is honoured.
-                int s = open - 1;
-                while (s >= 0 &&
-                       (isIdent(toks[static_cast<size_t>(s)]) ||
-                        anyOf(toks[static_cast<size_t>(s)],
-                              {"::", "~", "*", "&", "&&", "<", ">", "[",
-                               "]"})))
-                    --s;
-                fn.sigStartLine = toks[static_cast<size_t>(s + 1)].line;
-            }
-            isFunction = true;
-        }
-        if (isFunction)
-            stack.push_back(static_cast<int>(funcs.size()));
-        else
-            stack.push_back(-1);
-        if (isFunction)
-            funcs.push_back(fn);
-    }
-    return funcs;
-}
-
-// ---------------------------------------------------------------------------
-// Unordered-container tracking (shared by the determinism rules).
-// ---------------------------------------------------------------------------
-
-bool
-isUnorderedType(const Token &t)
-{
-    return anyOf(t, {"unordered_map", "unordered_set", "unordered_multimap",
-                     "unordered_multiset"});
-}
-
-/** Variable names declared with an unordered container type. */
-std::set<std::string>
-collectUnorderedVars(const SourceFile &f)
-{
-    const Tokens &toks = f.tokens;
-    std::set<std::string> vars;
-    for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
-        if (!isUnorderedType(toks[static_cast<size_t>(i)]))
-            continue;
-        int j = i + 1;
-        if (j < static_cast<int>(toks.size()) &&
-            is(toks[static_cast<size_t>(j)], "<")) {
-            j = skipAngles(toks, j);
-            if (j < 0)
-                continue;
-        }
-        while (j < static_cast<int>(toks.size()) &&
-               anyOf(toks[static_cast<size_t>(j)], {"&", "*", "const"}))
-            ++j;
-        if (j < static_cast<int>(toks.size()) &&
-            isIdent(toks[static_cast<size_t>(j)]))
-            vars.insert(toks[static_cast<size_t>(j)].text);
-    }
-    return vars;
-}
-
-struct RangeForLoop
-{
-    int line = 0;          ///< line of the `for`
-    std::string var;       ///< iterated variable (or type) name
-    int bodyBegin = 0;     ///< first token of the loop body
-    int bodyEnd = 0;       ///< one past the last body token
-};
-
-/** Range-for loops whose range expression names an unordered var. */
-std::vector<RangeForLoop>
-findUnorderedRangeFors(const SourceFile &f,
-                       const std::set<std::string> &vars)
-{
-    const Tokens &toks = f.tokens;
-    std::vector<RangeForLoop> loops;
-    for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
-        if (!is(toks[static_cast<size_t>(i)], "for") ||
-            !is(toks[static_cast<size_t>(i + 1)], "("))
-            continue;
-        int close = matchForward(toks, i + 1);
-        if (close < 0)
-            continue;
-        // Find the range-for ':' at top parenthesis level.
-        int colon = -1;
-        int depth = 0;
-        for (int k = i + 2; k < close; ++k) {
-            const Token &t = toks[static_cast<size_t>(k)];
-            if (anyOf(t, {"(", "[", "{"}))
-                ++depth;
-            else if (anyOf(t, {")", "]", "}"}))
-                --depth;
-            else if (depth == 0 && is(t, ";"))
-                break; // classic for loop
-            else if (depth == 0 && is(t, ":")) {
-                colon = k;
-                break;
-            }
-        }
-        if (colon < 0)
-            continue;
-        std::string hit;
-        for (int k = colon + 1; k < close; ++k) {
-            const Token &t = toks[static_cast<size_t>(k)];
-            if (isIdent(t) &&
-                (vars.count(t.text) != 0 || isUnorderedType(t))) {
-                hit = t.text;
-                break;
-            }
-        }
-        if (hit.empty())
-            continue;
-        RangeForLoop loop;
-        loop.line = toks[static_cast<size_t>(i)].line;
-        loop.var = hit;
-        int b = close + 1;
-        if (b < static_cast<int>(toks.size()) &&
-            is(toks[static_cast<size_t>(b)], "{")) {
-            int bodyClose = matchForward(toks, b);
-            loop.bodyBegin = b + 1;
-            loop.bodyEnd = bodyClose < 0
-                               ? static_cast<int>(toks.size())
-                               : bodyClose;
-        } else {
-            loop.bodyBegin = b;
-            int k = b;
-            int d = 0;
-            while (k < static_cast<int>(toks.size())) {
-                const Token &t = toks[static_cast<size_t>(k)];
-                if (anyOf(t, {"(", "[", "{"}))
-                    ++d;
-                else if (anyOf(t, {")", "]", "}"}))
-                    --d;
-                else if (d == 0 && is(t, ";"))
-                    break;
-                ++k;
-            }
-            loop.bodyEnd = k;
-        }
-        loops.push_back(loop);
-    }
-    return loops;
-}
 
 /** Variable names declared float or double in this file. */
 std::set<std::string>
@@ -366,28 +15,16 @@ collectFloatVars(const SourceFile &f)
     const Tokens &toks = f.tokens;
     std::set<std::string> vars;
     for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
-        if (!anyOf(toks[static_cast<size_t>(i)], {"float", "double"}))
+        if (!tokAnyOf(toks[static_cast<size_t>(i)], {"float", "double"}))
             continue;
         int j = i + 1;
         while (j < static_cast<int>(toks.size()) &&
-               anyOf(toks[static_cast<size_t>(j)], {"&", "*"}))
+               tokAnyOf(toks[static_cast<size_t>(j)], {"&", "*"}))
             ++j;
-        if (isIdent(toks[static_cast<size_t>(j)]))
+        if (tokIsIdent(toks[static_cast<size_t>(j)]))
             vars.insert(toks[static_cast<size_t>(j)].text);
     }
     return vars;
-}
-
-bool
-pathInSimOrCore(std::string_view path)
-{
-    std::string p(path);
-    std::replace(p.begin(), p.end(), '\\', '/');
-    // "src/core" covers its subdirectories too — notably
-    // src/core/sched, whose scheduler decisions feed every multi-job
-    // run and must obey the same determinism contract.
-    return p.find("src/sim") != std::string::npos ||
-           p.find("src/core") != std::string::npos;
 }
 
 // ---------------------------------------------------------------------------
@@ -416,30 +53,30 @@ class DiscardedTaskRule final : public Rule
         const Tokens &toks = f.tokens;
         for (int i = 1; i + 1 < static_cast<int>(toks.size()); ++i) {
             const Token &t = toks[static_cast<size_t>(i)];
-            if (!isIdent(t) || !ctx.returnsTask(t.text))
+            if (!tokIsIdent(t) || !ctx.returnsTask(t.text))
                 continue;
-            if (!is(toks[static_cast<size_t>(i + 1)], "("))
+            if (!tokIs(toks[static_cast<size_t>(i + 1)], "("))
                 continue;
             int close = matchForward(toks, i + 1);
             if (close < 0 ||
                 close + 1 >= static_cast<int>(toks.size()))
                 continue;
             // Result must be discarded as a full statement.
-            if (!is(toks[static_cast<size_t>(close + 1)], ";"))
+            if (!tokIs(toks[static_cast<size_t>(close + 1)], ";"))
                 continue;
             // Walk back over object/namespace qualifiers.
             int p = i - 1;
             while (p >= 1 &&
-                   anyOf(toks[static_cast<size_t>(p)],
-                         {"::", ".", "->"}))
+                   tokAnyOf(toks[static_cast<size_t>(p)],
+                            {"::", ".", "->"}))
                 p -= 2;
             // A preceding type name (declaration), `co_await`, `=`,
             // `return`, `(`, or `,` all mean the result is consumed;
             // only statement-start positions are discards.
             bool stmtStart =
                 p < 0 ||
-                anyOf(toks[static_cast<size_t>(p)],
-                      {";", "{", "}", ")", ":", "else", "do"});
+                tokAnyOf(toks[static_cast<size_t>(p)],
+                         {";", "{", "}", ")", ":", "else", "do"});
             if (!stmtStart)
                 continue;
             Finding fd;
@@ -475,39 +112,16 @@ class CoroutineRefParamRule final : public Rule
     analyze(const SourceFile &f, const AnalysisContext &ctx,
             std::vector<Finding> &out) const override
     {
-        (void)ctx;
         const Tokens &toks = f.tokens;
-        for (const FunctionInfo &fn : scanFunctions(f)) {
+        FileModel scratch;
+        for (const FunctionModel &fn : modelFor(f, ctx, scratch).functions) {
             if (!fn.hasCo || fn.paramBegin < 0)
                 continue;
             std::vector<std::string> refs;
-            int depth = 0;
-            bool inDefault = false;
-            for (int k = fn.paramBegin + 1; k < fn.paramEnd; ++k) {
-                const Token &t = toks[static_cast<size_t>(k)];
-                if (anyOf(t, {"(", "[", "{"})) {
-                    ++depth;
+            for (const ParamDecl &p : fn.params) {
+                if (!p.byRef)
                     continue;
-                }
-                if (anyOf(t, {")", "]", "}"})) {
-                    --depth;
-                    continue;
-                }
-                if (depth != 0)
-                    continue;
-                if (is(t, "="))
-                    inDefault = true;
-                else if (is(t, ","))
-                    inDefault = false;
-                if (inDefault || !anyOf(t, {"&", "&&"}))
-                    continue;
-                const Token &nx = toks[static_cast<size_t>(k + 1)];
-                if (isIdent(nx) && k + 2 < fn.paramEnd + 1 &&
-                    anyOf(toks[static_cast<size_t>(k + 2)],
-                          {",", ")", "=", "["}))
-                    refs.push_back(nx.text);
-                else if (anyOf(nx, {",", ")"}))
-                    refs.push_back("<unnamed>");
+                refs.push_back(p.name.empty() ? "<unnamed>" : p.name);
             }
             if (refs.empty())
                 continue;
@@ -547,31 +161,14 @@ class CoroutineRefCaptureRule final : public Rule
     analyze(const SourceFile &f, const AnalysisContext &ctx,
             std::vector<Finding> &out) const override
     {
-        (void)ctx;
         const Tokens &toks = f.tokens;
-        for (const FunctionInfo &fn : scanFunctions(f)) {
-            if (!fn.hasCo || !fn.isLambda || fn.captureBegin < 0)
-                continue;
-            std::vector<std::string> caps;
-            bool inInit = false;
-            for (int k = fn.captureBegin + 1; k < fn.captureEnd; ++k) {
-                const Token &t = toks[static_cast<size_t>(k)];
-                if (is(t, "="))
-                    inInit = (k != fn.captureBegin + 1);
-                else if (is(t, ","))
-                    inInit = false;
-                if (inInit || !is(t, "&"))
-                    continue;
-                const Token &nx = toks[static_cast<size_t>(k + 1)];
-                if (isIdent(nx))
-                    caps.push_back("&" + nx.text);
-                else if (anyOf(nx, {",", "]"}))
-                    caps.push_back("&");
-            }
-            if (caps.empty())
+        FileModel scratch;
+        for (const FunctionModel &fn : modelFor(f, ctx, scratch).functions) {
+            if (!fn.hasCo || !fn.isLambda || fn.captureBegin < 0 ||
+                fn.refCaptures.empty())
                 continue;
             std::string list;
-            for (const auto &c : caps)
+            for (const auto &c : fn.refCaptures)
                 list += (list.empty() ? "" : ", ") + c;
             Finding fd;
             fd.rule = name();
@@ -603,12 +200,6 @@ class BannedNondeterminismRule final : public Rule
                "(sim/random.h), and ordered containers";
     }
 
-    bool
-    appliesTo(std::string_view path) const override
-    {
-        return pathInSimOrCore(path);
-    }
-
     void
     analyze(const SourceFile &f, const AnalysisContext &ctx,
             std::vector<Finding> &out) const override
@@ -627,25 +218,26 @@ class BannedNondeterminismRule final : public Rule
         };
         for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
             const Token &t = toks[static_cast<size_t>(i)];
-            if (!isIdent(t))
+            if (!tokIsIdent(t))
                 continue;
             const Token &prev =
                 i > 0 ? toks[static_cast<size_t>(i - 1)] : Token{};
             const Token &next = toks[static_cast<size_t>(i + 1)];
-            bool member = anyOf(prev, {".", "->"});
-            if (anyOf(t, {"rand", "srand"}) && is(next, "(") && !member) {
+            bool member = tokAnyOf(prev, {".", "->"});
+            if (tokAnyOf(t, {"rand", "srand"}) && tokIs(next, "(") &&
+                !member) {
                 report(t.line, "std::" + t.text + "()",
                        "seed an ndp::Rng (sim/random.h) instead");
-            } else if (is(t, "time") && is(next, "(") && !member) {
+            } else if (tokIs(t, "time") && tokIs(next, "(") && !member) {
                 // std::time / ::time / time — all the C wall clock.
                 report(t.line, "time()",
                        "use sim::Simulator::now() for simulated time");
-            } else if (anyOf(t, {"system_clock", "steady_clock",
-                                 "high_resolution_clock"})) {
+            } else if (tokAnyOf(t, {"system_clock", "steady_clock",
+                                    "high_resolution_clock"})) {
                 report(t.line, "std::chrono::" + t.text,
                        "wall-clock reads vary per run; use "
                        "sim::Simulator::now()");
-            } else if (is(t, "random_device") && !member) {
+            } else if (tokIs(t, "random_device") && !member) {
                 report(t.line, "std::random_device",
                        "seed an ndp::Rng with a fixed seed instead");
             }
@@ -686,9 +278,9 @@ class FloatAccumOrderRule final : public Rule
              findUnorderedRangeFors(f, unordered)) {
             for (int k = loop.bodyBegin; k + 1 < loop.bodyEnd; ++k) {
                 const Token &t = toks[static_cast<size_t>(k)];
-                if (!isIdent(t) || floats.count(t.text) == 0)
+                if (!tokIsIdent(t) || floats.count(t.text) == 0)
                     continue;
-                if (!is(toks[static_cast<size_t>(k + 1)], "+="))
+                if (!tokIs(toks[static_cast<size_t>(k + 1)], "+="))
                     continue;
                 Finding fd;
                 fd.rule = name();
@@ -720,17 +312,6 @@ class AnalyticNetMathRule final : public Rule
                "net/estimate.h helpers, or a hw spec method";
     }
 
-    bool
-    appliesTo(std::string_view path) const override
-    {
-        std::string p(path);
-        std::replace(p.begin(), p.end(), '\\', '/');
-        // The fabric and the device-spec formulas are the two
-        // sanctioned homes for rate arithmetic.
-        return p.find("src/net/") == std::string::npos &&
-               p.find("src/hw/") == std::string::npos;
-    }
-
     void
     analyze(const SourceFile &f, const AnalysisContext &ctx,
             std::vector<Finding> &out) const override
@@ -738,7 +319,7 @@ class AnalyticNetMathRule final : public Rule
         (void)ctx;
         const Tokens &toks = f.tokens;
         for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
-            if (!is(toks[static_cast<size_t>(i)], "/"))
+            if (!tokIs(toks[static_cast<size_t>(i)], "/"))
                 continue;
             std::string bw = divisorBandwidthName(toks, i + 1);
             if (bw.empty())
@@ -782,23 +363,23 @@ class AnalyticNetMathRule final : public Rule
     {
         if (j >= static_cast<int>(toks.size()))
             return {};
-        if (is(toks[static_cast<size_t>(j)], "(")) {
+        if (tokIs(toks[static_cast<size_t>(j)], "(")) {
             int close = matchForward(toks, j);
             if (close < 0)
                 return {};
             for (int k = j + 1; k < close; ++k) {
                 const Token &d = toks[static_cast<size_t>(k)];
-                if (isIdent(d) && isBandwidthName(d.text))
+                if (tokIsIdent(d) && isBandwidthName(d.text))
                     return d.text;
             }
             return {};
         }
         for (int k = j; k < static_cast<int>(toks.size()); ++k) {
             const Token &d = toks[static_cast<size_t>(k)];
-            if (isIdent(d)) {
+            if (tokIsIdent(d)) {
                 if (isBandwidthName(d.text))
                     return d.text;
-            } else if (!anyOf(d, {".", "->", "::"})) {
+            } else if (!tokAnyOf(d, {".", "->", "::"})) {
                 break;
             }
         }
@@ -827,17 +408,6 @@ class UnbalancedSpanRule final : public Rule
                "nesting; use obs::SpanGuard / obs::AsyncSpanGuard";
     }
 
-    bool
-    appliesTo(std::string_view path) const override
-    {
-        std::string p(path);
-        std::replace(p.begin(), p.end(), '\\', '/');
-        // The primitives live in src/obs; tools/ parses traces and
-        // never holds a Tracer.
-        return p.find("src/obs/") == std::string::npos &&
-               p.find("tools/") == std::string::npos;
-    }
-
     void
     analyze(const SourceFile &f, const AnalysisContext &ctx,
             std::vector<Finding> &out) const override
@@ -846,11 +416,11 @@ class UnbalancedSpanRule final : public Rule
         const Tokens &toks = f.tokens;
         for (int i = 1; i + 1 < static_cast<int>(toks.size()); ++i) {
             const Token &t = toks[static_cast<size_t>(i)];
-            if (!isIdent(t) || !anyOf(t, {"begin", "end"}))
+            if (!tokIsIdent(t) || !tokAnyOf(t, {"begin", "end"}))
                 continue;
-            if (!anyOf(toks[static_cast<size_t>(i - 1)], {".", "->"}))
+            if (!tokAnyOf(toks[static_cast<size_t>(i - 1)], {".", "->"}))
                 continue;
-            if (!is(toks[static_cast<size_t>(i + 1)], "("))
+            if (!tokIs(toks[static_cast<size_t>(i + 1)], "("))
                 continue;
             // Empty argument list: container begin()/end(), fine.
             int close = matchForward(toks, i + 1);
@@ -873,39 +443,49 @@ class UnbalancedSpanRule final : public Rule
 
 } // namespace
 
+const FileModel &
+modelFor(const SourceFile &f, const AnalysisContext &ctx,
+         FileModel &scratch)
+{
+    if (const FileModel *m = ctx.index.modelFor(f.path))
+        return *m;
+    scratch = buildFileModel(f);
+    return scratch;
+}
+
 void
 collectTaskFunctions(const SourceFile &f, AnalysisContext &ctx)
 {
     const Tokens &toks = f.tokens;
     for (int i = 0; i + 2 < static_cast<int>(toks.size()); ++i) {
         const Token &t = toks[static_cast<size_t>(i)];
-        if (!isIdent(t))
+        if (!tokIsIdent(t))
             continue;
         // `Task name(` — possibly with `Cls::` qualifiers on the name.
         if (t.text == "Task") {
             int j = i + 1;
-            if (!isIdent(toks[static_cast<size_t>(j)]))
+            if (!tokIsIdent(toks[static_cast<size_t>(j)]))
                 continue;
             std::string last = toks[static_cast<size_t>(j)].text;
             ++j;
             while (j + 1 < static_cast<int>(toks.size()) &&
-                   is(toks[static_cast<size_t>(j)], "::") &&
-                   isIdent(toks[static_cast<size_t>(j + 1)])) {
+                   tokIs(toks[static_cast<size_t>(j)], "::") &&
+                   tokIsIdent(toks[static_cast<size_t>(j + 1)])) {
                 last = toks[static_cast<size_t>(j + 1)].text;
                 j += 2;
             }
             if (j < static_cast<int>(toks.size()) &&
-                is(toks[static_cast<size_t>(j)], "("))
+                tokIs(toks[static_cast<size_t>(j)], "("))
                 ctx.taskFunctions.insert(last);
             continue;
         }
         // `Other name(` — a declaration with a different return type
         // makes `name` ambiguous for discarded-task.
         const Token &y = toks[static_cast<size_t>(i + 1)];
-        if (isIdent(y) && is(toks[static_cast<size_t>(i + 2)], "(") &&
-            !anyOf(t, {"return", "co_return", "co_await", "co_yield",
-                       "new", "delete", "throw", "case", "goto", "else",
-                       "operator", "Task"}))
+        if (tokIsIdent(y) && tokIs(toks[static_cast<size_t>(i + 2)], "(") &&
+            !tokAnyOf(t, {"return", "co_return", "co_await", "co_yield",
+                          "new", "delete", "throw", "case", "goto",
+                          "else", "operator", "Task"}))
             ctx.ambiguousFunctions.insert(y.text);
     }
 }
@@ -922,6 +502,7 @@ allRules()
         r.push_back(std::make_unique<FloatAccumOrderRule>());
         r.push_back(std::make_unique<AnalyticNetMathRule>());
         r.push_back(std::make_unique<UnbalancedSpanRule>());
+        appendFlowRules(r);
         return r;
     }();
     return rules;

@@ -2,10 +2,12 @@
  * @file
  * ndp-lint rule registry.
  *
- * Each rule is a token-pattern analysis over one SourceFile, informed
- * by a tree-wide AnalysisContext (e.g. the set of Task-returning
- * function names, collected in a first pass over every file). Rules
- * motivated by real hazard classes in this simulator:
+ * Each rule is an analysis over one SourceFile, informed by a
+ * tree-wide AnalysisContext (Task-returning names plus the
+ * cross-file SymbolIndex from analysis/symbols.h). Path scoping is
+ * NOT a rule property: the engine consults the ScopeConfig
+ * (`.ndplint.json` / ScopeConfig::builtin) before invoking a rule on
+ * a file. Rules motivated by real hazard classes in this simulator:
  *
  *  - discarded-task:        a sim::Task-returning call whose result is
  *                           neither co_awaited, spawned, nor bound is a
@@ -16,11 +18,20 @@
  *                           coroutine-parameters, statically).
  *  - coroutine-ref-capture: by-reference lambda captures in coroutine
  *                           lambdas dangle the same way.
+ *  - coroutine-escape:      flow-aware upgrade of the two rules above:
+ *                           a borrowed parameter/capture actually USED
+ *                           after (or across, in a loop) a co_await is
+ *                           the statically-caught PR 3 use-after-free.
  *  - banned-nondeterminism: wall-clock, std::rand, and unordered-
  *                           container iteration inside src/sim +
  *                           src/core make event order (and therefore
  *                           every figure) run-dependent; sim::Rng and
  *                           ordered containers are the alternatives.
+ *  - determinism-taint:     flow-aware: a value DERIVED from a banned
+ *                           source (through assignments and cross-TU
+ *                           calls) reaching a Report field, a trace
+ *                           event, or a scheduler decision breaks the
+ *                           bit-exact determinism suite.
  *  - float-accum-order:     float/double += inside iteration over an
  *                           unordered container accumulates in hash
  *                           order, so sums differ across
@@ -30,6 +41,19 @@
  *                           hand and bypasses the network fabric's
  *                           contention model; use NetFabric::transfer
  *                           / serviceTime or net/estimate.h helpers.
+ *  - missing-batch-yield:   a coroutine that charges scheduler time
+ *                           but never yields is invisible to
+ *                           preemption: the fair-share scheduler can
+ *                           bill it but never deschedule it.
+ *  - send-after-close:      put() on a channel sequenced after its
+ *                           close() in the same scope trips the
+ *                           channel's closed assertion at runtime.
+ *  - channel-never-drained: an owning channel that is put into but
+ *                           never get from (and never escapes to an
+ *                           alias) is a wired-but-undrained endpoint;
+ *                           its producer eventually blocks forever.
+ *  - unbalanced-span:       bare begin()/end() span calls leak open
+ *                           spans when a coroutine exits early.
  */
 
 #pragma once
@@ -40,6 +64,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ndplint/analysis/symbols.h"
 #include "ndplint/lexer.h"
 
 namespace ndp::lint {
@@ -68,6 +93,9 @@ struct AnalysisContext
      */
     std::set<std::string> ambiguousFunctions;
 
+    /** Cross-file symbol index (pass 2); see analysis/symbols.h. */
+    SymbolIndex index;
+
     /** True if @p name unambiguously returns Task somewhere. */
     bool
     returnsTask(const std::string &name) const
@@ -83,13 +111,6 @@ class Rule
     virtual ~Rule() = default;
     virtual std::string name() const = 0;
     virtual std::string description() const = 0;
-    /** Path scope; @p path is as given on the command line. */
-    virtual bool
-    appliesTo(std::string_view path) const
-    {
-        (void)path;
-        return true;
-    }
     virtual void analyze(const SourceFile &f, const AnalysisContext &ctx,
                          std::vector<Finding> &out) const = 0;
 };
@@ -97,7 +118,18 @@ class Rule
 /** The registry: every shipped rule, in reporting order. */
 const std::vector<std::unique_ptr<Rule>> &allRules();
 
+/** The flow-aware rule families built on the analysis layer. */
+void appendFlowRules(std::vector<std::unique_ptr<Rule>> &rules);
+
 /** First pass: record Task-returning (and ambiguous) function names. */
 void collectTaskFunctions(const SourceFile &f, AnalysisContext &ctx);
+
+/**
+ * The file's pass-1 model out of the context's index, or a locally
+ * built fallback written into @p scratch when the file was lexed
+ * outside runLint (unit tests driving a rule directly).
+ */
+const FileModel &modelFor(const SourceFile &f, const AnalysisContext &ctx,
+                          FileModel &scratch);
 
 } // namespace ndp::lint

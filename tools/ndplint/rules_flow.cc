@@ -1,0 +1,544 @@
+/**
+ * @file
+ * The flow-aware rule families built on the analysis layer (pass-1
+ * file models, pass-2 symbol index, pass-3 taint): coroutine-lifetime
+ * escape analysis, determinism taint, and the scheduler/channel
+ * protocol checks.
+ */
+
+#include "ndplint/analysis/symbols.h"
+#include "ndplint/analysis/taint.h"
+#include "ndplint/rules.h"
+
+namespace ndp::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+/** One past the last token of the statement containing index @p i. */
+int
+stmtEnd(const Tokens &toks, int i)
+{
+    int depth = 0;
+    for (int k = i; k < static_cast<int>(toks.size()); ++k) {
+        const Token &t = toks[static_cast<size_t>(k)];
+        if (tokAnyOf(t, {"(", "[", "{"}))
+            ++depth;
+        else if (tokAnyOf(t, {")", "]", "}"})) {
+            if (--depth < 0)
+                return k;
+        } else if (depth == 0 && tokIs(t, ";")) {
+            return k;
+        }
+    }
+    return static_cast<int>(toks.size()) - 1;
+}
+
+/** Member call `base.<callee>(` / `base-><callee>(` at @p i? */
+bool
+isMemberCall(const Tokens &toks, int i, std::string_view callee)
+{
+    return i >= 1 && i + 1 < static_cast<int>(toks.size()) &&
+           tokIs(toks[static_cast<size_t>(i)], callee) &&
+           tokIsIdent(toks[static_cast<size_t>(i)]) &&
+           tokAnyOf(toks[static_cast<size_t>(i - 1)], {".", "->"}) &&
+           tokIs(toks[static_cast<size_t>(i + 1)], "(");
+}
+
+// ---------------------------------------------------------------------------
+// Family 1: coroutine-lifetime escape analysis.
+// ---------------------------------------------------------------------------
+
+/**
+ * The flow-aware sibling of coroutine-ref-param / coroutine-ref-
+ * capture: instead of flagging the signature shape, it proves a
+ * borrowed name is actually live ACROSS a suspension point — either
+ * used after a co_await statement completes, or used anywhere in a
+ * loop that also suspends (the next iteration's use happens after
+ * this iteration's suspension). That is exactly the PR 3
+ * ASan-confirmed use-after-free: a by-reference parameter read again
+ * after the caller's frame may have died while the coroutine was
+ * suspended.
+ */
+class CoroutineEscapeRule final : public Rule
+{
+  public:
+    std::string name() const override { return "coroutine-escape"; }
+
+    std::string
+    description() const override
+    {
+        return "borrowed coroutine state (reference/string_view "
+               "parameter or by-reference capture) used after — or "
+               "across, inside a loop — a co_await suspension point: "
+               "the referent may be destroyed while the coroutine is "
+               "suspended (the PR 3 use-after-free class); copy the "
+               "value before suspending or pass an owning handle";
+    }
+
+    void
+    analyze(const SourceFile &f, const AnalysisContext &ctx,
+            std::vector<Finding> &out) const override
+    {
+        const Tokens &toks = f.tokens;
+        FileModel scratch;
+        const FileModel &model = modelFor(f, ctx, scratch);
+        for (const FunctionModel &fn : model.functions) {
+            if (!fn.hasCo || fn.suspendPoints.empty())
+                continue;
+            // End of each suspend statement: a use inside the
+            // co_await expression itself is evaluated BEFORE the
+            // suspension, so it only counts via the loop case.
+            std::vector<int> suspendEnds;
+            suspendEnds.reserve(fn.suspendPoints.size());
+            for (int s : fn.suspendPoints)
+                suspendEnds.push_back(stmtEnd(toks, s));
+
+            struct Borrow
+            {
+                std::string name;
+                std::string kind;
+            };
+            std::vector<Borrow> borrows;
+            for (const ParamDecl &p : fn.params) {
+                if (p.name.empty())
+                    continue;
+                if (p.byRef)
+                    borrows.push_back(
+                        {p.name, "by-reference parameter"});
+                else if (p.stringView)
+                    borrows.push_back({p.name, "string_view parameter"});
+            }
+            for (const std::string &cap : fn.refCaptures)
+                if (cap.size() > 1) // "&name"; bare "&" is untrackable
+                    borrows.push_back(
+                        {cap.substr(1), "by-reference capture"});
+
+            for (const Borrow &b : borrows) {
+                int badUse = -1;
+                std::string how;
+                for (int k = fn.bodyBegin + 1;
+                     k < fn.bodyEnd && badUse < 0; ++k) {
+                    const Token &t = toks[static_cast<size_t>(k)];
+                    if (!tokIsIdent(t) || t.text != b.name)
+                        continue;
+                    // `other.name` is a field of something else.
+                    if (tokAnyOf(toks[static_cast<size_t>(k - 1)],
+                                 {".", "->", "::"}))
+                        continue;
+                    // Sequenced after a completed suspend statement?
+                    for (size_t si = 0; si < suspendEnds.size(); ++si) {
+                        if (k > suspendEnds[si]) {
+                            badUse = k;
+                            how = "after the co_await at line " +
+                                  std::to_string(
+                                      toks[static_cast<size_t>(
+                                               fn.suspendPoints[si])]
+                                          .line);
+                            break;
+                        }
+                    }
+                    if (badUse >= 0)
+                        break;
+                    // In a loop that also suspends?
+                    for (const LoopRange &loop : model.loops) {
+                        if (k < loop.bodyBegin || k >= loop.bodyEnd)
+                            continue;
+                        for (int s : fn.suspendPoints) {
+                            if (s >= loop.bodyBegin &&
+                                s < loop.bodyEnd) {
+                                badUse = k;
+                                how = "across the suspending loop at "
+                                      "line " +
+                                      std::to_string(loop.line);
+                                break;
+                            }
+                        }
+                        if (badUse >= 0)
+                            break;
+                    }
+                }
+                if (badUse < 0)
+                    continue;
+                Finding fd;
+                fd.rule = name();
+                fd.path = f.path;
+                fd.line = fn.sigStartLine;
+                fd.endLine = toks[static_cast<size_t>(badUse)].line;
+                fd.message =
+                    "coroutine '" + fn.name + "' uses " + b.kind +
+                    " '" + b.name + "' at line " +
+                    std::to_string(toks[static_cast<size_t>(badUse)]
+                                       .line) +
+                    " " + how +
+                    "; the referent may be destroyed while the "
+                    "coroutine is suspended (use-after-free) — copy "
+                    "it before suspending or pass an owning handle";
+                out.push_back(std::move(fd));
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Family 2: determinism taint.
+// ---------------------------------------------------------------------------
+
+/**
+ * Report-typed variable names in this file: declarations whose type
+ * identifier ends in "Report" or "Metrics" (InferenceReport,
+ * TrainReport, StageMetrics, ...). Fields of these are serialized by
+ * the determinism suite, so they are taint sinks.
+ */
+std::set<std::string>
+collectReportVars(const SourceFile &f)
+{
+    const Tokens &toks = f.tokens;
+    std::set<std::string> vars;
+    auto isReportType = [](const std::string &s) {
+        auto ends = [&](std::string_view suf) {
+            return s.size() > suf.size() &&
+                   s.compare(s.size() - suf.size(), suf.size(), suf) ==
+                       0;
+        };
+        return ends("Report") || ends("Metrics");
+    };
+    for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
+        const Token &t = toks[static_cast<size_t>(i)];
+        if (!tokIsIdent(t) || !isReportType(t.text))
+            continue;
+        int j = i + 1;
+        while (j < static_cast<int>(toks.size()) &&
+               tokAnyOf(toks[static_cast<size_t>(j)],
+                        {"&", "&&", "*", "const"}))
+            ++j;
+        if (j < static_cast<int>(toks.size()) &&
+            tokIsIdent(toks[static_cast<size_t>(j)]))
+            vars.insert(toks[static_cast<size_t>(j)].text);
+    }
+    return vars;
+}
+
+class DeterminismTaintRule final : public Rule
+{
+  public:
+    std::string name() const override { return "determinism-taint"; }
+
+    std::string
+    description() const override
+    {
+        return "value derived from a banned nondeterminism source "
+               "(wall clock, global PRNG, address-based hashing, "
+               "unordered iteration order) — through assignments and "
+               "cross-TU calls — reaches a Report field, a trace "
+               "event, or a scheduler charge/yield decision, breaking "
+               "bit-exact determinism";
+    }
+
+    void
+    analyze(const SourceFile &f, const AnalysisContext &ctx,
+            std::vector<Finding> &out) const override
+    {
+        const Tokens &toks = f.tokens;
+        const TaintMap &fns = ctx.index.taintedFunctions;
+        TaintMap local = computeLocalTaint(f, fns);
+        std::set<std::string> reportVars = collectReportVars(f);
+
+        // Why the value starting at token j (scanning to stmt end) is
+        // tainted, or "".
+        auto taintWhy = [&](int j, int end) -> std::string {
+            for (int k = j; k < end; ++k) {
+                const Token &t = toks[static_cast<size_t>(k)];
+                std::string why = directSourceAt(toks, k);
+                if (!why.empty())
+                    return why;
+                if (!tokIsIdent(t))
+                    continue;
+                if (auto it = local.find(t.text); it != local.end())
+                    return "'" + t.text + "', " + it->second;
+                if (k + 1 < end &&
+                    tokIs(toks[static_cast<size_t>(k + 1)], "(")) {
+                    if (auto it = fns.find(t.text); it != fns.end())
+                        return "call to '" + t.text + "()', " +
+                               it->second;
+                }
+            }
+            return "";
+        };
+        auto report = [&](int line, const std::string &sink,
+                          const std::string &why) {
+            Finding fd;
+            fd.rule = name();
+            fd.path = f.path;
+            fd.line = line;
+            fd.endLine = line;
+            fd.message = "nondeterministic value flows into " + sink +
+                         ": " + why +
+                         "; route it through sim time / seeded Rng / "
+                         "ordered iteration so the determinism suite "
+                         "stays bit-exact";
+            out.push_back(std::move(fd));
+        };
+
+        for (int i = 0; i + 3 < static_cast<int>(toks.size()); ++i) {
+            const Token &t = toks[static_cast<size_t>(i)];
+            if (!tokIsIdent(t))
+                continue;
+            // Sink A: report field assignment `r.field = <tainted>`.
+            if (reportVars.count(t.text) != 0 &&
+                tokAnyOf(toks[static_cast<size_t>(i + 1)],
+                         {".", "->"}) &&
+                tokIsIdent(toks[static_cast<size_t>(i + 2)]) &&
+                tokAnyOf(toks[static_cast<size_t>(i + 3)],
+                         {"=", "+=", "-=", "*=", "/="})) {
+                int end = stmtEnd(toks, i + 4);
+                std::string why = taintWhy(i + 4, end);
+                if (!why.empty())
+                    report(t.line,
+                           "report field '" + t.text + "." +
+                               toks[static_cast<size_t>(i + 2)].text +
+                               "'",
+                           why);
+                continue;
+            }
+            // Sink B: trace serialization — instant()/counter()
+            // always, begin()/end() when the receiver names a tracer.
+            bool traceSink = isMemberCall(toks, i, "instant") ||
+                             isMemberCall(toks, i, "counter");
+            if (!traceSink && (isMemberCall(toks, i, "begin") ||
+                               isMemberCall(toks, i, "end"))) {
+                int base = memberCallBase(toks, i);
+                if (base >= 0) {
+                    const std::string &bn =
+                        toks[static_cast<size_t>(base)].text;
+                    traceSink = bn.find("race") != std::string::npos ||
+                                bn.find("RACE") != std::string::npos;
+                }
+            }
+            // Sink C: scheduler decisions.
+            bool schedSink = isMemberCall(toks, i, "charge") ||
+                             isMemberCall(toks, i, "yield");
+            if (!traceSink && !schedSink)
+                continue;
+            int close = matchForward(toks, i + 1);
+            if (close < 0)
+                continue;
+            std::string why = taintWhy(i + 2, close);
+            if (why.empty())
+                continue;
+            report(t.line,
+                   traceSink ? "trace event '" + t.text + "(...)'"
+                             : "scheduler decision '" + t.text +
+                                   "(...)'",
+                   why);
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Family 3: scheduler / channel protocol checks.
+// ---------------------------------------------------------------------------
+
+/**
+ * A coroutine that calls Scheduler::charge() somewhere in its body
+ * but never co_awaits a yield() is billed for GPU time yet invisible
+ * to preemption: the fair-share scheduler can never deschedule it at
+ * a batch boundary, so one job can starve the cluster (the exact gap
+ * fixed in src/core/online.cc by this PR).
+ */
+class MissingBatchYieldRule final : public Rule
+{
+  public:
+    std::string name() const override { return "missing-batch-yield"; }
+
+    std::string
+    description() const override
+    {
+        return "coroutine charges scheduler time (`sched->charge`) "
+               "but never yields (`co_await sched->yield(job)`): the "
+               "job is billed yet unpreemptable, so fair-share "
+               "scheduling cannot deschedule it at batch boundaries";
+    }
+
+    void
+    analyze(const SourceFile &f, const AnalysisContext &ctx,
+            std::vector<Finding> &out) const override
+    {
+        const Tokens &toks = f.tokens;
+        FileModel scratch;
+        for (const FunctionModel &fn : modelFor(f, ctx, scratch).functions) {
+            if (!fn.hasCo)
+                continue;
+            int chargeIdx = -1;
+            bool hasYield = false;
+            for (int k = fn.bodyBegin + 1; k < fn.bodyEnd; ++k) {
+                if (isMemberCall(toks, k, "charge") && chargeIdx < 0)
+                    chargeIdx = k;
+                else if (isMemberCall(toks, k, "yield"))
+                    hasYield = true;
+            }
+            if (chargeIdx < 0 || hasYield)
+                continue;
+            Finding fd;
+            fd.rule = name();
+            fd.path = f.path;
+            fd.line = toks[static_cast<size_t>(chargeIdx)].line;
+            fd.endLine = fd.line;
+            fd.message =
+                "coroutine '" + fn.name +
+                "' charges scheduler time here but never co_awaits a "
+                "yield(): the job is billed yet unpreemptable — add "
+                "`co_await sched->yield(job)` at a batch boundary";
+            out.push_back(std::move(fd));
+        }
+    }
+};
+
+/**
+ * put() on a channel sequenced after its close() in the same or a
+ * nested scope. Channel::put asserts `!closed`, so this is a
+ * guaranteed runtime abort on the path that reaches it.
+ */
+class SendAfterCloseRule final : public Rule
+{
+  public:
+    std::string name() const override { return "send-after-close"; }
+
+    std::string
+    description() const override
+    {
+        return "channel put() sequenced after close() of the same "
+               "channel in the same (or nested) scope: put asserts "
+               "the channel is open, so this path aborts at runtime";
+    }
+
+    void
+    analyze(const SourceFile &f, const AnalysisContext &ctx,
+            std::vector<Finding> &out) const override
+    {
+        const Tokens &toks = f.tokens;
+        int n = static_cast<int>(toks.size());
+        // Channel names: declared in this file or known tree-wide.
+        std::set<std::string> names;
+        for (const ChannelDecl &d : collectChannelDecls(f))
+            names.insert(d.name);
+        for (const auto &[nm, ep] : ctx.index.channels)
+            names.insert(nm);
+        if (names.empty())
+            return;
+
+        for (int c = 2; c + 1 < n; ++c) {
+            if (!isMemberCall(toks, c, "close"))
+                continue;
+            int base = memberCallBase(toks, c);
+            if (base < 0 || names.count(
+                                toks[static_cast<size_t>(base)].text) == 0)
+                continue;
+            const std::string &chan =
+                toks[static_cast<size_t>(base)].text;
+            // Scope of the close: up to the '}' closing its innermost
+            // enclosing brace. A put on the SAME channel inside that
+            // interval — not separated by an `else` at close depth —
+            // executes after the close.
+            int depth = 0;
+            for (int k = c + 1; k < n; ++k) {
+                const Token &t = toks[static_cast<size_t>(k)];
+                if (tokIs(t, "{")) {
+                    ++depth;
+                    continue;
+                }
+                if (tokIs(t, "}")) {
+                    if (--depth < 0)
+                        break; // left the close's scope
+                    continue;
+                }
+                if (depth == 0 && tokIs(t, "else"))
+                    break; // alternate branch, not sequenced after
+                if (!isMemberCall(toks, k, "put"))
+                    continue;
+                int pb = memberCallBase(toks, k);
+                if (pb < 0 ||
+                    toks[static_cast<size_t>(pb)].text != chan)
+                    continue;
+                Finding fd;
+                fd.rule = name();
+                fd.path = f.path;
+                fd.line = toks[static_cast<size_t>(k)].line;
+                fd.endLine = fd.line;
+                fd.message =
+                    "put() on channel '" + chan +
+                    "' is sequenced after its close() at line " +
+                    std::to_string(
+                        toks[static_cast<size_t>(c)].line) +
+                    "; Channel::put asserts the channel is open, so "
+                    "this path aborts";
+                out.push_back(std::move(fd));
+                break; // one finding per close site
+            }
+        }
+    }
+};
+
+/**
+ * An owning channel that producers put() into but nothing ever
+ * get()s from — and which never escapes to an alias that could drain
+ * it — is a wired-but-undrained endpoint: once the buffer fills, the
+ * producer suspends forever and the pipeline deadlocks. Counted
+ * tree-wide via the symbol index (producer and consumer usually live
+ * in different files); reported at the declaration.
+ */
+class ChannelNeverDrainedRule final : public Rule
+{
+  public:
+    std::string name() const override { return "channel-never-drained"; }
+
+    std::string
+    description() const override
+    {
+        return "owning channel with tree-wide put()s but no get()s "
+               "and no escaping alias: the endpoint is wired but "
+               "never drained, so its producer eventually blocks "
+               "forever";
+    }
+
+    void
+    analyze(const SourceFile &f, const AnalysisContext &ctx,
+            std::vector<Finding> &out) const override
+    {
+        for (const auto &[nm, ep] : ctx.index.channels) {
+            if (ep.declFile != f.path)
+                continue;
+            if (!ep.owning || ep.puts == 0 || ep.gets > 0 ||
+                ep.escapes > 0)
+                continue;
+            Finding fd;
+            fd.rule = name();
+            fd.path = f.path;
+            fd.line = ep.declLine;
+            fd.endLine = ep.declLine;
+            fd.message =
+                "channel '" + nm + "' receives " +
+                std::to_string(ep.puts) +
+                " put(s) tree-wide but is never get() from and never "
+                "aliased; the producer blocks forever once the "
+                "buffer fills — wire up a consumer or drop the "
+                "channel";
+            out.push_back(std::move(fd));
+        }
+    }
+};
+
+} // namespace
+
+void
+appendFlowRules(std::vector<std::unique_ptr<Rule>> &rules)
+{
+    rules.push_back(std::make_unique<CoroutineEscapeRule>());
+    rules.push_back(std::make_unique<DeterminismTaintRule>());
+    rules.push_back(std::make_unique<MissingBatchYieldRule>());
+    rules.push_back(std::make_unique<SendAfterCloseRule>());
+    rules.push_back(std::make_unique<ChannelNeverDrainedRule>());
+}
+
+} // namespace ndp::lint
