@@ -9,6 +9,8 @@
 
 #include "bench_util.h"
 
+#include "core/serve/admission.h"
+#include "sim/arrival.h"
 #include "sim/channel.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -116,6 +118,84 @@ BM_ResourceContention(benchmark::State &state)
 }
 BENCHMARK(BM_ResourceContention)->Arg(1000)->Arg(10000);
 
+/** Open-loop dispatch: the serving front door reduced to its engine
+ *  cost — a seeded ArrivalProcess stream, a least-loaded pick over
+ *  bounded per-worker channels, and workers consuming with a token
+ *  service delay. Measures events/s of admission-style dispatch. */
+constexpr int kDispatchWorkers = 8;
+constexpr int kDispatchCap = 64;
+
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
+Task
+dispatchWorker(Simulator &s, Channel<ndp::sim::Request> &q,
+               ndp::core::serve::LoadBalancer &lb, size_t b)
+{
+    while (true) {
+        auto r = co_await q.get();
+        if (!r)
+            break;
+        co_await s.delay(1e-5);
+        lb.dequeued(b);
+    }
+}
+
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
+Task
+dispatchDriver(Simulator &s,
+               std::vector<std::unique_ptr<Channel<ndp::sim::Request>>> &qs,
+               ndp::core::serve::LoadBalancer &lb, uint64_t n,
+               uint64_t &shed)
+{
+    ndp::sim::ArrivalConfig cfg;
+    cfg.nRequests = n;
+    cfg.baseRatePerSec = 500000.0; // dispatch-bound, not idle-bound
+    ndp::sim::ArrivalProcess gen(cfg);
+    ndp::sim::Request r;
+    while (gen.next(r)) {
+        if (r.arriveS > s.now())
+            co_await s.delay(r.arriveS - s.now());
+        const int b = lb.pick();
+        if (b < 0 || lb.depth(static_cast<size_t>(b)) >= kDispatchCap) {
+            ++shed;
+            continue;
+        }
+        lb.enqueued(static_cast<size_t>(b));
+        co_await qs[static_cast<size_t>(b)]->put(r);
+    }
+    for (auto &q : qs)
+        q->close();
+}
+
+uint64_t
+runOpenLoopDispatch(Simulator &s, uint64_t n)
+{
+    std::vector<std::unique_ptr<Channel<ndp::sim::Request>>> qs;
+    for (int i = 0; i < kDispatchWorkers; ++i)
+        qs.push_back(std::make_unique<Channel<ndp::sim::Request>>(
+            s, kDispatchCap));
+    ndp::core::serve::LoadBalancer lb(kDispatchWorkers);
+    uint64_t shed = 0;
+    for (int i = 0; i < kDispatchWorkers; ++i)
+        s.spawn(dispatchWorker(s, *qs[static_cast<size_t>(i)], lb,
+                               static_cast<size_t>(i)));
+    s.spawn(dispatchDriver(s, qs, lb, n, shed));
+    s.run();
+    return shed;
+}
+
+void
+BM_OpenLoopDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator s;
+        uint64_t shed =
+            runOpenLoopDispatch(s, static_cast<uint64_t>(state.range(0)));
+        benchmark::DoNotOptimize(shed);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OpenLoopDispatch)->Arg(1000)->Arg(100000);
+
 /** --json: one pass per workload, real simulator event counts
  *  (events/s is the engine's headline dispatch rate; the output is
  *  checked in as BENCH_sim.json). */
@@ -164,6 +244,15 @@ runJson()
         s.run();
         ndp::bench::jsonWorkloadLine(
             "resource-contention",
+            static_cast<long long>(s.processedEvents()), w.seconds());
+    }
+    {
+        Simulator s;
+        ndp::bench::WallTimer w;
+        uint64_t shed = runOpenLoopDispatch(s, 1000000);
+        benchmark::DoNotOptimize(shed);
+        ndp::bench::jsonWorkloadLine(
+            "open-loop-dispatch",
             static_cast<long long>(s.processedEvents()), w.seconds());
     }
     return 0;

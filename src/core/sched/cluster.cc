@@ -13,6 +13,7 @@
 #include "core/online.h"
 #include "core/pipeline.h"
 #include "core/sched/scheduler.h"
+#include "core/serve/serve.h"
 #include "core/training.h"
 #include "hw/devices.h"
 #include "models/throughput.h"
@@ -34,6 +35,8 @@ jobKindName(JobKind k)
         return "offline";
       case JobKind::OnlineServe:
         return "online";
+      case JobKind::OpenLoopServe:
+        return "serve";
       case JobKind::SrvFineTune:
         return "srv-ft";
       case JobKind::Media:
@@ -88,7 +91,14 @@ JobDesc::validate(int fleet_stores) const
                 "stores (+FC); multi-job runs require cut <= "
                 "classifierStart");
     }
-    if (kind != JobKind::OnlineServe && nImages == 0)
+    if (kind == JobKind::OpenLoopServe) {
+        // Fleet fields (nStores/storeSpec/faults) are overridden by
+        // the cluster at submit; only policy fields matter here.
+        if (auto r = serve.validate(); !r)
+            return r;
+    }
+    if (kind != JobKind::OnlineServe &&
+        kind != JobKind::OpenLoopServe && nImages == 0)
         return ValidationResult("JobDesc: nImages must be >= 1");
     return {};
 }
@@ -112,6 +122,7 @@ struct JobRun
     std::unique_ptr<FtDmpDataflow> ft;
     std::unique_ptr<OfflineInferDataflow> offline;
     std::unique_ptr<OnlineDataflow> online;
+    std::unique_ptr<serve::ServeDataflow> serveFlow;
     std::unique_ptr<SrvFineTuneDataflow> srv;
     std::unique_ptr<MediaDataflow> media;
     /** OnlineServe: per-job preprocessing pool on the Tuner host. */
@@ -295,6 +306,28 @@ Cluster::Impl::buildDataflow(Impl &im, JobRun &jr)
         jr.online->spawn();
         break;
       }
+      case JobKind::OpenLoopServe: {
+        serve::ServePorts p;
+        p.fabric = &im.fabric;
+        p.clientNode = im.clientNode;
+        for (int sidx : d.stores) {
+            p.storeNodes.push_back(
+                im.storeNodes[static_cast<size_t>(sidx)]);
+            p.stores.push_back(
+                im.stations[static_cast<size_t>(sidx)].get());
+            p.fleetIdx.push_back(sidx);
+        }
+        p.faults = jf;
+        p.trace = im.trace;
+        p.scope = d.name;
+        p.sched = im.sched.get();
+        p.jobId = jr.schedId;
+        p.jobDone = jr.done.get();
+        jr.serveFlow = std::make_unique<serve::ServeDataflow>(
+            im.s, d.serve, p);
+        jr.serveFlow->spawn();
+        break;
+      }
       case JobKind::SrvFineTune: {
         SrvFineTunePorts p;
         p.fabric = &im.fabric;
@@ -408,6 +441,14 @@ Cluster::submit(const JobDesc &job)
         jr->ocfg.server = im.spec.tunerSpec;
         jr->ocfg.model = job.model;
         jr->ocfg.seed = job.seed;
+    } else if (job.kind == JobKind::OpenLoopServe) {
+        // The cluster owns the fleet: override the ServeConfig's
+        // standalone fleet fields with the shared one so service-time
+        // estimates match the devices the job actually runs on.
+        jr->desc.serve.nStores = static_cast<int>(job.stores.size());
+        jr->desc.serve.storeSpec = im.spec.storeSpec;
+        jr->desc.serve.model = job.model;
+        jr->desc.serve.faults = {};
     } else {
         jr->cfg = jobConfig(im.spec, job);
     }
@@ -479,6 +520,26 @@ Cluster::run()
             j.p99Ms = t.p99Ms;
             j.meanMs = t.meanMs;
             j.saturated = t.saturated;
+        } else if (jr->serveFlow) {
+            serve::ServeReport t;
+            jr->serveFlow->finalize(t);
+            j.uploads = t.uploads;
+            j.offered = t.offered;
+            j.goodput = t.goodput;
+            j.shed = t.shedThrottle + t.shedQueueFull +
+                     t.shedDeadline + t.shedUnavailable;
+            j.redispatched = t.redispatched;
+            j.abandoned = t.abandoned;
+            j.peakQueueDepth = t.peakQueueDepth;
+            j.throughput =
+                j.makespanS > 0.0
+                    ? static_cast<double>(t.completed) / j.makespanS
+                    : 0.0;
+            j.p50Ms = t.p50Ms;
+            j.p95Ms = t.p95Ms;
+            j.p99Ms = t.p99Ms;
+            j.p999Ms = t.p999Ms;
+            j.meanMs = t.meanMs;
         } else if (jr->srv) {
             TrainReport t;
             jr->srv->finalize(t);

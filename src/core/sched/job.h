@@ -31,6 +31,7 @@
 #include "core/config.h"
 #include "core/media.h"
 #include "core/report.h"
+#include "core/serve/serve.h"
 #include "core/training.h"
 
 namespace ndp::core::sched {
@@ -43,6 +44,9 @@ enum class JobKind
     OfflineInfer,
     /** Poisson upload serving on the Tuner host (no stores). */
     OnlineServe,
+    /** Open-loop million-user serving across the job's stores: the
+     *  front-end LoadBalancer + AdmissionController of core/serve. */
+    OpenLoopServe,
     /** Centralized SRV fine-tuning: the job's stores stream binaries
      *  to the Tuner host, which extracts and trains. */
     SrvFineTune,
@@ -84,6 +88,10 @@ struct JobDesc
     uint64_t nUploads = 20000;
     uint64_t seed = 11;
     /** @} */
+
+    /** OpenLoopServe jobs only (fleet fields are overridden by the
+     *  cluster's own spec). */
+    serve::ServeConfig serve;
 
     /** Media jobs only. */
     MediaProfile media = photoMedia();
@@ -127,7 +135,7 @@ struct JobReport
     /** Summed stage metrics of the job's pipelines. */
     StageMetrics stages;
 
-    /** @name OnlineServe only
+    /** @name OnlineServe / OpenLoopServe only
      * @{ */
     uint64_t uploads = 0;
     double throughput = 0.0;
@@ -136,6 +144,17 @@ struct JobReport
     double p99Ms = 0.0;
     double meanMs = 0.0;
     bool saturated = false;
+    /** @} */
+
+    /** @name OpenLoopServe only (the offered-vs-goodput ledger)
+     * @{ */
+    double p999Ms = 0.0;
+    uint64_t offered = 0;
+    uint64_t goodput = 0;
+    uint64_t shed = 0;
+    uint64_t redispatched = 0;
+    uint64_t abandoned = 0;
+    int peakQueueDepth = 0;
     /** @} */
 };
 

@@ -1,0 +1,36 @@
+#include "core/serve/admission.h"
+
+namespace ndp::core::serve {
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Accept:
+        return "accept";
+      case Verdict::ShedThrottle:
+        return "shed-throttle";
+      case Verdict::ShedQueueFull:
+        return "shed-queue-full";
+      case Verdict::ShedDeadline:
+        return "shed-deadline";
+      case Verdict::ShedUnavailable:
+        return "shed-unavailable";
+    }
+    return "?";
+}
+
+std::string
+AdmissionConfig::validate() const
+{
+    if (tokenRatePerSec < 0.0)
+        return "AdmissionConfig: tokenRatePerSec must be >= 0";
+    if (tokenRatePerSec > 0.0 && tokenBurst < 1.0)
+        return "AdmissionConfig: tokenBurst must be >= 1 when the "
+               "throttle is enabled";
+    if (queueCap < 1)
+        return "AdmissionConfig: queueCap must be >= 1";
+    return {};
+}
+
+} // namespace ndp::core::serve

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Front-end admission control for open-loop serving.
+ *
+ * Open-loop traffic does not slow down when the fleet falls behind, so
+ * an overloaded server without admission control grows its queues (and
+ * its tail latency) without bound. This module is the front door the
+ * serving dataflow consults for every arriving request, in decision
+ * order:
+ *
+ *  1. Availability: with no healthy backend the request is shed
+ *     outright (ShedUnavailable).
+ *  2. Token-bucket throttle: a deterministic rate limiter refilled by
+ *     sim time; requests beyond rate + burst are shed (ShedThrottle).
+ *  3. Placement: the LoadBalancer picks the least-loaded healthy
+ *     backend (ties break to the lowest index — deterministic).
+ *  4. Bounded queue: a backend at queueCap outstanding requests sheds
+ *     instead of queueing (ShedQueueFull) — the knob that caps queue
+ *     memory and worst-case queueing delay.
+ *  5. Deadline feasibility: if the backend's estimated wait plus one
+ *     service time already overruns the request's deadline, serving it
+ *     would waste fleet work on a response nobody awaits — shed now
+ *     (ShedDeadline).
+ *
+ * Conservation contract (pinned by tests/test_serve_admission.cc):
+ * offered == accepted + shedThrottle + shedQueueFull + shedDeadline +
+ * shedUnavailable at every instant, and at drain accepted ==
+ * completed + abandoned. All state is plain integers/doubles driven by
+ * sim time; no RNG, no event scheduling — admission is a pure
+ * function of the arrival sequence, so same-seed runs stay
+ * bit-identical.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ndp::core::serve {
+
+/** Deterministic token bucket refilled by elapsed sim time. */
+class TokenBucket
+{
+  public:
+    /** @p rate_per_sec == 0 disables the throttle (always admits). */
+    TokenBucket(double rate_per_sec, double burst)
+        : rate_(rate_per_sec), burst_(burst), tokens_(burst)
+    {}
+
+    /** Take one token at time @p now; false when the bucket is dry. */
+    bool
+    tryTake(double now)
+    {
+        if (rate_ <= 0.0)
+            return true;
+        refill(now);
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    /** Current level after refilling to @p now (probe for tests). */
+    double
+    level(double now)
+    {
+        refill(now);
+        return tokens_;
+    }
+
+    double ratePerSec() const { return rate_; }
+
+  private:
+    void
+    refill(double now)
+    {
+        if (now > lastS_) {
+            tokens_ = std::min(burst_,
+                               tokens_ + (now - lastS_) * rate_);
+            lastS_ = now;
+        }
+    }
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    double lastS_ = 0.0;
+};
+
+/**
+ * Outstanding-request tracking and backend choice. "Depth" counts
+ * accepted-but-not-finished requests per backend (queued plus in
+ * service); the admission controller bounds it by queueCap, which is
+ * what makes the per-backend channels non-blocking by construction.
+ */
+class LoadBalancer
+{
+  public:
+    explicit LoadBalancer(int n_backends)
+        : depth_(static_cast<size_t>(n_backends), 0),
+          healthy_(static_cast<size_t>(n_backends), true)
+    {}
+
+    int backends() const { return static_cast<int>(depth_.size()); }
+
+    /** Least-loaded healthy backend; -1 when none is healthy. */
+    int
+    pick() const
+    {
+        int best = -1;
+        for (size_t b = 0; b < depth_.size(); ++b)
+            if (healthy_[b] &&
+                (best < 0 ||
+                 depth_[b] < depth_[static_cast<size_t>(best)]))
+                best = static_cast<int>(b);
+        return best;
+    }
+
+    void
+    enqueued(int b)
+    {
+        ++depth_[static_cast<size_t>(b)];
+        ++total_;
+        peak_ = std::max(peak_, depth_[static_cast<size_t>(b)]);
+    }
+
+    void
+    dequeued(int b)
+    {
+        --depth_[static_cast<size_t>(b)];
+        --total_;
+    }
+
+    int depth(int b) const { return depth_[static_cast<size_t>(b)]; }
+    int totalDepth() const { return total_; }
+    int peakDepth() const { return peak_; }
+
+    void
+    setHealthy(int b, bool h)
+    {
+        healthy_[static_cast<size_t>(b)] = h;
+    }
+
+    bool healthy(int b) const
+    {
+        return healthy_[static_cast<size_t>(b)];
+    }
+
+    int
+    healthyCount() const
+    {
+        int n = 0;
+        for (bool h : healthy_)
+            n += h ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::vector<int> depth_;
+    std::vector<bool> healthy_;
+    int total_ = 0;
+    int peak_ = 0;
+};
+
+/** Why a request was shed (or that it was accepted). */
+enum class Verdict
+{
+    Accept,
+    ShedThrottle,
+    ShedQueueFull,
+    ShedDeadline,
+    ShedUnavailable,
+};
+
+const char *verdictName(Verdict v);
+
+/** Admission/lifecycle counters (the conservation ledger). */
+struct AdmissionStats
+{
+    uint64_t offered = 0;
+    uint64_t accepted = 0;
+    uint64_t shedThrottle = 0;
+    uint64_t shedQueueFull = 0;
+    uint64_t shedDeadline = 0;
+    uint64_t shedUnavailable = 0;
+
+    /** @name Post-acceptance lifecycle (maintained by the dataflow)
+     * @{ */
+    uint64_t completed = 0;
+    /** Completions inside the deadline budget — the goodput. */
+    uint64_t completedInDeadline = 0;
+    /** Accepted requests re-routed off a crashed backend. */
+    uint64_t redispatched = 0;
+    /** Accepted requests dropped at a crash with no healthy target. */
+    uint64_t abandoned = 0;
+    /** @} */
+
+    uint64_t
+    shed() const
+    {
+        return shedThrottle + shedQueueFull + shedDeadline +
+               shedUnavailable;
+    }
+
+    /** offered == accepted + shed, at every instant. */
+    bool
+    conserved() const
+    {
+        return offered == accepted + shed();
+    }
+
+    /** accepted == completed + abandoned, after drain. */
+    bool
+    drained() const
+    {
+        return accepted == completed + abandoned;
+    }
+};
+
+struct AdmissionConfig
+{
+    /** Token-bucket admit rate, requests/s; 0 disables the throttle. */
+    double tokenRatePerSec = 0.0;
+    /** Bucket burst capacity, tokens. */
+    double tokenBurst = 32.0;
+    /** Max outstanding requests per backend (queued + in service). */
+    int queueCap = 64;
+    /** Shed requests whose deadline the queue estimate already
+     *  overruns; false = admit and let them expire (for ablation). */
+    bool deadlineShedding = true;
+
+    /** Empty string when valid; otherwise names the offending field. */
+    std::string validate() const;
+};
+
+class AdmissionController
+{
+  public:
+    AdmissionController(const AdmissionConfig &cfg, LoadBalancer &lb)
+        : cfg_(cfg), lb_(lb),
+          bucket_(cfg.tokenRatePerSec, cfg.tokenBurst)
+    {}
+
+    /**
+     * The admission decision for a request arriving at @p now with
+     * absolute deadline @p deadline_s and an estimated uncontended
+     * service time of @p est_service_s. On Accept, @p backend_out is
+     * the chosen backend and its depth is already charged; every
+     * other verdict leaves all depths untouched.
+     */
+    Verdict
+    offer(double now, double deadline_s, double est_service_s,
+          int *backend_out)
+    {
+        ++stats_.offered;
+        if (lb_.healthyCount() == 0) {
+            ++stats_.shedUnavailable;
+            return Verdict::ShedUnavailable;
+        }
+        if (!bucket_.tryTake(now)) {
+            ++stats_.shedThrottle;
+            return Verdict::ShedThrottle;
+        }
+        const int b = lb_.pick();
+        if (lb_.depth(b) >= cfg_.queueCap) {
+            ++stats_.shedQueueFull;
+            return Verdict::ShedQueueFull;
+        }
+        if (cfg_.deadlineShedding) {
+            const double wait_est =
+                static_cast<double>(lb_.depth(b)) * est_service_s;
+            if (now + wait_est + est_service_s > deadline_s) {
+                ++stats_.shedDeadline;
+                return Verdict::ShedDeadline;
+            }
+        }
+        lb_.enqueued(b);
+        ++stats_.accepted;
+        *backend_out = b;
+        return Verdict::Accept;
+    }
+
+    AdmissionStats &stats() { return stats_; }
+    const AdmissionStats &stats() const { return stats_; }
+    TokenBucket &bucket() { return bucket_; }
+    const AdmissionConfig &config() const { return cfg_; }
+
+  private:
+    AdmissionConfig cfg_;
+    LoadBalancer &lb_;
+    TokenBucket bucket_;
+    AdmissionStats stats_;
+};
+
+} // namespace ndp::core::serve

@@ -1,0 +1,502 @@
+#include "core/serve/serve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/sched/scheduler.h"
+#include "hw/devices.h"
+#include "models/throughput.h"
+#include "obs/trace.h"
+#include "sim/channel.h"
+#include "sim/stats.h"
+#include "sim/wait_group.h"
+
+namespace ndp::core::serve {
+
+ValidationResult
+ServeConfig::validate() const
+{
+    if (auto e = arrivals.validate(); !e.empty())
+        return ValidationResult(e);
+    if (auto e = admission.validate(); !e.empty())
+        return ValidationResult(e);
+    if (model == nullptr)
+        return ValidationResult("ServeConfig: model is null");
+    if (workersPerStore < 1)
+        return ValidationResult(
+            "ServeConfig: workersPerStore must be >= 1");
+    if (nStores < 1)
+        return ValidationResult("ServeConfig: nStores must be >= 1");
+    if (auto e = faults.validate(); !e.empty())
+        return ValidationResult(e);
+    return {};
+}
+
+// Coroutines below borrow run-scope state by reference; they are all
+// joined by s.run() inside the enclosing entry point (or the multi-job
+// Cluster) before the referents die.
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+
+namespace {
+
+/** Everything the serving coroutines share; fleet devices and fabric
+ *  nodes are borrowed from ServePorts. */
+struct ServeCtx
+{
+    ServeCtx(sim::Simulator &sim, const ServeConfig &config,
+             const ServePorts &p)
+        : s(sim), cfg(config), fabric(*p.fabric),
+          clientNode(p.clientNode), storeNodes(p.storeNodes),
+          stores(p.stores), fleetIdx(p.fleetIdx), faults(p.faults),
+          sched(p.sched), jobId(p.jobId),
+          lb(static_cast<int>(p.stores.size())),
+          admit(config.admission, lb), gen(config.arrivals)
+    {
+        for (size_t b = 0; b < stores.size(); ++b) {
+            // queueCap bounds each store's outstanding requests, so a
+            // queueCap-deep channel can never block a putter — the
+            // invariant close() depends on.
+            queues.push_back(std::make_unique<sim::Channel<sim::Request>>(
+                sim, static_cast<size_t>(config.admission.queueCap)));
+            shards.emplace_back(
+                std::make_unique<LatencyHistogram>());
+        }
+    }
+
+    sim::Simulator &s;
+    const ServeConfig &cfg;
+    net::NetFabric &fabric;
+    net::NodeId clientNode = net::kNoNode;
+    std::vector<net::NodeId> storeNodes;
+    std::vector<StoreStations *> stores;
+    std::vector<int> fleetIdx;
+    /** Non-null only when a non-empty FaultPlan armed the run. */
+    sim::FaultInjector *faults = nullptr;
+    /** Multi-job hooks (null/-1 single-tenant: zero-cost rule). */
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
+
+    LoadBalancer lb;
+    AdmissionController admit;
+    /** The seeded open-loop request stream. */
+    sim::ArrivalProcess gen;
+    /** Per-store bounded request queues (index == backend index). */
+    std::vector<std::unique_ptr<sim::Channel<sim::Request>>> queues;
+    /** Per-store latency shards, merged at finalize. */
+    std::vector<std::unique_ptr<LatencyHistogram>> shards;
+
+    /** Sim time the dataflow started (stream time 0). */
+    double startS = 0.0;
+    /** Accepted-but-unfinished requests; the arrival proc awaits this
+     *  before closing the queues, so workers never see a put after
+     *  close and the run always drains. */
+    std::unique_ptr<sim::WaitGroup> inflight;
+    uint64_t uploadsDone = 0;
+    uint64_t queriesDone = 0;
+    /** Per-kind uncontended service estimates (deadline check). */
+    double estUploadS = 0.0;
+    double estQueryS = 0.0;
+    double preprocS = 0.0;
+    double inferS = 0.0;
+
+    /** Null when tracing is off (zero-cost rule). */
+    obs::Tracer *trace = nullptr;
+    int trkReq = 0;
+    int trkFault = 0;
+
+    bool
+    storeCrashed(size_t b, double now)
+    {
+        return faults != nullptr &&
+               faults->crashed(fleetIdx[b], now);
+    }
+
+    /** Stop routing to @p b and note the event once. */
+    void
+    markCrashed(size_t b)
+    {
+        if (!lb.healthy(static_cast<int>(b)))
+            return;
+        lb.setHealthy(static_cast<int>(b), false);
+        if (trace)
+            trace->instant(trkFault, obs::Cat::Fault, "store-crash",
+                           s.now(),
+                           {{"store", static_cast<double>(fleetIdx[b])},
+                            {"queued", static_cast<double>(
+                                           queues[b]->size())}});
+    }
+
+};
+
+/**
+ * Move an accepted request from crashed store @p from onto a healthy
+ * store with queue room; abandon it when none has. The target enqueue
+ * happens before the source dequeue so the total outstanding count
+ * never transiently reads drained.
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents live
+ * in the dataflow's Impl, which joins this task via s.run() before
+ * they die) */
+sim::Task
+redispatchOne(ServeCtx &ctx, sim::Request r, size_t from)
+{
+    const int target = ctx.lb.pick();
+    if (target >= 0 &&
+        ctx.lb.depth(target) < ctx.admit.config().queueCap) {
+        ctx.lb.enqueued(target);
+        ctx.lb.dequeued(static_cast<int>(from));
+        ++ctx.admit.stats().redispatched;
+        co_await ctx.queues[static_cast<size_t>(target)]->put(r);
+    } else {
+        ctx.lb.dequeued(static_cast<int>(from));
+        ++ctx.admit.stats().abandoned;
+        ctx.inflight->done();
+    }
+}
+
+/** Serve one request on store @p b: the near-data upload path (fabric
+ * in, CPU preprocess, GPU classify) or the query path (disk read,
+ * reply out). Returns with the request's depth/inflight released.
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents live
+ * in the dataflow's Impl, which joins this task via s.run() before
+ * they die) */
+sim::Task
+serveOne(ServeCtx &ctx, size_t b, sim::Request r)
+{
+    sim::Simulator &s = ctx.s;
+    StoreStations &st = *ctx.stores[b];
+    obs::AsyncSpanGuard span(ctx.trace, s, ctx.trkReq,
+                             obs::Cat::Service,
+                             sim::requestKindName(r.kind),
+                             {{"store",
+                               static_cast<double>(ctx.fleetIdx[b])}});
+    bool dropped = false;
+    if (r.kind == sim::RequestKind::Upload) {
+        co_await ctx.fabric.transfer(ctx.clientNode, ctx.storeNodes[b],
+                                     r.bytes, net::FlowClass::Upload);
+        if (sim::FaultInjector *inj = ctx.faults) {
+            double backoff = inj->plan().msgRetryBackoffS;
+            int resends = 0;
+            while (inj->drawMessageLoss(ctx.fleetIdx[b])) {
+                if (++resends > inj->plan().msgRetryLimit) {
+                    inj->noteUnrecovered(sim::FaultClass::MessageLoss,
+                                         1);
+                    dropped = true;
+                    break;
+                }
+                ++inj->report().messagesResent;
+                inj->report().degradedS += backoff;
+                co_await s.delay(backoff);
+                backoff *= 2.0;
+                co_await ctx.fabric.transfer(ctx.clientNode,
+                                             ctx.storeNodes[b],
+                                             r.bytes,
+                                             net::FlowClass::Upload);
+            }
+        }
+        if (!dropped) {
+            if (ctx.faults) {
+                if (double d = ctx.faults->stallDelay(ctx.fleetIdx[b],
+                                                      s.now());
+                    d > 0.0) {
+                    ctx.faults->report().degradedS += d;
+                    co_await s.delay(d);
+                }
+            }
+            co_await st.cpu.run(1, ctx.preprocS);
+            // Batch boundary: let the fair-share scheduler deschedule
+            // this job before it takes the store GPU (the fast path
+            // keeps no-park runs bit-identical).
+            if (ctx.sched)
+                co_await ctx.sched->yield(ctx.jobId);
+            co_await st.gpu.compute(ctx.inferS);
+            if (ctx.sched)
+                ctx.sched->charge(ctx.jobId, ctx.inferS);
+        }
+    } else {
+        if (ctx.faults) {
+            if (double d = ctx.faults->stallDelay(ctx.fleetIdx[b],
+                                                  s.now());
+                d > 0.0) {
+                ctx.faults->report().degradedS += d;
+                co_await s.delay(d);
+            }
+        }
+        co_await st.disk.read(r.bytes);
+        co_await ctx.fabric.transfer(ctx.storeNodes[b], ctx.clientNode,
+                                     r.bytes,
+                                     net::FlowClass::ResultShip);
+    }
+    ctx.lb.dequeued(static_cast<int>(b));
+    if (dropped) {
+        ++ctx.admit.stats().abandoned;
+    } else {
+        const double latency = ctx.s.now() - (ctx.startS + r.arriveS);
+        ctx.shards[b]->record(latency);
+        ++ctx.admit.stats().completed;
+        if (ctx.s.now() <= ctx.startS + r.deadlineS)
+            ++ctx.admit.stats().completedInDeadline;
+        if (r.kind == sim::RequestKind::Upload)
+            ++ctx.uploadsDone;
+        else
+            ++ctx.queriesDone;
+    }
+    ctx.inflight->done();
+}
+
+/** Store worker: pull requests off store @p b's queue and serve them.
+ * A crash observed at pickup marks the store unhealthy, redispatches
+ * the picked request and everything still buffered, and exits — the
+ * arrival proc's close() wakes any sibling workers left blocked.
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents live
+ * in the dataflow's Impl, which joins this task via s.run() before
+ * they die) */
+sim::Task
+workerProc(ServeCtx &ctx, size_t b)
+{
+    while (true) {
+        auto got = co_await ctx.queues[b]->get();
+        if (!got)
+            break;
+        if (ctx.storeCrashed(b, ctx.s.now())) {
+            ctx.markCrashed(b);
+            co_await redispatchOne(ctx, *got, b);
+            while (ctx.queues[b]->size() > 0) {
+                auto more = co_await ctx.queues[b]->get();
+                if (!more)
+                    break;
+                co_await redispatchOne(ctx, *more, b);
+            }
+            break;
+        }
+        co_await serveOne(ctx, b, *got);
+    }
+}
+
+/** Paced arrival front door: emit the stream, admit or shed each
+ * request, then await the in-flight drain and close every queue (the
+ * only closer, and only after the last putter finished — the
+ * channel-contract ordering).
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: referents live
+ * in the dataflow's Impl, which joins this task via s.run() before
+ * they die) */
+sim::Task
+arrivalProc(ServeCtx &ctx, sim::WaitGroup &job_done)
+{
+    ctx.startS = ctx.s.now();
+    sim::Request r;
+    while (ctx.gen.next(r)) {
+        const double target = ctx.startS + r.arriveS;
+        if (target > ctx.s.now())
+            co_await ctx.s.delay(target - ctx.s.now());
+        const double est = r.kind == sim::RequestKind::Upload
+                               ? ctx.estUploadS
+                               : ctx.estQueryS;
+        int backend = -1;
+        const Verdict v =
+            ctx.admit.offer(ctx.s.now(), ctx.startS + r.deadlineS, est,
+                            &backend);
+        if (v != Verdict::Accept)
+            continue;
+        // A crash between worker pickups is first observed here:
+        // re-route before enqueueing onto a dead store.
+        if (ctx.storeCrashed(static_cast<size_t>(backend),
+                             ctx.s.now())) {
+            ctx.markCrashed(static_cast<size_t>(backend));
+            ctx.inflight->add(1);
+            co_await redispatchOne(ctx, r,
+                                   static_cast<size_t>(backend));
+            continue;
+        }
+        ctx.inflight->add(1);
+        co_await ctx.queues[static_cast<size_t>(backend)]->put(r);
+    }
+    co_await ctx.inflight->wait();
+    for (auto &q : ctx.queues)
+        q->close();
+    job_done.done();
+}
+
+} // namespace
+
+struct ServeDataflow::Impl
+{
+    Impl(sim::Simulator &sim, const ServeConfig &config,
+         const ServePorts &p)
+        : s(sim), cfg(config), ports(p), ctx(sim, cfg, p),
+          gauges(p.trace)
+    {}
+
+    sim::Simulator &s;
+    ServeConfig cfg;
+    ServePorts ports;
+    ServeCtx ctx;
+    obs::GaugeSet gauges;
+    /** Owned fallback when the caller passes no jobDone. */
+    std::unique_ptr<sim::WaitGroup> ownDone;
+};
+
+ServeDataflow::ServeDataflow(sim::Simulator &s, const ServeConfig &cfg,
+                             const ServePorts &ports)
+    : impl_(std::make_unique<Impl>(s, cfg, ports))
+{
+    Impl &im = *impl_;
+    cfg.validate().orThrow();
+    ServeCtx &ctx = im.ctx;
+    ctx.inflight = std::make_unique<sim::WaitGroup>(s);
+    ctx.trace = ports.trace;
+
+    // Uncontended per-kind service estimates for the deadline check:
+    // upload = wire + preprocess + classify; query = seek/scan + wire.
+    ctx.preprocS = 1.0 / kPreprocImgPerSecPerCore;
+    ctx.inferS = 1.0 / models::deviceIps(*im.cfg.storeSpec.gpu,
+                                         *im.cfg.model, 1);
+    ctx.estUploadS =
+        ctx.fabric.serviceTime(ctx.clientNode, ctx.storeNodes[0],
+                               im.cfg.arrivals.uploadBytes) +
+        ctx.preprocS + ctx.inferS;
+    ctx.estQueryS =
+        im.cfg.storeSpec.disk.streamReadSeconds(
+            im.cfg.arrivals.queryBytes) +
+        ctx.fabric.serviceTime(ctx.storeNodes[0], ctx.clientNode,
+                               im.cfg.arrivals.queryBytes);
+
+    if (obs::Tracer *tr = ports.trace) {
+        const std::string front =
+            obs::scopedNode(ports.scope, "front");
+        ctx.trkReq = tr->track(front, "requests");
+        ctx.trkFault = tr->track(front, "faults");
+        im.gauges.add(front, "queue.depth", [c = &ctx] {
+            return static_cast<double>(c->lb.totalDepth());
+        });
+        im.gauges.add(front, "stores.healthy", [c = &ctx] {
+            return static_cast<double>(c->lb.healthyCount());
+        });
+        im.gauges.add(front, "rate.shed",
+                      obs::RateProbe(s, [c = &ctx] {
+                          return static_cast<double>(
+                              c->admit.stats().shed());
+                      }));
+        im.gauges.add(front, "rate.goodput",
+                      obs::RateProbe(s, [c = &ctx] {
+                          return static_cast<double>(
+                              c->admit.stats().completedInDeadline);
+                      }));
+    }
+}
+
+ServeDataflow::~ServeDataflow() = default;
+
+void
+ServeDataflow::spawn()
+{
+    Impl &im = *impl_;
+    sim::WaitGroup *done = im.ports.jobDone;
+    if (done == nullptr) {
+        im.ownDone = std::make_unique<sim::WaitGroup>(im.s);
+        im.ownDone->add(1);
+        done = im.ownDone.get();
+    }
+    for (size_t b = 0; b < im.ctx.stores.size(); ++b)
+        for (int w = 0; w < im.cfg.workersPerStore; ++w)
+            im.s.spawn(workerProc(im.ctx, b));
+    im.s.spawn(arrivalProc(im.ctx, *done));
+}
+
+void
+ServeDataflow::finalize(ServeReport &rep)
+{
+    Impl &im = *impl_;
+    ServeCtx &ctx = im.ctx;
+    const AdmissionStats &st = ctx.admit.stats();
+    rep.offered = st.offered;
+    rep.accepted = st.accepted;
+    rep.completed = st.completed;
+    rep.goodput = st.completedInDeadline;
+    rep.shedThrottle = st.shedThrottle;
+    rep.shedQueueFull = st.shedQueueFull;
+    rep.shedDeadline = st.shedDeadline;
+    rep.shedUnavailable = st.shedUnavailable;
+    rep.redispatched = st.redispatched;
+    rep.abandoned = st.abandoned;
+    rep.uploads = ctx.uploadsDone;
+    rep.queries = ctx.queriesDone;
+    rep.peakQueueDepth = ctx.lb.peakDepth();
+    rep.sessionsStarted = ctx.gen.sessionsStarted();
+
+    LatencyHistogram all;
+    for (auto &shard : ctx.shards)
+        all.merge(*shard);
+    if (all.count() > 0) {
+        rep.p50Ms = all.percentile(50.0) * 1e3;
+        rep.p95Ms = all.percentile(95.0) * 1e3;
+        rep.p99Ms = all.percentile(99.0) * 1e3;
+        rep.p999Ms = all.percentile(99.9) * 1e3;
+        rep.meanMs = all.mean() * 1e3;
+        rep.maxMs = all.max() * 1e3;
+    }
+}
+
+double
+ServeDataflow::estUploadS() const
+{
+    return impl_->ctx.estUploadS;
+}
+
+double
+ServeDataflow::estQueryS() const
+{
+    return impl_->ctx.estQueryS;
+}
+
+ServeReport
+runServing(const ServeConfig &cfg)
+{
+    cfg.validate().orThrow();
+    ServeReport rep;
+
+    sim::Simulator s;
+    obs::Tracer *tr = obs::Tracer::current();
+    net::NetFabric fabric(s);
+    ServePorts ports;
+    ports.fabric = &fabric;
+    ports.clientNode = fabric.addNode(cfg.storeSpec.nic);
+    for (int i = 0; i < cfg.nStores; ++i) {
+        ports.storeNodes.push_back(fabric.addNode(cfg.storeSpec.nic));
+        ports.fleetIdx.push_back(i);
+    }
+    fabric.setIngress(ports.clientNode);
+    fabric.setTracer(tr);
+    std::vector<std::unique_ptr<StoreStations>> stations;
+    for (int i = 0; i < cfg.nStores; ++i) {
+        stations.push_back(
+            std::make_unique<StoreStations>(s, cfg.storeSpec));
+        ports.stores.push_back(stations.back().get());
+    }
+    sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
+    ports.faults = injector.armed() ? &injector : nullptr;
+    fabric.attachFaults(ports.faults);
+    ports.trace = tr;
+
+    ServeDataflow flow(s, cfg, ports);
+    flow.spawn();
+    s.run();
+    s.reapFinished();
+
+    rep.seconds = s.now();
+    flow.finalize(rep);
+    if (rep.seconds > 0.0) {
+        rep.offeredRate =
+            static_cast<double>(rep.offered) / rep.seconds;
+        rep.goodputRate =
+            static_cast<double>(rep.goodput) / rep.seconds;
+    }
+    rep.faults = injector.report();
+    rep.net = fabric.report();
+    return rep;
+}
+
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)
+
+} // namespace ndp::core::serve

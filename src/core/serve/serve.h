@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The production-shaped serving layer: an open-loop million-user
+ * request stream (sim/arrival.h) admitted through a front-end
+ * LoadBalancer + AdmissionController (serve/admission.h) onto the
+ * PipeStore fleet.
+ *
+ * Request anatomy:
+ *  - Upload: photo bytes cross the fabric client -> store (contending
+ *    with every other flow, retransmitting on injected message loss),
+ *    are preprocessed on the store's CPU, and classified on its GPU —
+ *    the NDPipe near-data inference path under latency SLOs instead of
+ *    batch throughput.
+ *  - Query: the store's disk streams the photo back and the reply
+ *    crosses store -> client.
+ *
+ * Latency is recorded into per-store LatencyHistogram shards
+ * (sim/stats.h) and merged at finalize — the merge path is the same
+ * one a real fleet's per-node histogram export would use.
+ *
+ * Fault posture: a crashed store is detected at request pickup; its
+ * queued requests are redispatched to healthy stores (or abandoned
+ * when none has room), the balancer stops routing to it, and the run
+ * drains — never hangs — even when the crash lands inside a flash
+ * crowd. Degraded links simply slow transfers; the deadline
+ * accounting shows up as goodput loss, not as a stuck simulation.
+ *
+ * Determinism: everything downstream of the seeded ArrivalProcess is
+ * RNG-free (admission is pure arithmetic, placement ties break by
+ * index), so two same-seed runs produce bit-identical reports —
+ * including the full percentile ladder.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/pipeline.h"
+#include "core/serve/admission.h"
+#include "hw/specs.h"
+#include "net/fabric.h"
+#include "sim/arrival.h"
+#include "sim/fault.h"
+#include "sim/wait_group.h"
+
+namespace ndp::core::sched {
+class Scheduler;
+}
+
+namespace ndp::core::serve {
+
+struct ServeConfig
+{
+    /** The open-loop request stream. */
+    sim::ArrivalConfig arrivals;
+    /** Front-end admission policy. */
+    AdmissionConfig admission;
+    /** Classification model for upload inference. */
+    const models::ModelSpec *model = &models::resnet50();
+    /** Concurrent in-service requests per store. */
+    int workersPerStore = 2;
+
+    /** @name Standalone entry point (runServing) only
+     * The Cluster overrides these with its own fleet.
+     * @{ */
+    int nStores = 4;
+    hw::ServerSpec storeSpec = hw::g4dn4xlarge(true);
+    sim::FaultPlan faults;
+    /** @} */
+
+    ValidationResult validate() const;
+};
+
+/** What one serving run did (the offered-vs-goodput ledger plus the
+ *  full latency percentile ladder). */
+struct ServeReport
+{
+    double seconds = 0.0;
+
+    /** @name Conservation ledger (requests)
+     * offered == accepted + shed*; accepted == completed + abandoned.
+     * @{ */
+    uint64_t offered = 0;
+    uint64_t accepted = 0;
+    uint64_t completed = 0;
+    /** Completions inside their deadline — the goodput. */
+    uint64_t goodput = 0;
+    uint64_t shedThrottle = 0;
+    uint64_t shedQueueFull = 0;
+    uint64_t shedDeadline = 0;
+    uint64_t shedUnavailable = 0;
+    uint64_t redispatched = 0;
+    uint64_t abandoned = 0;
+    /** @} */
+
+    /** Completed per kind. */
+    uint64_t uploads = 0;
+    uint64_t queries = 0;
+
+    /** @name Rates, requests/s over the run
+     * @{ */
+    double offeredRate = 0.0;
+    double goodputRate = 0.0;
+    /** @} */
+
+    /** @name End-to-end latency of completed requests, milliseconds
+     * @{ */
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
+    double meanMs = 0.0;
+    double maxMs = 0.0;
+    /** @} */
+
+    /** High-water mark of any one store's outstanding requests. */
+    int peakQueueDepth = 0;
+    uint64_t sessionsStarted = 0;
+
+    /** Standalone runs only (the Cluster rolls these up itself). */
+    sim::FaultReport faults;
+    net::NetReport net;
+};
+
+/**
+ * Borrowed resources one serving job runs against (the borrowing
+ * contract of core/training.h's FtDmpPorts): the shared fabric, the
+ * aggregate client-side node requests arrive from and replies return
+ * to, and the job's slice of the PipeStore fleet.
+ */
+struct ServePorts
+{
+    net::NetFabric *fabric = nullptr;
+    /** Aggregate client-side node (the request front door). */
+    net::NodeId clientNode = net::kNoNode;
+    std::vector<net::NodeId> storeNodes;
+    std::vector<StoreStations *> stores;
+    /** Fleet-level store index per entry (fault-injector keys). */
+    std::vector<int> fleetIdx;
+    sim::FaultInjector *faults = nullptr;
+    obs::Tracer *trace = nullptr;
+    /** Per-job trace prefix (obs::scopedNode); empty = untouched. */
+    std::string scope;
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
+    sim::WaitGroup *jobDone = nullptr;
+};
+
+/** One open-loop serving dataflow against borrowed fleet devices. */
+class ServeDataflow
+{
+  public:
+    ServeDataflow(sim::Simulator &s, const ServeConfig &cfg,
+                  const ServePorts &ports);
+    ~ServeDataflow();
+
+    ServeDataflow(const ServeDataflow &) = delete;
+    ServeDataflow &operator=(const ServeDataflow &) = delete;
+
+    void spawn();
+
+    /** Merge the per-store histogram shards and fill the ledger /
+     *  percentile fields of @p rep (seconds/rates are derived from
+     *  makespan by callers). */
+    void finalize(ServeReport &rep);
+
+    /** @name Uncontended per-kind service-time estimates
+     * What the admission controller's deadline-feasibility check uses.
+     * @{ */
+    double estUploadS() const;
+    double estQueryS() const;
+    /** @} */
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Drive one open-loop serving scenario on a self-owned fleet. */
+ServeReport runServing(const ServeConfig &cfg);
+
+} // namespace ndp::core::serve

@@ -356,4 +356,20 @@ PhotoService::fineTuneJobDesc(const std::string &name,
     return d;
 }
 
+sched::JobDesc
+PhotoService::servingJobDesc(const std::string &name,
+                             int priority) const
+{
+    sched::JobDesc d;
+    d.name = name;
+    d.kind = sched::JobKind::OpenLoopServe;
+    d.priority = priority;
+    // One session-capable user per stored photo owner, floored so
+    // small functional worlds still exercise the session table.
+    d.serve.arrivals.nUsers =
+        std::max<uint64_t>(world_->numImages(), 10000);
+    d.serve.arrivals.seed = cfg.seed;
+    return d;
+}
+
 } // namespace ndp::core

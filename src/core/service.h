@@ -136,6 +136,18 @@ class PhotoService
                                    int priority = 0) const;
 
     /**
+     * Describe this service's live request traffic as a schedulable
+     * open-loop serving job (core/serve): the user population is
+     * sized to the current photo pool and the upload/query split
+     * defaults to the serving layer's photo-traffic shape. The caller
+     * assigns stores and tunes rates/spikes before submitting —
+     * typically colocated with fineTuneJobDesc() so serving contends
+     * with the nightly fine-tune.
+     */
+    sched::JobDesc servingJobDesc(const std::string &name,
+                                  int priority = 0) const;
+
+    /**
      * Push @p delta (chained against @p base_version) to every
      * PipeStore replica over a lossy channel: each push is lost with
      * @p loss_probability (seeded draws, deterministic), retried up

@@ -338,6 +338,40 @@ class GaugeSet
 };
 
 /**
+ * Gauge adapter turning a monotonic counter into a per-second rate
+ * between consecutive samples (shed-rate, goodput, retry-rate
+ * gauges). Stateless for the sampled system: it only reads sim.now()
+ * and the counter, so registering one keeps the obs layer's passive
+ * contract. Copy it into GaugeSet::add as the GaugeFn.
+ */
+class RateProbe
+{
+  public:
+    RateProbe(const sim::Simulator &s,
+              std::function<double()> counter)
+        : sim_(&s), counter_(std::move(counter))
+    {}
+
+    double
+    operator()()
+    {
+        const double now = sim_->now();
+        const double c = counter_();
+        const double dt = now - lastT_;
+        const double rate = dt > 0.0 ? (c - lastC_) / dt : 0.0;
+        lastT_ = now;
+        lastC_ = c;
+        return rate;
+    }
+
+  private:
+    const sim::Simulator *sim_;
+    std::function<double()> counter_;
+    double lastT_ = 0.0;
+    double lastC_ = 0.0;
+};
+
+/**
  * Per-job track grouping: a multi-job cluster run prefixes every node
  * name with the job's scope ("nightly-ft/store3", "serve/tuner"), so
  * the Perfetto UI groups one job's processes together and ndptrace's

@@ -1,0 +1,186 @@
+#include "sim/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ndp::sim {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+} // namespace
+
+const char *
+requestKindName(RequestKind k)
+{
+    switch (k) {
+      case RequestKind::Upload:
+        return "upload";
+      case RequestKind::Query:
+        return "query";
+    }
+    return "?";
+}
+
+std::string
+ArrivalConfig::validate() const
+{
+    if (nRequests == 0)
+        return "ArrivalConfig: nRequests must be >= 1";
+    if (nUsers == 0)
+        return "ArrivalConfig: nUsers must be >= 1";
+    if (baseRatePerSec <= 0.0)
+        return "ArrivalConfig: baseRatePerSec must be > 0";
+    if (interArrivalCv <= 0.0)
+        return "ArrivalConfig: interArrivalCv must be > 0";
+    if (queryShare < 0.0 || queryShare > 1.0)
+        return "ArrivalConfig: queryShare must be in [0, 1]";
+    if (diurnalAmplitude < 0.0 || diurnalAmplitude >= 1.0)
+        return "ArrivalConfig: diurnalAmplitude must be in [0, 1) "
+               "(the rate must stay positive)";
+    if (diurnalPeriodS <= 0.0)
+        return "ArrivalConfig: diurnalPeriodS must be > 0";
+    if (sessionContinueP < 0.0 || sessionContinueP >= 1.0)
+        return "ArrivalConfig: sessionContinueP must be in [0, 1)";
+    if (maxActiveSessions == 0)
+        return "ArrivalConfig: maxActiveSessions must be >= 1";
+    if (uploadBytes <= 0.0 || queryBytes <= 0.0)
+        return "ArrivalConfig: payload bytes must be > 0";
+    if (uploadDeadlineS <= 0.0 || queryDeadlineS <= 0.0)
+        return "ArrivalConfig: deadline budgets must be > 0";
+    for (const SpikeSegment &sp : spikes) {
+        if (sp.atS < 0.0)
+            return "ArrivalConfig: spike atS must be >= 0";
+        if (sp.durationS <= 0.0)
+            return "ArrivalConfig: spike durationS must be > 0";
+        if (sp.factor <= 0.0)
+            return "ArrivalConfig: spike factor must be > 0";
+    }
+    return {};
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed ^ 0x0a11fee1dull)
+{
+    // Lognormal gap with mean 1 and the requested CV; next() scales it
+    // by the instantaneous mean gap 1/rate(t).
+    const double cv2 =
+        cfg_.interArrivalCv * cfg_.interArrivalCv;
+    gapSigma_ = std::sqrt(std::log1p(cv2));
+    gapMu_ = -0.5 * gapSigma_ * gapSigma_;
+    sessions_.reserve(
+        std::min<uint64_t>(cfg_.maxActiveSessions, 1u << 20));
+}
+
+double
+ArrivalProcess::rateAt(double t) const
+{
+    double rate = cfg_.baseRatePerSec;
+    if (cfg_.diurnalAmplitude > 0.0)
+        rate *= 1.0 + cfg_.diurnalAmplitude *
+                          std::sin(kTwoPi *
+                                   (t + cfg_.diurnalPhaseS) /
+                                   cfg_.diurnalPeriodS);
+    for (const SpikeSegment &sp : cfg_.spikes)
+        if (t >= sp.atS && t < sp.atS + sp.durationS)
+            rate *= sp.factor;
+    return rate;
+}
+
+double
+ArrivalProcess::expectedRequests(double from, double to) const
+{
+    if (to <= from)
+        return 0.0;
+    // Partition [from, to] at spike boundaries; within each segment
+    // the spike factor is constant and the diurnal term integrates in
+    // closed form.
+    std::vector<double> cuts = {from, to};
+    for (const SpikeSegment &sp : cfg_.spikes) {
+        for (double b : {sp.atS, sp.atS + sp.durationS})
+            if (b > from && b < to)
+                cuts.push_back(b);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    auto diurnalIntegral = [this](double a, double b) {
+        double v = b - a;
+        if (cfg_.diurnalAmplitude > 0.0) {
+            const double w = kTwoPi / cfg_.diurnalPeriodS;
+            v += cfg_.diurnalAmplitude / w *
+                 (std::cos(w * (a + cfg_.diurnalPhaseS)) -
+                  std::cos(w * (b + cfg_.diurnalPhaseS)));
+        }
+        return v;
+    };
+
+    double total = 0.0;
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+        const double a = cuts[i];
+        const double b = cuts[i + 1];
+        const double mid = 0.5 * (a + b);
+        double factor = 1.0;
+        for (const SpikeSegment &sp : cfg_.spikes)
+            if (mid >= sp.atS && mid < sp.atS + sp.durationS)
+                factor *= sp.factor;
+        total += cfg_.baseRatePerSec * factor * diurnalIntegral(a, b);
+    }
+    return total;
+}
+
+uint64_t
+ArrivalProcess::drawUser()
+{
+    if (!sessions_.empty() && rng_.chance(cfg_.sessionContinueP)) {
+        // Continue a resident session (uniform over residents).
+        const size_t idx = static_cast<size_t>(
+            rng_.below(sessions_.size()));
+        return sessions_[idx];
+    }
+    // Fresh session: uniform user, evicting the oldest resident once
+    // the table is full (bounded memory over millions of users).
+    const uint64_t user = rng_.below(cfg_.nUsers);
+    ++sessionsStarted_;
+    if (sessions_.size() <
+        static_cast<size_t>(cfg_.maxActiveSessions)) {
+        sessions_.push_back(user);
+    } else {
+        sessions_[evictCursor_] = user;
+        evictCursor_ =
+            (evictCursor_ + 1) % cfg_.maxActiveSessions;
+    }
+    return user;
+}
+
+bool
+ArrivalProcess::next(Request &out)
+{
+    if (emitted_ >= cfg_.nRequests)
+        return false;
+    // Gap drawn at the instantaneous rate: lognormal(mean = 1/rate,
+    // cv) — evaluating rate(t) at the left endpoint is exact for flat
+    // segments and a slowly-varying approximation elsewhere (the
+    // diurnal integral test bounds the error).
+    const double rate = rateAt(nowS_);
+    const double gap = std::exp(rng_.normal(gapMu_, gapSigma_)) / rate;
+    nowS_ += gap;
+
+    out.id = emitted_;
+    out.user = drawUser();
+    out.kind = rng_.chance(cfg_.queryShare) ? RequestKind::Query
+                                            : RequestKind::Upload;
+    out.arriveS = nowS_;
+    if (out.kind == RequestKind::Query) {
+        out.bytes = cfg_.queryBytes;
+        out.deadlineS = nowS_ + cfg_.queryDeadlineS;
+    } else {
+        out.bytes = cfg_.uploadBytes;
+        out.deadlineS = nowS_ + cfg_.uploadDeadlineS;
+    }
+    ++emitted_;
+    return true;
+}
+
+} // namespace ndp::sim

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Open-loop workload generation for million-user serving scenarios.
+ *
+ * A closed-loop driver (fixed client count, next request only after
+ * the previous response) self-throttles under overload and hides tail
+ * latency — the coordinated-omission trap. Production photo traffic is
+ * open-loop: arrivals keep coming at the offered rate whether or not
+ * the fleet keeps up, which is exactly the regime where admission
+ * control and shedding matter. This module generates such a stream:
+ *
+ *  - Inter-arrival gaps are lognormal (seeded, deterministic) with a
+ *    configurable coefficient of variation: cv = 1 approximates
+ *    Poisson burstiness, cv > 1 gives the heavier-tailed clustering
+ *    photo uploads actually show.
+ *  - The instantaneous rate follows a diurnal sinusoid (amplitude /
+ *    period / phase) multiplied by flash-crowd spike segments —
+ *    step-function overload windows for shedding and fault scenarios.
+ *  - Users are lightweight sessions, not coroutines: the generator
+ *    keeps a bounded table of resident sessions over a user
+ *    population of millions and charges each request to one of them,
+ *    so memory stays O(maxActiveSessions) no matter how many users
+ *    the scenario declares.
+ *
+ * Determinism rule: the stream is a pure function of ArrivalConfig
+ * (all draws route through one ndp::Rng seeded from cfg.seed), so two
+ * generators with equal configs emit bit-identical Request sequences —
+ * pinned by tests/test_serve_arrivals.cc.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace ndp::sim {
+
+/** What a serving request asks the fleet to do. */
+enum class RequestKind
+{
+    /** New photo: ship bytes to a store, preprocess, classify. */
+    Upload,
+    /** Retrieve a stored photo: disk read + reply transfer. */
+    Query,
+};
+
+const char *requestKindName(RequestKind k);
+
+/** One open-loop request as emitted by the generator. */
+struct Request
+{
+    uint64_t id = 0;
+    /** Owning user in [0, nUsers). */
+    uint64_t user = 0;
+    RequestKind kind = RequestKind::Query;
+    /** Absolute arrival time, simulated seconds. */
+    double arriveS = 0.0;
+    /** Absolute completion deadline (arriveS + per-kind budget). */
+    double deadlineS = 0.0;
+    /** Payload: upload body or query reply, bytes. */
+    double bytes = 0.0;
+};
+
+/** Flash-crowd segment: rate multiplied by @p factor inside the
+ *  window [atS, atS + durationS). */
+struct SpikeSegment
+{
+    double atS = 0.0;
+    double durationS = 0.0;
+    double factor = 1.0;
+};
+
+struct ArrivalConfig
+{
+    /** Requests the stream emits in total. */
+    uint64_t nRequests = 100000;
+    /** User population sessions draw from. */
+    uint64_t nUsers = 1000000;
+    /** Offered rate at diurnal midpoint, requests/s. */
+    double baseRatePerSec = 2000.0;
+    /** Coefficient of variation of the lognormal inter-arrival gaps. */
+    double interArrivalCv = 1.2;
+    /** Fraction of requests that are queries (rest are uploads). */
+    double queryShare = 0.7;
+
+    /** @name Diurnal rate curve
+     * rate(t) = base * (1 + amplitude * sin(2*pi*(t+phase)/period)).
+     * amplitude 0 keeps the rate flat.
+     * @{ */
+    double diurnalAmplitude = 0.0;
+    double diurnalPeriodS = 86400.0;
+    double diurnalPhaseS = 0.0;
+    /** @} */
+
+    /** Flash-crowd multipliers (may overlap; factors compose). */
+    std::vector<SpikeSegment> spikes;
+
+    /** @name Session model
+     * A request continues one of the resident sessions with
+     * probability sessionContinueP, otherwise a fresh session starts
+     * for a uniformly drawn user (evicting the oldest resident when
+     * the table is full).
+     * @{ */
+    double sessionContinueP = 0.6;
+    uint32_t maxActiveSessions = 4096;
+    /** @} */
+
+    /** @name Per-kind payload and deadline budget
+     * @{ */
+    double uploadBytes = 2.7e6;
+    double queryBytes = 2.0e4;
+    double uploadDeadlineS = 2.0;
+    double queryDeadlineS = 0.5;
+    /** @} */
+
+    uint64_t seed = 42;
+
+    /** Empty string when valid; otherwise names the offending field. */
+    std::string validate() const;
+};
+
+/**
+ * Pull-based generator: each next() call advances the stream clock by
+ * one lognormal gap (mean 1/rate(t)) and fills in the next Request.
+ * The caller — typically a single arrival coroutine — owns the pacing
+ * (co_await sim.delay(...) up to Request::arriveS); the generator
+ * itself never touches the event queue.
+ */
+class ArrivalProcess
+{
+  public:
+    explicit ArrivalProcess(const ArrivalConfig &cfg);
+
+    /** Emit the next request; false once nRequests were produced. */
+    bool next(Request &out);
+
+    /** Stream clock: arrival time of the last emitted request. */
+    double now() const { return nowS_; }
+
+    uint64_t emitted() const { return emitted_; }
+
+    /** Instantaneous offered rate at time @p t, requests/s. */
+    double rateAt(double t) const;
+
+    /**
+     * Closed-form integral of rateAt over [from, to]: the expected
+     * number of arrivals in the window (tests compare the emitted
+     * count against this).
+     */
+    double expectedRequests(double from, double to) const;
+
+    /** @name Session accounting
+     * @{ */
+    uint64_t sessionsStarted() const { return sessionsStarted_; }
+    uint32_t activeSessions() const
+    {
+        return static_cast<uint32_t>(sessions_.size());
+    }
+    /** @} */
+
+  private:
+    uint64_t drawUser();
+
+    ArrivalConfig cfg_;
+    Rng rng_;
+    double nowS_ = 0.0;
+    uint64_t emitted_ = 0;
+    uint64_t sessionsStarted_ = 0;
+    /** Resident session ring: user ids, oldest first. */
+    std::vector<uint64_t> sessions_;
+    uint32_t evictCursor_ = 0;
+    /** Lognormal parameters derived once from (mean=1, cv). */
+    double gapMu_ = 0.0;
+    double gapSigma_ = 0.0;
+};
+
+} // namespace ndp::sim

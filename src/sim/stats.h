@@ -6,6 +6,8 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -131,6 +133,201 @@ class SampleStat
   private:
     std::vector<double> samples;
     bool sorted = false;
+};
+
+/**
+ * HDR-style log-bucketed latency histogram.
+ *
+ * Values (seconds) are quantized to integer units of `unitS` and
+ * binned into power-of-two buckets, each split into 2^subBucketBits
+ * linear sub-buckets — the classic HdrHistogram layout. Recording and
+ * quantile extraction use only integer arithmetic on the quantized
+ * units, so results are a pure function of the sample stream:
+ * same-seed runs produce bit-identical percentiles, and SampleStat's
+ * retain-everything memory cost is avoided (a shard is a fixed ~4 K
+ * counter array regardless of how many million requests it absorbs).
+ *
+ * Error bound: an extracted quantile differs from the recorded value
+ * by at most one unit of quantization plus the bucket's equivalent
+ * range — relative error <= 1 / 2^(subBucketBits-1) once values exceed
+ * the linear region (see equivalentRangeS). tests/test_sim_hist.cc
+ * pins this bound property-style.
+ *
+ * Shards recorded on different nodes merge by elementwise counter
+ * addition; merge(a, b) then extracts exactly the quantiles of the
+ * combined stream (also pinned by test).
+ */
+class LatencyHistogram
+{
+  public:
+    /** @p unit_s: smallest discernible value (default 1 us);
+     *  @p sub_bucket_bits: log2 of linear sub-buckets per octave
+     *  (default 7 -> 128 sub-buckets, <= 1.6 % relative error). */
+    explicit LatencyHistogram(double unit_s = 1e-6,
+                              int sub_bucket_bits = 7)
+        : unitS_(unit_s), subBucketBits_(sub_bucket_bits)
+    {
+        assert(unit_s > 0.0);
+        assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+        subBucketCount_ = uint64_t{1} << subBucketBits_;
+        subBucketHalf_ = subBucketCount_ >> 1;
+        subBucketMask_ = subBucketCount_ - 1;
+        // One half-bucket row per octave above the linear region plus
+        // the full linear region; 64-bit units can never index past
+        // this, so record() needs no growth path.
+        const int octaves = 64 - subBucketBits_ + 1;
+        counts_.assign(
+            static_cast<size_t>(octaves + 1) * subBucketHalf_ +
+                subBucketHalf_,
+            0);
+    }
+
+    void
+    record(double seconds)
+    {
+        const uint64_t u = toUnits(seconds);
+        ++counts_[countsIndex(u)];
+        ++n_;
+        sum_ += seconds;
+        minV_ = std::min(minV_, seconds);
+        maxV_ = std::max(maxV_, seconds);
+    }
+
+    uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+    }
+    /** Exact (unquantized) extremes of the recorded stream. */
+    double min() const { return n_ ? minV_ : 0.0; }
+    double max() const { return n_ ? maxV_ : 0.0; }
+
+    /**
+     * Deterministic quantile: the equivalent-range midpoint of the
+     * bucket holding the ceil(p/100 * count)-th smallest sample.
+     * @p p in [0, 100]; 0 on an empty histogram.
+     */
+    double
+    percentile(double p) const
+    {
+        if (n_ == 0)
+            return 0.0;
+        const double want = p / 100.0 * static_cast<double>(n_);
+        uint64_t target =
+            static_cast<uint64_t>(std::ceil(want));
+        target = std::min(std::max<uint64_t>(target, 1), n_);
+        uint64_t seen = 0;
+        for (size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen >= target)
+                return midpointS(i);
+        }
+        return midpointS(counts_.size() - 1);
+    }
+
+    /**
+     * Width (seconds) of the bucket that @p seconds falls into: every
+     * recorded value is indistinguishable from the extracted quantile
+     * within this range plus one quantization unit.
+     */
+    double
+    equivalentRangeS(double seconds) const
+    {
+        const uint64_t u = toUnits(seconds);
+        const int b = bucketIndex(u);
+        return static_cast<double>(uint64_t{1} << b) * unitS_;
+    }
+
+    /** Upper bound of the relative bucket error (unit floor excluded). */
+    double
+    relativeResolution() const
+    {
+        return 1.0 / static_cast<double>(subBucketHalf_);
+    }
+
+    /**
+     * Elementwise counter merge: afterwards percentile() answers for
+     * the combined stream exactly as if every sample had been recorded
+     * here. Shards must share (unitS, subBucketBits).
+     */
+    void
+    merge(const LatencyHistogram &o)
+    {
+        assert(o.subBucketBits_ == subBucketBits_ &&
+               o.unitS_ == unitS_ && "merging incompatible shards");
+        for (size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += o.counts_[i];
+        n_ += o.n_;
+        sum_ += o.sum_;
+        minV_ = std::min(minV_, o.minV_);
+        maxV_ = std::max(maxV_, o.maxV_);
+    }
+
+  private:
+    uint64_t
+    toUnits(double seconds) const
+    {
+        if (seconds <= 0.0)
+            return 0;
+        const double u = seconds / unitS_;
+        // Saturate far below 2^64 so index math cannot overflow.
+        if (u >= 9.0e18)
+            return uint64_t{9000000000000000000ull};
+        return static_cast<uint64_t>(u);
+    }
+
+    int
+    bucketIndex(uint64_t u) const
+    {
+        // Octave of the value's MSB above the linear region; 0 inside.
+        return std::bit_width(u | subBucketMask_) - subBucketBits_;
+    }
+
+    size_t
+    countsIndex(uint64_t u) const
+    {
+        const int b = bucketIndex(u);
+        if (b == 0)
+            return static_cast<size_t>(u); // linear region
+        // For b >= 1 the MSB guarantees sub in [half, 2*half).
+        const uint64_t sub = u >> b;
+        return static_cast<size_t>(
+            (static_cast<uint64_t>(b) + 1) * subBucketHalf_ +
+            (sub - subBucketHalf_));
+    }
+
+    /** Midpoint (seconds) of the equivalent value range of counts
+     *  index @p i — the inverse of countsIndex. */
+    double
+    midpointS(size_t i) const
+    {
+        uint64_t bucket;
+        uint64_t sub;
+        if (i < subBucketCount_) {
+            bucket = 0;
+            sub = i;
+        } else {
+            bucket = i / subBucketHalf_ - 1;
+            sub = i % subBucketHalf_ + subBucketHalf_;
+        }
+        const uint64_t lo = sub << bucket;
+        const uint64_t hi = ((sub + 1) << bucket) - 1;
+        return (static_cast<double>(lo) + static_cast<double>(hi) +
+                1.0) /
+               2.0 * unitS_;
+    }
+
+    double unitS_;
+    int subBucketBits_;
+    uint64_t subBucketCount_ = 0;
+    uint64_t subBucketHalf_ = 0;
+    uint64_t subBucketMask_ = 0;
+    std::vector<uint64_t> counts_;
+    uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double minV_ = std::numeric_limits<double>::infinity();
+    double maxV_ = -std::numeric_limits<double>::infinity();
 };
 
 } // namespace ndp

@@ -410,4 +410,58 @@ TEST(Determinism, MultiJobClusterBitIdentical)
     }
 }
 
+TEST(Determinism, OpenLoopServingClusterBitIdentical)
+{
+    // The new serving scenario: an open-loop million-user job on the
+    // full fleet — flash crowd, store crash, degraded link — colocated
+    // with a fine-tune job. The whole thing must stay a pure function
+    // of its configuration, down to the p99.9 bits.
+    auto runCluster = [] {
+        ClusterSpec spec;
+        spec.nStores = 4;
+        spec.faults.crashStore(1, 6.0).degradeLink(0, 5.0, 4.0, 0.3);
+        sched::Cluster c(spec);
+        sched::JobDesc sv;
+        sv.name = "front";
+        sv.kind = sched::JobKind::OpenLoopServe;
+        sv.stores = {0, 1, 2, 3};
+        sv.priority = 2;
+        sv.serve.arrivals.nRequests = 4000;
+        sv.serve.arrivals.nUsers = 500000;
+        sv.serve.arrivals.baseRatePerSec = 250.0;
+        sv.serve.arrivals.spikes.push_back(
+            ndp::sim::SpikeSegment{5.0, 4.0, 3.0});
+        c.submit(sv);
+        sched::JobDesc train;
+        train.name = "nightly";
+        train.kind = sched::JobKind::FtDmpTrain;
+        train.stores = {0, 1, 2, 3};
+        train.nImages = 12000;
+        train.submitAtS = 2.0;
+        c.submit(train);
+        return c.run();
+    };
+    sched::ClusterReport first = runCluster();
+    sched::ClusterReport second = runCluster();
+    EXPECT_BITEQ(first.seconds, second.seconds);
+    EXPECT_EQ(first.events, second.events);
+    expectSameNet(first.net, second.net);
+    expectSameFaults(first.faults, second.faults);
+    ASSERT_EQ(first.jobs.size(), second.jobs.size());
+    const sched::JobReport &a = first.jobs[0];
+    const sched::JobReport &b = second.jobs[0];
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.goodput, b.goodput);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.redispatched, b.redispatched);
+    EXPECT_EQ(a.abandoned, b.abandoned);
+    EXPECT_BITEQ(a.p50Ms, b.p50Ms);
+    EXPECT_BITEQ(a.p99Ms, b.p99Ms);
+    EXPECT_BITEQ(a.p999Ms, b.p999Ms);
+    EXPECT_BITEQ(a.meanMs, b.meanMs);
+    EXPECT_BITEQ(first.jobs[1].makespanS, second.jobs[1].makespanS);
+    EXPECT_GT(a.offered, 0u);
+    EXPECT_GT(a.goodput, 0u);
+}
+
 } // namespace

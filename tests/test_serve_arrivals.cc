@@ -1,0 +1,229 @@
+/**
+ * @file
+ * ArrivalProcess (sim/arrival.h) statistical-tier tests: the seeded
+ * lognormal stream matches its target mean and CV within sampling
+ * tolerance, the diurnal rate curve integrates to the emitted request
+ * count, flash-crowd spikes multiply the local rate, the session table
+ * stays bounded, and — the determinism contract — same-seed streams
+ * are bit-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/arrival.h"
+
+namespace {
+
+using ndp::sim::ArrivalConfig;
+using ndp::sim::ArrivalProcess;
+using ndp::sim::Request;
+using ndp::sim::RequestKind;
+using ndp::sim::SpikeSegment;
+
+#define EXPECT_BITEQ(a, b)                                               \
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))    \
+        << #a " differs: " << (a) << " vs " << (b)
+
+TEST(ArrivalProcess, GapsMatchTargetMeanAndCv)
+{
+    ArrivalConfig cfg;
+    cfg.nRequests = 200000;
+    cfg.baseRatePerSec = 1000.0;
+    cfg.interArrivalCv = 1.2;
+    cfg.seed = 3;
+    ArrivalProcess gen(cfg);
+
+    std::vector<double> gaps;
+    Request r;
+    double prev = 0.0;
+    while (gen.next(r)) {
+        gaps.push_back(r.arriveS - prev);
+        prev = r.arriveS;
+    }
+    ASSERT_EQ(gaps.size(), cfg.nRequests);
+
+    double sum = 0.0;
+    for (double g : gaps)
+        sum += g;
+    const double mean = sum / static_cast<double>(gaps.size());
+    double var = 0.0;
+    for (double g : gaps)
+        var += (g - mean) * (g - mean);
+    var /= static_cast<double>(gaps.size() - 1);
+    const double cv = std::sqrt(var) / mean;
+
+    // Lognormal with cv 1.2 has finite but heavy fourth moments; with
+    // 200 k samples the mean is within ~1 % and the CV within ~5 %.
+    EXPECT_NEAR(mean, 1.0 / cfg.baseRatePerSec,
+                0.01 / cfg.baseRatePerSec);
+    EXPECT_NEAR(cv, cfg.interArrivalCv, 0.05 * cfg.interArrivalCv);
+}
+
+TEST(ArrivalProcess, DiurnalRateIntegratesToEmittedCount)
+{
+    ArrivalConfig cfg;
+    cfg.nRequests = 100000;
+    cfg.baseRatePerSec = 500.0;
+    cfg.interArrivalCv = 1.0;
+    cfg.diurnalAmplitude = 0.6;
+    cfg.diurnalPeriodS = 120.0; // several cycles inside the run
+    cfg.seed = 17;
+    ArrivalProcess gen(cfg);
+
+    Request r;
+    while (gen.next(r)) {
+    }
+    // The closed-form integral of rate(t) over the emitted span must
+    // predict the request count to within sampling noise plus the
+    // slowly-varying-rate approximation (the rate moves < 2 % within
+    // one mean gap here).
+    const double expected = gen.expectedRequests(0.0, gen.now());
+    EXPECT_NEAR(expected, static_cast<double>(cfg.nRequests),
+                0.02 * static_cast<double>(cfg.nRequests));
+
+    // And the instantaneous rate peaks/troughs where the sinusoid
+    // says: extremes at quarter periods.
+    EXPECT_NEAR(gen.rateAt(cfg.diurnalPeriodS * 0.25),
+                cfg.baseRatePerSec * (1.0 + cfg.diurnalAmplitude),
+                1e-6);
+    EXPECT_NEAR(gen.rateAt(cfg.diurnalPeriodS * 0.75),
+                cfg.baseRatePerSec * (1.0 - cfg.diurnalAmplitude),
+                1e-6);
+}
+
+TEST(ArrivalProcess, SpikeMultipliesLocalRate)
+{
+    ArrivalConfig cfg;
+    cfg.nRequests = 150000;
+    cfg.baseRatePerSec = 1000.0;
+    cfg.interArrivalCv = 1.0;
+    cfg.spikes.push_back(SpikeSegment{20.0, 10.0, 4.0});
+    cfg.seed = 29;
+    ArrivalProcess gen(cfg);
+
+    uint64_t inSpike = 0;
+    Request r;
+    while (gen.next(r))
+        if (r.arriveS >= 20.0 && r.arriveS < 30.0)
+            ++inSpike;
+
+    // ~4000/s for 10 s inside the window.
+    const double expected = gen.expectedRequests(20.0, 30.0);
+    EXPECT_NEAR(expected, 4000.0 * 10.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(inSpike), expected,
+                0.05 * expected);
+    // rateAt honors the window edges half-open.
+    EXPECT_NEAR(gen.rateAt(20.0), 4000.0, 1e-9);
+    EXPECT_NEAR(gen.rateAt(30.0), 1000.0, 1e-9);
+}
+
+TEST(ArrivalProcess, SameSeedStreamsBitIdentical)
+{
+    ArrivalConfig cfg;
+    cfg.nRequests = 20000;
+    cfg.nUsers = 1000000;
+    cfg.diurnalAmplitude = 0.4;
+    cfg.diurnalPeriodS = 300.0;
+    cfg.spikes.push_back(SpikeSegment{5.0, 2.0, 3.0});
+    cfg.seed = 1234;
+    ArrivalProcess a(cfg);
+    ArrivalProcess b(cfg);
+
+    Request ra;
+    Request rb;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        EXPECT_EQ(ra.id, rb.id);
+        EXPECT_EQ(ra.user, rb.user);
+        EXPECT_EQ(ra.kind, rb.kind);
+        EXPECT_BITEQ(ra.arriveS, rb.arriveS);
+        EXPECT_BITEQ(ra.deadlineS, rb.deadlineS);
+        EXPECT_BITEQ(ra.bytes, rb.bytes);
+    }
+    EXPECT_FALSE(b.next(rb));
+    EXPECT_EQ(a.sessionsStarted(), b.sessionsStarted());
+
+    // A different seed must actually move the stream.
+    cfg.seed = 1235;
+    ArrivalProcess c(cfg);
+    cfg.seed = 1234;
+    ArrivalProcess orig(cfg);
+    ASSERT_TRUE(c.next(ra));
+    ASSERT_TRUE(orig.next(rb));
+    EXPECT_NE(std::bit_cast<uint64_t>(ra.arriveS),
+              std::bit_cast<uint64_t>(rb.arriveS));
+}
+
+TEST(ArrivalProcess, SessionTableBoundedOverMillionsOfUsers)
+{
+    ArrivalConfig cfg;
+    cfg.nRequests = 50000;
+    cfg.nUsers = 5000000;
+    cfg.sessionContinueP = 0.7;
+    cfg.maxActiveSessions = 512;
+    cfg.seed = 77;
+    ArrivalProcess gen(cfg);
+
+    Request r;
+    while (gen.next(r)) {
+        EXPECT_LT(r.user, cfg.nUsers);
+        ASSERT_LE(gen.activeSessions(), cfg.maxActiveSessions);
+    }
+    // Sessions started is the fresh-session count: roughly
+    // (1 - continueP) of the stream, and strictly fewer than requests.
+    EXPECT_LT(gen.sessionsStarted(), cfg.nRequests);
+    EXPECT_NEAR(static_cast<double>(gen.sessionsStarted()),
+                (1.0 - cfg.sessionContinueP) *
+                    static_cast<double>(cfg.nRequests),
+                0.05 * static_cast<double>(cfg.nRequests));
+    EXPECT_EQ(gen.activeSessions(), cfg.maxActiveSessions);
+}
+
+TEST(ArrivalProcess, PerKindPayloadAndDeadline)
+{
+    ArrivalConfig cfg;
+    cfg.nRequests = 20000;
+    cfg.queryShare = 0.7;
+    cfg.seed = 5;
+    ArrivalProcess gen(cfg);
+
+    uint64_t queries = 0;
+    Request r;
+    while (gen.next(r)) {
+        if (r.kind == RequestKind::Query) {
+            ++queries;
+            EXPECT_BITEQ(r.bytes, cfg.queryBytes);
+            EXPECT_BITEQ(r.deadlineS, r.arriveS + cfg.queryDeadlineS);
+        } else {
+            EXPECT_BITEQ(r.bytes, cfg.uploadBytes);
+            EXPECT_BITEQ(r.deadlineS, r.arriveS + cfg.uploadDeadlineS);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(queries),
+                cfg.queryShare * static_cast<double>(cfg.nRequests),
+                0.03 * static_cast<double>(cfg.nRequests));
+}
+
+TEST(ArrivalConfig, ValidateRejectsBadFields)
+{
+    ArrivalConfig cfg;
+    EXPECT_TRUE(cfg.validate().empty());
+    cfg.diurnalAmplitude = 1.0;
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg.diurnalAmplitude = 0.0;
+    cfg.sessionContinueP = 1.0;
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg.sessionContinueP = 0.5;
+    cfg.spikes.push_back(SpikeSegment{1.0, -1.0, 2.0});
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg.spikes.clear();
+    cfg.baseRatePerSec = 0.0;
+    EXPECT_FALSE(cfg.validate().empty());
+}
+
+} // namespace

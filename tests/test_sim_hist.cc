@@ -1,0 +1,202 @@
+/**
+ * @file
+ * LatencyHistogram (sim/stats.h) contract tests: the extracted
+ * quantile of a recorded stream is within the documented bucket
+ * resolution of the exact quantile, merged shards answer exactly as
+ * the combined stream, and the edge cases (empty, single sample,
+ * zero/negative, huge) stay inside the array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace {
+
+using ndp::LatencyHistogram;
+using ndp::Rng;
+
+#define EXPECT_BITEQ(a, b)                                               \
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))    \
+        << #a " differs: " << (a) << " vs " << (b)
+
+/** Exact quantile: the ceil(p/100 * n)-th smallest sample — the same
+ *  rank definition percentile() documents. */
+double
+exactQuantile(std::vector<double> sorted, double p)
+{
+    const auto n = sorted.size();
+    auto target = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    target = std::min(std::max<size_t>(target, 1), n);
+    return sorted[target - 1];
+}
+
+TEST(LatencyHistogram, QuantileErrorBoundedByBucketResolution)
+{
+    LatencyHistogram h;
+    Rng rng(7);
+    std::vector<double> samples;
+    // Latencies spanning ~4 decades (0.1 ms .. 2 s), lognormal like a
+    // real tail.
+    for (int i = 0; i < 20000; ++i) {
+        const double v = std::exp(rng.normal(std::log(10e-3), 1.2));
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+        const double exact = exactQuantile(samples, p);
+        const double est = h.percentile(p);
+        // The estimate is the midpoint of the bucket holding the exact
+        // rank sample, so it can differ by at most that bucket's
+        // equivalent range plus one quantization unit.
+        const double bound = h.equivalentRangeS(exact) + 1e-6;
+        EXPECT_NEAR(est, exact, bound) << "p" << p;
+        // Which, for values above the linear region, is the documented
+        // relative resolution (1/64 for the default 7 sub-bucket
+        // bits), plus the 1 us quantization floor.
+        EXPECT_LE(std::abs(est - exact),
+                  exact * h.relativeResolution() + 2e-6)
+            << "p" << p;
+    }
+    EXPECT_EQ(h.count(), samples.size());
+    EXPECT_BITEQ(h.min(), samples.front());
+    EXPECT_BITEQ(h.max(), samples.back());
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedStreamExactly)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram combined;
+    Rng rng(21);
+    for (int i = 0; i < 5000; ++i) {
+        const double va = std::exp(rng.normal(std::log(5e-3), 0.8));
+        const double vb = std::exp(rng.normal(std::log(80e-3), 1.5));
+        a.record(va);
+        combined.record(va);
+        b.record(vb);
+        combined.record(vb);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    // sum() is a float accumulator: shard-then-merge adds in a
+    // different order than the interleaved stream, so only near.
+    EXPECT_NEAR(a.sum(), combined.sum(),
+                1e-12 * combined.sum());
+    EXPECT_BITEQ(a.min(), combined.min());
+    EXPECT_BITEQ(a.max(), combined.max());
+    // Quantiles of the merged shards are bit-identical to a histogram
+    // that saw every sample itself — counters add, nothing re-rounds.
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0})
+        EXPECT_BITEQ(a.percentile(p), combined.percentile(p));
+}
+
+TEST(LatencyHistogram, MergeOrderIrrelevant)
+{
+    LatencyHistogram ab;
+    LatencyHistogram ba;
+    LatencyHistogram a;
+    LatencyHistogram b;
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(1e-4, 2.0);
+        (i % 2 == 0 ? a : b).record(v);
+    }
+    ab.merge(a);
+    ab.merge(b);
+    ba.merge(b);
+    ba.merge(a);
+    for (double p : {50.0, 99.0, 99.9})
+        EXPECT_BITEQ(ab.percentile(p), ba.percentile(p));
+}
+
+TEST(LatencyHistogram, EmptyHistogram)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(100.0), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+
+    // Merging an empty shard changes nothing.
+    LatencyHistogram other;
+    other.record(0.25);
+    const double before = other.percentile(50.0);
+    other.merge(h);
+    EXPECT_BITEQ(other.percentile(50.0), before);
+}
+
+TEST(LatencyHistogram, SingleSample)
+{
+    LatencyHistogram h;
+    h.record(3.2e-3);
+    EXPECT_EQ(h.count(), 1u);
+    // Every percentile answers the one bucket the sample landed in.
+    const double only = h.percentile(50.0);
+    EXPECT_BITEQ(h.percentile(0.0), only);
+    EXPECT_BITEQ(h.percentile(99.9), only);
+    EXPECT_NEAR(only, 3.2e-3, h.equivalentRangeS(3.2e-3) + 1e-6);
+    EXPECT_BITEQ(h.min(), 3.2e-3);
+    EXPECT_BITEQ(h.max(), 3.2e-3);
+}
+
+TEST(LatencyHistogram, ZeroNegativeAndHugeValuesStayInRange)
+{
+    LatencyHistogram h;
+    h.record(0.0);
+    h.record(-1.0);  // clamped to the zero bucket
+    h.record(1e12);  // saturated, not out-of-bounds
+    h.record(1e300); // ditto
+    EXPECT_EQ(h.count(), 4u);
+    // p50 falls in the zero bucket; p100 in the saturated top.
+    EXPECT_LT(h.percentile(50.0), 1e-5);
+    EXPECT_GT(h.percentile(100.0), 1e11);
+    EXPECT_BITEQ(h.max(), 1e300);
+    EXPECT_BITEQ(h.min(), -1.0);
+}
+
+TEST(LatencyHistogram, LinearRegionIsExactToTheUnit)
+{
+    // Values below 2^subBucketBits units sit in singleton buckets:
+    // extraction returns the value to within half a unit.
+    LatencyHistogram h(1e-6, 7);
+    for (int u = 0; u < 128; ++u)
+        h.record(static_cast<double>(u) * 1e-6);
+    for (double p : {10.0, 50.0, 90.0}) {
+        const double est = h.percentile(p);
+        const double exact =
+            std::ceil(p / 100.0 * 128.0 - 1.0) * 1e-6;
+        EXPECT_NEAR(est, exact, 1e-6) << "p" << p;
+    }
+}
+
+TEST(LatencyHistogram, DeterministicAcrossIdenticalStreams)
+{
+    auto run = [] {
+        LatencyHistogram h;
+        Rng rng(99);
+        for (int i = 0; i < 4000; ++i)
+            h.record(std::exp(rng.normal(std::log(2e-2), 1.0)));
+        return h;
+    };
+    LatencyHistogram a = run();
+    LatencyHistogram b = run();
+    for (double p : {50.0, 95.0, 99.0, 99.9}) {
+        EXPECT_BITEQ(a.percentile(p), b.percentile(p));
+    }
+    EXPECT_BITEQ(a.sum(), b.sum());
+}
+
+} // namespace
