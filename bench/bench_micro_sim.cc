@@ -10,6 +10,8 @@
 #include "bench_util.h"
 
 #include "core/serve/admission.h"
+#include "net/fabric.h"
+#include "net/topology.h"
 #include "sim/arrival.h"
 #include "sim/channel.h"
 #include "sim/resource.h"
@@ -196,6 +198,67 @@ BM_OpenLoopDispatch(benchmark::State &state)
 }
 BENCHMARK(BM_OpenLoopDispatch)->Arg(1000)->Arg(100000);
 
+/** Multi-link routing: the progressive-filling allocator's cost when
+ *  every flow crosses a 4-6 link path (rack uplinks, a WAN hop) and
+ *  overlapping waves force repeated re-allocation. Measures the
+ *  topology fabric, not the hub fast case. */
+constexpr int kRouteRacksPerSite = 2;
+constexpr int kRouteNodesPerRack = 4;
+
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
+Task
+routedSender(Simulator &s, ndp::net::NetFabric &fab, int i, int n,
+             ndp::net::NodeId src, ndp::net::NodeId dst)
+{
+    co_await s.delay(static_cast<double>(i) * 1e-4);
+    for (int k = 0; k < n; ++k)
+        co_await fab.transfer(src, dst, 2.0e6,
+                              ndp::net::FlowClass::GeoDelta);
+}
+
+uint64_t
+runMultiLinkRouting(Simulator &s, int rounds)
+{
+    // Two sites joined by one WAN trunk; every sender pushes to the
+    // diagonally opposite node, so each flow crosses 6 links and the
+    // oversubscribed rack uplinks + the WAN trunk all contend.
+    ndp::net::Topology topo;
+    const ndp::net::SiteId home = topo.addSite("home");
+    const ndp::net::SiteId edge = topo.addSite("edge");
+    std::vector<ndp::net::RackId> racks;
+    for (int r = 0; r < kRouteRacksPerSite; ++r)
+        racks.push_back(topo.addRack(home, 20.0, 1e-6));
+    for (int r = 0; r < kRouteRacksPerSite; ++r)
+        racks.push_back(topo.addRack(edge, 20.0, 1e-6));
+    topo.addWanLink(home, edge, 10.0, 1e-3);
+    ndp::net::NetFabric fab(s, topo);
+    std::vector<ndp::net::NodeId> nodes;
+    for (const ndp::net::RackId r : racks)
+        for (int k = 0; k < kRouteNodesPerRack; ++k)
+            nodes.push_back(fab.addNode({10.0, 1e-6}, r));
+    const size_t n = nodes.size();
+    for (size_t i = 0; i < n; ++i)
+        s.spawn(routedSender(s, fab, static_cast<int>(i), rounds,
+                             nodes[i], nodes[(i + n / 2) % n]));
+    s.run();
+    return fab.report().flowsCompleted;
+}
+
+void
+BM_MultiLinkRouting(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator s;
+        uint64_t done =
+            runMultiLinkRouting(s, static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            kRouteRacksPerSite * 2 *
+                            kRouteNodesPerRack);
+}
+BENCHMARK(BM_MultiLinkRouting)->Arg(100)->Arg(1000);
+
 /** --json: one pass per workload, real simulator event counts
  *  (events/s is the engine's headline dispatch rate; the output is
  *  checked in as BENCH_sim.json). */
@@ -253,6 +316,15 @@ runJson()
         benchmark::DoNotOptimize(shed);
         ndp::bench::jsonWorkloadLine(
             "open-loop-dispatch",
+            static_cast<long long>(s.processedEvents()), w.seconds());
+    }
+    {
+        Simulator s;
+        ndp::bench::WallTimer w;
+        uint64_t done = runMultiLinkRouting(s, 2000);
+        benchmark::DoNotOptimize(done);
+        ndp::bench::jsonWorkloadLine(
+            "multi-link-routing",
             static_cast<long long>(s.processedEvents()), w.seconds());
     }
     return 0;

@@ -131,6 +131,20 @@ NpeOptions::withBatch()
     return o;
 }
 
+/**
+ * One remote WAN region serving replicas live in (core/georep). The
+ * home region fine-tunes; each WanSite receives versioned model
+ * deltas across a high-latency, low-bandwidth WAN link.
+ */
+struct WanSite
+{
+    std::string name;
+    /** WAN link capacity to the home region, Gbps each way. */
+    double gbps = 1.0;
+    /** One-way WAN propagation latency, seconds (tens of ms). */
+    double latencyS = 0.05;
+};
+
 /** One experiment's cluster and workload. */
 struct ExperimentConfig
 {
@@ -228,6 +242,14 @@ struct ClusterSpec
     /** Fault schedule; armed only for jobs owning the full fleet. */
     sim::FaultPlan faults;
 
+    /**
+     * Remote WAN regions (empty = single-region fleet on the exact
+     * pre-topology hub fabric). Declaring sites moves the fleet into
+     * rack 0 of a home site and adds one replica node per WanSite
+     * behind its WAN link; GeoReplicate jobs require at least one.
+     */
+    std::vector<WanSite> wanSites;
+
     hw::NicSpec
     nic() const
     {
@@ -246,6 +268,17 @@ struct ClusterSpec
         if (quantumS <= 0.0)
             return ValidationResult(
                 "ClusterSpec: quantumS must be > 0");
+        for (const WanSite &w : wanSites) {
+            if (w.name.empty())
+                return ValidationResult(
+                    "ClusterSpec: WAN site name must be non-empty");
+            if (w.gbps <= 0.0)
+                return ValidationResult(
+                    "ClusterSpec: WAN site gbps must be > 0");
+            if (w.latencyS < 0.0)
+                return ValidationResult(
+                    "ClusterSpec: WAN site latency must be >= 0");
+        }
         if (std::string err = faults.validate(); !err.empty())
             return ValidationResult(std::move(err));
         return {};

@@ -1,0 +1,435 @@
+#include "core/georep/georep.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sched/scheduler.h"
+#include "net/topology.h"
+#include "sim/channel.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+
+namespace ndp::core::georep {
+
+ValidationResult
+GeoRepOptions::validate() const
+{
+    if (nRounds < 1)
+        return ValidationResult("GeoRepOptions: nRounds must be >= 1");
+    if (roundIntervalS < 0.0 || fineTuneS < 0.0)
+        return ValidationResult(
+            "GeoRepOptions: round/fine-tune seconds must be >= 0");
+    if (deltaBytes <= 0.0 || fullBytes <= 0.0)
+        return ValidationResult(
+            "GeoRepOptions: delta/full payload bytes must be > 0");
+    if (deltaBytes > fullBytes)
+        return ValidationResult(
+            "GeoRepOptions: a delta larger than the checkpoint never "
+            "pays for itself");
+    if (stalenessBound < 1)
+        return ValidationResult(
+            "GeoRepOptions: stalenessBound must be >= 1 version");
+    if (maxRetransmits < 0)
+        return ValidationResult(
+            "GeoRepOptions: maxRetransmits must be >= 0");
+    if (retransmitBackoffS < 0.0)
+        return ValidationResult(
+            "GeoRepOptions: retransmitBackoffS must be >= 0");
+    if (lossProbability < 0.0 || lossProbability >= 1.0)
+        return ValidationResult(
+            "GeoRepOptions: lossProbability must be in [0, 1)");
+    return {};
+}
+
+ValidationResult
+GeoRepConfig::validate() const
+{
+    if (auto r = opt.validate(); !r)
+        return r;
+    if (sites.empty())
+        return ValidationResult(
+            "GeoRepConfig: at least one WAN site is required");
+    for (const WanSite &w : sites) {
+        if (w.name.empty())
+            return ValidationResult(
+                "GeoRepConfig: WAN site name must be non-empty");
+        if (w.gbps <= 0.0)
+            return ValidationResult(
+                "GeoRepConfig: WAN site gbps must be > 0");
+        if (w.latencyS < 0.0)
+            return ValidationResult(
+                "GeoRepConfig: WAN site latency must be >= 0");
+    }
+    if (homeUplinkGbps <= 0.0 || siteUplinkGbps <= 0.0)
+        return ValidationResult(
+            "GeoRepConfig: rack uplinks must be > 0 Gbps");
+    if (!tunerSpec.hasGpu())
+        return ValidationResult(
+            "GeoRepConfig: the home Tuner needs a GPU");
+    if (std::string err = faults.validate(); !err.empty())
+        return ValidationResult(std::move(err));
+    return {};
+}
+
+namespace {
+
+/** Update queues never block the publisher (async distribution). */
+constexpr size_t kUnbounded = static_cast<size_t>(1) << 40;
+
+} // namespace
+
+struct GeoRepDataflow::Impl
+{
+    Impl(sim::Simulator &s_, const GeoRepOptions &o,
+         const GeoRepPorts &p)
+        : s(s_), opt(o), ports(p), done(s_)
+    {
+        assert(opt.validate().ok());
+        assert(ports.fabric && ports.gpu &&
+               "georep needs a fabric and the Tuner GPU");
+        assert(ports.homeNode != net::kNoNode);
+        assert(!ports.siteNodes.empty() &&
+               ports.siteNodes.size() == ports.siteNames.size());
+        // Independent per-site loss streams: one site's draw sequence
+        // never depends on how pushes interleave with another's.
+        ndp::Rng master(opt.seed ^ 0x6e0caf3a11d37ull);
+        sites.resize(ports.siteNodes.size());
+        for (size_t i = 0; i < sites.size(); ++i) {
+            sites[i].name = ports.siteNames[i];
+            sites[i].rng = master.split();
+            updates.push_back(std::make_unique<sim::Channel<int>>(
+                s, kUnbounded));
+        }
+        if (ports.trace) {
+            trkAgent = ports.trace->track(
+                obs::scopedNode(ports.scope, "georep"), "agent");
+            for (SiteState &st : sites)
+                st.trk = ports.trace->track(
+                    obs::scopedNode(ports.scope, "georep"), st.name);
+        }
+        publishAtS.reserve(static_cast<size_t>(opt.nRounds));
+    }
+
+    struct SiteState
+    {
+        std::string name;
+        int version = 0;
+        uint64_t deltaPushes = 0;
+        uint64_t checkpointPushes = 0;
+        uint64_t duplicates = 0;
+        uint64_t retransmits = 0;
+        uint64_t fallbacks = 0;
+        double wanBytes = 0.0;
+        ndp::LatencyHistogram staleness;
+        ndp::Rng rng;
+        int trk = 0;
+    };
+
+    static sim::Task agentLoop(Impl &im);
+    static sim::Task siteLoop(Impl &im, size_t i);
+    static sim::Task monitor(Impl &im);
+
+    sim::Simulator &s;
+    GeoRepOptions opt;
+    GeoRepPorts ports;
+    /** Joined by the monitor: agent + one distributor per site. */
+    sim::WaitGroup done;
+    std::vector<std::unique_ptr<sim::Channel<int>>> updates;
+    std::vector<SiteState> sites;
+    /** Publication time of version v at index v-1 (staleness base). */
+    std::vector<double> publishAtS;
+    int published = 0;
+    double deltaWanBytes = 0.0;
+    double checkpointWanBytes = 0.0;
+    int trkAgent = 0;
+};
+
+/** Home agent: observe drift for one interval, fine-tune centrally on
+ * the Tuner GPU, publish the new version to every site's queue without
+ * waiting for any of them.
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: the Impl
+ * outlives s.run(), which joins this task)
+ */
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
+sim::Task
+GeoRepDataflow::Impl::agentLoop(Impl &im)
+{
+    for (int v = 1; v <= im.opt.nRounds; ++v) {
+        // Drift accumulates where uploads land; one observation window
+        // per round before the central fine-tune reacts.
+        co_await im.s.delay(im.opt.roundIntervalS);
+        if (im.ports.sched)
+            co_await im.ports.sched->yield(im.ports.jobId);
+        co_await im.ports.gpu->compute(im.opt.fineTuneS);
+        if (im.ports.sched)
+            im.ports.sched->charge(im.ports.jobId, im.opt.fineTuneS);
+        im.publishAtS.push_back(im.s.now());
+        im.published = v;
+        if (im.ports.trace)
+            im.ports.trace->instant(
+                im.trkAgent, obs::Cat::Service, "publish", im.s.now(),
+                {{"version", static_cast<double>(v)}});
+        for (auto &ch : im.updates)
+            co_await ch->put(v); // unbounded: never parks the agent
+    }
+    for (auto &ch : im.updates)
+        ch->close();
+    im.done.done();
+}
+
+/** Per-site distributor: drain the site's update queue in order,
+ * ship the missing delta chain (or a full checkpoint past the
+ * staleness bound / retransmit budget), ack, record staleness.
+ * ndplint: allow(coroutine-ref-param, coroutine-escape: the Impl
+ * outlives s.run(), which joins this task)
+ */
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
+sim::Task
+GeoRepDataflow::Impl::siteLoop(Impl &im, size_t i)
+{
+    SiteState &st = im.sites[i];
+    sim::Channel<int> &ch = *im.updates[i];
+    net::NetFabric &fab = *im.ports.fabric;
+    const net::NodeId home = im.ports.homeNode;
+    const net::NodeId node = im.ports.siteNodes[i];
+    while (auto v = co_await ch.get()) {
+        // Coalesce: ship the newest *published* version, not each
+        // queued notification — a distributor that fell behind jumps
+        // straight to the head, and the stale queue entries drain as
+        // duplicates (the AlreadyCurrent disposition of
+        // core/checkpoint.h's version reconciliation).
+        const int target = im.published;
+        if (target <= st.version) {
+            ++st.duplicates;
+            continue;
+        }
+        const int lag = target - st.version;
+        uint64_t span = 0;
+        if (im.ports.trace)
+            span = im.ports.trace->asyncBegin(
+                st.trk, obs::Cat::Service, "push", im.s.now(),
+                {{"version", static_cast<double>(target)},
+                 {"lag", static_cast<double>(lag)}});
+        // Bounded staleness: past the bound, one checkpoint is both
+        // cheaper than the delta chain and safer to apply.
+        bool ship_full =
+            im.opt.fullCheckpoints || lag > im.opt.stalenessBound;
+        if (!ship_full) {
+            // The missing chain st.version -> target, concatenated
+            // into one push; a lost copy retransmits the whole chain.
+            const double bytes =
+                static_cast<double>(lag) * im.opt.deltaBytes;
+            bool delivered = false;
+            double backoff = im.opt.retransmitBackoffS;
+            for (int a = 0; a <= im.opt.maxRetransmits; ++a) {
+                co_await fab.transfer(home, node, bytes,
+                                      net::FlowClass::GeoDelta);
+                st.wanBytes += bytes;
+                im.deltaWanBytes += bytes;
+                if (im.opt.lossProbability > 0.0 &&
+                    st.rng.chance(im.opt.lossProbability)) {
+                    ++st.retransmits;
+                    co_await im.s.delay(backoff);
+                    backoff *= 2.0;
+                    continue;
+                }
+                delivered = true;
+                break;
+            }
+            if (delivered)
+                ++st.deltaPushes;
+            else {
+                // Budget exhausted: never hang, never leave the site
+                // stale — fall back to the reliable checkpoint.
+                ++st.fallbacks;
+                ship_full = true;
+            }
+        }
+        if (ship_full) {
+            // Checkpoints ride a reliable stream: retransmissions are
+            // implicit in the fluid flow (the LinkDown conservation
+            // argument), so a checkpoint always converges.
+            co_await fab.transfer(home, node, im.opt.fullBytes,
+                                  net::FlowClass::GeoDelta);
+            st.wanBytes += im.opt.fullBytes;
+            im.checkpointWanBytes += im.opt.fullBytes;
+            ++st.checkpointPushes;
+        }
+        st.version = target;
+        const double stale =
+            im.s.now() -
+            im.publishAtS[static_cast<size_t>(target - 1)];
+        st.staleness.record(stale);
+        if (im.ports.trace)
+            im.ports.trace->asyncEnd(
+                span, st.trk, obs::Cat::Service, "push", im.s.now(),
+                {{"stalenessS", stale},
+                 {"checkpoint", ship_full ? 1.0 : 0.0}});
+    }
+    im.done.done();
+}
+
+/** ndplint: allow(coroutine-ref-param, coroutine-escape: the Impl
+ * outlives s.run(), which joins this task)
+ */
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
+sim::Task
+GeoRepDataflow::Impl::monitor(Impl &im)
+{
+    co_await im.done.wait();
+    im.ports.jobDone->done();
+}
+
+GeoRepDataflow::GeoRepDataflow(sim::Simulator &s,
+                               const GeoRepOptions &opt,
+                               const GeoRepPorts &ports)
+    : impl_(std::make_unique<Impl>(s, opt, ports))
+{}
+
+GeoRepDataflow::~GeoRepDataflow() = default;
+
+void
+GeoRepDataflow::spawn()
+{
+    Impl &im = *impl_;
+    im.done.add(1 + static_cast<int>(im.sites.size()));
+    im.s.spawn(Impl::agentLoop(im));
+    for (size_t i = 0; i < im.sites.size(); ++i)
+        im.s.spawn(Impl::siteLoop(im, i));
+    if (im.ports.jobDone)
+        im.s.spawn(Impl::monitor(im));
+}
+
+int
+GeoRepDataflow::siteVersion(size_t site) const
+{
+    return impl_->sites[site].version;
+}
+
+void
+GeoRepDataflow::finalize(GeoRepReport &rep)
+{
+    Impl &im = *impl_;
+    rep.publishedVersions = im.published;
+    rep.deltaWanBytes = im.deltaWanBytes;
+    rep.checkpointWanBytes = im.checkpointWanBytes;
+    rep.wanBytes = im.deltaWanBytes + im.checkpointWanBytes;
+    rep.minSiteVersion = im.published;
+    ndp::LatencyHistogram merged;
+    for (Impl::SiteState &st : im.sites) {
+        SiteProgress p;
+        p.name = st.name;
+        p.version = st.version;
+        p.deltaPushes = st.deltaPushes;
+        p.checkpointPushes = st.checkpointPushes;
+        p.duplicates = st.duplicates;
+        p.retransmits = st.retransmits;
+        p.fallbacks = st.fallbacks;
+        p.wanBytes = st.wanBytes;
+        p.stalenessP50S = st.staleness.percentile(50.0);
+        p.stalenessP95S = st.staleness.percentile(95.0);
+        p.stalenessMaxS = st.staleness.max();
+        rep.sites.push_back(std::move(p));
+        rep.minSiteVersion = std::min(rep.minSiteVersion, st.version);
+        rep.retransmits += st.retransmits;
+        rep.checkpointFallbacks += st.fallbacks;
+        rep.duplicates += st.duplicates;
+        merged.merge(st.staleness);
+    }
+    rep.converged = im.published == im.opt.nRounds &&
+                    rep.minSiteVersion == im.published;
+    rep.stalenessP50S = merged.percentile(50.0);
+    rep.stalenessP95S = merged.percentile(95.0);
+    rep.stalenessP99S = merged.percentile(99.0);
+    rep.stalenessMaxS = merged.max();
+}
+
+GeoRepReport
+runGeoReplication(const GeoRepConfig &cfg)
+{
+    cfg.validate().orThrow();
+    sim::Simulator s;
+    obs::Tracer *trace = obs::Tracer::current();
+
+    // WAN topology: the home region's rack plus one rack per remote
+    // site, each site joined to home by its duplex WAN trunk.
+    net::Topology topo;
+    const net::SiteId home_site = topo.addSite("home");
+    const net::RackId home_rack =
+        topo.addRack(home_site, cfg.homeUplinkGbps);
+    std::vector<net::RackId> site_racks;
+    for (const WanSite &w : cfg.sites) {
+        const net::SiteId sid = topo.addSite(w.name);
+        site_racks.push_back(topo.addRack(sid, cfg.siteUplinkGbps));
+        topo.addWanLink(home_site, sid, w.gbps, w.latencyS);
+    }
+
+    net::NetFabric fabric(s, topo);
+    const net::NodeId home_node =
+        fabric.addNode(cfg.tunerSpec.nic, home_rack);
+    fabric.setIngress(home_node);
+    std::vector<net::NodeId> site_nodes;
+    std::vector<std::string> site_names;
+    for (size_t i = 0; i < cfg.sites.size(); ++i) {
+        site_nodes.push_back(fabric.addNode(
+            cfg.siteSpec.nic, site_racks[i]));
+        site_names.push_back(cfg.sites[i].name);
+    }
+    fabric.setTracer(trace);
+
+    sim::FaultInjector injector(
+        s, cfg.faults, static_cast<int>(cfg.sites.size()));
+    sim::FaultInjector *faults =
+        injector.armed() ? &injector : nullptr;
+    fabric.attachFaults(faults);
+
+    hw::GpuExec gpu(s, *cfg.tunerSpec.gpu, cfg.tunerSpec.nGpus);
+
+    GeoRepPorts ports;
+    ports.fabric = &fabric;
+    ports.homeNode = home_node;
+    ports.siteNodes = site_nodes;
+    ports.siteNames = site_names;
+    ports.gpu = &gpu;
+    ports.trace = trace;
+    GeoRepDataflow flow(s, cfg.opt, ports);
+
+    obs::GaugeSet gauges(trace);
+    if (trace) {
+        for (size_t i = 0; i < cfg.sites.size(); ++i)
+            gauges.add(obs::scopedNode("georep", site_names[i]),
+                       "version", [&flow, i] {
+                           return static_cast<double>(
+                               flow.siteVersion(i));
+                       });
+        for (size_t t = 0; t < topo.nTrunks(); ++t) {
+            const net::Trunk &tr = topo.trunk(t);
+            if (!tr.wan || tr.siteA != home_site)
+                continue; // one gauge per site pair (home -> site)
+            gauges.add("net",
+                       "wan." + topo.siteName(tr.siteB) + ".util",
+                       [&fabric, t] {
+                           return fabric.trunkUtilization(t);
+                       });
+        }
+    }
+
+    flow.spawn();
+    s.run();
+    s.reapFinished();
+
+    GeoRepReport rep;
+    flow.finalize(rep);
+    rep.seconds = s.now();
+    rep.events = s.processedEvents();
+    rep.net = fabric.report();
+    rep.faults = injector.report();
+    return rep;
+}
+
+} // namespace ndp::core::georep

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * WAN geo-replication of model deltas (ROADMAP item 4; §5 + the
+ * Check-N-Run distribution model of core/delta.h stretched across
+ * regions).
+ *
+ * A photo fleet serving several regions cannot fine-tune everywhere:
+ * drift is observed where uploads land, but training happens once, in
+ * the home region, and the resulting model *versions* must reach every
+ * remote serving site over WAN links that are orders of magnitude
+ * slower (and ~1000x higher latency) than the datacenter fabric. This
+ * module is that distribution agent:
+ *
+ *  - The home agent runs a drift-observe -> central-fine-tune ->
+ *    publish loop: every round it waits one observation interval,
+ *    occupies the Tuner GPU for the fine-tune, and publishes version
+ *    v+1. Publication is *asynchronous*: the agent never waits for any
+ *    site (a slow WAN must not stall training cadence).
+ *  - One distributor coroutine per site drains that site's update
+ *    queue in order. A site at version s receiving version v > s gets
+ *    the missing delta chain (s -> v, one push of (v - s) deltas)
+ *    UNLESS the lag exceeds the staleness bound, in which case the
+ *    agent ships one full checkpoint instead — chaining B+ deltas
+ *    costs more WAN bytes than the snapshot and widens the corruption
+ *    window (bounded staleness, the Check-N-Run catch-up rule).
+ *  - Delta pushes are unreliable: each copy may be lost (seeded
+ *    per-site draw) and is retransmitted with bounded exponential
+ *    backoff; a push that exhausts the retransmit budget falls back to
+ *    a full checkpoint, which is modeled as a reliable stream (its
+ *    retransmissions are implicit in the fluid flow, the same
+ *    conservation argument as LinkDown stall semantics). A site
+ *    therefore always converges to the newest published version —
+ *    never-hang, never-serve-stale-forever.
+ *  - Staleness is measured per ack: sim seconds between a version's
+ *    publication and the site acknowledging it, recorded in an HDR
+ *    histogram per site (percentiles, not just the mean).
+ *
+ * WAN link faults (FaultPlan::degradeWanLink / downWanLink) act on the
+ * fabric's WAN trunks: a degrade slows pushes (retransmit timers keep
+ * running), a down window freezes them in place until it closes.
+ * tests/test_georep.cc pins the fault matrix: retransmit, fallback to
+ * checkpoint, never-hang, and byte conservation.
+ *
+ * Determinism rule: one Rng stream per site (split from the options
+ * seed), flows in arrival order, no wall clock. Same options + same
+ * FaultPlan => bit-identical GeoRepReport.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "hw/devices.h"
+#include "net/fabric.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+#include "sim/wait_group.h"
+
+namespace ndp::core::sched {
+class Scheduler;
+} // namespace ndp::core::sched
+
+namespace ndp::core::georep {
+
+/** Policy knobs of one geo-replication job (fleet-independent). */
+struct GeoRepOptions
+{
+    /** Model versions published (one fine-tune round each). */
+    int nRounds = 8;
+    /** Drift-observation window before each fine-tune, seconds. */
+    double roundIntervalS = 30.0;
+    /** Tuner GPU seconds per central fine-tune. */
+    double fineTuneS = 2.0;
+    /** Encoded delta payload per version (bench_ext_georep measures
+     *  this with the real core/delta.h encoder). */
+    double deltaBytes = 250.0e3;
+    /** Full checkpoint payload (the fallback / baseline unit). */
+    double fullBytes = 98.0e6;
+    /** Version lag beyond which a site catches up via one full
+     *  checkpoint instead of a delta chain (bounded staleness). */
+    int stalenessBound = 3;
+    /** Lost-push retransmissions before checkpoint fallback. */
+    int maxRetransmits = 5;
+    /** First retransmit backoff, seconds; doubles per attempt. */
+    double retransmitBackoffS = 0.1;
+    /** Per-copy WAN loss probability (seeded per-site draws). */
+    double lossProbability = 0.0;
+    /** Baseline mode: ship a full checkpoint every round (what the
+     *  delta traffic reduction is measured against). */
+    bool fullCheckpoints = false;
+    uint64_t seed = 0x9e0c3b5ull;
+
+    ValidationResult validate() const;
+};
+
+/** Standalone single-job run: the fleet the agent replicates over. */
+struct GeoRepConfig
+{
+    GeoRepOptions opt;
+    /** Remote regions (>= 1). */
+    std::vector<WanSite> sites = {{"eu", 1.0, 0.05},
+                                  {"ap", 0.6, 0.11}};
+    /** Home-rack uplink; generous so only the WAN constrains. */
+    double homeUplinkGbps = 100.0;
+    /** Remote-rack uplink (site core -> replica rack). */
+    double siteUplinkGbps = 25.0;
+    /** Home Tuner host (GPU + NIC). */
+    hw::ServerSpec tunerSpec = hw::p32xlarge();
+    /** Remote replica node. */
+    hw::ServerSpec siteSpec = hw::g4dn4xlarge(true);
+    sim::FaultPlan faults;
+
+    ValidationResult validate() const;
+};
+
+/** One site's replication progress (per-site tracking of the agent). */
+struct SiteProgress
+{
+    std::string name;
+    /** Newest version the site acknowledged. */
+    int version = 0;
+    /** Delta-chain pushes applied. */
+    uint64_t deltaPushes = 0;
+    /** Full checkpoints applied (staleness catch-up + fallback). */
+    uint64_t checkpointPushes = 0;
+    /** Pushes skipped because the site was already current. */
+    uint64_t duplicates = 0;
+    /** Lost copies retransmitted. */
+    uint64_t retransmits = 0;
+    /** Retransmit budgets exhausted -> checkpoint fallback. */
+    uint64_t fallbacks = 0;
+    /** Payload bytes shipped to this site (delta + checkpoint). */
+    double wanBytes = 0.0;
+    /** @name Publication-to-ack staleness, seconds
+     * @{ */
+    double stalenessP50S = 0.0;
+    double stalenessP95S = 0.0;
+    double stalenessMaxS = 0.0;
+    /** @} */
+};
+
+/** What one geo-replication run did. */
+struct GeoRepReport
+{
+    /** @name Standalone-run envelope (zero inside a Cluster)
+     * @{ */
+    double seconds = 0.0;
+    uint64_t events = 0;
+    net::NetReport net;
+    sim::FaultReport faults;
+    /** @} */
+
+    int publishedVersions = 0;
+    /** Minimum acked version across sites; == publishedVersions when
+     *  every site converged (the conservation assert). */
+    int minSiteVersion = 0;
+    bool converged = false;
+
+    /** @name WAN traffic split (payload bytes)
+     * @{ */
+    double wanBytes = 0.0;
+    double deltaWanBytes = 0.0;
+    double checkpointWanBytes = 0.0;
+    /** @} */
+
+    uint64_t retransmits = 0;
+    uint64_t checkpointFallbacks = 0;
+    uint64_t duplicates = 0;
+
+    /** @name Fleet-wide staleness percentiles, seconds
+     * @{ */
+    double stalenessP50S = 0.0;
+    double stalenessP95S = 0.0;
+    double stalenessP99S = 0.0;
+    double stalenessMaxS = 0.0;
+    /** @} */
+
+    std::vector<SiteProgress> sites;
+};
+
+/**
+ * Borrowed resources one geo-replication job runs against (the
+ * GeoRepDataflow analogue of FtDmpPorts). The sched / jobId / jobDone
+ * trio follows the zero-cost rule: all null/-1 standalone.
+ */
+struct GeoRepPorts
+{
+    net::NetFabric *fabric = nullptr;
+    /** Home node pushes originate from (the Tuner host). */
+    net::NodeId homeNode = net::kNoNode;
+    /** One replica node per site, site order. */
+    std::vector<net::NodeId> siteNodes;
+    /** Site display names, same order as siteNodes. */
+    std::vector<std::string> siteNames;
+    /** Tuner GPU the central fine-tune occupies. */
+    hw::GpuExec *gpu = nullptr;
+    obs::Tracer *trace = nullptr;
+    /** Per-job trace prefix (obs::scopedNode); empty = untouched. */
+    std::string scope;
+    sched::Scheduler *sched = nullptr;
+    int jobId = -1;
+    /** done() once when the agent and every site drain. */
+    sim::WaitGroup *jobDone = nullptr;
+};
+
+/**
+ * One geo-replication dataflow against borrowed devices: owns its
+ * update queues, per-site progress, and staleness histograms; borrows
+ * the fabric, nodes, and GPU from the ports.
+ */
+class GeoRepDataflow
+{
+  public:
+    GeoRepDataflow(sim::Simulator &s, const GeoRepOptions &opt,
+                   const GeoRepPorts &ports);
+    ~GeoRepDataflow();
+
+    GeoRepDataflow(const GeoRepDataflow &) = delete;
+    GeoRepDataflow &operator=(const GeoRepDataflow &) = delete;
+
+    /** Spawn the home agent and one distributor per site. */
+    void spawn();
+
+    /** Fill the replication fields of @p rep after the run (the
+     *  standalone envelope — seconds/net/faults — is the caller's). */
+    void finalize(GeoRepReport &rep);
+
+    /** Newest version @p site acked so far (gauges sample this). */
+    int siteVersion(size_t site) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Standalone entry point: build the WAN topology + fleet described
+ *  by @p cfg, run one geo-replication job, return the full report. */
+GeoRepReport runGeoReplication(const GeoRepConfig &cfg);
+
+} // namespace ndp::core::georep

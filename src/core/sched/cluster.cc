@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/georep/georep.h"
 #include "core/inference.h"
 #include "core/media.h"
 #include "core/npe_common.h"
@@ -41,6 +42,8 @@ jobKindName(JobKind k)
         return "srv-ft";
       case JobKind::Media:
         return "media";
+      case JobKind::GeoReplicate:
+        return "georep";
     }
     return "?";
 }
@@ -64,6 +67,13 @@ JobDesc::validate(int fleet_stores) const
                 "JobDesc: arrivalsPerSec must be > 0");
         if (nUploads == 0)
             return ValidationResult("JobDesc: nUploads must be >= 1");
+    } else if (kind == JobKind::GeoReplicate) {
+        if (!stores.empty())
+            return ValidationResult(
+                "JobDesc: GeoReplicate runs on the Tuner host and "
+                "the WAN sites; it must not own stores");
+        if (auto r = georep.validate(); !r)
+            return r;
     } else {
         if (stores.empty())
             return ValidationResult(
@@ -98,7 +108,8 @@ JobDesc::validate(int fleet_stores) const
             return r;
     }
     if (kind != JobKind::OnlineServe &&
-        kind != JobKind::OpenLoopServe && nImages == 0)
+        kind != JobKind::OpenLoopServe &&
+        kind != JobKind::GeoReplicate && nImages == 0)
         return ValidationResult("JobDesc: nImages must be >= 1");
     return {};
 }
@@ -125,6 +136,7 @@ struct JobRun
     std::unique_ptr<serve::ServeDataflow> serveFlow;
     std::unique_ptr<SrvFineTuneDataflow> srv;
     std::unique_ptr<MediaDataflow> media;
+    std::unique_ptr<georep::GeoRepDataflow> georep;
     /** OnlineServe: per-job preprocessing pool on the Tuner host. */
     std::unique_ptr<hw::CpuPool> onlineCpu;
     /** Per-job lifecycle track ("<job>/job"). */
@@ -135,9 +147,37 @@ struct JobRun
 
 struct Cluster::Impl
 {
+    /**
+     * A single-region fleet (no wanSites) is the exact pre-topology
+     * hub: no trunks, bit-identical link layout and float sequence.
+     * Declaring WAN sites puts the whole fleet in rack 0 of a home
+     * site (intra-rack flows keep their {uplink, downlink} paths) and
+     * adds one rack per remote region behind its WAN trunk.
+     */
+    static net::Topology
+    makeTopology(const ClusterSpec &spec)
+    {
+        if (spec.wanSites.empty())
+            return net::Topology::hub();
+        net::Topology topo;
+        const net::SiteId home = topo.addSite("home");
+        double wan_sum = 0.0;
+        for (const WanSite &w : spec.wanSites)
+            wan_sum += w.gbps;
+        // The home uplink only carries WAN-bound traffic; keep it
+        // generous so the WAN trunks stay the bottleneck.
+        topo.addRack(home, std::max(100.0, 2.0 * wan_sum));
+        for (const WanSite &w : spec.wanSites) {
+            const net::SiteId sid = topo.addSite(w.name);
+            topo.addRack(sid, std::max(25.0, 2.0 * w.gbps));
+            topo.addWanLink(home, sid, w.gbps, w.latencyS);
+        }
+        return topo;
+    }
+
     explicit Impl(const ClusterSpec &cluster_spec)
         : spec(cluster_spec), trace(obs::Tracer::current()),
-          gauges(trace), fabric(s),
+          gauges(trace), fabric(s, makeTopology(cluster_spec)),
           tunerGpu(s, *spec.tunerSpec.gpu, spec.tunerSpec.nGpus),
           tunerCpu(s, spec.tunerSpec.cpu.vcpus),
           injector(s, spec.faults, spec.nStores)
@@ -146,13 +186,19 @@ struct Cluster::Impl
         // Topology: the fleet's stores, then the Tuner host (the
         // shared ingress funnel), a front-end node labels and media
         // results return to, and an aggregate client node uploads
-        // arrive from.
+        // arrive from. With WAN sites declared, one replica node per
+        // remote region follows (in its own rack), keeping every
+        // pre-existing node id unchanged.
         for (int i = 0; i < spec.nStores; ++i)
             storeNodes.push_back(fabric.addNode(spec.storeSpec.nic));
         tunerNode = fabric.addNode(spec.nic());
         fabric.setIngress(tunerNode);
         frontNode = fabric.addNode(spec.nic());
         clientNode = fabric.addNode(spec.tunerSpec.nic);
+        for (size_t w = 0; w < spec.wanSites.size(); ++w)
+            siteNodes.push_back(fabric.addNode(
+                spec.storeSpec.nic,
+                static_cast<net::RackId>(1 + w)));
         fabric.setTracer(trace);
         faults = injector.armed() ? &injector : nullptr;
         fabric.attachFaults(faults);
@@ -197,6 +243,8 @@ struct Cluster::Impl
     net::NodeId tunerNode = net::kNoNode;
     net::NodeId frontNode = net::kNoNode;
     net::NodeId clientNode = net::kNoNode;
+    /** One replica node per ClusterSpec::wanSites entry. */
+    std::vector<net::NodeId> siteNodes;
     hw::GpuExec tunerGpu;
     hw::CpuPool tunerCpu;
     sim::FaultInjector injector;
@@ -373,6 +421,24 @@ Cluster::Impl::buildDataflow(Impl &im, JobRun &jr)
         jr.media->spawn();
         break;
       }
+      case JobKind::GeoReplicate: {
+        georep::GeoRepPorts p;
+        p.fabric = &im.fabric;
+        p.homeNode = im.tunerNode;
+        p.siteNodes = im.siteNodes;
+        for (const WanSite &w : im.spec.wanSites)
+            p.siteNames.push_back(w.name);
+        p.gpu = &im.tunerGpu;
+        p.trace = im.trace;
+        p.scope = d.name;
+        p.sched = im.sched.get();
+        p.jobId = jr.schedId;
+        p.jobDone = jr.done.get();
+        jr.georep = std::make_unique<georep::GeoRepDataflow>(
+            im.s, d.georep, p);
+        jr.georep->spawn();
+        break;
+      }
     }
 }
 
@@ -432,6 +498,10 @@ Cluster::submit(const JobDesc &job)
                 "not fit");
         }
     }
+    if (job.kind == JobKind::GeoReplicate && im.spec.wanSites.empty())
+        throw std::invalid_argument(
+            "Cluster: job '" + job.name +
+            "' needs WAN sites; declare ClusterSpec::wanSites");
     auto jr = std::make_unique<JobRun>();
     jr->desc = job;
     jr->done = std::make_unique<sim::WaitGroup>(im.s);
@@ -441,6 +511,9 @@ Cluster::submit(const JobDesc &job)
         jr->ocfg.server = im.spec.tunerSpec;
         jr->ocfg.model = job.model;
         jr->ocfg.seed = job.seed;
+    } else if (job.kind == JobKind::GeoReplicate) {
+        // Runs against the shared Tuner GPU and the WAN topology; no
+        // job-scoped store view to derive.
     } else if (job.kind == JobKind::OpenLoopServe) {
         // The cluster owns the fleet: override the ServeConfig's
         // standalone fleet fields with the shared one so service-time
@@ -548,6 +621,16 @@ Cluster::run()
             MediaReport t;
             jr->media->finalize(t);
             j.stages = jr->media->stages();
+        } else if (jr->georep) {
+            georep::GeoRepReport t;
+            jr->georep->finalize(t);
+            j.publishedVersions = t.publishedVersions;
+            j.minSiteVersion = t.minSiteVersion;
+            j.geoWanBytes = t.wanBytes;
+            j.geoRetransmits = t.retransmits;
+            j.geoCheckpointFallbacks = t.checkpointFallbacks;
+            j.stalenessP95S = t.stalenessP95S;
+            j.stalenessMaxS = t.stalenessMaxS;
         }
         rep.jobs.push_back(std::move(j));
     }

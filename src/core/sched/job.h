@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/georep/georep.h"
 #include "core/media.h"
 #include "core/report.h"
 #include "core/serve/serve.h"
@@ -52,6 +53,10 @@ enum class JobKind
     SrvFineTune,
     /** §7.1 media analysis across the job's stores. */
     Media,
+    /** WAN geo-replication of model deltas: central fine-tuning on
+     *  the Tuner, versioned pushes to the cluster's WAN sites
+     *  (core/georep; requires ClusterSpec::wanSites). */
+    GeoReplicate,
 };
 
 const char *jobKindName(JobKind k);
@@ -95,6 +100,9 @@ struct JobDesc
 
     /** Media jobs only. */
     MediaProfile media = photoMedia();
+
+    /** GeoReplicate jobs only (the cluster supplies the WAN fleet). */
+    georep::GeoRepOptions georep;
 
     /**
      * Reject descriptions the cluster cannot place: out-of-range or
@@ -155,6 +163,17 @@ struct JobReport
     uint64_t redispatched = 0;
     uint64_t abandoned = 0;
     int peakQueueDepth = 0;
+    /** @} */
+
+    /** @name GeoReplicate only (see georep::GeoRepReport)
+     * @{ */
+    int publishedVersions = 0;
+    int minSiteVersion = 0;
+    double geoWanBytes = 0.0;
+    uint64_t geoRetransmits = 0;
+    uint64_t geoCheckpointFallbacks = 0;
+    double stalenessP95S = 0.0;
+    double stalenessMaxS = 0.0;
     /** @} */
 };
 

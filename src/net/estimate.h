@@ -24,10 +24,16 @@ wireSeconds(double bytes, double gbps)
  * Aggregate drain time of @p total_bytes offered by any number of
  * senders to one shared @p gbps ingress link.
  *
- * Work conservation makes this exact under max-min fairness: while
- * any flow is active the shared link runs at full rate, so the time
- * to drain the batch is total work over capacity regardless of how
- * the instantaneous shares split between senders. This is the
+ * Work conservation makes this exact under max-min fairness *when the
+ * shared ingress is the path bottleneck* — the hub topology's only
+ * possible shape, and the one every APO fleet uses: while any flow is
+ * active the shared link runs at full rate, so the time to drain the
+ * batch is total work over capacity regardless of how the
+ * instantaneous shares split between senders. On a multi-link
+ * Topology (net/topology.h) an oversubscribed trunk or WAN hop can
+ * bottleneck upstream of the ingress and this closed form becomes a
+ * lower bound — planners over such fabrics must simulate (or bound
+ * with the path minimum via NetFabric::serviceTime). This is the
  * "N stores share the Tuner's ingress" term APO charges per run —
  * cross-validated against fabric simulation in test_net.cc.
  */

@@ -34,21 +34,50 @@ flowClassName(FlowClass c)
         return "result-ship";
       case FlowClass::Sync:
         return "sync";
+      case FlowClass::GeoDelta:
+        return "geo-delta";
     }
     return "?";
+}
+
+NetFabric::NetFabric(sim::Simulator &s, const Topology &topo)
+    : sim_(s), topo_(topo), routes_(topo_),
+      nTrunks_(static_cast<int>(topo_.nTrunks()))
+{
+    assert(topo_.validate().empty() && "invalid topology");
+    links_.reserve(topo_.nTrunks());
+    for (const Trunk &t : topo_.trunks())
+        links_.push_back({t.gbps * 1e9, t.latencyS, 0.0, 0.0, t.wan});
 }
 
 NodeId
 NetFabric::addNode(const hw::NicSpec &nic)
 {
+    // Hub fabrics have no racks; topology fabrics default to rack 0.
+    return addNode(nic, topo_.isHub() ? kNoRack : 0);
+}
+
+NodeId
+NetFabric::addNode(const hw::NicSpec &nic, RackId rack)
+{
     assert(nic.gbps > 0.0 && "node NIC needs positive bandwidth");
-    const NodeId id = static_cast<NodeId>(links_.size() / 2);
+    assert((topo_.isHub() ? rack == kNoRack
+                          : rack >= 0 && rack < topo_.nRacks()) &&
+           "node rack must exist in the fabric's topology");
+    const NodeId id = nodeCount();
     // Duplex: the uplink and downlink are independent directed links,
     // so (e.g.) delta pushes out of the Tuner never steal capacity
     // from feature shipping into it.
-    links_.push_back({nic.gbps * 1e9, nic.latencyS, 0.0, 0.0});
-    links_.push_back({nic.gbps * 1e9, nic.latencyS, 0.0, 0.0});
+    links_.push_back({nic.gbps * 1e9, nic.latencyS, 0.0, 0.0, false});
+    links_.push_back({nic.gbps * 1e9, nic.latencyS, 0.0, 0.0, false});
+    nodeRacks_.push_back(rack);
     return id;
+}
+
+RackId
+NetFabric::rackOf(NodeId n) const
+{
+    return nodeRacks_[static_cast<size_t>(n)];
 }
 
 void
@@ -57,7 +86,7 @@ NetFabric::setTracer(obs::Tracer *t)
     trace_ = t;
     if (!t)
         return;
-    for (int c = 0; c < 6; ++c)
+    for (int c = 0; c < kFlowClasses; ++c)
         trkFlow_[c] =
             t->track("net", flowClassName(static_cast<FlowClass>(c)));
 }
@@ -69,8 +98,30 @@ NetFabric::attachFaults(sim::FaultInjector *inj)
     windows_.clear();
     if (!inj)
         return;
-    const int n_nodes = static_cast<int>(links_.size() / 2);
+    const int n_nodes = nodeCount();
     for (const sim::FaultInjector::LinkFault &lf : inj->linkFaults()) {
+        const bool down = lf.kind == sim::FaultKind::LinkDown;
+        if (lf.wan) {
+            // WAN fault: every WAN trunk touching the named site (or
+            // all of them for kAnySite). Both directions of a site
+            // pair go dark/slow together — a severed or congested
+            // long-haul path, not one fiber of it. The first matching
+            // trunk is the report's designated copy.
+            bool first = true;
+            for (int t = 0; t < nTrunks_; ++t) {
+                const Trunk &tr =
+                    topo_.trunk(static_cast<size_t>(t));
+                if (!tr.wan)
+                    continue;
+                if (lf.node >= 0 && tr.siteA != lf.node &&
+                    tr.siteB != lf.node)
+                    continue;
+                windows_.push_back({t, lf.fromS, lf.untilS, lf.factor,
+                                    down, first, false});
+                first = false;
+            }
+            continue;
+        }
         std::vector<NodeId> targets;
         if (lf.node == sim::FaultSpec::kIngressLink) {
             if (ingress_ != kNoNode)
@@ -82,13 +133,13 @@ NetFabric::attachFaults(sim::FaultInjector *inj)
         } else if (lf.node >= 0 && lf.node < n_nodes) {
             targets.push_back(lf.node);
         }
-        const bool down = lf.kind == sim::FaultKind::LinkDown;
         for (NodeId n : targets) {
-            // A node-level fault hits both directions of its NIC.
+            // A node-level fault hits both directions of its NIC; the
+            // uplink copy is the report's designated one.
             windows_.push_back({upOf(n), lf.fromS, lf.untilS,
-                                lf.factor, down, false});
+                                lf.factor, down, true, false});
             windows_.push_back({downOf(n), lf.fromS, lf.untilS,
-                                lf.factor, down, false});
+                                lf.factor, down, false, false});
         }
     }
 }
@@ -132,9 +183,9 @@ NetFabric::countWindows()
         if (w.counted || now < w.fromS)
             continue;
         w.counted = true;
-        // Both directions of a NIC share one FaultSpec; count the
-        // uplink copy only so the report matches the plan.
-        if (w.link % 2 != 0)
+        // One declared fault may expand to many directed windows;
+        // only the designated primary copy reaches the report.
+        if (!w.primary)
             continue;
         if (w.down)
             ++inj_->report().linkDowns;
@@ -143,23 +194,52 @@ NetFabric::countWindows()
     }
 }
 
+int
+NetFabric::pathOf(NodeId src, NodeId dst, int *path) const
+{
+    int n = 0;
+    path[n++] = upOf(src);
+    if (!topo_.isHub()) {
+        const RackId rs = nodeRacks_[static_cast<size_t>(src)];
+        const RackId rd = nodeRacks_[static_cast<size_t>(dst)];
+        if (rs != rd) {
+            assert(routes_.reachable(rs, rd) &&
+                   "no trunk route between the endpoint racks");
+            const std::vector<int> &trunks =
+                routes_.trunkPath(rs, rd);
+            assert(n + static_cast<int>(trunks.size()) + 1 <=
+                   kMaxPathLinks);
+            for (int t : trunks)
+                path[n++] = t;
+        }
+    }
+    path[n++] = downOf(dst);
+    return n;
+}
+
 double
 NetFabric::serviceTime(NodeId src, NodeId dst, double bytes) const
 {
-    assert(src >= 0 && dst >= 0 &&
-           static_cast<size_t>(2 * src + 1) < links_.size() &&
-           static_cast<size_t>(2 * dst + 1) < links_.size());
-    const double cap =
-        std::min(links_[static_cast<size_t>(upOf(src))].capBps,
-                 links_[static_cast<size_t>(downOf(dst))].capBps);
+    assert(src >= 0 && dst >= 0 && src < nodeCount() &&
+           dst < nodeCount());
+    int path[kMaxPathLinks];
+    const int n = pathOf(src, dst, path);
+    double cap = kInf;
+    for (int i = 0; i < n; ++i)
+        cap = std::min(cap,
+                       links_[static_cast<size_t>(path[i])].capBps);
     return bytes * 8.0 / cap;
 }
 
 double
 NetFabric::pathLatency(NodeId src, NodeId dst) const
 {
-    return links_[static_cast<size_t>(upOf(src))].latencyS +
-           links_[static_cast<size_t>(downOf(dst))].latencyS;
+    int path[kMaxPathLinks];
+    const int n = pathOf(src, dst, path);
+    double lat = 0.0;
+    for (int i = 0; i < n; ++i)
+        lat += links_[static_cast<size_t>(path[i])].latencyS;
+    return lat;
 }
 
 double
@@ -183,6 +263,23 @@ NetFabric::downlinkUtilization(NodeId n) const
     return links_[static_cast<size_t>(downOf(n))].busyS / now;
 }
 
+double
+NetFabric::trunkBytes(size_t trunk) const
+{
+    assert(trunk < static_cast<size_t>(nTrunks_));
+    return links_[trunk].bytesMoved;
+}
+
+double
+NetFabric::trunkUtilization(size_t trunk) const
+{
+    assert(trunk < static_cast<size_t>(nTrunks_));
+    const double now = sim_.now();
+    if (now <= 0.0)
+        return 0.0;
+    return links_[trunk].busyS / now;
+}
+
 NetReport
 NetFabric::report() const
 {
@@ -194,6 +291,7 @@ NetFabric::report() const
         r.ingressBytes = bytesInto(ingress_);
         r.ingressUtil = downlinkUtilization(ingress_);
     }
+    r.wanBytes = wanBytes_;
     return r;
 }
 
@@ -201,8 +299,7 @@ void
 NetFabric::startFlow(TransferAwaiter *aw)
 {
     assert(aw->src >= 0 && aw->dst >= 0 && "transfer endpoints unset");
-    assert(static_cast<size_t>(2 * aw->src + 1) < links_.size() &&
-           static_cast<size_t>(2 * aw->dst + 1) < links_.size());
+    assert(aw->src < nodeCount() && aw->dst < nodeCount());
     assert(aw->bytes >= 0.0);
     const double now = sim_.now();
     countWindows();
@@ -218,8 +315,10 @@ NetFabric::startFlow(TransferAwaiter *aw)
     advance();
     Flow f;
     f.aw = aw;
-    f.up = upOf(aw->src);
-    f.down = downOf(aw->dst);
+    f.nPath = pathOf(aw->src, aw->dst, f.path);
+    for (int i = 0; i < f.nPath; ++i)
+        if (links_[static_cast<size_t>(f.path[i])].wan)
+            f.wan = true;
     f.remBits = aw->bytes * 8.0;
     aw->stats.startS = now;
     aw->stats.bytes = aw->bytes;
@@ -253,8 +352,8 @@ NetFabric::advance()
     remCap_.assign(links_.size(), 0.0);
     for (Flow &f : flows_) {
         f.remBits -= f.rateBps * dt;
-        remCap_[static_cast<size_t>(f.up)] += f.rateBps;
-        remCap_[static_cast<size_t>(f.down)] += f.rateBps;
+        for (int i = 0; i < f.nPath; ++i)
+            remCap_[static_cast<size_t>(f.path[i])] += f.rateBps;
     }
     for (size_t l = 0; l < links_.size(); ++l) {
         if (remCap_[l] <= 0.0)
@@ -274,21 +373,24 @@ NetFabric::recompute()
         remCap_[l] = effectiveCap(static_cast<int>(l));
     for (Flow &f : flows_) {
         f.rateBps = 0.0;
-        ++nUnfixed_[static_cast<size_t>(f.up)];
-        ++nUnfixed_[static_cast<size_t>(f.down)];
+        for (int i = 0; i < f.nPath; ++i)
+            ++nUnfixed_[static_cast<size_t>(f.path[i])];
     }
     // Contention stat: flows sharing any of my links right now
     // (counts are complete only after the pass above).
     for (Flow &f : flows_) {
-        int shared = std::max(nUnfixed_[static_cast<size_t>(f.up)],
-                              nUnfixed_[static_cast<size_t>(f.down)]);
+        int shared = 0;
+        for (int i = 0; i < f.nPath; ++i)
+            shared = std::max(
+                shared, nUnfixed_[static_cast<size_t>(f.path[i])]);
         f.peakShared = std::max(f.peakShared, shared - 1);
     }
 
-    // Progressive filling. Each round saturates the link with the
-    // smallest fair share (ties broken by lowest link index, keeping
-    // the solve deterministic); its flows are fixed at that share and
-    // their demand leaves every other link they cross.
+    // Progressive filling over bottleneck sets. Each round saturates
+    // the link with the smallest fair share (ties broken by lowest
+    // link index, keeping the solve deterministic); its flows are
+    // fixed at that share and their demand leaves every other link on
+    // their paths.
     std::vector<char> fixed(flows_.size(), 0);
     size_t n_left = flows_.size();
     while (n_left > 0) {
@@ -311,14 +413,20 @@ NetFabric::recompute()
             if (fixed[i])
                 continue;
             Flow &f = flows_[i];
-            if (f.up != bottleneck && f.down != bottleneck)
+            bool crosses = false;
+            for (int k = 0; k < f.nPath; ++k)
+                if (f.path[k] == bottleneck) {
+                    crosses = true;
+                    break;
+                }
+            if (!crosses)
                 continue;
             f.rateBps = share;
             fixed[i] = 1;
             --n_left;
-            for (int l : {f.up, f.down}) {
-                remCap_[static_cast<size_t>(l)] -= share;
-                --nUnfixed_[static_cast<size_t>(l)];
+            for (int k = 0; k < f.nPath; ++k) {
+                remCap_[static_cast<size_t>(f.path[k])] -= share;
+                --nUnfixed_[static_cast<size_t>(f.path[k])];
             }
         }
         // Guard against float residue leaving a link "negative".
@@ -410,9 +518,12 @@ NetFabric::finishFlow(size_t idx)
             flowClassName(aw->cls), now,
             {{"gbps", aw->stats.achievedGbps},
              {"shared", static_cast<double>(f.peakShared)}});
-    links_[static_cast<size_t>(f.up)].bytesMoved += aw->stats.bytes;
-    links_[static_cast<size_t>(f.down)].bytesMoved += aw->stats.bytes;
+    for (int i = 0; i < f.nPath; ++i)
+        links_[static_cast<size_t>(f.path[i])].bytesMoved +=
+            aw->stats.bytes;
     totalBytes_ += aw->stats.bytes;
+    if (f.wan)
+        wanBytes_ += aw->stats.bytes;
     ++flowsCompleted_;
     sim_.scheduleHandle(pathLatency(aw->src, aw->dst), aw->handle);
 }

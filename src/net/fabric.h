@@ -1,30 +1,43 @@
 /**
  * @file
- * Deterministic, event-driven datacenter network fabric (§4.1, §6.4).
+ * Deterministic, event-driven network fabric (§4.1, §6.4) over
+ * composable topologies (net/topology.h).
  *
  * Every inter-node transfer in the simulated cluster — feature
  * shipping, delta pushes, SRV input staging, online uploads, media
- * results, recovery re-dispatch — crosses one NetFabric instead of a
- * per-dataflow ad-hoc `bytes / Gbps` division. The fabric owns a
- * declarative hub topology: each node's NIC (from hw/specs.h)
- * contributes a duplex pair of directed links to an implicit
- * top-of-rack switch — an uplink (node -> ToR) and a downlink
- * (ToR -> node) — and a flow from src to dst crosses exactly
- * [uplink(src), downlink(dst)]. N PipeStores shipping to one Tuner
- * therefore share the Tuner's ingress downlink *structurally*: the
+ * results, recovery re-dispatch, WAN geo-replication — crosses one
+ * NetFabric instead of a per-dataflow ad-hoc `bytes / Gbps` division.
+ * Each node's NIC (from hw/specs.h) contributes a duplex pair of
+ * directed access links — an uplink (node -> switch) and a downlink
+ * (switch -> node). With the default hub topology the switch is one
+ * implicit non-blocking ToR and a flow from src to dst crosses
+ * exactly [uplink(src), downlink(dst)]: N PipeStores shipping to one
+ * Tuner share the Tuner's ingress downlink *structurally*, so the
  * paper's bandwidth knee (Fig. 18) and the N-stores-share-one-link
  * APO term are emergent, not precomputed.
  *
+ * With a declared Topology the path generalizes to
+ * [uplink(src), trunk hops..., downlink(dst)] where the trunk hops —
+ * oversubscribed rack uplinks, spine crossings, high-latency WAN
+ * links — come from routing.h's deterministic shortest-path table.
+ * The hub is the degenerate case (no trunks), and because trunk
+ * links precede access links in the link array, a hub fabric's link
+ * layout and float-op sequence are *identical* to the pre-topology
+ * fabric: existing dataflows, goldens, and the determinism suite see
+ * bit-for-bit the same results.
+ *
  * Bandwidth allocation is flow-level max-min fairness via progressive
- * filling: on every flow arrival, departure, and link-fault window
- * boundary the fabric (1) advances all active flows by their current
- * rates, (2) re-solves the allocation — repeatedly fix the flows of
- * the link with the smallest fair share remCap/nUnfixed, in
- * deterministic link-index order — and (3) schedules the earliest
- * completion, guarded by an epoch counter so superseded events no-op.
- * A transfer completes after serialization and then charges the path
- * propagation latency before the awaiting coroutine resumes, matching
- * the retired half-duplex hw::Link contract.
+ * filling generalized to multi-link paths: on every flow arrival,
+ * departure, and link-fault window boundary the fabric (1) advances
+ * all active flows by their current rates, (2) re-solves the
+ * allocation — repeatedly fix the flows of the link with the smallest
+ * fair share remCap/nUnfixed (the bottleneck set), in deterministic
+ * link-index order, removing each fixed flow's demand from *every*
+ * link on its path — and (3) schedules the earliest completion,
+ * guarded by an epoch counter so superseded events no-op. A transfer
+ * completes after serialization and then charges the path propagation
+ * latency (summed over every hop) before the awaiting coroutine
+ * resumes.
  *
  * Determinism rule: the fabric performs no RNG draws and no wall-clock
  * reads; flows are stored and iterated in arrival order and links in
@@ -34,9 +47,11 @@
  * Fault interaction: when a FaultInjector carrying LinkDegrade /
  * LinkDown windows is attached, the affected links' capacities scale
  * (or drop to zero — flows stall in place, stall semantics) inside
- * each window; the fabric schedules recompute events at window
- * boundaries only while flows are active, so an empty plan leaves the
- * event sequence bitwise identical to an unarmed run.
+ * each window. WAN-targeted windows (FaultPlan::degradeWanLink /
+ * downWanLink) resolve to the topology's WAN trunks. The fabric
+ * schedules recompute events at window boundaries only while flows
+ * are active, so an empty plan leaves the event sequence bitwise
+ * identical to an unarmed run.
  */
 
 #pragma once
@@ -46,6 +61,8 @@
 #include <vector>
 
 #include "hw/specs.h"
+#include "net/routing.h"
+#include "net/topology.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -73,7 +90,12 @@ enum class FlowClass
     ResultShip,
     /** Naive-NDP ("+FC") weight synchronization. */
     Sync,
+    /** Geo-replication traffic crossing WAN links (deltas or
+     *  fallback checkpoints; see core/georep). */
+    GeoDelta,
 };
+
+inline constexpr int kFlowClasses = 7;
 
 const char *flowClassName(FlowClass c);
 
@@ -102,23 +124,43 @@ struct NetReport
     double ingressBytes = 0.0;
     /** Busy fraction of the ingress downlink over the whole run. */
     double ingressUtil = 0.0;
+    /** Payload bytes of completed flows that crossed >= 1 WAN trunk
+     *  (0 on hub and single-site topologies). */
+    double wanBytes = 0.0;
 };
 
 class NetFabric
 {
   public:
+    /** Hub fabric: every node in one implicit non-blocking rack. */
     explicit NetFabric(sim::Simulator &s) : sim_(s) {}
+
+    /**
+     * Topology fabric: @p topo's trunk links occupy link indices
+     * [0, topo.nTrunks()) in creation order; access links follow in
+     * addNode() order. Routes are frozen here — declare the whole
+     * topology before constructing the fabric.
+     */
+    NetFabric(sim::Simulator &s, const Topology &topo);
 
     NetFabric(const NetFabric &) = delete;
     NetFabric &operator=(const NetFabric &) = delete;
 
     /**
      * Attach a node with @p nic: creates its duplex uplink/downlink
-     * pair to the implicit ToR. Node ids are dense and assigned in
+     * pair to its rack switch. Node ids are dense and assigned in
      * call order (dataflows add stores first, so fault store index i
-     * is fabric node i).
+     * is fabric node i). The single-argument form attaches to rack 0
+     * (the only choice on a hub fabric).
      */
     NodeId addNode(const hw::NicSpec &nic);
+    NodeId addNode(const hw::NicSpec &nic, RackId rack);
+
+    /** The installed topology (hub when default-constructed). */
+    const Topology &topology() const { return topo_; }
+
+    /** Rack @p n attached to (kNoRack on a hub fabric). */
+    RackId rackOf(NodeId n) const;
 
     /** Designate the node whose downlink NetReport's ingress fields
      *  track (the Tuner / SRV host / inference server). */
@@ -129,8 +171,10 @@ class NetFabric
      * Adopt @p inj's LinkDegrade/LinkDown windows. Fault node mapping:
      * store index i targets fabric node i, FaultSpec::kIngressLink
      * targets the designated ingress node, kAnyStore every non-ingress
-     * node. A null injector (or one without link faults) changes
-     * nothing — the zero-cost rule of sim/fault.h.
+     * node; WAN faults (FaultSpec::wan) target the topology's WAN
+     * trunks touching the named site (or all WAN trunks for kAnySite).
+     * A null injector (or one without link faults) changes nothing —
+     * the zero-cost rule of sim/fault.h.
      */
     void attachFaults(sim::FaultInjector *inj);
 
@@ -142,6 +186,10 @@ class NetFabric
      * (the zero-cost rule); recording never schedules events.
      */
     void setTracer(obs::Tracer *t);
+
+    /** Longest path the router can produce: access pair + rack
+     *  up/down trunks + a WAN chain of up to 4 hops. */
+    static constexpr int kMaxPathLinks = 8;
 
     struct TransferAwaiter
     {
@@ -181,7 +229,7 @@ class NetFabric
      *  (path bottleneck rate; latency and sharing excluded). */
     double serviceTime(NodeId src, NodeId dst, double bytes) const;
 
-    /** Propagation latency of the src -> dst path. */
+    /** Propagation latency of the src -> dst path (every hop). */
     double pathLatency(NodeId src, NodeId dst) const;
 
     /** @name Per-node accounting (after Simulator::run())
@@ -189,6 +237,13 @@ class NetFabric
     double bytesInto(NodeId n) const;
     double bytesOutOf(NodeId n) const;
     double downlinkUtilization(NodeId n) const;
+    /** @} */
+
+    /** @name Per-trunk accounting (topology fabrics; trunk indices
+     *  are Topology creation order — obs gauges sample these)
+     * @{ */
+    double trunkBytes(size_t trunk) const;
+    double trunkUtilization(size_t trunk) const;
     /** @} */
 
     NetReport report() const;
@@ -204,16 +259,22 @@ class NetFabric
         double bytesMoved = 0.0;
         /** Integral of (allocated rate / capacity) dt. */
         double busyS = 0.0;
+        /** This link is a WAN trunk (wanBytes accounting). */
+        bool wan = false;
     };
 
     struct Flow
     {
         TransferAwaiter *aw = nullptr;
-        int up = 0;
-        int down = 0;
+        /** Link indices crossed, in hop order: uplink first, trunk
+         *  hops, downlink last (exactly {up, down} on a hub). */
+        int path[kMaxPathLinks] = {};
+        int nPath = 0;
         double remBits = 0.0;
         double rateBps = 0.0;
         int peakShared = 0;
+        /** The path crosses >= 1 WAN trunk. */
+        bool wan = false;
         /** Async-span id on trace_ (0 = untraced). */
         uint64_t traceId = 0;
         /** Trace track of this flow's class. */
@@ -231,11 +292,23 @@ class NetFabric
         /** Capacity multiplier; 0 = LinkDown. */
         double factor = 1.0;
         bool down = false;
+        /** Count this window in the FaultReport (one designated copy
+         *  per declared fault target, not one per direction). */
+        bool primary = false;
         bool counted = false;
     };
 
-    static int upOf(NodeId n) { return 2 * n; }
-    static int downOf(NodeId n) { return 2 * n + 1; }
+    int upOf(NodeId n) const { return nTrunks_ + 2 * n; }
+    int downOf(NodeId n) const { return nTrunks_ + 2 * n + 1; }
+    int nodeCount() const
+    {
+        return static_cast<int>(
+            (links_.size() - static_cast<size_t>(nTrunks_)) / 2);
+    }
+
+    /** Fill @p path with the link indices of src -> dst; returns the
+     *  hop count. Asserts the route exists. */
+    int pathOf(NodeId src, NodeId dst, int *path) const;
 
     void startFlow(TransferAwaiter *aw);
     /** Deliver bytes for the elapsed interval at current rates. */
@@ -253,17 +326,24 @@ class NetFabric
     void countWindows();
 
     sim::Simulator &sim_;
+    Topology topo_;
+    RouteTable routes_;
+    /** Trunk links occupy links_[0, nTrunks_); 0 on a hub fabric. */
+    int nTrunks_ = 0;
     std::vector<Link> links_;
+    /** Rack of node n (empty on a hub fabric). */
+    std::vector<RackId> nodeRacks_;
     std::vector<Flow> flows_;
     std::vector<FaultWindow> windows_;
     sim::FaultInjector *inj_ = nullptr;
     obs::Tracer *trace_ = nullptr;
     /** Per-FlowClass "net" process tracks (valid when trace_ set). */
-    int trkFlow_[6] = {};
+    int trkFlow_[kFlowClasses] = {};
     NodeId ingress_ = kNoNode;
     double lastAdvanceS_ = 0.0;
     uint64_t epoch_ = 0;
     double totalBytes_ = 0.0;
+    double wanBytes_ = 0.0;
     uint64_t flowsCompleted_ = 0;
     uint64_t peakConcurrent_ = 0;
     /** Scratch buffers for recompute() (sized to links_). */

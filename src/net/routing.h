@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic trunk routing over a Topology.
+ *
+ * A RouteTable answers one question for the fabric: which trunk links
+ * does a flow cross between its source rack and destination rack?
+ * (The access uplink/downlink pair is the fabric's own business; the
+ * table covers only the switch graph in between.)
+ *
+ * Routes are all-pairs shortest paths over the directed trunk graph,
+ * weighted by (latency, hop count) — WAN detours lose to direct WAN
+ * links even when capacities differ, matching how real WAN overlays
+ * pin routes by RTT. Ties break deterministically: Dijkstra relaxes
+ * vertices in index order and prefers the lower predecessor trunk
+ * index, so the same Topology always yields byte-identical paths
+ * (the routing analogue of the fabric's link-index tie-break).
+ *
+ * The table is built once, after the Topology stops changing, and is
+ * immutable afterwards: lookups are O(1) vector reads on the hot
+ * startFlow path (measured by bench_micro_sim's multi-link-routing
+ * workload).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace ndp::net {
+
+class RouteTable
+{
+  public:
+    RouteTable() = default;
+
+    explicit RouteTable(const Topology &topo)
+        : nRacks_(topo.nRacks())
+    {
+        if (nRacks_ == 0)
+            return; // hub: no trunks, nothing to route
+        const int nv = topo.vertexCount();
+        // Adjacency: out-trunks per vertex, in trunk-index order so
+        // equal-cost relaxations pick the earliest-created trunk.
+        std::vector<std::vector<int>> out(
+            static_cast<size_t>(nv));
+        for (size_t t = 0; t < topo.nTrunks(); ++t)
+            out[static_cast<size_t>(
+                    topo.vertexOf(topo.trunk(t).from))]
+                .push_back(static_cast<int>(t));
+        paths_.resize(static_cast<size_t>(nRacks_) *
+                      static_cast<size_t>(nRacks_));
+        for (RackId src = 0; src < nRacks_; ++src)
+            buildFrom(topo, out, src);
+    }
+
+    /**
+     * Trunk link indices (creation order in the Topology) a flow
+     * crosses from @p src rack to @p dst rack; empty for src == dst.
+     * Valid only when reachable(src, dst).
+     */
+    const std::vector<int> &
+    trunkPath(RackId src, RackId dst) const
+    {
+        return paths_[idx(src, dst)].trunks;
+    }
+
+    /** False when the trunk graph has no src -> dst route. */
+    bool
+    reachable(RackId src, RackId dst) const
+    {
+        if (src == dst)
+            return true;
+        return paths_[idx(src, dst)].ok;
+    }
+
+    int nRacks() const { return nRacks_; }
+
+  private:
+    struct Path
+    {
+        std::vector<int> trunks;
+        bool ok = false;
+    };
+
+    size_t
+    idx(RackId src, RackId dst) const
+    {
+        assert(src >= 0 && src < nRacks_ && dst >= 0 &&
+               dst < nRacks_);
+        return static_cast<size_t>(src) *
+                   static_cast<size_t>(nRacks_) +
+               static_cast<size_t>(dst);
+    }
+
+    /** Dijkstra from one rack's ToR over the trunk graph. Vertex
+     *  counts are tiny (racks + sites), so the O(V^2) scan is both
+     *  simplest and deterministic — no heap tie ambiguity. */
+    void
+    buildFrom(const Topology &topo,
+              const std::vector<std::vector<int>> &out, RackId src)
+    {
+        constexpr double kInf =
+            std::numeric_limits<double>::infinity();
+        const int nv = topo.vertexCount();
+        std::vector<double> dist(static_cast<size_t>(nv), kInf);
+        std::vector<int> hops(static_cast<size_t>(nv), 0);
+        std::vector<int> viaTrunk(static_cast<size_t>(nv), -1);
+        std::vector<char> done(static_cast<size_t>(nv), 0);
+        dist[static_cast<size_t>(topo.rackVertex(src))] = 0.0;
+        for (int round = 0; round < nv; ++round) {
+            int u = -1;
+            double best = kInf;
+            for (int v = 0; v < nv; ++v) {
+                const size_t vs = static_cast<size_t>(v);
+                if (done[vs] || dist[vs] == kInf)
+                    continue;
+                if (dist[vs] < best ||
+                    (dist[vs] == best &&
+                     (u < 0 || hops[vs] < hops[static_cast<size_t>(
+                                             u)]))) {
+                    best = dist[vs];
+                    u = v;
+                }
+            }
+            if (u < 0)
+                break;
+            const size_t us = static_cast<size_t>(u);
+            done[us] = 1;
+            for (int t : out[us]) {
+                const Trunk &tr = topo.trunk(static_cast<size_t>(t));
+                const size_t vs = static_cast<size_t>(
+                    topo.vertexOf(tr.to));
+                const double d = dist[us] + tr.latencyS;
+                const int h = hops[us] + 1;
+                if (d < dist[vs] ||
+                    (d == dist[vs] && h < hops[vs])) {
+                    dist[vs] = d;
+                    hops[vs] = h;
+                    viaTrunk[vs] = t;
+                }
+            }
+        }
+        for (RackId dst = 0; dst < nRacks_; ++dst) {
+            if (dst == src)
+                continue;
+            Path &p = paths_[idx(src, dst)];
+            const size_t dvs =
+                static_cast<size_t>(topo.rackVertex(dst));
+            if (dist[dvs] == kInf)
+                continue; // unreachable; p.ok stays false
+            p.ok = true;
+            for (int v = static_cast<int>(dvs);
+                 viaTrunk[static_cast<size_t>(v)] >= 0;) {
+                const int t = viaTrunk[static_cast<size_t>(v)];
+                p.trunks.push_back(t);
+                v = topo.vertexOf(
+                    topo.trunk(static_cast<size_t>(t)).from);
+            }
+            std::reverse(p.trunks.begin(), p.trunks.end());
+        }
+    }
+
+    int nRacks_ = 0;
+    std::vector<Path> paths_;
+};
+
+} // namespace ndp::net

@@ -1,0 +1,88 @@
+#include "net/topology.h"
+
+namespace ndp::net {
+
+SiteId
+Topology::addSite(std::string name)
+{
+    sites_.push_back({std::move(name)});
+    return static_cast<SiteId>(sites_.size()) - 1;
+}
+
+RackId
+Topology::addRack(SiteId site, double uplink_gbps, double latency_s)
+{
+    const RackId r = static_cast<RackId>(racks_.size());
+    racks_.push_back({site, uplink_gbps, latency_s});
+    Trunk up;
+    up.from = r;
+    up.to = ~site;
+    up.gbps = uplink_gbps;
+    up.latencyS = latency_s;
+    up.wan = false;
+    up.siteA = site;
+    up.siteB = site;
+    Trunk down = up;
+    down.from = ~site;
+    down.to = r;
+    trunks_.push_back(up);
+    trunks_.push_back(down);
+    return r;
+}
+
+void
+Topology::addWanLink(SiteId a, SiteId b, double gbps, double latency_s)
+{
+    Trunk fwd;
+    fwd.from = ~a;
+    fwd.to = ~b;
+    fwd.gbps = gbps;
+    fwd.latencyS = latency_s;
+    fwd.wan = true;
+    fwd.siteA = a;
+    fwd.siteB = b;
+    Trunk rev = fwd;
+    rev.from = ~b;
+    rev.to = ~a;
+    trunks_.push_back(fwd);
+    trunks_.push_back(rev);
+}
+
+Topology
+Topology::rackSpine(int n_racks, double uplink_gbps, double latency_s)
+{
+    Topology t;
+    const SiteId s = t.addSite("dc");
+    for (int r = 0; r < n_racks; ++r)
+        t.addRack(s, uplink_gbps, latency_s);
+    return t;
+}
+
+std::string
+Topology::validate() const
+{
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        if (racks_[r].site < 0 ||
+            racks_[r].site >= static_cast<SiteId>(sites_.size()))
+            return "Topology: rack " + std::to_string(r) +
+                   " names an undeclared site";
+        if (racks_[r].uplinkGbps <= 0.0)
+            return "Topology: rack " + std::to_string(r) +
+                   " uplink must be > 0 Gbps";
+    }
+    for (size_t i = 0; i < trunks_.size(); ++i) {
+        const Trunk &t = trunks_[i];
+        if (t.gbps <= 0.0)
+            return "Topology: trunk " + std::to_string(i) +
+                   " capacity must be > 0 Gbps";
+        if (t.latencyS < 0.0)
+            return "Topology: trunk " + std::to_string(i) +
+                   " latency must be >= 0";
+        if (t.wan && t.siteA == t.siteB)
+            return "Topology: WAN trunk " + std::to_string(i) +
+                   " joins a site to itself";
+    }
+    return {};
+}
+
+} // namespace ndp::net

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Composable network topologies for the NetFabric (ROADMAP item 4).
+ *
+ * The fabric's original model — every NIC hangs off one implicit,
+ * non-blocking top-of-rack switch — is the degenerate case of the
+ * graph this file describes. A Topology adds structure *above* the
+ * per-node access links the fabric already owns:
+ *
+ *   - Sites: datacenters (or regions). Each site has one core switch.
+ *   - Racks: a ToR switch inside a site, joined to the site core by a
+ *     duplex trunk pair whose capacity is typically *oversubscribed*
+ *     (uplink Gbps < sum of member NIC Gbps).
+ *   - WAN links: duplex trunk pairs between site cores — high
+ *     latency, low bandwidth, the expensive hops geo-replication
+ *     must cross.
+ *
+ * Nodes attach to racks (NetFabric::addNode(nic, rack)); a flow's
+ * path is [src uplink, trunk hops..., dst downlink], where the trunk
+ * hops come from routing.h's deterministic shortest-path table:
+ *
+ *   same rack        : no trunk hops (the ToR is non-blocking)
+ *   same site        : srcRack->core, core->dstRack
+ *   different sites  : srcRack->core, core..core WAN hops, core->dstRack
+ *
+ * The empty Topology (no racks declared) *is* the single hub: the
+ * fabric places every node in one implicit rack and no flow ever
+ * crosses a trunk, so the allocator performs the exact float-op
+ * sequence of the pre-topology fabric — goldens and the determinism
+ * suite need no re-baseline (pinned by tests/test_net_topology.cc).
+ *
+ * Determinism rule: a Topology is pure declarative data. Builder
+ * calls assign ids densely in call order; trunk link indices are the
+ * creation order; routing tie-breaks by vertex index. No RNG, no
+ * wall clock — the same builder sequence always yields the same
+ * graph, routes, and therefore the same simulation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ndp::net {
+
+/** Index of a site (datacenter / region). */
+using SiteId = int;
+
+/** Index of a rack (ToR switch) within the topology. */
+using RackId = int;
+
+/** Sentinel: no site / no rack. */
+inline constexpr int kNoSite = -1;
+inline constexpr int kNoRack = -1;
+
+/**
+ * One directed trunk link (rack<->core or core<->core). Trunks are
+ * always created in duplex pairs; the pair's two directions are
+ * adjacent in creation order (forward first).
+ *
+ * Endpoint encoding: a non-negative endpoint is a rack (ToR switch)
+ * id; a negative endpoint ~s is the core switch of site s. The
+ * encoding is stable under later builder calls, so routing.h can
+ * translate to dense vertices with rackVertex()/coreVertex() once
+ * building stops.
+ */
+struct Trunk
+{
+    /** Switch this trunk leaves (rack id, or ~site for a core). */
+    int from = 0;
+    /** Switch this trunk enters (rack id, or ~site for a core). */
+    int to = 0;
+    double gbps = 0.0;
+    /** One-way propagation latency, seconds. */
+    double latencyS = 0.0;
+    /** True for core<->core links between different sites. */
+    bool wan = false;
+    /** Sites this trunk touches (equal for rack trunks). */
+    SiteId siteA = kNoSite;
+    SiteId siteB = kNoSite;
+};
+
+class Topology
+{
+  public:
+    /**
+     * Dense routing-vertex numbering: racks come first, site cores
+     * after. Valid only once building stops (routing.h builds its
+     * table from the final graph). Trunk endpoints use the stable
+     * rack-or-~site encoding; decode with vertexOf().
+     */
+    int rackVertex(RackId r) const { return r; }
+    int coreVertex(SiteId s) const
+    {
+        return static_cast<int>(racks_.size()) + s;
+    }
+    /** Dense vertex of a Trunk::from / Trunk::to endpoint. */
+    int vertexOf(int endpoint) const
+    {
+        return endpoint >= 0 ? rackVertex(endpoint)
+                             : coreVertex(~endpoint);
+    }
+    int vertexCount() const
+    {
+        return static_cast<int>(racks_.size() + sites_.size());
+    }
+
+    /** @name Builders (ids are dense, assigned in call order)
+     * @{ */
+    /** Declare a site (datacenter); creates its core switch. */
+    SiteId addSite(std::string name);
+
+    /**
+     * Declare a rack in @p site: a ToR switch joined to the site core
+     * by a duplex trunk of @p uplink_gbps each way. Oversubscription
+     * is expressed by giving the trunk less capacity than the sum of
+     * the member NICs; @p latency_s is the one-way ToR<->core hop.
+     */
+    RackId addRack(SiteId site, double uplink_gbps,
+                   double latency_s = 0.0);
+
+    /**
+     * Join two site cores with a duplex WAN trunk (@p gbps each way,
+     * @p latency_s one way — tens of milliseconds, not microseconds).
+     */
+    void addWanLink(SiteId a, SiteId b, double gbps, double latency_s);
+    /** @} */
+
+    /** @name Canned shapes
+     * @{ */
+    /** The degenerate single-hub topology (no trunks at all). */
+    static Topology hub() { return Topology{}; }
+
+    /**
+     * One site, @p n_racks racks, every rack uplink @p uplink_gbps.
+     * Spine (the site core) is non-blocking; contention lives on the
+     * oversubscribed rack trunks.
+     */
+    static Topology rackSpine(int n_racks, double uplink_gbps,
+                              double latency_s = 0.0);
+    /** @} */
+
+    /** True when no rack was declared: every node lives in one
+     *  implicit non-blocking rack and no flow crosses a trunk. */
+    bool isHub() const { return racks_.empty(); }
+
+    int nSites() const { return static_cast<int>(sites_.size()); }
+    int nRacks() const { return static_cast<int>(racks_.size()); }
+    size_t nTrunks() const { return trunks_.size(); }
+    const Trunk &trunk(size_t i) const { return trunks_[i]; }
+    const std::vector<Trunk> &trunks() const { return trunks_; }
+
+    SiteId siteOf(RackId r) const
+    {
+        return racks_[static_cast<size_t>(r)].site;
+    }
+    const std::string &siteName(SiteId s) const
+    {
+        return sites_[static_cast<size_t>(s)].name;
+    }
+
+    /** Empty string when valid; otherwise names the offending part. */
+    std::string validate() const;
+
+  private:
+    struct Site
+    {
+        std::string name;
+    };
+
+    struct Rack
+    {
+        SiteId site = kNoSite;
+        double uplinkGbps = 0.0;
+        double latencyS = 0.0;
+    };
+
+    std::vector<Site> sites_;
+    std::vector<Rack> racks_;
+    std::vector<Trunk> trunks_;
+};
+
+} // namespace ndp::net

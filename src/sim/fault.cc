@@ -117,6 +117,35 @@ FaultPlan::downLink(int node, double at_s, double duration_s)
     return *this;
 }
 
+FaultPlan &
+FaultPlan::degradeWanLink(int site, double at_s, double duration_s,
+                          double factor)
+{
+    FaultSpec f;
+    f.kind = FaultKind::LinkDegrade;
+    f.store = site;
+    f.atS = at_s;
+    f.durationS = duration_s;
+    f.factor = factor;
+    f.wan = true;
+    faults.push_back(f);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::downWanLink(int site, double at_s, double duration_s)
+{
+    FaultSpec f;
+    f.kind = FaultKind::LinkDown;
+    f.store = site;
+    f.atS = at_s;
+    f.durationS = duration_s;
+    f.factor = 0.0;
+    f.wan = true;
+    faults.push_back(f);
+    return *this;
+}
+
 std::string
 FaultPlan::validate() const
 {
@@ -128,11 +157,16 @@ FaultPlan::validate() const
     for (const FaultSpec &f : faults) {
         const bool link_fault = f.kind == FaultKind::LinkDegrade ||
                                 f.kind == FaultKind::LinkDown;
-        const int floor =
-            link_fault ? FaultSpec::kIngressLink : FaultSpec::kAnyStore;
+        if (f.wan && !link_fault)
+            return "FaultPlan: only link faults may target WAN trunks";
+        const int floor = link_fault && !f.wan
+                              ? FaultSpec::kIngressLink
+                              : FaultSpec::kAnyStore;
         if (f.store < floor)
             return link_fault
-                       ? "FaultPlan: link-fault node must be >= -2"
+                       ? (f.wan
+                              ? "FaultPlan: WAN-fault site must be >= -1"
+                              : "FaultPlan: link-fault node must be >= -2")
                        : "FaultPlan: fault store must be >= -1";
         if (f.atS < 0.0 || f.durationS < 0.0)
             return "FaultPlan: fault times must be >= 0";
@@ -178,7 +212,8 @@ FaultInjector::FaultInjector(Simulator &s, const FaultPlan &plan,
         if (f.kind == FaultKind::LinkDegrade ||
             f.kind == FaultKind::LinkDown) {
             linkFaults_.push_back({f.kind, f.store, f.atS,
-                                   f.atS + f.durationS, f.factor});
+                                   f.atS + f.durationS, f.factor,
+                                   f.wan});
             continue;
         }
         for (int i = 0; i < n_stores; ++i) {

@@ -100,6 +100,8 @@ struct FaultSpec
     /** Link-fault target: the fabric's designated ingress node (the
      *  Tuner / host NIC) rather than a store NIC. */
     static constexpr int kIngressLink = -2;
+    /** WAN-fault target: every WAN trunk in the topology. */
+    static constexpr int kAnySite = -1;
 
     FaultKind kind = FaultKind::StoreCrash;
     int store = kAnyStore;
@@ -111,6 +113,9 @@ struct FaultSpec
     double probability = 0.0;
     /** Capacity multiplier for LinkDegrade, in (0, 1]. */
     double factor = 1.0;
+    /** Link fault targets WAN trunks instead of node NICs; `store`
+     *  then holds a SiteId (or kAnySite). */
+    bool wan = false;
 };
 
 /**
@@ -150,6 +155,11 @@ struct FaultPlan
     FaultPlan &degradeLink(int node, double at_s, double duration_s,
                            double factor);
     FaultPlan &downLink(int node, double at_s, double duration_s);
+    /** WAN variants: every WAN trunk touching @p site (kAnySite =
+     *  all of them) runs at capacity * factor / carries nothing. */
+    FaultPlan &degradeWanLink(int site, double at_s,
+                              double duration_s, double factor);
+    FaultPlan &downWanLink(int site, double at_s, double duration_s);
     /** @} */
 
     /** Empty string when valid; otherwise names the offending field. */
@@ -304,10 +314,13 @@ class FaultInjector
     struct LinkFault
     {
         FaultKind kind = FaultKind::LinkDegrade;
+        /** Node id as declared — or a SiteId when wan is set. */
         int node = FaultSpec::kAnyStore;
         double fromS = 0.0;
         double untilS = 0.0;
         double factor = 1.0;
+        /** Targets WAN trunks of the named site, not node NICs. */
+        bool wan = false;
     };
 
     const std::vector<LinkFault> &linkFaults() const

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * WAN geo-replication tests (core/georep): convergence of the
+ * publish/distribute loop, the delta-vs-checkpoint WAN traffic split,
+ * bounded-staleness checkpoint catch-up with queue coalescing, the
+ * loss -> retransmit -> fallback ladder, the WAN fault matrix rows
+ * (degrade raises staleness, down never hangs, bytes are conserved),
+ * bit-level determinism, and the cluster-scheduler integration
+ * (JobKind::GeoReplicate over ClusterSpec::wanSites).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/georep/georep.h"
+#include "core/sched/cluster.h"
+
+namespace {
+
+using namespace ndp;
+using namespace ndp::core::georep;
+
+#define EXPECT_BITEQ(a, b)                                               \
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))    \
+        << #a " differs: " << (a) << " vs " << (b)
+
+/** Small, fast config: slow cadence relative to push time so neither
+ * mode coalesces and the WAN byte totals are closed-form. */
+GeoRepConfig
+quickConfig()
+{
+    GeoRepConfig cfg;
+    cfg.opt.nRounds = 4;
+    cfg.opt.roundIntervalS = 2.0;
+    cfg.opt.fineTuneS = 0.1;
+    return cfg;
+}
+
+TEST(GeoRep, DeltaDistributionConvergesWithClosedFormTraffic)
+{
+    GeoRepConfig cfg = quickConfig();
+    const GeoRepReport rep = runGeoReplication(cfg);
+
+    EXPECT_TRUE(rep.converged);
+    EXPECT_EQ(rep.publishedVersions, 4);
+    EXPECT_EQ(rep.minSiteVersion, 4);
+    ASSERT_EQ(rep.sites.size(), 2U);
+    for (const SiteProgress &p : rep.sites) {
+        EXPECT_EQ(p.version, 4);
+        EXPECT_EQ(p.deltaPushes, 4U);
+        EXPECT_EQ(p.checkpointPushes, 0U);
+        EXPECT_EQ(p.duplicates, 0U);
+        EXPECT_EQ(p.retransmits, 0U);
+    }
+    // 2 sites x 4 versions x one 250 kB delta each, nothing else.
+    EXPECT_NEAR(rep.wanBytes, 2 * 4 * cfg.opt.deltaBytes, 1e-6);
+    EXPECT_NEAR(rep.deltaWanBytes, rep.wanBytes, 1e-6);
+    EXPECT_EQ(rep.checkpointWanBytes, 0.0);
+    // Conservation: the fabric's WAN accounting sees the same bytes
+    // the dataflow shipped (every push crosses exactly one WAN trunk).
+    EXPECT_NEAR(rep.net.wanBytes, rep.wanBytes, 1.0);
+    // Staleness is at least the WAN propagation latency (0.05 s to
+    // "eu", 0.11 s to "ap") plus serialization.
+    EXPECT_GT(rep.stalenessP50S, 0.05);
+    EXPECT_LT(rep.stalenessMaxS, 1.0); // uncontended: pushes are fast
+}
+
+TEST(GeoRep, FullCheckpointBaselineShipsOrdersOfMagnitudeMore)
+{
+    GeoRepConfig cfg = quickConfig();
+    const GeoRepReport delta = runGeoReplication(cfg);
+    cfg.opt.fullCheckpoints = true;
+    const GeoRepReport full = runGeoReplication(cfg);
+
+    EXPECT_TRUE(full.converged);
+    // 2 sites x 4 versions x one 98 MB checkpoint each.
+    EXPECT_NEAR(full.wanBytes, 2 * 4 * cfg.opt.fullBytes, 1e-3);
+    EXPECT_EQ(full.deltaWanBytes, 0.0);
+    // The paper-shaped gap: 98 MB / 250 kB = 392x per push.
+    EXPECT_GT(full.wanBytes / delta.wanBytes, 100.0);
+    // Shipping more takes longer: checkpoint staleness dominates.
+    EXPECT_GT(full.stalenessP95S, delta.stalenessP95S);
+}
+
+TEST(GeoRep, StalenessBoundTriggersCheckpointCatchup)
+{
+    // One far site behind a 20 Mbps WAN: a delta chain takes 10 s
+    // while a version publishes every 1.25 s, so the distributor
+    // falls behind, coalesces to the queue head, and — past the
+    // 3-version staleness bound — catches up with one checkpoint.
+    GeoRepConfig cfg;
+    cfg.sites = {{"far", 0.02, 0.1}};
+    cfg.opt.nRounds = 8;
+    cfg.opt.roundIntervalS = 1.0;
+    cfg.opt.fineTuneS = 0.25;
+    cfg.opt.deltaBytes = 25.0e6;
+    cfg.opt.fullBytes = 98.0e6;
+    cfg.opt.stalenessBound = 3;
+    const GeoRepReport rep = runGeoReplication(cfg);
+
+    EXPECT_TRUE(rep.converged);
+    ASSERT_EQ(rep.sites.size(), 1U);
+    EXPECT_EQ(rep.sites[0].version, 8);
+    // At least one catch-up checkpoint, and the coalesced queue
+    // entries drained as duplicates rather than redundant pushes.
+    EXPECT_GE(rep.sites[0].checkpointPushes, 1U);
+    EXPECT_GE(rep.duplicates, 1U);
+    EXPECT_EQ(rep.checkpointFallbacks, 0U); // no loss: bound, not budget
+    // The first delta push alone pins staleness near its 10 s drain.
+    EXPECT_GT(rep.stalenessMaxS, 5.0);
+}
+
+TEST(GeoRep, LossRetransmitsAndStillConverges)
+{
+    GeoRepConfig cfg = quickConfig();
+    cfg.sites = {{"eu", 1.0, 0.05}};
+    cfg.opt.nRounds = 6;
+    cfg.opt.lossProbability = 0.4;
+    cfg.opt.maxRetransmits = 8;
+    const GeoRepReport rep = runGeoReplication(cfg);
+
+    EXPECT_TRUE(rep.converged);
+    EXPECT_GE(rep.retransmits, 1U);
+    // Lost copies still burned WAN bytes: the wire total exceeds the
+    // minimum nRounds x deltaBytes payload.
+    EXPECT_GT(rep.deltaWanBytes, 6 * cfg.opt.deltaBytes);
+    EXPECT_NEAR(rep.net.wanBytes, rep.wanBytes, 1.0);
+}
+
+TEST(GeoRep, RetransmitBudgetExhaustionFallsBackToCheckpoint)
+{
+    GeoRepConfig cfg = quickConfig();
+    cfg.opt.lossProbability = 0.98;
+    cfg.opt.maxRetransmits = 0;
+    const GeoRepReport rep = runGeoReplication(cfg);
+
+    // Never hang, never stay stale: the reliable checkpoint path
+    // carries every site to the newest version regardless of loss.
+    EXPECT_TRUE(rep.converged);
+    EXPECT_GE(rep.checkpointFallbacks, 1U);
+    EXPECT_GT(rep.checkpointWanBytes, 0.0);
+    EXPECT_EQ(rep.minSiteVersion, 4);
+}
+
+TEST(GeoRep, WanDownWindowNeverHangsAndConservesBytes)
+{
+    GeoRepConfig cfg = quickConfig();
+    cfg.sites = {{"eu", 1.0, 0.05}};
+    cfg.opt.roundIntervalS = 0.5;
+    // Site "eu" is topology site 1 (home is 0): kill its WAN trunk
+    // across the first push.
+    cfg.faults.downWanLink(1, 0.55, 1.0);
+    const GeoRepReport rep = runGeoReplication(cfg);
+
+    EXPECT_TRUE(rep.converged);
+    EXPECT_EQ(rep.faults.linkDowns, 1U);
+    EXPECT_EQ(rep.faults.linkDegrades, 0U);
+    // The stalled push slipped by roughly the outage (stall
+    // semantics: frozen in place, nothing lost).
+    EXPECT_GT(rep.stalenessMaxS, 0.9);
+    EXPECT_NEAR(rep.net.wanBytes, rep.wanBytes, 1.0);
+}
+
+TEST(GeoRep, WanDegradeRaisesStaleness)
+{
+    GeoRepConfig clean = quickConfig();
+    const GeoRepReport base = runGeoReplication(clean);
+
+    GeoRepConfig cfg = quickConfig();
+    cfg.faults.degradeWanLink(sim::FaultSpec::kAnySite, 0.0, 1.0e3,
+                              0.05);
+    const GeoRepReport rep = runGeoReplication(cfg);
+
+    EXPECT_TRUE(rep.converged);
+    // One declared fault = one report entry, even though kAnySite
+    // resolves to every WAN trunk of both site pairs.
+    EXPECT_EQ(rep.faults.linkDegrades, 1U);
+    EXPECT_GT(rep.stalenessP95S, base.stalenessP95S);
+    EXPECT_BITEQ(rep.wanBytes, base.wanBytes); // slower, not bigger
+}
+
+TEST(GeoRep, SameSeedRunsAreBitIdentical)
+{
+    GeoRepConfig cfg = quickConfig();
+    cfg.opt.lossProbability = 0.3; // exercise the RNG path too
+    cfg.opt.maxRetransmits = 6;
+    const GeoRepReport a = runGeoReplication(cfg);
+    const GeoRepReport b = runGeoReplication(cfg);
+
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_BITEQ(a.seconds, b.seconds);
+    EXPECT_BITEQ(a.wanBytes, b.wanBytes);
+    EXPECT_BITEQ(a.deltaWanBytes, b.deltaWanBytes);
+    EXPECT_BITEQ(a.stalenessP50S, b.stalenessP50S);
+    EXPECT_BITEQ(a.stalenessP95S, b.stalenessP95S);
+    EXPECT_BITEQ(a.stalenessMaxS, b.stalenessMaxS);
+    EXPECT_EQ(a.retransmits, b.retransmits);
+    EXPECT_EQ(a.duplicates, b.duplicates);
+}
+
+TEST(GeoRep, ValidationRejectsNonsense)
+{
+    GeoRepConfig cfg;
+    cfg.opt.deltaBytes = 2.0 * cfg.opt.fullBytes;
+    EXPECT_FALSE(cfg.validate().ok());
+
+    cfg = GeoRepConfig{};
+    cfg.opt.lossProbability = 1.0; // would retransmit forever
+    EXPECT_FALSE(cfg.validate().ok());
+
+    cfg = GeoRepConfig{};
+    cfg.sites.clear();
+    EXPECT_FALSE(cfg.validate().ok());
+
+    cfg = GeoRepConfig{};
+    cfg.opt.stalenessBound = 0;
+    EXPECT_FALSE(cfg.validate().ok());
+
+    cfg = GeoRepConfig{};
+    cfg.sites[0].gbps = 0.0;
+    EXPECT_THROW(runGeoReplication(cfg), std::invalid_argument);
+}
+
+TEST(GeoRep, ClusterRunsGeoReplicateJobs)
+{
+    core::ClusterSpec spec;
+    spec.nStores = 2;
+    spec.wanSites = {{"eu", 1.0, 0.05}};
+    core::sched::Cluster c(spec);
+    core::sched::JobDesc d;
+    d.name = "geo";
+    d.kind = core::sched::JobKind::GeoReplicate;
+    d.georep.nRounds = 3;
+    d.georep.roundIntervalS = 0.5;
+    d.georep.fineTuneS = 0.05;
+    c.submit(d);
+    const core::sched::ClusterReport rep = c.run();
+
+    ASSERT_EQ(rep.jobs.size(), 1U);
+    const core::sched::JobReport &j = rep.jobs[0];
+    EXPECT_EQ(j.publishedVersions, 3);
+    EXPECT_EQ(j.minSiteVersion, 3);
+    EXPECT_NEAR(j.geoWanBytes, 3 * d.georep.deltaBytes, 1e-6);
+    EXPECT_EQ(j.geoRetransmits, 0U);
+    EXPECT_EQ(j.geoCheckpointFallbacks, 0U);
+    EXPECT_GT(j.stalenessP95S, 0.05); // at least the WAN latency
+    EXPECT_NEAR(rep.net.wanBytes, j.geoWanBytes, 1.0);
+    EXPECT_GT(j.makespanS, 0.0);
+}
+
+TEST(GeoRep, ClusterRejectsGeoReplicateWithoutWanSites)
+{
+    core::ClusterSpec spec;
+    spec.nStores = 2; // no wanSites declared
+    core::sched::Cluster c(spec);
+    core::sched::JobDesc d;
+    d.name = "geo";
+    d.kind = core::sched::JobKind::GeoReplicate;
+    EXPECT_THROW(c.submit(d), std::invalid_argument);
+
+    // Store-bound placement is also rejected: the WAN fleet is the
+    // cluster's, not the job's.
+    core::ClusterSpec wan_spec;
+    wan_spec.nStores = 2;
+    wan_spec.wanSites = {{"eu", 1.0, 0.05}};
+    core::sched::Cluster c2(wan_spec);
+    d.stores = {0};
+    EXPECT_THROW(c2.submit(d), std::invalid_argument);
+}
+
+} // namespace

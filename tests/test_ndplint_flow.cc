@@ -95,6 +95,22 @@ TEST(NdpLintFlow, EscapeSuppressedWithRationale)
     EXPECT_EQ(st.suppressed, 1);
 }
 
+TEST(NdpLintFlow, GeorepImplBorrowSuppressedWithRationale)
+{
+    // The core/georep idiom: a static member coroutine borrowing the
+    // whole Impl by reference, suppressed with the joins-before-death
+    // rationale. Pins both the suppression and its audit visibility.
+    LintStats st =
+        lintFixture("georep_suppressed.cc", {"coroutine-escape"});
+    EXPECT_EQ(st.findings.size(), 0U);
+    EXPECT_EQ(st.suppressed, 1);
+    auto audit = ndp::lint::auditSuppressions(
+        {ndp::lint::lexFile(fixturePath("georep_suppressed.cc"))});
+    EXPECT_EQ(audit.total, 1); // one comment covering both rules
+    EXPECT_EQ(audit.unrationaled, 0);
+    EXPECT_NE(audit.text.find("outlives s.run()"), std::string::npos);
+}
+
 TEST(NdpLintFlow, Pr3UseAfterFreeFixtureIsFlagged)
 {
     // The minimized PR 3 bug: a by-reference vector parameter indexed
@@ -262,6 +278,24 @@ TEST(NdpLintConfig, FlowRulesScopedToSrc)
         EXPECT_FALSE(cfg.appliesTo(rule, "tools/ndplint/rules.cc"))
             << rule;
     }
+}
+
+TEST(NdpLintConfig, GeorepIsInsideTheDeterminismScope)
+{
+    // WAN replication draws seeded per-site RNG streams; the banned-
+    // nondeterminism rule must cover it (explicitly, not only via the
+    // broad "src/core" substring).
+    ScopeConfig cfg = ScopeConfig::builtin();
+    EXPECT_TRUE(cfg.appliesTo("banned-nondeterminism",
+                              "src/core/georep/georep.cc"));
+    EXPECT_TRUE(cfg.appliesTo("determinism-taint",
+                              "src/core/georep/georep.cc"));
+    auto it = cfg.scopes.find("banned-nondeterminism");
+    ASSERT_NE(it, cfg.scopes.end());
+    EXPECT_NE(std::find(it->second.include.begin(),
+                        it->second.include.end(),
+                        std::string("src/core/georep")),
+              it->second.include.end());
 }
 
 // ---------------------------------------------------------------------------

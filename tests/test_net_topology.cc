@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Topology-fabric unit tests (net/topology.h + the multi-link
+ * allocator of net/fabric.cc): closed-form progressive filling over
+ * multi-hop paths — shared trunk bottleneck, oversubscribed rack
+ * uplink, nested NIC/trunk bottlenecks, WAN chains where the rate is
+ * the path minimum and the latency the path sum — plus the contract
+ * the rest of the repo depends on: a hub-topology fabric is *bitwise*
+ * identical to the topology-less NetFabric, so no golden or
+ * determinism baseline moves. WAN fault windows (degradeWanLink /
+ * downWanLink) are pinned here too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/topology.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace {
+
+using namespace ndp;
+using net::FlowClass;
+using net::FlowStats;
+using net::NetFabric;
+using net::NodeId;
+using net::RackId;
+using net::SiteId;
+using net::Topology;
+
+/** Start a transfer after @p delay and record its stats.
+ * Pointer params only: referents live in the test body, which joins
+ * every task via s.run(). */
+sim::Task
+xfer(sim::Simulator *s, NetFabric *fab, double delay, NodeId src,
+     NodeId dst, double bytes, FlowStats *out)
+{
+    if (delay > 0.0)
+        co_await s->delay(delay);
+    *out = co_await fab->transfer(src, dst, bytes,
+                                  FlowClass::GeoDelta);
+}
+
+/** Two racks in one site, @p uplink Gbps each way. */
+Topology
+twoRacks(double uplink_a, double uplink_b)
+{
+    Topology t;
+    const SiteId dc = t.addSite("dc");
+    t.addRack(dc, uplink_a);
+    t.addRack(dc, uplink_b);
+    return t;
+}
+
+TEST(NetTopology, ValidateRejectsBadGraphs)
+{
+    Topology ok = twoRacks(10.0, 10.0);
+    EXPECT_EQ(ok.validate(), "");
+    EXPECT_FALSE(ok.isHub());
+    EXPECT_TRUE(Topology::hub().isHub());
+    EXPECT_EQ(Topology::hub().validate(), "");
+
+    Topology bad_rack;
+    bad_rack.addRack(3, 10.0); // undeclared site
+    EXPECT_NE(bad_rack.validate().find("undeclared site"),
+              std::string::npos);
+
+    Topology self_wan;
+    const SiteId s0 = self_wan.addSite("a");
+    self_wan.addRack(s0, 10.0);
+    self_wan.addWanLink(s0, s0, 1.0, 0.05);
+    EXPECT_NE(self_wan.validate().find("joins a site to itself"),
+              std::string::npos);
+}
+
+TEST(NetTopology, SameRackFlowsNeverCrossTrunks)
+{
+    sim::Simulator s;
+    NetFabric fab(s, Topology::rackSpine(2, 1.0)); // skinny uplinks
+    NodeId a = fab.addNode({10.0, 0.0}, 0);
+    NodeId b = fab.addNode({10.0, 0.0}, 0);
+    EXPECT_EQ(fab.rackOf(a), 0);
+    FlowStats st;
+    s.spawn(xfer(&s, &fab, 0.0, a, b, 1.25e9, &st)); // 10 Gbit
+    s.run();
+    // Intra-rack: the 1 Gbps trunks are not on the path.
+    EXPECT_NEAR(s.now(), 1.0, 1e-9);
+    EXPECT_NEAR(st.achievedGbps, 10.0, 1e-9);
+    for (size_t t = 0; t < fab.topology().nTrunks(); ++t)
+        EXPECT_EQ(fab.trunkBytes(t), 0.0);
+    EXPECT_EQ(fab.report().wanBytes, 0.0);
+}
+
+TEST(NetTopology, OversubscribedUplinkSharesTrunkFairly)
+{
+    // Four 10G NICs behind a 10G rack trunk, each sending to its own
+    // receiver in a fat (40G) rack: the oversubscribed uplink is the
+    // single bottleneck, so progressive filling gives 10/4 = 2.5 Gbps
+    // per flow and the trunk runs at exactly full utilization.
+    sim::Simulator s;
+    NetFabric fab(s, twoRacks(10.0, 40.0));
+    std::vector<NodeId> src, dst;
+    for (int i = 0; i < 4; ++i)
+        src.push_back(fab.addNode({10.0, 0.0}, 0));
+    for (int i = 0; i < 4; ++i)
+        dst.push_back(fab.addNode({10.0, 0.0}, 1));
+    std::vector<FlowStats> st(4);
+    for (size_t i = 0; i < 4; ++i)
+        s.spawn(xfer(&s, &fab, 0.0, src[i], dst[i], 1.25e9, &st[i]));
+    s.run();
+    EXPECT_NEAR(s.now(), 4.0, 1e-9);
+    for (const FlowStats &f : st) {
+        EXPECT_NEAR(f.achievedGbps, 2.5, 1e-9);
+        EXPECT_EQ(f.peakSharedWith, 3);
+    }
+    // Trunk creation order: rack0 up/down = 0/1, rack1 up/down = 2/3.
+    EXPECT_NEAR(fab.trunkBytes(0), 4 * 1.25e9, 1e-3);
+    EXPECT_NEAR(fab.trunkUtilization(0), 1.0, 1e-9);
+    // The 40G core->rack1 trunk carried the same bytes at 1/4 duty.
+    EXPECT_NEAR(fab.trunkBytes(3), 4 * 1.25e9, 1e-3);
+    EXPECT_NEAR(fab.trunkUtilization(3), 0.25, 1e-9);
+    EXPECT_EQ(fab.report().wanBytes, 0.0); // no WAN hop in one site
+}
+
+TEST(NetTopology, NestedTrunkAndNicBottlenecks)
+{
+    // Two flows share a 10G rack uplink; one lands on a 4G NIC.
+    // Progressive filling: the 4G downlink binds first (f2 = 4), the
+    // shared trunk's residual goes to f1 (f1 = 10 - 4 = 6).
+    sim::Simulator s;
+    NetFabric fab(s, twoRacks(10.0, 40.0));
+    NodeId s1 = fab.addNode({10.0, 0.0}, 0);
+    NodeId s2 = fab.addNode({10.0, 0.0}, 0);
+    NodeId d1 = fab.addNode({10.0, 0.0}, 1);
+    NodeId d2 = fab.addNode({4.0, 0.0}, 1);
+    FlowStats f1, f2;
+    s.spawn(xfer(&s, &fab, 0.0, s1, d1, 1.25e9, &f1));
+    s.spawn(xfer(&s, &fab, 0.0, s2, d2, 1.25e9, &f2));
+    s.run();
+    // f1 drains 10 Gbit at 6 Gbps; f2 at 4 Gbps throughout.
+    EXPECT_NEAR(f1.finishS, 10.0 / 6.0, 1e-9);
+    EXPECT_NEAR(f2.finishS, 2.5, 1e-9);
+    EXPECT_NEAR(s.now(), 2.5, 1e-9);
+}
+
+TEST(NetTopology, WanChainRateIsMinLatencyIsSum)
+{
+    // a(site A) -> c(site C) crosses two WAN hops: the rate is the
+    // 0.5 Gbps path minimum, the propagation latency the 0.13 s sum.
+    Topology t;
+    const SiteId A = t.addSite("home");
+    const SiteId B = t.addSite("relay");
+    const SiteId C = t.addSite("edge");
+    t.addRack(A, 25.0);
+    t.addRack(C, 25.0);
+    t.addWanLink(A, B, 1.0, 0.05);
+    t.addWanLink(B, C, 0.5, 0.08);
+    ASSERT_EQ(t.validate(), "");
+    sim::Simulator s;
+    NetFabric fab(s, t);
+    NodeId a = fab.addNode({10.0, 0.0}, 0);
+    NodeId c = fab.addNode({10.0, 0.0}, 1);
+    EXPECT_NEAR(fab.serviceTime(a, c, 0.0625e9), 1.0, 1e-12);
+    EXPECT_NEAR(fab.pathLatency(a, c), 0.13, 1e-12);
+    FlowStats st;
+    s.spawn(xfer(&s, &fab, 0.0, a, c, 0.0625e9, &st)); // 0.5 Gbit
+    s.run();
+    EXPECT_NEAR(st.finishS, 1.0, 1e-9);       // serialization
+    EXPECT_NEAR(s.now(), 1.13, 1e-9);         // + summed latency
+    EXPECT_NEAR(st.achievedGbps, 0.5, 1e-9);
+    EXPECT_NEAR(fab.report().wanBytes, 0.0625e9, 1e-6);
+}
+
+TEST(NetTopology, ZeroByteWanTransferPaysFullPathLatency)
+{
+    Topology t;
+    const SiteId A = t.addSite("home");
+    const SiteId B = t.addSite("edge");
+    t.addRack(A, 25.0, 0.001);
+    t.addRack(B, 25.0, 0.002);
+    t.addWanLink(A, B, 1.0, 0.05);
+    sim::Simulator s;
+    NetFabric fab(s, t);
+    NodeId a = fab.addNode({10.0, 0.0}, 0);
+    NodeId b = fab.addNode({10.0, 0.0}, 1);
+    FlowStats st;
+    s.spawn(xfer(&s, &fab, 0.0, a, b, 0.0, &st));
+    s.run();
+    // up + rackA->core + WAN + core->rackB + down latencies.
+    EXPECT_NEAR(s.now(), 0.001 + 0.05 + 0.002, 1e-12);
+    // Zero-byte control messages are not WAN payload.
+    EXPECT_EQ(fab.report().wanBytes, 0.0);
+}
+
+TEST(NetTopology, ConcurrentWanFlowsShareTheTrunk)
+{
+    Topology t;
+    const SiteId A = t.addSite("home");
+    const SiteId B = t.addSite("edge");
+    t.addRack(A, 25.0);
+    t.addRack(B, 25.0);
+    t.addWanLink(A, B, 1.0, 0.0);
+    sim::Simulator s;
+    NetFabric fab(s, t);
+    NodeId a1 = fab.addNode({10.0, 0.0}, 0);
+    NodeId a2 = fab.addNode({10.0, 0.0}, 0);
+    NodeId b1 = fab.addNode({10.0, 0.0}, 1);
+    NodeId b2 = fab.addNode({10.0, 0.0}, 1);
+    FlowStats f1, f2;
+    s.spawn(xfer(&s, &fab, 0.0, a1, b1, 0.0625e9, &f1));
+    s.spawn(xfer(&s, &fab, 0.0, a2, b2, 0.0625e9, &f2));
+    s.run();
+    // Two 0.5 Gbit flows split the 1 Gbps WAN trunk: 1 s total.
+    EXPECT_NEAR(s.now(), 1.0, 1e-9);
+    EXPECT_NEAR(f1.achievedGbps, 0.5, 1e-9);
+    EXPECT_NEAR(f2.achievedGbps, 0.5, 1e-9);
+    EXPECT_NEAR(fab.report().wanBytes, 2 * 0.0625e9, 1e-6);
+}
+
+TEST(NetTopology, WanDegradeStretchesPush)
+{
+    Topology t;
+    const SiteId A = t.addSite("home");
+    const SiteId B = t.addSite("edge");
+    t.addRack(A, 25.0);
+    t.addRack(B, 25.0);
+    t.addWanLink(A, B, 1.0, 0.0);
+    sim::Simulator s;
+    sim::FaultPlan plan;
+    plan.degradeWanLink(B, 0.0, 100.0, 0.5);
+    sim::FaultInjector inj(s, plan, 1);
+    NetFabric fab(s, t);
+    NodeId a = fab.addNode({10.0, 0.0}, 0);
+    NodeId b = fab.addNode({10.0, 0.0}, 1);
+    fab.attachFaults(&inj);
+    FlowStats st;
+    s.spawn(xfer(&s, &fab, 0.0, a, b, 0.125e9, &st)); // 1 Gbit
+    s.run();
+    EXPECT_NEAR(s.now(), 2.0, 1e-9); // 1 Gbit at 0.5 Gbps
+    // One declared fault = one report entry, even though both
+    // directions of the duplex WAN pair carry the window.
+    EXPECT_EQ(inj.report().linkDegrades, 1U);
+    EXPECT_EQ(inj.report().linkDowns, 0U);
+}
+
+TEST(NetTopology, WanDownStallsThenResumes)
+{
+    Topology t;
+    const SiteId A = t.addSite("home");
+    const SiteId B = t.addSite("edge");
+    t.addRack(A, 25.0);
+    t.addRack(B, 25.0);
+    t.addWanLink(A, B, 1.0, 0.0);
+    sim::Simulator s;
+    sim::FaultPlan plan;
+    plan.downWanLink(sim::FaultSpec::kAnySite, 0.5, 1.0);
+    sim::FaultInjector inj(s, plan, 1);
+    NetFabric fab(s, t);
+    NodeId a = fab.addNode({10.0, 0.0}, 0);
+    NodeId b = fab.addNode({10.0, 0.0}, 1);
+    fab.attachFaults(&inj);
+    FlowStats st;
+    s.spawn(xfer(&s, &fab, 0.0, a, b, 0.125e9, &st)); // 1 Gbit
+    s.run();
+    // 0.5 Gbit moved by t=0.5, frozen until 1.5, rest by 2.0 —
+    // stall semantics: nothing is lost, completion slips by the
+    // outage (the conservation argument geo-rep checkpoints reuse).
+    EXPECT_NEAR(s.now(), 2.0, 1e-9);
+    EXPECT_NEAR(fab.report().wanBytes, 0.125e9, 1e-6);
+    EXPECT_EQ(inj.report().linkDowns, 1U);
+}
+
+/** The workload of test_net.cc's determinism suite: staggered flows
+ * with contention, run against @p fab; returns the fabric report. */
+net::NetReport
+runParityWorkload(sim::Simulator &s, NetFabric &fab)
+{
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 5; ++i)
+        nodes.push_back(fab.addNode({10.0, 0.001}));
+    fab.setIngress(nodes[4]);
+    std::vector<FlowStats> st(6);
+    for (size_t i = 0; i < 4; ++i)
+        s.spawn(xfer(&s, &fab, 0.07 * static_cast<double>(i),
+                     nodes[i], nodes[4], 3.3e8 + 1.0e7 * static_cast<double>(i),
+                     &st[i]));
+    s.spawn(xfer(&s, &fab, 0.11, nodes[0], nodes[1], 2.2e8, &st[4]));
+    s.spawn(xfer(&s, &fab, 0.0, nodes[3], nodes[2], 1.0e8, &st[5]));
+    s.run();
+    return fab.report();
+}
+
+TEST(NetTopology, HubTopologyIsBitExactWithPlainFabric)
+{
+    // The empty Topology must not perturb a single float operation:
+    // same link layout, same allocator order, same event sequence.
+    // This is what lets every existing dataflow, golden, and the
+    // determinism suite run unchanged with the topology code in.
+    sim::Simulator s1;
+    NetFabric plain(s1);
+    const net::NetReport a = runParityWorkload(s1, plain);
+    const double end1 = s1.now();
+    const uint64_t ev1 = s1.processedEvents();
+
+    sim::Simulator s2;
+    NetFabric hub(s2, Topology::hub());
+    const net::NetReport b = runParityWorkload(s2, hub);
+
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.bytesMoved),
+              std::bit_cast<uint64_t>(b.bytesMoved));
+    EXPECT_EQ(a.flowsCompleted, b.flowsCompleted);
+    EXPECT_EQ(a.peakConcurrentFlows, b.peakConcurrentFlows);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.ingressBytes),
+              std::bit_cast<uint64_t>(b.ingressBytes));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.ingressUtil),
+              std::bit_cast<uint64_t>(b.ingressUtil));
+    EXPECT_EQ(std::bit_cast<uint64_t>(end1),
+              std::bit_cast<uint64_t>(s2.now()));
+    EXPECT_EQ(ev1, s2.processedEvents());
+    EXPECT_EQ(a.wanBytes, 0.0);
+    EXPECT_EQ(b.wanBytes, 0.0);
+}
+
+TEST(NetTopology, TopologyRunsAreDeterministic)
+{
+    auto run = [](net::NetReport *rep) {
+        Topology t;
+        const SiteId A = t.addSite("home");
+        const SiteId B = t.addSite("edge");
+        t.addRack(A, 10.0, 0.001);
+        t.addRack(B, 5.0, 0.001);
+        t.addWanLink(A, B, 1.0, 0.05);
+        sim::Simulator s;
+        NetFabric fab(s, t);
+        std::vector<NodeId> h, e;
+        for (int i = 0; i < 3; ++i)
+            h.push_back(fab.addNode({10.0, 0.0}, 0));
+        for (int i = 0; i < 3; ++i)
+            e.push_back(fab.addNode({10.0, 0.0}, 1));
+        std::vector<FlowStats> st(4);
+        s.spawn(xfer(&s, &fab, 0.0, h[0], e[0], 2.0e8, &st[0]));
+        s.spawn(xfer(&s, &fab, 0.03, h[1], e[1], 1.5e8, &st[1]));
+        s.spawn(xfer(&s, &fab, 0.06, h[2], e[2], 1.0e8, &st[2]));
+        s.spawn(xfer(&s, &fab, 0.0, h[0], h[1], 3.0e8, &st[3]));
+        s.run();
+        *rep = fab.report();
+    };
+    net::NetReport r1, r2;
+    run(&r1);
+    run(&r2);
+    EXPECT_EQ(std::bit_cast<uint64_t>(r1.bytesMoved),
+              std::bit_cast<uint64_t>(r2.bytesMoved));
+    EXPECT_EQ(std::bit_cast<uint64_t>(r1.wanBytes),
+              std::bit_cast<uint64_t>(r2.wanBytes));
+    EXPECT_EQ(r1.flowsCompleted, r2.flowsCompleted);
+    EXPECT_GT(r1.wanBytes, 0.0);
+}
+
+} // namespace

@@ -145,10 +145,14 @@ ScopeConfig
 ScopeConfig::builtin()
 {
     ScopeConfig cfg;
-    // "src/core" (no trailing slash) covers src/core/sched too —
-    // scheduler decisions feed every multi-job run and must obey the
-    // same determinism contract.
-    cfg.scopes["banned-nondeterminism"] = {{"src/sim", "src/core"}, {}};
+    // "src/core" (no trailing slash) covers src/core/sched and
+    // src/core/georep too — scheduler decisions and WAN replication
+    // feed every multi-job run and must obey the same determinism
+    // contract. georep is also listed explicitly so the geo-rep
+    // subsystem stays covered even if the broad "src/core" entry is
+    // ever narrowed.
+    cfg.scopes["banned-nondeterminism"] = {
+        {"src/sim", "src/core", "src/core/georep"}, {}};
     // The fabric and the device-spec formulas are the two sanctioned
     // homes for rate arithmetic.
     cfg.scopes["analytic-net-math"] = {{}, {"src/net/", "src/hw/"}};

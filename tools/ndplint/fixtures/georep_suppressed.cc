@@ -1,0 +1,27 @@
+// ndp-lint fixture: the core/georep suppression idiom. Not compiled —
+// lexed by test_ndplint_flow.cc. A static member coroutine borrows the
+// whole Impl by reference across its suspensions (the georep dataflow
+// pattern: agent/distributor loops over shared per-site state). The
+// escape is real in shape, but the Impl outlives s.run(), which joins
+// every spawned task, and the allow records exactly that — so the
+// finding is suppressed and the audit sees a rationale.
+
+#include "sim/task.h"
+
+namespace fixture {
+
+struct Flow
+{
+    static sim::Task agentLoop(Flow &im);
+};
+
+/* ndplint: allow(coroutine-ref-param, coroutine-escape: the Impl
+ * outlives s.run(), which joins this task) */
+sim::Task
+Flow::agentLoop(Flow &im)
+{
+    co_await im.s.delay(1.0);
+    im.publish();
+}
+
+} // namespace fixture
