@@ -139,6 +139,19 @@ main(int argc, char **argv)
 
     const serve::ServeReport run1 = serve::runServing(cfg);
     reportRun(run1);
+    if (obs::HealthMonitor::current() != nullptr)
+        std::printf(
+            "Health: %llu alerts fired (%llu burn-rate), error budget "
+            "%.2fx consumed, %.1f s in violation; %llu faults "
+            "detected, mean time-to-detect %.3f s.\n",
+            static_cast<unsigned long long>(run1.health.alertsFired),
+            static_cast<unsigned long long>(
+                run1.health.burnAlertsFired),
+            run1.health.errorBudgetConsumed,
+            run1.health.timeInViolationS,
+            static_cast<unsigned long long>(
+                run1.health.faultsDetected),
+            run1.health.meanTimeToDetectS);
 
     // Same seed, whole scenario again: the open-loop stream, the
     // admission decisions, the crash re-dispatch, and the percentile
@@ -157,7 +170,10 @@ main(int argc, char **argv)
                     "\"p95_ms\":%.3f,\"p99_ms\":%.3f,"
                     "\"p999_ms\":%.3f,\"offered_rate\":%.1f,"
                     "\"goodput_rate\":%.1f,\"peak_queue_depth\":%d,"
-                    "\"deterministic\":%s}\n",
+                    "\"deterministic\":%s,"
+                    "\"alerts_fired\":%llu,"
+                    "\"error_budget_consumed\":%.4f,"
+                    "\"time_in_violation_s\":%.3f}\n",
                     static_cast<unsigned long long>(run1.offered),
                     static_cast<unsigned long long>(run1.accepted),
                     static_cast<unsigned long long>(run1.goodput),
@@ -171,7 +187,11 @@ main(int argc, char **argv)
                     run1.p50Ms, run1.p95Ms, run1.p99Ms, run1.p999Ms,
                     run1.offeredRate, run1.goodputRate,
                     run1.peakQueueDepth,
-                    identical ? "true" : "false");
+                    identical ? "true" : "false",
+                    static_cast<unsigned long long>(
+                        run1.health.alertsFired),
+                    run1.health.errorBudgetConsumed,
+                    run1.health.timeInViolationS);
 
     // Colocation: the same serving job through the cluster scheduler,
     // alone, fair-sharing the stores with a nightly fine-tune, and

@@ -12,6 +12,7 @@
 #include "core/serve/admission.h"
 #include "net/fabric.h"
 #include "net/topology.h"
+#include "obs/monitor.h"
 #include "sim/arrival.h"
 #include "sim/channel.h"
 #include "sim/resource.h"
@@ -185,6 +186,89 @@ runOpenLoopDispatch(Simulator &s, uint64_t n)
     return shed;
 }
 
+/** The open-loop dispatch workload with the health monitor's serve
+ *  hooks live on every request (outcome + shed + queue depth), the
+ *  exact call pattern core/serve threads through its hot path. The
+ *  monitor-overhead workload runs it with @p mon null (the
+ *  monitoring-off pointer checks) and with a live monitor, and the
+ *  --json gate asserts the delta stays under 5%. */
+/** Pre-resolved monitor scope, like core/serve's ctx.monScope: the
+ *  hot path passes the handle, never a string. */
+const std::string kMonScope("bench");
+using MonScope = ndp::obs::HealthMonitor::ScopeHandle;
+
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
+Task
+monitoredWorker(Simulator &s, Channel<ndp::sim::Request> &q,
+                ndp::core::serve::LoadBalancer &lb, size_t b,
+                ndp::obs::HealthMonitor *mon, MonScope scope)
+{
+    while (true) {
+        auto r = co_await q.get();
+        if (!r)
+            break;
+        co_await s.delay(1e-5);
+        lb.dequeued(b);
+        if (mon)
+            mon->onServeOutcome(scope, static_cast<int>(b), s.now(),
+                                s.now() - r->arriveS, true);
+    }
+}
+
+// ndplint: allow(coroutine-ref-param, coroutine-escape: referents outlive s.run() in the benchmark body)
+Task
+monitoredDriver(Simulator &s,
+                std::vector<std::unique_ptr<Channel<ndp::sim::Request>>> &qs,
+                ndp::core::serve::LoadBalancer &lb, uint64_t n,
+                uint64_t &shed, ndp::obs::HealthMonitor *mon,
+                MonScope scope)
+{
+    ndp::sim::ArrivalConfig cfg;
+    cfg.nRequests = n;
+    cfg.baseRatePerSec = 500000.0;
+    ndp::sim::ArrivalProcess gen(cfg);
+    ndp::sim::Request r;
+    uint32_t qtick = 0; // core/serve's strided gauge sample
+    while (gen.next(r)) {
+        if (r.arriveS > s.now())
+            co_await s.delay(r.arriveS - s.now());
+        const int b = lb.pick();
+        if (b < 0 || lb.depth(static_cast<size_t>(b)) >= kDispatchCap) {
+            ++shed;
+            if (mon)
+                mon->onShed(scope, s.now());
+            continue;
+        }
+        lb.enqueued(static_cast<size_t>(b));
+        if (mon && (++qtick & 7u) == 0)
+            mon->onQueueDepth(scope, s.now(), lb.totalDepth(),
+                              kDispatchCap * kDispatchWorkers);
+        co_await qs[static_cast<size_t>(b)]->put(r);
+    }
+    for (auto &q : qs)
+        q->close();
+}
+
+uint64_t
+runMonitoredDispatch(Simulator &s, uint64_t n,
+                     ndp::obs::HealthMonitor *mon)
+{
+    std::vector<std::unique_ptr<Channel<ndp::sim::Request>>> qs;
+    for (int i = 0; i < kDispatchWorkers; ++i)
+        qs.push_back(std::make_unique<Channel<ndp::sim::Request>>(
+            s, kDispatchCap));
+    ndp::core::serve::LoadBalancer lb(kDispatchWorkers);
+    uint64_t shed = 0;
+    const MonScope scope =
+        mon ? mon->scopeHandle(kMonScope) : MonScope{};
+    for (int i = 0; i < kDispatchWorkers; ++i)
+        s.spawn(monitoredWorker(s, *qs[static_cast<size_t>(i)], lb,
+                                static_cast<size_t>(i), mon, scope));
+    s.spawn(monitoredDriver(s, qs, lb, n, shed, mon, scope));
+    s.run();
+    return shed;
+}
+
 void
 BM_OpenLoopDispatch(benchmark::State &state)
 {
@@ -326,6 +410,53 @@ runJson()
         ndp::bench::jsonWorkloadLine(
             "multi-link-routing",
             static_cast<long long>(s.processedEvents()), w.seconds());
+    }
+    {
+        // monitor-overhead: open-loop dispatch with the health
+        // monitor's per-request hooks null vs live. Baseline and
+        // monitored reps are interleaved (min-of-8 per side) so slow
+        // clock/frequency drift cancels instead of landing entirely
+        // on one side of the delta. The <5% gate is the "provably
+        // cheap when on" half of the monitor's zero-cost contract
+        // (tests pin the off half).
+        const uint64_t n = 300000;
+        double base_s = 1e30;
+        double mon_s = 1e30;
+        long long mon_ev = 0;
+        for (int rep = 0; rep < 8; ++rep) {
+            for (int side = 0; side < 2; ++side) {
+                const bool monitored = side == 1;
+                ndp::obs::HealthMonitor mon;
+                Simulator s;
+                ndp::bench::WallTimer w;
+                uint64_t shed = runMonitoredDispatch(
+                    s, n, monitored ? &mon : nullptr);
+                benchmark::DoNotOptimize(shed);
+                const double t = w.seconds();
+                double &best = monitored ? mon_s : base_s;
+                if (t < best) {
+                    best = t;
+                    if (monitored)
+                        mon_ev = static_cast<long long>(
+                            s.processedEvents());
+                }
+            }
+        }
+        const double overhead_pct =
+            base_s > 0.0 ? 100.0 * (mon_s - base_s) / base_s : 0.0;
+        std::printf(
+            "{\"workload\":\"monitor-overhead\",\"events\":%lld,"
+            "\"wall_s\":%.6f,\"events_per_sec\":%.0f,"
+            "\"baseline_wall_s\":%.6f,\"overhead_pct\":%.2f}\n",
+            mon_ev, mon_s,
+            mon_s > 0.0 ? static_cast<double>(mon_ev) / mon_s : 0.0,
+            base_s, overhead_pct);
+        if (overhead_pct > 5.0) {
+            std::fprintf(stderr,
+                         "monitor-overhead: %.2f%% > 5%% budget\n",
+                         overhead_pct);
+            return 1;
+        }
     }
     return 0;
 }

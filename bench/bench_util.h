@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/monitor.h"
 #include "obs/trace.h"
 
 namespace ndp::bench {
@@ -49,20 +50,33 @@ jsonMode()
     return jsonModeFlag();
 }
 
+/** The env-gated obs sessions one bench run holds: both members are
+ *  null (observability off, zero cost) unless NDP_TRACE / NDP_MONITOR
+ *  are set. Destruction order writes the monitor JSON first, then the
+ *  trace file. */
+struct BenchSession
+{
+    std::unique_ptr<obs::TraceSession> trace;
+    std::unique_ptr<obs::MonitorSession> monitor;
+};
+
 /**
- * Parse the shared bench flags (--json) and open the NDP_TRACE-gated
- * trace session. Call it first thing in main() and hold the returned
- * session for the whole run — its destructor writes the trace file
- * (NDP_TRACE_FILE, default ndp_trace.json). Null (tracing off, zero
- * cost) unless NDP_TRACE is set.
+ * Parse the shared bench flags (--json) and open the env-gated obs
+ * sessions. Call it first thing in main() and hold the returned
+ * sessions for the whole run — the trace session's destructor writes
+ * the trace file (NDP_TRACE_FILE, default ndp_trace.json), the
+ * monitor session's writes the health report (NDP_MONITOR_FILE,
+ * default ndp_health.json). Both null (observability off, zero cost)
+ * unless NDP_TRACE / NDP_MONITOR are set.
  */
-[[nodiscard]] inline std::unique_ptr<obs::TraceSession>
+[[nodiscard]] inline BenchSession
 init(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i)
         if (std::strcmp(argv[i], "--json") == 0)
             jsonModeFlag() = true;
-    return obs::TraceSession::fromEnv();
+    return {obs::TraceSession::fromEnv(),
+            obs::MonitorSession::fromEnv()};
 }
 
 inline std::string

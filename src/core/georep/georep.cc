@@ -209,6 +209,11 @@ GeoRepDataflow::Impl::siteLoop(Impl &im, size_t i)
             continue;
         }
         const int lag = target - st.version;
+        if (im.ports.monitor)
+            im.ports.monitor->onGeoLag(
+                im.ports.scope.empty() ? "georep" : im.ports.scope,
+                im.ports.siteNames[i], im.s.now(), lag,
+                im.opt.stalenessBound);
         uint64_t span = 0;
         if (im.ports.trace)
             span = im.ports.trace->asyncBegin(
@@ -384,6 +389,7 @@ runGeoReplication(const GeoRepConfig &cfg)
 
     sim::FaultInjector injector(
         s, cfg.faults, static_cast<int>(cfg.sites.size()));
+    injector.attachObserver(obs::HealthMonitor::current());
     sim::FaultInjector *faults =
         injector.armed() ? &injector : nullptr;
     fabric.attachFaults(faults);
@@ -397,6 +403,7 @@ runGeoReplication(const GeoRepConfig &cfg)
     ports.siteNames = site_names;
     ports.gpu = &gpu;
     ports.trace = trace;
+    ports.monitor = obs::HealthMonitor::current();
     GeoRepDataflow flow(s, cfg.opt, ports);
 
     obs::GaugeSet gauges(trace);

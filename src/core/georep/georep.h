@@ -56,6 +56,7 @@
 #include "core/config.h"
 #include "hw/devices.h"
 #include "net/fabric.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -200,6 +201,8 @@ struct GeoRepPorts
     /** Tuner GPU the central fine-tune occupies. */
     hw::GpuExec *gpu = nullptr;
     obs::Tracer *trace = nullptr;
+    /** Streaming health monitor (null = monitoring off, no-op). */
+    obs::HealthMonitor *monitor = nullptr;
     /** Per-job trace prefix (obs::scopedNode); empty = untouched. */
     std::string scope;
     sched::Scheduler *sched = nullptr;

@@ -11,6 +11,7 @@
 #include "hw/devices.h"
 #include "hw/power.h"
 #include "models/throughput.h"
+#include "obs/monitor.h"
 #include "sim/simulator.h"
 
 namespace ndp::core {
@@ -257,6 +258,7 @@ runNdpOfflineInference(const ExperimentConfig &cfg)
         });
     }
     sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
+    injector.attachObserver(obs::HealthMonitor::current());
     ports.faults = injector.armed() ? &injector : nullptr;
     fabric.attachFaults(ports.faults);
     ports.trace = tr;
@@ -366,6 +368,7 @@ runSrvOfflineInference(const ExperimentConfig &cfg, SrvVariant variant)
                    });
     }
     sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
+    injector.attachObserver(obs::HealthMonitor::current());
     fabric.attachFaults(injector.armed() ? &injector : nullptr);
     double sec_per_image =
         1.0 / models::deviceIps(*cfg.hostSpec.gpu, m, cfg.npe.batchSize);

@@ -8,6 +8,7 @@
 #include "hw/devices.h"
 #include "hw/power.h"
 #include "models/throughput.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/stats.h"
@@ -97,7 +98,10 @@ uploadProc(sim::Simulator &s, OnlineCtx &ctx, double preproc_s,
                                          ctx.uploadBytes,
                                          net::FlowClass::Upload);
         }
+        if (resends > 0 && !dropped)
+            inj->noteMsgRecovered(0);
         if (dropped) {
+            inj->noteMsgAbandoned(0);
             if (ctx.trace)
                 ctx.trace->instant(ctx.trkFault, obs::Cat::Fault,
                                    "upload-dropped", s.now());
@@ -277,6 +281,7 @@ runOnlineInference(const OnlineConfig &cfg)
     ports.cpu = &cpu;
     ports.gpu = &gpu;
     sim::FaultInjector injector(s, cfg.faults, 1);
+    injector.attachObserver(obs::HealthMonitor::current());
     ports.faults = injector.armed() ? &injector : nullptr;
     ports.trace = tr;
 

@@ -190,6 +190,8 @@ Pipeline::producerProc(size_t idx)
                         }
                         backoff *= 2.0;
                     }
+                    if (failures > 0 && !dead)
+                        inj->noteIoRecovered(fstore);
                     if (dead) {
                         deadRun = r;
                         deadLeft = left;
@@ -493,6 +495,8 @@ Pipeline::serialProc()
                         }
                         backoff *= 2.0;
                     }
+                    if (failures > 0 && !crashed)
+                        inj->noteIoRecovered(fstore);
                 }
                 if (crashed) {
                     uint64_t lost = left;

@@ -202,6 +202,8 @@ struct Cluster::Impl
         fabric.setTracer(trace);
         faults = injector.armed() ? &injector : nullptr;
         fabric.attachFaults(faults);
+        monitor = obs::HealthMonitor::current();
+        injector.attachObserver(monitor);
         for (int i = 0; i < spec.nStores; ++i)
             stations.push_back(
                 std::make_unique<StoreStations>(s, spec.storeSpec));
@@ -249,6 +251,8 @@ struct Cluster::Impl
     hw::CpuPool tunerCpu;
     sim::FaultInjector injector;
     sim::FaultInjector *faults = nullptr;
+    /** Session health monitor; null when monitoring is off. */
+    obs::HealthMonitor *monitor = nullptr;
     std::vector<std::unique_ptr<StoreStations>> stations;
     std::unique_ptr<Scheduler> sched;
     std::vector<std::unique_ptr<JobRun>> jobs;
@@ -367,6 +371,7 @@ Cluster::Impl::buildDataflow(Impl &im, JobRun &jr)
         }
         p.faults = jf;
         p.trace = im.trace;
+        p.monitor = im.monitor;
         p.scope = d.name;
         p.sched = im.sched.get();
         p.jobId = jr.schedId;
@@ -430,6 +435,7 @@ Cluster::Impl::buildDataflow(Impl &im, JobRun &jr)
             p.siteNames.push_back(w.name);
         p.gpu = &im.tunerGpu;
         p.trace = im.trace;
+        p.monitor = im.monitor;
         p.scope = d.name;
         p.sched = im.sched.get();
         p.jobId = jr.schedId;
@@ -632,6 +638,8 @@ Cluster::run()
             j.stalenessP95S = t.stalenessP95S;
             j.stalenessMaxS = t.stalenessMaxS;
         }
+        if (im.monitor)
+            j.health = im.monitor->summary(jr->desc.name);
         rep.jobs.push_back(std::move(j));
     }
     return rep;

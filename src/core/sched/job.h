@@ -32,6 +32,7 @@
 #include "core/georep/georep.h"
 #include "core/media.h"
 #include "core/report.h"
+#include "obs/monitor.h"
 #include "core/serve/serve.h"
 #include "core/training.h"
 
@@ -164,6 +165,12 @@ struct JobReport
     uint64_t abandoned = 0;
     int peakQueueDepth = 0;
     /** @} */
+
+    /** Per-job health roll-up from the streaming monitor: alerts
+     *  fired, error budget consumed, time in violation. All-zero when
+     *  monitoring is off (obs::HealthMonitor::current() == nullptr) or
+     *  the job's dataflow emits no health observations. */
+    obs::HealthSummary health;
 
     /** @name GeoReplicate only (see georep::GeoRepReport)
      * @{ */

@@ -50,7 +50,8 @@ struct ServeCtx
         : s(sim), cfg(config), fabric(*p.fabric),
           clientNode(p.clientNode), storeNodes(p.storeNodes),
           stores(p.stores), fleetIdx(p.fleetIdx), faults(p.faults),
-          sched(p.sched), jobId(p.jobId),
+          sched(p.sched), jobId(p.jobId), monitor(p.monitor),
+          scopeKey(p.scope.empty() ? "serve" : p.scope),
           lb(static_cast<int>(p.stores.size())),
           admit(config.admission, lb), gen(config.arrivals)
     {
@@ -63,6 +64,8 @@ struct ServeCtx
             shards.emplace_back(
                 std::make_unique<LatencyHistogram>());
         }
+        if (monitor != nullptr)
+            monScope = monitor->scopeHandle(scopeKey);
     }
 
     sim::Simulator &s;
@@ -77,6 +80,15 @@ struct ServeCtx
     /** Multi-job hooks (null/-1 single-tenant: zero-cost rule). */
     sched::Scheduler *sched = nullptr;
     int jobId = -1;
+    /** Null when monitoring is off (zero-cost rule). */
+    obs::HealthMonitor *monitor = nullptr;
+    /** Monitor attribution key: the job scope, "serve" standalone. */
+    std::string scopeKey;
+    /** Pre-resolved monitor scope (valid only when monitor != null):
+     *  the per-request hooks skip the scope lookup entirely. */
+    obs::HealthMonitor::ScopeHandle monScope;
+    /** Admission counter for the strided queue-depth gauge sample. */
+    uint32_t monQueueTick = 0;
 
     LoadBalancer lb;
     AdmissionController admit;
@@ -120,6 +132,10 @@ struct ServeCtx
         if (!lb.healthy(static_cast<int>(b)))
             return;
         lb.setHealthy(static_cast<int>(b), false);
+        // The balancer re-routes from this instant: the crash's
+        // recovery handling (for the detection ledger) is done.
+        if (faults)
+            faults->noteCrashHandled(true);
         if (trace)
             trace->instant(trkFault, obs::Cat::Fault, "store-crash",
                            s.now(),
@@ -151,6 +167,8 @@ redispatchOne(ServeCtx &ctx, sim::Request r, size_t from)
     } else {
         ctx.lb.dequeued(static_cast<int>(from));
         ++ctx.admit.stats().abandoned;
+        if (ctx.monitor)
+            ctx.monitor->onShed(ctx.monScope, ctx.s.now());
         ctx.inflight->done();
     }
 }
@@ -194,6 +212,12 @@ serveOne(ServeCtx &ctx, size_t b, sim::Request r)
                                              r.bytes,
                                              net::FlowClass::Upload);
             }
+            if (resends > 0) {
+                if (dropped)
+                    inj->noteMsgAbandoned(ctx.fleetIdx[b]);
+                else
+                    inj->noteMsgRecovered(ctx.fleetIdx[b]);
+            }
         }
         if (!dropped) {
             if (ctx.faults) {
@@ -231,12 +255,20 @@ serveOne(ServeCtx &ctx, size_t b, sim::Request r)
     ctx.lb.dequeued(static_cast<int>(b));
     if (dropped) {
         ++ctx.admit.stats().abandoned;
+        if (ctx.monitor)
+            ctx.monitor->onShed(ctx.monScope, ctx.s.now());
     } else {
         const double latency = ctx.s.now() - (ctx.startS + r.arriveS);
         ctx.shards[b]->record(latency);
         ++ctx.admit.stats().completed;
-        if (ctx.s.now() <= ctx.startS + r.deadlineS)
+        const bool inDeadline =
+            ctx.s.now() <= ctx.startS + r.deadlineS;
+        if (inDeadline)
             ++ctx.admit.stats().completedInDeadline;
+        if (ctx.monitor)
+            ctx.monitor->onServeOutcome(ctx.monScope, ctx.fleetIdx[b],
+                                        ctx.s.now(), latency,
+                                        inDeadline);
         if (r.kind == sim::RequestKind::Upload)
             ++ctx.uploadsDone;
         else
@@ -297,8 +329,20 @@ arrivalProc(ServeCtx &ctx, sim::WaitGroup &job_done)
         const Verdict v =
             ctx.admit.offer(ctx.s.now(), ctx.startS + r.deadlineS, est,
                             &backend);
-        if (v != Verdict::Accept)
+        if (v != Verdict::Accept) {
+            if (ctx.monitor)
+                ctx.monitor->onShed(ctx.monScope, ctx.s.now());
             continue;
+        }
+        // Queue depth is a gauge: a strided snapshot (every 8th
+        // admission) bounds the hook cost without starving the
+        // saturation rule, which only reads the latest snapshot on
+        // the eval cadence anyway.
+        if (ctx.monitor && (++ctx.monQueueTick & 7u) == 0)
+            ctx.monitor->onQueueDepth(
+                ctx.monScope, ctx.s.now(), ctx.lb.totalDepth(),
+                ctx.admit.config().queueCap *
+                    static_cast<int>(ctx.stores.size()));
         // A crash between worker pickups is first observed here:
         // re-route before enqueueing onto a dead store.
         if (ctx.storeCrashed(static_cast<size_t>(backend),
@@ -436,6 +480,8 @@ ServeDataflow::finalize(ServeReport &rep)
         rep.meanMs = all.mean() * 1e3;
         rep.maxMs = all.max() * 1e3;
     }
+    if (im.ports.monitor)
+        rep.health = im.ports.monitor->summary(im.ctx.scopeKey);
 }
 
 double
@@ -478,6 +524,8 @@ runServing(const ServeConfig &cfg)
     ports.faults = injector.armed() ? &injector : nullptr;
     fabric.attachFaults(ports.faults);
     ports.trace = tr;
+    ports.monitor = obs::HealthMonitor::current();
+    injector.attachObserver(ports.monitor);
 
     ServeDataflow flow(s, cfg, ports);
     flow.spawn();
@@ -494,6 +542,10 @@ runServing(const ServeConfig &cfg)
     }
     rep.faults = injector.report();
     rep.net = fabric.report();
+    // Standalone run: the whole-session roll-up (the "" scope holds
+    // the fault-lifecycle and gauge-fed signals the job scope lacks).
+    if (ports.monitor != nullptr)
+        rep.health = ports.monitor->totals();
     return rep;
 }
 

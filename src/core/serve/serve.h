@@ -43,6 +43,7 @@
 #include "core/serve/admission.h"
 #include "hw/specs.h"
 #include "net/fabric.h"
+#include "obs/monitor.h"
 #include "sim/arrival.h"
 #include "sim/fault.h"
 #include "sim/wait_group.h"
@@ -124,6 +125,11 @@ struct ServeReport
     /** Standalone runs only (the Cluster rolls these up itself). */
     sim::FaultReport faults;
     net::NetReport net;
+
+    /** Monitor roll-up for this job's scope; all-zero when monitoring
+     *  is off (the pre-existing fields above stay bit-identical
+     *  either way — the obs layer's passive contract). */
+    obs::HealthSummary health;
 };
 
 /**
@@ -143,6 +149,8 @@ struct ServePorts
     std::vector<int> fleetIdx;
     sim::FaultInjector *faults = nullptr;
     obs::Tracer *trace = nullptr;
+    /** Streaming health monitor (null = monitoring off, no-op). */
+    obs::HealthMonitor *monitor = nullptr;
     /** Per-job trace prefix (obs::scopedNode); empty = untouched. */
     std::string scope;
     sched::Scheduler *sched = nullptr;

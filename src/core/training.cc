@@ -12,6 +12,7 @@
 #include "hw/devices.h"
 #include "hw/power.h"
 #include "models/throughput.h"
+#include "obs/monitor.h"
 #include "sim/barrier.h"
 #include "sim/channel.h"
 #include "sim/simulator.h"
@@ -399,6 +400,12 @@ deltaDistribution(FtDmpEnv &env, const ExperimentConfig &cfg,
                 delta_bytes, net::FlowClass::DeltaPush);
             *out_bytes += delta_bytes;
         }
+        if (resends > 0) {
+            if (resends > env.faults->plan().msgRetryLimit)
+                env.faults->noteMsgAbandoned(i);
+            else
+                env.faults->noteMsgRecovered(i);
+        }
     }
     if (fin)
         fin->done();
@@ -661,6 +668,7 @@ runFtDmpTraining(const ExperimentConfig &cfg, const TrainOptions &opt)
     // see it when the plan is non-empty — an empty plan leaves every
     // dataflow on the exact fault-free event sequence.
     sim::FaultInjector injector(s, cfg.faults, cfg.nStores);
+    injector.attachObserver(obs::HealthMonitor::current());
     ports.faults = injector.armed() ? &injector : nullptr;
     fabric.attachFaults(ports.faults);
     fabric.setTracer(tr);
@@ -919,6 +927,7 @@ runSrvFineTuning(const ExperimentConfig &cfg, SrvVariant variant,
     // SRV has no peer to re-dispatch to (one host owns the GPUs), so
     // faults here degrade or type-fail the run but never re-assign.
     sim::FaultInjector injector(s, cfg.faults, cfg.srvStorageServers);
+    injector.attachObserver(obs::HealthMonitor::current());
     fabric.attachFaults(injector.armed() ? &injector : nullptr);
     ports.faults = injector.armed() ? &injector : nullptr;
     ports.gpus = &host.gpus;

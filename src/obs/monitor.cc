@@ -1,0 +1,549 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace ndp::obs {
+
+namespace {
+
+/** The session-installed monitor (single-threaded simulator — a plain
+ *  pointer, no TLS needed; the tracer's g_current pattern). */
+HealthMonitor *g_monitor = nullptr;
+
+/** Fixed-format number helper (trace.cc's putNumber): %.17g
+ *  round-trips doubles exactly, so JSON is byte-stable across runs. */
+void
+putNumber(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+            break;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+const char *
+ruleName(Rule r)
+{
+    switch (r) {
+      case Rule::SloBurnFast:
+        return "slo-burn-fast";
+      case Rule::SloBurnSlow:
+        return "slo-burn-slow";
+      case Rule::Straggler:
+        return "straggler";
+      case Rule::QueueSaturation:
+        return "queue-saturation";
+      case Rule::LinkCongestion:
+        return "link-congestion";
+      case Rule::GeoStaleness:
+        return "geo-staleness";
+    }
+    return "?";
+}
+
+const char *
+healthEventKindName(HealthEvent::Kind k)
+{
+    switch (k) {
+      case HealthEvent::Kind::AlertRaised:
+        return "alert-raised";
+      case HealthEvent::Kind::AlertCleared:
+        return "alert-cleared";
+      case HealthEvent::Kind::FaultDetected:
+        return "fault-detected";
+      case HealthEvent::Kind::FaultRecovered:
+        return "fault-recovered";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor
+
+HealthMonitor::HealthMonitor(MonitorConfig cfg) : cfg_(cfg) {}
+
+HealthMonitor::ScopeState &
+HealthMonitor::stateSlow(const std::string &scope)
+{
+    auto it = scopes_.find(scope);
+    if (it == scopes_.end()) {
+        it = scopes_.emplace(scope, ScopeState(cfg_)).first;
+        it->second.key = scope;
+    }
+    cachedScope_ = scope;
+    cachedState_ = &it->second;
+    return it->second;
+}
+
+void
+HealthMonitor::onGeoLag(const std::string &scope,
+                        const std::string &site, double now_s, int lag,
+                        int staleness_bound)
+{
+    ScopeState &st = state(scope);
+    st.geoLagFrac[site] =
+        static_cast<double>(lag) /
+        static_cast<double>(std::max(1, staleness_bound));
+    maybeEval(st, now_s);
+}
+
+void
+HealthMonitor::onGaugeSample(const std::string &node,
+                             const std::string &name, double now_s,
+                             double value)
+{
+    // Gauges are fleet-scoped (they are registered against nodes, not
+    // jobs), so their samples land in the cluster-wide "" scope.
+    ScopeState &st = state("");
+    if (name == "ingress.util")
+        st.linkUtil[node] = value;
+    maybeEval(st, now_s);
+}
+
+void
+HealthMonitor::onFaultDetected(sim::FaultKind kind, int store,
+                               double opened_s, double detected_s)
+{
+    ScopeState &st = state("");
+    ++st.faultsDetected;
+    st.ttdSumS += detected_s - opened_s;
+    HealthEvent e;
+    e.kind = HealthEvent::Kind::FaultDetected;
+    e.fault = kind;
+    e.detail = "store" + std::to_string(store);
+    e.tS = detected_s;
+    e.value = detected_s - opened_s;
+    events_.push_back(e);
+    emitInstant(events_.back());
+}
+
+void
+HealthMonitor::onFaultRecovered(sim::FaultKind kind, int store,
+                                double opened_s, double recovered_s)
+{
+    ScopeState &st = state("");
+    ++st.faultsRecovered;
+    HealthEvent e;
+    e.kind = HealthEvent::Kind::FaultRecovered;
+    e.fault = kind;
+    e.detail = "store" + std::to_string(store);
+    e.tS = recovered_s;
+    e.value = recovered_s - opened_s;
+    events_.push_back(e);
+    emitInstant(events_.back());
+}
+
+void
+HealthMonitor::evalScope(ScopeState &st, double now_s)
+{
+    // The inline maybeEval guard filtered the eval cadence with one
+    // compare; re-entrancy (an emission routed back through a gauge
+    // sample into a *different* scope's guard) is filtered here.
+    if (inEval_)
+        return;
+    inEval_ = true;
+    // Advance the cadence before any emission, so a same-timestamp
+    // re-entrant observation of this scope is guard-filtered too.
+    st.nextEvalS = now_s + cfg_.evalPeriodS;
+    if (st.everEvaled && st.inViolation)
+        st.timeInViolationS += now_s - st.lastEvalS;
+    st.lastEvalS = now_s;
+    st.everEvaled = true;
+
+    // Phase 1: compute every rule's verdict before emitting anything,
+    // so emission side effects (a Perfetto instant piggybacking a
+    // gauge sample back into onGaugeSample) cannot feed this eval.
+    struct Verdict
+    {
+        bool active = false;
+        double value = 0.0;
+        double threshold = 0.0;
+        std::string detail;
+    };
+    Verdict v[kNumRules];
+
+    const double denom = 1.0 - cfg_.sloObjective;
+    double fastBurn = 0.0;
+    double slowBurn = 0.0;
+    const SloWindow::Sums ft = st.slo.fastSums(now_s);
+    if (ft.total > 0.0 && denom > 0.0)
+        fastBurn = (ft.bad / ft.total) / denom;
+    const SloWindow::Sums sl = st.slo.slowSums(now_s);
+    if (sl.total > 0.0 && denom > 0.0)
+        slowBurn = (sl.bad / sl.total) / denom;
+    v[static_cast<int>(Rule::SloBurnFast)] = {
+        fastBurn >= cfg_.fastBurnThreshold, fastBurn,
+        cfg_.fastBurnThreshold, ""};
+    v[static_cast<int>(Rule::SloBurnSlow)] = {
+        slowBurn >= cfg_.slowBurnThreshold, slowBurn,
+        cfg_.slowBurnThreshold, ""};
+
+    {
+        std::vector<double> svc;
+        int worstStore = -1;
+        double worst = 0.0;
+        for (size_t i = 0; i < st.storeServiceS.size(); ++i) {
+            const Ewma &e = st.storeServiceS[i];
+            if (e.empty())
+                continue;
+            svc.push_back(e.value());
+            if (e.value() > worst) {
+                worst = e.value();
+                worstStore = static_cast<int>(i);
+            }
+        }
+        Verdict &sv = v[static_cast<int>(Rule::Straggler)];
+        sv.threshold = cfg_.stragglerFactor;
+        if (svc.size() >= 2) {
+            std::sort(svc.begin(), svc.end());
+            const double median = svc[svc.size() / 2];
+            if (median > 0.0) {
+                sv.value = worst / median;
+                sv.active = sv.value >= cfg_.stragglerFactor;
+                sv.detail = "store" + std::to_string(worstStore);
+            }
+        }
+    }
+
+    const double queueFrac =
+        st.queueCap > 0 ? static_cast<double>(st.queueDepth) /
+                              static_cast<double>(st.queueCap)
+                        : 0.0;
+    v[static_cast<int>(Rule::QueueSaturation)] = {
+        queueFrac >= cfg_.saturationFraction, queueFrac,
+        cfg_.saturationFraction, ""};
+
+    {
+        Verdict &lv = v[static_cast<int>(Rule::LinkCongestion)];
+        lv.threshold = cfg_.congestionUtil;
+        for (const auto &kv : st.linkUtil) {
+            if (kv.second > lv.value) {
+                lv.value = kv.second;
+                lv.detail = kv.first;
+            }
+        }
+        lv.active = !st.linkUtil.empty() &&
+                    lv.value >= cfg_.congestionUtil;
+    }
+
+    {
+        Verdict &gv = v[static_cast<int>(Rule::GeoStaleness)];
+        gv.threshold = cfg_.stalenessFraction;
+        for (const auto &kv : st.geoLagFrac) {
+            if (kv.second > gv.value) {
+                gv.value = kv.second;
+                gv.detail = kv.first;
+            }
+        }
+        gv.active = !st.geoLagFrac.empty() &&
+                    gv.value >= cfg_.stalenessFraction;
+    }
+
+    // The burn series records exactly the values the decisions used:
+    // tools/ndpmon replays the alert state machine from these samples
+    // and must land on burn_alerts_fired precisely. The windowed p99
+    // rides along (dashboard timeline; no rule reads it).
+    st.series.push_back({now_s, st.bad, st.total, fastBurn, slowBurn,
+                         st.latency.percentile(99.0)});
+
+    // Phase 2: emit transitions.
+    for (int r = 0; r < kNumRules; ++r)
+        setAlert(st, static_cast<Rule>(r), v[r].active, v[r].value,
+                 v[r].threshold, now_s, v[r].detail);
+
+    bool any = false;
+    for (bool a : st.alertActive)
+        any = any || a;
+    st.inViolation = any;
+    inEval_ = false;
+}
+
+void
+HealthMonitor::setAlert(ScopeState &st, Rule r, bool active,
+                        double value, double threshold, double now_s,
+                        const std::string &detail)
+{
+    const int i = static_cast<int>(r);
+    if (active == st.alertActive[i])
+        return;
+    st.alertActive[i] = active;
+    if (active) {
+        ++st.fired;
+        if (r == Rule::SloBurnFast || r == Rule::SloBurnSlow)
+            ++st.burnFired;
+    } else {
+        ++st.cleared;
+    }
+    HealthEvent e;
+    e.kind = active ? HealthEvent::Kind::AlertRaised
+                    : HealthEvent::Kind::AlertCleared;
+    e.rule = r;
+    e.scope = st.key;
+    e.detail = detail;
+    e.tS = now_s;
+    e.value = value;
+    e.threshold = threshold;
+    events_.push_back(e);
+    emitInstant(events_.back());
+}
+
+void
+HealthMonitor::emitInstant(const HealthEvent &e)
+{
+    Tracer *t = Tracer::current();
+    if (t == nullptr)
+        return;
+    const std::string node = scopedNode(e.scope, "health");
+    switch (e.kind) {
+      case HealthEvent::Kind::AlertRaised:
+      case HealthEvent::Kind::AlertCleared:
+        t->instant(t->track(node, "alerts"), Cat::Mark,
+                   ruleName(e.rule), e.tS,
+                   {{"value", e.value},
+                    {"threshold", e.threshold},
+                    {"active", e.kind == HealthEvent::Kind::AlertRaised
+                                   ? 1.0
+                                   : 0.0}});
+        break;
+      case HealthEvent::Kind::FaultDetected:
+        t->instant(t->track(node, "detect"), Cat::Fault,
+                   sim::faultKindName(e.fault), e.tS,
+                   {{"ttd_s", e.value}});
+        break;
+      case HealthEvent::Kind::FaultRecovered:
+        t->instant(t->track(node, "recover"), Cat::Fault,
+                   sim::faultKindName(e.fault), e.tS,
+                   {{"ttr_s", e.value}});
+        break;
+    }
+}
+
+HealthSummary
+HealthMonitor::summary(const std::string &scope) const
+{
+    HealthSummary out;
+    auto it = scopes_.find(scope);
+    if (it == scopes_.end())
+        return out;
+    const ScopeState &st = it->second;
+    out.alertsFired = st.fired;
+    out.alertsCleared = st.cleared;
+    out.burnAlertsFired = st.burnFired;
+    out.badEvents = st.bad;
+    out.totalEvents = st.total;
+    const double denom = 1.0 - cfg_.sloObjective;
+    if (st.total > 0 && denom > 0.0)
+        out.errorBudgetConsumed =
+            static_cast<double>(st.bad) /
+            (static_cast<double>(st.total) * denom);
+    out.timeInViolationS = st.timeInViolationS;
+    out.faultsDetected = st.faultsDetected;
+    out.faultsRecovered = st.faultsRecovered;
+    if (st.faultsDetected > 0)
+        out.meanTimeToDetectS =
+            st.ttdSumS / static_cast<double>(st.faultsDetected);
+    return out;
+}
+
+HealthSummary
+HealthMonitor::totals() const
+{
+    HealthSummary out;
+    double ttdSum = 0.0;
+    for (const auto &kv : scopes_) {
+        const ScopeState &st = kv.second;
+        out.alertsFired += st.fired;
+        out.alertsCleared += st.cleared;
+        out.burnAlertsFired += st.burnFired;
+        out.badEvents += st.bad;
+        out.totalEvents += st.total;
+        out.timeInViolationS += st.timeInViolationS;
+        out.faultsDetected += st.faultsDetected;
+        out.faultsRecovered += st.faultsRecovered;
+        ttdSum += st.ttdSumS;
+    }
+    const double denom = 1.0 - cfg_.sloObjective;
+    if (out.totalEvents > 0 && denom > 0.0)
+        out.errorBudgetConsumed =
+            static_cast<double>(out.badEvents) /
+            (static_cast<double>(out.totalEvents) * denom);
+    if (out.faultsDetected > 0)
+        out.meanTimeToDetectS =
+            ttdSum / static_cast<double>(out.faultsDetected);
+    return out;
+}
+
+std::vector<std::string>
+HealthMonitor::scopes() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : scopes_)
+        out.push_back(kv.first); // std::map: already sorted
+    return out;
+}
+
+void
+HealthMonitor::writeJson(std::ostream &os) const
+{
+    os << "{\"monitor\":{\"slo_objective\":";
+    putNumber(os, cfg_.sloObjective);
+    os << ",\"eval_period_s\":";
+    putNumber(os, cfg_.evalPeriodS);
+    os << ",\"fast_window_s\":";
+    putNumber(os, cfg_.fastWindowS);
+    os << ",\"fast_burn_threshold\":";
+    putNumber(os, cfg_.fastBurnThreshold);
+    os << ",\"slow_window_s\":";
+    putNumber(os, cfg_.slowWindowS);
+    os << ",\"slow_burn_threshold\":";
+    putNumber(os, cfg_.slowBurnThreshold);
+    os << "},\n\"scopes\":[";
+    bool firstScope = true;
+    for (const auto &kv : scopes_) {
+        if (!firstScope)
+            os << ",\n";
+        firstScope = false;
+        const HealthSummary s = summary(kv.first);
+        os << "{\"scope\":";
+        putString(os, kv.first);
+        os << ",\"summary\":{\"alerts_fired\":" << s.alertsFired
+           << ",\"alerts_cleared\":" << s.alertsCleared
+           << ",\"burn_alerts_fired\":" << s.burnAlertsFired
+           << ",\"bad_events\":" << s.badEvents
+           << ",\"total_events\":" << s.totalEvents
+           << ",\"error_budget_consumed\":";
+        putNumber(os, s.errorBudgetConsumed);
+        os << ",\"time_in_violation_s\":";
+        putNumber(os, s.timeInViolationS);
+        os << ",\"faults_detected\":" << s.faultsDetected
+           << ",\"faults_recovered\":" << s.faultsRecovered
+           << ",\"mean_time_to_detect_s\":";
+        putNumber(os, s.meanTimeToDetectS);
+        os << "},\"series\":[";
+        bool firstSample = true;
+        for (const SeriesSample &p : kv.second.series) {
+            if (!firstSample)
+                os << ',';
+            firstSample = false;
+            os << "{\"t_s\":";
+            putNumber(os, p.tS);
+            os << ",\"bad\":" << p.bad << ",\"total\":" << p.total
+               << ",\"fast_burn\":";
+            putNumber(os, p.fastBurn);
+            os << ",\"slow_burn\":";
+            putNumber(os, p.slowBurn);
+            os << ",\"p99_s\":";
+            putNumber(os, p.p99S);
+            os << '}';
+        }
+        os << "]}";
+    }
+    os << "],\n\"events\":[";
+    bool firstEvent = true;
+    for (const HealthEvent &e : events_) {
+        if (!firstEvent)
+            os << ",\n";
+        firstEvent = false;
+        os << "{\"kind\":\"" << healthEventKindName(e.kind)
+           << "\",\"name\":\"";
+        if (e.kind == HealthEvent::Kind::FaultDetected ||
+            e.kind == HealthEvent::Kind::FaultRecovered)
+            os << sim::faultKindName(e.fault);
+        else
+            os << ruleName(e.rule);
+        os << "\",\"scope\":";
+        putString(os, e.scope);
+        os << ",\"detail\":";
+        putString(os, e.detail);
+        os << ",\"t_s\":";
+        putNumber(os, e.tS);
+        os << ",\"value\":";
+        putNumber(os, e.value);
+        os << ",\"threshold\":";
+        putNumber(os, e.threshold);
+        os << '}';
+    }
+    os << "]}\n";
+}
+
+std::string
+HealthMonitor::json() const
+{
+    std::ostringstream ss;
+    writeJson(ss);
+    return ss.str();
+}
+
+HealthMonitor *
+HealthMonitor::current()
+{
+    return g_monitor;
+}
+
+// ---------------------------------------------------------------------------
+// MonitorSession
+
+MonitorSession::MonitorSession(MonitorConfig cfg, std::string out_path)
+    : monitor_(std::make_unique<HealthMonitor>(cfg)),
+      path_(std::move(out_path))
+{
+    assert(g_monitor == nullptr && "nested MonitorSession");
+    g_monitor = monitor_.get();
+}
+
+MonitorSession::~MonitorSession()
+{
+    if (!path_.empty()) {
+        std::ofstream f(path_);
+        monitor_->writeJson(f);
+    }
+    if (g_monitor == monitor_.get())
+        g_monitor = nullptr;
+}
+
+std::unique_ptr<MonitorSession>
+MonitorSession::fromEnv()
+{
+    const char *on = std::getenv("NDP_MONITOR");
+    if (on == nullptr || std::string(on) == "0")
+        return nullptr;
+    const char *file = std::getenv("NDP_MONITOR_FILE");
+    return std::make_unique<MonitorSession>(
+        MonitorConfig{}, file != nullptr ? file : "ndp_health.json");
+}
+
+} // namespace ndp::obs

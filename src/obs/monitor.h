@@ -1,0 +1,762 @@
+/**
+ * @file
+ * Deterministic sim-time streaming health monitoring (the runtime
+ * companion of trace.h's post-mortem recording).
+ *
+ * A HealthMonitor *watches* the signals the obs layer already records:
+ * it subscribes to MetricsRegistry gauge samples, accepts push-style
+ * counters from the dataflows (serve outcomes, shed decisions, queue
+ * depths, geo-replication version lag), maintains sliding-window
+ * aggregates over them — bucketed windowed rates, EWMAs, a two-phase
+ * quantile sketch over LatencyHistogram shards — and evaluates a
+ * declarative rule set on a sim-time cadence:
+ *
+ *  - SLO burn rate, multi-window (the error-budget alerting policy):
+ *    burn = (bad/total over window) / (1 - objective); a fast window
+ *    with a high threshold catches cliffs, a slow window with a low
+ *    threshold catches slow leaks.
+ *  - Straggler detection: one store's service-time EWMA vs the fleet
+ *    median.
+ *  - Queue/admission saturation: outstanding depth vs capacity.
+ *  - Fabric link congestion: the ingress-utilization gauge.
+ *  - Geo-replication staleness: version lag vs the staleness bound.
+ *
+ * Rule transitions emit typed HealthEvents that land in an in-memory
+ * log, in Perfetto instant events (when a Tracer is active), and roll
+ * up into per-scope HealthSummary blocks (alerts fired, error budget
+ * consumed, time in violation). The monitor also implements
+ * sim::FaultObserver, so every injected fault's detection latency is
+ * visible as a HealthEvent alongside the FaultReport ledger.
+ *
+ * Determinism rules (the tracer's contract, verbatim):
+ *  - A null HealthMonitor pointer is a no-op everywhere; hooks are
+ *    guarded and perform no work when monitoring is off.
+ *  - Observation and evaluation are *passive*: they read the caller's
+ *    sim time and mutate monitor-private state. The monitor never
+ *    schedules events, awaits, draws randomness, or touches channels,
+ *    so a monitored run is bitwise identical to an unmonitored one on
+ *    every pre-existing report field (the HealthSummary fields are
+ *    additive: zero when monitoring is off).
+ *  - Evaluation is throttled per scope by evalPeriodS of *sim time*
+ *    and piggybacks on observation sites — there is no poller
+ *    coroutine, which would extend the simulation's end time.
+ *  - Scope and store maps are ordered (std::map), serialization uses
+ *    the tracer's fixed-point formatting, so two monitored same-seed
+ *    runs export byte-identical JSON (tools/ndpmon replays it).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/stats.h"
+
+namespace ndp::obs {
+
+/**
+ * Sliding-window event counter: a ring of sub-window buckets rotated
+ * by sim time. sum()/rate() cover the most recent windowS() seconds
+ * with bucket granularity (window/buckets). Pure arithmetic — safe
+ * under the monitor's passive contract.
+ */
+class WindowedRate
+{
+  public:
+    explicit WindowedRate(double window_s = 5.0, int buckets = 10)
+        : bucketS_(window_s / buckets),
+          buckets_(static_cast<size_t>(buckets), 0.0)
+    {}
+
+    void
+    record(double now_s, double n = 1.0)
+    {
+        advance(now_s);
+        buckets_[slot(cur_)] += n;
+    }
+
+    /** Events inside the window ending at @p now_s. */
+    double
+    sum(double now_s)
+    {
+        advance(now_s);
+        double t = 0.0;
+        for (double b : buckets_)
+            t += b;
+        return t;
+    }
+
+    /** Events per second over the window ending at @p now_s. */
+    double rate(double now_s) { return sum(now_s) / windowS(); }
+
+    double windowS() const
+    {
+        return bucketS_ * static_cast<double>(buckets_.size());
+    }
+
+  private:
+    size_t
+    slot(int64_t bucket) const
+    {
+        return static_cast<size_t>(bucket) % buckets_.size();
+    }
+
+    void
+    advance(double now_s)
+    {
+        const auto b = static_cast<int64_t>(now_s / bucketS_);
+        if (!started_) {
+            started_ = true;
+            cur_ = b;
+            return;
+        }
+        if (b <= cur_)
+            return; // sim time is monotonic; same bucket
+        if (b - cur_ >= static_cast<int64_t>(buckets_.size())) {
+            for (double &v : buckets_)
+                v = 0.0;
+            cur_ = b;
+            return;
+        }
+        while (cur_ < b) {
+            ++cur_;
+            buckets_[slot(cur_)] = 0.0;
+        }
+    }
+
+    double bucketS_;
+    std::vector<double> buckets_;
+    int64_t cur_ = 0;
+    bool started_ = false;
+};
+
+/**
+ * The SLO ledger's paired bad/total ring, shared by both burn-rate
+ * windows: one ring of fast-granularity buckets spans the slow
+ * window, fastSums() reads the newest fast-window's worth of
+ * buckets and slowSums() reads them all. The hot observation path
+ * therefore advances and updates a single ring (the monitor-overhead
+ * budget in bench_micro_sim holds the hooks under 5% of the dispatch
+ * loop); the wider per-read scan only runs on the eval cadence.
+ */
+class SloWindow
+{
+  public:
+    SloWindow(double fast_window_s, double slow_window_s,
+              int fast_buckets = 10)
+        : bucketS_(fast_window_s / fast_buckets),
+          invBucketS_(fast_buckets / fast_window_s),
+          nFast_(static_cast<size_t>(fast_buckets))
+    {
+        const auto n = static_cast<size_t>(
+            std::ceil(slow_window_s / bucketS_ - 1e-9));
+        buckets_.assign(std::max(n, nFast_), Bucket{});
+    }
+
+    void
+    record(double now_s, bool bad)
+    {
+        advance(now_s);
+        Bucket &b = buckets_[slot(cur_)];
+        b.total += 1.0;
+        if (bad)
+            b.bad += 1.0;
+    }
+
+    /** {bad, total} inside a window ending at @p now_s. */
+    struct Sums
+    {
+        double bad = 0.0;
+        double total = 0.0;
+    };
+
+    /** The fast window: the newest fast-window's worth of buckets. */
+    Sums
+    fastSums(double now_s)
+    {
+        advance(now_s);
+        Sums t;
+        for (int64_t b = cur_ - static_cast<int64_t>(nFast_) + 1;
+             b <= cur_; ++b) {
+            if (b < 0)
+                continue; // before sim time zero
+            const Bucket &v = buckets_[slot(b)];
+            t.bad += v.bad;
+            t.total += v.total;
+        }
+        return t;
+    }
+
+    /** The slow window: every bucket in the ring. */
+    Sums
+    slowSums(double now_s)
+    {
+        advance(now_s);
+        Sums t;
+        for (const Bucket &b : buckets_) {
+            t.bad += b.bad;
+            t.total += b.total;
+        }
+        return t;
+    }
+
+  private:
+    struct Bucket
+    {
+        double total = 0.0;
+        double bad = 0.0;
+    };
+
+    size_t
+    slot(int64_t bucket) const
+    {
+        return static_cast<size_t>(bucket) % buckets_.size();
+    }
+
+    void
+    advance(double now_s)
+    {
+        // Multiply by the precomputed inverse: one fewer division on
+        // the per-observation path (consistent across runs, so the
+        // bucket boundaries stay deterministic).
+        const auto b = static_cast<int64_t>(now_s * invBucketS_);
+        if (!started_) {
+            started_ = true;
+            cur_ = b;
+            return;
+        }
+        if (b <= cur_)
+            return; // sim time is monotonic; same bucket
+        if (b - cur_ >= static_cast<int64_t>(buckets_.size())) {
+            for (Bucket &v : buckets_)
+                v = Bucket{};
+            cur_ = b;
+            return;
+        }
+        while (cur_ < b) {
+            ++cur_;
+            buckets_[slot(cur_)] = Bucket{};
+        }
+    }
+
+    double bucketS_;
+    double invBucketS_;
+    size_t nFast_;
+    std::vector<Bucket> buckets_;
+    int64_t cur_ = 0;
+    bool started_ = false;
+};
+
+/** Exponentially weighted moving average, per-sample alpha form:
+ *  v <- alpha * x + (1 - alpha) * v (first sample seeds v). */
+class Ewma
+{
+  public:
+    explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+    void
+    record(double x)
+    {
+        v_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * v_ : x;
+        seeded_ = true;
+    }
+
+    double value() const { return v_; }
+    bool empty() const { return !seeded_; }
+
+  private:
+    double alpha_;
+    double v_ = 0.0;
+    bool seeded_ = false;
+};
+
+/**
+ * Sliding-window quantile sketch: two LatencyHistogram phases rotated
+ * every windowS seconds; percentiles read the merged pair, so they
+ * cover between one and two windows of the freshest samples (the
+ * standard two-phase approximation — exact bucket math, no decay).
+ */
+class WindowedQuantile
+{
+  public:
+    /** @p sub_bucket_bits tunes the underlying histograms'
+     *  resolution/footprint tradeoff (LatencyHistogram's knob). */
+    explicit WindowedQuantile(double window_s = 10.0,
+                              int sub_bucket_bits = 7)
+        : winS_(window_s), invWinS_(1.0 / window_s),
+          bits_(sub_bucket_bits), cur_(1e-6, sub_bucket_bits),
+          prev_(1e-6, sub_bucket_bits)
+    {}
+
+    void
+    record(double now_s, double v_s)
+    {
+        roll(now_s);
+        cur_.record(v_s);
+    }
+
+    double
+    percentile(double p) const
+    {
+        ndp::LatencyHistogram m = cur_;
+        m.merge(prev_);
+        return m.count() > 0 ? m.percentile(p) : 0.0;
+    }
+
+    uint64_t count() const { return cur_.count() + prev_.count(); }
+
+  private:
+    void
+    roll(double now_s)
+    {
+        if (!started_) {
+            started_ = true;
+            phase0S_ = now_s;
+            return;
+        }
+        const double k = (now_s - phase0S_) * invWinS_;
+        if (k >= 2.0) {
+            cur_ = ndp::LatencyHistogram(1e-6, bits_);
+            prev_ = ndp::LatencyHistogram(1e-6, bits_);
+            phase0S_ += static_cast<double>(static_cast<int64_t>(k)) *
+                        winS_;
+        } else if (k >= 1.0) {
+            prev_ = cur_;
+            cur_ = ndp::LatencyHistogram(1e-6, bits_);
+            phase0S_ += winS_;
+        }
+    }
+
+    double winS_;
+    double invWinS_;
+    int bits_;
+    double phase0S_ = 0.0;
+    bool started_ = false;
+    ndp::LatencyHistogram cur_;
+    ndp::LatencyHistogram prev_;
+};
+
+/** The declarative rule set one monitor evaluates. */
+enum class Rule
+{
+    SloBurnFast,
+    SloBurnSlow,
+    Straggler,
+    QueueSaturation,
+    LinkCongestion,
+    GeoStaleness,
+};
+
+constexpr int kNumRules = 6;
+
+const char *ruleName(Rule r);
+
+/** Rule thresholds and windows (one config per monitor). */
+struct MonitorConfig
+{
+    /** Per-scope rule-evaluation cadence, sim seconds. */
+    double evalPeriodS = 0.25;
+
+    /** @name SLO burn-rate alerting
+     * objective is the goodput target (fraction of requests that must
+     * land in deadline); burn = windowed bad fraction / (1-objective).
+     * Fast window catches cliffs, slow window catches leaks — the
+     * multi-window error-budget policy.
+     * @{ */
+    double sloObjective = 0.999;
+    double fastWindowS = 5.0;
+    double fastBurnThreshold = 14.4;
+    double slowWindowS = 60.0;
+    double slowBurnThreshold = 6.0;
+    /** @} */
+
+    /** Straggler: store service-time EWMA > factor * fleet median. */
+    double stragglerFactor = 2.0;
+    /** EWMA smoothing for per-store service times. */
+    double serviceAlpha = 0.2;
+
+    /** Saturation: outstanding depth >= fraction * capacity. */
+    double saturationFraction = 0.9;
+
+    /** Congestion: an ingress.util gauge sample >= this. */
+    double congestionUtil = 0.95;
+
+    /** Geo staleness: version lag >= fraction * staleness bound. */
+    double stalenessFraction = 1.0;
+
+    /** Window of the latency quantile sketch, sim seconds. */
+    double quantileWindowS = 10.0;
+    /** Sketch resolution (LatencyHistogram sub_bucket_bits): 5 =>
+     *  ~3% relative quantile error and a footprint small enough to
+     *  stay cache-resident on the per-outcome record path. */
+    int quantileSubBucketBits = 5;
+};
+
+/** One typed monitor event (alert transition or fault lifecycle). */
+struct HealthEvent
+{
+    enum class Kind
+    {
+        AlertRaised,
+        AlertCleared,
+        FaultDetected,
+        FaultRecovered,
+    };
+
+    Kind kind = Kind::AlertRaised;
+    /** Valid for Alert* events. */
+    Rule rule = Rule::SloBurnFast;
+    /** Valid for Fault* events. */
+    sim::FaultKind fault = sim::FaultKind::StoreCrash;
+    /** Job scope ("" = cluster-wide signals and faults). */
+    std::string scope;
+    /** Store index / site name / gauge behind the event ("" = none). */
+    std::string detail;
+    double tS = 0.0;
+    /** Observed value at the transition (burn, ratio, latency...). */
+    double value = 0.0;
+    /** Threshold the value crossed (0 for fault events). */
+    double threshold = 0.0;
+};
+
+const char *healthEventKindName(HealthEvent::Kind k);
+
+/** Per-scope roll-up of what the monitor saw (lands in reports). */
+struct HealthSummary
+{
+    uint64_t alertsFired = 0;
+    uint64_t alertsCleared = 0;
+    /** Subset of alertsFired from the two burn-rate rules (the count
+     *  tools/ndpmon replays from the exported burn series). */
+    uint64_t burnAlertsFired = 0;
+    /** Cumulative SLO ledger: bad = shed, dropped, or past-deadline. */
+    uint64_t badEvents = 0;
+    uint64_t totalEvents = 0;
+    /** bad / (total * (1 - objective)): 1.0 = budget exhausted. */
+    double errorBudgetConsumed = 0.0;
+    /** Sim seconds some alert was active (eval-cadence resolution). */
+    double timeInViolationS = 0.0;
+    /** Fault lifecycle (cluster scope only; see sim::FaultObserver). */
+    uint64_t faultsDetected = 0;
+    uint64_t faultsRecovered = 0;
+    double meanTimeToDetectS = 0.0;
+};
+
+/**
+ * The streaming monitor. One per MonitorSession; dataflow entry points
+ * pick it up via HealthMonitor::current() (null unless a session is
+ * active) and thread it through ports, exactly like obs::Tracer.
+ */
+class HealthMonitor : public sim::FaultObserver
+{
+    struct ScopeState; // defined in the private section below
+
+  public:
+    explicit HealthMonitor(MonitorConfig cfg = {});
+
+    HealthMonitor(const HealthMonitor &) = delete;
+    HealthMonitor &operator=(const HealthMonitor &) = delete;
+
+    const MonitorConfig &config() const { return cfg_; }
+
+    /**
+     * Opaque pre-resolved scope: dataflows that observe the same
+     * scope on every request resolve it once at setup and hand the
+     * handle to the hot hooks, skipping the per-observation scope
+     * lookup entirely (std::map nodes are pointer-stable, so a
+     * handle stays valid for the monitor's lifetime). A
+     * default-constructed handle is only a placeholder — pass it to
+     * no hook.
+     */
+    class ScopeHandle
+    {
+      public:
+        ScopeHandle() = default;
+
+      private:
+        friend class HealthMonitor;
+        ScopeState *st_ = nullptr;
+    };
+
+    /** Resolve (creating if new) a scope to a reusable handle. */
+    ScopeHandle
+    scopeHandle(const std::string &scope)
+    {
+        ScopeHandle h;
+        h.st_ = &state(scope);
+        return h;
+    }
+
+    /** @name Push-style observations (all passive)
+     * The three serving-rate hooks are defined inline below the
+     * class: they sit on the request hot path and the bench gate
+     * holds them under 5% of the dispatch loop. Each comes in a
+     * by-name flavor and a pre-resolved ScopeHandle flavor.
+     * @{ */
+    /** One finished request: feeds the SLO burn windows, the latency
+     *  sketch, and the per-store straggler EWMA. */
+    inline void onServeOutcome(const std::string &scope, int store,
+                               double now_s, double latency_s,
+                               bool in_deadline);
+    inline void onServeOutcome(ScopeHandle h, int store, double now_s,
+                               double latency_s, bool in_deadline);
+
+    /** One shed / dropped request: a bad SLO event with no latency. */
+    inline void onShed(const std::string &scope, double now_s);
+    inline void onShed(ScopeHandle h, double now_s);
+
+    /** Outstanding-requests snapshot against capacity (saturation). */
+    inline void onQueueDepth(const std::string &scope, double now_s,
+                             int depth, int capacity);
+    inline void onQueueDepth(ScopeHandle h, double now_s, int depth,
+                             int capacity);
+
+    /** Geo-replication version lag vs the staleness bound. */
+    void onGeoLag(const std::string &scope, const std::string &site,
+                  double now_s, int lag, int staleness_bound);
+
+    /** MetricsRegistry forwards every gauge sample here (the monitor
+     *  "subscribes" to the sampled timeseries); ingress.util feeds
+     *  the link-congestion rule. */
+    void onGaugeSample(const std::string &node,
+                       const std::string &name, double now_s,
+                       double value);
+    /** @} */
+
+    /** @name sim::FaultObserver (the detection-latency feed)
+     * @{ */
+    void onFaultDetected(sim::FaultKind kind, int store,
+                         double opened_s, double detected_s) override;
+    void onFaultRecovered(sim::FaultKind kind, int store,
+                          double opened_s,
+                          double recovered_s) override;
+    /** @} */
+
+    const std::vector<HealthEvent> &events() const { return events_; }
+
+    /** Roll-up for one scope ("" = cluster-wide); zeros if unseen. */
+    HealthSummary summary(const std::string &scope) const;
+
+    /** Roll-up across every scope. */
+    HealthSummary totals() const;
+
+    /** Scopes observed so far, in deterministic (sorted) order. */
+    std::vector<std::string> scopes() const;
+
+    /** Serialize the summaries + burn series + event log as JSON
+     *  (deterministic byte-wise; tools/ndpmon's input). */
+    void writeJson(std::ostream &os) const;
+    std::string json() const;
+
+    /** The session-installed monitor, or null when monitoring is off. */
+    static HealthMonitor *current();
+
+  private:
+    friend class MonitorSession;
+
+    /** One burn-series checkpoint (cumulative counters + windowed
+     *  burn values at an eval instant — what ndpmon replays). */
+    struct SeriesSample
+    {
+        double tS = 0.0;
+        uint64_t bad = 0;
+        uint64_t total = 0;
+        double fastBurn = 0.0;
+        double slowBurn = 0.0;
+        /** Windowed p99 latency from the quantile sketch (0 until
+         *  the scope records latencies). */
+        double p99S = 0.0;
+    };
+
+    struct ScopeState
+    {
+        explicit ScopeState(const MonitorConfig &c)
+            : slo(c.fastWindowS, c.slowWindowS),
+              latency(c.quantileWindowS, c.quantileSubBucketBits)
+        {}
+
+        /** Hot per-observation scalars first, sharing a cache line
+         *  (every hook touches some of these; the aggregates below
+         *  are each their own working set). */
+        uint64_t bad = 0;
+        uint64_t total = 0;
+        /** Latest queue-depth snapshot (the divide runs at eval). */
+        int queueDepth = 0;
+        int queueCap = 0;
+        /** Precomputed lastEvalS + evalPeriodS: the hot-path cadence
+         *  guard is one compare (far below -1 so the first
+         *  observation always evaluates). */
+        double nextEvalS = -1e300;
+
+        SloWindow slo;
+        WindowedQuantile latency;
+        /** Per-store service-time EWMA, indexed by store id (ids are
+         *  dense fleet indices, so the hot path is one bounds check
+         *  and an array index; unseeded slots mean "never observed"
+         *  and are skipped by the straggler rule). */
+        std::vector<Ewma> storeServiceS;
+        /** The scope's own name (events emitted at eval need it and
+         *  ScopeHandle hooks don't carry the string). */
+        std::string key;
+        /** Latest per-site version-lag / staleness-bound ratios. */
+        std::map<std::string, double> geoLagFrac;
+        /** Latest ingress.util gauge values, by node. */
+        std::map<std::string, double> linkUtil;
+
+        bool alertActive[kNumRules] = {};
+        uint64_t fired = 0;
+        uint64_t cleared = 0;
+        uint64_t burnFired = 0;
+        double lastEvalS = -1.0;
+        bool everEvaled = false;
+        bool inViolation = false;
+        double violationFromS = 0.0;
+        double timeInViolationS = 0.0;
+        uint64_t faultsDetected = 0;
+        uint64_t faultsRecovered = 0;
+        double ttdSumS = 0.0;
+        std::vector<SeriesSample> series;
+    };
+
+    /** Per-scope state with a one-entry cache: serving hot paths
+     *  observe one scope thousands of times in a row, so this
+     *  usually resolves with a single string compare (std::map nodes
+     *  are pointer-stable, so inserts never invalidate the cache). */
+    ScopeState &
+    state(const std::string &scope)
+    {
+        if (cachedState_ != nullptr && scope == cachedScope_)
+            return *cachedState_;
+        return stateSlow(scope);
+    }
+
+    ScopeState &stateSlow(const std::string &scope);
+
+    /** Inline cadence guard for the hot observation path — a single
+     *  compare against the precomputed next eval time; the rule
+     *  evaluation (and the rarely-hit re-entrancy filter) is out of
+     *  line. */
+    void
+    maybeEval(ScopeState &st, double now_s)
+    {
+        if (now_s < st.nextEvalS)
+            return;
+        evalScope(st, now_s);
+    }
+
+    void evalScope(ScopeState &st, double now_s);
+    void setAlert(ScopeState &st, Rule r, bool active, double value,
+                  double threshold, double now_s,
+                  const std::string &detail);
+    void emitInstant(const HealthEvent &e);
+
+    MonitorConfig cfg_;
+    std::map<std::string, ScopeState> scopes_;
+    ScopeState *cachedState_ = nullptr;
+    std::string cachedScope_;
+    std::vector<HealthEvent> events_;
+    /** Re-entrancy guard: a Perfetto instant emitted mid-eval routes
+     *  back through gauge sampling into onGaugeSample. */
+    bool inEval_ = false;
+};
+
+inline void
+HealthMonitor::onServeOutcome(ScopeHandle h, int store, double now_s,
+                              double latency_s, bool in_deadline)
+{
+    ScopeState &st = *h.st_;
+    ++st.total;
+    if (!in_deadline)
+        ++st.bad;
+    st.slo.record(now_s, !in_deadline);
+    st.latency.record(now_s, latency_s);
+    if (store >= 0) {
+        if (static_cast<size_t>(store) >= st.storeServiceS.size())
+            st.storeServiceS.resize(static_cast<size_t>(store) + 1,
+                                    Ewma(cfg_.serviceAlpha));
+        st.storeServiceS[static_cast<size_t>(store)].record(
+            latency_s);
+    }
+    maybeEval(st, now_s);
+}
+
+inline void
+HealthMonitor::onServeOutcome(const std::string &scope, int store,
+                              double now_s, double latency_s,
+                              bool in_deadline)
+{
+    onServeOutcome(scopeHandle(scope), store, now_s, latency_s,
+                   in_deadline);
+}
+
+inline void
+HealthMonitor::onShed(ScopeHandle h, double now_s)
+{
+    // A shed or dropped request is an offered request that failed the
+    // SLO: it burns budget with no latency sample.
+    ScopeState &st = *h.st_;
+    ++st.total;
+    ++st.bad;
+    st.slo.record(now_s, true);
+    maybeEval(st, now_s);
+}
+
+inline void
+HealthMonitor::onShed(const std::string &scope, double now_s)
+{
+    onShed(scopeHandle(scope), now_s);
+}
+
+inline void
+HealthMonitor::onQueueDepth(ScopeHandle h, double now_s, int depth,
+                            int capacity)
+{
+    ScopeState &st = *h.st_;
+    st.queueDepth = depth;
+    st.queueCap = capacity;
+    maybeEval(st, now_s);
+}
+
+inline void
+HealthMonitor::onQueueDepth(const std::string &scope, double now_s,
+                            int depth, int capacity)
+{
+    onQueueDepth(scopeHandle(scope), now_s, depth, capacity);
+}
+
+/**
+ * Installs a HealthMonitor as HealthMonitor::current() for its
+ * lifetime (no nesting). If constructed with a path, the destructor
+ * writes the monitor JSON there. `fromEnv()` is the NDP_MONITOR gate
+ * (mirroring NDP_TRACE): returns null — monitoring off, zero cost —
+ * unless NDP_MONITOR is set to a non-"0" value; NDP_MONITOR_FILE
+ * overrides the output path (default ndp_health.json).
+ */
+class MonitorSession
+{
+  public:
+    explicit MonitorSession(MonitorConfig cfg = {},
+                            std::string out_path = "");
+    ~MonitorSession();
+
+    MonitorSession(const MonitorSession &) = delete;
+    MonitorSession &operator=(const MonitorSession &) = delete;
+
+    HealthMonitor &monitor() { return *monitor_; }
+
+    static std::unique_ptr<MonitorSession> fromEnv();
+
+  private:
+    std::unique_ptr<HealthMonitor> monitor_;
+    std::string path_;
+};
+
+} // namespace ndp::obs

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/monitor.h"
+
 namespace ndp::obs {
 
 namespace {
@@ -119,9 +121,20 @@ void MetricsRegistry::maybeSample(double now_s)
     if (now_s - lastSampleS_ < periodS_)
         return;
     lastSampleS_ = now_s;
+    HealthMonitor *m = HealthMonitor::current();
     for (auto &g : gauges_)
-        if (g.live)
-            tracer_.counterSampleRaw(g.counter, now_s, g.fn());
+        if (g.live) {
+            const double v = g.fn();
+            tracer_.counterSampleRaw(g.counter, now_s, v);
+            // The monitor subscribes to the sampled timeseries: same
+            // throttle, same values, read-only forwarding — a null
+            // monitor costs one pointer load per sampling round.
+            if (m != nullptr) {
+                const Tracer::Counter &c =
+                    tracer_.counters_[static_cast<size_t>(g.counter)];
+                m->onGaugeSample(c.node, c.name, now_s, v);
+            }
+        }
 }
 
 // ---------------------------------------------------------------------------

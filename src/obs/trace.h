@@ -343,6 +343,15 @@ class GaugeSet
  * gauges). Stateless for the sampled system: it only reads sim.now()
  * and the counter, so registering one keeps the obs layer's passive
  * contract. Copy it into GaugeSet::add as the GaugeFn.
+ *
+ * Units: the counter must be monotonic in arbitrary units (requests,
+ * bytes, retries); each call returns counter-units per *simulated*
+ * second averaged over the window since the previous call. The window
+ * is not a RateProbe knob: it is however often the registry samples
+ * the gauge — MetricsRegistry::periodS() of sim time between samples
+ * (the first call and back-to-back samples return 0). lastWindowS()
+ * exposes the realized window so consumers (obs::HealthMonitor
+ * windows, tests) can agree with the probe instead of assuming one.
  */
 class RateProbe
 {
@@ -361,14 +370,20 @@ class RateProbe
         const double rate = dt > 0.0 ? (c - lastC_) / dt : 0.0;
         lastT_ = now;
         lastC_ = c;
+        lastWindowS_ = dt;
         return rate;
     }
+
+    /** Sim seconds the most recent sample averaged over (0 before
+     *  the second call; otherwise the registry's sampling gap). */
+    double lastWindowS() const { return lastWindowS_; }
 
   private:
     const sim::Simulator *sim_;
     std::function<double()> counter_;
     double lastT_ = 0.0;
     double lastC_ = 0.0;
+    double lastWindowS_ = 0.0;
 };
 
 /**

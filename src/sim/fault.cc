@@ -285,6 +285,11 @@ FaultInjector::crashed(int store, double now)
     if (!st->crashCounted) {
         st->crashCounted = true;
         ++report_.crashes;
+        // Scheduled crashes open at their trigger time; an I/O
+        // escalation (dead, no schedule) opens at this observation.
+        const double opened = std::min(st->crashAtS, now);
+        recordDetected(FaultKind::StoreCrash, store, opened, now);
+        crashPending_.push_back({store, opened});
     }
     return true;
 }
@@ -301,6 +306,13 @@ FaultInjector::stallDelay(int store, double now)
             if (!w.counted) {
                 w.counted = true;
                 ++report_.stalls;
+                // A stall both detects here and recovers on its own
+                // at the window's end — the whole lifecycle is known
+                // the moment the window is observed.
+                recordDetected(FaultKind::StoreStall, store, w.fromS,
+                               now);
+                recordRecovered(FaultKind::StoreStall, store, w.fromS,
+                                w.untilS);
             }
             until = std::max(until, w.untilS);
         }
@@ -317,6 +329,14 @@ FaultInjector::drawReadError(int store)
     if (!st->rng.chance(st->readErrorP))
         return false;
     ++report_.ioErrors;
+    // One incident per retry loop: the first failed read opens it
+    // (detection is immediate — the read itself reports the error);
+    // noteIoRecovered/declareDead closes it.
+    if (st->ioOpenS < 0.0) {
+        st->ioOpenS = sim_->now();
+        recordDetected(FaultKind::ReadError, store, st->ioOpenS,
+                       st->ioOpenS);
+    }
     return true;
 }
 
@@ -329,14 +349,93 @@ FaultInjector::drawMessageLoss(int store)
     if (!st->rng.chance(st->msgLossP))
         return false;
     ++report_.messagesLost;
+    if (st->msgOpenS < 0.0) {
+        st->msgOpenS = sim_->now();
+        recordDetected(FaultKind::MessageLoss, store, st->msgOpenS,
+                       st->msgOpenS);
+    }
     return true;
 }
 
 void
 FaultInjector::declareDead(int store)
 {
-    if (StoreState *st = stateOf(store))
+    if (StoreState *st = stateOf(store)) {
         st->dead = true;
+        // The open I/O incident escalates to StoreCrash semantics;
+        // the crash incident (opened at the next crashed() query)
+        // carries the lifecycle from here.
+        st->ioOpenS = -1.0;
+    }
+}
+
+void
+FaultInjector::noteCrashHandled(bool recovered)
+{
+    if (crashPending_.empty())
+        return;
+    const PendingCrash pc = crashPending_.front();
+    crashPending_.pop_front();
+    if (recovered && sim_ != nullptr)
+        recordRecovered(FaultKind::StoreCrash, pc.store, pc.openedS,
+                        sim_->now());
+}
+
+void
+FaultInjector::noteIoRecovered(int store)
+{
+    StoreState *st = stateOf(store);
+    if (!st || st->ioOpenS < 0.0)
+        return;
+    recordRecovered(FaultKind::ReadError, store, st->ioOpenS,
+                    sim_->now());
+    st->ioOpenS = -1.0;
+}
+
+void
+FaultInjector::noteMsgRecovered(int store)
+{
+    StoreState *st = stateOf(store);
+    if (!st || st->msgOpenS < 0.0)
+        return;
+    recordRecovered(FaultKind::MessageLoss, store, st->msgOpenS,
+                    sim_->now());
+    st->msgOpenS = -1.0;
+}
+
+void
+FaultInjector::noteMsgAbandoned(int store)
+{
+    // Detection stays on the ledger; the incident just never closes
+    // as recovered (the caller types the terminal separately).
+    if (StoreState *st = stateOf(store))
+        st->msgOpenS = -1.0;
+}
+
+void
+FaultInjector::recordDetected(FaultKind kind, int store,
+                              double opened_s, double detected_s)
+{
+    ++report_.faultsDetected;
+    const double ttd = detected_s - opened_s;
+    report_.timeToDetectSumS += ttd;
+    report_.timeToDetectMaxS = std::max(report_.timeToDetectMaxS, ttd);
+    if (observer_ != nullptr)
+        observer_->onFaultDetected(kind, store, opened_s, detected_s);
+}
+
+void
+FaultInjector::recordRecovered(FaultKind kind, int store,
+                               double opened_s, double recovered_s)
+{
+    ++report_.faultsRecovered;
+    const double ttr = recovered_s - opened_s;
+    report_.timeToRecoverSumS += ttr;
+    report_.timeToRecoverMaxS =
+        std::max(report_.timeToRecoverMaxS, ttr);
+    if (observer_ != nullptr)
+        observer_->onFaultRecovered(kind, store, opened_s,
+                                    recovered_s);
 }
 
 int
@@ -425,6 +524,10 @@ RecoveryCoordinator::run()
             }
             inj_.report().itemsRedispatched += spill.items;
         }
+        // Close the oldest open crash incident: recovered when
+        // survivors absorbed the work, unrecovered otherwise (the
+        // pop keeps the FIFO aligned either way).
+        inj_.noteCrashHandled(consumers > 0);
     }
     orders_.close();
 }

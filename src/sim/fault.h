@@ -49,6 +49,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -92,6 +93,29 @@ enum class FaultClass
 
 const char *faultKindName(FaultKind k);
 const char *faultClassName(FaultClass c);
+
+/**
+ * Observer of fault lifecycle transitions (obs::HealthMonitor). Every
+ * incident is described by three instants, all simulated seconds:
+ * *opened* (when the fault began affecting the run), *detected* (when
+ * an instrumented point first observed it), and *recovered* (when the
+ * recovery policy finished handling it). Both latencies are measured
+ * from the opened instant, so time-to-detect <= time-to-recover holds
+ * per incident by construction. Callbacks must be passive (record
+ * only): the injector invokes them mid-simulation and the observer
+ * must not perturb the event sequence.
+ */
+class FaultObserver
+{
+  public:
+    virtual ~FaultObserver() = default;
+
+    virtual void onFaultDetected(FaultKind kind, int store,
+                                 double opened_s, double detected_s) = 0;
+    virtual void onFaultRecovered(FaultKind kind, int store,
+                                  double opened_s,
+                                  double recovered_s) = 0;
+};
 
 /** One scheduled fault. `store == kAnyStore` targets every store. */
 struct FaultSpec
@@ -209,6 +233,21 @@ struct FaultReport
     /** Simulated seconds spent stalled, backing off, or probing. */
     double degradedS = 0.0;
 
+    /** @name Detection ledger (always on, pure arithmetic)
+     * One incident = one fault window or one exhausted/recovered
+     * retry loop. Latencies are measured from the incident's *opened*
+     * time (see FaultObserver), so detect <= recover per incident.
+     * @{ */
+    /** Incidents an instrumented point observed. */
+    uint64_t faultsDetected = 0;
+    /** Incidents the recovery policy closed successfully. */
+    uint64_t faultsRecovered = 0;
+    double timeToDetectSumS = 0.0;
+    double timeToDetectMaxS = 0.0;
+    double timeToRecoverSumS = 0.0;
+    double timeToRecoverMaxS = 0.0;
+    /** @} */
+
     bool
     anyInjected() const
     {
@@ -238,6 +277,14 @@ struct FaultReport
         itemsLost += o.itemsLost;
         deltaPushFailures += o.deltaPushFailures;
         degradedS += o.degradedS;
+        faultsDetected += o.faultsDetected;
+        faultsRecovered += o.faultsRecovered;
+        timeToDetectSumS += o.timeToDetectSumS;
+        timeToDetectMaxS = std::max(timeToDetectMaxS,
+                                    o.timeToDetectMaxS);
+        timeToRecoverSumS += o.timeToRecoverSumS;
+        timeToRecoverMaxS = std::max(timeToRecoverMaxS,
+                                     o.timeToRecoverMaxS);
         if (terminal == FaultClass::None)
             terminal = o.terminal;
         return *this;
@@ -303,6 +350,30 @@ class FaultInjector
     /** Escalate @p store to dead (I/O retry budget exhausted). */
     void declareDead(int store);
 
+    /** @name Recovery notes (close open detection-ledger incidents)
+     * The recovery paths report how each detected incident ended:
+     * notes are pure arithmetic on the ledger (plus an optional
+     * observer callback) and never touch the RNG streams or timing,
+     * so the existing report counters stay bit-identical.
+     * @{ */
+    /** The oldest observed crash finished recovery handling
+     *  (@p recovered: survivors absorbed the work / the LB rerouted;
+     *  false when the shard was typed as lost instead). */
+    void noteCrashHandled(bool recovered);
+
+    /** The read-retry loop on @p store exited successfully. */
+    void noteIoRecovered(int store);
+
+    /** The retransmit loop on @p store exited successfully. */
+    void noteMsgRecovered(int store);
+
+    /** The retransmit loop on @p store exhausted its budget. */
+    void noteMsgAbandoned(int store);
+    /** @} */
+
+    /** Attach a lifecycle observer (nullable; see FaultObserver). */
+    void attachObserver(FaultObserver *obs) { observer_ = obs; }
+
     /** Stores with no scheduled crash: re-dispatch volunteers. */
     int eligibleConsumers() const;
 
@@ -356,17 +427,34 @@ class FaultInjector
         std::vector<StallWindow> stalls;
         double readErrorP = 0.0;
         double msgLossP = 0.0;
+        /** Open retry-loop incidents: opened time, or -1 when none. */
+        double ioOpenS = -1.0;
+        double msgOpenS = -1.0;
         Rng rng;
+    };
+
+    /** One crash awaiting its recovery outcome (FIFO by detection). */
+    struct PendingCrash
+    {
+        int store = 0;
+        double openedS = 0.0;
     };
 
     StoreState *stateOf(int store);
     const StoreState *stateOf(int store) const;
+
+    void recordDetected(FaultKind kind, int store, double opened_s,
+                        double detected_s);
+    void recordRecovered(FaultKind kind, int store, double opened_s,
+                         double recovered_s);
 
     Simulator *sim_ = nullptr;
     FaultPlan plan_;
     std::vector<StoreState> stores_;
     std::vector<LinkFault> linkFaults_;
     FaultReport report_;
+    std::deque<PendingCrash> crashPending_;
+    FaultObserver *observer_ = nullptr;
 };
 
 /** One chunk of re-dispatched work: @p items of pipeline run @p run. */

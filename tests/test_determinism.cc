@@ -20,6 +20,7 @@
 #include "core/online.h"
 #include "core/sched/cluster.h"
 #include "core/training.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 
 namespace {
@@ -99,6 +100,12 @@ expectSameFaults(const ndp::sim::FaultReport &a,
     EXPECT_EQ(a.linkDowns, b.linkDowns);
     EXPECT_EQ(a.terminal, b.terminal);
     EXPECT_BITEQ(a.degradedS, b.degradedS);
+    EXPECT_EQ(a.faultsDetected, b.faultsDetected);
+    EXPECT_EQ(a.faultsRecovered, b.faultsRecovered);
+    EXPECT_BITEQ(a.timeToDetectSumS, b.timeToDetectSumS);
+    EXPECT_BITEQ(a.timeToDetectMaxS, b.timeToDetectMaxS);
+    EXPECT_BITEQ(a.timeToRecoverSumS, b.timeToRecoverSumS);
+    EXPECT_BITEQ(a.timeToRecoverMaxS, b.timeToRecoverMaxS);
 }
 
 void
@@ -320,6 +327,64 @@ TEST(Determinism, TracedRunsSerializeByteIdenticalJson)
     std::string second = tracedJson();
     EXPECT_GT(first.size(), 0U);
     EXPECT_EQ(first, second) << "trace JSON differs across "
+                                "same-seed runs";
+}
+
+// The health monitor carries the same contract as the tracer: it only
+// *reads* sim time and mutates monitor-private state, so a monitored
+// run must be bit-identical to an unmonitored one, and two monitored
+// same-seed runs must serialize byte-identical health JSON.
+
+TEST(Determinism, MonitorOnDoesNotPerturbResults)
+{
+    ExperimentConfig cfg = fig12Config(NpeOptions::withBatch());
+    InferenceReport plain = runNdpOfflineInference(cfg);
+    InferenceReport monitored;
+    {
+        ndp::obs::MonitorSession session;
+        monitored = runNdpOfflineInference(cfg);
+    }
+    expectSameInference(plain, monitored);
+}
+
+TEST(Determinism, MonitorOnDoesNotPerturbFaultedTraining)
+{
+    // The monitor observes fault detection/recovery via FaultObserver;
+    // those callbacks must not add or reorder a single RNG draw.
+    ExperimentConfig cfg;
+    cfg.nStores = 4;
+    cfg.nImages = 40000;
+    cfg.faults.crashStore(1, 2.0).readErrors(0.02).loseMessages(0.3);
+    TrainOptions opt;
+    opt.nRun = 3;
+    TrainReport plain = runFtDmpTraining(cfg, opt);
+    TrainReport monitored;
+    {
+        ndp::obs::MonitorSession session;
+        monitored = runFtDmpTraining(cfg, opt);
+        EXPECT_GE(session.monitor().summary("").faultsDetected, 1U);
+    }
+    EXPECT_TRUE(plain.faults.anyInjected());
+    expectSameTrain(plain, monitored);
+}
+
+TEST(Determinism, MonitoredRunsSerializeByteIdenticalJson)
+{
+    auto healthJson = [] {
+        ndp::obs::MonitorSession session;
+        ExperimentConfig cfg;
+        cfg.nStores = 4;
+        cfg.nImages = 40000;
+        cfg.faults.crashStore(1, 2.0).readErrors(0.02);
+        TrainOptions opt;
+        opt.nRun = 3;
+        runFtDmpTraining(cfg, opt);
+        return session.monitor().json();
+    };
+    std::string first = healthJson();
+    std::string second = healthJson();
+    EXPECT_GT(first.size(), 0U);
+    EXPECT_EQ(first, second) << "health JSON differs across "
                                 "same-seed runs";
 }
 

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 
 #include "core/inference.h"
@@ -67,6 +68,29 @@ planFor(Kind kind, int n_faulty, double at_s, double stall_s)
     return plan;
 }
 
+/**
+ * Detection-ledger invariants every faulted cell must satisfy: at
+ * least one incident detected, finite non-negative latencies, and —
+ * since both latencies are measured from the incident's opened time —
+ * detect <= recover whenever every detected incident closed.
+ */
+void
+expectDetectionLedger(const sim::FaultReport &f)
+{
+    EXPECT_GE(f.faultsDetected, 1u);
+    EXPECT_GE(f.faultsDetected, f.faultsRecovered);
+    EXPECT_TRUE(std::isfinite(f.timeToDetectSumS));
+    EXPECT_TRUE(std::isfinite(f.timeToDetectMaxS));
+    EXPECT_GE(f.timeToDetectSumS, 0.0);
+    EXPECT_GE(f.timeToDetectMaxS, 0.0);
+    EXPECT_TRUE(std::isfinite(f.timeToRecoverSumS));
+    EXPECT_GE(f.timeToRecoverMaxS, 0.0);
+    if (f.faultsRecovered == f.faultsDetected) {
+        EXPECT_LE(f.timeToDetectSumS, f.timeToRecoverSumS);
+        EXPECT_LE(f.timeToDetectMaxS, f.timeToRecoverMaxS);
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -109,11 +133,19 @@ TEST(FaultMatrix, NdpInferenceGridConvergesWithSurvivors)
                 EXPECT_TRUE(r.faults.recovered());
                 EXPECT_EQ(r.faults.itemsLost, 0u);
                 EXPECT_TRUE(r.faults.anyInjected());
+                // Every cell measures detection latency alongside
+                // recovery, and detect precedes recover.
+                expectDetectionLedger(r.faults);
 
                 switch (kind) {
                   case Kind::Crash:
                     EXPECT_EQ(r.faults.crashes,
                               static_cast<uint64_t>(n_faulty));
+                    // One detected + recovered incident per crash.
+                    EXPECT_EQ(r.faults.faultsDetected,
+                              r.faults.crashes);
+                    EXPECT_EQ(r.faults.faultsRecovered,
+                              r.faults.crashes);
                     EXPECT_GT(r.faults.itemsRedispatched, 0u);
                     // Probing dead stores took wall time.
                     EXPECT_GT(r.faults.degradedS, 0.0);
@@ -122,12 +154,18 @@ TEST(FaultMatrix, NdpInferenceGridConvergesWithSurvivors)
                   case Kind::Stall:
                     EXPECT_GE(r.faults.stalls,
                               static_cast<uint64_t>(n_faulty));
+                    // A stall's lifecycle closes at the window's end:
+                    // every detected window also recovered.
+                    EXPECT_EQ(r.faults.faultsDetected,
+                              r.faults.faultsRecovered);
                     EXPECT_GT(r.seconds, base.seconds);
                     break;
                   case Kind::IoError:
                     EXPECT_GT(r.faults.ioErrors, 0u);
                     // Every drawn error was retried successfully.
                     EXPECT_EQ(r.faults.ioRetries, r.faults.ioErrors);
+                    EXPECT_EQ(r.faults.faultsDetected,
+                              r.faults.faultsRecovered);
                     EXPECT_GE(r.seconds, base.seconds);
                     break;
                 }
@@ -164,6 +202,10 @@ TEST(FaultMatrix, AllStoresCrashedIsTypedLossNotHang)
     EXPECT_GT(r.faults.itemsLost, 0u);
     EXPECT_EQ(r.faults.itemsRedispatched, 0u);
     EXPECT_EQ(r.stages.itemsDone + r.faults.itemsLost, cfg.nImages);
+    // Every crash was detected, but with no survivor none recovered:
+    // the ledger must not claim a recovery it didn't deliver.
+    EXPECT_EQ(r.faults.faultsDetected, r.faults.crashes);
+    EXPECT_EQ(r.faults.faultsRecovered, 0u);
 }
 
 TEST(FaultMatrix, SerialTypicalCrashIsTypedLoss)
@@ -208,6 +250,8 @@ TEST(FaultMatrix, FtDmpCrashPhasesConserveFeatures)
         // every feature, whichever phase the crash hit.
         EXPECT_EQ(r.stages.itemsDone, cfg.nImages);
         EXPECT_GT(r.faults.itemsRedispatched, 0u);
+        expectDetectionLedger(r.faults);
+        EXPECT_EQ(r.faults.faultsRecovered, 1u);
     }
 }
 
@@ -260,6 +304,13 @@ TEST(FaultMatrix, DeltaDistributionRetransmitsLostPushes)
     EXPECT_GT(r.faults.messagesResent, 0u);
     // Retransmissions crossed the wire: distribution traffic grew.
     EXPECT_GT(r.distributionBytes, base.distributionBytes);
+    // Each lossy push is one incident: detected at the first failed
+    // copy, then either recovered when a retransmission lands or
+    // typed as an abandoned push when the retry budget runs out — at
+    // p = 0.9 both outcomes occur, and every detection is accounted.
+    expectDetectionLedger(r.faults);
+    EXPECT_EQ(r.faults.faultsDetected,
+              r.faults.faultsRecovered + r.faults.deltaPushFailures);
 }
 
 TEST(FaultMatrix, DeltaPushExhaustionIsTypedFailure)
@@ -275,6 +326,10 @@ TEST(FaultMatrix, DeltaPushExhaustionIsTypedFailure)
     EXPECT_EQ(r.faults.deltaPushFailures,
               static_cast<uint64_t>(cfg.nStores));
     EXPECT_EQ(r.faults.terminal, sim::FaultClass::MessageLoss);
+    // Detection stays on the ledger even though nothing recovered.
+    EXPECT_EQ(r.faults.faultsDetected,
+              static_cast<uint64_t>(cfg.nStores));
+    EXPECT_EQ(r.faults.faultsRecovered, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -295,6 +350,54 @@ TEST(FaultMatrix, OnlineUploadLossRetransmitsOrDropsTyped)
         EXPECT_EQ(r.faults.terminal, sim::FaultClass::MessageLoss);
     else
         EXPECT_TRUE(r.faults.recovered());
+    expectDetectionLedger(r.faults);
+}
+
+// ---------------------------------------------------------------------
+// Detection latency: the ledger measures when the run *noticed* each
+// fault, not just when it finished recovering, and the two orderings
+// hold per kind in a mixed-incident run.
+// ---------------------------------------------------------------------
+
+TEST(FaultMatrix, DetectionLatencyPrecedesRecoveryAcrossKinds)
+{
+    ExperimentConfig base_cfg = matrixCfg();
+    InferenceReport base = runNdpOfflineInference(base_cfg);
+
+    // One incident of every recoverable kind in one run: a crash on
+    // store 0, a stall window on store 1, read errors on store 2.
+    ExperimentConfig cfg = base_cfg;
+    cfg.faults.crashStore(0, 0.3 * base.seconds)
+        .stallStore(1, 0.2 * base.seconds, 0.2 * base.seconds)
+        .readErrors(0.3, 2);
+    InferenceReport r = runNdpOfflineInference(cfg);
+
+    EXPECT_TRUE(r.faults.recovered());
+    expectDetectionLedger(r.faults);
+    // Crash + stall + at least one read-error incident, all closed.
+    EXPECT_GE(r.faults.faultsDetected, 3u);
+    EXPECT_EQ(r.faults.faultsDetected, r.faults.faultsRecovered);
+    // The crash is only observed at the next batch boundary and then
+    // probed before re-dispatch: detection strictly precedes recovery
+    // in the aggregate.
+    EXPECT_GT(r.faults.timeToRecoverMaxS, 0.0);
+    EXPECT_LT(r.faults.timeToDetectSumS, r.faults.timeToRecoverSumS);
+}
+
+TEST(FaultMatrix, DetectionLedgerIsDeterministic)
+{
+    ExperimentConfig cfg = matrixCfg();
+    cfg.faults.crashStore(0, 2.0).readErrors(0.05, 1);
+    InferenceReport a = runNdpOfflineInference(cfg);
+    InferenceReport b = runNdpOfflineInference(cfg);
+    EXPECT_EQ(a.faults.faultsDetected, b.faults.faultsDetected);
+    EXPECT_EQ(a.faults.faultsRecovered, b.faults.faultsRecovered);
+    EXPECT_BITEQ(a.faults.timeToDetectSumS, b.faults.timeToDetectSumS);
+    EXPECT_BITEQ(a.faults.timeToDetectMaxS, b.faults.timeToDetectMaxS);
+    EXPECT_BITEQ(a.faults.timeToRecoverSumS,
+                 b.faults.timeToRecoverSumS);
+    EXPECT_BITEQ(a.faults.timeToRecoverMaxS,
+                 b.faults.timeToRecoverMaxS);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Unit and contract tests for the streaming health monitor
+ * (obs/monitor.h): closed-form checks of the sliding-window
+ * aggregates, rule raise/clear transitions fed through the push
+ * hooks, the detection-latency event feed, the deterministic JSON
+ * export (parsed back with the ndptrace parser and reconciled
+ * against the summaries — the in-process version of what
+ * `ndpmon --check` does offline), and the passive contract: a
+ * monitored serving run is bit-identical to an unmonitored one on
+ * every pre-existing report field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "core/serve/serve.h"
+#include "ndptrace/json.h"
+#include "obs/monitor.h"
+
+namespace {
+
+using namespace ndp::obs;
+
+#define EXPECT_BITEQ(a, b)                                               \
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))    \
+        << #a " differs: " << (a) << " vs " << (b)
+
+// ---------------------------------------------------------------------------
+// Sliding-window primitives, closed form.
+
+TEST(WindowedRate, SumAndRateOverWindow)
+{
+    WindowedRate w(2.0, 4); // 0.5 s buckets
+    w.record(0.1);
+    w.record(0.3, 2.0);
+    w.record(0.7);
+    EXPECT_DOUBLE_EQ(w.windowS(), 2.0);
+    EXPECT_DOUBLE_EQ(w.sum(0.8), 4.0);
+    EXPECT_DOUBLE_EQ(w.rate(0.8), 2.0);
+}
+
+TEST(WindowedRate, BucketsExpireAsTimeAdvances)
+{
+    WindowedRate w(2.0, 4);
+    w.record(0.1); // bucket [0.0, 0.5)
+    EXPECT_DOUBLE_EQ(w.sum(0.4), 1.0);
+    // 1.9 s later the event's bucket is still inside the 2 s window...
+    EXPECT_DOUBLE_EQ(w.sum(1.9), 1.0);
+    // ...but once the ring rotates past it, the count drops out.
+    EXPECT_DOUBLE_EQ(w.sum(2.6), 0.0);
+}
+
+TEST(WindowedRate, LongGapClearsEverything)
+{
+    WindowedRate w(2.0, 4);
+    w.record(0.1);
+    w.record(0.2);
+    EXPECT_DOUBLE_EQ(w.sum(100.0), 0.0);
+    w.record(100.1);
+    EXPECT_DOUBLE_EQ(w.sum(100.2), 1.0);
+}
+
+TEST(Ewma, SeedsThenSmooths)
+{
+    Ewma e(0.5);
+    EXPECT_TRUE(e.empty());
+    e.record(10.0);
+    EXPECT_DOUBLE_EQ(e.value(), 10.0); // first sample seeds
+    e.record(20.0);
+    EXPECT_DOUBLE_EQ(e.value(), 15.0); // 0.5*20 + 0.5*10
+    e.record(20.0);
+    EXPECT_DOUBLE_EQ(e.value(), 17.5);
+}
+
+TEST(WindowedQuantile, TwoPhaseRollKeepsRecentDropsStale)
+{
+    WindowedQuantile q(1.0);
+    for (int i = 0; i < 100; ++i)
+        q.record(0.1, 0.010);
+    EXPECT_EQ(q.count(), 100u);
+    EXPECT_GT(q.percentile(50.0), 0.0);
+    // One window later: the old phase survives as `prev`.
+    q.record(1.2, 0.020);
+    EXPECT_EQ(q.count(), 101u);
+    // Two-plus windows of silence: both phases dropped.
+    q.record(4.5, 0.030);
+    EXPECT_EQ(q.count(), 1u);
+}
+
+TEST(WindowedQuantile, EmptyReadsZero)
+{
+    WindowedQuantile q(1.0);
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_DOUBLE_EQ(q.percentile(99.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rule transitions through the push hooks.
+
+TEST(HealthMonitor, BurnRateAlertFiresOnBadTraffic)
+{
+    HealthMonitor m;
+    // A single shed makes the windowed bad fraction 1.0, so burn =
+    // 1.0 / (1 - 0.999) = 1000 — over both thresholds at first eval.
+    m.onShed("svc", 0.1);
+    const HealthSummary s = m.summary("svc");
+    EXPECT_EQ(s.badEvents, 1u);
+    EXPECT_EQ(s.totalEvents, 1u);
+    EXPECT_EQ(s.burnAlertsFired, 2u); // fast and slow
+    EXPECT_EQ(s.alertsFired, 2u);
+    // budget: bad / (total * (1 - objective)) = 1 / 0.001 (the
+    // representation of 1 - 0.999 puts it a few ulps off 1000).
+    EXPECT_NEAR(s.errorBudgetConsumed, 1000.0, 1e-9);
+    ASSERT_GE(m.events().size(), 2u);
+    EXPECT_EQ(m.events()[0].kind, HealthEvent::Kind::AlertRaised);
+    EXPECT_EQ(m.events()[0].scope, "svc");
+}
+
+TEST(HealthMonitor, BurnRateAlertClearsWhenWindowsDrain)
+{
+    HealthMonitor m;
+    m.onShed("svc", 0.1); // raises fast + slow burn alerts
+    EXPECT_EQ(m.summary("svc").alertsFired, 2u);
+    // 100 s later even the 60 s slow window has rotated past the bad
+    // event; a run of good outcomes re-evaluates and clears both.
+    for (int i = 0; i < 8; ++i)
+        m.onServeOutcome("svc", 0, 100.0 + i, 0.010, true);
+    const HealthSummary s = m.summary("svc");
+    EXPECT_EQ(s.alertsFired, 2u);
+    EXPECT_EQ(s.alertsCleared, 2u);
+    EXPECT_GT(s.timeInViolationS, 0.0);
+}
+
+TEST(HealthMonitor, GoodTrafficRaisesNothing)
+{
+    HealthMonitor m;
+    for (int i = 0; i < 100; ++i)
+        m.onServeOutcome("svc", i % 4, 0.05 * i, 0.010, true);
+    const HealthSummary s = m.summary("svc");
+    EXPECT_EQ(s.alertsFired, 0u);
+    EXPECT_EQ(s.badEvents, 0u);
+    EXPECT_EQ(s.totalEvents, 100u);
+    EXPECT_DOUBLE_EQ(s.errorBudgetConsumed, 0.0);
+    EXPECT_DOUBLE_EQ(s.timeInViolationS, 0.0);
+}
+
+TEST(HealthMonitor, StragglerComparesWorstStoreToFleetMedian)
+{
+    HealthMonitor m;
+    // Three stores; evals at t=0.1 (one store, no verdict) and t=0.5.
+    m.onServeOutcome("svc", 0, 0.1, 0.100, true);
+    m.onServeOutcome("svc", 1, 0.2, 0.100, true);
+    m.onServeOutcome("svc", 2, 0.5, 0.500, true); // 5x the median
+    const HealthSummary s = m.summary("svc");
+    EXPECT_EQ(s.alertsFired, 1u);
+    bool sawStraggler = false;
+    for (const HealthEvent &e : m.events())
+        if (e.kind == HealthEvent::Kind::AlertRaised &&
+            e.rule == Rule::Straggler) {
+            sawStraggler = true;
+            EXPECT_EQ(e.detail, "store2");
+            EXPECT_DOUBLE_EQ(e.value, 5.0);
+        }
+    EXPECT_TRUE(sawStraggler);
+}
+
+TEST(HealthMonitor, QueueSaturationTracksDepthOverCapacity)
+{
+    HealthMonitor m;
+    m.onQueueDepth("svc", 0.1, 9, 10); // 0.9 >= 0.9 default
+    EXPECT_EQ(m.summary("svc").alertsFired, 1u);
+    m.onQueueDepth("svc", 1.0, 2, 10);
+    const HealthSummary s = m.summary("svc");
+    EXPECT_EQ(s.alertsFired, 1u);
+    EXPECT_EQ(s.alertsCleared, 1u);
+}
+
+TEST(HealthMonitor, LinkCongestionFeedsFromIngressUtilGauge)
+{
+    HealthMonitor m;
+    m.onGaugeSample("store0", "ingress.util", 0.1, 0.50);
+    EXPECT_EQ(m.summary("").alertsFired, 0u);
+    m.onGaugeSample("store1", "ingress.util", 0.5, 0.97);
+    EXPECT_EQ(m.summary("").alertsFired, 1u);
+    bool saw = false;
+    for (const HealthEvent &e : m.events())
+        if (e.kind == HealthEvent::Kind::AlertRaised &&
+            e.rule == Rule::LinkCongestion) {
+            saw = true;
+            EXPECT_EQ(e.detail, "store1");
+        }
+    EXPECT_TRUE(saw);
+    // Unrelated gauges are ignored by the congestion rule.
+    HealthMonitor m2;
+    m2.onGaugeSample("store0", "queue.depth", 0.1, 1000.0);
+    EXPECT_EQ(m2.summary("").alertsFired, 0u);
+}
+
+TEST(HealthMonitor, GeoStalenessComparesLagToBound)
+{
+    HealthMonitor m;
+    m.onGeoLag("georep", "site-b", 0.1, 1, 3);
+    EXPECT_EQ(m.summary("georep").alertsFired, 0u);
+    m.onGeoLag("georep", "site-b", 0.5, 3, 3); // at the bound
+    const HealthSummary s = m.summary("georep");
+    EXPECT_EQ(s.alertsFired, 1u);
+}
+
+TEST(HealthMonitor, FaultObserverFeedsDetectionLedger)
+{
+    HealthMonitor m;
+    m.onFaultDetected(ndp::sim::FaultKind::StoreCrash, 1, 2.0, 2.5);
+    m.onFaultRecovered(ndp::sim::FaultKind::StoreCrash, 1, 2.0, 9.0);
+    m.onFaultDetected(ndp::sim::FaultKind::ReadError, 0, 4.0, 4.0);
+    const HealthSummary s = m.summary("");
+    EXPECT_EQ(s.faultsDetected, 2u);
+    EXPECT_EQ(s.faultsRecovered, 1u);
+    EXPECT_DOUBLE_EQ(s.meanTimeToDetectS, 0.25); // (0.5 + 0.0) / 2
+    ASSERT_EQ(m.events().size(), 3u);
+    EXPECT_EQ(m.events()[0].kind, HealthEvent::Kind::FaultDetected);
+    EXPECT_DOUBLE_EQ(m.events()[0].value, 0.5);
+    EXPECT_EQ(m.events()[1].kind, HealthEvent::Kind::FaultRecovered);
+    EXPECT_DOUBLE_EQ(m.events()[1].value, 7.0);
+    EXPECT_EQ(m.events()[2].detail, "store0");
+}
+
+TEST(HealthMonitor, TotalsAggregateAcrossScopes)
+{
+    HealthMonitor m;
+    m.onShed("a", 0.1);
+    m.onServeOutcome("b", 0, 0.2, 0.01, true);
+    m.onFaultDetected(ndp::sim::FaultKind::StoreStall, 2, 1.0, 1.5);
+    const HealthSummary t = m.totals();
+    EXPECT_EQ(t.badEvents, 1u);
+    EXPECT_EQ(t.totalEvents, 2u);
+    EXPECT_EQ(t.faultsDetected, 1u);
+    const auto sc = m.scopes();
+    ASSERT_EQ(sc.size(), 3u); // "", "a", "b" — sorted
+    EXPECT_EQ(sc[0], "");
+    EXPECT_EQ(sc[1], "a");
+    EXPECT_EQ(sc[2], "b");
+}
+
+// ---------------------------------------------------------------------------
+// JSON export: parses with the ndptrace parser and reconciles with
+// the in-memory summaries (the in-process `ndpmon --check`).
+
+TEST(HealthMonitor, JsonParsesAndReconcilesWithSummaries)
+{
+    HealthMonitor m;
+    for (int i = 0; i < 50; ++i)
+        m.onServeOutcome("svc", i % 2, 0.1 * i, 0.010, i % 10 != 0);
+    m.onShed("svc", 5.1);
+    m.onFaultDetected(ndp::sim::FaultKind::StoreCrash, 0, 1.0, 1.2);
+    m.onFaultRecovered(ndp::sim::FaultKind::StoreCrash, 0, 1.0, 3.0);
+
+    ndp::trace::JsonValue root;
+    std::string err;
+    ASSERT_TRUE(ndp::trace::parseJson(m.json(), root, err)) << err;
+
+    const ndp::trace::JsonValue *mon = root.find("monitor");
+    ASSERT_NE(mon, nullptr);
+    EXPECT_DOUBLE_EQ(mon->find("slo_objective")->numberOr(0),
+                     m.config().sloObjective);
+
+    const ndp::trace::JsonValue *scopes = root.find("scopes");
+    ASSERT_NE(scopes, nullptr);
+    ASSERT_TRUE(scopes->isArray());
+    bool sawSvc = false;
+    for (const auto &sc : scopes->arr) {
+        if (sc.find("scope")->stringOr("?") != "svc")
+            continue;
+        sawSvc = true;
+        const HealthSummary s = m.summary("svc");
+        const ndp::trace::JsonValue *sum = sc.find("summary");
+        ASSERT_NE(sum, nullptr);
+        EXPECT_EQ(static_cast<uint64_t>(
+                      sum->find("bad_events")->numberOr(-1)),
+                  s.badEvents);
+        EXPECT_EQ(static_cast<uint64_t>(
+                      sum->find("total_events")->numberOr(-1)),
+                  s.totalEvents);
+        EXPECT_EQ(static_cast<uint64_t>(
+                      sum->find("burn_alerts_fired")->numberOr(-1)),
+                  s.burnAlertsFired);
+        EXPECT_DOUBLE_EQ(
+            sum->find("error_budget_consumed")->numberOr(-1),
+            s.errorBudgetConsumed);
+        const ndp::trace::JsonValue *series = sc.find("series");
+        ASSERT_NE(series, nullptr);
+        EXPECT_GT(series->arr.size(), 0u);
+        // Series counters are cumulative and monotone in time.
+        double lastT = -1.0;
+        for (const auto &pt : series->arr) {
+            const double t = pt.find("t_s")->numberOr(-1);
+            EXPECT_GE(t, lastT);
+            lastT = t;
+            EXPECT_LE(pt.find("bad")->numberOr(0),
+                      pt.find("total")->numberOr(0));
+        }
+    }
+    EXPECT_TRUE(sawSvc);
+
+    const ndp::trace::JsonValue *events = root.find("events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_EQ(events->arr.size(), m.events().size());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end passive contract against the serving dataflow.
+
+ndp::core::serve::ServeConfig
+monitorServeConfig()
+{
+    ndp::core::serve::ServeConfig cfg;
+    cfg.nStores = 4;
+    cfg.arrivals.nRequests = 4000;
+    cfg.arrivals.nUsers = 200000;
+    // Push past fleet capacity so sheds and deadline misses feed the
+    // burn windows, and crash a store so the fault feed fires too.
+    cfg.arrivals.baseRatePerSec = 2000.0;
+    cfg.arrivals.seed = 7;
+    cfg.admission.queueCap = 16;
+    cfg.faults.crashStore(1, 0.5);
+    return cfg;
+}
+
+TEST(HealthMonitor, MonitoredServingIsBitIdenticalToUnmonitored)
+{
+    using ndp::core::serve::ServeReport;
+    using ndp::core::serve::runServing;
+    const ndp::core::serve::ServeConfig cfg = monitorServeConfig();
+    const ServeReport plain = runServing(cfg);
+    ServeReport monitored;
+    {
+        MonitorSession session;
+        monitored = runServing(cfg);
+        EXPECT_GT(session.monitor().events().size(), 0u);
+    }
+    // Every pre-existing field bit-identical: the monitor observed a
+    // heavily-shedding, crash-recovering run without perturbing it.
+    EXPECT_BITEQ(plain.seconds, monitored.seconds);
+    EXPECT_EQ(plain.offered, monitored.offered);
+    EXPECT_EQ(plain.accepted, monitored.accepted);
+    EXPECT_EQ(plain.completed, monitored.completed);
+    EXPECT_EQ(plain.goodput, monitored.goodput);
+    EXPECT_EQ(plain.shedThrottle, monitored.shedThrottle);
+    EXPECT_EQ(plain.shedQueueFull, monitored.shedQueueFull);
+    EXPECT_EQ(plain.shedDeadline, monitored.shedDeadline);
+    EXPECT_EQ(plain.shedUnavailable, monitored.shedUnavailable);
+    EXPECT_EQ(plain.redispatched, monitored.redispatched);
+    EXPECT_EQ(plain.abandoned, monitored.abandoned);
+    EXPECT_BITEQ(plain.p50Ms, monitored.p50Ms);
+    EXPECT_BITEQ(plain.p99Ms, monitored.p99Ms);
+    EXPECT_BITEQ(plain.p999Ms, monitored.p999Ms);
+    EXPECT_BITEQ(plain.meanMs, monitored.meanMs);
+    EXPECT_BITEQ(plain.maxMs, monitored.maxMs);
+    EXPECT_EQ(plain.faults.crashes, monitored.faults.crashes);
+    EXPECT_EQ(plain.faults.faultsDetected,
+              monitored.faults.faultsDetected);
+
+    // Monitoring off: the additive health block is all-zero.
+    EXPECT_EQ(plain.health.alertsFired, 0u);
+    EXPECT_EQ(plain.health.totalEvents, 0u);
+    // Monitoring on: the run's SLO ledger and fault feed landed.
+    EXPECT_GT(monitored.health.totalEvents, 0u);
+    EXPECT_GE(monitored.health.faultsDetected, 1u);
+    EXPECT_EQ(monitored.health.badEvents,
+              monitored.offered - monitored.goodput);
+}
+
+TEST(HealthMonitor, SameSeedMonitoredRunsExportByteIdenticalJson)
+{
+    auto healthJson = [] {
+        MonitorSession session;
+        ndp::core::serve::runServing(monitorServeConfig());
+        return session.monitor().json();
+    };
+    const std::string first = healthJson();
+    const std::string second = healthJson();
+    EXPECT_GT(first.size(), 0u);
+    EXPECT_EQ(first, second);
+}
+
+TEST(MonitorSession, InstallsAndClearsCurrent)
+{
+    EXPECT_EQ(HealthMonitor::current(), nullptr);
+    {
+        MonitorSession session;
+        EXPECT_EQ(HealthMonitor::current(), &session.monitor());
+    }
+    EXPECT_EQ(HealthMonitor::current(), nullptr);
+}
+
+} // namespace

@@ -138,6 +138,38 @@ TEST(NdpLint, NondeterminismFiresUnderSimPath)
     EXPECT_FALSE(anyMessageContains(st, "'sorted'"));
 }
 
+TEST(NdpLint, NondeterminismFiresUnderMonitorPath)
+{
+    // The health monitor joined the rule's include list: relocated
+    // under src/obs/monitor.cc the wall-clock fixture findings fire
+    // exactly as they do under src/sim.
+    SourceFile relocated = ndp::lint::lexFile(fixturePath("nondet.cc"));
+    relocated.path = "src/obs/monitor.cc";
+    LintOptions opt;
+    opt.ruleFilter = {"banned-nondeterminism"};
+    LintStats st = ndp::lint::runLint({relocated}, opt);
+    EXPECT_EQ(st.findings.size(), 8U);
+}
+
+TEST(NdpLint, MonitorExportSuppressionCarriesRationale)
+{
+    // The one sanctioned monitor exception: a diagnostic wall-clock
+    // read on the post-run JSON-export path, suppressed with the
+    // after-s.run() rationale the audit surfaces.
+    SourceFile relocated =
+        ndp::lint::lexFile(fixturePath("monitor_suppressed.cc"));
+    relocated.path = "src/obs/monitor.cc";
+    LintOptions opt;
+    opt.ruleFilter = {"banned-nondeterminism"};
+    LintStats st = ndp::lint::runLint({relocated}, opt);
+    EXPECT_EQ(st.findings.size(), 0U);
+    EXPECT_EQ(st.suppressed, 1);
+    auto audit = ndp::lint::auditSuppressions({relocated});
+    EXPECT_EQ(audit.total, 1);
+    EXPECT_EQ(audit.unrationaled, 0);
+    EXPECT_NE(audit.text.find("after s.run()"), std::string::npos);
+}
+
 TEST(NdpLint, FloatAccumOrderFlagsUnorderedSumsOnly)
 {
     LintStats st = lintFixture("float_accum.cc", {"float-accum-order"});
@@ -317,6 +349,13 @@ TEST(NdpLintEngine, PathScopeLimitsNondeterminismRule)
     // The scheduler subtree is inside src/core and stays in scope.
     EXPECT_TRUE(cfg.appliesTo(rule, "src/core/sched/scheduler.cc"));
     EXPECT_TRUE(cfg.appliesTo(rule, "src/core/sched/cluster.cc"));
+    // The health monitor is explicitly in scope: its passive contract
+    // (monitored run == unmonitored run) requires determinism too.
+    EXPECT_TRUE(cfg.appliesTo(rule, "src/obs/monitor.cc"));
+    EXPECT_TRUE(cfg.appliesTo(rule, "src/obs/monitor.h"));
+    // ...but the rest of src/obs (trace.cc writes wall-clock-free
+    // JSON but is not monitored state) stays out.
+    EXPECT_FALSE(cfg.appliesTo(rule, "src/obs/trace.cc"));
     EXPECT_FALSE(cfg.appliesTo(rule, "tools/ndplint/rules.cc"));
     EXPECT_FALSE(cfg.appliesTo(rule, "bench/bench_micro_sim.cc"));
 }

@@ -151,8 +151,13 @@ ScopeConfig::builtin()
     // contract. georep is also listed explicitly so the geo-rep
     // subsystem stays covered even if the broad "src/core" entry is
     // ever narrowed.
+    // src/obs/monitor is in scope because the health monitor's passive
+    // contract (monitored == unmonitored, bit for bit) dies the moment
+    // a wall clock or unseeded RNG leaks into an aggregate or rule.
     cfg.scopes["banned-nondeterminism"] = {
-        {"src/sim", "src/core", "src/core/georep"}, {}};
+        {"src/sim", "src/core", "src/core/georep",
+         "src/obs/monitor"},
+        {}};
     // The fabric and the device-spec formulas are the two sanctioned
     // homes for rate arithmetic.
     cfg.scopes["analytic-net-math"] = {{}, {"src/net/", "src/hw/"}};

@@ -1,0 +1,30 @@
+// ndp-lint fixture: the src/obs/monitor suppression idiom. Not
+// compiled — lexed by test_ndplint.cc, relocated under
+// "src/obs/monitor.cc" where banned-nondeterminism applies. The health
+// monitor's passive contract (monitored run == unmonitored run, bit
+// for bit) keeps wall clocks and unseeded RNG out of every aggregate
+// and rule — the one sanctioned exception is a diagnostic wall-clock
+// read on the JSON-export path, which runs after the simulation has
+// finished and cannot perturb a single report bit. The allow records
+// exactly that rationale for the suppression audit.
+
+#include <chrono>
+
+namespace fixture {
+
+struct ExportStats
+{
+    double writeSeconds = 0.0;
+};
+
+void
+timedExport(ExportStats &st)
+{
+    /* ndplint: allow(banned-nondeterminism: export-path diagnostics
+       run after s.run() returns; no simulation state or report field
+       is derived from this read) */
+    auto t0 = std::chrono::steady_clock::now();
+    st.writeSeconds = sinceSeconds(t0);
+}
+
+} // namespace fixture

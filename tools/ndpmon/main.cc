@@ -1,0 +1,351 @@
+/**
+ * @file
+ * ndpmon CLI: offline analysis of obs::HealthMonitor JSON exports.
+ *
+ *     ndpmon [options] <health.json>
+ *
+ * Options:
+ *   --check   reconciliation gate (CI): re-derive every derivable
+ *             number in the report from its own raw series and fail
+ *             on >1% disagreement —
+ *               - replay the fast/slow burn-rate alert state machines
+ *                 over the exported burn series; the number of raises
+ *                 must reconcile with the in-run burn_alerts_fired
+ *               - recompute error_budget_consumed from the cumulative
+ *                 bad/total counters and the configured objective
+ *               - structural invariants: sim time and cumulative
+ *                 counters monotone, bad <= total, detection
+ *                 latencies finite and non-negative
+ *   --events  include the full event timeline in the dashboard
+ *
+ * Default mode renders a text dashboard: one row per scope (alerts,
+ * error budget, violation time, fault detection latency) plus the
+ * tail of the event log.
+ *
+ * Exit codes: 0 clean, 1 check failures, 2 usage/IO error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ndptrace/json.h"
+
+using ndp::trace::JsonValue;
+using ndp::trace::parseJson;
+
+namespace {
+
+void
+usage()
+{
+    std::cerr << "usage: ndpmon [--check] [--events] <health.json>\n";
+}
+
+/** Reconciliation tolerance: in-run and replayed values must agree to
+ *  <1% (the monitor writes the exact decision inputs, so in practice
+ *  the match is exact; the slack only absorbs text round-trips). */
+constexpr double kTolerance = 0.01;
+
+bool
+within(double got, double want)
+{
+    const double mag = std::max(std::fabs(got), std::fabs(want));
+    return std::fabs(got - want) <= kTolerance * std::max(mag, 1e-12);
+}
+
+struct CheckState
+{
+    int failures = 0;
+
+    void
+    fail(const std::string &msg)
+    {
+        ++failures;
+        if (failures <= 20)
+            std::cerr << "ndpmon: FAIL: " << msg << "\n";
+    }
+};
+
+double
+num(const JsonValue &obj, const std::string &key)
+{
+    const JsonValue *v = obj.find(key);
+    return v != nullptr ? v->numberOr(0.0) : 0.0;
+}
+
+/**
+ * Replay the two burn-rate alert state machines over one scope's
+ * series. The series carries the exact windowed burn values each eval
+ * used, so counting upward threshold crossings reproduces the in-run
+ * burn_alerts_fired precisely.
+ */
+uint64_t
+replayBurnAlerts(const JsonValue &series, double fast_thr,
+                 double slow_thr)
+{
+    uint64_t raises = 0;
+    bool fastActive = false;
+    bool slowActive = false;
+    for (const JsonValue &p : series.arr) {
+        const bool fast = num(p, "fast_burn") >= fast_thr;
+        const bool slow = num(p, "slow_burn") >= slow_thr;
+        if (fast && !fastActive)
+            ++raises;
+        if (slow && !slowActive)
+            ++raises;
+        fastActive = fast;
+        slowActive = slow;
+    }
+    return raises;
+}
+
+void
+checkSeries(CheckState &ck, const std::string &scope,
+            const JsonValue &series)
+{
+    double lastT = -1.0;
+    double lastBad = -1.0;
+    double lastTotal = -1.0;
+    for (const JsonValue &p : series.arr) {
+        const double t = num(p, "t_s");
+        const double bad = num(p, "bad");
+        const double total = num(p, "total");
+        if (t < lastT)
+            ck.fail("scope '" + scope + "': series time went backward");
+        if (bad < lastBad || total < lastTotal)
+            ck.fail("scope '" + scope +
+                    "': cumulative counter decreased");
+        if (bad > total)
+            ck.fail("scope '" + scope + "': bad > total in series");
+        lastT = t;
+        lastBad = bad;
+        lastTotal = total;
+    }
+}
+
+int
+runCheck(const JsonValue &root)
+{
+    CheckState ck;
+    const JsonValue *mon = root.find("monitor");
+    const JsonValue *scopes = root.find("scopes");
+    const JsonValue *events = root.find("events");
+    if (mon == nullptr || !mon->isObject())
+        ck.fail("missing 'monitor' config object");
+    if (scopes == nullptr || !scopes->isArray())
+        ck.fail("missing 'scopes' array");
+    if (events == nullptr || !events->isArray())
+        ck.fail("missing 'events' array");
+    if (ck.failures > 0)
+        return 1;
+
+    const double objective = num(*mon, "slo_objective");
+    const double fastThr = num(*mon, "fast_burn_threshold");
+    const double slowThr = num(*mon, "slow_burn_threshold");
+    const double denom = 1.0 - objective;
+    if (denom <= 0.0)
+        ck.fail("slo_objective >= 1.0: burn rate undefined");
+
+    for (const JsonValue &sc : scopes->arr) {
+        const std::string scope =
+            sc.find("scope") != nullptr ? sc.find("scope")->str : "?";
+        const JsonValue *sum = sc.find("summary");
+        const JsonValue *series = sc.find("series");
+        if (sum == nullptr || series == nullptr ||
+            !series->isArray()) {
+            ck.fail("scope '" + scope + "': missing summary/series");
+            continue;
+        }
+        checkSeries(ck, scope, *series);
+
+        // Burn-rate reconciliation: replayed raises vs in-run count.
+        const auto reported =
+            static_cast<uint64_t>(num(*sum, "burn_alerts_fired"));
+        const uint64_t replayed =
+            replayBurnAlerts(*series, fastThr, slowThr);
+        if (!within(static_cast<double>(replayed),
+                    static_cast<double>(reported)))
+            ck.fail("scope '" + scope + "': burn replay mismatch (" +
+                    std::to_string(replayed) + " replayed vs " +
+                    std::to_string(reported) + " reported)");
+
+        // Error-budget reconciliation from the cumulative counters.
+        const double bad = num(*sum, "bad_events");
+        const double total = num(*sum, "total_events");
+        const double reportedBudget =
+            num(*sum, "error_budget_consumed");
+        const double derived =
+            total > 0.0 && denom > 0.0 ? bad / (total * denom) : 0.0;
+        if (!within(derived, reportedBudget))
+            ck.fail("scope '" + scope +
+                    "': error budget mismatch (derived " +
+                    std::to_string(derived) + " vs reported " +
+                    std::to_string(reportedBudget) + ")");
+        // Observations arriving after the last eval advance the
+        // summary counters past the series tail — the tail may only
+        // lag, never exceed.
+        if (!series->arr.empty()) {
+            const JsonValue &last = series->arr.back();
+            if (num(last, "bad") > bad || num(last, "total") > total)
+                ck.fail("scope '" + scope +
+                        "': series tail exceeds summary counters");
+        }
+
+        const double fired = num(*sum, "alerts_fired");
+        const double clearedN = num(*sum, "alerts_cleared");
+        if (clearedN > fired)
+            ck.fail("scope '" + scope +
+                    "': more alerts cleared than fired");
+        const double det = num(*sum, "faults_detected");
+        const double rec = num(*sum, "faults_recovered");
+        if (rec > det)
+            ck.fail("scope '" + scope +
+                    "': more faults recovered than detected");
+    }
+
+    for (const JsonValue &e : events->arr) {
+        const std::string kind =
+            e.find("kind") != nullptr ? e.find("kind")->str : "";
+        const double v = num(e, "value");
+        if ((kind == "fault-detected" || kind == "fault-recovered") &&
+            (!std::isfinite(v) || v < 0.0))
+            ck.fail("event '" + kind +
+                    "': non-finite or negative latency");
+    }
+
+    if (ck.failures > 0) {
+        std::cerr << "ndpmon: " << ck.failures << " check failure(s)\n";
+        return 1;
+    }
+    std::cout << "ndpmon: OK (" << scopes->arr.size() << " scope(s), "
+              << events->arr.size() << " event(s) reconciled)\n";
+    return 0;
+}
+
+void
+dashboard(const JsonValue &root, bool show_events)
+{
+    const JsonValue *mon = root.find("monitor");
+    const JsonValue *scopes = root.find("scopes");
+    const JsonValue *events = root.find("events");
+    if (mon != nullptr)
+        std::printf(
+            "SLO objective %.4f | burn thresholds fast %.1f (%gs) / "
+            "slow %.1f (%gs)\n",
+            num(*mon, "slo_objective"),
+            num(*mon, "fast_burn_threshold"),
+            num(*mon, "fast_window_s"),
+            num(*mon, "slow_burn_threshold"),
+            num(*mon, "slow_window_s"));
+    std::printf("%-14s %7s %7s %10s %10s %8s %8s %9s\n", "scope",
+                "alerts", "burn", "bad/total", "budget", "viol_s",
+                "faults", "mttd_s");
+    if (scopes != nullptr) {
+        for (const JsonValue &sc : scopes->arr) {
+            const std::string scope =
+                sc.find("scope") != nullptr ? sc.find("scope")->str
+                                            : "?";
+            const JsonValue *sum = sc.find("summary");
+            if (sum == nullptr)
+                continue;
+            std::ostringstream ratio;
+            ratio << static_cast<uint64_t>(num(*sum, "bad_events"))
+                  << "/"
+                  << static_cast<uint64_t>(num(*sum, "total_events"));
+            std::ostringstream faults;
+            faults << static_cast<uint64_t>(
+                          num(*sum, "faults_recovered"))
+                   << "/"
+                   << static_cast<uint64_t>(
+                          num(*sum, "faults_detected"));
+            std::printf(
+                "%-14s %7llu %7llu %10s %10.3f %8.2f %8s %9.4f\n",
+                scope.empty() ? "(cluster)" : scope.c_str(),
+                static_cast<unsigned long long>(
+                    num(*sum, "alerts_fired")),
+                static_cast<unsigned long long>(
+                    num(*sum, "burn_alerts_fired")),
+                ratio.str().c_str(),
+                num(*sum, "error_budget_consumed"),
+                num(*sum, "time_in_violation_s"),
+                faults.str().c_str(),
+                num(*sum, "mean_time_to_detect_s"));
+        }
+    }
+    if (events != nullptr && !events->arr.empty()) {
+        const size_t n = events->arr.size();
+        const size_t from = show_events || n <= 10 ? 0 : n - 10;
+        std::printf("\nevents (%zu total%s):\n", n,
+                    from > 0 ? ", last 10" : "");
+        for (size_t i = from; i < n; ++i) {
+            const JsonValue &e = events->arr[i];
+            const auto s = [&e](const char *k) {
+                const JsonValue *v = e.find(k);
+                return v != nullptr ? v->str : std::string();
+            };
+            std::printf("  %12.4fs %-15s %-16s %-10s %-8s %.4g\n",
+                        num(e, "t_s"), s("kind").c_str(),
+                        s("name").c_str(),
+                        s("scope").empty() ? "(cluster)"
+                                           : s("scope").c_str(),
+                        s("detail").c_str(), num(e, "value"));
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check = false;
+    bool showEvents = false;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--check") {
+            check = true;
+        } else if (arg == "--events") {
+            showEvents = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream f(path);
+    if (!f) {
+        std::cerr << "ndpmon: cannot open " << path << "\n";
+        return 2;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+
+    JsonValue root;
+    std::string err;
+    if (!parseJson(buf.str(), root, err)) {
+        std::cerr << "ndpmon: parse error: " << err << "\n";
+        return 1;
+    }
+    if (!root.isObject()) {
+        std::cerr << "ndpmon: top level is not an object\n";
+        return 1;
+    }
+
+    if (check)
+        return runCheck(root);
+    dashboard(root, showEvents);
+    return 0;
+}
